@@ -1,0 +1,58 @@
+//! E1 bench: wall cost of the full acquire→deconvolve pipeline per mode —
+//! the time behind each point of the SNR-gain figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htims_core::acquisition::{acquire, AcquireOptions, GateSchedule};
+use htims_core::deconvolution::Deconvolver;
+use ims_physics::{Instrument, Workload};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_pipeline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let workload = Workload::three_peptide_mix();
+    for degree in [7u32, 9] {
+        let n = (1usize << degree) - 1;
+        let mut inst = Instrument::with_drift_bins(n);
+        inst.tof.n_bins = 200;
+        for (label, schedule, method) in [
+            (
+                "signal-averaging",
+                GateSchedule::signal_averaging(n),
+                Deconvolver::Identity,
+            ),
+            (
+                "multiplexed",
+                GateSchedule::multiplexed(degree),
+                Deconvolver::SimplexFast,
+            ),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &schedule,
+                |b, schedule| {
+                    b.iter(|| {
+                        let mut rng = ChaCha8Rng::seed_from_u64(1);
+                        let data = acquire(
+                            &inst,
+                            &workload,
+                            schedule,
+                            10,
+                            AcquireOptions::default(),
+                            &mut rng,
+                        );
+                        black_box(method.deconvolve(schedule, &data))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

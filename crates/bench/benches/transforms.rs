@@ -1,0 +1,67 @@
+//! Microbenchmarks of the transform kernels: direct vs FFT vs fast
+//! m-sequence correlation, and the FWHT butterfly itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ims_prs::{FastMTransform, MSequence, SimplexMatrix};
+use ims_signal::correlate::{circular_correlate_direct, circular_correlate_fft};
+use ims_signal::fwht::fwht;
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n).map(|k| ((k * 37 + 11) % 101) as f64).collect()
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msequence_deconvolution");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for degree in [7u32, 9, 11] {
+        let seq = MSequence::new(degree);
+        let n = seq.len();
+        let y = signal(n);
+        let pm1 = seq.as_pm1();
+        let transform = FastMTransform::new(&seq);
+        let simplex = SimplexMatrix::new(seq.clone());
+
+        if degree <= 9 {
+            group.bench_with_input(BenchmarkId::new("direct_O(N2)", n), &n, |b, _| {
+                b.iter(|| black_box(circular_correlate_direct(&pm1, &y)))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("fft_O(NlogN)", n), &n, |b, _| {
+            b.iter(|| black_box(circular_correlate_fft(&pm1, &y)))
+        });
+        group.bench_with_input(BenchmarkId::new("fast_hadamard", n), &n, |b, _| {
+            b.iter(|| black_box(transform.deconvolve(&y)))
+        });
+        if degree <= 9 {
+            group.bench_with_input(BenchmarkId::new("simplex_inverse_O(N2)", n), &n, |b, _| {
+                b.iter(|| black_box(simplex.inverse_apply(&y)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fwht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fwht");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for bits in [8u32, 10, 12, 14] {
+        let m = 1usize << bits;
+        let x = signal(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let mut buf = x.clone();
+                fwht(&mut buf);
+                black_box(buf)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_correlation, bench_fwht);
+criterion_main!(benches);

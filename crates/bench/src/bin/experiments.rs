@@ -1,0 +1,48 @@
+//! Experiment runner: regenerates every table/figure of the evaluation.
+//!
+//! ```text
+//! experiments [all | e1 e2 …] [--quick] [--json DIR]
+//! ```
+
+use htims_bench::experiments::{self, ALL};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| a.starts_with('e') && a.len() <= 3)
+        .cloned()
+        .collect();
+    if ids.is_empty() || args.iter().any(|a| a == "all") {
+        ids = ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    for id in &ids {
+        let start = std::time::Instant::now();
+        match experiments::run(id, quick) {
+            Some(table) => {
+                println!("{}", table.render());
+                println!(
+                    "[{} completed in {:.2}s]\n",
+                    id,
+                    start.elapsed().as_secs_f64()
+                );
+                if let Some(dir) = &json_dir {
+                    std::fs::create_dir_all(dir).expect("create json dir");
+                    let path = format!("{dir}/{id}.json");
+                    let mut file = std::fs::File::create(&path).expect("create json file");
+                    file.write_all(table.to_json().as_bytes())
+                        .expect("write json");
+                }
+            }
+            None => eprintln!("unknown experiment id: {id}"),
+        }
+    }
+}

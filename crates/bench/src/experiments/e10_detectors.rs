@@ -1,0 +1,72 @@
+//! E10 — ADC vs TDC detection at multiplexed ion fluxes (table/figure:
+//! response linearity curves).
+//!
+//! Shape target (Belov 2008, entry 22): the TDC saturates once more than
+//! ~one ion per bin per extraction arrives (registering at most one hit),
+//! while the ADC stays linear — the reason the dynamically-multiplexed
+//! instrument switched to ADC detection.
+
+use super::common;
+use crate::table::{f, Table};
+use ims_physics::detector::{AdcDetector, TdcDetector};
+
+/// Runs E10.
+pub fn run(quick: bool) -> Table {
+    let fluxes: &[f64] = if quick {
+        &[0.1, 5.0]
+    } else {
+        &[0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0]
+    };
+    let extractions = if quick { 500 } else { 2000 };
+    let adc = AdcDetector {
+        full_scale: 1e12,
+        ..Default::default()
+    };
+    let tdc = TdcDetector::default();
+
+    let mut table = Table::new(
+        "E10",
+        "Detector linearity vs per-extraction ion flux: ADC vs TDC",
+        &[
+            "ions/bin/extraction",
+            "ADC resp (norm)",
+            "TDC resp (norm)",
+            "TDC loss",
+        ],
+    );
+
+    let mut rng = common::rng(1000);
+    // Zero-signal baseline: clamping negative noise at zero biases the raw
+    // mean upward; subtract it the way a real acquisition subtracts its
+    // dark baseline.
+    let mut baseline = 0.0;
+    for _ in 0..extractions {
+        baseline += adc.digitize(&mut rng, &[0.0])[0];
+    }
+    baseline /= extractions as f64;
+
+    for &flux in fluxes {
+        // Monte-Carlo ADC response over `extractions` frames.
+        let mut adc_total = 0.0;
+        for _ in 0..extractions {
+            adc_total += adc.digitize(&mut rng, &[flux])[0];
+        }
+        let adc_norm = (adc_total / extractions as f64 - baseline)
+            / adc.expected_response(flux);
+
+        let tdc_counts = tdc.digitize(&mut rng, &[flux], extractions)[0];
+        // Normalised to the no-dead-time expectation η·λ·extractions.
+        let tdc_ideal = tdc.efficiency * flux * extractions as f64;
+        let tdc_norm = tdc_counts / tdc_ideal;
+
+        table.row(vec![
+            f(flux),
+            f(adc_norm),
+            f(tdc_norm),
+            f(1.0 - tdc_norm),
+        ]);
+    }
+    table.note("responses normalised to the ideal linear detector (1.0 = linear)");
+    table.note("shape target: ADC ≈1.0 throughout; TDC rolls off above ~0.5 ions/bin/extraction");
+    table
+}

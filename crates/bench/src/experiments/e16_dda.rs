@@ -1,0 +1,149 @@
+//! E16 — DDA precursor selection: TopN vs exclusion lists over replicate
+//! runs (table).
+//!
+//! Source: entry 13 ("Advanced Precursor Ion Selection Algorithms for
+//! Increased Depth of Bottom-Up Proteomic Profiling"): exclusion of
+//! previously fragmented precursors reduced replicate overlap to ~10 % and
+//! yielded 29 % more peptides beyond the TopN saturation level; excluding
+//! only *identified* precursors added a further ~10 %. Shape target: plain
+//! TopN saturates across replicates; both exclusion policies keep digging;
+//! identified-only exclusion ends highest.
+
+use super::common;
+use crate::table::{f, Table};
+use htims_core::acquisition::GateSchedule;
+use htims_core::dda::{run_series, DdaConfig, ExclusionPolicy};
+use htims_core::deconvolution::Deconvolver;
+use htims_core::lcms::LcSample;
+use ims_physics::lc::LcGradient;
+use ims_physics::peptide::{spike_peptides, synthetic_protein, tryptic_digest, Peptide};
+
+/// Runs E16.
+pub fn run(quick: bool) -> Table {
+    let degree = 6;
+    let n = (1usize << degree) - 1;
+    let n_runs = if quick { 2 } else { 4 };
+    let lc_steps = if quick { 8 } else { 16 };
+    let frames = if quick { 4 } else { 8 };
+    let n_proteins = if quick { 2 } else { 6 };
+
+    let mut peptides: Vec<Peptide> = spike_peptides();
+    for p in 0..n_proteins {
+        peptides.extend(
+            tryptic_digest(&synthetic_protein(90 + p as u64, 300), 0, 7)
+                .into_iter()
+                .take(12),
+        );
+    }
+    // Wide abundance ladder so weak precursors need repeated attempts.
+    let sample = LcSample {
+        peptides: peptides
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), 10.0f64.powf(-2.0 * i as f64 / peptides.len() as f64)))
+            .collect(),
+    };
+    let inst = common::instrument(n, 800, 0.1);
+    let schedule = GateSchedule::multiplexed(degree);
+    let method = Deconvolver::Weighted { lambda: 1e-6 };
+    let gradient = LcGradient::default();
+
+    let mut table = Table::new(
+        "E16",
+        "DDA precursor selection: cumulative unique identifications over replicate runs",
+        &[
+            "policy",
+            "run 1",
+            "run 2",
+            "run 3",
+            "run 4",
+            "events",
+            "redundant",
+        ],
+    );
+
+    // Rows 1–3: perfectly reproducible chromatography. Rows 4–5: ±25 s
+    // retention drift between replicates — where the *aligned* exclusion
+    // list earns its name.
+    let cases: Vec<(&str, DdaConfig)> = vec![
+        (
+            "TopN (no exclusion)",
+            DdaConfig {
+                top_n: 3,
+                policy: ExclusionPolicy::None,
+                ..Default::default()
+            },
+        ),
+        (
+            "exclude fragmented",
+            DdaConfig {
+                top_n: 3,
+                policy: ExclusionPolicy::Fragmented,
+                ..Default::default()
+            },
+        ),
+        (
+            "exclude identified only",
+            DdaConfig {
+                top_n: 3,
+                policy: ExclusionPolicy::Identified,
+                ..Default::default()
+            },
+        ),
+        (
+            "drift 25s, unaligned list",
+            DdaConfig {
+                top_n: 3,
+                policy: ExclusionPolicy::Fragmented,
+                rt_drift_s: 25.0,
+                exclusion_step_tol: 0,
+                ..Default::default()
+            },
+        ),
+        (
+            "drift 25s, aligned list",
+            DdaConfig {
+                top_n: 3,
+                policy: ExclusionPolicy::Fragmented,
+                rt_drift_s: 25.0,
+                exclusion_step_tol: 1,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, cfg) in cases {
+        let mut rng = common::rng(1600);
+        let series = run_series(
+            &inst,
+            &sample,
+            &gradient,
+            &schedule,
+            &method,
+            lc_steps,
+            frames,
+            &cfg,
+            n_runs,
+            &mut rng,
+        );
+        let mut row = vec![name.to_string()];
+        for r in 0..4 {
+            row.push(
+                series
+                    .cumulative_unique
+                    .get(r)
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        row.push(series.msms_events.to_string());
+        row.push(f(series.redundant_fraction));
+        table.row(row);
+    }
+    table.note(format!(
+        "{} peptides over 2 orders of abundance; Top3 per LC step, {lc_steps} steps, {n_runs} replicates",
+        peptides.len()
+    ));
+    table.note("shape target: TopN saturates; exclusion keeps digging (+~29%); identified-only exclusion ends highest");
+    table.note("drift rows: the unaligned list re-fragments drifted precursors; alignment (±1 step) restores the gain");
+    table
+}

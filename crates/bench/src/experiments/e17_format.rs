@@ -1,0 +1,132 @@
+//! E17 — storage format comparison on a real acquired block (table).
+//!
+//! Source: entry 17 ("An efficient data format for mass spectrometry-based
+//! proteomics"): XML-style text formats are inefficient for large numeric
+//! MS datasets; a database-style binary layout yields multiple-fold gains
+//! in storage size and data-retrieval time. Shape target: binary beats the
+//! text baseline severalfold on size and an order of magnitude on decode
+//! time; zero-run-sparse coding wins further on the (mostly empty) raw
+//! accumulation maps.
+
+use super::common;
+use crate::table::{f, Table};
+use htims_core::acquisition::GateSchedule;
+use htims_core::format::StoredBlock;
+use ims_physics::Workload;
+
+/// Runs E17.
+pub fn run(quick: bool) -> Table {
+    let degree = 8;
+    let n = (1usize << degree) - 1;
+    let mz_bins = if quick { 500 } else { 2000 };
+    let frames = if quick { 10 } else { 50 };
+
+    let inst = common::instrument(n, mz_bins, 0.1);
+    let workload = Workload::complex_digest(55, 5, 20.0);
+    let schedule = GateSchedule::multiplexed(degree);
+    // Background off: the raw accumulation map keeps its natural sparsity
+    // (real systems threshold the baseline before storage for the same
+    // reason).
+    let data = common::acquire_with(&inst, &workload, &schedule, frames, true, 0.0, 1700);
+    let block = StoredBlock {
+        frames,
+        bin_width_s: inst.bin_width_s,
+        mz_min: inst.tof.mz_min,
+        mz_max: inst.tof.mz_max,
+        map: data.accumulated.clone(),
+    };
+    let occupancy = block.map.data().iter().filter(|&&v| v != 0.0).count() as f64
+        / block.map.data().len() as f64;
+
+    let mut table = Table::new(
+        "E17",
+        "Storage formats for one accumulated block (text vs dense vs sparse binary)",
+        &["format", "size (KiB)", "vs JSON", "encode (ms)", "decode (ms)"],
+    );
+    table.note(format!(
+        "block {} x {} cells, {:.1}% occupied",
+        n,
+        mz_bins,
+        100.0 * occupancy
+    ));
+
+    let time = |f: &mut dyn FnMut()| -> f64 {
+        let reps = 5;
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        start.elapsed().as_secs_f64() * 1e3 / reps as f64
+    };
+
+    // JSON text baseline.
+    let mut json = String::new();
+    let enc_json = time(&mut || json = block.to_json());
+    let json_size = json.len();
+    let dec_json = time(&mut || {
+        let _ = StoredBlock::from_json(&json).unwrap();
+    });
+    table.row(vec![
+        "JSON text (XML-like baseline)".into(),
+        f(json_size as f64 / 1024.0),
+        "1.0x".into(),
+        f(enc_json),
+        f(dec_json),
+    ]);
+
+    // Dense binary.
+    let mut dense = bytes::Bytes::new();
+    let enc_dense = time(&mut || dense = block.to_binary_dense());
+    let dec_dense = time(&mut || {
+        let _ = StoredBlock::from_binary(dense.clone()).unwrap();
+    });
+    table.row(vec![
+        "dense binary f32".into(),
+        f(dense.len() as f64 / 1024.0),
+        format!("{}x", f(json_size as f64 / dense.len() as f64)),
+        f(enc_dense),
+        f(dec_dense),
+    ]);
+
+    // Sparse binary.
+    let mut sparse = bytes::Bytes::new();
+    let enc_sparse = time(&mut || sparse = block.to_binary_sparse());
+    let dec_sparse = time(&mut || {
+        let _ = StoredBlock::from_binary(sparse.clone()).unwrap();
+    });
+    table.row(vec![
+        "sparse binary (zero-run)".into(),
+        f(sparse.len() as f64 / 1024.0),
+        format!("{}x", f(json_size as f64 / sparse.len() as f64)),
+        f(enc_sparse),
+        f(dec_sparse),
+    ]);
+
+    // Thresholded block: sub-noise cells zeroed before storage (standard
+    // archival practice — the noise floor carries no information).
+    let sigma = ims_signal::stats::mad_sigma(block.map.data());
+    let mut thresholded = block.clone();
+    let cut = 3.0 * sigma;
+    for v in thresholded.map.data_mut().iter_mut() {
+        if *v < cut {
+            *v = 0.0;
+        }
+    }
+    let t_occupancy = thresholded.map.data().iter().filter(|&&v| v != 0.0).count() as f64
+        / thresholded.map.data().len() as f64;
+    let mut t_sparse = bytes::Bytes::new();
+    let enc_t = time(&mut || t_sparse = thresholded.to_binary_sparse());
+    let dec_t = time(&mut || {
+        let _ = StoredBlock::from_binary(t_sparse.clone()).unwrap();
+    });
+    table.row(vec![
+        format!("3σ-thresholded sparse ({:.1}% occ.)", 100.0 * t_occupancy),
+        f(t_sparse.len() as f64 / 1024.0),
+        format!("{}x", f(json_size as f64 / t_sparse.len() as f64)),
+        f(enc_t),
+        f(dec_t),
+    ]);
+
+    table.note("shape target: binary severalfold smaller and ~10x faster to decode than text; sparse wins further at low occupancy");
+    table
+}

@@ -1,0 +1,98 @@
+//! E18 — separating phosphopeptide localization variants by IMS (table).
+//!
+//! Source: entry 14 ("Ultrasensitive Identification of Localization
+//! Variants of Modified Peptides Using IMS"): variants that co-elute in LC
+//! and share MS¹ mass separate substantially in the drift tube even at a
+//! moderate resolving power (~80) for the usual 2+ and 3+ ESI charge
+//! states, and pre-heating the ions in the funnel trap adjusts the
+//! conformer distribution for better separation. Shape target: a
+//! substantial fraction of variant pairs resolve at R≈80–170; 3+ ions and
+//! heated ions resolve more pairs.
+
+use crate::table::{f, Table};
+use ims_physics::modification::single_phospho_variants;
+use ims_physics::peptide::Peptide;
+use ims_physics::DriftTube;
+
+/// Runs E18.
+pub fn run(quick: bool) -> Table {
+    // S/T/Y-rich tryptic peptides (kinase-substrate-like sequences).
+    let peptides = [
+        "LGSSEVEQVQLTAYR",
+        "TFTDYAESVSQLK",
+        "GSYSLTPGYSSPR",
+        "VSTPTSPGSLRK",
+        "AYSLFDTPSHSSK",
+    ];
+    let peptides: &[&str] = if quick { &peptides[..2] } else { &peptides };
+    let tube = DriftTube::default();
+
+    let mut table = Table::new(
+        "E18",
+        "Phosphopeptide localization variants resolved by drift-time separation",
+        &[
+            "condition",
+            "variant pairs",
+            "resolved",
+            "fraction",
+            "median |Δt|/FWHM",
+        ],
+    );
+
+    for (label, charge, heating) in [
+        ("2+, ambient trap", 2u32, 1.0),
+        ("3+, ambient trap", 3u32, 1.0),
+        ("2+, heated trap", 2u32, 1.6),
+        ("3+, heated trap", 3u32, 1.6),
+    ] {
+        let mut pairs = 0usize;
+        let mut resolved = 0usize;
+        let mut separations = Vec::new();
+        for seq in peptides {
+            let base = Peptide::new(*seq);
+            let variants = single_phospho_variants(&base);
+            // Drift times and peak widths of every variant at this charge.
+            let ions: Vec<(f64, f64)> = variants
+                .iter()
+                .map(|v| {
+                    let sp = ims_physics::IonSpecies::new(
+                        v.name(),
+                        v.monoisotopic_mass(),
+                        charge,
+                        v.ccs_a2(charge, heating),
+                        1.0,
+                    );
+                    let t = tube.drift_time_s(&sp);
+                    let fwhm = t / tube.resolving_power(charge);
+                    (t, fwhm)
+                })
+                .collect();
+            for (i, a) in ions.iter().enumerate() {
+                for b in ions.iter().skip(i + 1) {
+                    pairs += 1;
+                    let dt = (a.0 - b.0).abs();
+                    let fwhm = a.1.max(b.1);
+                    separations.push(dt / fwhm);
+                    if dt > fwhm {
+                        resolved += 1;
+                    }
+                }
+            }
+        }
+        let median = ims_signal::stats::median(&separations);
+        table.row(vec![
+            label.to_string(),
+            pairs.to_string(),
+            resolved.to_string(),
+            f(resolved as f64 / pairs.max(1) as f64),
+            f(median),
+        ]);
+    }
+    table.note(format!(
+        "diffusion-limited R: {:.0} (2+), {:.0} (3+); resolved = |Δt| > FWHM",
+        tube.resolving_power(2),
+        tube.resolving_power(3)
+    ));
+    table.note("shape target: substantial fraction resolved at moderate R; 3+ and trap heating resolve more");
+    table
+}

@@ -1,0 +1,103 @@
+//! E3 — deconvolution throughput: CPU software vs FPGA model, against the
+//! real-time budget (table).
+//!
+//! One accumulated block (N = 511 drift × 1000 m/z) must be deconvolved
+//! within its own acquisition period for the instrument to stream
+//! indefinitely. Shape target: the modelled FPGA sustains real time with
+//! margin; single-core software is marginal; multi-core software recovers
+//! the margin (this is the XD1 story — the FPGA earns its keep).
+
+use super::common;
+use crate::table::{f, Table};
+use htims_core::acquisition::GateSchedule;
+use htims_core::deconvolution::Deconvolver;
+use htims_core::parallel::deconvolve_with_threads;
+use ims_fpga::deconv::{DeconvConfig, DeconvCore};
+use ims_fpga::FpgaDevice;
+use ims_physics::Workload;
+use ims_prs::MSequence;
+
+/// Runs E3.
+pub fn run(quick: bool) -> Table {
+    let degree = 9;
+    let n = (1usize << degree) - 1;
+    let mz_bins = if quick { 200 } else { 1000 };
+    let frames = if quick { 5 } else { 20 };
+
+    let inst = common::instrument(n, mz_bins, 0.1);
+    let workload = Workload::three_peptide_mix();
+    let schedule = GateSchedule::multiplexed(degree);
+    let data = common::acquire_with(&inst, &workload, &schedule, frames, true, 0.02, 31);
+
+    // The block budget: the accumulated block spans `frames` IMS frames.
+    let block_period_s = frames as f64 * inst.frame_duration_s();
+
+    let mut table = Table::new(
+        "E3",
+        "Deconvolution throughput per accumulated block (511 x m/z)",
+        &["engine", "time/block (ms)", "blocks/s", "real-time margin"],
+    );
+    table.note(format!(
+        "block = {} drift x {} m/z bins; acquisition period {:.1} ms",
+        n,
+        mz_bins,
+        block_period_s * 1e3
+    ));
+
+    // Software, 1 thread and all cores (deduplicated on 1-core machines).
+    let method = Deconvolver::SimplexFast;
+    let mut counts = vec![1usize];
+    if num_threads() > 1 {
+        counts.push(num_threads());
+    }
+    for threads in counts {
+        let (_, secs) = deconvolve_with_threads(&method, &schedule, &data, threads);
+        table.row(vec![
+            format!("software simplex-fast ({threads} thr)"),
+            f(secs * 1e3),
+            f(1.0 / secs),
+            f(block_period_s / secs),
+        ]);
+    }
+    let weighted = Deconvolver::Weighted { lambda: 1e-6 };
+    let (_, secs) = deconvolve_with_threads(&weighted, &schedule, &data, num_threads());
+    table.row(vec![
+        format!("software weighted-FFT ({} thr)", num_threads()),
+        f(secs * 1e3),
+        f(1.0 / secs),
+        f(block_period_s / secs),
+    ]);
+
+    // FPGA model at two device clocks / parallelism points.
+    let seq = MSequence::new(degree);
+    for (device, cols, bfs) in [
+        (FpgaDevice::xc2vp50(), 4usize, 4usize),
+        (FpgaDevice::xc4vlx160(), 8, 8),
+    ] {
+        let core = DeconvCore::new(
+            &seq,
+            DeconvConfig {
+                parallel_columns: cols,
+                butterflies_per_column: bfs,
+                ..Default::default()
+            },
+        );
+        let cycles = core.cycles_per_block(mz_bins);
+        let secs = cycles as f64 / device.clock_hz;
+        table.row(vec![
+            format!("FPGA model {} ({cols}col x {bfs}bf)", device.name),
+            f(secs * 1e3),
+            f(1.0 / secs),
+            f(block_period_s / secs),
+        ]);
+    }
+
+    table.note("shape target: FPGA model real-time with margin; 1-core software marginal");
+    table
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}

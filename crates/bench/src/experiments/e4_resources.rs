@@ -1,0 +1,123 @@
+//! E4 — FPGA resource and bandwidth budget (table).
+//!
+//! Sweeps the capture/deconvolution design point (m/z bins retained on
+//! chip, accumulator width, column parallelism) against the XD1's
+//! Virtex-II Pro and the portability-target instrument board. Shape
+//! target: full-m/z-resolution capture does NOT fit — on-chip m/z binning
+//! is mandatory — and the design that fits also sustains real time.
+
+use crate::table::{f, Table};
+use ims_fpga::deconv::{DeconvConfig, DeconvCore};
+use ims_fpga::{AccumulatorCore, DmaLink, FpgaDevice, MzBinner, ResourceReport};
+use ims_prs::MSequence;
+
+/// Runs E4.
+pub fn run(quick: bool) -> Table {
+    let degree = 9;
+    let n = (1usize << degree) - 1;
+    let seq = MSequence::new(degree);
+    let frame_duration_s = 0.09; // default instrument frame
+    let frames_per_block = 50;
+
+    let mut table = Table::new(
+        "E4",
+        "FPGA resource & bandwidth budget (N = 511)",
+        &[
+            "device",
+            "m/z bins",
+            "acc bits",
+            "cols",
+            "BRAM used/avail",
+            "DSP",
+            "fits",
+            "rt margin",
+            "link util",
+            "viable",
+        ],
+    );
+
+    let points: &[(usize, u32, usize)] = if quick {
+        &[(100, 32, 4), (2000, 32, 4)]
+    } else {
+        &[
+            (50, 24, 2),
+            (100, 32, 4),
+            (200, 32, 4),
+            (400, 32, 8),
+            (1000, 32, 8),
+            (2000, 32, 8),
+        ]
+    };
+
+    for device in [FpgaDevice::xc2vp50(), FpgaDevice::instrument_board()] {
+        for &(mz_bins, acc_bits, cols) in points {
+            let acc = AccumulatorCore::new(n, mz_bins, acc_bits);
+            let deconv = DeconvCore::new(
+                &seq,
+                DeconvConfig {
+                    parallel_columns: cols,
+                    butterflies_per_column: 4,
+                    ..Default::default()
+                },
+            );
+            let report = ResourceReport::evaluate(
+                &device,
+                &acc,
+                &deconv,
+                &DmaLink::rapidarray(),
+                frames_per_block,
+                frame_duration_s,
+            );
+            table.row(vec![
+                device.name.clone(),
+                mz_bins.to_string(),
+                acc_bits.to_string(),
+                cols.to_string(),
+                format!("{}/{}", report.bram_used, report.bram_available),
+                format!("{}/{}", report.dsp_used, report.dsp_available),
+                report.fits.to_string(),
+                f(report.realtime_margin),
+                f(report.link_utilization),
+                report.viable().to_string(),
+            ]);
+        }
+    }
+    // The design answer: full-resolution input with an on-chip 2000→100
+    // binner in front of the accumulator.
+    for device in [FpgaDevice::xc2vp50(), FpgaDevice::instrument_board()] {
+        let binner = MzBinner::uniform(2000, 100);
+        let acc = AccumulatorCore::new(n, 100, 32);
+        let deconv = DeconvCore::new(
+            &seq,
+            DeconvConfig {
+                parallel_columns: 4,
+                butterflies_per_column: 4,
+                ..Default::default()
+            },
+        );
+        let report = ResourceReport::evaluate_with_binner(
+            &device,
+            &binner,
+            &acc,
+            &deconv,
+            &DmaLink::rapidarray(),
+            frames_per_block,
+            frame_duration_s,
+        );
+        table.row(vec![
+            device.name.clone(),
+            "2000→100 (binned)".into(),
+            "32".into(),
+            "4".into(),
+            format!("{}/{}", report.bram_used, report.bram_available),
+            format!("{}/{}", report.dsp_used, report.dsp_available),
+            report.fits.to_string(),
+            f(report.realtime_margin),
+            f(report.link_utilization),
+            report.viable().to_string(),
+        ]);
+    }
+    table.note("shape target: ≤~200 m/z bins fits the XD1 FPGA; 2000 bins needs host-side processing");
+    table.note("the binned rows take the full-resolution stream and fold it on chip — the deployable design");
+    table
+}

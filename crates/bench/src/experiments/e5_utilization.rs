@@ -1,0 +1,72 @@
+//! E5 — ion utilization / duty cycle by acquisition mode (figure: bar
+//! chart series).
+//!
+//! Shape target (Clowers 2008 / Belov 2008, entries 24/26/46): signal
+//! averaging uses <1 % of the beam; classic HT multiplexing ≈50 %; trap-
+//! enhanced multiplexing exceeds 50 % (approaching the trap's release
+//! efficiency); SA+trap recovers ions but concentrates them into one huge
+//! space-charge-limited packet.
+
+use super::common;
+use crate::table::{f, Table};
+use htims_core::acquisition::GateSchedule;
+use ims_physics::Workload;
+
+/// Runs E5.
+pub fn run(quick: bool) -> Table {
+    let degree = 8;
+    let n = (1usize << degree) - 1;
+    let frames = if quick { 3 } else { 10 };
+    let mz_bins = 200;
+    let workload = Workload::three_peptide_mix();
+
+    let mut table = Table::new(
+        "E5",
+        "Ion utilization and packet charge by acquisition mode",
+        &[
+            "mode",
+            "duty cycle",
+            "ion utilization",
+            "max packet (e)",
+            "openings/frame",
+        ],
+    );
+
+    let modes: Vec<(&str, GateSchedule, bool)> = vec![
+        ("SA continuous", GateSchedule::signal_averaging(n), false),
+        ("SA + trap", GateSchedule::signal_averaging(n), true),
+        ("MP continuous", GateSchedule::multiplexed(degree), false),
+        ("MP + trap", GateSchedule::multiplexed(degree), true),
+    ];
+    let mut modes = modes;
+    if !quick {
+        // Oversampled modified sequence needs its own instrument size.
+        modes.push((
+            "OS-MP (m=2) + trap",
+            GateSchedule::oversampled(degree, 2),
+            true,
+        ));
+    }
+
+    for (i, (name, schedule, use_trap)) in modes.into_iter().enumerate() {
+        let bins = schedule.len();
+        let inst = common::instrument(bins, mz_bins, 0.1);
+        let data =
+            common::acquire_with(&inst, &workload, &schedule, frames, use_trap, 0.0, 500 + i as u64);
+        let openings = data
+            .schedule_bits
+            .iter()
+            .enumerate()
+            .filter(|&(k, &b)| b && !data.schedule_bits[(k + bins - 1) % bins])
+            .count();
+        table.row(vec![
+            name.to_string(),
+            f(schedule.duty_cycle()),
+            f(data.ion_utilization),
+            f(data.packet_charges),
+            openings.to_string(),
+        ]);
+    }
+    table.note("shape target: SA <1% utilization; MP ≈50%; trap-MP >50%; SA+trap packets >10^4 e (Coulomb-limited)");
+    table
+}

@@ -1,0 +1,66 @@
+//! E8 — CPU software scaling with threads (table).
+//!
+//! The stand-in for the XD1's multi-Opteron software component: m/z
+//! columns are embarrassingly parallel, so deconvolution should scale
+//! nearly linearly until the memory system saturates.
+
+use super::common;
+use crate::table::{f, Table};
+use htims_core::acquisition::GateSchedule;
+use htims_core::deconvolution::Deconvolver;
+use htims_core::parallel::deconvolve_with_threads;
+use ims_physics::Workload;
+
+/// Runs E8.
+pub fn run(quick: bool) -> Table {
+    let degree = 9;
+    let n = (1usize << degree) - 1;
+    let mz_bins = if quick { 300 } else { 2000 };
+    let frames = 5;
+
+    let inst = common::instrument(n, mz_bins, 0.1);
+    let workload = Workload::three_peptide_mix();
+    let schedule = GateSchedule::multiplexed(degree);
+    let data = common::acquire_with(&inst, &workload, &schedule, frames, true, 0.02, 800);
+
+    let max_threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4);
+    // Always sweep 1..4 so the harness demonstrates scaling even on small
+    // machines (oversubscribed rows are flagged by the efficiency column).
+    let mut counts = vec![1usize, 2, 4];
+    let mut t = 8;
+    while t <= max_threads {
+        counts.push(t);
+        t *= 2;
+    }
+    if quick {
+        counts.truncate(2);
+    }
+
+    let mut table = Table::new(
+        "E8",
+        "Software deconvolution scaling (weighted FFT inverse, 511 x m/z block)",
+        &["threads", "time (ms)", "speedup", "efficiency"],
+    );
+    table.note(format!("block = {n} x {mz_bins}; machine has {max_threads} hardware threads"));
+
+    let method = Deconvolver::Weighted { lambda: 1e-6 };
+    let mut t1 = None;
+    for &threads in &counts {
+        // Best of 3 to tame scheduler noise.
+        let secs = (0..3)
+            .map(|_| deconvolve_with_threads(&method, &schedule, &data, threads).1)
+            .fold(f64::INFINITY, f64::min);
+        let base = *t1.get_or_insert(secs);
+        let speedup = base / secs;
+        table.row(vec![
+            threads.to_string(),
+            f(secs * 1e3),
+            f(speedup),
+            f(speedup / threads as f64),
+        ]);
+    }
+    table.note("shape target: near-linear speedup at low counts, tapering at memory bandwidth");
+    table
+}

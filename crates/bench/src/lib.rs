@@ -1,0 +1,12 @@
+//! Experiment harness: regenerates every table and figure of the
+//! evaluation (see EXPERIMENTS.md for the index and the paper-vs-measured
+//! record).
+//!
+//! Each `eN` module runs one experiment and returns a [`table::Table`];
+//! the `experiments` binary renders them as ASCII and JSON. Timing-type
+//! experiments additionally have criterion benches under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;

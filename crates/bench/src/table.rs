@@ -1,0 +1,131 @@
+//! Result tables: the uniform output format of every experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// One experiment's result table (a paper table or the series behind a
+/// figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment id, e.g. "E1".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (pre-formatted strings).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (shape targets, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row; panics if the width differs from the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders the table as aligned ASCII.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// JSON form (for EXPERIMENTS.md regeneration).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialises")
+    }
+}
+
+/// Formats a float with 3 significant-ish decimals.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0", "demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let s = t.render();
+        assert!(s.contains("E0"));
+        assert!(s.contains("long-header"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = Table::new("E1", "x", &["c"]);
+        t.row(vec!["v".into()]);
+        let j = t.to_json();
+        let back: Table = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.rows[0][0], "v");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(3.14159), "3.142");
+        assert!(f(12345.0).contains('e'));
+        assert!(f(0.0001).contains('e'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = Table::new("E", "t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Serialisable experiment configuration — every run in EXPERIMENTS.md is
+//! reproducible from one of these plus its seed.
+
+use crate::acquisition::{AcquireOptions, GateSchedule};
+use ims_physics::gate::GateModel;
+use ims_physics::{Instrument, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Which analyte mixture to run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// One bradykinin 2+ calibrant.
+    SingleCalibrant,
+    /// Bradykinin / angiotensin I / fibrinopeptide A.
+    ThreePeptideMix,
+    /// Tryptic digest of synthetic proteins.
+    ComplexDigest {
+        /// Digest RNG seed.
+        seed: u64,
+        /// Number of proteins.
+        n_proteins: usize,
+        /// Total matrix abundance.
+        abundance: f64,
+    },
+    /// Digest matrix plus spiked reference peptides.
+    SpikedDigest {
+        /// Digest RNG seed.
+        seed: u64,
+        /// Number of matrix proteins.
+        n_proteins: usize,
+        /// Total matrix abundance.
+        matrix_abundance: f64,
+        /// Spike abundances.
+        spikes: Vec<f64>,
+    },
+}
+
+impl WorkloadSpec {
+    /// Materialises the workload.
+    pub fn build(&self) -> Workload {
+        match self {
+            WorkloadSpec::SingleCalibrant => Workload::single_calibrant(),
+            WorkloadSpec::ThreePeptideMix => Workload::three_peptide_mix(),
+            WorkloadSpec::ComplexDigest {
+                seed,
+                n_proteins,
+                abundance,
+            } => Workload::complex_digest(*seed, *n_proteins, *abundance),
+            WorkloadSpec::SpikedDigest {
+                seed,
+                n_proteins,
+                matrix_abundance,
+                spikes,
+            } => Workload::spiked_digest(*seed, *n_proteins, *matrix_abundance, spikes),
+        }
+    }
+}
+
+/// Which gate schedule to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleSpec {
+    /// Conventional single-pulse averaging.
+    SignalAveraging,
+    /// Classic m-sequence multiplexing.
+    Multiplexed,
+    /// Modified-oversampled multiplexing with the given factor.
+    Oversampled {
+        /// Oversampling factor.
+        factor: usize,
+    },
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Master RNG seed.
+    pub seed: u64,
+    /// PRS degree `n` (sequence length `2ⁿ − 1`).
+    pub sequence_degree: u32,
+    /// Gate schedule.
+    pub schedule: ScheduleSpec,
+    /// Frames (PRS cycles) accumulated.
+    pub frames: u64,
+    /// Gate defect level (0 = ideal).
+    pub gate_defect: f64,
+    /// Use the ion funnel trap.
+    pub use_trap: bool,
+    /// Chemical background mean per cell per frame.
+    pub background_mean: f64,
+    /// TOF m/z bins.
+    pub mz_bins: usize,
+    /// Analyte mixture.
+    pub workload: WorkloadSpec,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            seed: 2007,
+            sequence_degree: 9,
+            schedule: ScheduleSpec::Multiplexed,
+            frames: 100,
+            gate_defect: 0.1,
+            use_trap: true,
+            background_mean: 0.02,
+            mz_bins: 2000,
+            workload: WorkloadSpec::ThreePeptideMix,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Fine drift bins implied by degree and schedule.
+    pub fn drift_bins(&self) -> usize {
+        let n = (1usize << self.sequence_degree) - 1;
+        match self.schedule {
+            ScheduleSpec::Oversampled { factor } => n * factor,
+            _ => n,
+        }
+    }
+
+    /// Builds the instrument, workload, schedule, and acquisition options.
+    pub fn build(&self) -> (Instrument, Workload, GateSchedule, AcquireOptions) {
+        let mut inst = Instrument::with_drift_bins(self.drift_bins());
+        inst.tof.n_bins = self.mz_bins;
+        inst.gate = GateModel::with_defect_level(self.gate_defect);
+        let schedule = match self.schedule {
+            ScheduleSpec::SignalAveraging => GateSchedule::signal_averaging(self.drift_bins()),
+            ScheduleSpec::Multiplexed => GateSchedule::multiplexed(self.sequence_degree),
+            ScheduleSpec::Oversampled { factor } => {
+                GateSchedule::oversampled(self.sequence_degree, factor)
+            }
+        };
+        let options = AcquireOptions {
+            use_trap: self.use_trap,
+            background_mean: self.background_mean,
+        };
+        (inst, self.workload.build(), schedule, options)
+    }
+
+    /// JSON serialisation.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialises")
+    }
+
+    /// JSON deserialisation.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let cfg = ExperimentConfig {
+            schedule: ScheduleSpec::Oversampled { factor: 3 },
+            workload: WorkloadSpec::SpikedDigest {
+                seed: 5,
+                n_proteins: 10,
+                matrix_abundance: 50.0,
+                spikes: vec![0.01, 1.0],
+            },
+            ..Default::default()
+        };
+        let json = cfg.to_json();
+        let back = ExperimentConfig::from_json(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn drift_bins_track_schedule() {
+        let mut cfg = ExperimentConfig {
+            sequence_degree: 7,
+            ..Default::default()
+        };
+        assert_eq!(cfg.drift_bins(), 127);
+        cfg.schedule = ScheduleSpec::Oversampled { factor: 3 };
+        assert_eq!(cfg.drift_bins(), 381);
+    }
+
+    #[test]
+    fn build_produces_consistent_shapes() {
+        let cfg = ExperimentConfig {
+            sequence_degree: 6,
+            mz_bins: 80,
+            ..Default::default()
+        };
+        let (inst, workload, schedule, _) = cfg.build();
+        assert_eq!(inst.drift_bins, 63);
+        assert_eq!(inst.tof.n_bins, 80);
+        assert_eq!(schedule.len(), 63);
+        assert!(!workload.is_empty());
+    }
+
+    #[test]
+    fn invalid_json_is_rejected() {
+        assert!(ExperimentConfig::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! Data-dependent acquisition (DDA): TopN precursor selection with
+//! exclusion lists across replicate runs.
+//!
+//! The companion paper (entry 13, "Advanced Precursor Ion Selection
+//! Algorithms for Increased Depth of Bottom-Up Proteomic Profiling") shows
+//! that conventional TopN DDA keeps re-fragmenting the same abundant
+//! precursors: replicate runs overlap ~heavily and identifications
+//! saturate. Excluding previously fragmented precursors (via an aligned
+//! exclusion list) forces the instrument down the abundance ladder — 29 %
+//! more peptides beyond the TopN saturation level — and excluding only
+//! *identified* precursors (giving unidentified ones another chance) adds
+//! a further ~10 %.
+//!
+//! The simulation runs replicate LC-IMS-MS experiments; each LC step
+//! yields features, the TopN non-excluded features are "fragmented", and a
+//! fragmentation event identifies its peptide with an SNR-dependent
+//! success probability (weak precursors sometimes fail — the reason the
+//! two exclusion policies differ).
+
+use crate::acquisition::{acquire, AcquireOptions, GateSchedule};
+use crate::analysis::{build_library, find_features, LibraryEntry};
+use crate::deconvolution::Deconvolver;
+use crate::lcms::LcSample;
+use ims_physics::lc::LcGradient;
+use ims_physics::Instrument;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Exclusion policy across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExclusionPolicy {
+    /// Plain TopN: no memory between runs.
+    None,
+    /// Exclude every precursor fragmented in any earlier run.
+    Fragmented,
+    /// Exclude only precursors that were fragmented *and identified*
+    /// (unidentified ones get another chance).
+    Identified,
+}
+
+/// DDA method parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DdaConfig {
+    /// Precursors fragmented per LC step.
+    pub top_n: usize,
+    /// Exclusion policy.
+    pub policy: ExclusionPolicy,
+    /// Feature threshold (σ).
+    pub feature_sigma: f64,
+    /// Identification tolerance, drift bins.
+    pub drift_tol: usize,
+    /// Identification tolerance, m/z bins.
+    pub mz_tol: usize,
+    /// Exclusion-list matching tolerance, m/z bins.
+    pub exclusion_mz_tol: usize,
+    /// Exclusion-list LC alignment tolerance, steps: 0 = exact-step match
+    /// (an *unaligned* list — breaks under retention drift), ≥1 = the
+    /// aligned list of the paper.
+    pub exclusion_step_tol: usize,
+    /// Run-to-run retention drift amplitude, seconds (0 = perfectly
+    /// reproducible chromatography).
+    pub rt_drift_s: f64,
+    /// SNR at which an MS/MS event identifies with probability ~63 %.
+    pub id_snr_scale: f64,
+}
+
+impl Default for DdaConfig {
+    fn default() -> Self {
+        Self {
+            top_n: 5,
+            policy: ExclusionPolicy::None,
+            feature_sigma: 6.0,
+            drift_tol: 2,
+            mz_tol: 1,
+            exclusion_mz_tol: 2,
+            exclusion_step_tol: 1,
+            rt_drift_s: 0.0,
+            id_snr_scale: 25.0,
+        }
+    }
+}
+
+/// Result of a replicate series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DdaSeries {
+    /// Cumulative unique peptide-ion identifications after each run.
+    pub cumulative_unique: Vec<usize>,
+    /// Total MS/MS events triggered across the series.
+    pub msms_events: usize,
+    /// Fraction of events that re-targeted an already-identified precursor.
+    pub redundant_fraction: f64,
+}
+
+/// A fragmented-precursor record on the exclusion list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ExclusionKey {
+    lc_step: usize,
+    mz_bin_coarse: usize,
+}
+
+/// Is the (step, m/z) position excluded, within the LC alignment tolerance?
+fn is_excluded(
+    excluded: &BTreeSet<ExclusionKey>,
+    step: usize,
+    mz_bin_coarse: usize,
+    step_tol: usize,
+) -> bool {
+    let lo = step.saturating_sub(step_tol);
+    for s in lo..=step + step_tol {
+        if excluded.contains(&ExclusionKey {
+            lc_step: s,
+            mz_bin_coarse,
+        }) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs `n_runs` replicate LC-IMS-MS DDA experiments under a policy.
+#[allow(clippy::too_many_arguments)]
+pub fn run_series(
+    instrument: &Instrument,
+    sample: &LcSample,
+    gradient: &LcGradient,
+    schedule: &GateSchedule,
+    method: &Deconvolver,
+    lc_steps: usize,
+    frames_per_step: u64,
+    cfg: &DdaConfig,
+    n_runs: usize,
+    rng: &mut impl Rng,
+) -> DdaSeries {
+    let step_s = gradient.duration_s / lc_steps as f64;
+    let mut identified: BTreeSet<String> = BTreeSet::new();
+    let mut excluded: BTreeSet<ExclusionKey> = BTreeSet::new();
+    let mut cumulative = Vec::with_capacity(n_runs);
+    let mut events = 0usize;
+    let mut redundant = 0usize;
+
+    for run in 0..n_runs {
+        // Each replicate sees its own (drifted) chromatography.
+        let run_gradient = gradient.replicate(run, cfg.rt_drift_s);
+        for step in 0..lc_steps {
+            let workload = sample.workload_for_window(
+                &run_gradient,
+                step as f64 * step_s,
+                (step as f64 + 1.0) * step_s,
+                0.05,
+            );
+            if workload.is_empty() {
+                continue;
+            }
+            let data = acquire(
+                instrument,
+                &workload,
+                schedule,
+                frames_per_step,
+                AcquireOptions::default(),
+                rng,
+            );
+            let map = method.deconvolve(schedule, &data);
+            let features = find_features(&map, cfg.feature_sigma);
+            let library = build_library(instrument, &workload);
+
+            // TopN selection among non-excluded features.
+            let mut selected = 0usize;
+            for feature in &features {
+                if selected >= cfg.top_n {
+                    break;
+                }
+                let mz_bin_coarse = feature.mz_bin / (cfg.exclusion_mz_tol + 1);
+                let key = ExclusionKey {
+                    lc_step: step,
+                    mz_bin_coarse,
+                };
+                if cfg.policy != ExclusionPolicy::None
+                    && is_excluded(&excluded, step, mz_bin_coarse, cfg.exclusion_step_tol)
+                {
+                    continue;
+                }
+                selected += 1;
+                events += 1;
+
+                // "Fragment" the feature: does it correspond to a real
+                // precursor, and does the MS/MS spectrum identify it?
+                let hit: Option<&LibraryEntry> = library.iter().find(|e| {
+                    e.drift_bin.abs_diff(feature.drift_bin) <= cfg.drift_tol
+                        && e.mz_bin.abs_diff(feature.mz_bin) <= cfg.mz_tol
+                });
+                let mut was_identified = false;
+                if let Some(entry) = hit {
+                    if identified.contains(&entry.name) {
+                        redundant += 1;
+                    }
+                    let p_success = 1.0 - (-feature.snr / cfg.id_snr_scale).exp();
+                    if rng.gen::<f64>() < p_success {
+                        identified.insert(entry.name.clone());
+                        was_identified = true;
+                    }
+                }
+                match cfg.policy {
+                    ExclusionPolicy::None => {}
+                    ExclusionPolicy::Fragmented => {
+                        excluded.insert(key);
+                    }
+                    ExclusionPolicy::Identified => {
+                        if was_identified {
+                            excluded.insert(key);
+                        }
+                    }
+                }
+            }
+        }
+        cumulative.push(identified.len());
+    }
+    DdaSeries {
+        cumulative_unique: cumulative,
+        msms_events: events,
+        redundant_fraction: if events > 0 {
+            redundant as f64 / events as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ims_physics::peptide::{spike_peptides, synthetic_protein, tryptic_digest};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Instrument, LcSample, GateSchedule) {
+        let degree = 6;
+        let n = (1usize << degree) - 1;
+        let mut inst = Instrument::with_drift_bins(n);
+        inst.tof.n_bins = 600;
+        let mut peptides = spike_peptides();
+        peptides.extend(
+            tryptic_digest(&synthetic_protein(9, 300), 0, 7)
+                .into_iter()
+                .take(12),
+        );
+        (
+            inst,
+            LcSample::uniform(peptides, 0.5),
+            GateSchedule::multiplexed(degree),
+        )
+    }
+
+    #[test]
+    fn exclusion_beats_plain_topn_over_replicates() {
+        let (inst, sample, schedule) = setup();
+        let gradient = LcGradient::default();
+        let method = Deconvolver::Weighted { lambda: 1e-6 };
+        let run = |policy: ExclusionPolicy, seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            run_series(
+                &inst,
+                &sample,
+                &gradient,
+                &schedule,
+                &method,
+                10,
+                6,
+                &DdaConfig {
+                    top_n: 2,
+                    policy,
+                    ..Default::default()
+                },
+                3,
+                &mut rng,
+            )
+        };
+        let plain = run(ExclusionPolicy::None, 1);
+        let excl = run(ExclusionPolicy::Fragmented, 1);
+        assert!(
+            excl.cumulative_unique.last() > plain.cumulative_unique.last(),
+            "exclusion {:?} should beat plain {:?}",
+            excl.cumulative_unique,
+            plain.cumulative_unique
+        );
+        // Plain TopN wastes events on already-identified precursors.
+        assert!(excl.redundant_fraction < plain.redundant_fraction);
+    }
+
+    #[test]
+    fn alignment_restores_exclusion_under_drift() {
+        let (inst, sample, schedule) = setup();
+        let gradient = LcGradient::default();
+        let method = Deconvolver::Weighted { lambda: 1e-6 };
+        let run = |step_tol: usize| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            run_series(
+                &inst,
+                &sample,
+                &gradient,
+                &schedule,
+                &method,
+                10,
+                6,
+                &DdaConfig {
+                    top_n: 2,
+                    policy: ExclusionPolicy::Fragmented,
+                    rt_drift_s: 30.0,
+                    exclusion_step_tol: step_tol,
+                    ..Default::default()
+                },
+                3,
+                &mut rng,
+            )
+        };
+        let unaligned = run(0);
+        let aligned = run(1);
+        assert!(
+            aligned.cumulative_unique.last() >= unaligned.cumulative_unique.last(),
+            "aligned {:?} vs unaligned {:?}",
+            aligned.cumulative_unique,
+            unaligned.cumulative_unique
+        );
+        // The unaligned list wastes more events on drifted repeats.
+        assert!(aligned.redundant_fraction <= unaligned.redundant_fraction + 1e-9);
+    }
+
+    #[test]
+    fn cumulative_counts_are_monotone() {
+        let (inst, sample, schedule) = setup();
+        let gradient = LcGradient::default();
+        let method = Deconvolver::SimplexFast;
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let series = run_series(
+            &inst, &sample, &gradient, &schedule, &method, 8, 5,
+            &DdaConfig::default(), 3, &mut rng,
+        );
+        assert_eq!(series.cumulative_unique.len(), 3);
+        for w in series.cumulative_unique.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(series.msms_events > 0);
+    }
+}

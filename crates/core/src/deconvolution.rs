@@ -1,0 +1,237 @@
+//! Software deconvolution of acquired blocks — the floating-point reference
+//! for every method the FPGA core implements, plus the methods only the
+//! software side offers (exact/weighted Fourier inverses of the measured
+//! kernel).
+
+use crate::acquisition::{AcquiredData, GateSchedule};
+use ims_physics::DriftTofMap;
+use ims_prs::weighting::CirculantInverse;
+use ims_prs::FastMTransform;
+use serde::{Deserialize, Serialize};
+
+/// A boxed per-column solver returned by [`Deconvolver::column_solver`].
+pub type ColumnSolver<'a> = Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync + 'a>;
+
+/// A deconvolution method.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Deconvolver {
+    /// No deconvolution: signal averaging already measures the arrival
+    /// spectrum directly.
+    Identity,
+    /// The ideal fast Hadamard (simplex) inverse of the *design* sequence —
+    /// `O(M log M)` per column; exactly what the FPGA core computes.
+    /// Only valid for non-oversampled multiplexed schedules.
+    SimplexFast,
+    /// Exact Fourier inverse of the *effective* (measured) kernel. Fails on
+    /// singular kernels (plain oversampled sequences).
+    Exact,
+    /// Tikhonov-weighted Fourier inverse of the effective kernel — the
+    /// PNNL-enhanced deconvolution. `lambda` is the regularisation weight
+    /// relative to the kernel's mean spectral power.
+    Weighted {
+        /// Relative regularisation strength (e.g. 1e-4).
+        lambda: f64,
+    },
+    /// Tikhonov-weighted inverse of the *design* bits (no kernel
+    /// calibration) — the ablation showing why the measured kernel matters.
+    WeightedIdeal {
+        /// Relative regularisation strength.
+        lambda: f64,
+    },
+}
+
+impl Deconvolver {
+    /// Short display name.
+    pub fn name(&self) -> String {
+        match self {
+            Deconvolver::Identity => "identity".into(),
+            Deconvolver::SimplexFast => "simplex-fast".into(),
+            Deconvolver::Exact => "exact-inverse".into(),
+            Deconvolver::Weighted { lambda } => format!("weighted(λ={lambda})"),
+            Deconvolver::WeightedIdeal { lambda } => format!("weighted-ideal(λ={lambda})"),
+        }
+    }
+
+    /// Deconvolves every m/z column of the accumulated block.
+    ///
+    /// # Panics
+    /// Panics if the method cannot be applied to the schedule (e.g.
+    /// [`Deconvolver::SimplexFast`] on an oversampled schedule, or
+    /// [`Deconvolver::Exact`] on a singular kernel).
+    pub fn deconvolve(&self, schedule: &GateSchedule, data: &AcquiredData) -> DriftTofMap {
+        let solver = self.column_solver(schedule, data);
+        apply_columnwise(&data.accumulated, |col| solver(col))
+    }
+
+    /// Builds the per-column solver closure for this method.
+    pub fn column_solver<'a>(
+        &self,
+        schedule: &'a GateSchedule,
+        data: &AcquiredData,
+    ) -> ColumnSolver<'a> {
+        match self {
+            Deconvolver::Identity => Box::new(|col: &[f64]| col.to_vec()),
+            Deconvolver::SimplexFast => {
+                let seq = match schedule {
+                    GateSchedule::Multiplexed { seq } => seq,
+                    other => panic!(
+                        "SimplexFast requires a non-oversampled multiplexed schedule, got {}",
+                        other.name()
+                    ),
+                };
+                let transform = FastMTransform::new(seq);
+                Box::new(move |col: &[f64]| transform.deconvolve_convolution(col))
+            }
+            Deconvolver::Exact => {
+                let inv = CirculantInverse::exact(&data.effective_kernel, 1e-9)
+                    .expect("effective kernel is singular; use Weighted instead");
+                Box::new(move |col: &[f64]| inv.apply(col))
+            }
+            Deconvolver::Weighted { lambda } => {
+                let inv = CirculantInverse::weighted(
+                    &data.effective_kernel,
+                    scale_lambda(*lambda, &data.effective_kernel),
+                );
+                Box::new(move |col: &[f64]| inv.apply(col))
+            }
+            Deconvolver::WeightedIdeal { lambda } => {
+                let bits: Vec<f64> = data
+                    .schedule_bits
+                    .iter()
+                    .map(|&b| if b { 1.0 } else { 0.0 })
+                    .collect();
+                let inv = CirculantInverse::weighted(&bits, scale_lambda(*lambda, &bits));
+                Box::new(move |col: &[f64]| inv.apply(col))
+            }
+        }
+    }
+}
+
+/// Scales a relative λ by the kernel's mean spectral power so the knob is
+/// dimensionless across sequence lengths and duty cycles.
+fn scale_lambda(relative: f64, kernel: &[f64]) -> f64 {
+    let power: f64 = kernel.iter().map(|v| v * v).sum::<f64>();
+    relative * power.max(f64::MIN_POSITIVE)
+}
+
+/// Applies a column solver to every m/z column of a drift-major map.
+pub fn apply_columnwise(
+    map: &DriftTofMap,
+    solver: impl Fn(&[f64]) -> Vec<f64>,
+) -> DriftTofMap {
+    let drift = map.drift_bins();
+    let mz = map.mz_bins();
+    let mut out = DriftTofMap::zeros(drift, mz);
+    let mut column = vec![0.0; drift];
+    for m in 0..mz {
+        for (d, c) in column.iter_mut().enumerate() {
+            *c = map.at(d, m);
+        }
+        let solved = solver(&column);
+        debug_assert_eq!(solved.len(), drift);
+        for (d, &v) in solved.iter().enumerate() {
+            *out.at_mut(d, m) = v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquisition::{acquire, AcquireOptions};
+    use ims_physics::{Instrument, Workload};
+    use ims_signal::stats::pearson;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn acquire_small(
+        degree: u32,
+        frames: u64,
+        defect: f64,
+        use_trap: bool,
+    ) -> (GateSchedule, AcquiredData) {
+        let bins = (1usize << degree) - 1;
+        let mut inst = Instrument::with_drift_bins(bins);
+        inst.tof.n_bins = 150;
+        inst.gate = ims_physics::gate::GateModel::with_defect_level(defect);
+        let w = Workload::single_calibrant();
+        let schedule = GateSchedule::multiplexed(degree);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let data = acquire(
+            &inst,
+            &w,
+            &schedule,
+            frames,
+            AcquireOptions {
+                use_trap,
+                background_mean: 0.0,
+            },
+            &mut rng,
+        );
+        (schedule, data)
+    }
+
+    #[test]
+    fn simplex_fast_recovers_truth_shape() {
+        let (schedule, data) = acquire_small(7, 100, 0.0, false);
+        let out = Deconvolver::SimplexFast.deconvolve(&schedule, &data);
+        let got = out.total_ion_drift_profile();
+        let truth = data.truth.total_ion_drift_profile();
+        let r = pearson(&got, &truth);
+        assert!(r > 0.99, "pearson {r}");
+    }
+
+    #[test]
+    fn weighted_beats_simplex_on_defective_gate_with_trap() {
+        // Gate defects + gap-dependent trap release make the effective
+        // kernel differ from the design sequence; the kernel-aware weighted
+        // inverse must reconstruct better.
+        let (schedule, data) = acquire_small(7, 200, 0.4, true);
+        let truth = data.truth.total_ion_drift_profile();
+        let naive = Deconvolver::SimplexFast
+            .deconvolve(&schedule, &data)
+            .total_ion_drift_profile();
+        let weighted = Deconvolver::Weighted { lambda: 1e-6 }
+            .deconvolve(&schedule, &data)
+            .total_ion_drift_profile();
+        let r_naive = pearson(&naive, &truth);
+        let r_weighted = pearson(&weighted, &truth);
+        assert!(
+            r_weighted > r_naive,
+            "weighted {r_weighted} vs naive {r_naive}"
+        );
+    }
+
+    #[test]
+    fn exact_equals_weighted_at_zero_lambda() {
+        let (schedule, data) = acquire_small(6, 50, 0.1, false);
+        let a = Deconvolver::Exact.deconvolve(&schedule, &data);
+        let b = Deconvolver::Weighted { lambda: 0.0 }.deconvolve(&schedule, &data);
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let (schedule, data) = acquire_small(5, 10, 0.1, false);
+        let out = Deconvolver::Identity.deconvolve(&schedule, &data);
+        assert_eq!(out.data(), data.accumulated.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "SimplexFast requires")]
+    fn simplex_fast_rejects_sa_schedule() {
+        let (_, data) = acquire_small(5, 1, 0.0, false);
+        let sa = GateSchedule::signal_averaging(31);
+        let _ = Deconvolver::SimplexFast.deconvolve(&sa, &data);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Deconvolver::Identity.name(), "identity");
+        assert_eq!(Deconvolver::SimplexFast.name(), "simplex-fast");
+        assert!(Deconvolver::Weighted { lambda: 1e-4 }.name().contains("weighted"));
+    }
+}

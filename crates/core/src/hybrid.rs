@@ -1,0 +1,460 @@
+//! The hybrid pipeline: a CPU producer streams raw frames over a
+//! (simulated) DMA link to the FPGA model, which captures, accumulates, and
+//! deconvolves; a collector receives the results.
+//!
+//! This is the paper's architecture in miniature: "the software portion is
+//! in charge of streaming data to the FPGA and collecting results". The
+//! crucial correctness property — the FPGA component computes *exactly*
+//! what the software reference computes — is checkable here because the
+//! whole datapath is integer/fixed-point and every frame is reproducible
+//! from `(seed, frame_no)`.
+
+use crate::acquisition::AcquiredData;
+use crossbeam::channel;
+use ims_fpga::deconv::{DeconvConfig, DeconvCore};
+use ims_fpga::dma::{DmaLink, FramePacket};
+use ims_fpga::{AccumulatorCore, MzBinner};
+use ims_prs::MSequence;
+use ims_signal::noise::{gaussian, poisson};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic per-frame raw-data generator (the instrument's digitiser
+/// output, frame by frame).
+#[derive(Debug, Clone)]
+pub struct FrameGenerator {
+    expected_per_frame: Vec<f64>,
+    drift_bins: usize,
+    mz_bins: usize,
+    gain: f64,
+    gain_spread: f64,
+    noise_sigma: f64,
+    full_scale: f64,
+    seed: u64,
+}
+
+impl FrameGenerator {
+    /// Builds a generator from an acquisition's noise-free per-frame
+    /// expectation (see [`AcquiredData::expected`]) and the instrument's
+    /// ADC parameters.
+    pub fn new(data: &AcquiredData, adc: &ims_physics::detector::AdcDetector, seed: u64) -> Self {
+        Self {
+            expected_per_frame: data.expected.data().to_vec(),
+            drift_bins: data.expected.drift_bins(),
+            mz_bins: data.expected.mz_bins(),
+            gain: adc.gain,
+            gain_spread: adc.gain_spread,
+            noise_sigma: adc.noise_sigma,
+            full_scale: adc.full_scale,
+            seed,
+        }
+    }
+
+    /// Number of drift bins per frame.
+    pub fn drift_bins(&self) -> usize {
+        self.drift_bins
+    }
+
+    /// Number of m/z bins per frame.
+    pub fn mz_bins(&self) -> usize {
+        self.mz_bins
+    }
+
+    /// Frame payload size, bytes.
+    pub fn frame_bytes(&self) -> usize {
+        self.drift_bins * self.mz_bins * 4
+    }
+
+    /// Generates frame `frame_no` — bit-reproducible for a given generator.
+    pub fn frame(&self, frame_no: u64) -> Vec<u32> {
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ frame_no.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.expected_per_frame
+            .iter()
+            .map(|&mean| {
+                let n = poisson(&mut rng, mean.max(0.0)) as f64;
+                let amp = n * self.gain
+                    + self.gain * self.gain_spread * n.sqrt() * gaussian(&mut rng)
+                    + self.noise_sigma * gaussian(&mut rng);
+                amp.clamp(0.0, self.full_scale).round() as u32
+            })
+            .collect()
+    }
+}
+
+/// Configuration of a hybrid run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HybridConfig {
+    /// Frames to stream.
+    pub frames: u64,
+    /// Bounded channel depth between producer and FPGA (back-pressure).
+    pub channel_depth: usize,
+    /// FPGA deconvolution configuration.
+    pub deconv: DeconvConfig,
+    /// Host-link model used for the simulated-time accounting.
+    pub link: DmaLink,
+    /// Optional on-chip m/z binning stage in front of the accumulator
+    /// (frames arrive at the binner's fine resolution).
+    pub binner: Option<MzBinner>,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            frames: 32,
+            channel_depth: 4,
+            deconv: DeconvConfig::default(),
+            link: DmaLink::rapidarray(),
+            binner: None,
+        }
+    }
+}
+
+/// The accumulator's m/z width under a config (coarse when binning).
+fn accumulator_mz_bins(cfg: &HybridConfig, gen: &FrameGenerator) -> usize {
+    match &cfg.binner {
+        Some(b) => {
+            assert_eq!(
+                b.fine_bins(),
+                gen.mz_bins(),
+                "binner input must match the frame resolution"
+            );
+            b.coarse_bins()
+        }
+        None => gen.mz_bins(),
+    }
+}
+
+/// Result of a hybrid run.
+#[derive(Debug, Clone)]
+pub struct HybridResult {
+    /// Deconvolved block, raw fixed-point words (drift-major).
+    pub deconvolved_raw: Vec<i64>,
+    /// Frames processed.
+    pub frames: u64,
+    /// FPGA cycles spent capturing.
+    pub capture_cycles: u64,
+    /// FPGA cycles spent deconvolving.
+    pub deconv_cycles: u64,
+    /// Simulated DMA transfer time for all frames, seconds.
+    pub simulated_link_seconds: f64,
+    /// Actual wall time of the simulation, seconds.
+    pub wall_seconds: f64,
+}
+
+/// Runs the hybrid pipeline: producer thread → bounded channel ("DMA") →
+/// FPGA model (capture + accumulate + deconvolve).
+pub fn run_hybrid(gen: &FrameGenerator, seq: &MSequence, cfg: &HybridConfig) -> HybridResult {
+    assert_eq!(
+        seq.len(),
+        gen.drift_bins(),
+        "sequence length must equal drift bins"
+    );
+    let start = std::time::Instant::now();
+    let (tx, rx) = channel::bounded::<FramePacket>(cfg.channel_depth);
+    let frames = cfg.frames;
+
+    let acc_mz = accumulator_mz_bins(cfg, gen);
+    let mut acc = AccumulatorCore::new(gen.drift_bins(), acc_mz, 32);
+    let mut deconv = DeconvCore::new(seq, cfg.deconv);
+    let mut binner = cfg.binner.clone();
+
+    let mut simulated_link_seconds = 0.0;
+    let deconvolved_raw = std::thread::scope(|scope| {
+        // Producer: the "software portion streaming data to the FPGA".
+        scope.spawn(move || {
+            for f in 0..frames {
+                let packet = FramePacket::from_words(f, &gen.frame(f));
+                if tx.send(packet).is_err() {
+                    return; // consumer gone
+                }
+            }
+        });
+
+        // Consumer: the FPGA component.
+        for packet in rx.iter() {
+            simulated_link_seconds += cfg.link.transfer_time_s(packet.len_bytes());
+            let words = packet.to_words();
+            match binner.as_mut() {
+                Some(b) => {
+                    let binned = b.bin_frame(&words, gen.drift_bins());
+                    acc.capture_frame(&binned).expect("frame shape");
+                }
+                None => acc.capture_frame(&words).expect("frame shape"),
+            }
+        }
+        let block = acc.drain();
+        deconv.deconvolve_block(&block, acc_mz)
+    });
+
+    HybridResult {
+        deconvolved_raw,
+        frames,
+        capture_cycles: acc.cycles(),
+        deconv_cycles: deconv.cycles(),
+        simulated_link_seconds,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Single-threaded software reference of the exact same integer pipeline.
+/// Must agree with [`run_hybrid`] bit for bit.
+pub fn run_software_reference(
+    gen: &FrameGenerator,
+    seq: &MSequence,
+    frames: u64,
+    deconv_cfg: DeconvConfig,
+) -> Vec<i64> {
+    run_software_reference_range(gen, seq, 0, frames, deconv_cfg)
+}
+
+/// Software reference over an explicit frame range (frame numbers
+/// `start..start + frames`) — the per-block oracle for the streaming
+/// pipeline.
+pub fn run_software_reference_range(
+    gen: &FrameGenerator,
+    seq: &MSequence,
+    start: u64,
+    frames: u64,
+    deconv_cfg: DeconvConfig,
+) -> Vec<i64> {
+    let mut acc = AccumulatorCore::new(gen.drift_bins(), gen.mz_bins(), 32);
+    for f in start..start + frames {
+        acc.capture_frame(&gen.frame(f)).expect("frame shape");
+    }
+    let block = acc.drain();
+    let mut deconv = DeconvCore::new(seq, deconv_cfg);
+    deconv.deconvolve_block(&block, gen.mz_bins())
+}
+
+/// Software reference of the *binned* integer pipeline (bin → accumulate →
+/// deconvolve); the binned hybrid run must agree bit for bit.
+pub fn run_software_reference_binned(
+    gen: &FrameGenerator,
+    seq: &MSequence,
+    frames: u64,
+    deconv_cfg: DeconvConfig,
+    binner: &MzBinner,
+) -> Vec<i64> {
+    assert_eq!(binner.fine_bins(), gen.mz_bins());
+    let mut b = binner.clone();
+    let mut acc = AccumulatorCore::new(gen.drift_bins(), binner.coarse_bins(), 32);
+    for f in 0..frames {
+        let binned = b.bin_frame(&gen.frame(f), gen.drift_bins());
+        acc.capture_frame(&binned).expect("frame shape");
+    }
+    let block = acc.drain();
+    let mut deconv = DeconvCore::new(seq, deconv_cfg);
+    deconv.deconvolve_block(&block, binner.coarse_bins())
+}
+
+/// Result of a streaming (multi-block) hybrid run.
+#[derive(Debug, Clone)]
+pub struct StreamingResult {
+    /// Deconvolved blocks, in order.
+    pub blocks: Vec<Vec<i64>>,
+    /// Frames accumulated per block.
+    pub frames_per_block: u64,
+    /// Wall time of the whole run, seconds.
+    pub wall_seconds: f64,
+    /// Sustained block rate, blocks/s of wall time.
+    pub blocks_per_second: f64,
+}
+
+/// Continuous operation: the producer streams frames indefinitely while the
+/// capture stage accumulates and hands finished blocks to a separate
+/// deconvolution stage — the double-buffered structure of the real design,
+/// here as three concurrent threads (producer → capture → deconvolve) with
+/// bounded channels providing back-pressure.
+pub fn run_hybrid_streaming(
+    gen: &FrameGenerator,
+    seq: &MSequence,
+    cfg: &HybridConfig,
+    n_blocks: usize,
+) -> StreamingResult {
+    assert_eq!(seq.len(), gen.drift_bins(), "sequence length mismatch");
+    assert!(n_blocks >= 1);
+    let frames_per_block = cfg.frames;
+    let total_frames = frames_per_block * n_blocks as u64;
+    let start = std::time::Instant::now();
+
+    let (frame_tx, frame_rx) = channel::bounded::<FramePacket>(cfg.channel_depth);
+    let (block_tx, block_rx) = channel::bounded::<Vec<u64>>(2); // ping-pong
+
+    let blocks = std::thread::scope(|scope| {
+        // Stage 1: producer (the instrument's digitiser stream).
+        scope.spawn(move || {
+            for f in 0..total_frames {
+                let packet = FramePacket::from_words(f, &gen.frame(f));
+                if frame_tx.send(packet).is_err() {
+                    return;
+                }
+            }
+        });
+
+        // Stage 2: capture/accumulate; drains a block every
+        // `frames_per_block` frames.
+        let mz_bins = gen.mz_bins();
+        let drift_bins = gen.drift_bins();
+        scope.spawn(move || {
+            let mut acc = AccumulatorCore::new(drift_bins, mz_bins, 32);
+            let mut in_block = 0u64;
+            for packet in frame_rx.iter() {
+                let words = packet.to_words();
+                acc.capture_frame(&words).expect("frame shape");
+                in_block += 1;
+                if in_block == frames_per_block {
+                    in_block = 0;
+                    if block_tx.send(acc.drain()).is_err() {
+                        return;
+                    }
+                }
+            }
+        });
+
+        // Stage 3: deconvolution (this thread).
+        let mut deconv = DeconvCore::new(seq, cfg.deconv);
+        let mut out = Vec::with_capacity(n_blocks);
+        for block in block_rx.iter() {
+            out.push(deconv.deconvolve_block(&block, gen.mz_bins()));
+            if out.len() == n_blocks {
+                break;
+            }
+        }
+        out
+    });
+
+    let wall_seconds = start.elapsed().as_secs_f64();
+    StreamingResult {
+        blocks,
+        frames_per_block,
+        wall_seconds,
+        blocks_per_second: n_blocks as f64 / wall_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquisition::{acquire, AcquireOptions, GateSchedule};
+    use ims_physics::{Instrument, Workload};
+
+    fn generator(degree: u32, mz_bins: usize) -> (FrameGenerator, MSequence) {
+        let bins = (1usize << degree) - 1;
+        let mut inst = Instrument::with_drift_bins(bins);
+        inst.tof.n_bins = mz_bins;
+        let w = Workload::single_calibrant();
+        let schedule = GateSchedule::multiplexed(degree);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let data = acquire(
+            &inst,
+            &w,
+            &schedule,
+            1,
+            AcquireOptions::default(),
+            &mut rng,
+        );
+        let seq = match schedule {
+            GateSchedule::Multiplexed { seq } => seq,
+            _ => unreachable!(),
+        };
+        (FrameGenerator::new(&data, &inst.adc, 99), seq)
+    }
+
+    #[test]
+    fn frames_are_reproducible() {
+        let (gen, _) = generator(5, 40);
+        assert_eq!(gen.frame(3), gen.frame(3));
+        assert_ne!(gen.frame(3), gen.frame(4));
+    }
+
+    #[test]
+    fn hybrid_matches_software_reference_bit_for_bit() {
+        let (gen, seq) = generator(6, 50);
+        let cfg = HybridConfig {
+            frames: 12,
+            ..Default::default()
+        };
+        let hybrid = run_hybrid(&gen, &seq, &cfg);
+        let reference = run_software_reference(&gen, &seq, 12, cfg.deconv);
+        assert_eq!(hybrid.deconvolved_raw, reference);
+        assert_eq!(hybrid.frames, 12);
+        assert!(hybrid.capture_cycles > 0);
+        assert!(hybrid.deconv_cycles > 0);
+        assert!(hybrid.simulated_link_seconds > 0.0);
+    }
+
+    #[test]
+    fn backpressure_channel_depth_one_still_correct() {
+        let (gen, seq) = generator(5, 30);
+        let cfg = HybridConfig {
+            frames: 8,
+            channel_depth: 1,
+            ..Default::default()
+        };
+        let hybrid = run_hybrid(&gen, &seq, &cfg);
+        let reference = run_software_reference(&gen, &seq, 8, cfg.deconv);
+        assert_eq!(hybrid.deconvolved_raw, reference);
+    }
+
+    #[test]
+    fn binned_hybrid_matches_binned_reference_bit_for_bit() {
+        let (gen, seq) = generator(6, 60);
+        let binner = MzBinner::uniform(60, 12);
+        let cfg = HybridConfig {
+            frames: 16,
+            binner: Some(binner.clone()),
+            ..Default::default()
+        };
+        let hybrid = run_hybrid(&gen, &seq, &cfg);
+        let reference = run_software_reference_binned(&gen, &seq, 16, cfg.deconv, &binner);
+        assert_eq!(hybrid.deconvolved_raw, reference);
+        assert_eq!(hybrid.deconvolved_raw.len(), seq.len() * 12);
+    }
+
+    #[test]
+    fn streaming_blocks_match_per_block_references() {
+        let (gen, seq) = generator(6, 40);
+        let cfg = HybridConfig {
+            frames: 6,
+            ..Default::default()
+        };
+        let result = run_hybrid_streaming(&gen, &seq, &cfg, 4);
+        assert_eq!(result.blocks.len(), 4);
+        assert_eq!(result.frames_per_block, 6);
+        assert!(result.blocks_per_second > 0.0);
+        for (b, block) in result.blocks.iter().enumerate() {
+            let reference =
+                run_software_reference_range(&gen, &seq, b as u64 * 6, 6, cfg.deconv);
+            assert_eq!(block, &reference, "block {b} diverged");
+        }
+        // Different frames ⇒ different blocks (noise differs per frame).
+        assert_ne!(result.blocks[0], result.blocks[1]);
+    }
+
+    #[test]
+    fn deconvolved_block_recovers_calibrant_peak() {
+        let (gen, seq) = generator(7, 60);
+        let cfg = HybridConfig {
+            frames: 64,
+            ..Default::default()
+        };
+        let result = run_hybrid(&gen, &seq, &cfg);
+        // Collapse to a drift profile and locate the apex.
+        let n = seq.len();
+        let mz = gen.mz_bins();
+        let profile: Vec<f64> = (0..n)
+            .map(|d| {
+                result.deconvolved_raw[d * mz..(d + 1) * mz]
+                    .iter()
+                    .map(|&v| v as f64)
+                    .sum()
+            })
+            .collect();
+        let (apex, peak) = ims_signal::stats::argmax(&profile).unwrap();
+        assert!(peak > 0.0);
+        // The calibrant must land within the drift window interior.
+        assert!(apex > 5 && apex < n - 5, "apex {apex}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Kernel estimation: measuring the effective gate/release kernel from a
+//! calibrant acquisition.
+//!
+//! The weighted (PNNL-enhanced) deconvolution needs the *actual* encoding
+//! kernel — gate transmission × trap-release weights — not the design
+//! sequence. Inside this simulation the kernel is known exactly
+//! ([`crate::acquisition::AcquiredData::effective_kernel`]), but a real
+//! instrument must *measure* it. The standard calibration: infuse a single
+//! calibrant whose arrival-time distribution `x` is known a priori (sharp,
+//! at a known drift time), acquire one multiplexed block `y = h ∗ x`, and
+//! solve for `h` by Wiener deconvolution against the known `x`.
+//!
+//! Experiment E2 compares deconvolution with the oracle kernel against the
+//! kernel estimated this way — the practical path must come close.
+
+use crate::acquisition::AcquiredData;
+use ims_physics::DriftTofMap;
+use ims_prs::weighting::CirculantInverse;
+
+/// Estimates the effective kernel from a calibrant acquisition.
+///
+/// `calibrant.truth` holds the a-priori calibrant model (a real experiment
+/// computes it from the calibrant's known reduced mobility and the tube
+/// parameters); the accumulated data is `h ∗ x` scaled by frames × gain.
+/// The returned kernel is normalised so its gate-open plateau is ≈ 1,
+/// making it directly comparable with
+/// [`crate::acquisition::AcquiredData::effective_kernel`].
+pub fn estimate_kernel(calibrant: &AcquiredData, lambda: f64) -> Vec<f64> {
+    let y = calibrant.accumulated.total_ion_drift_profile();
+    let x = calibrant.truth.total_ion_drift_profile();
+    assert_eq!(y.len(), x.len());
+    // y = x ∗ h (convolution commutes): solve with x as the circulant kernel.
+    let x_power: f64 = x.iter().map(|v| v * v).sum();
+    let solver = CirculantInverse::weighted(&x, lambda * x_power.max(f64::MIN_POSITIVE));
+    let mut h = solver.apply(&y);
+    // Normalise: the median of the top-half values estimates the gate-open
+    // plateau (robust against the trap-release spikes).
+    let mut sorted: Vec<f64> = h.iter().copied().filter(|v| *v > 0.0).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    if !sorted.is_empty() {
+        let plateau = sorted[sorted.len() / 2];
+        if plateau > 0.0 {
+            for v in h.iter_mut() {
+                *v /= plateau;
+            }
+        }
+    }
+    h
+}
+
+/// Deconvolves a block with an explicit (e.g. estimated) kernel via the
+/// Tikhonov-weighted circulant inverse.
+pub fn deconvolve_with_kernel(
+    map: &DriftTofMap,
+    kernel: &[f64],
+    relative_lambda: f64,
+) -> DriftTofMap {
+    assert_eq!(map.drift_bins(), kernel.len(), "kernel length mismatch");
+    let power: f64 = kernel.iter().map(|v| v * v).sum();
+    let solver = CirculantInverse::weighted(kernel, relative_lambda * power.max(f64::MIN_POSITIVE));
+    crate::deconvolution::apply_columnwise(map, |col| solver.apply(col))
+}
+
+/// Cosine similarity between two kernels (1 = identical shape).
+pub fn kernel_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let dot: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquisition::{acquire, AcquireOptions, GateSchedule};
+    use ims_physics::{Instrument, Workload};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn calibrant_run(defect: f64, frames: u64) -> (GateSchedule, AcquiredData) {
+        let degree = 7;
+        let n = (1usize << degree) - 1;
+        let mut inst = Instrument::with_drift_bins(n);
+        inst.tof.n_bins = 120;
+        inst.gate = ims_physics::gate::GateModel::with_defect_level(defect);
+        let workload = Workload::single_calibrant();
+        let schedule = GateSchedule::multiplexed(degree);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let data = acquire(
+            &inst,
+            &workload,
+            &schedule,
+            frames,
+            AcquireOptions {
+                use_trap: true,
+                background_mean: 0.0,
+            },
+            &mut rng,
+        );
+        (schedule, data)
+    }
+
+    #[test]
+    fn estimated_kernel_matches_oracle() {
+        let (_, data) = calibrant_run(0.2, 400);
+        let estimated = estimate_kernel(&data, 1e-6);
+        let sim = kernel_similarity(&estimated, &data.effective_kernel);
+        assert!(sim > 0.98, "similarity {sim}");
+    }
+
+    #[test]
+    fn estimated_kernel_deconvolves_as_well_as_oracle() {
+        use crate::deconvolution::Deconvolver;
+        use crate::metrics::fidelity;
+        // Calibrate on one run, process another acquisition of a different
+        // sample with the estimated kernel.
+        let (schedule, calibrant) = calibrant_run(0.25, 400);
+        let estimated = estimate_kernel(&calibrant, 1e-6);
+
+        let degree = 7;
+        let n = (1usize << degree) - 1;
+        let mut inst = Instrument::with_drift_bins(n);
+        inst.tof.n_bins = 120;
+        inst.gate = ims_physics::gate::GateModel::with_defect_level(0.25);
+        let workload = Workload::three_peptide_mix();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let sample = acquire(
+            &inst,
+            &workload,
+            &schedule,
+            200,
+            AcquireOptions {
+                use_trap: true,
+                background_mean: 0.0,
+            },
+            &mut rng,
+        );
+        let truth = sample.truth.total_ion_drift_profile();
+
+        let with_oracle = Deconvolver::Weighted { lambda: 1e-6 }
+            .deconvolve(&schedule, &sample)
+            .total_ion_drift_profile();
+        let with_estimated = deconvolve_with_kernel(&sample.accumulated, &estimated, 1e-6)
+            .total_ion_drift_profile();
+
+        let f_oracle = fidelity(&with_oracle, &truth, 0.01);
+        let f_est = fidelity(&with_estimated, &truth, 0.01);
+        assert!(f_est.pearson > 0.98, "estimated-kernel pearson {}", f_est.pearson);
+        assert!(
+            f_est.artifact_level < 3.0 * f_oracle.artifact_level + 0.02,
+            "estimated {} vs oracle {}",
+            f_est.artifact_level,
+            f_oracle.artifact_level
+        );
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        let a = [1.0, 0.0, 1.0];
+        assert!((kernel_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        let b = [0.0, 1.0, 0.0];
+        assert!(kernel_similarity(&a, &b).abs() < 1e-12);
+        assert_eq!(kernel_similarity(&a, &[0.0; 3]), 0.0);
+    }
+}

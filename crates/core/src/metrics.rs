@@ -1,0 +1,178 @@
+//! Scoring: SNR, reconstruction fidelity, artifact level, dynamic range.
+
+use ims_physics::DriftTofMap;
+use ims_signal::{snr, stats};
+use serde::{Deserialize, Serialize};
+
+/// How faithfully a deconvolved drift profile matches the ground truth.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fidelity {
+    /// Pearson correlation with the truth profile.
+    pub pearson: f64,
+    /// RMS error after normalising both profiles to unit maximum.
+    pub nrmse: f64,
+    /// Largest spurious response outside the truth's support, relative to
+    /// the true peak maximum (deconvolution "echo" level).
+    pub artifact_level: f64,
+}
+
+/// Compares a reconstructed drift profile against the truth.
+///
+/// The truth's support is every bin where it exceeds `support_frac` of its
+/// maximum (plus one guard bin each side); anything the reconstruction puts
+/// outside that support is an artifact.
+pub fn fidelity(reconstructed: &[f64], truth: &[f64], support_frac: f64) -> Fidelity {
+    assert_eq!(reconstructed.len(), truth.len(), "length mismatch");
+    let t_max = stats::max_abs(truth).max(f64::MIN_POSITIVE);
+    let r_max = stats::max_abs(reconstructed).max(f64::MIN_POSITIVE);
+    let tn: Vec<f64> = truth.iter().map(|v| v / t_max).collect();
+    let rn: Vec<f64> = reconstructed.iter().map(|v| v / r_max).collect();
+
+    let n = truth.len();
+    let mut in_support = vec![false; n];
+    for i in 0..n {
+        if tn[i] > support_frac {
+            in_support[i] = true;
+            if i > 0 {
+                in_support[i - 1] = true;
+            }
+            if i + 1 < n {
+                in_support[i + 1] = true;
+            }
+        }
+    }
+    // Artifacts are *excess* response outside the support — comparing to
+    // the (tiny) true tail keeps a perfect reconstruction at exactly 0.
+    let artifact_level = (0..n)
+        .filter(|&i| !in_support[i])
+        .map(|i| (rn[i] - tn[i]).abs())
+        .fold(0.0f64, f64::max);
+
+    Fidelity {
+        pearson: stats::pearson(&rn, &tn),
+        nrmse: stats::rmse(&rn, &tn),
+        artifact_level,
+    }
+}
+
+/// SNR of the reconstructed peak nearest `expected_bin`, using a robust
+/// noise floor from the rest of the profile (±`exclude` bins around the
+/// peak excluded).
+pub fn peak_snr(profile: &[f64], expected_bin: usize, exclude: usize) -> f64 {
+    // Find the local apex within the exclusion window.
+    let lo = expected_bin.saturating_sub(exclude / 2);
+    let hi = (expected_bin + exclude / 2 + 1).min(profile.len());
+    if lo >= hi {
+        return 0.0;
+    }
+    let (local_apex, _) = stats::argmax(&profile[lo..hi]).unwrap_or((0, 0.0));
+    snr::snr_at(profile, lo + local_apex, exclude)
+}
+
+/// Extracted-window SNR of a species on a 2-D map: drift profile over an
+/// m/z window, peak at the predicted drift bin.
+pub fn species_snr(
+    map: &DriftTofMap,
+    drift_bin: usize,
+    mz_bin: usize,
+    mz_halfwidth: usize,
+) -> f64 {
+    let lo = mz_bin.saturating_sub(mz_halfwidth);
+    let hi = (mz_bin + mz_halfwidth).min(map.mz_bins() - 1);
+    let profile = map.drift_profile(lo, hi);
+    peak_snr(&profile, drift_bin, map.drift_bins() / 16 + 4)
+}
+
+/// Linear-regression slope of response vs concentration in log-log space —
+/// 1.0 means a perfectly linear dynamic range.
+pub fn loglog_slope(concentrations: &[f64], responses: &[f64]) -> f64 {
+    assert_eq!(concentrations.len(), responses.len());
+    let pts: Vec<(f64, f64)> = concentrations
+        .iter()
+        .zip(responses.iter())
+        .filter(|(&c, &r)| c > 0.0 && r > 0.0)
+        .map(|(&c, &r)| (c.ln(), r.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ims_signal::peaks::gaussian_profile;
+
+    #[test]
+    fn perfect_reconstruction_scores_perfectly() {
+        let truth = gaussian_profile(200, 100.0, 4.0, 1000.0);
+        let f = fidelity(&truth, &truth, 0.01);
+        assert!(f.pearson > 0.999_999);
+        assert!(f.nrmse < 1e-9);
+        assert!(f.artifact_level < 1e-9);
+    }
+
+    #[test]
+    fn scaled_reconstruction_still_perfect() {
+        let truth = gaussian_profile(200, 100.0, 4.0, 1000.0);
+        let scaled: Vec<f64> = truth.iter().map(|v| v * 7.3).collect();
+        let f = fidelity(&scaled, &truth, 0.01);
+        assert!(f.pearson > 0.999_999);
+        assert!(f.nrmse < 1e-9);
+    }
+
+    #[test]
+    fn echo_artifacts_are_flagged() {
+        let truth = gaussian_profile(200, 100.0, 4.0, 1000.0);
+        let mut bad = truth.clone();
+        // A ghost peak at 10 % of the main peak, far from the support.
+        let ghost = gaussian_profile(200, 30.0, 4.0, 100.0);
+        for (b, g) in bad.iter_mut().zip(ghost.iter()) {
+            *b += g;
+        }
+        let f = fidelity(&bad, &truth, 0.01);
+        assert!(
+            f.artifact_level > 0.08 && f.artifact_level < 0.15,
+            "artifact {}",
+            f.artifact_level
+        );
+    }
+
+    #[test]
+    fn peak_snr_tracks_noise() {
+        use ims_signal::noise::add_electronic_noise;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut profile = gaussian_profile(400, 200.0, 5.0, 2000.0);
+        add_electronic_noise(&mut rng, &mut profile, 2.0);
+        let s = peak_snr(&profile, 202, 30);
+        assert!(s > 20.0, "snr {s}");
+        // Pointing at empty space gives a small number.
+        let s_empty = peak_snr(&profile, 50, 10);
+        assert!(s_empty < 6.0, "empty snr {s_empty}");
+    }
+
+    #[test]
+    fn loglog_slope_of_linear_response_is_one() {
+        let conc = [0.01, 0.1, 1.0, 10.0, 100.0];
+        let resp: Vec<f64> = conc.iter().map(|c| 55.0 * c).collect();
+        let s = loglog_slope(&conc, &resp);
+        assert!((s - 1.0).abs() < 1e-9, "slope {s}");
+        // Saturating response has slope < 1.
+        let sat: Vec<f64> = conc.iter().map(|c| c / (1.0 + 0.5 * c)).collect();
+        let s2 = loglog_slope(&conc, &sat);
+        assert!(s2 < 0.8, "slope {s2}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(loglog_slope(&[1.0], &[2.0]).is_nan());
+        assert_eq!(peak_snr(&[], 0, 2), 0.0);
+    }
+}

@@ -1,0 +1,387 @@
+//! Multiplexed collision-induced dissociation (IMS-multiplexed CID MS/MS).
+//!
+//! The companion paper (Clowers, Belov et al., entry 18: "Characterization
+//! of an ion mobility-multiplexed CID tandem TOF MS approach") fragments
+//! *every* drift-separated precursor simultaneously in a collision cell
+//! after the drift tube: fragments keep their precursor's drift time, so
+//! one multiplexed acquisition contains the tandem spectra of the whole
+//! mixture at once. The software's job — implemented here — is to undo the
+//! multiplexing (standard deconvolution), then re-associate fragments with
+//! precursors by **matching drift profiles**, and finally identify peptides
+//! by comparing assigned fragments with their in-silico b/y ladders, with a
+//! reversed-sequence decoy search providing the false-discovery-rate
+//! estimate (the paper reports 20 unique peptides from a BSA digest at
+//! FDR < 1 %).
+
+use crate::acquisition::{
+    acquire_components, AcquireOptions, AcquiredData, GateSchedule, SignalComponent,
+};
+use ims_physics::fragment::{by_ladder, CidCell};
+use ims_physics::peptide::Peptide;
+use ims_physics::{DriftTofMap, Instrument};
+use ims_signal::stats;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A tandem-MS sample: peptides with molar abundances.
+#[derive(Debug, Clone)]
+pub struct MsMsSample {
+    /// `(peptide, abundance)` pairs.
+    pub peptides: Vec<(Peptide, f64)>,
+}
+
+impl MsMsSample {
+    /// Builds a sample from peptides at equal abundance.
+    pub fn uniform(peptides: Vec<Peptide>, abundance: f64) -> Self {
+        Self {
+            peptides: peptides.into_iter().map(|p| (p, abundance)).collect(),
+        }
+    }
+
+    /// The precursor-only workload (needed for ESI rate allocation).
+    pub fn precursor_workload(&self) -> ims_physics::Workload {
+        let mut species = Vec::new();
+        for (pep, abundance) in &self.peptides {
+            species.extend(pep.to_species(*abundance));
+        }
+        ims_physics::Workload {
+            name: format!("msms-{}-peptides", self.peptides.len()),
+            species,
+        }
+    }
+}
+
+/// Runs a multiplexed CID acquisition: precursors drift, the collision cell
+/// converts them to fragment populations, and the TOF records everything.
+pub fn acquire_msms(
+    instrument: &Instrument,
+    sample: &MsMsSample,
+    cid: &CidCell,
+    schedule: &GateSchedule,
+    frames: u64,
+    options: AcquireOptions,
+    rng: &mut impl Rng,
+) -> AcquiredData {
+    let workload = sample.precursor_workload();
+    let rates = instrument.esi.ion_rates(&workload.species);
+
+    // Expand each precursor through the collision cell. The workload's
+    // species were generated per peptide in order, so re-walk the same
+    // construction to pair species with their peptides.
+    let mut components = Vec::new();
+    let mut species_iter = workload.species.iter().zip(rates.iter());
+    for (pep, abundance) in &sample.peptides {
+        let n_states = pep.charge_states().len();
+        for _ in 0..n_states {
+            let (precursor, &rate) = species_iter.next().expect("workload construction matches");
+            debug_assert!(precursor.name.starts_with(&pep.sequence));
+            debug_assert!(*abundance >= 0.0);
+            for (product, weight) in cid.products(precursor, pep) {
+                components.push(SignalComponent {
+                    drift_species: precursor.clone(),
+                    tof_species: product,
+                    rate: rate * weight,
+                });
+            }
+        }
+    }
+    acquire_components(instrument, &components, schedule, frames, options, rng)
+}
+
+/// Configuration of the fragment-assignment / identification search.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MsMsSearch {
+    /// Minimum Pearson correlation between fragment and precursor drift
+    /// profiles.
+    pub min_correlation: f64,
+    /// m/z matching tolerance, bins.
+    pub mz_tol_bins: usize,
+    /// Minimum matched fragments for an identification.
+    pub min_fragments: usize,
+    /// How many of the strongest in-silico fragments to look for.
+    pub top_fragments: usize,
+}
+
+impl Default for MsMsSearch {
+    fn default() -> Self {
+        Self {
+            min_correlation: 0.8,
+            mz_tol_bins: 1,
+            min_fragments: 4,
+            top_fragments: 10,
+        }
+    }
+}
+
+/// One peptide-spectrum match.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeptideMatch {
+    /// Peptide sequence.
+    pub sequence: String,
+    /// Whether this is a decoy (reversed) sequence.
+    pub is_decoy: bool,
+    /// Number of fragments matched (of `top_fragments` sought).
+    pub fragments_matched: usize,
+    /// Mean drift-profile correlation of the matched fragments.
+    pub mean_correlation: f64,
+    /// Precursor drift bin used.
+    pub precursor_drift_bin: usize,
+}
+
+/// Reverses a peptide's internal residues, keeping the C-terminal residue
+/// (the standard tryptic decoy construction — preserves mass and terminal
+/// basicity while scrambling the fragment ladder).
+pub fn decoy_of(peptide: &Peptide) -> Peptide {
+    let seq = peptide.sequence.as_bytes();
+    if seq.len() <= 2 {
+        return peptide.clone();
+    }
+    let mut rev: Vec<u8> = seq[..seq.len() - 1].to_vec();
+    rev.reverse();
+    rev.push(seq[seq.len() - 1]);
+    Peptide::new(String::from_utf8(rev).expect("valid residues"))
+}
+
+/// Searches a deconvolved multiplexed-CID map for the given peptides (and,
+/// if `with_decoys`, their reversed decoys). Returns matches sorted by
+/// fragments matched, then correlation.
+pub fn search(
+    map: &DriftTofMap,
+    instrument: &Instrument,
+    peptides: &[Peptide],
+    cfg: &MsMsSearch,
+    with_decoys: bool,
+) -> Vec<PeptideMatch> {
+    let mut candidates: Vec<(Peptide, bool)> =
+        peptides.iter().map(|p| (p.clone(), false)).collect();
+    if with_decoys {
+        for p in peptides {
+            let d = decoy_of(p);
+            if d.sequence != p.sequence {
+                candidates.push((d, true));
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (pep, is_decoy) in candidates {
+        if let Some(m) = match_one(map, instrument, &pep, cfg, is_decoy) {
+            out.push(m);
+        }
+    }
+    out.sort_by(|a, b| {
+        b.fragments_matched
+            .cmp(&a.fragments_matched)
+            .then(b.mean_correlation.partial_cmp(&a.mean_correlation).expect("finite"))
+    });
+    out
+}
+
+/// Extracted drift profile around an m/z bin (±tol).
+fn xic(map: &DriftTofMap, mz_bin: usize, tol: usize) -> Vec<f64> {
+    let lo = mz_bin.saturating_sub(tol);
+    let hi = (mz_bin + tol).min(map.mz_bins() - 1);
+    map.drift_profile(lo, hi)
+}
+
+fn match_one(
+    map: &DriftTofMap,
+    instrument: &Instrument,
+    pep: &Peptide,
+    cfg: &MsMsSearch,
+    is_decoy: bool,
+) -> Option<PeptideMatch> {
+    // Dominant precursor charge state determines the drift profile.
+    let (z, _) = pep
+        .charge_states()
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))?;
+    let precursor = ims_physics::IonSpecies::new(
+        pep.sequence.clone(),
+        pep.monoisotopic_mass(),
+        z,
+        pep.ccs_a2(z),
+        1.0,
+    );
+    let drift_bin =
+        (instrument.tube.drift_time_s(&precursor) / instrument.bin_width_s).round() as usize;
+    if drift_bin >= map.drift_bins() {
+        return None;
+    }
+    let precursor_mz_bin = instrument.tof.bin_of(precursor.mz())?;
+    let precursor_profile = xic(map, precursor_mz_bin, cfg.mz_tol_bins);
+
+    // Strongest in-silico fragments within the TOF range.
+    let mut ladder = by_ladder(pep);
+    ladder.sort_by(|a, b| b.intensity.partial_cmp(&a.intensity).expect("finite"));
+    let mut matched = 0usize;
+    let mut correlations = Vec::new();
+    let mut sought = 0usize;
+    for frag in ladder {
+        if sought >= cfg.top_fragments {
+            break;
+        }
+        let Some(frag_bin) = instrument.tof.bin_of(frag.mz) else {
+            continue;
+        };
+        sought += 1;
+        let frag_profile = xic(map, frag_bin, cfg.mz_tol_bins);
+        // The fragment must peak near the precursor's drift bin…
+        let lo = drift_bin.saturating_sub(2);
+        let hi = (drift_bin + 3).min(frag_profile.len());
+        let local_max = frag_profile[lo..hi]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let global_noise = stats::mad_sigma(&frag_profile).max(1e-9);
+        let baseline = stats::median(&frag_profile);
+        if (local_max - baseline) < 3.0 * global_noise {
+            continue;
+        }
+        // …and its whole drift profile must correlate with the precursor's.
+        let r = stats::pearson(&precursor_profile, &frag_profile);
+        if r >= cfg.min_correlation {
+            matched += 1;
+            correlations.push(r);
+        }
+    }
+    if matched < cfg.min_fragments {
+        return None;
+    }
+    Some(PeptideMatch {
+        sequence: pep.sequence.clone(),
+        is_decoy,
+        fragments_matched: matched,
+        mean_correlation: stats::mean(&correlations),
+        precursor_drift_bin: drift_bin,
+    })
+}
+
+/// False-discovery rate estimate: `decoys / targets` among the matches.
+pub fn fdr(matches: &[PeptideMatch]) -> f64 {
+    let targets = matches.iter().filter(|m| !m.is_decoy).count();
+    let decoys = matches.len() - targets;
+    if targets == 0 {
+        if decoys == 0 {
+            0.0
+        } else {
+            1.0
+        }
+    } else {
+        decoys as f64 / targets as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deconvolution::Deconvolver;
+    use ims_physics::peptide::reference_peptides;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(frames: u64) -> (Instrument, MsMsSample, GateSchedule, AcquiredData) {
+        let degree = 8;
+        let n = (1usize << degree) - 1;
+        let mut inst = Instrument::with_drift_bins(n);
+        inst.tof.n_bins = 1800;
+        inst.tof.mz_min = 100.0;
+        let sample = MsMsSample::uniform(reference_peptides(), 1.0);
+        let schedule = GateSchedule::multiplexed(degree);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let data = acquire_msms(
+            &inst,
+            &sample,
+            &CidCell::default(),
+            &schedule,
+            frames,
+            AcquireOptions::default(),
+            &mut rng,
+        );
+        (inst, sample, schedule, data)
+    }
+
+    #[test]
+    fn msms_acquisition_contains_fragment_mass_channels() {
+        let (inst, sample, _, data) = setup(10);
+        // A known y ion of bradykinin must receive signal at the
+        // bradykinin drift time.
+        let bk = &sample.peptides[0].0;
+        let ladder = by_ladder(bk);
+        let strongest = ladder
+            .iter()
+            .max_by(|a, b| a.intensity.partial_cmp(&b.intensity).unwrap())
+            .unwrap();
+        let frag_bin = inst.tof.bin_of(strongest.mz).expect("fragment in range");
+        let profile = data.truth.drift_profile(frag_bin.saturating_sub(1), frag_bin + 1);
+        assert!(
+            profile.iter().sum::<f64>() > 0.0,
+            "no signal in {} channel",
+            strongest.label()
+        );
+    }
+
+    #[test]
+    fn fragments_share_precursor_drift_time() {
+        let (inst, sample, _, data) = setup(10);
+        let bk = &sample.peptides[0].0;
+        let z2 = ims_physics::IonSpecies::new("bk2", bk.monoisotopic_mass(), 2, bk.ccs_a2(2), 1.0);
+        let expected_bin =
+            (inst.tube.drift_time_s(&z2) / inst.bin_width_s).round() as usize;
+        let strongest = by_ladder(bk)
+            .into_iter()
+            .max_by(|a, b| a.intensity.partial_cmp(&b.intensity).unwrap())
+            .unwrap();
+        let frag_bin = inst.tof.bin_of(strongest.mz).unwrap();
+        let profile = data.truth.drift_profile(frag_bin.saturating_sub(1), frag_bin + 1);
+        let (apex, _) = ims_signal::stats::argmax(&profile).unwrap();
+        // The fragment channel contains contributions from several charge
+        // states; the apex must sit at one of the precursor drift bins —
+        // check the 2+ one dominates or is near.
+        assert!(
+            apex.abs_diff(expected_bin) <= 3
+                || profile[expected_bin] > 0.3 * profile[apex],
+            "fragment apex {apex} vs precursor {expected_bin}"
+        );
+    }
+
+    #[test]
+    fn search_identifies_peptides_and_controls_fdr() {
+        let (inst, sample, schedule, data) = setup(60);
+        let map = Deconvolver::Weighted { lambda: 1e-6 }.deconvolve(&schedule, &data);
+        let peptides: Vec<Peptide> = sample.peptides.iter().map(|(p, _)| p.clone()).collect();
+        let matches = search(&map, &inst, &peptides, &MsMsSearch::default(), true);
+        let targets = matches.iter().filter(|m| !m.is_decoy).count();
+        assert!(
+            targets >= 3,
+            "expected ≥3 of 4 peptides identified, got {targets}: {matches:?}"
+        );
+        assert!(fdr(&matches) < 0.34, "FDR {}", fdr(&matches));
+    }
+
+    #[test]
+    fn decoy_construction_preserves_mass() {
+        for p in reference_peptides() {
+            let d = decoy_of(&p);
+            assert!((d.monoisotopic_mass() - p.monoisotopic_mass()).abs() < 1e-9);
+            assert_eq!(
+                d.sequence.as_bytes().last(),
+                p.sequence.as_bytes().last(),
+                "C-terminal residue preserved"
+            );
+        }
+    }
+
+    #[test]
+    fn fdr_edge_cases() {
+        assert_eq!(fdr(&[]), 0.0);
+        let decoy_only = vec![PeptideMatch {
+            sequence: "X".into(),
+            is_decoy: true,
+            fragments_matched: 5,
+            mean_correlation: 0.9,
+            precursor_drift_bin: 0,
+        }];
+        assert_eq!(fdr(&decoy_only), 1.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! The CPU software component: rayon-parallel deconvolution.
+//!
+//! On the Cray XD1 the software side ran across Opteron cores; here the
+//! stand-in is a rayon pool of configurable width, which drives the E8
+//! scaling study (columns of the 2-D block are embarrassingly parallel,
+//! so deconvolution should scale nearly linearly until memory bandwidth
+//! intervenes).
+
+use crate::acquisition::{AcquiredData, GateSchedule};
+use crate::deconvolution::Deconvolver;
+use ims_physics::DriftTofMap;
+use rayon::prelude::*;
+
+/// Deconvolves all m/z columns in parallel on the global rayon pool.
+pub fn deconvolve_parallel(
+    method: &Deconvolver,
+    schedule: &GateSchedule,
+    data: &AcquiredData,
+) -> DriftTofMap {
+    let solver = method.column_solver(schedule, data);
+    let map = &data.accumulated;
+    let drift = map.drift_bins();
+    let mz = map.mz_bins();
+    let columns: Vec<Vec<f64>> = (0..mz)
+        .into_par_iter()
+        .map(|m| {
+            let column: Vec<f64> = (0..drift).map(|d| map.at(d, m)).collect();
+            solver(&column)
+        })
+        .collect();
+    let mut out = DriftTofMap::zeros(drift, mz);
+    for (m, col) in columns.iter().enumerate() {
+        for (d, &v) in col.iter().enumerate() {
+            *out.at_mut(d, m) = v;
+        }
+    }
+    out
+}
+
+/// Runs the parallel deconvolution on a dedicated pool of `threads` threads
+/// and returns the result with the wall time in seconds — one row of the
+/// E8 scaling table.
+pub fn deconvolve_with_threads(
+    method: &Deconvolver,
+    schedule: &GateSchedule,
+    data: &AcquiredData,
+    threads: usize,
+) -> (DriftTofMap, f64) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    let start = std::time::Instant::now();
+    let out = pool.install(|| deconvolve_parallel(method, schedule, data));
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquisition::{acquire, AcquireOptions};
+    use ims_physics::{Instrument, Workload};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn block() -> (GateSchedule, AcquiredData) {
+        let mut inst = Instrument::with_drift_bins(127);
+        inst.tof.n_bins = 120;
+        let w = Workload::three_peptide_mix();
+        let schedule = GateSchedule::multiplexed(7);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let data = acquire(
+            &inst,
+            &w,
+            &schedule,
+            20,
+            AcquireOptions::default(),
+            &mut rng,
+        );
+        (schedule, data)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (schedule, data) = block();
+        let method = Deconvolver::Weighted { lambda: 1e-5 };
+        let serial = method.deconvolve(&schedule, &data);
+        let parallel = deconvolve_parallel(&method, &schedule, &data);
+        for (a, b) in serial.data().iter().zip(parallel.data().iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn explicit_thread_count_works() {
+        let (schedule, data) = block();
+        let method = Deconvolver::SimplexFast;
+        let (one, _t1) = deconvolve_with_threads(&method, &schedule, &data, 1);
+        let (four, _t4) = deconvolve_with_threads(&method, &schedule, &data, 4);
+        for (a, b) in one.data().iter().zip(four.data().iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! On-chip m/z binning: the stage that makes capture fit the FPGA.
+//!
+//! Experiment E4 shows the accumulation RAM for full-TOF-resolution frames
+//! (511 × 2000 × 32 b, double-buffered) is an order of magnitude beyond the
+//! XD1 FPGA's block RAM. The design answer is a streaming binning stage in
+//! front of the accumulator: a fine→coarse index ROM folds each incoming
+//! ADC word into a coarse m/z bin on the fly (II = 1), shrinking the
+//! accumulation RAM by the binning factor at the cost of m/z resolution on
+//! chip (the host retains full resolution only for the drift dimension it
+//! actually needs in real time).
+
+use crate::bram::{BramBudget, MemoryRequirement};
+use serde::{Deserialize, Serialize};
+
+/// Streaming fine→coarse m/z binning core.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MzBinner {
+    fine_bins: usize,
+    coarse_bins: usize,
+    /// ROM: fine bin index → coarse bin index.
+    map: Vec<u32>,
+    cycles: u64,
+}
+
+impl MzBinner {
+    /// Uniform binning: `fine_bins` collapsed into `coarse_bins` contiguous
+    /// groups (the last group absorbs any remainder).
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ coarse_bins ≤ fine_bins`.
+    pub fn uniform(fine_bins: usize, coarse_bins: usize) -> Self {
+        assert!(coarse_bins >= 1 && coarse_bins <= fine_bins, "bad binning");
+        let per = fine_bins / coarse_bins;
+        let map = (0..fine_bins)
+            .map(|f| ((f / per).min(coarse_bins - 1)) as u32)
+            .collect();
+        Self {
+            fine_bins,
+            coarse_bins,
+            map,
+            cycles: 0,
+        }
+    }
+
+    /// Custom binning from an explicit fine→coarse map.
+    ///
+    /// # Panics
+    /// Panics if any entry is out of range.
+    pub fn from_map(map: Vec<u32>, coarse_bins: usize) -> Self {
+        assert!(map.iter().all(|&c| (c as usize) < coarse_bins), "map out of range");
+        Self {
+            fine_bins: map.len(),
+            coarse_bins,
+            map,
+            cycles: 0,
+        }
+    }
+
+    /// Fine (input) m/z bins.
+    pub fn fine_bins(&self) -> usize {
+        self.fine_bins
+    }
+
+    /// Coarse (output) m/z bins.
+    pub fn coarse_bins(&self) -> usize {
+        self.coarse_bins
+    }
+
+    /// Clock cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Bins one full drift-major frame: `drift × fine` ADC words in,
+    /// `drift × coarse` words out (saturating u32 accumulation per line).
+    pub fn bin_frame(&mut self, frame: &[u32], drift_bins: usize) -> Vec<u32> {
+        assert_eq!(
+            frame.len(),
+            drift_bins * self.fine_bins,
+            "frame shape mismatch"
+        );
+        let mut out = vec![0u32; drift_bins * self.coarse_bins];
+        for d in 0..drift_bins {
+            let row = &frame[d * self.fine_bins..(d + 1) * self.fine_bins];
+            let orow = &mut out[d * self.coarse_bins..(d + 1) * self.coarse_bins];
+            for (f, &v) in row.iter().enumerate() {
+                let c = self.map[f] as usize;
+                orow[c] = orow[c].saturating_add(v);
+            }
+        }
+        self.cycles += frame.len() as u64;
+        out
+    }
+
+    /// BRAM budget: the index ROM plus a double-buffered coarse line buffer.
+    pub fn bram_budget(&self) -> BramBudget {
+        let mut b = BramBudget::new();
+        let idx_bits = (usize::BITS - (self.coarse_bins - 1).leading_zeros()).max(1) as u64;
+        b.add(
+            MemoryRequirement {
+                depth: self.fine_bins as u64,
+                width_bits: idx_bits,
+                label: "binning index ROM",
+            },
+            1,
+        );
+        b.add(
+            MemoryRequirement {
+                depth: self.coarse_bins as u64,
+                width_bits: 32,
+                label: "coarse line buffer",
+            },
+            2,
+        );
+        b
+    }
+
+    /// Cycles to bin one frame (one fine word per clock).
+    pub fn cycles_per_frame(&self, drift_bins: usize) -> u64 {
+        (drift_bins * self.fine_bins) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_binning_sums_groups() {
+        let mut binner = MzBinner::uniform(12, 3);
+        let frame: Vec<u32> = (0..24).collect(); // 2 drift rows × 12 fine
+        let out = binner.bin_frame(&frame, 2);
+        assert_eq!(out.len(), 6);
+        // Row 0: groups [0..4), [4..8), [8..12).
+        assert_eq!(out[0], 0 + 1 + 2 + 3);
+        assert_eq!(out[1], 4 + 5 + 6 + 7);
+        assert_eq!(out[2], 8 + 9 + 10 + 11);
+        // Row 1.
+        assert_eq!(out[3], 12 + 13 + 14 + 15);
+        assert_eq!(out[5], 20 + 21 + 22 + 23);
+    }
+
+    #[test]
+    fn counts_are_conserved() {
+        let mut binner = MzBinner::uniform(100, 7);
+        let frame: Vec<u32> = (0..300).map(|i| (i * 13 % 97) as u32).collect();
+        let total_in: u64 = frame.iter().map(|&v| v as u64).sum();
+        let out = binner.bin_frame(&frame, 3);
+        let total_out: u64 = out.iter().map(|&v| v as u64).sum();
+        assert_eq!(total_in, total_out);
+    }
+
+    #[test]
+    fn remainder_fine_bins_fold_into_last_group() {
+        let binner = MzBinner::uniform(10, 3); // per = 3, remainder 1
+        assert_eq!(binner.map[8], 2);
+        assert_eq!(binner.map[9], 2); // remainder absorbed by last group
+    }
+
+    #[test]
+    fn matches_software_rebin() {
+        let mut binner = MzBinner::uniform(20, 4);
+        let frame: Vec<u32> = (0..20).map(|i| i as u32 + 1).collect();
+        let out = binner.bin_frame(&frame, 1);
+        let soft = ims_signal::resample::rebin_sum(
+            &frame.iter().map(|&v| v as f64).collect::<Vec<_>>(),
+            5,
+        );
+        for (a, &b) in out.iter().zip(soft.iter().map(|v| *v as u32).collect::<Vec<_>>().iter()) {
+            assert_eq!(*a, b);
+        }
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let mut binner = MzBinner::uniform(2, 1);
+        let out = binner.bin_frame(&[u32::MAX, 5], 1);
+        assert_eq!(out[0], u32::MAX);
+    }
+
+    #[test]
+    fn budget_is_tiny() {
+        let binner = MzBinner::uniform(2000, 100);
+        // ROM 2000×7b + 2×100×32b ≈ a couple of tiles.
+        assert!(binner.bram_budget().total_tiles() <= 3);
+    }
+
+    #[test]
+    fn cycle_accounting() {
+        let mut binner = MzBinner::uniform(10, 2);
+        let _ = binner.bin_frame(&vec![1; 30], 3);
+        assert_eq!(binner.cycles(), 30);
+        assert_eq!(binner.cycles_per_frame(3), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad binning")]
+    fn rejects_upsampling() {
+        let _ = MzBinner::uniform(10, 20);
+    }
+}

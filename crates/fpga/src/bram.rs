@@ -1,0 +1,180 @@
+//! Block-RAM budgeting.
+//!
+//! Xilinx-era block RAMs come in 18 Kb tiles configurable between 16K×1 and
+//! 512×36. A memory of `depth × width` therefore needs
+//! `ceil(width / tile_width(depth)) × ceil(depth / tile_depth)` tiles; for
+//! budget purposes we use the standard approximation of packing by capacity
+//! with a width-granularity penalty, which matches vendor map reports within
+//! a tile or two for the regular, deep memories this design uses.
+
+/// Capacity of one BRAM tile, bits (18 Kb including parity).
+pub const TILE_BITS: u64 = 18 * 1024;
+
+/// Supported tile aspect ratios (depth, width) for an 18 Kb tile.
+const ASPECTS: [(u64, u64); 6] = [
+    (512, 36),
+    (1024, 18),
+    (2048, 9),
+    (4096, 4),
+    (8192, 2),
+    (16384, 1),
+];
+
+/// A required on-chip memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRequirement {
+    /// Words stored.
+    pub depth: u64,
+    /// Bits per word.
+    pub width_bits: u64,
+    /// Descriptive label for the report.
+    pub label: &'static str,
+}
+
+impl MemoryRequirement {
+    /// BRAM tiles needed: best (minimum) over the supported aspect ratios.
+    pub fn tiles(&self) -> u64 {
+        if self.depth == 0 || self.width_bits == 0 {
+            return 0;
+        }
+        ASPECTS
+            .iter()
+            .map(|&(d, w)| {
+                let cols = self.width_bits.div_ceil(w);
+                let rows = self.depth.div_ceil(d);
+                cols * rows
+            })
+            .min()
+            .expect("aspect table is non-empty")
+    }
+
+    /// Raw storage demand, bits.
+    pub fn bits(&self) -> u64 {
+        self.depth * self.width_bits
+    }
+}
+
+/// Tallies tile usage across all memories of a design.
+#[derive(Debug, Clone, Default)]
+pub struct BramBudget {
+    memories: Vec<(MemoryRequirement, u64)>,
+}
+
+impl BramBudget {
+    /// Empty budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` copies of a memory.
+    pub fn add(&mut self, mem: MemoryRequirement, count: u64) {
+        self.memories.push((mem, count));
+    }
+
+    /// Total tiles used.
+    pub fn total_tiles(&self) -> u64 {
+        self.memories.iter().map(|(m, c)| m.tiles() * c).sum()
+    }
+
+    /// Total bits stored.
+    pub fn total_bits(&self) -> u64 {
+        self.memories.iter().map(|(m, c)| m.bits() * c).sum()
+    }
+
+    /// Per-memory breakdown `(label, copies, tiles)`.
+    pub fn breakdown(&self) -> Vec<(&'static str, u64, u64)> {
+        self.memories
+            .iter()
+            .map(|(m, c)| (m.label, *c, m.tiles() * c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tile_fits_exact_aspect() {
+        let m = MemoryRequirement {
+            depth: 1024,
+            width_bits: 18,
+            label: "t",
+        };
+        assert_eq!(m.tiles(), 1);
+        let m2 = MemoryRequirement {
+            depth: 512,
+            width_bits: 36,
+            label: "t",
+        };
+        assert_eq!(m2.tiles(), 1);
+    }
+
+    #[test]
+    fn wide_memory_splits_columns() {
+        // 512 deep × 72 wide = two 512×36 tiles.
+        let m = MemoryRequirement {
+            depth: 512,
+            width_bits: 72,
+            label: "t",
+        };
+        assert_eq!(m.tiles(), 2);
+    }
+
+    #[test]
+    fn deep_memory_splits_rows() {
+        // 4096 × 18: best is 4 tiles of 1024×18 (or 2048×9 ×2 cols = 4).
+        let m = MemoryRequirement {
+            depth: 4096,
+            width_bits: 18,
+            label: "t",
+        };
+        assert_eq!(m.tiles(), 4);
+    }
+
+    #[test]
+    fn odd_sizes_round_up() {
+        let m = MemoryRequirement {
+            depth: 600,
+            width_bits: 20,
+            label: "t",
+        };
+        // 600 deep needs 2 rows of 512×36 (width 20 ≤ 36) → 2 tiles, or
+        // 1024×18: 1 row deep enough, 2 cols → 2 tiles.
+        assert_eq!(m.tiles(), 2);
+    }
+
+    #[test]
+    fn budget_accumulates() {
+        let mut b = BramBudget::new();
+        b.add(
+            MemoryRequirement {
+                depth: 1024,
+                width_bits: 18,
+                label: "acc",
+            },
+            4,
+        );
+        b.add(
+            MemoryRequirement {
+                depth: 512,
+                width_bits: 36,
+                label: "rom",
+            },
+            1,
+        );
+        assert_eq!(b.total_tiles(), 5);
+        assert_eq!(b.total_bits(), 4 * 1024 * 18 + 512 * 36);
+        assert_eq!(b.breakdown().len(), 2);
+    }
+
+    #[test]
+    fn zero_memory_is_free() {
+        let m = MemoryRequirement {
+            depth: 0,
+            width_bits: 32,
+            label: "t",
+        };
+        assert_eq!(m.tiles(), 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! The FPGA deconvolution core.
+//!
+//! Implements the fast m-sequence (Hadamard) inverse on the integer
+//! datapath: scatter through the LFSR-state address ROM, an in-place
+//! integer Walsh–Hadamard butterfly, gather through the mask address ROM,
+//! and a final fixed-point scale by `−2/(N+1)`. All arithmetic is exact
+//! integer until the single rounding in the output scaler, so results are
+//! bit-deterministic — the property that lets the hybrid pipeline verify
+//! the FPGA component against the software component exactly.
+
+use crate::bram::{BramBudget, MemoryRequirement};
+use ims_prs::{FastMTransform, MSequence};
+use serde::{Deserialize, Serialize};
+
+/// Which forward model the data came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Convention {
+    /// `y[i] = Σ_j a[i+j]·x[j]` (simplex/correlation indexing).
+    Correlation,
+    /// `y[i] = Σ_j a[i−j]·x[j]` (physical convolution — gate fires at
+    /// `i − j`, ion arrives at `i`). This is what the instrument produces.
+    Convolution,
+}
+
+/// Parallelism/precision configuration of the core.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DeconvConfig {
+    /// Column engines running concurrently (one m/z column each).
+    pub parallel_columns: usize,
+    /// Butterfly ALUs per column engine.
+    pub butterflies_per_column: usize,
+    /// Fractional bits of the fixed-point output.
+    pub output_frac_bits: u32,
+    /// Forward-model convention of the incoming data.
+    pub convention: Convention,
+}
+
+impl Default for DeconvConfig {
+    fn default() -> Self {
+        Self {
+            parallel_columns: 4,
+            butterflies_per_column: 4,
+            output_frac_bits: 16,
+            convention: Convention::Convolution,
+        }
+    }
+}
+
+/// The deconvolution engine for one fixed gate sequence.
+#[derive(Debug, Clone)]
+pub struct DeconvCore {
+    transform: FastMTransform,
+    config: DeconvConfig,
+    cycles: u64,
+}
+
+impl DeconvCore {
+    /// Builds the core (burns the address ROMs) for an m-sequence.
+    pub fn new(seq: &MSequence, config: DeconvConfig) -> Self {
+        assert!(config.parallel_columns >= 1);
+        assert!(config.butterflies_per_column >= 1);
+        assert!((4..=30).contains(&config.output_frac_bits));
+        Self {
+            transform: FastMTransform::new(seq),
+            config,
+            cycles: 0,
+        }
+    }
+
+    /// Sequence length `N`.
+    pub fn len(&self) -> usize {
+        self.transform.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DeconvConfig {
+        &self.config
+    }
+
+    /// Clock cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Deconvolves one m/z column of accumulated counts; returns raw
+    /// fixed-point words with `output_frac_bits` fractional bits.
+    ///
+    /// Exact integer pipeline:
+    /// 1. scatter `y[k] → buf[states[k]]` (address ROM);
+    /// 2. integer FWHT over `M = N+1` entries (adds/subs only, bit growth
+    ///    `log2 M`);
+    /// 3. gather `c[j] = buf[masks[j]]` (address ROM);
+    /// 4. scale: `x̂ = −2·c/(N+1)` evaluated as a rounded `i128` product.
+    pub fn deconvolve_column(&self, y: &[u64]) -> Vec<i64> {
+        let n = self.len();
+        assert_eq!(y.len(), n, "column length mismatch");
+        let m = n + 1;
+        // Scatter.
+        let mut buf = vec![0i64; m];
+        for (k, &addr) in self.transform.scatter_addresses().iter().enumerate() {
+            buf[addr as usize] = y[k] as i64;
+        }
+        // Integer FWHT.
+        let mut h = 1usize;
+        while h < m {
+            for block in (0..m).step_by(h * 2) {
+                for i in block..block + h {
+                    let (a, b) = (buf[i], buf[i + h]);
+                    buf[i] = a + b;
+                    buf[i + h] = a - b;
+                }
+            }
+            h *= 2;
+        }
+        // Gather + scale. x̂[j] = −2·c[σ(j)]/(N+1), with σ the identity for
+        // correlation data and the index reversal for convolution data.
+        let f = self.config.output_frac_bits;
+        let masks = self.transform.gather_addresses();
+        let scale_num = -(2i128 << f);
+        let denom = (n + 1) as i128;
+        (0..n)
+            .map(|j| {
+                let lag = match self.config.convention {
+                    Convention::Correlation => j,
+                    Convention::Convolution => (n - j) % n,
+                };
+                let c = buf[masks[lag] as usize] as i128;
+                let wide = scale_num * c;
+                // Round to nearest, ties away from zero.
+                let half = denom / 2;
+                let rounded = if wide >= 0 {
+                    (wide + half) / denom
+                } else {
+                    (wide - half) / denom
+                };
+                rounded as i64
+            })
+            .collect()
+    }
+
+    /// Deconvolves a whole drift-major block (`mz_bins` columns), tallying
+    /// cycles, and returns the drift-major fixed-point result.
+    pub fn deconvolve_block(&mut self, data: &[u64], mz_bins: usize) -> Vec<i64> {
+        let n = self.len();
+        assert_eq!(data.len(), n * mz_bins, "block shape mismatch");
+        let mut out = vec![0i64; n * mz_bins];
+        let mut column = vec![0u64; n];
+        for mz in 0..mz_bins {
+            for d in 0..n {
+                column[d] = data[d * mz_bins + mz];
+            }
+            let x = self.deconvolve_column(&column);
+            for d in 0..n {
+                out[d * mz_bins + mz] = x[d];
+            }
+        }
+        self.cycles += self.cycles_per_block(mz_bins);
+        out
+    }
+
+    /// Converts raw fixed-point output words to `f64`.
+    pub fn to_f64(&self, raw: &[i64]) -> Vec<f64> {
+        let ulp = (2.0f64).powi(-(self.config.output_frac_bits as i32));
+        raw.iter().map(|&r| r as f64 * ulp).collect()
+    }
+
+    /// Clock cycles for one column: scatter `N` + butterfly stages
+    /// `(M/2)·log₂M / butterflies` + gather-and-scale `N`.
+    pub fn cycles_per_column(&self) -> u64 {
+        let n = self.len() as u64;
+        let m = n + 1;
+        let stages = (m as f64).log2() as u64;
+        let butterfly_cycles = (m / 2) * stages / self.config.butterflies_per_column as u64;
+        n + butterfly_cycles.max(1) + n
+    }
+
+    /// Clock cycles for a full block of `mz_bins` columns with
+    /// `parallel_columns` engines.
+    pub fn cycles_per_block(&self, mz_bins: usize) -> u64 {
+        let groups = mz_bins.div_ceil(self.config.parallel_columns) as u64;
+        groups * self.cycles_per_column()
+    }
+
+    /// BRAM budget: per column engine a double-buffered `M`-word working
+    /// RAM (accumulator width + log₂M growth bits + sign), plus the two
+    /// shared address ROMs.
+    pub fn bram_budget(&self, acc_bits: u32) -> BramBudget {
+        let n = self.len() as u64;
+        let m = n + 1;
+        let degree = (usize::BITS - self.len().leading_zeros()) as u64; // log2(M)
+        let work_bits = acc_bits as u64 + degree + 1;
+        let mut b = BramBudget::new();
+        b.add(
+            MemoryRequirement {
+                depth: m,
+                width_bits: work_bits,
+                label: "FWHT working RAM",
+            },
+            2 * self.config.parallel_columns as u64,
+        );
+        b.add(
+            MemoryRequirement {
+                depth: n,
+                width_bits: degree,
+                label: "scatter address ROM",
+            },
+            1,
+        );
+        b.add(
+            MemoryRequirement {
+                depth: n,
+                width_bits: degree,
+                label: "gather address ROM",
+            },
+            1,
+        );
+        b
+    }
+
+    /// DSP multipliers: one output scaler per column engine.
+    pub fn dsp_count(&self) -> u64 {
+        self.config.parallel_columns as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::Fx;
+    use ims_signal::correlate::circular_convolve_direct;
+
+    fn counts(n: usize) -> Vec<u64> {
+        (0..n).map(|k| ((k * 13 + 5) % 97) as u64).collect()
+    }
+
+    #[test]
+    fn integer_path_matches_float_path() {
+        for degree in [4u32, 6, 8, 9] {
+            let seq = MSequence::new(degree);
+            let core = DeconvCore::new(
+                &seq,
+                DeconvConfig {
+                    convention: Convention::Correlation,
+                    ..Default::default()
+                },
+            );
+            let t = FastMTransform::new(&seq);
+            let y = counts(seq.len());
+            let yf: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+            let float = t.deconvolve(&yf);
+            let fixed = core.to_f64(&core.deconvolve_column(&y));
+            let ulp = (2.0f64).powi(-16);
+            for (j, (a, b)) in float.iter().zip(fixed.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() <= ulp,
+                    "degree {degree} bin {j}: float {a} vs fixed {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn convolution_convention_round_trips_planted_signal() {
+        let seq = MSequence::new(7);
+        let n = seq.len();
+        let mut x = vec![0.0; n];
+        x[10] = 50.0;
+        x[90] = 120.0;
+        let y_f = circular_convolve_direct(&seq.as_f64(), &x);
+        let y: Vec<u64> = y_f.iter().map(|&v| v.round() as u64).collect();
+        let core = DeconvCore::new(&seq, DeconvConfig::default());
+        let got = core.to_f64(&core.deconvolve_column(&y));
+        for (j, (a, b)) in x.iter().zip(got.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-3, "bin {j}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn results_are_bit_deterministic() {
+        let seq = MSequence::new(8);
+        let core = DeconvCore::new(&seq, DeconvConfig::default());
+        let y = counts(seq.len());
+        let a = core.deconvolve_column(&y);
+        let b = core.deconvolve_column(&y);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn block_processing_matches_columnwise() {
+        let seq = MSequence::new(5);
+        let n = seq.len();
+        let mz_bins = 7;
+        let mut core = DeconvCore::new(&seq, DeconvConfig::default());
+        let mut data = vec![0u64; n * mz_bins];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = ((i * 31) % 250) as u64;
+        }
+        let block = core.deconvolve_block(&data, mz_bins);
+        for mz in 0..mz_bins {
+            let col: Vec<u64> = (0..n).map(|d| data[d * mz_bins + mz]).collect();
+            let expect = core.deconvolve_column(&col);
+            for d in 0..n {
+                assert_eq!(block[d * mz_bins + mz], expect[d]);
+            }
+        }
+        assert!(core.cycles() > 0);
+    }
+
+    #[test]
+    fn cycle_model_scales_with_parallelism() {
+        let seq = MSequence::new(9);
+        let slow = DeconvCore::new(
+            &seq,
+            DeconvConfig {
+                parallel_columns: 1,
+                butterflies_per_column: 1,
+                ..Default::default()
+            },
+        );
+        let fast = DeconvCore::new(
+            &seq,
+            DeconvConfig {
+                parallel_columns: 8,
+                butterflies_per_column: 8,
+                ..Default::default()
+            },
+        );
+        let mz = 1000;
+        assert!(slow.cycles_per_block(mz) > 6 * fast.cycles_per_block(mz));
+    }
+
+    #[test]
+    fn bram_budget_includes_roms_and_work_ram() {
+        let seq = MSequence::new(9);
+        let core = DeconvCore::new(&seq, DeconvConfig::default());
+        let b = core.bram_budget(32);
+        let labels: Vec<&str> = b.breakdown().iter().map(|(l, _, _)| *l).collect();
+        assert!(labels.contains(&"FWHT working RAM"));
+        assert!(labels.contains(&"scatter address ROM"));
+        assert!(b.total_tiles() > 0);
+    }
+
+    #[test]
+    fn fixed_output_type_is_consistent() {
+        // Round-trip through the Fx type used downstream.
+        let seq = MSequence::new(4);
+        let core = DeconvCore::new(&seq, DeconvConfig::default());
+        let raw = core.deconvolve_column(&counts(seq.len()));
+        for &r in &raw {
+            let fx = Fx::<16>::from_raw(r);
+            assert!((fx.to_f64() - r as f64 / 65536.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Host ↔ FPGA link model (RapidArray-like) and the frame packets the
+//! hybrid pipeline streams across it.
+//!
+//! The Cray XD1 attached its FPGAs over the RapidArray fabric at roughly
+//! 1.6 GB/s per direction with ~2 µs message latency. Whether the design is
+//! viable at all hinges on one inequality: sustained frame traffic must fit
+//! the link. [`DmaLink`] answers that, and [`FramePacket`] (built on
+//! `bytes::Bytes` for zero-copy hand-off between pipeline threads) is the
+//! unit of traffic.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth/latency model of the host link.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DmaLink {
+    /// Sustained bandwidth per direction, bytes/s.
+    pub bandwidth_bytes_per_s: f64,
+    /// Per-transfer latency, s.
+    pub latency_s: f64,
+}
+
+impl DmaLink {
+    /// Cray XD1 RapidArray: ~1.6 GB/s per direction, ~1.8 µs latency.
+    pub fn rapidarray() -> Self {
+        Self {
+            bandwidth_bytes_per_s: 1.6e9,
+            latency_s: 1.8e-6,
+        }
+    }
+
+    /// A PCI-X instrument-attached board (the portability target the
+    /// abstract mentions): ~800 MB/s, 10 µs.
+    pub fn pci_x() -> Self {
+        Self {
+            bandwidth_bytes_per_s: 8.0e8,
+            latency_s: 1.0e-5,
+        }
+    }
+
+    /// Wall time to move `bytes` once.
+    pub fn transfer_time_s(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Highest frame rate the link sustains for a given frame size.
+    pub fn sustainable_frame_rate(&self, frame_bytes: usize) -> f64 {
+        1.0 / self.transfer_time_s(frame_bytes)
+    }
+
+    /// Does the link keep up with `frames_per_s` of `frame_bytes` frames?
+    pub fn can_sustain(&self, frame_bytes: usize, frames_per_s: f64) -> bool {
+        self.sustainable_frame_rate(frame_bytes) >= frames_per_s
+    }
+
+    /// Fraction of the link consumed by a traffic pattern (>1 ⇒ overload).
+    pub fn utilization(&self, frame_bytes: usize, frames_per_s: f64) -> f64 {
+        frames_per_s * self.transfer_time_s(frame_bytes)
+    }
+}
+
+/// One frame of raw instrument data in flight between pipeline stages.
+#[derive(Debug, Clone)]
+pub struct FramePacket {
+    /// Monotonic frame number.
+    pub seq_no: u64,
+    /// Raw little-endian `u32` ADC words, drift-major.
+    pub payload: Bytes,
+}
+
+impl FramePacket {
+    /// Packs ADC words into a packet.
+    pub fn from_words(seq_no: u64, words: &[u32]) -> Self {
+        let mut buf = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        Self {
+            seq_no,
+            payload: Bytes::from(buf),
+        }
+    }
+
+    /// Unpacks the ADC words.
+    pub fn to_words(&self) -> Vec<u32> {
+        self.payload
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Payload size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let link = DmaLink::rapidarray();
+        let t = link.transfer_time_s(1_600_000);
+        assert!((t - (1.8e-6 + 1e-3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rapidarray_sustains_raw_ims_frames() {
+        // 511 drift bins × 2000 m/z bins × 4 B ≈ 4.1 MB per frame at
+        // ~15 frames/s (60 ms frames) ≈ 61 MB/s — easily sustained.
+        let link = DmaLink::rapidarray();
+        let frame_bytes = 511 * 2000 * 4;
+        assert!(link.can_sustain(frame_bytes, 15.0));
+        // But a hypothetical unaccumulated 10 kHz extraction stream is not.
+        assert!(!link.can_sustain(frame_bytes, 10_000.0));
+    }
+
+    #[test]
+    fn accumulation_reduces_utilization() {
+        // On-chip accumulation over 50 cycles divides the frame rate by 50.
+        let link = DmaLink::pci_x();
+        let frame_bytes = 511 * 2000 * 4;
+        let raw = link.utilization(frame_bytes, 15.0);
+        let accumulated = link.utilization(frame_bytes, 15.0 / 50.0);
+        assert!((raw / accumulated - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn packet_round_trips_words() {
+        let words: Vec<u32> = (0..100).map(|i| i * 17).collect();
+        let p = FramePacket::from_words(7, &words);
+        assert_eq!(p.seq_no, 7);
+        assert_eq!(p.len_bytes(), 400);
+        assert_eq!(p.to_words(), words);
+    }
+
+    #[test]
+    fn packet_clone_is_cheap_shared_buffer() {
+        let p = FramePacket::from_words(0, &[1, 2, 3]);
+        let q = p.clone();
+        // bytes::Bytes clones share the allocation.
+        assert_eq!(p.payload.as_ptr(), q.payload.as_ptr());
+    }
+}

@@ -1,0 +1,193 @@
+//! Parametric Q-format fixed-point arithmetic.
+//!
+//! `Fx<F>` holds a signed value with `F` fractional bits in an `i64`
+//! (Q(63−F).F). Addition/subtraction saturate; multiplication computes in
+//! `i128` with round-to-nearest, then saturates — the same semantics as a
+//! DSP48 chain with saturation logic, which is what the datapath would
+//! synthesise to.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Signed fixed-point value with `F` fractional bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fx<const F: u32>(i64);
+
+impl<const F: u32> Fx<F> {
+    /// Largest representable value.
+    pub const MAX: Fx<F> = Fx(i64::MAX);
+    /// Smallest representable value.
+    pub const MIN: Fx<F> = Fx(i64::MIN);
+    /// Zero.
+    pub const ZERO: Fx<F> = Fx(0);
+
+    /// One unit in the last place.
+    pub fn ulp() -> f64 {
+        (2.0f64).powi(-(F as i32))
+    }
+
+    /// Constructs from a raw fixed-point word.
+    pub fn from_raw(raw: i64) -> Self {
+        Fx(raw)
+    }
+
+    /// The raw fixed-point word.
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Converts from `f64`, rounding to nearest; saturates out-of-range.
+    pub fn from_f64(v: f64) -> Self {
+        let scaled = v * (1u64 << F) as f64;
+        if scaled >= i64::MAX as f64 {
+            Self::MAX
+        } else if scaled <= i64::MIN as f64 {
+            Self::MIN
+        } else {
+            Fx(scaled.round() as i64)
+        }
+    }
+
+    /// Converts from an integer.
+    pub fn from_int(v: i64) -> Self {
+        match v.checked_shl(F) {
+            Some(raw) if raw >> F == v => Fx(raw),
+            _ => {
+                if v > 0 {
+                    Self::MAX
+                } else {
+                    Self::MIN
+                }
+            }
+        }
+    }
+
+    /// Converts to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (1u64 << F) as f64
+    }
+
+    /// Saturating addition.
+    pub fn sat_add(self, rhs: Self) -> Self {
+        Fx(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn sat_sub(self, rhs: Self) -> Self {
+        Fx(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication with round-to-nearest (ties away from 0).
+    pub fn sat_mul(self, rhs: Self) -> Self {
+        let wide = self.0 as i128 * rhs.0 as i128;
+        let half = 1i128 << (F - 1);
+        // Arithmetic shift floors, so round the magnitude and restore the
+        // sign to get symmetric round-half-away-from-zero.
+        let rounded = if wide >= 0 {
+            (wide + half) >> F
+        } else {
+            -((-wide + half) >> F)
+        };
+        if rounded > i64::MAX as i128 {
+            Self::MAX
+        } else if rounded < i64::MIN as i128 {
+            Self::MIN
+        } else {
+            Fx(rounded as i64)
+        }
+    }
+
+    /// Absolute difference from another value, in ULPs.
+    pub fn ulps_from(self, rhs: Self) -> u64 {
+        self.0.abs_diff(rhs.0)
+    }
+}
+
+impl<const F: u32> Add for Fx<F> {
+    type Output = Fx<F>;
+    fn add(self, rhs: Self) -> Self {
+        self.sat_add(rhs)
+    }
+}
+
+impl<const F: u32> Sub for Fx<F> {
+    type Output = Fx<F>;
+    fn sub(self, rhs: Self) -> Self {
+        self.sat_sub(rhs)
+    }
+}
+
+impl<const F: u32> Mul for Fx<F> {
+    type Output = Fx<F>;
+    fn mul(self, rhs: Self) -> Self {
+        self.sat_mul(rhs)
+    }
+}
+
+impl<const F: u32> Neg for Fx<F> {
+    type Output = Fx<F>;
+    fn neg(self) -> Self {
+        Fx(self.0.saturating_neg())
+    }
+}
+
+/// The Q47.16 format used by the deconvolution output stage.
+pub type Q16 = Fx<16>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_within_half_ulp() {
+        for v in [0.0, 1.0, -1.0, 3.14159, -1234.5678, 1e6] {
+            let f = Q16::from_f64(v);
+            assert!((f.to_f64() - v).abs() <= Q16::ulp() / 2.0 + 1e-12, "{v}");
+        }
+    }
+
+    #[test]
+    fn addition_exact_and_saturating() {
+        let a = Q16::from_f64(1.5);
+        let b = Q16::from_f64(2.25);
+        assert_eq!((a + b).to_f64(), 3.75);
+        assert_eq!(Q16::MAX + Q16::from_f64(1.0), Q16::MAX);
+        assert_eq!(Q16::MIN - Q16::from_f64(1.0), Q16::MIN);
+    }
+
+    #[test]
+    fn multiplication_rounds_to_nearest() {
+        let a = Fx::<8>::from_f64(0.5);
+        let b = Fx::<8>::from_f64(0.5);
+        assert_eq!((a * b).to_f64(), 0.25);
+        // 3·(1/256)·(1/256) = 3/65536 → rounds to 0 ulp? raw 3·1 = 3 >> 8
+        // with rounding: (3+128)>>8 = 0 → 0.
+        let tiny = Fx::<8>::from_raw(1);
+        let three = Fx::<8>::from_raw(3);
+        assert_eq!((tiny * three).raw(), 0);
+        // Negative symmetry.
+        let c = Fx::<8>::from_f64(-0.5);
+        assert_eq!((a * c).to_f64(), -0.25);
+    }
+
+    #[test]
+    fn from_int_saturates() {
+        assert_eq!(Fx::<32>::from_int(1).to_f64(), 1.0);
+        assert_eq!(Fx::<32>::from_int(i64::MAX / 2), Fx::<32>::MAX);
+        assert_eq!(Fx::<32>::from_int(i64::MIN / 2), Fx::<32>::MIN);
+    }
+
+    #[test]
+    fn negation() {
+        let a = Q16::from_f64(2.5);
+        assert_eq!((-a).to_f64(), -2.5);
+        assert_eq!(-Q16::MIN, Q16::MAX); // saturating_neg
+    }
+
+    #[test]
+    fn ulp_distance() {
+        let a = Q16::from_raw(100);
+        let b = Q16::from_raw(97);
+        assert_eq!(a.ulps_from(b), 3);
+    }
+}

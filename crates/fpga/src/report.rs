@@ -1,0 +1,296 @@
+//! Device inventories and the feasibility report — the E4 budget table.
+
+use crate::accumulator::AccumulatorCore;
+use crate::binner::MzBinner;
+use crate::deconv::DeconvCore;
+use crate::dma::DmaLink;
+use serde::{Deserialize, Serialize};
+
+/// An FPGA device inventory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Device name.
+    pub name: String,
+    /// 18 Kb BRAM tiles available.
+    pub bram_tiles: u64,
+    /// Hardware multipliers / DSP slices.
+    pub dsp_slices: u64,
+    /// Design clock, Hz.
+    pub clock_hz: f64,
+}
+
+impl FpgaDevice {
+    /// Xilinx Virtex-II Pro XC2VP50 — the Cray XD1 application FPGA.
+    pub fn xc2vp50() -> Self {
+        Self {
+            name: "XC2VP50 (Cray XD1)".into(),
+            bram_tiles: 232,
+            dsp_slices: 232, // MULT18X18s
+            clock_hz: 130e6,
+        }
+    }
+
+    /// Xilinx Virtex-4 LX160 — the XD1's upgraded accelerator option.
+    pub fn xc4vlx160() -> Self {
+        Self {
+            name: "XC4VLX160".into(),
+            bram_tiles: 288,
+            dsp_slices: 96,
+            clock_hz: 200e6,
+        }
+    }
+
+    /// A small instrument-attached board (portability target).
+    pub fn instrument_board() -> Self {
+        Self {
+            name: "instrument board (V2P30)".into(),
+            bram_tiles: 136,
+            dsp_slices: 136,
+            clock_hz: 100e6,
+        }
+    }
+}
+
+/// Feasibility report for a capture + deconvolution design point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceReport {
+    /// Target device name.
+    pub device: String,
+    /// BRAM tiles used / available.
+    pub bram_used: u64,
+    /// BRAM tiles available.
+    pub bram_available: u64,
+    /// DSP slices used.
+    pub dsp_used: u64,
+    /// DSP slices available.
+    pub dsp_available: u64,
+    /// Whether the design fits the device.
+    pub fits: bool,
+    /// Clock cycles per processed block (capture of all frames + deconvolution).
+    pub cycles_per_block: u64,
+    /// Wall seconds per block at the device clock.
+    pub seconds_per_block: f64,
+    /// The instrument's block period (accumulated frames × frame duration).
+    pub block_period_s: f64,
+    /// `block_period / processing time` — ≥ 1 means real-time.
+    pub realtime_margin: f64,
+    /// Host-link utilisation for the block readout (≤ 1 required).
+    pub link_utilization: f64,
+}
+
+impl ResourceReport {
+    /// Builds the report for a design point.
+    ///
+    /// `frames_per_block` is how many PRS cycles are accumulated on chip
+    /// before one deconvolved block is produced; `frame_duration_s` is the
+    /// IMS frame period.
+    pub fn evaluate(
+        device: &FpgaDevice,
+        acc: &AccumulatorCore,
+        deconv: &DeconvCore,
+        link: &DmaLink,
+        frames_per_block: u64,
+        frame_duration_s: f64,
+    ) -> Self {
+        let bram_used = acc.bram_budget().total_tiles() + deconv.bram_budget(32).total_tiles();
+        let dsp_used = deconv.dsp_count();
+        let fits = bram_used <= device.bram_tiles && dsp_used <= device.dsp_slices;
+
+        let capture_cycles = acc.cycles_per_frame() * frames_per_block;
+        let deconv_cycles = deconv.cycles_per_block(acc.mz_bins());
+        // Capture and deconvolution are double-buffered: the block time is
+        // the max of the two stages, not the sum.
+        let cycles_per_block = capture_cycles.max(deconv_cycles);
+        let seconds_per_block = cycles_per_block as f64 / device.clock_hz;
+        let block_period_s = frames_per_block as f64 * frame_duration_s;
+        let realtime_margin = block_period_s / seconds_per_block;
+
+        // Readout traffic: one deconvolved block (i64 words halved to i32
+        // after renormalisation) per block period.
+        let block_bytes = acc.drift_bins() * acc.mz_bins() * 4;
+        let link_utilization = link.utilization(block_bytes, 1.0 / block_period_s);
+
+        Self {
+            device: device.name.clone(),
+            bram_used,
+            bram_available: device.bram_tiles,
+            dsp_used,
+            dsp_available: device.dsp_slices,
+            fits,
+            cycles_per_block,
+            seconds_per_block,
+            block_period_s,
+            realtime_margin,
+            link_utilization,
+        }
+    }
+
+    /// Like [`Self::evaluate`], but with a streaming m/z binning stage in
+    /// front of the accumulator: frames arrive at `binner.fine_bins()` m/z
+    /// resolution and are folded to the accumulator's (coarse) width on the
+    /// fly. Capture is then paced by the fine word stream.
+    pub fn evaluate_with_binner(
+        device: &FpgaDevice,
+        binner: &MzBinner,
+        acc: &AccumulatorCore,
+        deconv: &DeconvCore,
+        link: &DmaLink,
+        frames_per_block: u64,
+        frame_duration_s: f64,
+    ) -> Self {
+        assert_eq!(
+            binner.coarse_bins(),
+            acc.mz_bins(),
+            "binner output must match accumulator width"
+        );
+        let bram_used = binner.bram_budget().total_tiles()
+            + acc.bram_budget().total_tiles()
+            + deconv.bram_budget(32).total_tiles();
+        let dsp_used = deconv.dsp_count();
+        let fits = bram_used <= device.bram_tiles && dsp_used <= device.dsp_slices;
+
+        // The fine stream paces capture (one fine word per clock).
+        let capture_cycles =
+            binner.cycles_per_frame(acc.drift_bins()) * frames_per_block;
+        let deconv_cycles = deconv.cycles_per_block(acc.mz_bins());
+        let cycles_per_block = capture_cycles.max(deconv_cycles);
+        let seconds_per_block = cycles_per_block as f64 / device.clock_hz;
+        let block_period_s = frames_per_block as f64 * frame_duration_s;
+        let realtime_margin = block_period_s / seconds_per_block;
+        let block_bytes = acc.drift_bins() * acc.mz_bins() * 4;
+        let link_utilization = link.utilization(block_bytes, 1.0 / block_period_s);
+
+        Self {
+            device: device.name.clone(),
+            bram_used,
+            bram_available: device.bram_tiles,
+            dsp_used,
+            dsp_available: device.dsp_slices,
+            fits,
+            cycles_per_block,
+            seconds_per_block,
+            block_period_s,
+            realtime_margin,
+            link_utilization,
+        }
+    }
+
+    /// True when the design both fits and keeps up in real time with link
+    /// headroom.
+    pub fn viable(&self) -> bool {
+        self.fits && self.realtime_margin >= 1.0 && self.link_utilization <= 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binner::MzBinner;
+    use crate::deconv::DeconvConfig;
+    use ims_prs::MSequence;
+
+    fn design(mz_bins: usize, parallel: usize) -> (AccumulatorCore, DeconvCore) {
+        let seq = MSequence::new(9); // N = 511
+        let acc = AccumulatorCore::new(511, mz_bins, 32);
+        let deconv = DeconvCore::new(
+            &seq,
+            DeconvConfig {
+                parallel_columns: parallel,
+                butterflies_per_column: 4,
+                ..Default::default()
+            },
+        );
+        (acc, deconv)
+    }
+
+    #[test]
+    fn modest_design_fits_xd1_fpga() {
+        // 511 × 100 m/z bins (on-chip m/z binning), 32-bit accumulators:
+        // 2×(51100×32b) ≈ 3.3 Mb < 232 tiles (4.1 Mb).
+        let (acc, deconv) = design(100, 4);
+        let report = ResourceReport::evaluate(
+            &FpgaDevice::xc2vp50(),
+            &acc,
+            &deconv,
+            &DmaLink::rapidarray(),
+            50,
+            0.06,
+        );
+        assert!(report.fits, "bram {}/{}", report.bram_used, report.bram_available);
+        assert!(report.realtime_margin > 1.0, "margin {}", report.realtime_margin);
+        assert!(report.viable());
+    }
+
+    #[test]
+    fn full_resolution_capture_does_not_fit() {
+        // 511 × 2000 m/z bins needs ~65 Mb of accumulation RAM — an order
+        // of magnitude beyond the chip. The report must say so.
+        let (acc, deconv) = design(2000, 4);
+        let report = ResourceReport::evaluate(
+            &FpgaDevice::xc2vp50(),
+            &acc,
+            &deconv,
+            &DmaLink::rapidarray(),
+            50,
+            0.06,
+        );
+        assert!(!report.fits);
+        assert!(!report.viable());
+    }
+
+    #[test]
+    fn parallelism_buys_realtime_margin() {
+        let (acc, d1) = design(100, 1);
+        let (_, d8) = design(100, 8);
+        let link = DmaLink::rapidarray();
+        let dev = FpgaDevice::xc4vlx160();
+        let r1 = ResourceReport::evaluate(&dev, &acc, &d1, &link, 50, 0.06);
+        let r8 = ResourceReport::evaluate(&dev, &acc, &d8, &link, 50, 0.06);
+        assert!(r8.realtime_margin >= r1.realtime_margin);
+    }
+
+    #[test]
+    fn binned_full_resolution_capture_becomes_viable() {
+        // Raw 2000-bin capture does not fit (see the other test); with an
+        // on-chip 2000→100 binner the same input stream fits and keeps up.
+        let seq = MSequence::new(9);
+        let binner = MzBinner::uniform(2000, 100);
+        let acc = AccumulatorCore::new(511, 100, 32);
+        let deconv = DeconvCore::new(&seq, DeconvConfig::default());
+        let report = ResourceReport::evaluate_with_binner(
+            &FpgaDevice::xc2vp50(),
+            &binner,
+            &acc,
+            &deconv,
+            &DmaLink::rapidarray(),
+            50,
+            0.06,
+        );
+        assert!(report.fits, "bram {}/{}", report.bram_used, report.bram_available);
+        assert!(report.viable(), "margin {}", report.realtime_margin);
+        // The fine stream paces capture: 20x the coarse-only cycle count.
+        let coarse_only = ResourceReport::evaluate(
+            &FpgaDevice::xc2vp50(),
+            &acc,
+            &deconv,
+            &DmaLink::rapidarray(),
+            50,
+            0.06,
+        );
+        assert!(report.cycles_per_block > 10 * coarse_only.cycles_per_block);
+    }
+
+    #[test]
+    fn link_utilization_reported() {
+        let (acc, deconv) = design(100, 4);
+        let report = ResourceReport::evaluate(
+            &FpgaDevice::xc2vp50(),
+            &acc,
+            &deconv,
+            &DmaLink::pci_x(),
+            50,
+            0.06,
+        );
+        assert!(report.link_utilization > 0.0 && report.link_utilization < 1.0);
+    }
+}

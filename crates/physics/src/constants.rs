@@ -1,0 +1,51 @@
+//! Physical constants (SI unless noted) and instrument-domain conversions.
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge, C.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Unified atomic mass unit, kg.
+pub const AMU: f64 = 1.660_539_066_60e-27;
+
+/// Loschmidt number density at 273.15 K and 760 Torr, m⁻³.
+pub const LOSCHMIDT: f64 = 2.686_780_111e25;
+
+/// Standard temperature for reduced mobility, K.
+pub const STANDARD_TEMPERATURE: f64 = 273.15;
+
+/// Standard pressure for reduced mobility, Torr.
+pub const STANDARD_PRESSURE_TORR: f64 = 760.0;
+
+/// Mass of the N₂ buffer gas molecule, Da.
+pub const N2_MASS_DA: f64 = 28.013_4;
+
+/// Mass of a proton, Da (for m/z computation of protonated species).
+pub const PROTON_MASS_DA: f64 = 1.007_276_466;
+
+/// Conversion: 1 Å² in m².
+pub const A2_TO_M2: f64 = 1e-20;
+
+/// Conversion: m²/(V·s) → cm²/(V·s).
+pub const M2_TO_CM2: f64 = 1e4;
+
+/// FWHM of a Gaussian in units of its σ.
+pub const FWHM_SIGMA: f64 = 2.354_820_045;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loschmidt_is_ideal_gas_at_stp() {
+        // n = P/(kB·T) with P = 101325 Pa, T = 273.15 K.
+        let n = 101_325.0 / (BOLTZMANN * STANDARD_TEMPERATURE);
+        assert!((n - LOSCHMIDT).abs() / LOSCHMIDT < 1e-6);
+    }
+
+    #[test]
+    fn fwhm_constant() {
+        assert!((FWHM_SIGMA - (8.0 * (2.0f64).ln()).sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,108 @@
+//! Space-charge (Coulombic) effects in the drift tube.
+//!
+//! Tolmachev, Clowers, Belov & Smith (Anal. Chem. 2009) showed that packets
+//! above ~10⁴ elementary charges expand under their own field fast enough to
+//! measurably degrade IMS resolving power. The functional form below is a
+//! reconstruction that preserves their reported behaviour: negligible
+//! broadening below `threshold_charges`, then a packet-radius growth with a
+//! cube-root dependence on charge (ballistic Coulomb expansion of a
+//! spherical cloud), which adds in quadrature with diffusional broadening.
+
+use serde::{Deserialize, Serialize};
+
+/// Space-charge broadening model for an ion packet in the drift region.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CoulombModel {
+    /// Charge count below which broadening is negligible (~10⁴ e).
+    pub threshold_charges: f64,
+    /// Broadening strength: the relative extra temporal spread contributed
+    /// at 10× the threshold charge.
+    pub strength: f64,
+}
+
+impl Default for CoulombModel {
+    fn default() -> Self {
+        Self {
+            threshold_charges: 1.0e4,
+            strength: 0.35,
+        }
+    }
+}
+
+impl CoulombModel {
+    /// Ratio of space-charge temporal spread to the diffusional spread for
+    /// a packet of `charges` (0 below threshold; ∝ q^(1/3) above).
+    pub fn relative_spread(&self, charges: f64) -> f64 {
+        assert!(charges >= 0.0);
+        if charges <= self.threshold_charges {
+            return 0.0;
+        }
+        // Normalised so that at 10× threshold the ratio equals `strength`:
+        // s(q) = strength · ((q/threshold)^(1/3) − 1) / (10^(1/3) − 1)
+        let growth = (charges / self.threshold_charges).powf(1.0 / 3.0) - 1.0;
+        self.strength * growth / (10.0f64.powf(1.0 / 3.0) - 1.0)
+    }
+
+    /// Factor by which the total peak width grows: quadrature sum of
+    /// diffusion (1) and space charge.
+    pub fn broadening_factor(&self, charges: f64) -> f64 {
+        let s = self.relative_spread(charges);
+        (1.0 + s * s).sqrt()
+    }
+
+    /// Resolving power after space-charge degradation, given the
+    /// diffusion-limited value.
+    pub fn degraded_resolving_power(&self, r_diffusion: f64, charges: f64) -> f64 {
+        r_diffusion / self.broadening_factor(charges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_no_effect() {
+        let m = CoulombModel::default();
+        assert_eq!(m.broadening_factor(0.0), 1.0);
+        assert_eq!(m.broadening_factor(9.0e3), 1.0);
+        assert_eq!(m.degraded_resolving_power(100.0, 5.0e3), 100.0);
+    }
+
+    #[test]
+    fn noticeable_degradation_above_1e5() {
+        let m = CoulombModel::default();
+        let r = m.degraded_resolving_power(100.0, 1.0e5);
+        assert!(r < 96.0, "R = {r} (should be visibly degraded)");
+        assert!(r > 80.0, "R = {r} (should not collapse yet)");
+    }
+
+    #[test]
+    fn severe_degradation_at_1e7() {
+        let m = CoulombModel::default();
+        let r = m.degraded_resolving_power(100.0, 1.0e7);
+        assert!(r < 75.0, "R = {r}");
+    }
+
+    #[test]
+    fn monotone_in_charge() {
+        let m = CoulombModel::default();
+        let mut last = m.broadening_factor(1.0e4);
+        for exp in [4.5, 5.0, 5.5, 6.0, 6.5, 7.0, 8.0] {
+            let f = m.broadening_factor(10.0f64.powf(exp));
+            assert!(f >= last, "non-monotone at 1e{exp}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn cube_root_asymptotics() {
+        let m = CoulombModel::default();
+        // At large charge, spread ratio grows as q^(1/3): 1000× the charge
+        // gives 10× the spread.
+        let s1 = m.relative_spread(1.0e7);
+        let s2 = m.relative_spread(1.0e10);
+        let ratio = s2 / s1;
+        assert!(ratio > 8.0 && ratio < 12.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,221 @@
+//! MCP detector and digitiser models: ADC versus TDC.
+//!
+//! The companion work (Belov et al. 2008, "Dynamically Multiplexed IMS-TOF")
+//! moved from time-to-digital (TDC) to analog-to-digital (ADC) detection
+//! precisely because multiplexing multiplies the instantaneous ion flux:
+//! a TDC registers at most one hit per bin per extraction and therefore
+//! saturates, while an ADC digitises the full analog MCP pulse pile-up.
+//! Experiment E10 reproduces that ablation.
+
+use ims_signal::noise::{gaussian, poisson};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// MCP + ADC detection chain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdcDetector {
+    /// Mean single-ion pulse amplitude, ADC counts.
+    pub gain: f64,
+    /// Relative spread of the single-ion gain (MCP gain statistics).
+    pub gain_spread: f64,
+    /// RMS electronic noise per bin, ADC counts.
+    pub noise_sigma: f64,
+    /// Effective full-scale value per drift bin per frame. Each drift bin
+    /// sums many 8-bit TOF extractions on the digitiser, so the effective
+    /// ceiling is far above a single conversion's 255 (here 2¹⁶ − 1).
+    pub full_scale: f64,
+}
+
+impl Default for AdcDetector {
+    fn default() -> Self {
+        Self {
+            gain: 8.0,
+            gain_spread: 0.35,
+            noise_sigma: 1.2,
+            full_scale: 65_535.0,
+        }
+    }
+}
+
+impl AdcDetector {
+    /// Digitises one bin: `n_ions` arrivals → ADC counts (clamped).
+    pub fn digitize_bin(&self, rng: &mut impl Rng, n_ions: u64) -> f64 {
+        let mut amplitude = 0.0;
+        if n_ions > 0 {
+            if n_ions > 1000 {
+                // Gaussian limit of the summed gain distribution.
+                let mean = n_ions as f64 * self.gain;
+                let sigma = self.gain * self.gain_spread * (n_ions as f64).sqrt();
+                amplitude = mean + sigma * gaussian(rng);
+            } else {
+                for _ in 0..n_ions {
+                    let g = self.gain * (1.0 + self.gain_spread * gaussian(rng));
+                    amplitude += g.max(0.0);
+                }
+            }
+        }
+        amplitude += self.noise_sigma * gaussian(rng);
+        amplitude.clamp(0.0, self.full_scale)
+    }
+
+    /// Digitises a whole spectrum of expected ion counts: Poisson arrivals
+    /// per bin, then the analog chain.
+    pub fn digitize(&self, rng: &mut impl Rng, expected_ions: &[f64]) -> Vec<f64> {
+        expected_ions
+            .iter()
+            .map(|&mean| {
+                let n = poisson(rng, mean.max(0.0));
+                self.digitize_bin(rng, n)
+            })
+            .collect()
+    }
+
+    /// Expected ADC counts for a given expected ion count (linearity
+    /// reference, ignoring clamping).
+    pub fn expected_response(&self, expected_ions: f64) -> f64 {
+        expected_ions * self.gain
+    }
+}
+
+/// Time-to-digital converter: registers at most one hit per bin per
+/// extraction (non-paralyzable dead time of one bin).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TdcDetector {
+    /// Detection efficiency per ion (MCP open-area × quantum efficiency).
+    pub efficiency: f64,
+}
+
+impl Default for TdcDetector {
+    fn default() -> Self {
+        Self { efficiency: 0.6 }
+    }
+}
+
+impl TdcDetector {
+    /// One extraction: each bin reports 0 or 1.
+    ///
+    /// The probability of at least one detected ion in a bin with `mean`
+    /// expected arrivals is `1 − e^{−η·mean}` — the classic TDC saturation.
+    pub fn digitize_extraction(&self, rng: &mut impl Rng, expected_ions: &[f64]) -> Vec<f64> {
+        expected_ions
+            .iter()
+            .map(|&mean| {
+                let p = 1.0 - (-self.efficiency * mean.max(0.0)).exp();
+                if rng.gen::<f64>() < p {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Sums `extractions` independent TDC extractions (histogram mode).
+    pub fn digitize(
+        &self,
+        rng: &mut impl Rng,
+        expected_ions_per_extraction: &[f64],
+        extractions: usize,
+    ) -> Vec<f64> {
+        let mut acc = vec![0.0; expected_ions_per_extraction.len()];
+        for _ in 0..extractions {
+            for (a, v) in acc
+                .iter_mut()
+                .zip(self.digitize_extraction(rng, expected_ions_per_extraction))
+            {
+                *a += v;
+            }
+        }
+        acc
+    }
+
+    /// Expected counts per bin after `extractions` (the saturating
+    /// response curve).
+    pub fn expected_response(&self, expected_ions_per_extraction: f64, extractions: usize) -> f64 {
+        extractions as f64 * (1.0 - (-self.efficiency * expected_ions_per_extraction).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn adc_is_linear_in_flux() {
+        let det = AdcDetector {
+            full_scale: 1e9,
+            ..Default::default()
+        };
+        let mut r = rng();
+        let reps = 3000;
+        let mean_response = |ions: f64, r: &mut ChaCha8Rng| -> f64 {
+            (0..reps)
+                .map(|_| det.digitize(r, &[ions])[0])
+                .sum::<f64>()
+                / reps as f64
+        };
+        let low = mean_response(2.0, &mut r);
+        let high = mean_response(20.0, &mut r);
+        let gain_ratio = high / low;
+        assert!(
+            (gain_ratio - 10.0).abs() < 1.0,
+            "ADC gain ratio {gain_ratio} (expected ~10)"
+        );
+    }
+
+    #[test]
+    fn tdc_saturates_at_high_flux() {
+        let det = TdcDetector::default();
+        // At 10 ions/bin/extraction the TDC can only report ~1.
+        let resp_low = det.expected_response(0.1, 100);
+        let resp_high = det.expected_response(10.0, 100);
+        // Flux rose 100×, response rose far less.
+        assert!(resp_high / resp_low < 20.0);
+        assert!(resp_high <= 100.0);
+    }
+
+    #[test]
+    fn tdc_monte_carlo_matches_expectation() {
+        let det = TdcDetector::default();
+        let mut r = rng();
+        let counts = det.digitize(&mut r, &[0.5], 2000);
+        let expect = det.expected_response(0.5, 2000);
+        assert!(
+            (counts[0] - expect).abs() < 4.0 * expect.sqrt(),
+            "got {} expected {expect}",
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn adc_clamps_at_full_scale() {
+        let det = AdcDetector::default();
+        let mut r = rng();
+        let v = det.digitize_bin(&mut r, 10_000);
+        assert!(v <= det.full_scale);
+    }
+
+    #[test]
+    fn zero_signal_is_noise_only() {
+        let det = AdcDetector::default();
+        let mut r = rng();
+        let trace = det.digitize(&mut r, &vec![0.0; 5000]);
+        let mean = ims_signal::stats::mean(&trace);
+        // Clamped-at-zero Gaussian noise: mean ≈ σ·φ(0)⁺ ≈ 0.4σ.
+        assert!(mean < det.noise_sigma, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let det = AdcDetector::default();
+        let a = det.digitize(&mut rng(), &[5.0; 32]);
+        let b = det.digitize(&mut rng(), &[5.0; 32]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,174 @@
+//! Uniform-field drift tube: drift times and arrival-time distributions.
+
+use crate::constants::FWHM_SIGMA;
+use crate::coulomb::CoulombModel;
+use crate::ion::IonSpecies;
+use crate::mobility;
+use serde::{Deserialize, Serialize};
+
+/// A uniform-field drift tube at reduced pressure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftTube {
+    /// Drift length, cm.
+    pub length_cm: f64,
+    /// Total drift voltage, V.
+    pub voltage_v: f64,
+    /// Buffer gas (N₂) pressure, Torr.
+    pub pressure_torr: f64,
+    /// Gas temperature, K.
+    pub temperature_k: f64,
+    /// Space-charge model applied to released packets.
+    pub coulomb: CoulombModel,
+}
+
+impl Default for DriftTube {
+    fn default() -> Self {
+        // PNNL multiplexed-IMS geometry: ~88 cm tube, 4 Torr N₂.
+        Self {
+            length_cm: 88.0,
+            voltage_v: 4000.0,
+            pressure_torr: 4.0,
+            temperature_k: 300.0,
+            coulomb: CoulombModel::default(),
+        }
+    }
+}
+
+impl DriftTube {
+    /// Electric field, V/cm.
+    pub fn field(&self) -> f64 {
+        self.voltage_v / self.length_cm
+    }
+
+    /// Drift time of a species, seconds.
+    pub fn drift_time_s(&self, species: &IonSpecies) -> f64 {
+        let k0 = species.reduced_mobility(self.temperature_k);
+        let k = mobility::mobility_at(k0, self.pressure_torr, self.temperature_k);
+        self.length_cm / (k * self.field())
+    }
+
+    /// Diffusion-limited resolving power for a charge state.
+    pub fn resolving_power(&self, charge: u32) -> f64 {
+        mobility::diffusion_limited_resolving_power(charge, self.voltage_v, self.temperature_k)
+    }
+
+    /// Temporal standard deviation of the arrival-time distribution,
+    /// seconds, including space-charge broadening for a packet of
+    /// `packet_charges`.
+    pub fn arrival_sigma_s(&self, species: &IonSpecies, packet_charges: f64) -> f64 {
+        let t = self.drift_time_s(species);
+        let r = self.resolving_power(species.charge);
+        let sigma_diff = t / (FWHM_SIGMA * r);
+        sigma_diff * self.coulomb.broadening_factor(packet_charges)
+    }
+
+    /// Discretised arrival-time distribution over `n_bins` bins of
+    /// `bin_width_s` each, normalised to unit area (fraction of the packet
+    /// arriving per bin). Species arriving outside the window are clipped.
+    pub fn arrival_distribution(
+        &self,
+        species: &IonSpecies,
+        packet_charges: f64,
+        n_bins: usize,
+        bin_width_s: f64,
+    ) -> Vec<f64> {
+        let t = self.drift_time_s(species);
+        let sigma = self.arrival_sigma_s(species, packet_charges);
+        let mu_bins = t / bin_width_s;
+        let sigma_bins = (sigma / bin_width_s).max(1e-6);
+        // Bin-integrated so the packet is conserved even when the arrival
+        // spread is much narrower than a (coarse) drift bin.
+        ims_signal::peaks::gaussian_binned(n_bins, mu_bins, sigma_bins, 1.0)
+    }
+
+    /// The maximum drift time representable in a window of `n_bins` bins of
+    /// `bin_width_s` (the IMS frame duration).
+    pub fn window_s(n_bins: usize, bin_width_s: f64) -> f64 {
+        n_bins as f64 * bin_width_s
+    }
+
+    /// Chooses a bin width so a species of reduced mobility `slowest_k0`
+    /// arrives at ~85 % of the window of `n_bins` bins.
+    pub fn bin_width_for(&self, slowest_k0: f64, n_bins: usize) -> f64 {
+        let k = mobility::mobility_at(slowest_k0, self.pressure_torr, self.temperature_k);
+        let t_max = self.length_cm / (k * self.field());
+        t_max / (0.85 * n_bins as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peptide() -> IonSpecies {
+        IonSpecies::new("pep", 1000.0, 2, 300.0, 1.0)
+    }
+
+    #[test]
+    fn drift_time_in_tens_of_ms() {
+        // Typical peptide drift times at 4 Torr / 88 cm are 10–60 ms.
+        let tube = DriftTube::default();
+        let t = tube.drift_time_s(&peptide());
+        assert!(t > 5e-3 && t < 80e-3, "t = {t}");
+    }
+
+    #[test]
+    fn drift_time_scales_inverse_with_voltage() {
+        let tube = DriftTube::default();
+        let mut fast = tube.clone();
+        fast.voltage_v *= 2.0;
+        let ratio = tube.drift_time_s(&peptide()) / fast.drift_time_s(&peptide());
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_distribution_is_normalised_gaussian() {
+        let tube = DriftTube::default();
+        let sp = peptide();
+        let bin = tube.bin_width_for(sp.reduced_mobility(300.0) * 0.9, 512);
+        let dist = tube.arrival_distribution(&sp, 0.0, 512, bin);
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "area {total}");
+        // Peak lands inside the window.
+        let (apex, _) = ims_signal::stats::argmax(&dist).unwrap();
+        assert!(apex > 10 && apex < 500, "apex {apex}");
+    }
+
+    #[test]
+    fn space_charge_broadens_arrivals() {
+        let tube = DriftTube::default();
+        let sp = peptide();
+        let clean = tube.arrival_sigma_s(&sp, 1e3);
+        let loaded = tube.arrival_sigma_s(&sp, 1e7);
+        assert!(loaded > 1.3 * clean, "{clean} -> {loaded}");
+    }
+
+    #[test]
+    fn measured_resolving_power_matches_theory() {
+        // Reconstruct R from the discretised peak and compare with theory.
+        let tube = DriftTube::default();
+        let sp = peptide();
+        let bin = tube.bin_width_for(sp.reduced_mobility(300.0) * 0.95, 2048);
+        let dist = tube.arrival_distribution(&sp, 0.0, 2048, bin);
+        let peaks = ims_signal::peaks::PeakFinder::default().find(&dist);
+        assert_eq!(peaks.len(), 1);
+        let p = peaks[0];
+        let r_measured = p.centroid / p.fwhm;
+        let r_theory = tube.resolving_power(sp.charge);
+        assert!(
+            (r_measured - r_theory).abs() / r_theory < 0.05,
+            "measured {r_measured} vs theory {r_theory}"
+        );
+    }
+
+    #[test]
+    fn separability_of_distinct_mobilities() {
+        let tube = DriftTube::default();
+        let a = IonSpecies::new("a", 800.0, 1, 240.0, 1.0);
+        let b = IonSpecies::new("b", 1400.0, 1, 360.0, 1.0);
+        let ta = tube.drift_time_s(&a);
+        let tb = tube.drift_time_s(&b);
+        let sig = tube.arrival_sigma_s(&a, 0.0).max(tube.arrival_sigma_s(&b, 0.0));
+        assert!((tb - ta).abs() > 4.0 * sig, "species should be resolvable");
+    }
+}

@@ -1,0 +1,131 @@
+//! Electrospray ionisation source model.
+//!
+//! The ESI emitter turns analyte concentrations into a continuous ion
+//! current. What downstream stages need is, per species, an expected ion
+//! *rate* (ions/s); the absolute scale is set by the total spray current and
+//! the ionisation efficiency, and the split across species follows their
+//! abundances (with saturation at high total concentration — ESI response
+//! is famously linear only at low concentration, which is what makes the
+//! dynamic-range experiment E6 interesting).
+
+use crate::ion::IonSpecies;
+use serde::{Deserialize, Serialize};
+
+/// An ESI source converting species abundances into ion rates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EsiSource {
+    /// Total analyte ion current delivered into the funnel, in
+    /// elementary charges per second.
+    pub total_charges_per_s: f64,
+    /// Concentration (abundance units) at which the response saturates.
+    pub saturation_abundance: f64,
+}
+
+impl Default for EsiSource {
+    fn default() -> Self {
+        Self {
+            // ~100 pA of analyte current into the funnel — typical of the
+            // PNNL dual-funnel interface after losses.
+            total_charges_per_s: 6.0e8,
+            saturation_abundance: 100.0,
+        }
+    }
+}
+
+impl EsiSource {
+    /// Per-species *ion* rates (ions/s) for a mixture.
+    ///
+    /// Each species competes for charge: the effective response of species
+    /// `i` is `a_i / (1 + Σa / S)` (shared-saturation model), and the total
+    /// delivered charge current is capped at `total_charges_per_s`.
+    pub fn ion_rates(&self, species: &[IonSpecies]) -> Vec<f64> {
+        let total_abundance: f64 = species.iter().map(|s| s.abundance).sum();
+        if total_abundance <= 0.0 {
+            return vec![0.0; species.len()];
+        }
+        let suppression = 1.0 + total_abundance / self.saturation_abundance;
+        let effective: Vec<f64> = species
+            .iter()
+            .map(|s| s.abundance / suppression)
+            .collect();
+        let effective_total: f64 = effective.iter().sum();
+        // Charge current splits proportionally to effective response; each
+        // ion of species i carries z_i charges.
+        let scale = self.total_charges_per_s
+            * (effective_total / (effective_total + self.saturation_abundance))
+            / effective_total.max(f64::MIN_POSITIVE);
+        species
+            .iter()
+            .zip(effective.iter())
+            .map(|(s, &e)| scale * e / s.charge as f64)
+            .collect()
+    }
+
+    /// Total charge rate (charges/s) actually delivered for a mixture.
+    pub fn delivered_charge_rate(&self, species: &[IonSpecies]) -> f64 {
+        self.ion_rates(species)
+            .iter()
+            .zip(species.iter())
+            .map(|(&r, s)| r * s.charge as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(abundance: f64, z: u32) -> IonSpecies {
+        IonSpecies::new(format!("s{abundance}/{z}"), 1000.0, z, 300.0, abundance)
+    }
+
+    #[test]
+    fn rates_proportional_to_abundance_at_low_concentration() {
+        let src = EsiSource::default();
+        let species = vec![mk(1.0, 1), mk(2.0, 1), mk(4.0, 1)];
+        let rates = src.ion_rates(&species);
+        assert!((rates[1] / rates[0] - 2.0).abs() < 1e-9);
+        assert!((rates[2] / rates[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_saturates_at_high_load() {
+        let src = EsiSource::default();
+        let lo = src.delivered_charge_rate(&[mk(1.0, 1)]);
+        let hi = src.delivered_charge_rate(&[mk(10_000.0, 1)]);
+        // 10⁴× the analyte gives far less than 10⁴× the current…
+        assert!(hi / lo < 200.0, "gain {}", hi / lo);
+        // …and never exceeds the spray current.
+        assert!(hi <= src.total_charges_per_s * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn higher_charge_means_fewer_ions_for_same_current() {
+        let src = EsiSource::default();
+        let r1 = src.ion_rates(&[mk(1.0, 1)])[0];
+        let r2 = src.ion_rates(&[mk(1.0, 2)])[0];
+        assert!((r1 / r2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_suppression_of_trace_analyte() {
+        // The same trace analyte yields less current when a heavy matrix is
+        // co-sprayed — the ESI suppression behind experiment E6.
+        let src = EsiSource::default();
+        let alone = src.ion_rates(&[mk(0.1, 1)])[0];
+        let mut mix = vec![mk(0.1, 1)];
+        mix.extend((0..50).map(|_| mk(20.0, 1)));
+        let suppressed = src.ion_rates(&mix)[0];
+        assert!(
+            suppressed < alone,
+            "suppressed {suppressed} vs alone {alone}"
+        );
+    }
+
+    #[test]
+    fn empty_mixture_is_silent() {
+        let src = EsiSource::default();
+        assert!(src.ion_rates(&[]).is_empty());
+        assert_eq!(src.delivered_charge_rate(&[]), 0.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Peptide fragmentation: b/y ion series and the collision-induced
+//! dissociation (CID) cell.
+//!
+//! The multiplexed-CID companion paper (Clowers et al., entry 18) fragments
+//! *all* drift-separated precursors simultaneously in an rf collision cell
+//! between the drift tube and the TOF: fragments inherit their precursor's
+//! drift time, and the downstream software re-associates them by matching
+//! drift profiles. This module provides the chemistry half of that story —
+//! sequence-determined b/y fragment masses and a deterministic intensity
+//! model — while `htims-core::msms` provides the acquisition and the
+//! assignment algorithm.
+
+use crate::constants::PROTON_MASS_DA;
+use crate::ion::IonSpecies;
+use crate::peptide::{residue_mass, Peptide, WATER};
+use serde::{Deserialize, Serialize};
+
+/// Fragment ion series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FragmentKind {
+    /// N-terminal b ion (acylium), `b_i = Σ residues[..i] + proton`.
+    B,
+    /// C-terminal y ion, `y_i = Σ residues[len−i..] + water + proton`.
+    Y,
+}
+
+/// One fragment ion of a peptide.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FragmentIon {
+    /// Series.
+    pub kind: FragmentKind,
+    /// Series index `i` (number of residues included).
+    pub index: usize,
+    /// Singly-protonated m/z, Th.
+    pub mz: f64,
+    /// Relative intensity within the peptide's fragment spectrum (sums to 1).
+    pub intensity: f64,
+}
+
+impl FragmentIon {
+    /// Display label, e.g. `y7`.
+    pub fn label(&self) -> String {
+        match self.kind {
+            FragmentKind::B => format!("b{}", self.index),
+            FragmentKind::Y => format!("y{}", self.index),
+        }
+    }
+}
+
+/// Generates the singly-charged b/y ladder of a peptide with a
+/// deterministic intensity pattern (y ions favoured ~2:1, mid-series
+/// fragments strongest, a per-bond pseudo-random modulation so spectra are
+/// peptide-specific). Intensities are normalised to sum 1.
+pub fn by_ladder(peptide: &Peptide) -> Vec<FragmentIon> {
+    let seq = peptide.sequence.as_bytes();
+    let n = seq.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let masses: Vec<f64> = seq
+        .iter()
+        .map(|&b| residue_mass(b).expect("validated at construction"))
+        .collect();
+    let mut prefix = vec![0.0; n + 1];
+    for i in 0..n {
+        prefix[i + 1] = prefix[i] + masses[i];
+    }
+    let total = prefix[n];
+
+    // Per-bond cleavage propensity: mid-chain bonds break most readily;
+    // proline strongly enhances cleavage N-terminal to it, glycine slightly
+    // suppresses. A deterministic hash adds peptide-specific variation.
+    let mut fragments = Vec::with_capacity(2 * (n - 1));
+    let mut weights_total = 0.0;
+    let mut weights = Vec::with_capacity(2 * (n - 1));
+    for i in 1..n {
+        let centre = (i as f64 / n as f64 - 0.5).abs();
+        let mut w = 1.0 - centre; // mid-series favoured
+        if seq[i] == b'P' {
+            w *= 3.0; // the proline effect
+        }
+        if seq[i] == b'G' || seq[i - 1] == b'G' {
+            w *= 0.7;
+        }
+        let jitter = 0.6 + 0.8 * hash_unit(seq, i);
+        w *= jitter;
+        // y ions ~2x b ions for tryptic peptides (mobile-proton retention
+        // on the C-terminal K/R).
+        weights.push((i, w, 2.0 * w));
+        weights_total += 3.0 * w;
+    }
+    for (i, wb, wy) in weights {
+        fragments.push(FragmentIon {
+            kind: FragmentKind::B,
+            index: i,
+            mz: prefix[i] + PROTON_MASS_DA,
+            intensity: wb / weights_total,
+        });
+        fragments.push(FragmentIon {
+            kind: FragmentKind::Y,
+            index: n - i,
+            mz: (total - prefix[i]) + WATER + PROTON_MASS_DA,
+            intensity: wy / weights_total,
+        });
+    }
+    fragments
+}
+
+/// Deterministic per-bond hash in `[0, 1)`.
+fn hash_unit(seq: &[u8], bond: usize) -> f64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ (bond as u64);
+    for &b in seq {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    (h % 10_000) as f64 / 10_000.0
+}
+
+/// The collision cell: converts a fraction of each precursor into its
+/// fragment ladder.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CidCell {
+    /// Fraction of precursor ions fragmented (0 = CID off, transmission
+    /// mode; ~0.7 at optimised collision energy).
+    pub efficiency: f64,
+    /// Transmission of the cell for surviving precursors and fragments.
+    pub transmission: f64,
+}
+
+impl Default for CidCell {
+    fn default() -> Self {
+        Self {
+            efficiency: 0.7,
+            transmission: 0.9,
+        }
+    }
+}
+
+impl CidCell {
+    /// CID disabled (MS-only mode).
+    pub fn off() -> Self {
+        Self {
+            efficiency: 0.0,
+            transmission: 1.0,
+        }
+    }
+
+    /// Product-ion population for one precursor species: `(ion, weight)`
+    /// pairs where weights sum to `transmission` (the cell conserves ions
+    /// up to its losses). The surviving precursor keeps its charge; each
+    /// fragment is emitted singly charged with the precursor's drift time
+    /// (fragmentation happens *after* mobility separation).
+    pub fn products(&self, precursor: &IonSpecies, peptide: &Peptide) -> Vec<(IonSpecies, f64)> {
+        assert!((0.0..=1.0).contains(&self.efficiency));
+        assert!((0.0..=1.0).contains(&self.transmission));
+        let mut out = Vec::new();
+        let survive = (1.0 - self.efficiency) * self.transmission;
+        if survive > 0.0 {
+            out.push((precursor.clone(), survive));
+        }
+        if self.efficiency > 0.0 {
+            let frag_budget = self.efficiency * self.transmission;
+            for frag in by_ladder(peptide) {
+                let weight = frag_budget * frag.intensity;
+                if weight <= 0.0 {
+                    continue;
+                }
+                // Fragment m/z as a mass so IonSpecies::mz() reproduces it
+                // for z = 1.
+                let neutral_mass = frag.mz - PROTON_MASS_DA;
+                if neutral_mass <= 0.0 {
+                    continue;
+                }
+                out.push((
+                    IonSpecies::new(
+                        format!("{}~{}", precursor.name, frag.label()),
+                        neutral_mass,
+                        1,
+                        precursor.ccs_a2, // drift behaviour is the precursor's
+                        precursor.abundance,
+                    ),
+                    weight,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bradykinin() -> Peptide {
+        Peptide::new("RPPGFSPFR")
+    }
+
+    #[test]
+    fn ladder_covers_every_bond_twice() {
+        let p = bradykinin();
+        let frags = by_ladder(&p);
+        assert_eq!(frags.len(), 2 * (p.len() - 1));
+        let bs = frags.iter().filter(|f| f.kind == FragmentKind::B).count();
+        assert_eq!(bs, p.len() - 1);
+    }
+
+    #[test]
+    fn known_bradykinin_fragments() {
+        // y7 of RPPGFSPFR = PGFSPFR + H2O + H+ : residues P,G,F,S,P,F,R.
+        let frags = by_ladder(&bradykinin());
+        let y7 = frags
+            .iter()
+            .find(|f| f.kind == FragmentKind::Y && f.index == 7)
+            .unwrap();
+        let expect = 97.05276 + 57.02146 + 147.06841 + 87.03203 + 97.05276 + 147.06841
+            + 156.10111
+            + WATER
+            + PROTON_MASS_DA;
+        assert!((y7.mz - expect).abs() < 1e-4, "y7 {} vs {expect}", y7.mz);
+        // b2 = R + P + proton.
+        let b2 = frags
+            .iter()
+            .find(|f| f.kind == FragmentKind::B && f.index == 2)
+            .unwrap();
+        assert!((b2.mz - (156.10111 + 97.05276 + PROTON_MASS_DA)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn b_y_pairs_sum_to_precursor() {
+        // b_i + y_{n-i} = M + water + 2 protons.
+        let p = bradykinin();
+        let m = p.monoisotopic_mass();
+        let frags = by_ladder(&p);
+        for i in 1..p.len() {
+            let b = frags
+                .iter()
+                .find(|f| f.kind == FragmentKind::B && f.index == i)
+                .unwrap();
+            let y = frags
+                .iter()
+                .find(|f| f.kind == FragmentKind::Y && f.index == p.len() - i)
+                .unwrap();
+            // b_i carries no water, y_{n−i} carries the C-terminal water:
+            // b_i + y_{n−i} = (Σ residues + water) + 2 protons = M + 2H⁺.
+            let sum = b.mz + y.mz;
+            let expect = m + 2.0 * PROTON_MASS_DA;
+            assert!((sum - expect).abs() < 1e-6, "bond {i}: {sum} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn intensities_normalised_and_y_favoured() {
+        let frags = by_ladder(&bradykinin());
+        let total: f64 = frags.iter().map(|f| f.intensity).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let y_sum: f64 = frags
+            .iter()
+            .filter(|f| f.kind == FragmentKind::Y)
+            .map(|f| f.intensity)
+            .sum();
+        assert!((y_sum - 2.0 / 3.0).abs() < 1e-9, "y share {y_sum}");
+    }
+
+    #[test]
+    fn cid_conserves_ion_budget() {
+        let p = bradykinin();
+        let precursor = &p.to_species(1.0)[0];
+        let cell = CidCell::default();
+        let products = cell.products(precursor, &p);
+        let total: f64 = products.iter().map(|(_, w)| w).sum();
+        assert!((total - cell.transmission).abs() < 1e-9, "budget {total}");
+        // Fragments inherit the precursor's CCS (drift time).
+        for (sp, _) in &products[1..] {
+            assert_eq!(sp.ccs_a2, precursor.ccs_a2);
+            assert_eq!(sp.charge, 1);
+        }
+    }
+
+    #[test]
+    fn cid_off_is_transparent() {
+        let p = bradykinin();
+        let precursor = &p.to_species(1.0)[0];
+        let products = CidCell::off().products(precursor, &p);
+        assert_eq!(products.len(), 1);
+        assert_eq!(products[0].1, 1.0);
+        assert_eq!(products[0].0, *precursor);
+    }
+
+    #[test]
+    fn dipeptide_has_single_bond() {
+        let p = Peptide::new("GK");
+        assert_eq!(by_ladder(&p).len(), 2);
+        let p1 = Peptide::new("K");
+        assert!(by_ladder(&p1).is_empty());
+    }
+}

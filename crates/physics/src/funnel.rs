@@ -1,0 +1,177 @@
+//! Electrodynamic ion funnel trap with automated gain control.
+//!
+//! The funnel trap (Ibrahim et al. 2007; Clowers et al. 2008) accumulates
+//! the continuous ESI beam between gate openings and releases it as a dense
+//! packet, raising ion utilisation from <1 % (continuous beam, narrow gate)
+//! to >50 % (trap + multiplexed gating). Its two non-idealities drive
+//! experiments E5 and E9:
+//!
+//! * **finite charge capacity** (≈3×10⁷ charges): the fill curve saturates,
+//!   so signal stops growing linearly with accumulation time;
+//! * **AGC** (automated gain control, Page et al./Belov et al. 2008 for the
+//!   IFT-TOF): the accumulation time is servoed so the trap fills to a
+//!   target charge, keeping the analyser in its linear range.
+
+use serde::{Deserialize, Serialize};
+
+/// Electrodynamic ion funnel trap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IonFunnelTrap {
+    /// Space-charge capacity, elementary charges.
+    pub capacity_charges: f64,
+    /// Fraction of stored charge actually extracted per release pulse.
+    pub release_efficiency: f64,
+}
+
+impl Default for IonFunnelTrap {
+    fn default() -> Self {
+        Self {
+            capacity_charges: 3.0e7,
+            release_efficiency: 0.95,
+        }
+    }
+}
+
+impl IonFunnelTrap {
+    /// Charge stored after accumulating an incoming beam of
+    /// `charge_rate` (charges/s) for `seconds`.
+    ///
+    /// The fill saturates smoothly: `q(t) = C·(1 − e^{−r·t/C})` — linear at
+    /// low fill, asymptotic to the capacity (incoming ions are increasingly
+    /// rejected by the self-field of the stored cloud).
+    pub fn stored_charge(&self, charge_rate: f64, seconds: f64) -> f64 {
+        assert!(charge_rate >= 0.0 && seconds >= 0.0);
+        let c = self.capacity_charges;
+        c * (1.0 - (-charge_rate * seconds / c).exp())
+    }
+
+    /// Charge released to the drift tube by one extraction pulse.
+    pub fn released_charge(&self, charge_rate: f64, seconds: f64) -> f64 {
+        self.release_efficiency * self.stored_charge(charge_rate, seconds)
+    }
+
+    /// Fill fraction (0–1) after a given accumulation.
+    pub fn fill_fraction(&self, charge_rate: f64, seconds: f64) -> f64 {
+        self.stored_charge(charge_rate, seconds) / self.capacity_charges
+    }
+}
+
+/// Automated gain control: servo the accumulation time to hit a target
+/// charge, within hardware bounds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AgcController {
+    /// Desired released charge per packet.
+    pub target_charge: f64,
+    /// Shortest allowed accumulation, s.
+    pub min_time_s: f64,
+    /// Longest allowed accumulation, s.
+    pub max_time_s: f64,
+}
+
+impl Default for AgcController {
+    fn default() -> Self {
+        Self {
+            // Keep the trap (3×10⁷ capacity) in its linear range and the
+            // drift tube below the Coulombic limit.
+            target_charge: 5.0e6,
+            min_time_s: 1.0e-4,
+            max_time_s: 1.0e-1,
+        }
+    }
+}
+
+impl AgcController {
+    /// Accumulation time that fills the trap to the target given the
+    /// measured incoming charge rate, clamped to the hardware bounds.
+    ///
+    /// Inverts the saturating fill curve: `t = −(C/r)·ln(1 − q_target/C)`.
+    pub fn accumulation_time(&self, trap: &IonFunnelTrap, charge_rate: f64) -> f64 {
+        if charge_rate <= 0.0 {
+            return self.max_time_s;
+        }
+        let stored_target =
+            (self.target_charge / trap.release_efficiency).min(0.99 * trap.capacity_charges);
+        let frac = stored_target / trap.capacity_charges;
+        let t = -(trap.capacity_charges / charge_rate) * (1.0 - frac).ln();
+        t.clamp(self.min_time_s, self.max_time_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_is_linear_at_low_charge() {
+        let trap = IonFunnelTrap::default();
+        let rate = 1e8; // charges/s
+        let t = 1e-3; // fills to ~0.3 % of capacity
+        let q = trap.stored_charge(rate, t);
+        assert!((q - rate * t).abs() / (rate * t) < 0.01, "q = {q}");
+    }
+
+    #[test]
+    fn fill_saturates_at_capacity() {
+        let trap = IonFunnelTrap::default();
+        let q = trap.stored_charge(1e9, 10.0);
+        assert!(q <= trap.capacity_charges);
+        assert!(q > 0.99 * trap.capacity_charges);
+    }
+
+    #[test]
+    fn fill_monotone_in_time() {
+        let trap = IonFunnelTrap::default();
+        let mut last = 0.0;
+        for i in 1..20 {
+            let q = trap.stored_charge(5e8, i as f64 * 0.01);
+            assert!(q > last);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn agc_hits_target_in_linear_regime() {
+        let trap = IonFunnelTrap::default();
+        let agc = AgcController::default();
+        let rate = 6e8;
+        let t = agc.accumulation_time(&trap, rate);
+        let released = trap.released_charge(rate, t);
+        assert!(
+            (released - agc.target_charge).abs() / agc.target_charge < 0.01,
+            "released {released}"
+        );
+    }
+
+    #[test]
+    fn agc_clamps_for_weak_beams() {
+        let trap = IonFunnelTrap::default();
+        let agc = AgcController::default();
+        // A very weak beam cannot reach the target within max_time.
+        let t = agc.accumulation_time(&trap, 1e4);
+        assert_eq!(t, agc.max_time_s);
+        // A blinding beam is clamped to min_time.
+        let t2 = agc.accumulation_time(&trap, 1e14);
+        assert_eq!(t2, agc.min_time_s);
+    }
+
+    #[test]
+    fn agc_compensates_source_variation() {
+        // Twice the beam → half the accumulation time → same packet.
+        let trap = IonFunnelTrap::default();
+        let agc = AgcController::default();
+        let t1 = agc.accumulation_time(&trap, 4e8);
+        let t2 = agc.accumulation_time(&trap, 8e8);
+        let q1 = trap.released_charge(4e8, t1);
+        let q2 = trap.released_charge(8e8, t2);
+        assert!((q1 - q2).abs() / q1 < 0.01);
+        assert!((t1 / t2 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_rate_is_safe() {
+        let trap = IonFunnelTrap::default();
+        assert_eq!(trap.stored_charge(0.0, 1.0), 0.0);
+        let agc = AgcController::default();
+        assert_eq!(agc.accumulation_time(&trap, 0.0), agc.max_time_s);
+    }
+}

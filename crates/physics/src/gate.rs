@@ -1,0 +1,211 @@
+//! Bradbury–Nielsen gate model.
+//!
+//! The BN gate chops the continuous (or trap-released) ion beam into the
+//! pseudo-random modulation pattern. A real gate is imperfect in three ways
+//! that matter for deconvolution fidelity (experiment E2):
+//!
+//! * **finite rise time** — the first fine bin of every opening transmits
+//!   only part of the beam while the deflection field collapses;
+//! * **depletion** — the closed gate does not fully discard ions near the
+//!   wires, slightly depressing transmission right after reopening;
+//! * **leakage** — a small fraction of the beam passes even when closed.
+//!
+//! [`GateModel::transmission_waveform`] turns an ideal 0/1 sequence into the
+//! *actual* per-bin transmission kernel; acquiring with the real kernel but
+//! deconvolving with the ideal sequence is precisely the mismatch the
+//! weighted (PNNL-enhanced) inverse is built to absorb.
+
+use serde::{Deserialize, Serialize};
+
+/// Transmission defects of a Bradbury–Nielsen gate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateModel {
+    /// Transmission deficit of the first open bin after a closed→open
+    /// transition (0 = ideal, 0.5 = first bin passes only half).
+    pub rise_loss: f64,
+    /// Extra deficit applied to the second open bin (`depletion`), modelling
+    /// the ion-depleted zone swept out while the gate was closed.
+    pub depletion: f64,
+    /// Transmission of a *closed* gate (ideally 0).
+    pub leakage: f64,
+    /// Peak open transmission (ideally 1; grids shadow a few percent).
+    pub open_transmission: f64,
+}
+
+impl GateModel {
+    /// A perfect gate: exactly the design sequence.
+    pub fn ideal() -> Self {
+        Self {
+            rise_loss: 0.0,
+            depletion: 0.0,
+            leakage: 0.0,
+            open_transmission: 1.0,
+        }
+    }
+
+    /// A realistic gate with a defect level `d ∈ [0, 1]` scaling every
+    /// imperfection (d = 0.1 is a well-tuned gate; 0.3 a poor one).
+    pub fn with_defect_level(d: f64) -> Self {
+        assert!((0.0..=1.0).contains(&d), "defect level must be in [0,1]");
+        Self {
+            rise_loss: 0.45 * d,
+            depletion: 0.2 * d,
+            leakage: 0.05 * d,
+            open_transmission: 1.0 - 0.1 * d,
+        }
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("rise_loss", self.rise_loss),
+            ("depletion", self.depletion),
+            ("leakage", self.leakage),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} = {v} outside [0,1]"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.open_transmission) {
+            return Err(format!(
+                "open_transmission = {} outside [0,1]",
+                self.open_transmission
+            ));
+        }
+        Ok(())
+    }
+
+    /// The actual per-bin transmission for an ideal 0/1 gate pattern
+    /// (cyclic: the first bin's predecessor is the last bin).
+    pub fn transmission_waveform(&self, pattern: &[bool]) -> Vec<f64> {
+        let n = pattern.len();
+        (0..n)
+            .map(|k| {
+                if !pattern[k] {
+                    return self.leakage;
+                }
+                let prev = pattern[(k + n - 1) % n];
+                let prev2 = pattern[(k + n - 2) % n];
+                let mut t = self.open_transmission;
+                if !prev {
+                    // First bin of an opening: rise-time loss.
+                    t *= 1.0 - self.rise_loss;
+                } else if !prev2 {
+                    // Second bin: depletion zone.
+                    t *= 1.0 - self.depletion;
+                }
+                t
+            })
+            .collect()
+    }
+
+    /// Root-mean-square deviation of the real waveform from the ideal
+    /// pattern — a scalar "gate defect" figure used in E2.
+    pub fn waveform_rms_error(&self, pattern: &[bool]) -> f64 {
+        let w = self.transmission_waveform(pattern);
+        let se: f64 = pattern
+            .iter()
+            .zip(w.iter())
+            .map(|(&b, &t)| {
+                let ideal = if b { 1.0 } else { 0.0 };
+                (t - ideal) * (t - ideal)
+            })
+            .sum();
+        (se / pattern.len() as f64).sqrt()
+    }
+}
+
+impl Default for GateModel {
+    fn default() -> Self {
+        Self::with_defect_level(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_gate_reproduces_pattern() {
+        let g = GateModel::ideal();
+        let pattern = [true, true, false, true, false, false, true];
+        let w = g.transmission_waveform(&pattern);
+        for (b, t) in pattern.iter().zip(w.iter()) {
+            assert_eq!(*t, if *b { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn rise_loss_hits_first_open_bin_only() {
+        let g = GateModel {
+            rise_loss: 0.4,
+            depletion: 0.0,
+            leakage: 0.0,
+            open_transmission: 1.0,
+        };
+        let pattern = [false, true, true, true, false];
+        let w = g.transmission_waveform(&pattern);
+        assert!((w[1] - 0.6).abs() < 1e-12);
+        assert!((w[2] - 1.0).abs() < 1e-12);
+        assert!((w[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depletion_hits_second_open_bin() {
+        let g = GateModel {
+            rise_loss: 0.0,
+            depletion: 0.25,
+            leakage: 0.0,
+            open_transmission: 1.0,
+        };
+        let pattern = [false, true, true, true, false];
+        let w = g.transmission_waveform(&pattern);
+        assert!((w[1] - 1.0).abs() < 1e-12);
+        assert!((w[2] - 0.75).abs() < 1e-12);
+        assert!((w[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_when_closed() {
+        let g = GateModel {
+            rise_loss: 0.0,
+            depletion: 0.0,
+            leakage: 0.02,
+            open_transmission: 1.0,
+        };
+        let w = g.transmission_waveform(&[false, false, true]);
+        assert!((w[0] - 0.02).abs() < 1e-12);
+        assert!((w[1] - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cyclic_boundary_handled() {
+        // Opening at bin 0 whose predecessor (last bin) is closed.
+        let g = GateModel {
+            rise_loss: 0.5,
+            depletion: 0.0,
+            leakage: 0.0,
+            open_transmission: 1.0,
+        };
+        let w = g.transmission_waveform(&[true, true, false]);
+        assert!((w[0] - 0.5).abs() < 1e-12, "w[0] = {}", w[0]);
+        assert!((w[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_error_scales_with_defect_level() {
+        let pattern: Vec<bool> = (0..64).map(|k| k % 3 != 0).collect();
+        let e1 = GateModel::with_defect_level(0.1).waveform_rms_error(&pattern);
+        let e3 = GateModel::with_defect_level(0.3).waveform_rms_error(&pattern);
+        assert!(e3 > 2.0 * e1, "{e1} vs {e3}");
+        assert_eq!(GateModel::ideal().waveform_rms_error(&pattern), 0.0);
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let mut g = GateModel::ideal();
+        assert!(g.validate().is_ok());
+        g.leakage = 1.5;
+        assert!(g.validate().is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! The composed IMS-TOF instrument: turns a workload into the expected-rate
+//! map that the acquisition engines sample from.
+
+use crate::detector::AdcDetector;
+use crate::drift::DriftTube;
+use crate::esi::EsiSource;
+use crate::funnel::{AgcController, IonFunnelTrap};
+use crate::gate::GateModel;
+use crate::map2d::DriftTofMap;
+use crate::tof::TofAnalyzer;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Full instrument configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instrument {
+    /// Electrospray source.
+    pub esi: EsiSource,
+    /// Ion funnel trap (accumulation / release).
+    pub trap: IonFunnelTrap,
+    /// Automated gain control for the trap.
+    pub agc: AgcController,
+    /// Bradbury–Nielsen gate defects.
+    pub gate: GateModel,
+    /// Drift tube.
+    pub tube: DriftTube,
+    /// TOF mass analyser.
+    pub tof: TofAnalyzer,
+    /// ADC detection chain.
+    pub adc: AdcDetector,
+    /// Number of drift-time bins per IMS frame (the fine time base).
+    pub drift_bins: usize,
+    /// Drift-bin width, seconds.
+    pub bin_width_s: f64,
+}
+
+impl Default for Instrument {
+    fn default() -> Self {
+        let tube = DriftTube::default();
+        // Slowest species we care about: singly-charged tryptic peptides
+        // with K₀ down to ≈ 0.55 cm²/Vs. 511 fine bins.
+        let drift_bins = 511;
+        let bin_width_s = tube.bin_width_for(0.55, drift_bins);
+        Self {
+            esi: EsiSource::default(),
+            trap: IonFunnelTrap::default(),
+            agc: AgcController::default(),
+            gate: GateModel::default(),
+            tube,
+            tof: TofAnalyzer::default(),
+            adc: AdcDetector::default(),
+            drift_bins,
+            bin_width_s,
+        }
+    }
+}
+
+impl Instrument {
+    /// Builds an instrument with a specific drift-bin count (sequence
+    /// length × oversampling), keeping the frame duration constant.
+    pub fn with_drift_bins(drift_bins: usize) -> Self {
+        let mut inst = Self::default();
+        let frame = inst.frame_duration_s();
+        inst.drift_bins = drift_bins;
+        inst.bin_width_s = frame / drift_bins as f64;
+        inst
+    }
+
+    /// IMS frame duration (one full drift window), seconds.
+    pub fn frame_duration_s(&self) -> f64 {
+        self.drift_bins as f64 * self.bin_width_s
+    }
+
+    /// Expected ion-rate map: cell `(d, m)` is the expected number of ions
+    /// per second of gate-open time that land in drift bin `d` and m/z bin
+    /// `m`, for a packet of `packet_charges` (which sets the space-charge
+    /// broadening).
+    ///
+    /// Species whose m/z is out of range or whose drift time exceeds the
+    /// frame contribute nothing (clipped exactly as a real instrument would).
+    pub fn expected_rate_map(&self, workload: &Workload, packet_charges: f64) -> DriftTofMap {
+        let mut map = DriftTofMap::zeros(self.drift_bins, self.tof.n_bins);
+        let rates = self.esi.ion_rates(&workload.species);
+        for (species, &rate) in workload.species.iter().zip(rates.iter()) {
+            if rate <= 0.0 {
+                continue;
+            }
+            let drift = self.tube.arrival_distribution(
+                species,
+                packet_charges,
+                self.drift_bins,
+                self.bin_width_s,
+            );
+            let mz = self.tof.species_profile(species);
+            map.add_outer(&drift, &mz, rate);
+        }
+        map
+    }
+
+    /// Total expected ion rate (ions/s) that actually lands on the map.
+    pub fn landed_rate(&self, workload: &Workload) -> f64 {
+        self.expected_rate_map(workload, 0.0).total()
+    }
+
+    /// The measured charge rate (charges/s) the AGC servo sees.
+    pub fn charge_rate(&self, workload: &Workload) -> f64 {
+        self.esi.delivered_charge_rate(&workload.species)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_frame_fits_slowest_peptides() {
+        let inst = Instrument::default();
+        // Frame should be tens of ms.
+        let f = inst.frame_duration_s();
+        assert!(f > 0.01 && f < 0.2, "frame {f}");
+    }
+
+    #[test]
+    fn rate_map_conserves_in_range_species() {
+        let inst = Instrument::default();
+        let w = Workload::three_peptide_mix();
+        let map = inst.expected_rate_map(&w, 0.0);
+        let rates = inst.esi.ion_rates(&w.species);
+        let total_rate: f64 = rates.iter().sum();
+        let landed = map.total();
+        // Most species are in range; allow clipping losses.
+        assert!(landed > 0.5 * total_rate, "landed {landed} of {total_rate}");
+        assert!(landed <= total_rate * 1.001);
+    }
+
+    #[test]
+    fn species_make_distinct_drift_peaks() {
+        let inst = Instrument::default();
+        let w = Workload::three_peptide_mix();
+        let map = inst.expected_rate_map(&w, 0.0);
+        let profile = map.total_ion_drift_profile();
+        let peaks = ims_signal::peaks::PeakFinder::with_min_height(map.max() * 0.001)
+            .find(&profile);
+        assert!(peaks.len() >= 3, "found {} drift peaks", peaks.len());
+    }
+
+    #[test]
+    fn space_charge_broadens_map_peaks() {
+        let inst = Instrument::default();
+        let w = Workload::single_calibrant();
+        let clean = inst.expected_rate_map(&w, 1e3).total_ion_drift_profile();
+        let loaded = inst.expected_rate_map(&w, 1e7).total_ion_drift_profile();
+        let f = ims_signal::peaks::PeakFinder::default();
+        let p_clean = f.find(&clean)[0];
+        let p_loaded = f.find(&loaded)[0];
+        assert!(p_loaded.fwhm > 1.2 * p_clean.fwhm);
+    }
+
+    #[test]
+    fn with_drift_bins_keeps_frame_duration() {
+        let a = Instrument::default();
+        let b = Instrument::with_drift_bins(1533);
+        assert!((a.frame_duration_s() - b.frame_duration_s()).abs() < 1e-12);
+        assert_eq!(b.drift_bins, 1533);
+    }
+}

@@ -1,0 +1,118 @@
+//! Ion species: mass, charge, collision cross section, reduced mobility.
+
+use crate::constants::*;
+use serde::{Deserialize, Serialize};
+
+/// An analyte ion species as seen by the drift tube and the TOF.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IonSpecies {
+    /// Human-readable name (peptide sequence, compound name…).
+    pub name: String,
+    /// Neutral monoisotopic mass, Da.
+    pub mass_da: f64,
+    /// Positive charge state `z`.
+    pub charge: u32,
+    /// Ion–N₂ collision cross section, Å².
+    pub ccs_a2: f64,
+    /// Relative molar abundance (arbitrary units; scaled by the source).
+    pub abundance: f64,
+}
+
+impl IonSpecies {
+    /// Creates a species; CCS must be positive and charge ≥ 1.
+    pub fn new(name: impl Into<String>, mass_da: f64, charge: u32, ccs_a2: f64, abundance: f64) -> Self {
+        assert!(mass_da > 0.0, "mass must be positive");
+        assert!(charge >= 1, "charge must be at least 1");
+        assert!(ccs_a2 > 0.0, "CCS must be positive");
+        assert!(abundance >= 0.0, "abundance must be non-negative");
+        Self {
+            name: name.into(),
+            mass_da,
+            charge,
+            ccs_a2,
+            abundance,
+        }
+    }
+
+    /// Mass-to-charge ratio of the protonated ion, Th.
+    pub fn mz(&self) -> f64 {
+        (self.mass_da + self.charge as f64 * PROTON_MASS_DA) / self.charge as f64
+    }
+
+    /// Reduced mobility `K₀` in N₂, cm²/(V·s), from the Mason–Schamp
+    /// equation at the given effective temperature:
+    ///
+    /// ```text
+    /// K₀ = (3/16)·(z·e/N₀)·√(2π/(μ·kB·T)) / Ω
+    /// ```
+    pub fn reduced_mobility(&self, temperature_k: f64) -> f64 {
+        assert!(temperature_k > 0.0, "temperature must be positive");
+        let mu = self.reduced_mass_kg();
+        let omega = self.ccs_a2 * A2_TO_M2;
+        let q = self.charge as f64 * ELEMENTARY_CHARGE;
+        let k0_si = (3.0 / 16.0) * (q / LOSCHMIDT)
+            * (2.0 * std::f64::consts::PI / (mu * BOLTZMANN * temperature_k)).sqrt()
+            / omega;
+        k0_si * M2_TO_CM2
+    }
+
+    /// Ion–buffer reduced mass, kg.
+    pub fn reduced_mass_kg(&self) -> f64 {
+        let m = self.mass_da * AMU;
+        let big_m = N2_MASS_DA * AMU;
+        m * big_m / (m + big_m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typical_peptide() -> IonSpecies {
+        IonSpecies::new("test-peptide", 1000.0, 2, 300.0, 1.0)
+    }
+
+    #[test]
+    fn mz_of_protonated_ion() {
+        let s = typical_peptide();
+        // (1000 + 2·1.00728)/2 = 501.007…
+        assert!((s.mz() - 501.007_276).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reduced_mobility_in_physical_range() {
+        // Tryptic peptides in N₂ have K₀ ≈ 0.9–1.6 cm²/(V·s).
+        let s = typical_peptide();
+        let k0 = s.reduced_mobility(305.0);
+        assert!(k0 > 0.8 && k0 < 1.8, "K0 = {k0}");
+    }
+
+    #[test]
+    fn bigger_ccs_means_slower() {
+        let small = IonSpecies::new("s", 500.0, 1, 180.0, 1.0);
+        let large = IonSpecies::new("l", 500.0, 1, 280.0, 1.0);
+        assert!(small.reduced_mobility(300.0) > large.reduced_mobility(300.0));
+    }
+
+    #[test]
+    fn higher_charge_means_faster() {
+        let z1 = IonSpecies::new("a", 1200.0, 1, 320.0, 1.0);
+        let z2 = IonSpecies::new("b", 1200.0, 2, 320.0, 1.0);
+        assert!(z2.reduced_mobility(300.0) > z1.reduced_mobility(300.0));
+        let ratio = z2.reduced_mobility(300.0) / z1.reduced_mobility(300.0);
+        assert!((ratio - 2.0).abs() < 1e-9, "mobility scales linearly with z");
+    }
+
+    #[test]
+    fn reduced_mass_approaches_buffer_mass_for_heavy_ions() {
+        let heavy = IonSpecies::new("h", 1e6, 1, 5000.0, 1.0);
+        let mu = heavy.reduced_mass_kg() / AMU;
+        assert!((mu - N2_MASS_DA).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "CCS must be positive")]
+    fn rejects_bad_ccs() {
+        let _ = IonSpecies::new("bad", 100.0, 1, 0.0, 1.0);
+    }
+}

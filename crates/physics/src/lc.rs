@@ -1,0 +1,256 @@
+//! Capillary reversed-phase liquid chromatography front end.
+//!
+//! The companion platform paper (entry 19, "An LC-IMS-MS Platform Providing
+//! Increased Dynamic Range for High-Throughput Proteomic Studies") couples
+//! a fast (15-minute) RPLC gradient in front of the multiplexed IMS-TOF:
+//! peptides enter the instrument spread over retention time, which both
+//! decongests the (drift, m/z) plane and adds a third separation dimension.
+//!
+//! The retention model is the standard additive-hydrophobicity one: each
+//! residue contributes a coefficient (coarse Krokhin/Guo-style values), the
+//! summed index maps monotonically onto the gradient, and elution peaks are
+//! Gaussian in time. A deterministic per-sequence perturbation stands in
+//! for the conformation/position effects a full SSRCalc would model.
+
+use crate::peptide::Peptide;
+use serde::{Deserialize, Serialize};
+
+/// Residue hydrophobicity retention coefficients (arbitrary units, coarse
+/// reversed-phase scale: W/F/L most retained, K/R/H least).
+pub fn retention_coefficient(aa: u8) -> f64 {
+    match aa {
+        b'W' => 11.0,
+        b'F' => 10.5,
+        b'L' => 9.6,
+        b'I' => 8.4,
+        b'M' => 5.8,
+        b'V' => 5.0,
+        b'Y' => 4.0,
+        b'A' => 1.1,
+        b'T' => 0.65,
+        b'P' => 2.0,
+        b'E' => 1.0,
+        b'D' => 0.15,
+        b'C' => 0.8,
+        b'S' => -0.1,
+        b'Q' => -0.2,
+        b'G' => -0.35,
+        b'N' => -0.45,
+        b'R' => -1.3,
+        b'H' => -1.4,
+        b'K' => -2.1,
+        _ => 0.0,
+    }
+}
+
+/// Summed hydrophobicity index of a peptide, with a mild length correction
+/// (long peptides retain disproportionately).
+pub fn hydrophobicity_index(peptide: &Peptide) -> f64 {
+    let sum: f64 = peptide
+        .sequence
+        .bytes()
+        .map(retention_coefficient)
+        .sum();
+    let length_factor = 1.0 - 0.3 * (peptide.len() as f64 / 20.0).min(1.0);
+    sum * (0.7 + length_factor * 0.3)
+}
+
+/// A reversed-phase gradient program.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LcGradient {
+    /// Total gradient duration, seconds (entry 19 runs 15 min ≈ 900 s).
+    pub duration_s: f64,
+    /// Dead time before the first peptides elute, seconds.
+    pub dead_time_s: f64,
+    /// 1-σ elution peak width, seconds.
+    pub peak_sigma_s: f64,
+    /// Run-to-run retention drift: constant shift of all retention times,
+    /// seconds (column ageing / mobile-phase variation between replicates).
+    pub run_shift_s: f64,
+    /// Run-to-run retention drift: multiplicative stretch of all retention
+    /// times (1.0 = none).
+    pub run_scale: f64,
+}
+
+impl Default for LcGradient {
+    fn default() -> Self {
+        Self {
+            duration_s: 900.0,
+            dead_time_s: 60.0,
+            peak_sigma_s: 4.5,
+            run_shift_s: 0.0,
+            run_scale: 1.0,
+        }
+    }
+}
+
+impl LcGradient {
+    /// Retention time of a peptide, seconds.
+    ///
+    /// The hydrophobicity index is squashed through a logistic onto the
+    /// usable gradient window, plus a ±2 % deterministic per-sequence
+    /// perturbation.
+    pub fn retention_time_s(&self, peptide: &Peptide) -> f64 {
+        let h = hydrophobicity_index(peptide);
+        // Tryptic peptides span roughly h ∈ [−5, 80]; centre the logistic.
+        let z = (h - 25.0) / 18.0;
+        let frac = 1.0 / (1.0 + (-z).exp());
+        let jitter = 1.0 + 0.02 * seq_hash_unit(&peptide.sequence);
+        let nominal = (self.dead_time_s + frac * (self.duration_s - self.dead_time_s)) * jitter;
+        nominal * self.run_scale + self.run_shift_s
+    }
+
+    /// This gradient as observed in replicate run `r`, with a deterministic
+    /// drift pattern of amplitude `drift_s` (the retention irreproducibility
+    /// an aligned exclusion list must absorb).
+    pub fn replicate(&self, run: usize, drift_s: f64) -> Self {
+        const PATTERN: [f64; 4] = [0.0, 1.0, -0.6, 0.4];
+        let mut g = *self;
+        g.run_shift_s += drift_s * PATTERN[run % 4];
+        g.run_scale *= 1.0 + 0.004 * PATTERN[(run + 1) % 4];
+        g
+    }
+
+    /// Relative elution intensity of a peptide at LC time `t` (peak value
+    /// 1 at the apex).
+    pub fn elution_factor(&self, peptide: &Peptide, t_s: f64) -> f64 {
+        let rt = self.retention_time_s(peptide);
+        let z = (t_s - rt) / self.peak_sigma_s;
+        (-0.5 * z * z).exp()
+    }
+
+    /// Mean elution factor over a time window `[t0, t1]` — the fraction of
+    /// the peptide's total eluted amount collected per second of the
+    /// window, relative to the apex rate. This is what a stepped (fraction-
+    /// collecting) acquisition actually integrates.
+    pub fn mean_elution_factor(&self, peptide: &Peptide, t0_s: f64, t1_s: f64) -> f64 {
+        assert!(t1_s > t0_s, "empty window");
+        let rt = self.retention_time_s(peptide);
+        let s = self.peak_sigma_s * std::f64::consts::SQRT_2;
+        let cdf = |t: f64| 0.5 * (1.0 + ims_signal::peaks::erf((t - rt) / s));
+        // Integral of the unit-apex Gaussian over the window, divided by
+        // the window length.
+        let integral = (cdf(t1_s) - cdf(t0_s)) * self.peak_sigma_s * (2.0 * std::f64::consts::PI).sqrt();
+        integral / (t1_s - t0_s)
+    }
+
+    /// Chromatographic peak capacity: usable window over the 4-σ peak base.
+    pub fn peak_capacity(&self) -> f64 {
+        (self.duration_s - self.dead_time_s) / (4.0 * self.peak_sigma_s)
+    }
+}
+
+/// Deterministic hash of a sequence to `[−1, 1]`.
+fn seq_hash_unit(s: &str) -> f64 {
+    let mut h: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    (h % 20001) as f64 / 10000.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hydrophobic_peptides_elute_later() {
+        let g = LcGradient::default();
+        let hydrophilic = Peptide::new("KKGGSKK");
+        let hydrophobic = Peptide::new("WWLLFFLL");
+        assert!(g.retention_time_s(&hydrophobic) > g.retention_time_s(&hydrophilic) + 100.0);
+    }
+
+    #[test]
+    fn retention_inside_gradient_window() {
+        let g = LcGradient::default();
+        for seq in ["GGSGGS", "LLLLLL", "RPPGFSPFR", "ADSGEGDFLAEGGGVR", "WWWWWWWW"] {
+            let rt = g.retention_time_s(&Peptide::new(seq));
+            assert!(
+                rt > 0.0 && rt < 1.05 * g.duration_s,
+                "{seq}: rt {rt}"
+            );
+        }
+    }
+
+    #[test]
+    fn elution_factor_peaks_at_retention_time() {
+        let g = LcGradient::default();
+        let p = Peptide::new("DRVYIHPFHL");
+        let rt = g.retention_time_s(&p);
+        assert!((g.elution_factor(&p, rt) - 1.0).abs() < 1e-9);
+        assert!(g.elution_factor(&p, rt + 3.0 * g.peak_sigma_s) < 0.02);
+        assert!(g.elution_factor(&p, rt - g.peak_sigma_s) > 0.5);
+    }
+
+    #[test]
+    fn mean_elution_factor_conserves_peak_area() {
+        // Summing factor × window over contiguous windows spanning the
+        // whole peak must equal the peak's total area (σ·√2π per unit apex).
+        let g = LcGradient::default();
+        let p = Peptide::new("DRVYIHPFHL");
+        let step = 60.0;
+        let total: f64 = (0..15)
+            .map(|k| g.mean_elution_factor(&p, k as f64 * step, (k + 1) as f64 * step) * step)
+            .sum();
+        let expect = g.peak_sigma_s * (2.0 * std::f64::consts::PI).sqrt();
+        assert!((total - expect).abs() < 0.01 * expect, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn wide_window_still_captures_narrow_peak() {
+        let g = LcGradient::default();
+        let p = Peptide::new("DRVYIHPFHL");
+        let rt = g.retention_time_s(&p);
+        let window = (rt - 30.0, rt + 30.0);
+        let f = g.mean_elution_factor(&p, window.0, window.1);
+        // Peak fully inside: factor = σ√2π / 60 ≈ 0.19.
+        assert!(f > 0.15 && f < 0.25, "factor {f}");
+    }
+
+    #[test]
+    fn peak_capacity_of_default_gradient() {
+        // 840 s window / 18 s base ≈ 47 — typical for a fast capillary run.
+        let c = LcGradient::default().peak_capacity();
+        assert!(c > 35.0 && c < 60.0, "capacity {c}");
+    }
+
+    #[test]
+    fn distinct_peptides_get_distinct_times() {
+        let g = LcGradient::default();
+        let a = g.retention_time_s(&Peptide::new("LGEYGFQNALIVR"));
+        let b = g.retention_time_s(&Peptide::new("LGEYGFQNALIVK"));
+        assert!((a - b).abs() > 0.1, "{a} vs {b}");
+    }
+
+    #[test]
+    fn replicate_drift_shifts_retention_reproducibly() {
+        let g = LcGradient::default();
+        let p = Peptide::new("DRVYIHPFHL");
+        let base_rt = g.retention_time_s(&p);
+        // Run 0 of the pattern is undrifted.
+        let r0 = g.replicate(0, 25.0);
+        assert!((r0.retention_time_s(&p) - base_rt).abs() < 4.0); // scale term only
+        // Run 1 shifts by +25 s (plus a small scale term).
+        let r1 = g.replicate(1, 25.0);
+        let shift = r1.retention_time_s(&p) - base_rt;
+        assert!(shift > 20.0 && shift < 32.0, "shift {shift}");
+        // Deterministic.
+        assert_eq!(
+            g.replicate(1, 25.0).retention_time_s(&p),
+            r1.retention_time_s(&p)
+        );
+        // Zero drift amplitude leaves only the tiny scale pattern.
+        let r1z = g.replicate(1, 0.0);
+        assert!((r1z.retention_time_s(&p) - base_rt).abs() < 4.0);
+    }
+
+    #[test]
+    fn coefficients_cover_all_residues() {
+        for aa in "ACDEFGHIKLMNPQRSTVWY".bytes() {
+            // Just exercise; tryptophan must top the scale.
+            assert!(retention_coefficient(aa) <= retention_coefficient(b'W'));
+        }
+    }
+}

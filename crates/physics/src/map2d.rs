@@ -1,0 +1,216 @@
+//! The 2-D drift-time × m/z intensity map — the fundamental data object of
+//! the whole pipeline (truth maps, captured frames, accumulated and
+//! deconvolved results all share this layout).
+
+use serde::{Deserialize, Serialize};
+
+/// Dense drift-major 2-D map: `data[d * mz_bins + m]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftTofMap {
+    drift_bins: usize,
+    mz_bins: usize,
+    data: Vec<f64>,
+}
+
+impl DriftTofMap {
+    /// All-zero map.
+    pub fn zeros(drift_bins: usize, mz_bins: usize) -> Self {
+        Self {
+            drift_bins,
+            mz_bins,
+            data: vec![0.0; drift_bins * mz_bins],
+        }
+    }
+
+    /// Builds from raw drift-major data.
+    ///
+    /// # Panics
+    /// Panics if the data length does not match the shape.
+    pub fn from_vec(drift_bins: usize, mz_bins: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), drift_bins * mz_bins, "shape mismatch");
+        Self {
+            drift_bins,
+            mz_bins,
+            data,
+        }
+    }
+
+    /// Number of drift bins.
+    pub fn drift_bins(&self) -> usize {
+        self.drift_bins
+    }
+
+    /// Number of m/z bins.
+    pub fn mz_bins(&self) -> usize {
+        self.mz_bins
+    }
+
+    /// Immutable view of one drift bin's TOF spectrum.
+    pub fn drift_row(&self, d: usize) -> &[f64] {
+        &self.data[d * self.mz_bins..(d + 1) * self.mz_bins]
+    }
+
+    /// Mutable view of one drift bin's TOF spectrum.
+    pub fn drift_row_mut(&mut self, d: usize) -> &mut [f64] {
+        &mut self.data[d * self.mz_bins..(d + 1) * self.mz_bins]
+    }
+
+    /// Value at (drift, m/z).
+    pub fn at(&self, d: usize, m: usize) -> f64 {
+        self.data[d * self.mz_bins + m]
+    }
+
+    /// Mutable value at (drift, m/z).
+    pub fn at_mut(&mut self, d: usize, m: usize) -> &mut f64 {
+        &mut self.data[d * self.mz_bins + m]
+    }
+
+    /// Raw drift-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Adds `scale·drift[d]·mz[m]` to every cell (rank-one update) —
+    /// depositing one species' signal.
+    pub fn add_outer(&mut self, drift: &[f64], mz: &[f64], scale: f64) {
+        assert_eq!(drift.len(), self.drift_bins, "drift length mismatch");
+        assert_eq!(mz.len(), self.mz_bins, "mz length mismatch");
+        for (d, &dv) in drift.iter().enumerate() {
+            if dv == 0.0 {
+                continue;
+            }
+            let row = self.drift_row_mut(d);
+            let f = scale * dv;
+            for (r, &mv) in row.iter_mut().zip(mz.iter()) {
+                *r += f * mv;
+            }
+        }
+    }
+
+    /// Sparse rank-one update: like [`Self::add_outer`] but the m/z profile
+    /// is given as `(bin, value)` pairs — the isotopic envelope of one
+    /// species touches only a few dozen of the thousands of m/z bins.
+    pub fn add_outer_sparse(&mut self, drift: &[f64], mz_pairs: &[(usize, f64)], scale: f64) {
+        assert_eq!(drift.len(), self.drift_bins, "drift length mismatch");
+        for (d, &dv) in drift.iter().enumerate() {
+            if dv == 0.0 {
+                continue;
+            }
+            let f = scale * dv;
+            let row = self.drift_row_mut(d);
+            for &(m, mv) in mz_pairs {
+                row[m] += f * mv;
+            }
+        }
+    }
+
+    /// Adds another map (same shape) scaled by `scale`.
+    pub fn add_scaled(&mut self, other: &DriftTofMap, scale: f64) {
+        assert_eq!(self.drift_bins, other.drift_bins);
+        assert_eq!(self.mz_bins, other.mz_bins);
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Multiplies every cell by `scale`.
+    pub fn scale(&mut self, scale: f64) {
+        for v in self.data.iter_mut() {
+            *v *= scale;
+        }
+    }
+
+    /// Sum over every cell.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest cell value.
+    pub fn max(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// Extracted drift profile: sum over an inclusive m/z bin window
+    /// (an extracted-ion mobilogram, XIC in the drift dimension).
+    pub fn drift_profile(&self, mz_lo: usize, mz_hi: usize) -> Vec<f64> {
+        assert!(mz_lo <= mz_hi && mz_hi < self.mz_bins, "bad mz window");
+        (0..self.drift_bins)
+            .map(|d| self.drift_row(d)[mz_lo..=mz_hi].iter().sum())
+            .collect()
+    }
+
+    /// Total-ion drift profile (sum over all m/z).
+    pub fn total_ion_drift_profile(&self) -> Vec<f64> {
+        (0..self.drift_bins)
+            .map(|d| self.drift_row(d).iter().sum())
+            .collect()
+    }
+
+    /// Summed m/z spectrum over an inclusive drift window.
+    pub fn mz_spectrum(&self, d_lo: usize, d_hi: usize) -> Vec<f64> {
+        assert!(d_lo <= d_hi && d_hi < self.drift_bins, "bad drift window");
+        let mut out = vec![0.0; self.mz_bins];
+        for d in d_lo..=d_hi {
+            for (o, &v) in out.iter_mut().zip(self.drift_row(d).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outer_product_deposits_correctly() {
+        let mut m = DriftTofMap::zeros(4, 3);
+        m.add_outer(&[0.0, 1.0, 0.5, 0.0], &[0.2, 0.8, 0.0], 10.0);
+        assert!((m.at(1, 0) - 2.0).abs() < 1e-12);
+        assert!((m.at(1, 1) - 8.0).abs() < 1e-12);
+        assert!((m.at(2, 1) - 4.0).abs() < 1e-12);
+        assert_eq!(m.at(0, 0), 0.0);
+        assert!((m.total() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiles_are_marginals() {
+        let mut m = DriftTofMap::zeros(3, 4);
+        for d in 0..3 {
+            for z in 0..4 {
+                *m.at_mut(d, z) = (d * 4 + z) as f64;
+            }
+        }
+        let drift = m.total_ion_drift_profile();
+        assert_eq!(drift, vec![6.0, 22.0, 38.0]);
+        let mz = m.mz_spectrum(0, 2);
+        assert_eq!(mz, vec![12.0, 15.0, 18.0, 21.0]);
+        let window = m.drift_profile(1, 2);
+        assert_eq!(window, vec![3.0, 11.0, 19.0]);
+    }
+
+    #[test]
+    fn add_scaled_and_scale() {
+        let mut a = DriftTofMap::zeros(2, 2);
+        *a.at_mut(0, 0) = 1.0;
+        let mut b = DriftTofMap::zeros(2, 2);
+        *b.at_mut(1, 1) = 4.0;
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.at(1, 1), 2.0);
+        a.scale(3.0);
+        assert_eq!(a.at(0, 0), 3.0);
+        assert_eq!(a.max(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_vec_checks_shape() {
+        let _ = DriftTofMap::from_vec(2, 2, vec![0.0; 5]);
+    }
+}

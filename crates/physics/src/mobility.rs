@@ -1,0 +1,79 @@
+//! Mobility theory helpers: field-dependent drift velocity and the
+//! diffusion-limited resolving power of a uniform-field drift tube.
+
+use crate::constants::*;
+
+/// Converts reduced mobility `K₀` (cm²/V·s) to the mobility at the working
+/// pressure (Torr) and temperature (K).
+pub fn mobility_at(k0: f64, pressure_torr: f64, temperature_k: f64) -> f64 {
+    assert!(pressure_torr > 0.0 && temperature_k > 0.0);
+    k0 * (STANDARD_PRESSURE_TORR / pressure_torr) * (temperature_k / STANDARD_TEMPERATURE)
+}
+
+/// Drift velocity (cm/s) in field `e_field` (V/cm) for mobility `k`
+/// (cm²/V·s) — the low-field linear regime.
+pub fn drift_velocity(k: f64, e_field: f64) -> f64 {
+    k * e_field
+}
+
+/// Diffusion-limited single-peak resolving power `t/Δt_FWHM` of a uniform
+/// drift tube operated at total drift voltage `v` (V) for charge `z`:
+///
+/// ```text
+/// R_diff = √(z·e·V / (16·kB·T·ln2))
+/// ```
+pub fn diffusion_limited_resolving_power(charge: u32, drift_voltage: f64, temperature_k: f64) -> f64 {
+    assert!(drift_voltage > 0.0 && temperature_k > 0.0);
+    (charge as f64 * ELEMENTARY_CHARGE * drift_voltage
+        / (16.0 * BOLTZMANN * temperature_k * (2.0f64).ln()))
+    .sqrt()
+}
+
+/// Low-field criterion: `E/N` in Townsend (1 Td = 10⁻¹⁷ V·cm²). For heavy
+/// polyatomic ions such as peptides the linear mobility regime holds up to
+/// `E/N ≈ 20 Td` (reduced-pressure drift tubes run at 10–20 Td by design).
+pub fn e_over_n_townsend(e_field_v_cm: f64, pressure_torr: f64, temperature_k: f64) -> f64 {
+    // Number density in cm⁻³ at working conditions.
+    let n = LOSCHMIDT * 1e-6 * (pressure_torr / STANDARD_PRESSURE_TORR)
+        * (STANDARD_TEMPERATURE / temperature_k);
+    e_field_v_cm / n / 1e-17
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobility_scales_inverse_with_pressure() {
+        let k4 = mobility_at(1.0, 4.0, 273.15);
+        let k8 = mobility_at(1.0, 8.0, 273.15);
+        assert!((k4 / k8 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolving_power_typical_drift_tube() {
+        // PNNL-style tube: ~4 kV total drift voltage, room temperature.
+        let r = diffusion_limited_resolving_power(1, 4000.0, 300.0);
+        assert!(r > 90.0 && r < 130.0, "R = {r}");
+        // Doubling the charge gains √2.
+        let r2 = diffusion_limited_resolving_power(2, 4000.0, 300.0);
+        assert!((r2 / r - (2.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_velocity_linear() {
+        assert!((drift_velocity(1.2, 20.0) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_field_regime_at_typical_conditions() {
+        // 20 V/cm at 4 Torr, 300 K ≈ 15 Td: inside the peptide low-field
+        // regime (< 20 Td) but a much higher E/N than an ambient-pressure
+        // tube (which sits near 1 Td).
+        let td = e_over_n_townsend(20.0, 4.0, 300.0);
+        assert!(td < 20.0, "E/N = {td} Td");
+        assert!(td > 10.0, "E/N = {td} Td");
+        let ambient = e_over_n_townsend(250.0, 760.0, 300.0);
+        assert!(ambient < 2.0, "ambient E/N = {ambient} Td");
+    }
+}

@@ -1,0 +1,235 @@
+//! Post-translational modifications and localization variants.
+//!
+//! The companion paper (entry 14, "Ultrasensitive Identification of
+//! Localization Variants of Modified Peptides Using Ion Mobility
+//! Spectrometry") shows that phosphopeptide *localization variants* — the
+//! same sequence phosphorylated on different S/T/Y residues, hence
+//! identical in mass and indistinguishable in MS¹ — often adopt different
+//! gas-phase conformations and separate in the drift tube even at a modest
+//! resolving power (~80), and that pre-heating the ions in the funnel trap
+//! re-shuffles the conformer distribution to improve the separation.
+//!
+//! The model: a phosphate adds its exact mass (+79.966331 Da) everywhere,
+//! and perturbs the CCS by a deterministic site- and charge-dependent few
+//! percent (the conformational effect); "trap heating" scales the spread of
+//! those perturbations.
+
+use crate::ion::IonSpecies;
+use crate::peptide::Peptide;
+use serde::{Deserialize, Serialize};
+
+/// Monoisotopic mass of a phosphorylation (+HPO₃), Da.
+pub const PHOSPHO_MASS: f64 = 79.966_331;
+
+/// A peptide carrying phosphorylations at specific residue indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModifiedPeptide {
+    /// The unmodified sequence.
+    pub base: Peptide,
+    /// 0-based residue indices carrying a phosphate (each must be S/T/Y).
+    pub phospho_sites: Vec<usize>,
+}
+
+impl ModifiedPeptide {
+    /// Creates a phosphopeptide.
+    ///
+    /// # Panics
+    /// Panics if a site is out of range or not S/T/Y, or sites repeat.
+    pub fn new(base: Peptide, mut phospho_sites: Vec<usize>) -> Self {
+        phospho_sites.sort_unstable();
+        let seq = base.sequence.as_bytes();
+        for w in phospho_sites.windows(2) {
+            assert!(w[0] != w[1], "duplicate phospho site {}", w[0]);
+        }
+        for &s in &phospho_sites {
+            assert!(s < seq.len(), "site {s} out of range");
+            assert!(
+                matches!(seq[s], b'S' | b'T' | b'Y'),
+                "site {s} ({}) is not S/T/Y",
+                seq[s] as char
+            );
+        }
+        Self {
+            base,
+            phospho_sites,
+        }
+    }
+
+    /// Display name, e.g. `RPSGFSPFR+p@2`.
+    pub fn name(&self) -> String {
+        if self.phospho_sites.is_empty() {
+            self.base.sequence.clone()
+        } else {
+            let sites: Vec<String> = self.phospho_sites.iter().map(|s| s.to_string()).collect();
+            format!("{}+p@{}", self.base.sequence, sites.join(","))
+        }
+    }
+
+    /// Neutral monoisotopic mass, Da.
+    pub fn monoisotopic_mass(&self) -> f64 {
+        self.base.monoisotopic_mass() + self.phospho_sites.len() as f64 * PHOSPHO_MASS
+    }
+
+    /// CCS of the modified peptide at a charge state.
+    ///
+    /// The phosphate's intrinsic size adds ~1.3 % per site; the
+    /// *localization-dependent* conformational effect perturbs this by up
+    /// to ±`heating × 1.2 %` depending on where along the backbone the
+    /// charge-phosphate interaction forms (deterministic per site/charge).
+    /// `heating` = 1.0 is the default trap temperature; raising it (field
+    /// heating in the funnel trap, as in the companion paper) amplifies
+    /// the conformer differences.
+    pub fn ccs_a2(&self, charge: u32, heating: f64) -> f64 {
+        let mut ccs = self.base.ccs_a2(charge) * (1.0 + 0.013 * self.phospho_sites.len() as f64);
+        let n = self.base.len() as f64;
+        for &site in &self.phospho_sites {
+            // Sites near the charge carriers (termini for tryptic peptides)
+            // compact the ion; central sites extend it.
+            let position = site as f64 / n - 0.5;
+            let sign = if position.abs() < 0.25 { 1.0 } else { -1.0 };
+            let magnitude = 0.012 * (1.0 - 2.0 * position.abs()).abs();
+            let site_hash = site_charge_hash(&self.base.sequence, site, charge);
+            ccs *= 1.0 + heating * sign * magnitude * (0.5 + 0.5 * site_hash);
+        }
+        ccs
+    }
+
+    /// Ion species of this variant at its dominant charge states.
+    pub fn to_species(&self, abundance: f64, heating: f64) -> Vec<IonSpecies> {
+        self.base
+            .charge_states()
+            .into_iter()
+            .map(|(z, w)| {
+                IonSpecies::new(
+                    format!("{}/{z}+", self.name()),
+                    self.monoisotopic_mass(),
+                    z,
+                    self.ccs_a2(z, heating),
+                    abundance * w,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Deterministic hash → `[0, 1)` for a (sequence, site, charge) triple.
+fn site_charge_hash(seq: &str, site: usize, charge: u32) -> f64 {
+    let mut h: u64 = 0xA076_1D64_78BD_642F ^ (site as u64) ^ ((charge as u64) << 32);
+    for b in seq.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    (h % 10_000) as f64 / 10_000.0
+}
+
+/// All singly-phosphorylated localization variants of a peptide (one per
+/// S/T/Y residue).
+pub fn single_phospho_variants(base: &Peptide) -> Vec<ModifiedPeptide> {
+    base.sequence
+        .bytes()
+        .enumerate()
+        .filter(|(_, b)| matches!(b, b'S' | b'T' | b'Y'))
+        .map(|(i, _)| ModifiedPeptide::new(base.clone(), vec![i]))
+        .collect()
+}
+
+/// All doubly-phosphorylated variants (every pair of distinct S/T/Y sites).
+pub fn double_phospho_variants(base: &Peptide) -> Vec<ModifiedPeptide> {
+    let singles = single_phospho_variants(base);
+    let mut out = Vec::new();
+    for (i, a) in singles.iter().enumerate() {
+        for b in singles.iter().skip(i + 1) {
+            out.push(ModifiedPeptide::new(
+                base.clone(),
+                vec![a.phospho_sites[0], b.phospho_sites[0]],
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinase_substrate() -> Peptide {
+        // A realistic S/T/Y-rich tryptic peptide.
+        Peptide::new("LGSSEVEQVQLTAYR")
+    }
+
+    #[test]
+    fn variants_share_mass_exactly() {
+        let base = kinase_substrate();
+        let variants = single_phospho_variants(&base);
+        assert!(variants.len() >= 4, "{} variants", variants.len());
+        let m0 = variants[0].monoisotopic_mass();
+        for v in &variants {
+            assert_eq!(v.monoisotopic_mass(), m0);
+            assert!((v.monoisotopic_mass() - base.monoisotopic_mass() - PHOSPHO_MASS).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn variants_differ_in_ccs() {
+        let variants = single_phospho_variants(&kinase_substrate());
+        let ccs: Vec<f64> = variants.iter().map(|v| v.ccs_a2(2, 1.0)).collect();
+        for (i, a) in ccs.iter().enumerate() {
+            for b in ccs.iter().skip(i + 1) {
+                assert!(
+                    (a - b).abs() / a > 1e-4,
+                    "variants {i} indistinguishable: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heating_amplifies_conformer_spread() {
+        let variants = single_phospho_variants(&kinase_substrate());
+        let spread = |heating: f64| -> f64 {
+            let ccs: Vec<f64> = variants.iter().map(|v| v.ccs_a2(2, heating)).collect();
+            let max = ccs.iter().cloned().fold(0.0f64, f64::max);
+            let min = ccs.iter().cloned().fold(f64::INFINITY, f64::min);
+            (max - min) / min
+        };
+        assert!(spread(1.6) > spread(1.0));
+        assert!(spread(1.0) > spread(0.3));
+    }
+
+    #[test]
+    fn double_variants_enumerate_pairs() {
+        let base = kinase_substrate(); // 4 S/T/Y sites → C(4,2) = 6… count S,S,T,Y
+        let singles = single_phospho_variants(&base).len();
+        let doubles = double_phospho_variants(&base).len();
+        assert_eq!(doubles, singles * (singles - 1) / 2);
+        for d in double_phospho_variants(&base) {
+            assert_eq!(d.phospho_sites.len(), 2);
+            assert!(
+                (d.monoisotopic_mass() - base.monoisotopic_mass() - 2.0 * PHOSPHO_MASS).abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn naming_and_species() {
+        let base = kinase_substrate();
+        let v = ModifiedPeptide::new(base, vec![2]);
+        assert_eq!(v.name(), "LGSSEVEQVQLTAYR+p@2");
+        let species = v.to_species(1.0, 1.0);
+        assert!(!species.is_empty());
+        assert!(species[0].name.contains("+p@2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not S/T/Y")]
+    fn rejects_non_sty_site() {
+        let _ = ModifiedPeptide::new(Peptide::new("GGAGG"), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_sites() {
+        let _ = ModifiedPeptide::new(kinase_substrate(), vec![2, 2]);
+    }
+}

@@ -1,0 +1,380 @@
+//! Peptides: residue masses, in-silico tryptic digestion, and the empirical
+//! CCS / charge-state models that turn sequences into [`IonSpecies`].
+//!
+//! The reference peptides are the actual PNNL multiplexed-IMS test set
+//! (bradykinin, angiotensin I, fibrinopeptide A, neurotensin). Complex
+//! digest matrices are generated from deterministic *synthetic* protein
+//! sequences with natural amino-acid frequencies — a documented substitution
+//! for the proprietary digests (BSA, *Shewanella*, human plasma) used in the
+//! companion papers; the m/z, mobility, and abundance statistics that drive
+//! the data processing are preserved.
+
+use crate::ion::IonSpecies;
+use serde::{Deserialize, Serialize};
+
+/// Monoisotopic mass of water, Da.
+pub const WATER: f64 = 18.010_565;
+
+/// Monoisotopic residue mass, Da. Returns `None` for non-standard letters.
+pub fn residue_mass(aa: u8) -> Option<f64> {
+    Some(match aa {
+        b'G' => 57.021_46,
+        b'A' => 71.037_11,
+        b'S' => 87.032_03,
+        b'P' => 97.052_76,
+        b'V' => 99.068_41,
+        b'T' => 101.047_68,
+        b'C' => 103.009_19,
+        b'L' | b'I' => 113.084_06,
+        b'N' => 114.042_93,
+        b'D' => 115.026_94,
+        b'Q' => 128.058_58,
+        b'K' => 128.094_96,
+        b'E' => 129.042_59,
+        b'M' => 131.040_49,
+        b'H' => 137.058_91,
+        b'F' => 147.068_41,
+        b'R' => 156.101_11,
+        b'Y' => 163.063_33,
+        b'W' => 186.079_31,
+        _ => return None,
+    })
+}
+
+/// A peptide sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Peptide {
+    /// One-letter amino-acid sequence.
+    pub sequence: String,
+}
+
+impl Peptide {
+    /// Creates a peptide, validating every residue.
+    ///
+    /// # Panics
+    /// Panics on non-standard residues.
+    pub fn new(sequence: impl Into<String>) -> Self {
+        let sequence = sequence.into();
+        assert!(!sequence.is_empty(), "empty peptide");
+        for &b in sequence.as_bytes() {
+            assert!(
+                residue_mass(b).is_some(),
+                "non-standard residue {:?} in {sequence}",
+                b as char
+            );
+        }
+        Self { sequence }
+    }
+
+    /// Length in residues.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// Whether the sequence is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+
+    /// Neutral monoisotopic mass, Da.
+    pub fn monoisotopic_mass(&self) -> f64 {
+        self.sequence
+            .bytes()
+            .map(|b| residue_mass(b).expect("validated at construction"))
+            .sum::<f64>()
+            + WATER
+    }
+
+    /// Number of basic sites (K, R, H plus the N-terminus) — the ceiling of
+    /// the ESI charge-state distribution.
+    pub fn basic_sites(&self) -> u32 {
+        1 + self
+            .sequence
+            .bytes()
+            .filter(|&b| b == b'K' || b == b'R' || b == b'H')
+            .count() as u32
+    }
+
+    /// Empirical ion–N₂ collision cross section, Å².
+    ///
+    /// Model: `Ω = 2.9·m^(2/3)·(1 + 0.15·(z−1))`, plus a ±4 % deterministic
+    /// per-sequence perturbation so isobaric peptides separate in drift time
+    /// the way conformational diversity separates them in reality.
+    pub fn ccs_a2(&self, charge: u32) -> f64 {
+        let m = self.monoisotopic_mass();
+        let base = 2.9 * m.powf(2.0 / 3.0) * (1.0 + 0.15 * (charge.saturating_sub(1)) as f64);
+        let jitter = 1.0 + 0.04 * hash_to_unit(&self.sequence);
+        base * jitter
+    }
+
+    /// ESI charge states this peptide is observed in, with relative weights.
+    ///
+    /// Peptides charge up to `min(basic_sites, 3)`; the dominant state is 2+
+    /// for typical tryptic peptides (one basic C-terminal residue plus the
+    /// N-terminus).
+    pub fn charge_states(&self) -> Vec<(u32, f64)> {
+        let max_z = self.basic_sites().min(3);
+        match max_z {
+            1 => vec![(1, 1.0)],
+            2 => vec![(1, 0.25), (2, 0.75)],
+            _ => vec![(1, 0.1), (2, 0.6), (3, 0.3)],
+        }
+    }
+
+    /// Converts the peptide to ion species at total abundance `abundance`,
+    /// split across its charge states.
+    pub fn to_species(&self, abundance: f64) -> Vec<IonSpecies> {
+        self.charge_states()
+            .into_iter()
+            .map(|(z, w)| {
+                IonSpecies::new(
+                    format!("{}/{z}+", self.sequence),
+                    self.monoisotopic_mass(),
+                    z,
+                    self.ccs_a2(z),
+                    abundance * w,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Deterministic hash of a string to `[−1, 1]` (FNV-1a based).
+fn hash_to_unit(s: &str) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % 20001) as f64 / 10000.0 - 1.0
+}
+
+/// In-silico tryptic digestion: cleave after K or R except before P.
+///
+/// `missed_cleavages` allows 0–2 missed sites; peptides shorter than
+/// `min_len` residues are discarded (they fall below the instrument's m/z
+/// range in practice).
+pub fn tryptic_digest(protein: &str, missed_cleavages: usize, min_len: usize) -> Vec<Peptide> {
+    assert!(missed_cleavages <= 2, "at most 2 missed cleavages supported");
+    let bytes = protein.as_bytes();
+    // Cleavage points: index AFTER which we cut.
+    let mut cuts = Vec::new();
+    for i in 0..bytes.len() {
+        let is_site = (bytes[i] == b'K' || bytes[i] == b'R')
+            && bytes.get(i + 1).is_none_or(|&next| next != b'P');
+        if is_site {
+            cuts.push(i + 1);
+        }
+    }
+    if cuts.last() != Some(&bytes.len()) {
+        cuts.push(bytes.len());
+    }
+    let mut peptides = Vec::new();
+    // Peptide i spans starts[i]..cuts[i]; each start is the previous cut.
+    let mut starts = Vec::with_capacity(cuts.len());
+    starts.push(0usize);
+    starts.extend(cuts.iter().take(cuts.len() - 1).copied());
+    for (si, &s) in starts.iter().enumerate() {
+        for extra in 0..=missed_cleavages {
+            if si + extra >= cuts.len() {
+                break;
+            }
+            let e = cuts[si + extra];
+            if e - s >= min_len {
+                peptides.push(Peptide::new(&protein[s..e]));
+            }
+        }
+    }
+    peptides
+}
+
+/// The PNNL reference peptides used across the companion papers.
+pub fn reference_peptides() -> Vec<Peptide> {
+    vec![
+        Peptide::new("RPPGFSPFR"),        // bradykinin
+        Peptide::new("DRVYIHPFHL"),       // angiotensin I
+        Peptide::new("ADSGEGDFLAEGGGVR"), // fibrinopeptide A
+        Peptide::new("QLYENKPRRPYIL"),    // neurotensin (Gln form)
+    ]
+}
+
+/// A wider spike panel for dynamic-range studies: the reference peptides
+/// plus substance P (free-acid form) and renin substrate tetradecapeptide —
+/// six distinct (m/z, mobility) positions, so up to six spike levels can be
+/// measured without colliding.
+pub fn spike_peptides() -> Vec<Peptide> {
+    let mut v = reference_peptides();
+    v.push(Peptide::new("RPKPQQFFGLM")); // substance P (1-11, free acid)
+    v.push(Peptide::new("DRVYIHPFHLLVYS")); // renin substrate
+    v
+}
+
+/// Human ubiquitin (P0CG47 monomer) — a real protein sequence for digestion
+/// tests.
+pub const UBIQUITIN: &str =
+    "MQIFVKTLTGKTITLEVEPSDTIENVKAKIQDKEGIPPDQQRLIFAGKQLEDGRTLSDYNIQKESTLHLVLRLRGG";
+
+/// Deterministic synthetic protein with natural amino-acid frequencies —
+/// the documented stand-in for proprietary digest matrices.
+pub fn synthetic_protein(seed: u64, length: usize) -> String {
+    // Swiss-Prot background frequencies (per mille, coarse).
+    const FREQ: &[(u8, u32)] = &[
+        (b'A', 83),
+        (b'R', 55),
+        (b'N', 41),
+        (b'D', 55),
+        (b'C', 14),
+        (b'Q', 39),
+        (b'E', 67),
+        (b'G', 71),
+        (b'H', 23),
+        (b'I', 59),
+        (b'L', 97),
+        (b'K', 58),
+        (b'M', 24),
+        (b'F', 39),
+        (b'P', 47),
+        (b'S', 66),
+        (b'T', 53),
+        (b'W', 11),
+        (b'Y', 29),
+        (b'V', 69),
+    ];
+    let total: u32 = FREQ.iter().map(|f| f.1).sum();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut next = || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut out = String::with_capacity(length);
+    for _ in 0..length {
+        let mut pick = (next() % total as u64) as u32;
+        let mut chosen = b'A';
+        for &(aa, w) in FREQ {
+            if pick < w {
+                chosen = aa;
+                break;
+            }
+            pick -= w;
+        }
+        out.push(chosen as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bradykinin_mass_matches_literature() {
+        let bk = Peptide::new("RPPGFSPFR");
+        assert!(
+            (bk.monoisotopic_mass() - 1059.5614).abs() < 0.005,
+            "mass {}",
+            bk.monoisotopic_mass()
+        );
+    }
+
+    #[test]
+    fn angiotensin_mass_matches_literature() {
+        let ang = Peptide::new("DRVYIHPFHL");
+        assert!(
+            (ang.monoisotopic_mass() - 1295.6775).abs() < 0.01,
+            "mass {}",
+            ang.monoisotopic_mass()
+        );
+    }
+
+    #[test]
+    fn fibrinopeptide_a_mass_matches_literature() {
+        let fpa = Peptide::new("ADSGEGDFLAEGGGVR");
+        assert!(
+            (fpa.monoisotopic_mass() - 1535.6847).abs() < 0.01,
+            "mass {}",
+            fpa.monoisotopic_mass()
+        );
+    }
+
+    #[test]
+    fn tryptic_digest_of_known_fragment() {
+        // "AKRPGK" → after K at 1 (next is R, fine), after R at 2? next is P
+        // → no cleavage; after K at 5 (end).
+        let peps = tryptic_digest("AKRPGK", 0, 1);
+        let seqs: Vec<&str> = peps.iter().map(|p| p.sequence.as_str()).collect();
+        assert_eq!(seqs, vec!["AK", "RPGK"]);
+    }
+
+    #[test]
+    fn digest_covers_whole_protein() {
+        let peps = tryptic_digest(UBIQUITIN, 0, 1);
+        let reassembled: String = peps.iter().map(|p| p.sequence.as_str()).collect();
+        assert_eq!(reassembled, UBIQUITIN);
+    }
+
+    #[test]
+    fn missed_cleavages_add_longer_peptides() {
+        let none = tryptic_digest(UBIQUITIN, 0, 6);
+        let one = tryptic_digest(UBIQUITIN, 1, 6);
+        assert!(one.len() > none.len());
+        // Every 0-missed peptide is still present.
+        for p in &none {
+            assert!(one.contains(p));
+        }
+    }
+
+    #[test]
+    fn charge_states_track_basic_sites() {
+        let no_basic = Peptide::new("GGAGG"); // only N-terminus
+        assert_eq!(no_basic.charge_states(), vec![(1, 1.0)]);
+        let tryptic = Peptide::new("GGAGGK"); // N-term + K
+        assert_eq!(tryptic.charge_states().last().unwrap().0, 2);
+        let rich = Peptide::new("HKRGH");
+        assert_eq!(rich.charge_states().last().unwrap().0, 3);
+    }
+
+    #[test]
+    fn ccs_grows_with_mass_and_charge() {
+        let small = Peptide::new("GGAGGK");
+        let large = Peptide::new("GGAGGKGGAGGKGGAGGK");
+        assert!(large.ccs_a2(1) > small.ccs_a2(1));
+        assert!(small.ccs_a2(2) > small.ccs_a2(1));
+        // Typical scale: ~1000 Da tryptic 2+ around 280–360 Å².
+        let bk = Peptide::new("RPPGFSPFR");
+        let ccs = bk.ccs_a2(2);
+        assert!(ccs > 250.0 && ccs < 400.0, "CCS {ccs}");
+    }
+
+    #[test]
+    fn species_conserve_abundance() {
+        let p = Peptide::new("DRVYIHPFHL");
+        let species = p.to_species(10.0);
+        let total: f64 = species.iter().map(|s| s.abundance).sum();
+        assert!((total - 10.0).abs() < 1e-9);
+        assert!(species.len() >= 2);
+    }
+
+    #[test]
+    fn synthetic_protein_is_deterministic_and_plausible() {
+        let a = synthetic_protein(7, 500);
+        let b = synthetic_protein(7, 500);
+        assert_eq!(a, b);
+        let c = synthetic_protein(8, 500);
+        assert_ne!(a, c);
+        // Leucine should be the most common residue, tryptophan rare.
+        let count = |s: &str, ch: char| s.chars().filter(|&c| c == ch).count();
+        assert!(count(&a, 'L') > count(&a, 'W'));
+        // Digestible: a 500-residue protein has dozens of tryptic peptides.
+        let peps = tryptic_digest(&a, 0, 6);
+        assert!(peps.len() > 10, "only {} peptides", peps.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-standard residue")]
+    fn rejects_bad_residue() {
+        let _ = Peptide::new("GGXGG");
+    }
+}

@@ -1,0 +1,245 @@
+//! Orthogonal time-of-flight mass analyser.
+//!
+//! Every IMS drift bin is sub-sampled by thousands of orthogonal TOF
+//! extractions; the per-bin data the capture engine sees is a full m/z
+//! spectrum. The analyser model maps species to m/z peak envelopes
+//! (isotopic fine structure included) on a fixed m/z grid, with a
+//! resolution-limited Gaussian profile per isotope.
+
+use crate::constants::PROTON_MASS_DA;
+use crate::ion::IonSpecies;
+use crate::isotope::averagine_envelope;
+use serde::{Deserialize, Serialize};
+
+/// Systematic mass-measurement error of a (miscalibrated) TOF: the
+/// measured m/z deviates from the true one by
+/// `offset_ppm + slope_ppm·(m/z − 1000)/1000` parts per million — the
+/// drifting-calibration model the regression-recalibration companion paper
+/// removes (entry 47).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MassError {
+    /// Constant error, ppm.
+    pub offset_ppm: f64,
+    /// m/z-dependent error, ppm per 1000 Th away from m/z 1000.
+    pub slope_ppm: f64,
+}
+
+impl MassError {
+    /// A perfectly calibrated analyser.
+    pub fn none() -> Self {
+        Self {
+            offset_ppm: 0.0,
+            slope_ppm: 0.0,
+        }
+    }
+
+    /// The systematic error at a given true m/z, ppm.
+    pub fn ppm_at(&self, mz: f64) -> f64 {
+        self.offset_ppm + self.slope_ppm * (mz - 1000.0) / 1000.0
+    }
+
+    /// The measured (distorted) m/z for a true m/z.
+    pub fn distort(&self, mz: f64) -> f64 {
+        mz * (1.0 + self.ppm_at(mz) * 1e-6)
+    }
+}
+
+impl Default for MassError {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Orthogonal-TOF mass analyser with a uniform m/z grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TofAnalyzer {
+    /// Lower edge of the m/z range, Th.
+    pub mz_min: f64,
+    /// Upper edge of the m/z range, Th.
+    pub mz_max: f64,
+    /// Number of m/z bins.
+    pub n_bins: usize,
+    /// Mass resolving power `m/Δm` (FWHM definition).
+    pub resolving_power: f64,
+    /// Maximum isotope peaks modelled per species.
+    pub max_isotopes: usize,
+    /// Systematic calibration error applied to every recorded m/z.
+    pub mass_error: MassError,
+}
+
+impl Default for TofAnalyzer {
+    fn default() -> Self {
+        Self {
+            mz_min: 200.0,
+            mz_max: 2200.0,
+            n_bins: 2000,
+            resolving_power: 5000.0,
+            max_isotopes: 6,
+            mass_error: MassError::none(),
+        }
+    }
+}
+
+impl TofAnalyzer {
+    /// Bin width in Th.
+    pub fn bin_width(&self) -> f64 {
+        (self.mz_max - self.mz_min) / self.n_bins as f64
+    }
+
+    /// Bin index for an m/z, or `None` if outside the range.
+    pub fn bin_of(&self, mz: f64) -> Option<usize> {
+        if mz < self.mz_min || mz >= self.mz_max {
+            return None;
+        }
+        Some(((mz - self.mz_min) / self.bin_width()) as usize)
+    }
+
+    /// m/z at a bin centre.
+    pub fn mz_of(&self, bin: usize) -> f64 {
+        self.mz_min + (bin as f64 + 0.5) * self.bin_width()
+    }
+
+    /// The m/z profile of one species, normalised to unit total area
+    /// (fraction of the species' ions landing per m/z bin). Species outside
+    /// the range produce an all-zero profile.
+    pub fn species_profile(&self, species: &IonSpecies) -> Vec<f64> {
+        let mut profile = vec![0.0; self.n_bins];
+        let envelope = averagine_envelope(species.mass_da, self.max_isotopes);
+        let z = species.charge as f64;
+        let width = self.bin_width();
+        for (iso, &frac) in envelope.iter().enumerate() {
+            if frac <= 0.0 {
+                continue;
+            }
+            // Isotopes are spaced ~1.00235 Da apart (averaged C/N spacing);
+            // the analyser records them at the (mis)calibrated position.
+            let true_mz = (species.mass_da + iso as f64 * 1.002_35 + z * PROTON_MASS_DA) / z;
+            let mz = self.mass_error.distort(true_mz);
+            if mz < self.mz_min || mz >= self.mz_max {
+                continue;
+            }
+            let sigma_mz = (mz / self.resolving_power) / crate::constants::FWHM_SIGMA;
+            let sigma_bins = (sigma_mz / width).max(0.05);
+            // gaussian_binned integrates over [i, i+1), so positions are in
+            // bin-edge coordinates.
+            let mu_bins = (mz - self.mz_min) / width;
+            let peak = ims_signal::peaks::gaussian_binned(self.n_bins, mu_bins, sigma_bins, frac);
+            for (p, v) in profile.iter_mut().zip(peak.iter()) {
+                *p += v;
+            }
+        }
+        profile
+    }
+
+    /// True if two species are separated by at least one FWHM in m/z.
+    pub fn resolves(&self, a: &IonSpecies, b: &IonSpecies) -> bool {
+        let mza = a.mz();
+        let mzb = b.mz();
+        let fwhm = mza.max(mzb) / self.resolving_power;
+        (mza - mzb).abs() > fwhm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peptide(mass: f64, z: u32) -> IonSpecies {
+        IonSpecies::new(format!("m{mass}z{z}"), mass, z, 300.0, 1.0)
+    }
+
+    #[test]
+    fn profile_lands_at_the_right_mz() {
+        let tof = TofAnalyzer::default();
+        let sp = peptide(1000.0, 2);
+        let profile = tof.species_profile(&sp);
+        let (apex, _) = ims_signal::stats::argmax(&profile).unwrap();
+        let apex_mz = tof.mz_of(apex);
+        assert!((apex_mz - sp.mz()).abs() < 2.0 * tof.bin_width(), "apex at {apex_mz}");
+    }
+
+    #[test]
+    fn profile_area_is_isotope_coverage() {
+        let tof = TofAnalyzer::default();
+        let sp = peptide(1000.0, 2);
+        let total: f64 = tof.species_profile(&sp).iter().sum();
+        // All modelled isotopes are in range, so area ≈ 1.
+        assert!((total - 1.0).abs() < 0.02, "area {total}");
+    }
+
+    #[test]
+    fn out_of_range_species_is_silent() {
+        let tof = TofAnalyzer::default();
+        let heavy = peptide(10_000.0, 1); // m/z 10001 > 2200
+        assert!(tof.species_profile(&heavy).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn isotope_spacing_visible_at_high_resolution() {
+        let tof = TofAnalyzer {
+            resolving_power: 20_000.0,
+            n_bins: 20_000,
+            ..Default::default()
+        };
+        let sp = peptide(1200.0, 1);
+        let profile = tof.species_profile(&sp);
+        let peaks = ims_signal::peaks::PeakFinder::with_min_height(1e-4).find(&profile);
+        assert!(peaks.len() >= 3, "found {} isotope peaks", peaks.len());
+        // First two isotopes 1 Da apart.
+        let mut centroids: Vec<f64> = peaks.iter().map(|p| tof.mz_of(p.apex)).collect();
+        centroids.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((centroids[1] - centroids[0] - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn resolves_follows_resolution() {
+        let tof = TofAnalyzer::default();
+        let a = peptide(1000.0, 1);
+        let close = peptide(1000.05, 1); // Δm/z = 0.05 < FWHM 0.2
+        let far = peptide(1001.0, 1);
+        assert!(!tof.resolves(&a, &close));
+        assert!(tof.resolves(&a, &far));
+    }
+
+    #[test]
+    fn mass_error_shifts_recorded_peaks() {
+        let mut tof = TofAnalyzer {
+            n_bins: 20_000, // 0.1 Th bins so a 200 ppm shift is resolvable
+            ..Default::default()
+        };
+        tof.mass_error = MassError {
+            offset_ppm: 200.0,
+            slope_ppm: 0.0,
+        };
+        let sp = peptide(1000.0, 1);
+        let profile = tof.species_profile(&sp);
+        let (apex, _) = ims_signal::stats::argmax(&profile).unwrap();
+        let apex_mz = tof.mz_of(apex);
+        let expect = sp.mz() * (1.0 + 200e-6);
+        assert!(
+            (apex_mz - expect).abs() < 2.0 * tof.bin_width(),
+            "apex {apex_mz} vs distorted {expect}"
+        );
+    }
+
+    #[test]
+    fn mass_error_model_is_linear_in_mz() {
+        let e = MassError {
+            offset_ppm: 3.0,
+            slope_ppm: 4.0,
+        };
+        assert!((e.ppm_at(1000.0) - 3.0).abs() < 1e-12);
+        assert!((e.ppm_at(2000.0) - 7.0).abs() < 1e-12);
+        assert!((e.ppm_at(500.0) - 1.0).abs() < 1e-12);
+        assert_eq!(MassError::none().distort(1234.5), 1234.5);
+    }
+
+    #[test]
+    fn bin_mapping_round_trips() {
+        let tof = TofAnalyzer::default();
+        assert_eq!(tof.bin_of(tof.mz_min - 1.0), None);
+        assert_eq!(tof.bin_of(tof.mz_max + 1.0), None);
+        let bin = tof.bin_of(700.0).unwrap();
+        assert!((tof.mz_of(bin) - 700.0).abs() <= tof.bin_width());
+    }
+}

@@ -1,0 +1,164 @@
+//! Workload generators: the analyte mixtures the evaluation runs on.
+
+use crate::ion::IonSpecies;
+use crate::peptide::{reference_peptides, synthetic_protein, tryptic_digest, Peptide};
+use serde::{Deserialize, Serialize};
+
+/// A named analyte mixture.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    /// Descriptive name (appears in experiment outputs).
+    pub name: String,
+    /// The ion species of the mixture.
+    pub species: Vec<IonSpecies>,
+}
+
+impl Workload {
+    /// A single calibrant ion — the E2/E7 single-analyte workload.
+    pub fn single_calibrant() -> Self {
+        let bk = Peptide::new("RPPGFSPFR");
+        let mass = bk.monoisotopic_mass();
+        Self {
+            name: "bradykinin-2+".into(),
+            species: vec![IonSpecies::new("RPPGFSPFR/2+", mass, 2, bk.ccs_a2(2), 1.0)],
+        }
+    }
+
+    /// The classic three-peptide infusion mix (bradykinin, angiotensin I,
+    /// fibrinopeptide A) at equal molar abundance — the E1 workload.
+    pub fn three_peptide_mix() -> Self {
+        let mut species = Vec::new();
+        for p in reference_peptides().into_iter().take(3) {
+            species.extend(p.to_species(1.0));
+        }
+        Self {
+            name: "three-peptide-mix".into(),
+            species,
+        }
+    }
+
+    /// A complex tryptic digest of `n_proteins` synthetic proteins (the
+    /// documented stand-in for a cell-lysate digest), total abundance
+    /// `matrix_abundance` spread across peptides.
+    pub fn complex_digest(seed: u64, n_proteins: usize, matrix_abundance: f64) -> Self {
+        let mut species = Vec::new();
+        let mut all_peptides = Vec::new();
+        for p in 0..n_proteins {
+            let protein = synthetic_protein(seed.wrapping_add(p as u64), 400);
+            all_peptides.extend(tryptic_digest(&protein, 0, 6));
+        }
+        if !all_peptides.is_empty() {
+            // Log-uniform-ish abundance spread: peptide i gets weight
+            // 1/(1+i mod 17) — a deterministic rough mimic of real digests'
+            // wide dynamic range.
+            let weights: Vec<f64> = (0..all_peptides.len())
+                .map(|i| 1.0 / (1.0 + (i % 17) as f64))
+                .collect();
+            let wsum: f64 = weights.iter().sum();
+            for (pep, w) in all_peptides.iter().zip(weights.iter()) {
+                species.extend(pep.to_species(matrix_abundance * w / wsum));
+            }
+        }
+        Self {
+            name: format!("digest-{n_proteins}-proteins"),
+            species,
+        }
+    }
+
+    /// Complex digest matrix (total `matrix_abundance`) plus spike-panel
+    /// peptides at the given abundances — the E6 dynamic-range workload.
+    /// Each spike level uses a *distinct* peptide (panics beyond the
+    /// six-peptide panel) so the responses never collide in (m/z, drift)
+    /// space.
+    pub fn spiked_digest(
+        seed: u64,
+        n_proteins: usize,
+        matrix_abundance: f64,
+        spike_abundances: &[f64],
+    ) -> Self {
+        let mut base = Self::complex_digest(seed, n_proteins, matrix_abundance);
+        let panel = crate::peptide::spike_peptides();
+        assert!(
+            spike_abundances.len() <= panel.len(),
+            "at most {} spike levels supported",
+            panel.len()
+        );
+        for (i, &level) in spike_abundances.iter().enumerate() {
+            for mut sp in panel[i].to_species(level) {
+                sp.name = format!("spike-{i}:{}", sp.name);
+                base.species.push(sp);
+            }
+        }
+        base.name = format!("spiked-digest-{n_proteins}x{}", spike_abundances.len());
+        base
+    }
+
+    /// Returns the workload with every abundance scaled by `factor` — e.g.
+    /// diluting a µM-scale mix to the nM regime where acquisition becomes
+    /// detection-noise-limited.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        for s in &mut self.species {
+            s.abundance *= factor;
+        }
+        self.name = format!("{}-x{factor:e}", self.name);
+        self
+    }
+
+    /// Number of species.
+    pub fn len(&self) -> usize {
+        self.species.len()
+    }
+
+    /// True when the mixture is empty.
+    pub fn is_empty(&self) -> bool {
+        self.species.is_empty()
+    }
+
+    /// Total molar abundance.
+    pub fn total_abundance(&self) -> f64 {
+        self.species.iter().map(|s| s.abundance).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_peptide_mix_has_multiple_charge_states() {
+        let w = Workload::three_peptide_mix();
+        assert!(w.len() >= 6, "{} species", w.len());
+        assert!((w.total_abundance() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_digest_is_deterministic_and_large() {
+        let a = Workload::complex_digest(1, 10, 50.0);
+        let b = Workload::complex_digest(1, 10, 50.0);
+        assert_eq!(a.species.len(), b.species.len());
+        assert!(a.len() > 100, "{} species", a.len());
+        assert!((a.total_abundance() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spiked_digest_contains_spikes() {
+        let w = Workload::spiked_digest(2, 5, 50.0, &[0.01, 0.1, 1.0]);
+        let spikes: Vec<_> = w
+            .species
+            .iter()
+            .filter(|s| s.name.starts_with("spike-"))
+            .collect();
+        assert!(spikes.len() >= 3);
+        // Abundances ordered as requested.
+        let total_spike: f64 = spikes.iter().map(|s| s.abundance).sum();
+        assert!((total_spike - 1.11).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_calibrant_is_single() {
+        let w = Workload::single_calibrant();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.species[0].charge, 2);
+    }
+}

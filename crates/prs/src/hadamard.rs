@@ -1,0 +1,126 @@
+//! Sylvester–Hadamard matrices.
+//!
+//! `H_M` (`M = 2ⁿ`) with entries `H[i][j] = (−1)^{popcount(i & j)}` is the
+//! transform the fast Walsh–Hadamard butterfly computes. The cyclic simplex
+//! matrix of an m-sequence is — up to row/column permutations and the 0/1 ↔
+//! ±1 affine map — the core of `H_{N+1}`, which is why m-sequence
+//! deconvolution can ride the FWHT (see [`crate::permutation`]).
+
+use ims_signal::matrix::Matrix;
+
+/// Dense Sylvester–Hadamard matrix of order `2ⁿ`.
+pub fn sylvester(n: u32) -> Matrix {
+    let m = 1usize << n;
+    Matrix::from_fn(m, m, |i, j| {
+        if (i & j).count_ones() % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    })
+}
+
+/// Checks the defining property `H·Hᵀ = M·I` for a candidate matrix.
+pub fn is_hadamard(h: &Matrix) -> bool {
+    let m = h.rows();
+    if h.cols() != m || m == 0 {
+        return false;
+    }
+    if h.data().iter().any(|&v| v != 1.0 && v != -1.0) {
+        return false;
+    }
+    let prod = h.matmul(&h.transpose());
+    let mut scaled_eye = Matrix::identity(m);
+    for i in 0..m {
+        scaled_eye[(i, i)] = m as f64;
+    }
+    prod.max_abs_diff(&scaled_eye) < 1e-9
+}
+
+/// Extracts the S-matrix hidden in a normalised Hadamard matrix: delete the
+/// first row and column, then map `+1 → 0`, `−1 → 1`.
+///
+/// The result is an S-matrix in the Hadamard-spectroscopy sense (every such
+/// matrix satisfies the closed-form inverse used by [`crate::simplex`]); it
+/// is row/column-permutation equivalent to the cyclic m-sequence S-matrix of
+/// the same order.
+pub fn s_matrix_from_hadamard(h: &Matrix) -> Matrix {
+    let m = h.rows();
+    assert!(m >= 2, "Hadamard order must be at least 2");
+    Matrix::from_fn(m - 1, m - 1, |i, j| {
+        if h[(i + 1, j + 1)] < 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sylvester_matrices_are_hadamard() {
+        for n in 0..=6 {
+            let h = sylvester(n);
+            assert!(is_hadamard(&h), "order 2^{n}");
+        }
+    }
+
+    #[test]
+    fn order_two_explicit() {
+        let h = sylvester(1);
+        assert_eq!(h[(0, 0)], 1.0);
+        assert_eq!(h[(0, 1)], 1.0);
+        assert_eq!(h[(1, 0)], 1.0);
+        assert_eq!(h[(1, 1)], -1.0);
+    }
+
+    #[test]
+    fn first_row_and_column_are_ones() {
+        let h = sylvester(4);
+        for k in 0..16 {
+            assert_eq!(h[(0, k)], 1.0);
+            assert_eq!(h[(k, 0)], 1.0);
+        }
+    }
+
+    #[test]
+    fn is_hadamard_rejects_non_hadamard() {
+        let mut h = sylvester(2);
+        h[(1, 1)] = 1.0; // break orthogonality
+        assert!(!is_hadamard(&h));
+        let bad_entries = Matrix::from_fn(2, 2, |_, _| 0.5);
+        assert!(!is_hadamard(&bad_entries));
+        let not_square = Matrix::zeros(2, 3);
+        assert!(!is_hadamard(&not_square));
+    }
+
+    #[test]
+    fn extracted_s_matrix_satisfies_closed_form_inverse() {
+        // S⁻¹ = 2/(N+1)·(2S − J)ᵀ must hold for the Hadamard-derived S too.
+        for n in 2..=5u32 {
+            let h = sylvester(n);
+            let s = s_matrix_from_hadamard(&h);
+            let order = s.rows();
+            let scale = 2.0 / (order as f64 + 1.0);
+            let inv = Matrix::from_fn(order, order, |i, j| scale * (2.0 * s[(j, i)] - 1.0));
+            let eye = s.matmul(&inv);
+            assert!(
+                eye.max_abs_diff(&Matrix::identity(order)) < 1e-9,
+                "order {order}"
+            );
+        }
+    }
+
+    #[test]
+    fn s_matrix_rows_balanced() {
+        let h = sylvester(4);
+        let s = s_matrix_from_hadamard(&h);
+        for i in 0..s.rows() {
+            let weight: f64 = s.row(i).iter().sum();
+            assert_eq!(weight, 8.0, "row {i}"); // (N+1)/2 with N = 15
+        }
+    }
+}

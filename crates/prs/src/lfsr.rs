@@ -1,0 +1,253 @@
+//! Linear-feedback shift registers.
+//!
+//! Two classic topologies are provided:
+//!
+//! * [`Lfsr`] — Fibonacci (many-to-one): the next input bit is the parity of
+//!   the tapped state bits. Its state sequence is what the fast m-sequence
+//!   transform (and the FPGA address generator modelled on it) walks.
+//! * [`GaloisLfsr`] — Galois (one-to-many): mathematically a multiplication
+//!   by `x` in GF(2ⁿ); cheaper per step and used where only the output
+//!   stream matters.
+//!
+//! Both produce maximal-length output when loaded with a primitive
+//! polynomial; the unit tests verify the full period for every tabulated
+//! degree.
+
+use crate::poly::PrimitivePoly;
+use serde::{Deserialize, Serialize};
+
+/// Fibonacci LFSR over GF(2) with up to 20 state bits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lfsr {
+    poly: PrimitivePoly,
+    state: u32,
+    /// Feedback mask over the state bits: bit `i` ⇔ coefficient of `x^i` in
+    /// the polynomial (including the constant term), restricted to `i < n`.
+    fb_mask: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with the canonical seed `1`.
+    pub fn new(poly: PrimitivePoly) -> Self {
+        Self::with_seed(poly, 1)
+    }
+
+    /// Creates an LFSR with an explicit non-zero seed (masked to the degree).
+    ///
+    /// # Panics
+    /// Panics if the masked seed is zero (the LFSR would be stuck).
+    pub fn with_seed(poly: PrimitivePoly, seed: u32) -> Self {
+        let mask = (1u32 << poly.degree()) - 1;
+        let state = seed & mask;
+        assert!(state != 0, "LFSR seed must be non-zero after masking");
+        // With state bit i holding the output due in i steps (s_i(t) =
+        // o_{t+i}), the recurrence o_{t+n} = Σ_{x^i ∈ p, i<n} o_{t+i} has
+        // characteristic polynomial exactly p, hence maximal period.
+        let fb_mask = ((poly.taps() << 1) | 1) & mask;
+        Self { poly, state, fb_mask }
+    }
+
+    /// The generating polynomial.
+    pub fn poly(&self) -> PrimitivePoly {
+        self.poly
+    }
+
+    /// Current register state.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Output functional: the emitted bit is the least-significant state bit.
+    pub fn output_mask() -> u32 {
+        1
+    }
+
+    /// Advances one step, returning the output bit.
+    ///
+    /// Right-shift topology: output = bit 0; the feedback parity of the
+    /// tapped bits enters at bit `n−1`.
+    pub fn step(&mut self) -> bool {
+        let out = self.state & 1 == 1;
+        let fb = (self.state & self.fb_mask).count_ones() & 1;
+        self.state = (self.state >> 1) | (fb << (self.poly.degree() - 1));
+        out
+    }
+
+    /// Emits the next `count` output bits.
+    pub fn bits(&mut self, count: usize) -> Vec<bool> {
+        (0..count).map(|_| self.step()).collect()
+    }
+
+    /// The state-transition map as a function of an arbitrary state (pure,
+    /// does not touch `self`). Used to build the linear-algebra view of the
+    /// automaton.
+    pub fn advance_state(&self, state: u32) -> u32 {
+        let fb = (state & self.fb_mask).count_ones() & 1;
+        (state >> 1) | (fb << (self.poly.degree() - 1))
+    }
+
+    /// Visits all `2ⁿ − 1` states starting from the current one, in step
+    /// order, leaving the register back where it started.
+    pub fn state_sequence(&self) -> Vec<u32> {
+        let n = self.poly.sequence_length();
+        let mut states = Vec::with_capacity(n);
+        let mut s = self.state;
+        for _ in 0..n {
+            states.push(s);
+            s = self.advance_state(s);
+        }
+        states
+    }
+}
+
+/// Galois LFSR over GF(2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaloisLfsr {
+    poly: PrimitivePoly,
+    state: u32,
+}
+
+impl GaloisLfsr {
+    /// Creates a Galois LFSR with the canonical seed `1`.
+    pub fn new(poly: PrimitivePoly) -> Self {
+        Self::with_seed(poly, 1)
+    }
+
+    /// Creates a Galois LFSR with an explicit non-zero seed (masked to the
+    /// degree).
+    ///
+    /// # Panics
+    /// Panics if the masked seed is zero (the LFSR would be stuck).
+    pub fn with_seed(poly: PrimitivePoly, seed: u32) -> Self {
+        let mask = (1u32 << poly.degree()) - 1;
+        let state = seed & mask;
+        assert!(state != 0, "LFSR seed must be non-zero after masking");
+        Self { poly, state }
+    }
+
+    /// Current register state.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Advances one step, returning the output bit (the bit shifted out of
+    /// the top of the register).
+    pub fn step(&mut self) -> bool {
+        let n = self.poly.degree();
+        let out = (self.state >> (n - 1)) & 1 == 1;
+        self.state <<= 1;
+        if out {
+            // Reduce modulo the full polynomial (taps<<1 | 1 spans x^n…x^0).
+            self.state ^= (self.poly.taps() << 1) | 1;
+        }
+        self.state &= (1u32 << n) - 1;
+        out
+    }
+
+    /// Emits the next `count` output bits.
+    pub fn bits(&mut self, count: usize) -> Vec<bool> {
+        (0..count).map(|_| self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::{MAX_DEGREE, MIN_DEGREE};
+    use std::collections::HashSet;
+
+    #[test]
+    fn fibonacci_has_maximal_period_for_all_degrees() {
+        for degree in MIN_DEGREE..=MAX_DEGREE.min(16) {
+            let poly = PrimitivePoly::for_degree(degree);
+            let mut lfsr = Lfsr::new(poly);
+            let start = lfsr.state();
+            let period = poly.sequence_length();
+            for step in 1..=period {
+                lfsr.step();
+                if lfsr.state() == start {
+                    assert_eq!(step, period, "degree {degree}: short period {step}");
+                    break;
+                }
+                assert!(step < period, "degree {degree}: period exceeds maximum");
+            }
+        }
+    }
+
+    #[test]
+    fn galois_has_maximal_period_for_all_degrees() {
+        for degree in MIN_DEGREE..=MAX_DEGREE.min(16) {
+            let poly = PrimitivePoly::for_degree(degree);
+            let mut lfsr = GaloisLfsr::new(poly);
+            let period = poly.sequence_length();
+            let mut seen = 0usize;
+            loop {
+                lfsr.step();
+                seen += 1;
+                if lfsr.state() == 1 {
+                    break;
+                }
+                assert!(seen <= period, "degree {degree}: period exceeds maximum");
+            }
+            assert_eq!(seen, period, "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn state_sequence_visits_all_nonzero_states() {
+        let poly = PrimitivePoly::for_degree(8);
+        let lfsr = Lfsr::new(poly);
+        let states = lfsr.state_sequence();
+        assert_eq!(states.len(), 255);
+        let unique: HashSet<u32> = states.iter().copied().collect();
+        assert_eq!(unique.len(), 255);
+        assert!(!unique.contains(&0));
+        assert!(states.iter().all(|&s| s < 256));
+    }
+
+    #[test]
+    fn output_bit_is_lsb_of_state() {
+        let poly = PrimitivePoly::for_degree(6);
+        let mut lfsr = Lfsr::new(poly);
+        for _ in 0..200 {
+            let lsb = lfsr.state() & 1 == 1;
+            assert_eq!(lfsr.step(), lsb);
+        }
+    }
+
+    #[test]
+    fn seed_shifts_sequence_cyclically() {
+        let poly = PrimitivePoly::for_degree(5);
+        let n = poly.sequence_length();
+        let mut base = Lfsr::new(poly);
+        let seq: Vec<bool> = base.bits(n);
+        // A seed equal to some mid-sequence state must produce a rotation.
+        let mut probe = Lfsr::new(poly);
+        for _ in 0..7 {
+            probe.step();
+        }
+        let rotated_seed = probe.state();
+        let mut shifted = Lfsr::with_seed(poly, rotated_seed);
+        let got: Vec<bool> = shifted.bits(n);
+        let expect: Vec<bool> = (0..n).map(|k| seq[(k + 7) % n]).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn advance_state_matches_step() {
+        let poly = PrimitivePoly::for_degree(9);
+        let mut lfsr = Lfsr::new(poly);
+        for _ in 0..100 {
+            let predicted = lfsr.advance_state(lfsr.state());
+            lfsr.step();
+            assert_eq!(lfsr.state(), predicted);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_seed_rejected() {
+        let poly = PrimitivePoly::for_degree(4);
+        let _ = Lfsr::with_seed(poly, 0b10000); // masks to zero
+    }
+}

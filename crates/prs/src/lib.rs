@@ -1,0 +1,70 @@
+//! Pseudo-random sequences and Hadamard algebra for multiplexed ion mobility
+//! spectrometry.
+//!
+//! Hadamard-transform ion mobility spectrometry (HT-IMS) replaces the single
+//! narrow gate pulse of a signal-averaged IMS experiment with a pseudo-random
+//! binary gating sequence. The detector then observes the *circular
+//! convolution* of the true arrival-time distribution with the gating
+//! sequence. Because maximal-length sequences (m-sequences) have a two-level
+//! autocorrelation, this convolution is invertible in closed form, and the
+//! gate can stay open for ~50 % of the experiment instead of `1/N` of it —
+//! the multiplexing advantage at the heart of the simulated instrument.
+//!
+//! This crate provides, from first principles:
+//!
+//! * primitive polynomials over GF(2) and their verification ([`poly`]);
+//! * Fibonacci/Galois linear-feedback shift registers ([`lfsr`]);
+//! * maximal-length sequences with their defining properties ([`msequence`]);
+//! * cyclic simplex (S-) matrices and their closed-form inverse ([`simplex`]);
+//! * Sylvester–Hadamard matrices ([`hadamard`]);
+//! * the LFSR-state permutation that maps m-sequence correlation onto the
+//!   fast Walsh–Hadamard transform ([`permutation`]) — the same
+//!   "memory-addressing logic" the paper's FPGA deconvolution core uses;
+//! * oversampled and modified sequences used by the PNNL-enhanced
+//!   deconvolution ([`oversample`]);
+//! * weighted (regularised) inverses tolerant of non-ideal gate modulation
+//!   ([`weighting`]);
+//! * sequence quality metrics ([`metrics`]).
+//!
+//! # Example: encode and decode a drift spectrum
+//!
+//! ```
+//! use ims_prs::{FastMTransform, MSequence, SimplexMatrix};
+//!
+//! // Order-7 m-sequence: N = 127 drift bins, gate open ~50 % of the time.
+//! let seq = MSequence::new(7);
+//! assert_eq!(seq.len(), 127);
+//! assert_eq!(seq.ones(), 64);
+//!
+//! // A drift spectrum with two analyte peaks…
+//! let mut x = vec![0.0; 127];
+//! x[30] = 100.0;
+//! x[90] = 40.0;
+//!
+//! // …multiplex-encoded by the instrument (y = S·x)…
+//! let y = SimplexMatrix::new(seq.clone()).apply(&x);
+//!
+//! // …and recovered exactly by the fast Hadamard inverse.
+//! let recovered = FastMTransform::new(&seq).deconvolve(&y);
+//! assert!((recovered[30] - 100.0).abs() < 1e-8);
+//! assert!((recovered[90] - 40.0).abs() < 1e-8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hadamard;
+pub mod lfsr;
+pub mod metrics;
+pub mod msequence;
+pub mod oversample;
+pub mod permutation;
+pub mod poly;
+pub mod simplex;
+pub mod weighting;
+
+pub use lfsr::{GaloisLfsr, Lfsr};
+pub use msequence::MSequence;
+pub use oversample::OversampledSequence;
+pub use permutation::FastMTransform;
+pub use poly::PrimitivePoly;
+pub use simplex::SimplexMatrix;

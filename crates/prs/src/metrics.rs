@@ -1,0 +1,153 @@
+//! Quality metrics for gate sequences.
+//!
+//! These scores drive the sequence-selection ablations: a good multiplexing
+//! sequence has duty cycle near ½ (throughput), flat off-peak
+//! autocorrelation (no deconvolution echoes), a well-conditioned circulant
+//! spectrum (bounded noise amplification), and enough gate pulses per period
+//! (fine drift-time sampling).
+
+use ims_signal::fft::rfft;
+use serde::{Deserialize, Serialize};
+
+/// Summary metrics of a binary gate sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SequenceMetrics {
+    /// Sequence length (fine bins).
+    pub len: usize,
+    /// Fraction of bins with the gate open.
+    pub duty_cycle: f64,
+    /// Number of gate pulses (rising edges) per period.
+    pub pulse_count: usize,
+    /// Peak-to-max-sidelobe ratio of the cyclic autocorrelation (dB).
+    pub autocorrelation_contrast_db: f64,
+    /// `max|DFT| / min|DFT|` of the 0/1 sequence (∞ ⇒ singular circulant).
+    pub condition_number: f64,
+    /// White-noise variance gain of the exact circulant inverse,
+    /// `(1/L)·Σ_f 1/|H(f)|²`. For an ideal m-sequence this is ≈ `4/N` — the
+    /// deconvolution *reduces* noise, which is the multiplex advantage.
+    pub noise_gain: f64,
+}
+
+/// Computes all metrics for a 0/1 sequence given as booleans.
+pub fn analyze(bits: &[bool]) -> SequenceMetrics {
+    let n = bits.len();
+    assert!(n >= 2, "sequence too short");
+    let ones = bits.iter().filter(|&&b| b).count();
+    let duty_cycle = ones as f64 / n as f64;
+    let pulse_count = (0..n)
+        .filter(|&k| bits[k] && !bits[(k + n - 1) % n])
+        .count();
+
+    // Cyclic autocorrelation of the mean-removed sequence.
+    let x: Vec<f64> = bits
+        .iter()
+        .map(|&b| if b { 1.0 } else { 0.0 } - duty_cycle)
+        .collect();
+    let peak: f64 = x.iter().map(|v| v * v).sum();
+    let mut max_sidelobe = 0.0f64;
+    for lag in 1..n {
+        let c: f64 = (0..n).map(|k| x[k] * x[(k + lag) % n]).sum();
+        max_sidelobe = max_sidelobe.max(c.abs());
+    }
+    let autocorrelation_contrast_db = if max_sidelobe > 0.0 {
+        10.0 * (peak / max_sidelobe).log10()
+    } else {
+        f64::INFINITY
+    };
+
+    // Spectral conditioning.
+    let seq_f64: Vec<f64> = bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    let spec = rfft(&seq_f64);
+    let magnitudes: Vec<f64> = spec.iter().map(|c| c.abs()).collect();
+    let hi = magnitudes.iter().fold(0.0f64, |a, &b| a.max(b));
+    let lo = magnitudes.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    // Bins below the relative tolerance are numerically-zero (Bluestein
+    // returns ~1e-13 rather than exact zeros for the singular cases).
+    let tol = 1e-9 * hi.max(1.0);
+    let singular = lo < tol;
+    let condition_number = if singular { f64::INFINITY } else { hi / lo };
+    // Noise gain of the exact inverse: output noise variance per unit input
+    // noise variance = (1/L)·Σ_f 1/|H(f)|² (∞ if singular).
+    let noise_gain = if singular {
+        f64::INFINITY
+    } else {
+        magnitudes.iter().map(|a| 1.0 / (a * a)).sum::<f64>() / n as f64
+    };
+
+    SequenceMetrics {
+        len: n,
+        duty_cycle,
+        pulse_count,
+        autocorrelation_contrast_db,
+        condition_number,
+        noise_gain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msequence::MSequence;
+    use crate::oversample::OversampledSequence;
+
+    #[test]
+    fn msequence_metrics_match_theory() {
+        let seq = MSequence::new(8);
+        let m = analyze(seq.bits());
+        let n = seq.len() as f64;
+        assert_eq!(m.len, 255);
+        assert!((m.duty_cycle - 0.502).abs() < 0.002);
+        // Mean-removed autocorrelation of an m-sequence: peak/sidelobe = N.
+        assert!(
+            (m.autocorrelation_contrast_db - 10.0 * n.log10()).abs() < 0.1,
+            "contrast {} dB",
+            m.autocorrelation_contrast_db
+        );
+        // Condition number √(N+1) = 16.
+        assert!((m.condition_number - 16.0).abs() < 1e-6);
+        // Noise gain ≈ 4/N for the simplex inverse (noise is *reduced*).
+        assert!(
+            (m.noise_gain - 4.0 / n).abs() < 0.2 / n,
+            "noise gain {}",
+            m.noise_gain
+        );
+    }
+
+    #[test]
+    fn singular_sequence_flagged_infinite() {
+        let base = MSequence::new(5);
+        let rep = OversampledSequence::repeat(base, 2);
+        let m = analyze(rep.bits());
+        assert!(m.condition_number.is_infinite());
+        assert!(m.noise_gain.is_infinite());
+    }
+
+    #[test]
+    fn modified_sequence_is_finite_but_worse_conditioned() {
+        let base = MSequence::new(5);
+        let ideal = analyze(MSequence::new(5).bits());
+        let modified = OversampledSequence::modified_default(base, 2);
+        let m = analyze(modified.bits());
+        assert!(m.condition_number.is_finite());
+        assert!(m.condition_number > ideal.condition_number);
+        assert!(m.noise_gain.is_finite());
+    }
+
+    #[test]
+    fn single_pulse_sequence() {
+        // Signal-averaging gate: one pulse per period → duty cycle 1/N.
+        let mut bits = vec![false; 64];
+        bits[0] = true;
+        let m = analyze(&bits);
+        assert_eq!(m.pulse_count, 1);
+        assert!((m.duty_cycle - 1.0 / 64.0).abs() < 1e-12);
+        // A delta has a perfectly flat spectrum.
+        assert!((m.condition_number - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn rejects_trivial_sequences() {
+        let _ = analyze(&[true]);
+    }
+}

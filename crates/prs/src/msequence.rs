@@ -1,0 +1,221 @@
+//! Maximal-length sequences (m-sequences) and their defining properties.
+//!
+//! An m-sequence of degree `n` is the period-`N = 2ⁿ − 1` output of a
+//! maximal LFSR. Three properties make it the gating sequence of choice for
+//! Hadamard-transform IMS:
+//!
+//! * **balance** — exactly `(N+1)/2` ones: the ion gate is open half the
+//!   time, which is where the multiplexing throughput comes from;
+//! * **two-level autocorrelation** — the 0/1 sequence correlates with itself
+//!   to `(N+1)/2` at zero lag and `(N+1)/4` everywhere else, which makes the
+//!   encoding matrix invertible in closed form;
+//! * **shift-and-add** — the XOR of the sequence with any non-trivial cyclic
+//!   shift of itself is another cyclic shift, the algebraic skeleton behind
+//!   the fast (Walsh–Hadamard) deconvolution.
+
+use crate::lfsr::Lfsr;
+use crate::poly::PrimitivePoly;
+use serde::{Deserialize, Serialize};
+
+/// A maximal-length binary sequence of period `2ⁿ − 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MSequence {
+    poly: PrimitivePoly,
+    bits: Vec<bool>,
+}
+
+impl MSequence {
+    /// Generates the m-sequence of the given degree from the tabulated
+    /// primitive polynomial, seed 1.
+    pub fn new(degree: u32) -> Self {
+        Self::from_poly(PrimitivePoly::for_degree(degree))
+    }
+
+    /// Generates the m-sequence of a specific primitive polynomial, seed 1.
+    pub fn from_poly(poly: PrimitivePoly) -> Self {
+        let mut lfsr = Lfsr::new(poly);
+        let bits = lfsr.bits(poly.sequence_length());
+        Self { poly, bits }
+    }
+
+    /// The generating polynomial.
+    pub fn poly(&self) -> PrimitivePoly {
+        self.poly
+    }
+
+    /// Sequence degree `n`.
+    pub fn degree(&self) -> u32 {
+        self.poly.degree()
+    }
+
+    /// Sequence length `N = 2ⁿ − 1`.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Always false — an m-sequence has length ≥ 3.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The bit at (cyclic) position `k`.
+    pub fn bit(&self, k: usize) -> bool {
+        self.bits[k % self.bits.len()]
+    }
+
+    /// Borrow of the underlying bits (one period).
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of ones in one period — always `(N+1)/2`.
+    pub fn ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of time the gate is open (`ones / N`), slightly above 0.5.
+    pub fn duty_cycle(&self) -> f64 {
+        self.ones() as f64 / self.len() as f64
+    }
+
+    /// One period as 0.0/1.0 samples (gate transmission).
+    pub fn as_f64(&self) -> Vec<f64> {
+        self.bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// One period in ±1 encoding: `(−1)^bit` (so a gate-open bit maps to −1).
+    pub fn as_pm1(&self) -> Vec<f64> {
+        self.bits.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect()
+    }
+
+    /// Cyclic autocorrelation of the 0/1 sequence at the given lag.
+    pub fn autocorrelation01(&self, lag: usize) -> usize {
+        let n = self.len();
+        (0..n)
+            .filter(|&k| self.bits[k] && self.bits[(k + lag) % n])
+            .count()
+    }
+
+    /// The cyclic shift (by `shift`) as a new bit vector.
+    pub fn shifted(&self, shift: usize) -> Vec<bool> {
+        let n = self.len();
+        (0..n).map(|k| self.bits[(k + shift) % n]).collect()
+    }
+
+    /// Finds the cyclic shift equal to `other`, if any.
+    pub fn find_shift(&self, other: &[bool]) -> Option<usize> {
+        let n = self.len();
+        if other.len() != n {
+            return None;
+        }
+        (0..n).find(|&s| (0..n).all(|k| self.bits[(k + s) % n] == other[k]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balance_property() {
+        for degree in 2..=12 {
+            let m = MSequence::new(degree);
+            assert_eq!(
+                m.ones(),
+                (m.len() + 1) / 2,
+                "degree {degree}: wrong ones count"
+            );
+        }
+    }
+
+    #[test]
+    fn two_level_autocorrelation() {
+        for degree in [3u32, 5, 7, 9] {
+            let m = MSequence::new(degree);
+            let n = m.len();
+            assert_eq!(m.autocorrelation01(0), (n + 1) / 2);
+            for lag in 1..n {
+                assert_eq!(
+                    m.autocorrelation01(lag),
+                    (n + 1) / 4,
+                    "degree {degree} lag {lag}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shift_and_add_property() {
+        // seq XOR shift(seq, s) is itself a cyclic shift of seq.
+        let m = MSequence::new(6);
+        let n = m.len();
+        for s in 1..n.min(20) {
+            let xored: Vec<bool> = (0..n).map(|k| m.bit(k) ^ m.bit(k + s)).collect();
+            assert!(
+                m.find_shift(&xored).is_some(),
+                "shift-and-add failed at shift {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_length_distribution() {
+        // Golomb's run property: in one period there are 2^{n-1} runs; half
+        // of length 1, a quarter of length 2, etc.; one run of n ones and one
+        // of n-1 zeros.
+        let m = MSequence::new(8);
+        let n = m.len();
+        // Walk runs cyclically starting at a boundary.
+        let start = (0..n)
+            .find(|&k| m.bit(k) != m.bit(k + n - 1))
+            .expect("sequence is not constant");
+        let mut runs: Vec<(bool, usize)> = Vec::new();
+        let mut k = 0;
+        while k < n {
+            let val = m.bit(start + k);
+            let mut len = 1;
+            while len < n && m.bit(start + k + len) == val {
+                len += 1;
+            }
+            runs.push((val, len));
+            k += len;
+        }
+        assert_eq!(runs.len(), 128); // 2^{n-1} runs
+        let longest_ones = runs.iter().filter(|r| r.0).map(|r| r.1).max().unwrap();
+        let longest_zeros = runs.iter().filter(|r| !r.0).map(|r| r.1).max().unwrap();
+        assert_eq!(longest_ones, 8);
+        assert_eq!(longest_zeros, 7);
+        let len1 = runs.iter().filter(|r| r.1 == 1).count();
+        assert_eq!(len1, 64); // half the runs have length 1
+    }
+
+    #[test]
+    fn pm1_autocorrelation_is_minus_one_off_peak() {
+        let m = MSequence::new(7);
+        let pm = m.as_pm1();
+        let n = m.len();
+        for lag in 1..n {
+            let c: f64 = (0..n).map(|k| pm[k] * pm[(k + lag) % n]).sum();
+            assert!((c + 1.0).abs() < 1e-9, "lag {lag}: {c}");
+        }
+        let c0: f64 = pm.iter().map(|v| v * v).sum();
+        assert!((c0 - n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duty_cycle_close_to_half() {
+        let m = MSequence::new(9);
+        let d = m.duty_cycle();
+        assert!(d > 0.5 && d < 0.502, "duty cycle {d}");
+    }
+
+    #[test]
+    fn find_shift_identity_and_mismatch() {
+        let m = MSequence::new(5);
+        assert_eq!(m.find_shift(m.bits()), Some(0));
+        assert_eq!(m.find_shift(&m.shifted(11)), Some(11));
+        let garbage = vec![true; m.len()];
+        assert_eq!(m.find_shift(&garbage), None);
+        assert_eq!(m.find_shift(&[true, false]), None);
+    }
+}

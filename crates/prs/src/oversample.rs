@@ -1,0 +1,253 @@
+//! Oversampled and modified pseudo-random sequences.
+//!
+//! The PNNL enhancement to classic HT-IMS (Belov/Clowers et al., Anal. Chem.
+//! 2007/2008) gates the ion beam on a time base `m×` finer than the sequence
+//! element: each element of the base m-sequence is stretched over `m` fine
+//! bins, and the deconvolution recovers drift spectra at the fine-bin
+//! resolution. The catch: the plainly repeated sequence has exactly `m − 1`
+//! zeros in its DFT (the Dirichlet kernel of the `m`-bin boxcar nulls the
+//! frequencies `N, 2N, …, (m−1)·N`), so the fine-grained encoding matrix is
+//! singular — this is why the original multiplexing work needed
+//! sample-dependent *weighting designs*, and why the 2008 "pseudo-random
+//! sequence modifications" paper instead perturbs the sequence until the
+//! circulant becomes invertible.
+//!
+//! [`OversampledSequence::modified`] reproduces that idea deterministically:
+//! it greedily adds gate-open pulses (never removing any, so ion throughput
+//! only rises) until the minimum DFT magnitude clears a threshold.
+
+use crate::msequence::MSequence;
+use ims_signal::fft::rfft;
+use serde::{Deserialize, Serialize};
+
+/// Default minimum-|DFT| threshold for [`OversampledSequence::modified`].
+///
+/// A single added pulse moves every previously-zero bin to magnitude ~1;
+/// demanding slightly less than 1 keeps the search to a handful of pulses.
+pub const DEFAULT_MIN_DFT: f64 = 0.9;
+
+/// An oversampled (optionally modified) gate sequence on the fine time base.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OversampledSequence {
+    base: MSequence,
+    factor: usize,
+    bits: Vec<bool>,
+    /// Fine-bin positions flipped 0 → 1 relative to the plain repetition.
+    added_pulses: Vec<usize>,
+}
+
+impl OversampledSequence {
+    /// Plain repetition: element `k` of the base sequence is held for
+    /// `factor` fine bins. For `factor > 1` the resulting circulant is
+    /// singular (see module docs).
+    pub fn repeat(base: MSequence, factor: usize) -> Self {
+        assert!(factor >= 1, "oversampling factor must be >= 1");
+        let bits: Vec<bool> = base
+            .bits()
+            .iter()
+            .flat_map(|&b| std::iter::repeat_n(b, factor))
+            .collect();
+        Self {
+            base,
+            factor,
+            bits,
+            added_pulses: Vec::new(),
+        }
+    }
+
+    /// Modified oversampled sequence: plain repetition plus the minimum
+    /// number of greedily chosen extra gate-open pulses needed to push the
+    /// minimum DFT magnitude above `min_dft`.
+    ///
+    /// The search is deterministic: candidates are the gate-closed fine bins
+    /// immediately *preceding* a gate opening (extending each opening's
+    /// leading edge, which is also what a real Bradbury–Nielsen gate driver
+    /// can do most cheaply), falling back to all gate-closed bins if the
+    /// edge candidates run out.
+    pub fn modified(base: MSequence, factor: usize, min_dft: f64) -> Self {
+        let mut seq = Self::repeat(base, factor);
+        if factor == 1 {
+            return seq; // already invertible: m-sequence spectrum is flat
+        }
+        let len = seq.bits.len();
+        let edge_candidates: Vec<usize> = (0..len)
+            .filter(|&p| !seq.bits[p] && seq.bits[(p + 1) % len])
+            .collect();
+        let mut all_candidates: Vec<usize> = (0..len).filter(|&p| !seq.bits[p]).collect();
+        // Try leading-edge positions first.
+        all_candidates.sort_by_key(|p| if edge_candidates.contains(p) { 0 } else { 1 });
+
+        // Greedy: repeatedly add the pulse that maximises the new min |DFT|.
+        let max_pulses = 2 * factor; // far more than ever needed
+        while seq.min_dft_magnitude() < min_dft && seq.added_pulses.len() < max_pulses {
+            let mut best: Option<(usize, f64)> = None;
+            for &p in all_candidates.iter().take(64) {
+                if seq.bits[p] {
+                    continue;
+                }
+                seq.bits[p] = true;
+                let quality = seq.min_dft_magnitude();
+                seq.bits[p] = false;
+                if best.is_none_or(|(_, q)| quality > q) {
+                    best = Some((p, quality));
+                }
+            }
+            match best {
+                Some((p, _)) => {
+                    seq.bits[p] = true;
+                    seq.added_pulses.push(p);
+                    all_candidates.retain(|&c| c != p);
+                }
+                None => break,
+            }
+        }
+        seq
+    }
+
+    /// Convenience: [`Self::modified`] with [`DEFAULT_MIN_DFT`].
+    pub fn modified_default(base: MSequence, factor: usize) -> Self {
+        Self::modified(base, factor, DEFAULT_MIN_DFT)
+    }
+
+    /// The base m-sequence.
+    pub fn base(&self) -> &MSequence {
+        &self.base
+    }
+
+    /// Oversampling factor `m`.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Fine-bin sequence length `m·N`.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fine-bin gate pattern.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Positions of the pulses added by the modification step.
+    pub fn added_pulses(&self) -> &[usize] {
+        &self.added_pulses
+    }
+
+    /// Gate transmission as 0.0/1.0 samples on the fine time base.
+    pub fn as_f64(&self) -> Vec<f64> {
+        self.bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Fraction of fine bins with the gate open.
+    pub fn duty_cycle(&self) -> f64 {
+        self.bits.iter().filter(|&&b| b).count() as f64 / self.len() as f64
+    }
+
+    /// Number of gate-open → gate-closed transitions per period (the pulse
+    /// count the 2008 paper doubles relative to classic HT-IMS).
+    pub fn pulse_count(&self) -> usize {
+        let n = self.len();
+        (0..n)
+            .filter(|&k| self.bits[k] && !self.bits[(k + 1) % n])
+            .count()
+    }
+
+    /// Minimum DFT magnitude of the 0/1 fine-bin sequence — the
+    /// conditioning of the circulant encoding matrix (0 ⇒ singular).
+    pub fn min_dft_magnitude(&self) -> f64 {
+        let spec = rfft(&self.as_f64());
+        spec.iter().map(|c| c.abs()).fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_one_is_the_base_sequence() {
+        let base = MSequence::new(5);
+        let o = OversampledSequence::repeat(base.clone(), 1);
+        assert_eq!(o.len(), base.len());
+        assert_eq!(o.bits(), base.bits());
+        assert!(o.min_dft_magnitude() > 0.5);
+    }
+
+    #[test]
+    fn plain_repetition_is_singular() {
+        let base = MSequence::new(5);
+        for m in [2usize, 3, 4] {
+            let o = OversampledSequence::repeat(base.clone(), m);
+            assert_eq!(o.len(), m * base.len());
+            assert!(
+                o.min_dft_magnitude() < 1e-9,
+                "factor {m}: min |DFT| = {}",
+                o.min_dft_magnitude()
+            );
+        }
+    }
+
+    #[test]
+    fn repetition_has_exactly_m_minus_1_null_bins() {
+        let base = MSequence::new(5);
+        let m = 3;
+        let o = OversampledSequence::repeat(base.clone(), m);
+        let spec = rfft(&o.as_f64());
+        let nulls = spec.iter().filter(|c| c.abs() < 1e-9).count();
+        assert_eq!(nulls, m - 1);
+    }
+
+    #[test]
+    fn modified_sequence_is_invertible() {
+        let base = MSequence::new(6);
+        for m in [2usize, 3] {
+            let o = OversampledSequence::modified(base.clone(), m, DEFAULT_MIN_DFT);
+            assert!(
+                o.min_dft_magnitude() >= DEFAULT_MIN_DFT,
+                "factor {m}: min |DFT| = {}",
+                o.min_dft_magnitude()
+            );
+            assert!(!o.added_pulses().is_empty());
+            assert!(o.added_pulses().len() <= 4, "needed {:?}", o.added_pulses());
+        }
+    }
+
+    #[test]
+    fn modification_only_adds_pulses() {
+        let base = MSequence::new(6);
+        let plain = OversampledSequence::repeat(base.clone(), 3);
+        let modified = OversampledSequence::modified(base, 3, DEFAULT_MIN_DFT);
+        for (k, (&a, &b)) in plain.bits().iter().zip(modified.bits().iter()).enumerate() {
+            assert!(!a || b, "pulse removed at fine bin {k}");
+        }
+        assert!(modified.duty_cycle() >= plain.duty_cycle());
+    }
+
+    #[test]
+    fn duty_cycle_stays_near_half() {
+        let base = MSequence::new(7);
+        let o = OversampledSequence::modified(base, 2, DEFAULT_MIN_DFT);
+        let d = o.duty_cycle();
+        assert!(d > 0.49 && d < 0.53, "duty cycle {d}");
+    }
+
+    #[test]
+    fn pulse_count_counts_falling_edges() {
+        let base = MSequence::new(4);
+        let o = OversampledSequence::repeat(base.clone(), 1);
+        // For an m-sequence the number of 1-runs is 2^{n-2}.
+        assert_eq!(o.pulse_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1")]
+    fn zero_factor_rejected() {
+        let _ = OversampledSequence::repeat(MSequence::new(4), 0);
+    }
+}

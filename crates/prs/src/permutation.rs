@@ -1,0 +1,291 @@
+//! The fast m-sequence transform: circular correlation with an m-sequence in
+//! `O(M log M)` via the Walsh–Hadamard butterfly and two LFSR-derived index
+//! tables.
+//!
+//! This is the algorithmic core of the paper's FPGA deconvolution engine.
+//! The abstract highlights the "computational and memory addressing logic"
+//! of that engine: the computation is the FWHT butterfly, and the memory
+//! addressing is precisely the two permutation tables built here —
+//!
+//! * the **scatter table** (`states`): detector sample `k` is written to
+//!   RAM address `s_k`, the `k`-th LFSR state;
+//! * the **gather table** (`masks`): deconvolved drift bin `j` is read from
+//!   RAM address `m_j`, where `⟨m_j, s⟩` is the sequence bit emitted `j`
+//!   steps after state `s`.
+//!
+//! ## Why this works
+//!
+//! Let `a` be the m-sequence and `s_k` the Fibonacci LFSR state sequence
+//! with the convention that state bit `i` holds the output due `i` steps
+//! later (`a[k+i] = bit_i(s_k)` for `i < n`). Then `a[k+j] = ⟨m_j, s_k⟩`
+//! for every `j`, with `m_j = eⱼ` for `j < n` and `m_{j+1} = Aᵀ m_j` in
+//! general (`A` = state-transition matrix). Hence the ±1 correlation
+//!
+//! ```text
+//! c[j] = Σ_k (−1)^{a[k+j]}·y[k] = Σ_{s≠0} (−1)^{⟨m_j, s⟩}·ỹ[s] = WHT(ỹ)[m_j]
+//! ```
+//!
+//! where `ỹ` scatters `y` by LFSR state. One `O(M log M)` FWHT therefore
+//! evaluates the correlation at *all* lags simultaneously, and the simplex
+//! inverse follows as `x̂[j] = −2·c[j]/(N+1)`.
+
+use crate::lfsr::Lfsr;
+use crate::msequence::MSequence;
+use ims_signal::fwht::fwht;
+use serde::{Deserialize, Serialize};
+
+/// Precomputed fast transform for a fixed m-sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FastMTransform {
+    degree: u32,
+    /// Sequence length `N = 2ⁿ − 1`.
+    n: usize,
+    /// Scatter table: sample `k` → RAM address `states[k]` (the LFSR state).
+    states: Vec<u32>,
+    /// Gather table: drift bin `j` ← RAM address `masks[j]`.
+    masks: Vec<u32>,
+}
+
+impl FastMTransform {
+    /// Builds the transform (and its two address tables) for an m-sequence.
+    pub fn new(seq: &MSequence) -> Self {
+        let poly = seq.poly();
+        let degree = poly.degree();
+        let n = poly.sequence_length();
+        let lfsr = Lfsr::new(poly);
+        let states = lfsr.state_sequence();
+
+        // Columns of the transition matrix A: images of the basis vectors.
+        let cols: Vec<u32> = (0..degree).map(|b| lfsr.advance_state(1 << b)).collect();
+        // Aᵀ action on a mask: bit b of the result = ⟨mask, A·e_b⟩.
+        let at_apply = |mask: u32| -> u32 {
+            let mut out = 0u32;
+            for (b, &col) in cols.iter().enumerate() {
+                if (mask & col).count_ones() % 2 == 1 {
+                    out |= 1 << b;
+                }
+            }
+            out
+        };
+
+        let mut masks = Vec::with_capacity(n);
+        let mut m = 1u32; // m_0: output functional = lsb
+        for j in 0..n {
+            if j < degree as usize {
+                m = 1 << j;
+            } else if j == degree as usize {
+                // Restart the iteration from m_{n-1} = e_{n-1}.
+                m = at_apply(1 << (degree - 1));
+            } else {
+                m = at_apply(m);
+            }
+            masks.push(m);
+        }
+        Self {
+            degree,
+            n,
+            states,
+            masks,
+        }
+    }
+
+    /// Sequence length `N`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (minimum order is 3).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// FWHT working-buffer size `M = N + 1 = 2ⁿ`.
+    pub fn buffer_len(&self) -> usize {
+        self.n + 1
+    }
+
+    /// The scatter address table (`k` → RAM address), as burned into the
+    /// FPGA's address ROM.
+    pub fn scatter_addresses(&self) -> &[u32] {
+        &self.states
+    }
+
+    /// The gather address table (`j` ← RAM address).
+    pub fn gather_addresses(&self) -> &[u32] {
+        &self.masks
+    }
+
+    /// Correlation with the ±1 sequence: `c[j] = Σ_k (−1)^{a[k+j]}·y[k]`.
+    pub fn correlate_pm1(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.n, "dimension mismatch");
+        let mut buf = vec![0.0; self.buffer_len()];
+        for (k, &addr) in self.states.iter().enumerate() {
+            buf[addr as usize] = y[k];
+        }
+        fwht(&mut buf);
+        self.masks.iter().map(|&m| buf[m as usize]).collect()
+    }
+
+    /// Correlation with the 0/1 sequence: `Σ_k a[k+j]·y[k]`.
+    pub fn correlate01(&self, y: &[f64]) -> Vec<f64> {
+        let total: f64 = y.iter().sum();
+        self.correlate_pm1(y)
+            .into_iter()
+            .map(|c| (total - c) / 2.0)
+            .collect()
+    }
+
+    /// Applies the simplex inverse `x̂ = S⁻¹·y` in `O(M log M)`:
+    /// `x̂[j] = −2·c[j]/(N+1)`.
+    pub fn deconvolve(&self, y: &[f64]) -> Vec<f64> {
+        let scale = -2.0 / (self.n as f64 + 1.0);
+        self.correlate_pm1(y)
+            .into_iter()
+            .map(|c| scale * c)
+            .collect()
+    }
+
+    /// Deconvolves data produced by the *convolution* forward model
+    /// `y = a ∗ x` (gate event at step `i − j` reaches the detector at step
+    /// `i`), which is the physical time ordering of the instrument.
+    ///
+    /// The right-circulant matrix `S'[i][j] = a[(i−j) mod N]` obeys the same
+    /// closed-form inverse as the simplex matrix; in terms of the fast ±1
+    /// correlation it is an index reversal: `x̂[j] = −2·c[(N−j) mod N]/(N+1)`.
+    pub fn deconvolve_convolution(&self, y: &[f64]) -> Vec<f64> {
+        let c = self.correlate_pm1(y);
+        let n = self.n;
+        let scale = -2.0 / (n as f64 + 1.0);
+        (0..n).map(|j| scale * c[(n - j) % n]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::SimplexMatrix;
+    use ims_signal::correlate::circular_correlate_direct;
+    use std::collections::HashSet;
+
+    fn test_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|k| ((k * 37 + 11) % 101) as f64 - 50.0)
+            .collect()
+    }
+
+    #[test]
+    fn masks_recover_future_sequence_bits() {
+        // ⟨m_j, s_k⟩ must equal a[k + j] for all k, j.
+        let seq = MSequence::new(6);
+        let t = FastMTransform::new(&seq);
+        for (k, &s) in t.scatter_addresses().iter().enumerate() {
+            for (j, &m) in t.gather_addresses().iter().enumerate() {
+                let predicted = (m & s).count_ones() % 2 == 1;
+                assert_eq!(
+                    predicted,
+                    seq.bit(k + j),
+                    "state {k}, lag {j}: mask prediction wrong"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pm1_correlation_matches_direct() {
+        for degree in 2..=9 {
+            let seq = MSequence::new(degree);
+            let t = FastMTransform::new(&seq);
+            let y = test_signal(seq.len());
+            let fast = t.correlate_pm1(&y);
+            let direct = circular_correlate_direct(&seq.as_pm1(), &y);
+            for (j, (a, b)) in fast.iter().zip(direct.iter()).enumerate() {
+                assert!((a - b).abs() < 1e-8, "degree {degree} lag {j}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_one_correlation_matches_direct() {
+        let seq = MSequence::new(7);
+        let t = FastMTransform::new(&seq);
+        let y = test_signal(seq.len());
+        let fast = t.correlate01(&y);
+        let direct = circular_correlate_direct(&seq.as_f64(), &y);
+        for (a, b) in fast.iter().zip(direct.iter()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn deconvolve_matches_simplex_inverse() {
+        for degree in 2..=9 {
+            let seq = MSequence::new(degree);
+            let s = SimplexMatrix::new(seq.clone());
+            let t = FastMTransform::new(&seq);
+            let y = test_signal(seq.len());
+            let fast = t.deconvolve(&y);
+            let slow = s.inverse_apply(&y);
+            for (j, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-8,
+                    "degree {degree} bin {j}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_fast_decode_round_trip() {
+        let seq = MSequence::new(8);
+        let s = SimplexMatrix::new(seq.clone());
+        let t = FastMTransform::new(&seq);
+        let n = seq.len();
+        let mut x = vec![0.0; n];
+        x[3] = 10.0;
+        x[77] = 2.5;
+        x[200] = 33.0;
+        let y = s.apply(&x);
+        let back = t.deconvolve(&y);
+        for (i, (a, b)) in x.iter().zip(back.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-7, "bin {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn convolution_deconvolve_inverts_circular_convolution() {
+        use ims_signal::correlate::circular_convolve_direct;
+        for degree in [4u32, 7, 9] {
+            let seq = MSequence::new(degree);
+            let t = FastMTransform::new(&seq);
+            let n = seq.len();
+            let mut x = vec![0.0; n];
+            x[1] = 5.0;
+            x[n / 2] = 11.0;
+            x[n - 2] = 0.75;
+            let y = circular_convolve_direct(&seq.as_f64(), &x);
+            let back = t.deconvolve_convolution(&y);
+            for (i, (a, b)) in x.iter().zip(back.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-7,
+                    "degree {degree} bin {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn address_tables_are_permutation_like() {
+        let seq = MSequence::new(10);
+        let t = FastMTransform::new(&seq);
+        let scatter: HashSet<u32> = t.scatter_addresses().iter().copied().collect();
+        assert_eq!(scatter.len(), t.len()); // all distinct
+        assert!(!scatter.contains(&0)); // address 0 stays zero-filled
+        let gather: HashSet<u32> = t.gather_addresses().iter().copied().collect();
+        assert_eq!(gather.len(), t.len());
+        assert!(!gather.contains(&0));
+        assert!(t
+            .gather_addresses()
+            .iter()
+            .all(|&m| (m as usize) < t.buffer_len()));
+    }
+}

@@ -1,0 +1,207 @@
+//! Cyclic simplex (S-) matrices and their closed-form inverse.
+//!
+//! The encoding matrix of an HT-IMS experiment is the left-circulant 0/1
+//! matrix `S[i][j] = a[(i + j) mod N]` built from an m-sequence `a`. The
+//! detector observes `y = S·x` (each drift-time bin `i` sums the analytes
+//! injected by every gate opening that can arrive at time `i`).
+//!
+//! Because of the two-level autocorrelation of `a`, the inverse exists in
+//! closed form:
+//!
+//! ```text
+//! S⁻¹ = 2/(N+1) · (2·S − J)ᵀ        (J = all-ones matrix)
+//! ```
+//!
+//! so deconvolution is a circular correlation with the ±1 version of the
+//! sequence plus a rank-one correction — `O(N²)` directly, `O(N log N)` via
+//! the fast transform in [`crate::permutation`].
+
+use crate::msequence::MSequence;
+use ims_signal::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A cyclic simplex encoding matrix, stored implicitly as its m-sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimplexMatrix {
+    seq: MSequence,
+}
+
+impl SimplexMatrix {
+    /// Builds the S-matrix of the given m-sequence.
+    pub fn new(seq: MSequence) -> Self {
+        Self { seq }
+    }
+
+    /// Builds the S-matrix for the tabulated polynomial of a degree.
+    pub fn for_degree(degree: u32) -> Self {
+        Self::new(MSequence::new(degree))
+    }
+
+    /// Matrix order `N`.
+    pub fn order(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// The generating m-sequence.
+    pub fn sequence(&self) -> &MSequence {
+        &self.seq
+    }
+
+    /// Entry `S[i][j] = a[(i + j) mod N]` as 0/1.
+    pub fn entry(&self, i: usize, j: usize) -> f64 {
+        if self.seq.bit(i + j) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Dense materialisation (tests and the FPGA MAC-array model only;
+    /// `O(N²)` memory).
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.order();
+        Matrix::from_fn(n, n, |i, j| self.entry(i, j))
+    }
+
+    /// Dense closed-form inverse `2/(N+1)·(2S − J)ᵀ`.
+    pub fn inverse_dense(&self) -> Matrix {
+        let n = self.order();
+        let scale = 2.0 / (n as f64 + 1.0);
+        Matrix::from_fn(n, n, |i, j| scale * (2.0 * self.entry(j, i) - 1.0))
+    }
+
+    /// Applies the encoding: `y = S·x` (the forward model of the
+    /// multiplexed experiment), `O(N²)`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.order();
+        assert_eq!(x.len(), n, "dimension mismatch");
+        (0..n)
+            .map(|i| {
+                let mut acc = 0.0;
+                for (j, &xv) in x.iter().enumerate() {
+                    if self.seq.bit(i + j) {
+                        acc += xv;
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Applies the closed-form inverse: `x̂ = S⁻¹·y`, `O(N²)`.
+    ///
+    /// `x̂[j] = 2/(N+1) · (2·Σᵢ a[i+j]·y[i] − Σᵢ y[i])`.
+    pub fn inverse_apply(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.order();
+        assert_eq!(y.len(), n, "dimension mismatch");
+        let total: f64 = y.iter().sum();
+        let scale = 2.0 / (n as f64 + 1.0);
+        (0..n)
+            .map(|j| {
+                let mut corr = 0.0;
+                for (i, &yv) in y.iter().enumerate() {
+                    if self.seq.bit(i + j) {
+                        corr += yv;
+                    }
+                }
+                scale * (2.0 * corr - total)
+            })
+            .collect()
+    }
+
+    /// The gate-open pattern seen at encoding step `i` (row `i` of `S`).
+    pub fn row_bits(&self, i: usize) -> Vec<bool> {
+        let n = self.order();
+        (0..n).map(|j| self.seq.bit(i + j)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_inverse_is_exact() {
+        for degree in 2..=8 {
+            let s = SimplexMatrix::for_degree(degree);
+            let dense = s.to_dense();
+            let inv = s.inverse_dense();
+            let n = s.order();
+            let eye = dense.matmul(&inv);
+            assert!(
+                eye.max_abs_diff(&Matrix::identity(n)) < 1e-9,
+                "degree {degree}: S·S⁻¹ ≠ I"
+            );
+            let eye2 = inv.matmul(&dense);
+            assert!(eye2.max_abs_diff(&Matrix::identity(n)) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_apply_matches_dense_inverse() {
+        let s = SimplexMatrix::for_degree(6);
+        let n = s.order();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 3.0).collect();
+        let fast = s.inverse_apply(&y);
+        let dense = s.inverse_dense().matvec(&y);
+        for (a, b) in fast.iter().zip(dense.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = SimplexMatrix::for_degree(7);
+        let n = s.order();
+        let mut x = vec![0.0; n];
+        x[5] = 100.0;
+        x[60] = 42.0;
+        x[100] = 7.5;
+        let y = s.apply(&x);
+        let back = s.inverse_apply(&y);
+        for (i, (a, b)) in x.iter().zip(back.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-8, "bin {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn apply_matches_dense_matvec() {
+        let s = SimplexMatrix::for_degree(5);
+        let n = s.order();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let fast = s.apply(&x);
+        let dense = s.to_dense().matvec(&x);
+        for (a, b) in fast.iter().zip(dense.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rows_have_balanced_weight() {
+        let s = SimplexMatrix::for_degree(6);
+        let n = s.order();
+        for i in 0..n {
+            let weight = s.row_bits(i).iter().filter(|&&b| b).count();
+            assert_eq!(weight, (n + 1) / 2, "row {i}");
+        }
+    }
+
+    #[test]
+    fn encoding_conserves_counts_up_to_duty_cycle() {
+        // Column sums of S are (N+1)/2, so Σy = (N+1)/2 · Σx.
+        let s = SimplexMatrix::for_degree(6);
+        let n = s.order();
+        let x = vec![1.0; n];
+        let y = s.apply(&x);
+        let total: f64 = y.iter().sum();
+        let expect = (n as f64 + 1.0) / 2.0 * n as f64;
+        assert!((total - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn apply_checks_length() {
+        let s = SimplexMatrix::for_degree(4);
+        let _ = s.apply(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the sequence algebra: the invariants that make
+//! Hadamard-transform IMS invertible.
+
+use ims_prs::weighting::CirculantInverse;
+use ims_prs::{FastMTransform, Lfsr, MSequence, OversampledSequence, PrimitivePoly, SimplexMatrix};
+use ims_signal::correlate::circular_convolve_direct;
+use proptest::prelude::*;
+
+fn signal(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|k| (((k as u64).wrapping_mul(seed.wrapping_add(7)) % 1009) as f64) / 7.0 - 60.0)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simplex_encode_decode_is_identity(degree in 2u32..9, seed in 0u64..1000) {
+        let seq = MSequence::new(degree);
+        let s = SimplexMatrix::new(seq.clone());
+        let x = signal(seq.len(), seed);
+        let back = s.inverse_apply(&s.apply(&x));
+        for (a, b) in x.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fast_transform_equals_simplex_inverse(degree in 2u32..10, seed in 0u64..1000) {
+        let seq = MSequence::new(degree);
+        let y = signal(seq.len(), seed);
+        let slow = SimplexMatrix::new(seq.clone()).inverse_apply(&y);
+        let fast = FastMTransform::new(&seq).deconvolve(&y);
+        for (a, b) in slow.iter().zip(fast.iter()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn convolution_deconvolution_round_trip(degree in 3u32..9, seed in 0u64..1000) {
+        let seq = MSequence::new(degree);
+        let x = signal(seq.len(), seed);
+        let y = circular_convolve_direct(&seq.as_f64(), &x);
+        let back = FastMTransform::new(&seq).deconvolve_convolution(&y);
+        for (a, b) in x.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn every_seed_gives_a_rotation(degree in 3u32..9, seed in 1u32..512) {
+        let poly = PrimitivePoly::for_degree(degree);
+        let mask = (1u32 << degree) - 1;
+        let s = (seed & mask).max(1);
+        let base = MSequence::new(degree);
+        let mut lfsr = Lfsr::with_seed(poly, s);
+        let bits = lfsr.bits(base.len());
+        prop_assert!(base.find_shift(&bits).is_some(), "seed {s} is not a rotation");
+    }
+
+    #[test]
+    fn balance_and_duty_cycle(degree in 2u32..12) {
+        let seq = MSequence::new(degree);
+        prop_assert_eq!(seq.ones(), (seq.len() + 1) / 2);
+        let d = seq.duty_cycle();
+        prop_assert!(d > 0.5 && d < 0.67, "duty {d}");
+    }
+
+    #[test]
+    fn weighted_inverse_solves_perturbed_kernels(
+        degree in 3u32..8,
+        seed in 0u64..500,
+        perturb in 0.0..0.25f64,
+    ) {
+        let seq = MSequence::new(degree);
+        let n = seq.len();
+        let mut h = seq.as_f64();
+        for (k, v) in h.iter_mut().enumerate() {
+            if *v > 0.0 {
+                *v *= 1.0 - perturb * (((k * 13) % 10) as f64 / 10.0);
+            }
+        }
+        let x = signal(n, seed);
+        let y = circular_convolve_direct(&h, &x);
+        let inv = CirculantInverse::exact(&h, 1e-9)
+            .expect("perturbed m-sequence kernels stay invertible");
+        let back = inv.apply(&y);
+        for (a, b) in x.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 1e-5 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn modified_oversampling_is_always_invertible(degree in 3u32..7, factor in 2usize..4) {
+        let base = MSequence::new(degree);
+        let o = OversampledSequence::modified_default(base.clone(), factor);
+        prop_assert!(o.min_dft_magnitude() >= 0.5, "min |DFT| {}", o.min_dft_magnitude());
+        // Modification never removes throughput.
+        let plain = OversampledSequence::repeat(base, factor);
+        prop_assert!(o.duty_cycle() >= plain.duty_cycle());
+    }
+
+    #[test]
+    fn autocorrelation_two_level(degree in 2u32..9, lag in 1usize..511) {
+        let seq = MSequence::new(degree);
+        let n = seq.len();
+        let lag = 1 + lag % (n.saturating_sub(1).max(1));
+        prop_assert_eq!(seq.autocorrelation01(lag), (n + 1) / 4);
+    }
+}

@@ -1,0 +1,109 @@
+//! Baseline estimation and subtraction.
+//!
+//! Chemical background in IMS-TOF spectra varies slowly compared with peak
+//! widths, so a rolling-minimum (morphological opening) followed by a light
+//! smoothing recovers it well without eating into real peaks.
+
+use crate::smooth::Smoother;
+
+/// Estimates a slowly varying baseline via a rolling minimum of half-width
+/// `half_window`, followed by a rolling maximum of the same width (a
+/// morphological opening) and a moving-average polish.
+pub fn rolling_baseline(signal: &[f64], half_window: usize) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let eroded = rolling_extreme(signal, half_window, f64::min);
+    let opened = rolling_extreme(&eroded, half_window, f64::max);
+    Smoother::moving_average(half_window.min(n / 2).max(1)).apply(&opened)
+}
+
+/// Subtracts the rolling baseline; the result is clamped at ≥ 0 when
+/// `clamp` is set (counts cannot be negative).
+pub fn subtract_baseline(signal: &[f64], half_window: usize, clamp: bool) -> Vec<f64> {
+    let base = rolling_baseline(signal, half_window);
+    signal
+        .iter()
+        .zip(base.iter())
+        .map(|(&s, &b)| {
+            let v = s - b;
+            if clamp {
+                v.max(0.0)
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+fn rolling_extreme(signal: &[f64], half_window: usize, op: fn(f64, f64) -> f64) -> Vec<f64> {
+    let n = signal.len();
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half_window);
+            let hi = (i + half_window + 1).min(n);
+            signal[lo..hi]
+                .iter()
+                .copied()
+                .reduce(op)
+                .expect("window is never empty")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peaks::gaussian_profile;
+
+    #[test]
+    fn flat_offset_is_recovered() {
+        let sig = vec![5.0; 200];
+        let base = rolling_baseline(&sig, 10);
+        assert!(base.iter().all(|&b| (b - 5.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn narrow_peak_survives_subtraction() {
+        let mut sig = gaussian_profile(400, 200.0, 4.0, 1000.0);
+        for v in sig.iter_mut() {
+            *v += 10.0;
+        }
+        let out = subtract_baseline(&sig, 40, true);
+        // Peak apex should retain most of its height…
+        let apex = out[200];
+        let original_apex = 1000.0 / (4.0 * (2.0 * std::f64::consts::PI).sqrt());
+        assert!(apex > 0.85 * original_apex, "apex {apex} vs {original_apex}");
+        // …while the far field is close to zero.
+        assert!(out[10] < 1.0, "far field {}", out[10]);
+        assert!(out[390] < 1.0);
+    }
+
+    #[test]
+    fn sloped_baseline_is_tracked() {
+        let sig: Vec<f64> = (0..300).map(|i| 2.0 + i as f64 * 0.05).collect();
+        let base = rolling_baseline(&sig, 15);
+        for i in 30..270 {
+            assert!(
+                (base[i] - sig[i]).abs() < 1.6,
+                "bin {i}: baseline {} vs signal {}",
+                base[i],
+                sig[i]
+            );
+        }
+    }
+
+    #[test]
+    fn clamp_removes_negatives() {
+        let sig = vec![1.0, 0.0, 1.0, 0.0, 1.0];
+        let out = subtract_baseline(&sig, 1, true);
+        assert!(out.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(rolling_baseline(&[], 5).is_empty());
+        assert!(subtract_baseline(&[], 5, true).is_empty());
+    }
+}

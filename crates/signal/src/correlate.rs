@@ -1,0 +1,154 @@
+//! Circular correlation and convolution.
+//!
+//! The multiplexed IMS detector signal is the *circular convolution* of the
+//! true arrival-time distribution with the gate modulation sequence;
+//! deconvolution is a circular *correlation* with (a transform of) the same
+//! sequence. Both are provided in a direct `O(N²)` form (the test oracle and
+//! the model for the FPGA MAC array) and an `O(N log N)` Fourier form.
+
+use crate::fft::{fft, ifft, Complex};
+
+/// Direct circular cross-correlation: `c[j] = Σ_k a[(k + j) mod N]·y[k]`.
+pub fn circular_correlate_direct(a: &[f64], y: &[f64]) -> Vec<f64> {
+    let n = a.len();
+    assert_eq!(n, y.len(), "length mismatch");
+    let mut out = vec![0.0; n];
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        // Split the wrap-around so the inner loops are branch-free.
+        let head = n - j;
+        for k in 0..head {
+            acc += a[k + j] * y[k];
+        }
+        for k in head..n {
+            acc += a[k + j - n] * y[k];
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Direct circular convolution: `z[j] = Σ_k a[(j − k) mod N]·x[k]`.
+pub fn circular_convolve_direct(a: &[f64], x: &[f64]) -> Vec<f64> {
+    let n = a.len();
+    assert_eq!(n, x.len(), "length mismatch");
+    let mut out = vec![0.0; n];
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (k, &xv) in x.iter().enumerate() {
+            let idx = if j >= k { j - k } else { j + n - k };
+            acc += a[idx] * xv;
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// FFT circular cross-correlation: `c = IDFT(DFT(a) ∘ conj(DFT(y)))`.
+pub fn circular_correlate_fft(a: &[f64], y: &[f64]) -> Vec<f64> {
+    let n = a.len();
+    assert_eq!(n, y.len(), "length mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
+    let fa = real_fft(a);
+    let fy = real_fft(y);
+    let prod: Vec<Complex> = fa
+        .iter()
+        .zip(fy.iter())
+        .map(|(&u, &v)| u * v.conj())
+        .collect();
+    ifft(&prod).into_iter().map(|c| c.re).collect()
+}
+
+/// FFT circular convolution: `z = IDFT(DFT(a) ∘ DFT(x))`.
+pub fn circular_convolve_fft(a: &[f64], x: &[f64]) -> Vec<f64> {
+    let n = a.len();
+    assert_eq!(n, x.len(), "length mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
+    let fa = real_fft(a);
+    let fx = real_fft(x);
+    let prod: Vec<Complex> = fa.iter().zip(fx.iter()).map(|(&u, &v)| u * v).collect();
+    ifft(&prod).into_iter().map(|c| c.re).collect()
+}
+
+fn real_fft(x: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = x.iter().map(|&v| Complex::from_re(v)).collect();
+    fft(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(n: usize, phase: f64) -> Vec<f64> {
+        (0..n).map(|k| (k as f64 * 0.31 + phase).sin()).collect()
+    }
+
+    #[test]
+    fn fft_correlation_matches_direct() {
+        for n in [7usize, 15, 31, 64, 127] {
+            let a = sig(n, 0.0);
+            let y = sig(n, 1.3);
+            let d = circular_correlate_direct(&a, &y);
+            let f = circular_correlate_fft(&a, &y);
+            for (u, v) in d.iter().zip(f.iter()) {
+                assert!((u - v).abs() < 1e-8, "n={n}: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_convolution_matches_direct() {
+        for n in [7usize, 31, 63, 128] {
+            let a = sig(n, 0.2);
+            let x = sig(n, 2.1);
+            let d = circular_convolve_direct(&a, &x);
+            let f = circular_convolve_fft(&a, &x);
+            for (u, v) in d.iter().zip(f.iter()) {
+                assert!((u - v).abs() < 1e-8, "n={n}: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn convolution_with_unit_impulse_is_identity() {
+        let n = 31;
+        let mut a = vec![0.0; n];
+        a[0] = 1.0;
+        let x = sig(n, 0.5);
+        let z = circular_convolve_direct(&a, &x);
+        for (u, v) in x.iter().zip(z.iter()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convolution_with_shifted_impulse_rotates() {
+        let n = 16;
+        let mut a = vec![0.0; n];
+        a[3] = 1.0;
+        let x: Vec<f64> = (0..n).map(|k| k as f64).collect();
+        let z = circular_convolve_direct(&a, &x);
+        for j in 0..n {
+            let expect = x[(j + n - 3) % n];
+            assert!((z[j] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn correlation_at_zero_lag_is_dot_product() {
+        let a = sig(31, 0.0);
+        let c = circular_correlate_direct(&a, &a);
+        let dot: f64 = a.iter().map(|v| v * v).sum();
+        assert!((c[0] - dot).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(circular_correlate_fft(&[], &[]).is_empty());
+        assert!(circular_convolve_fft(&[], &[]).is_empty());
+    }
+}

@@ -1,0 +1,341 @@
+//! Complex FFT: iterative radix-2 for power-of-two lengths and Bluestein's
+//! chirp-z algorithm for arbitrary lengths.
+//!
+//! HT-IMS works with sequences of length `N = 2ⁿ − 1` (odd by construction),
+//! so an arbitrary-length transform is required for the Fourier-domain
+//! deconvolution paths (circulant inverses, Wiener/weighted deconvolution,
+//! invertibility conditioning of oversampled sequences).
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real complex number.
+    pub fn from_re(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// Unnormalised forward transform: `X[f] = Σ_k x[k]·e^{−2πi f k / M}`.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft_pow2(data: &mut [Complex]) {
+    fft_pow2_dir(data, false);
+}
+
+/// In-place inverse FFT (normalised by `1/M`) for power-of-two lengths.
+pub fn ifft_pow2(data: &mut [Complex]) {
+    fft_pow2_dir(data, true);
+    let inv = 1.0 / data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(inv);
+    }
+}
+
+fn fft_pow2_dir(data: &mut [Complex], inverse: bool) {
+    let m = data.len();
+    if m <= 1 {
+        return;
+    }
+    assert!(m.is_power_of_two(), "FFT length {m} is not a power of two");
+    // Bit-reversal permutation.
+    let bits = m.trailing_zeros();
+    for i in 0..m {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= m {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for block in (0..m).step_by(len) {
+            let mut w = Complex::ONE;
+            for i in block..block + len / 2 {
+                let u = data[i];
+                let v = data[i + len / 2] * w;
+                data[i] = u + v;
+                data[i + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward DFT of arbitrary length (Bluestein chirp-z for non-powers of two).
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = input.to_vec();
+        fft_pow2(&mut buf);
+        return buf;
+    }
+    bluestein(input, false)
+}
+
+/// Inverse DFT of arbitrary length, normalised by `1/N`.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = input.to_vec();
+        ifft_pow2(&mut buf);
+        return buf;
+    }
+    let mut out = bluestein(input, true);
+    let inv = 1.0 / n as f64;
+    for v in out.iter_mut() {
+        *v = v.scale(inv);
+    }
+    out
+}
+
+/// Forward DFT of a real signal.
+pub fn rfft(input: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_re(x)).collect();
+    fft(&buf)
+}
+
+/// Bluestein's algorithm: express the DFT as a linear convolution with a
+/// chirp, evaluated via a zero-padded power-of-two cyclic convolution.
+fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp c[k] = e^{sign·iπ k²/N} (sign −1 forward, +1 inverse); k² is
+    // reduced mod 2N to keep the phase argument small and exact.
+    let two_n = 2 * n as u64;
+    let chirp: Vec<Complex> = (0..n as u64)
+        .map(|k| {
+            let ksq = (k * k) % two_n;
+            Complex::cis(sign * std::f64::consts::PI * ksq as f64 / n as f64)
+        })
+        .collect();
+    let m = (2 * n - 1).next_power_of_two();
+    // a[k] = x[k]·c[k], zero padded.
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    // b[k] = conj(c[k]) wrapped symmetrically so cyclic convolution gives the
+    // linear correlation with negative lags.
+    let mut b = vec![Complex::ZERO; m];
+    for k in 0..n {
+        let v = chirp[k].conj();
+        b[k] = v;
+        if k > 0 {
+            b[m - k] = v;
+        }
+    }
+    fft_pow2(&mut a);
+    fft_pow2(&mut b);
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x = *x * *y;
+    }
+    ifft_pow2(&mut a);
+    (0..n).map(|j| chirp[j] * a[j]).collect()
+}
+
+/// Direct `O(N²)` DFT used as a test oracle.
+pub fn dft_direct(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|f| {
+            let mut acc = Complex::ZERO;
+            for (k, &x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (f as f64) * (k as f64) / n as f64;
+                acc += x * Complex::cis(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch at {i}: ({}, {}) vs ({}, {})",
+                x.re,
+                x.im,
+                y.re,
+                y.im
+            );
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|k| Complex::new((k as f64 * 0.37).sin(), (k as f64 * 0.11).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn pow2_matches_direct() {
+        let x = ramp(64);
+        let mut fast = x.clone();
+        fft_pow2(&mut fast);
+        assert_close(&fast, &dft_direct(&x), 1e-9);
+    }
+
+    #[test]
+    fn bluestein_matches_direct_odd_lengths() {
+        for n in [3usize, 7, 15, 31, 63, 127, 100, 255] {
+            let x = ramp(n);
+            let fast = fft(&x);
+            assert_close(&fast, &dft_direct(&x), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn round_trip_arbitrary_length() {
+        for n in [5usize, 12, 31, 127, 129] {
+            let x = ramp(n);
+            let y = ifft(&fft(&x));
+            assert_close(&y, &x, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let x = ramp(127);
+        let time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let freq: f64 = fft(&x).iter().map(|v| v.norm_sqr()).sum::<f64>() / 127.0;
+        assert!((time - freq).abs() < 1e-8 * time);
+    }
+
+    #[test]
+    fn dc_bin_is_sum() {
+        let x: Vec<f64> = (0..31).map(|k| k as f64).collect();
+        let spec = rfft(&x);
+        let sum: f64 = x.iter().sum();
+        assert!((spec[0].re - sum).abs() < 1e-9);
+        assert!(spec[0].im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(fft(&[]).is_empty());
+        let one = fft(&[Complex::new(2.0, -1.0)]);
+        assert_eq!(one.len(), 1);
+        assert!((one[0].re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let p = a * b;
+        assert!((p.re - 5.0).abs() < 1e-12);
+        assert!((p.im - 5.0).abs() < 1e-12);
+        assert!(((a + b).re - 4.0).abs() < 1e-12);
+        assert!(((a - b).im - 3.0).abs() < 1e-12);
+        assert!((a.conj().im + 2.0).abs() < 1e-12);
+        assert!((Complex::cis(0.0).re - 1.0).abs() < 1e-12);
+    }
+}

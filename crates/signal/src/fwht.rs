@@ -1,0 +1,125 @@
+//! Fast Walsh–Hadamard transform.
+//!
+//! The unnormalised WHT of a vector `x` of power-of-two length `M` is
+//! `X[f] = Σ_s (−1)^{popcount(f & s)} x[s]`. Applying the transform twice
+//! multiplies by `M` (the Sylvester–Hadamard matrix satisfies `H·H = M·I`).
+//!
+//! The Hadamard-transform IMS deconvolution reduces the `O(N²)` m-sequence
+//! correlation to this `O(M log M)` butterfly plus an index permutation (see
+//! `ims-prs::permutation`), which is exactly the arithmetic the paper's FPGA
+//! deconvolution core implements.
+
+/// In-place unnormalised fast Walsh–Hadamard transform.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two (the empty slice is allowed).
+pub fn fwht(data: &mut [f64]) {
+    let m = data.len();
+    if m <= 1 {
+        return;
+    }
+    assert!(m.is_power_of_two(), "FWHT length {m} is not a power of two");
+    let mut h = 1;
+    while h < m {
+        for block in (0..m).step_by(h * 2) {
+            for i in block..block + h {
+                let (a, b) = (data[i], data[i + h]);
+                data[i] = a + b;
+                data[i + h] = a - b;
+            }
+        }
+        h *= 2;
+    }
+}
+
+/// Normalised inverse WHT: `fwht` followed by division by the length.
+pub fn ifwht(data: &mut [f64]) {
+    let m = data.len();
+    fwht(data);
+    if m > 0 {
+        let inv = 1.0 / m as f64;
+        for v in data.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Direct `O(M²)` WHT used as a test oracle.
+pub fn wht_direct(data: &[f64]) -> Vec<f64> {
+    let m = data.len();
+    (0..m)
+        .map(|f| {
+            data.iter()
+                .enumerate()
+                .map(|(s, &v)| {
+                    if (f & s).count_ones() % 2 == 0 {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_direct_transform() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.7).sin() + i as f64).collect();
+        let mut fast = x.clone();
+        fwht(&mut fast);
+        let direct = wht_direct(&x);
+        for (a, b) in fast.iter().zip(direct.iter()) {
+            assert!((a - b).abs() < 1e-9, "fast {a} vs direct {b}");
+        }
+    }
+
+    #[test]
+    fn double_transform_scales_by_length() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64).cos()).collect();
+        let mut y = x.clone();
+        fwht(&mut y);
+        fwht(&mut y);
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a * 64.0 - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let x: Vec<f64> = (0..128).map(|i| (i * i % 17) as f64).collect();
+        let mut y = x.clone();
+        fwht(&mut y);
+        ifwht(&mut y);
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_gives_constant_row() {
+        let mut x = vec![0.0; 16];
+        x[0] = 1.0;
+        fwht(&mut x);
+        assert!(x.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn trivial_lengths() {
+        fwht(&mut []);
+        let mut one = [3.5];
+        fwht(&mut one);
+        assert_eq!(one[0], 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![0.0; 12];
+        fwht(&mut x);
+    }
+}

@@ -1,0 +1,314 @@
+//! Minimal dense linear algebra: row-major `f64` matrices with LU
+//! factorisation, used for weighting-matrix inverses, Savitzky–Golay filter
+//! design and as the `O(N³)` oracle against which the fast deconvolution
+//! paths are verified.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of a full row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Underlying row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(rrow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x.iter()).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Solves `A·x = b` by LU factorisation with partial pivoting.
+    ///
+    /// Returns `None` if the matrix is numerically singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(self.rows, b.len(), "dimension mismatch");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        // Forward elimination with partial pivoting.
+        for col in 0..n {
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for r in col + 1..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-12 {
+                return None;
+            }
+            if pivot != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot * n + c);
+                }
+                x.swap(col, pivot);
+            }
+            let diag = a[col * n + col];
+            for r in col + 1..n {
+                let factor = a[r * n + col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for c in col + 1..n {
+                acc -= a[col * n + c] * x[c];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Some(x)
+    }
+
+    /// Matrix inverse via column-by-column solves.
+    ///
+    /// Returns `None` if singular.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
+        let n = self.rows;
+        let mut out = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        Some(out)
+    }
+
+    /// Least-squares solution of the (possibly overdetermined) system
+    /// `A·x ≈ b` via the regularised normal equations
+    /// `(AᵀA + λI)·x = Aᵀb`.
+    pub fn least_squares(&self, b: &[f64], lambda: f64) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, b.len(), "dimension mismatch");
+        let at = self.transpose();
+        let mut ata = at.matmul(self);
+        for i in 0..ata.rows {
+            ata[(i, i)] += lambda;
+        }
+        let atb = at.matvec(b);
+        ata.solve(&atb)
+    }
+
+    /// Largest absolute entry of `self − rhs`.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f64 {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        self.data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let i4 = Matrix::identity(4);
+        assert_eq!(a.matmul(&i4), a);
+        assert_eq!(i4.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i as f64) * 1.5 - j as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10  → x = 1, y = 3.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the first diagonal entry forces a row swap.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            if i == j {
+                4.0
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        let inv = a.inverse().unwrap();
+        let eye = a.matmul(&inv);
+        assert!(eye.max_abs_diff(&Matrix::identity(5)) < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_fits_line() {
+        // Fit y = 2t + 1 from noiseless samples: design matrix [t, 1].
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |i, j| if j == 0 { ts[i] } else { 1.0 });
+        let b: Vec<f64> = ts.iter().map(|t| 2.0 * t + 1.0).collect();
+        let x = a.least_squares(&b, 0.0).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i + 2 * j) as f64);
+        let x = vec![1.0, -1.0, 0.5];
+        let xm = Matrix::from_vec(3, 1, x.clone());
+        let via_mul = a.matmul(&xm);
+        let via_vec = a.matvec(&x);
+        for i in 0..3 {
+            assert!((via_mul[(i, 0)] - via_vec[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,361 @@
+//! Peak detection and shape analysis for reconstructed mobility spectra.
+//!
+//! The evaluation scores every deconvolution by the peaks it recovers:
+//! centroid position (drift-time accuracy), FWHM (resolving power), area
+//! (quantitation), and height over the local noise floor (SNR). The detector
+//! here is a prominence-gated local-maximum finder with sub-bin centroiding —
+//! deliberately simple, deterministic, and fully testable.
+
+use crate::stats;
+use serde::{Deserialize, Serialize};
+
+/// A detected peak.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Peak {
+    /// Index of the apex bin.
+    pub apex: usize,
+    /// Intensity-weighted centroid, in fractional bins.
+    pub centroid: f64,
+    /// Apex height (above the supplied baseline, if any).
+    pub height: f64,
+    /// Integrated area between the half-height crossings.
+    pub area: f64,
+    /// Full width at half maximum, in bins (linear-interpolated).
+    pub fwhm: f64,
+}
+
+impl Peak {
+    /// Resolving power `R = t/Δt` for a peak centred at `centroid` bins.
+    ///
+    /// In drift-time units this is exactly the conventional IMS resolving
+    /// power when the axis origin is the gate-opening time.
+    pub fn resolving_power(&self) -> f64 {
+        if self.fwhm <= 0.0 {
+            return 0.0;
+        }
+        self.centroid / self.fwhm
+    }
+}
+
+/// Configuration of the peak finder.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PeakFinder {
+    /// Minimum apex height (absolute units) for a candidate.
+    pub min_height: f64,
+    /// Minimum prominence relative to the higher of the two flanking valleys.
+    pub min_prominence: f64,
+    /// Half-window (bins) used for centroiding and area integration.
+    pub window: usize,
+}
+
+impl Default for PeakFinder {
+    fn default() -> Self {
+        Self {
+            min_height: 0.0,
+            min_prominence: 0.0,
+            window: 10,
+        }
+    }
+}
+
+impl PeakFinder {
+    /// Creates a finder with an absolute height threshold.
+    pub fn with_min_height(min_height: f64) -> Self {
+        Self {
+            min_height,
+            ..Default::default()
+        }
+    }
+
+    /// Finds peaks in `signal`, most intense first.
+    pub fn find(&self, signal: &[f64]) -> Vec<Peak> {
+        let n = signal.len();
+        if n < 3 {
+            return Vec::new();
+        }
+        let mut peaks = Vec::new();
+        let mut i = 1;
+        while i + 1 < n {
+            // A plateau apex counts once, at its left edge.
+            if signal[i] > signal[i - 1] && signal[i] >= signal[i + 1] {
+                let apex = i;
+                let height = signal[apex];
+                if height >= self.min_height {
+                    let prominence = self.prominence(signal, apex);
+                    if prominence >= self.min_prominence {
+                        peaks.push(self.characterise(signal, apex));
+                    }
+                }
+                // Skip the plateau.
+                let mut j = i + 1;
+                while j + 1 < n && signal[j] == signal[apex] {
+                    j += 1;
+                }
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+        peaks.sort_by(|a, b| b.height.partial_cmp(&a.height).expect("NaN peak height"));
+        peaks
+    }
+
+    /// Prominence: apex height minus the higher of the two valley minima
+    /// between this apex and the nearest higher terrain (or signal edge).
+    fn prominence(&self, signal: &[f64], apex: usize) -> f64 {
+        let h = signal[apex];
+        let mut left_min = h;
+        let mut i = apex;
+        while i > 0 {
+            i -= 1;
+            if signal[i] > h {
+                break;
+            }
+            left_min = left_min.min(signal[i]);
+        }
+        let mut right_min = h;
+        let mut j = apex;
+        while j + 1 < signal.len() {
+            j += 1;
+            if signal[j] > h {
+                break;
+            }
+            right_min = right_min.min(signal[j]);
+        }
+        h - left_min.max(right_min)
+    }
+
+    fn characterise(&self, signal: &[f64], apex: usize) -> Peak {
+        let n = signal.len();
+        let lo = apex.saturating_sub(self.window);
+        let hi = (apex + self.window + 1).min(n);
+        let height = signal[apex];
+        let half = height / 2.0;
+
+        // Half-height crossings with linear interpolation.
+        let mut left = apex as f64;
+        for i in (lo..apex).rev() {
+            if signal[i] <= half {
+                let (y0, y1) = (signal[i], signal[i + 1]);
+                let frac = if y1 > y0 { (half - y0) / (y1 - y0) } else { 0.5 };
+                left = i as f64 + frac;
+                break;
+            }
+            left = i as f64;
+        }
+        let mut right = apex as f64;
+        for i in apex + 1..hi {
+            if signal[i] <= half {
+                let (y0, y1) = (signal[i - 1], signal[i]);
+                let frac = if y0 > y1 { (y0 - half) / (y0 - y1) } else { 0.5 };
+                right = (i - 1) as f64 + frac;
+                break;
+            }
+            right = i as f64;
+        }
+        let fwhm = (right - left).max(f64::MIN_POSITIVE);
+
+        // Centroid and area over the window, only counting positive signal.
+        let mut wsum = 0.0;
+        let mut isum = 0.0;
+        for (i, &v) in signal[lo..hi].iter().enumerate() {
+            let v = v.max(0.0);
+            wsum += v * (lo + i) as f64;
+            isum += v;
+        }
+        let centroid = if isum > 0.0 { wsum / isum } else { apex as f64 };
+        Peak {
+            apex,
+            centroid,
+            height,
+            area: isum,
+            fwhm,
+        }
+    }
+}
+
+/// Convenience: find peaks above `k·σ` where σ is a robust (MAD) noise
+/// estimate of the whole trace.
+pub fn find_peaks_sigma(signal: &[f64], k: f64) -> Vec<Peak> {
+    let sigma = stats::mad_sigma(signal);
+    let baseline = stats::median(signal);
+    PeakFinder {
+        min_height: baseline + k * sigma.max(f64::MIN_POSITIVE),
+        min_prominence: k * sigma.max(f64::MIN_POSITIVE) / 2.0,
+        window: 15,
+    }
+    .find(signal)
+}
+
+/// Generates a Gaussian peak profile (`area`, centre `mu` bins, σ in bins)
+/// sampled on `n` bins — the canonical arrival-time envelope used throughout
+/// the tests and workload generators.
+pub fn gaussian_profile(n: usize, mu: f64, sigma: f64, area: f64) -> Vec<f64> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let norm = area / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+    (0..n)
+        .map(|i| {
+            let z = (i as f64 - mu) / sigma;
+            norm * (-0.5 * z * z).exp()
+        })
+        .collect()
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26 (|ε| ≤ 1.5×10⁻⁷).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Gaussian peak deposited by *bin integration* (exact area regardless of
+/// σ/bin ratio): bin `i` receives the integral of the Gaussian over
+/// `[i, i+1)`. Use this instead of [`gaussian_profile`] whenever σ can drop
+/// below ~1 bin (e.g. high-resolution TOF peaks on a coarse m/z grid).
+pub fn gaussian_binned(n: usize, mu: f64, sigma: f64, area: f64) -> Vec<f64> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let inv = 1.0 / (sigma * std::f64::consts::SQRT_2);
+    let cdf = |x: f64| 0.5 * (1.0 + erf((x - mu) * inv));
+    let mut out = vec![0.0; n];
+    // Only bins within ±8σ matter.
+    let lo = ((mu - 8.0 * sigma).floor().max(0.0)) as usize;
+    let hi = ((mu + 8.0 * sigma).ceil().min(n as f64).max(0.0)) as usize;
+    for (i, o) in out.iter_mut().enumerate().take(hi).skip(lo) {
+        *o = area * (cdf(i as f64 + 1.0) - cdf(i as f64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        assert!(erf(0.0).abs() < 1e-6); // A&S 7.1.26 has |ε| ≤ 1.5e-7
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binned_gaussian_conserves_area_even_when_narrow() {
+        for sigma in [0.1, 0.3, 1.0, 5.0] {
+            let sig = gaussian_binned(200, 100.3, sigma, 1234.0);
+            let total: f64 = sig.iter().sum();
+            assert!(
+                (total - 1234.0).abs() < 0.5,
+                "sigma {sigma}: area {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn binned_matches_sampled_for_wide_peaks() {
+        let a = gaussian_binned(300, 150.0, 8.0, 100.0);
+        let b = gaussian_profile(300, 149.5, 8.0, 100.0); // bin-centre offset
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() < 0.05, "bin {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn finds_single_gaussian() {
+        let sig = gaussian_profile(200, 100.0, 5.0, 1000.0);
+        let peaks = PeakFinder::default().find(&sig);
+        assert_eq!(peaks.len(), 1);
+        let p = peaks[0];
+        assert!((p.centroid - 100.0).abs() < 0.2, "centroid {}", p.centroid);
+        // FWHM of a Gaussian = 2.3548 σ.
+        assert!((p.fwhm - 2.3548 * 5.0).abs() < 0.5, "fwhm {}", p.fwhm);
+    }
+
+    #[test]
+    fn resolves_two_separated_peaks() {
+        let mut sig = gaussian_profile(400, 100.0, 4.0, 500.0);
+        let second = gaussian_profile(400, 300.0, 4.0, 250.0);
+        for (a, b) in sig.iter_mut().zip(second.iter()) {
+            *a += b;
+        }
+        let peaks = PeakFinder::default().find(&sig);
+        assert_eq!(peaks.len(), 2);
+        // Sorted most intense first.
+        assert!((peaks[0].centroid - 100.0).abs() < 1.0);
+        assert!((peaks[1].centroid - 300.0).abs() < 1.0);
+        assert!(peaks[0].height > peaks[1].height);
+    }
+
+    #[test]
+    fn height_threshold_suppresses_small_peaks() {
+        let mut sig = gaussian_profile(400, 100.0, 4.0, 500.0);
+        let second = gaussian_profile(400, 300.0, 4.0, 10.0);
+        for (a, b) in sig.iter_mut().zip(second.iter()) {
+            *a += b;
+        }
+        let peaks = PeakFinder::with_min_height(5.0).find(&sig);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].apex, 100);
+    }
+
+    #[test]
+    fn prominence_rejects_ripple_on_shoulder() {
+        // A big peak with a tiny ripple on its far tail (the bump must exceed
+        // the local slope to form a local maximum at all).
+        let mut sig = gaussian_profile(200, 100.0, 10.0, 1000.0);
+        sig[130] += 0.4; // small bump on the descending tail
+        let strict = PeakFinder {
+            min_prominence: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(strict.find(&sig).len(), 1);
+        let lax = PeakFinder::default();
+        assert!(lax.find(&sig).len() >= 2);
+    }
+
+    #[test]
+    fn plateau_counts_once() {
+        let mut sig = vec![0.0; 20];
+        for v in sig.iter_mut().take(12).skip(8) {
+            *v = 5.0;
+        }
+        let peaks = PeakFinder::default().find(&sig);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].apex, 8);
+    }
+
+    #[test]
+    fn resolving_power_scales_with_position() {
+        let sig = gaussian_profile(1000, 800.0, 4.0, 1000.0);
+        let p = PeakFinder::default().find(&sig)[0];
+        let r = p.resolving_power();
+        assert!((r - 800.0 / (2.3548 * 4.0)).abs() < 5.0, "R = {r}");
+    }
+
+    #[test]
+    fn sigma_gate_on_noisy_trace() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut sig = gaussian_profile(500, 250.0, 5.0, 2000.0);
+        crate::noise::add_electronic_noise(&mut rng, &mut sig, 1.0);
+        let peaks = find_peaks_sigma(&sig, 5.0);
+        assert!(!peaks.is_empty());
+        assert!((peaks[0].centroid - 250.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn short_signals_yield_nothing() {
+        assert!(PeakFinder::default().find(&[]).is_empty());
+        assert!(PeakFinder::default().find(&[1.0, 2.0]).is_empty());
+    }
+
+    #[test]
+    fn gaussian_profile_area_is_conserved() {
+        let sig = gaussian_profile(400, 200.0, 8.0, 1234.0);
+        let total: f64 = sig.iter().sum();
+        assert!((total - 1234.0).abs() < 1.0, "area {total}");
+    }
+}

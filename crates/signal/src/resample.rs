@@ -1,0 +1,95 @@
+//! Re-binning and resampling helpers.
+//!
+//! The oversampled PRS experiments gate at a finer time base than the
+//! nominal sequence element; these helpers move between the fine (gate) and
+//! coarse (sequence-element) time bases while conserving total counts.
+
+/// Sums groups of `factor` consecutive bins (count-conserving down-binning).
+///
+/// The input length must be an exact multiple of `factor`.
+pub fn rebin_sum(signal: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0, "factor must be positive");
+    assert_eq!(
+        signal.len() % factor,
+        0,
+        "length {} not divisible by factor {}",
+        signal.len(),
+        factor
+    );
+    signal
+        .chunks_exact(factor)
+        .map(|chunk| chunk.iter().sum())
+        .collect()
+}
+
+/// Averages groups of `factor` consecutive bins.
+pub fn rebin_mean(signal: &[f64], factor: usize) -> Vec<f64> {
+    rebin_sum(signal, factor)
+        .into_iter()
+        .map(|v| v / factor as f64)
+        .collect()
+}
+
+/// Repeats each bin `factor` times (piecewise-constant upsampling). The
+/// amplitude is divided by `factor` so total counts are conserved.
+pub fn upsample_repeat(signal: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0, "factor must be positive");
+    let inv = 1.0 / factor as f64;
+    let mut out = Vec::with_capacity(signal.len() * factor);
+    for &v in signal {
+        out.extend(std::iter::repeat_n(v * inv, factor));
+    }
+    out
+}
+
+/// Keeps every `factor`-th sample starting at `offset`.
+pub fn decimate(signal: &[f64], factor: usize, offset: usize) -> Vec<f64> {
+    assert!(factor > 0, "factor must be positive");
+    signal.iter().skip(offset).step_by(factor).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebin_conserves_counts() {
+        let sig: Vec<f64> = (0..24).map(|i| i as f64).collect();
+        let coarse = rebin_sum(&sig, 4);
+        assert_eq!(coarse.len(), 6);
+        let total_in: f64 = sig.iter().sum();
+        let total_out: f64 = coarse.iter().sum();
+        assert!((total_in - total_out).abs() < 1e-12);
+        assert_eq!(coarse[0], 0.0 + 1.0 + 2.0 + 3.0);
+    }
+
+    #[test]
+    fn rebin_mean_of_constant() {
+        let sig = vec![3.0; 12];
+        assert!(rebin_mean(&sig, 3).iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn upsample_then_rebin_round_trips() {
+        let sig: Vec<f64> = (0..10).map(|i| (i * i) as f64).collect();
+        let up = upsample_repeat(&sig, 5);
+        assert_eq!(up.len(), 50);
+        let down = rebin_sum(&up, 5);
+        for (a, b) in sig.iter().zip(down.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decimate_with_offset() {
+        let sig: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(decimate(&sig, 3, 0), vec![0.0, 3.0, 6.0, 9.0]);
+        assert_eq!(decimate(&sig, 3, 1), vec![1.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rebin_checks_divisibility() {
+        let _ = rebin_sum(&[1.0; 10], 3);
+    }
+}

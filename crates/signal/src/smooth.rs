@@ -1,0 +1,177 @@
+//! Smoothing filters: Savitzky–Golay (least-squares polynomial) and moving
+//! average, with reflective edge handling.
+//!
+//! Savitzky–Golay coefficients are derived from first principles by solving
+//! the polynomial least-squares fit with the dense solver in
+//! [`crate::matrix`], rather than hard-coding the classic tables — the
+//! published table values appear as test vectors instead.
+
+use crate::matrix::Matrix;
+
+/// A symmetric FIR smoothing filter.
+#[derive(Debug, Clone)]
+pub struct Smoother {
+    /// Symmetric filter kernel of odd length.
+    kernel: Vec<f64>,
+}
+
+impl Smoother {
+    /// Savitzky–Golay smoother with window `2m+1` and polynomial order `p`.
+    ///
+    /// # Panics
+    /// Panics if the window does not fit the polynomial (`2m + 1 <= p`).
+    pub fn savitzky_golay(half_window: usize, poly_order: usize) -> Self {
+        let w = 2 * half_window + 1;
+        assert!(
+            w > poly_order,
+            "window {w} too small for polynomial order {poly_order}"
+        );
+        // Design matrix A[i][j] = t_i^j, t_i = -m..=m. The smoothed value at
+        // the window centre is the fitted polynomial at t = 0, i.e. the
+        // coefficient c_0 of the LS fit: c = (AᵀA)⁻¹Aᵀy, kernel row = first
+        // row of (AᵀA)⁻¹Aᵀ.
+        let a = Matrix::from_fn(w, poly_order + 1, |i, j| {
+            let t = i as f64 - half_window as f64;
+            t.powi(j as i32)
+        });
+        let at = a.transpose();
+        let ata = at.matmul(&a);
+        let inv = ata
+            .inverse()
+            .expect("Savitzky-Golay normal equations are singular");
+        let pseudo = inv.matmul(&at);
+        let kernel = pseudo.row(0).to_vec();
+        Self { kernel }
+    }
+
+    /// Simple moving average over a window of `2m+1`.
+    pub fn moving_average(half_window: usize) -> Self {
+        let w = 2 * half_window + 1;
+        Self {
+            kernel: vec![1.0 / w as f64; w],
+        }
+    }
+
+    /// Filter kernel (odd length, centred).
+    pub fn kernel(&self) -> &[f64] {
+        &self.kernel
+    }
+
+    /// Applies the filter with reflective boundary extension.
+    pub fn apply(&self, signal: &[f64]) -> Vec<f64> {
+        let n = signal.len();
+        let m = self.kernel.len() / 2;
+        if n == 0 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                self.kernel
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &c)| {
+                        let offset = k as isize - m as isize;
+                        c * signal[reflect(i as isize + offset, n)]
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Reflects an index into `[0, n)` (mirror boundary, no repeated edge).
+fn reflect(idx: isize, n: usize) -> usize {
+    let n = n as isize;
+    let mut i = idx;
+    // Period of the reflected extension is 2n - 2 (for n > 1).
+    if n == 1 {
+        return 0;
+    }
+    let period = 2 * n - 2;
+    i = i.rem_euclid(period);
+    if i >= n {
+        i = period - i;
+    }
+    i as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sg_quadratic_window5_matches_published_table() {
+        // Classic SG (m=2, order 2): (-3, 12, 17, 12, -3)/35.
+        let s = Smoother::savitzky_golay(2, 2);
+        let expect = [-3.0 / 35.0, 12.0 / 35.0, 17.0 / 35.0, 12.0 / 35.0, -3.0 / 35.0];
+        for (a, b) in s.kernel().iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-10, "kernel {a} vs table {b}");
+        }
+    }
+
+    #[test]
+    fn sg_preserves_polynomials_up_to_order() {
+        // An order-2 SG filter must pass quadratics through unchanged.
+        let s = Smoother::savitzky_golay(3, 2);
+        let sig: Vec<f64> = (0..50).map(|i| {
+            let t = i as f64;
+            0.5 * t * t - 3.0 * t + 7.0
+        }).collect();
+        let out = s.apply(&sig);
+        for (i, (a, b)) in sig.iter().zip(out.iter()).enumerate().skip(3).take(44) {
+            assert!((a - b).abs() < 1e-8, "bin {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn kernel_sums_to_one() {
+        for (m, p) in [(2, 2), (3, 2), (4, 3), (6, 4)] {
+            let s = Smoother::savitzky_golay(m, p);
+            let sum: f64 = s.kernel().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-10, "m={m} p={p}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn moving_average_flattens_constant() {
+        let s = Smoother::moving_average(3);
+        let sig = vec![4.0; 20];
+        let out = s.apply(&sig);
+        assert!(out.iter().all(|&v| (v - 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn moving_average_reduces_noise_variance() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut sig = vec![0.0; 2000];
+        crate::noise::add_electronic_noise(&mut rng, &mut sig, 1.0);
+        let out = Smoother::moving_average(2).apply(&sig);
+        let v_in = crate::stats::variance(&sig);
+        let v_out = crate::stats::variance(&out);
+        // 5-point average divides white-noise variance by ~5.
+        assert!(v_out < v_in / 3.5, "variance {v_in} -> {v_out}");
+    }
+
+    #[test]
+    fn reflect_boundary_indices() {
+        assert_eq!(reflect(-1, 5), 1);
+        assert_eq!(reflect(-2, 5), 2);
+        assert_eq!(reflect(5, 5), 3);
+        assert_eq!(reflect(6, 5), 2);
+        assert_eq!(reflect(0, 1), 0);
+        assert_eq!(reflect(3, 5), 3);
+    }
+
+    #[test]
+    fn empty_signal() {
+        let s = Smoother::moving_average(1);
+        assert!(s.apply(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn sg_window_checked() {
+        let _ = Smoother::savitzky_golay(1, 3);
+    }
+}

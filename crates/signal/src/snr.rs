@@ -1,0 +1,102 @@
+//! Signal-to-noise estimation.
+//!
+//! SNR is *the* figure of merit of the multiplexing experiments (E1, E6):
+//! the entire point of Hadamard gating is to raise it at fixed acquisition
+//! time. The estimator here follows common mass-spectrometry practice —
+//! apex height over a robust (MAD) estimate of the noise σ taken from
+//! signal-free regions.
+
+use crate::stats;
+
+/// SNR of a known peak apex against a robust noise estimate from the
+/// remainder of the trace (the peak region ±`exclude` bins is excluded from
+/// the noise estimate).
+pub fn snr_at(signal: &[f64], apex: usize, exclude: usize) -> f64 {
+    let noise: Vec<f64> = signal
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i.abs_diff(apex) > exclude)
+        .map(|(_, &v)| v)
+        .collect();
+    if noise.is_empty() {
+        return 0.0;
+    }
+    let sigma = stats::mad_sigma(&noise);
+    let base = stats::median(&noise);
+    if sigma <= 0.0 {
+        return f64::INFINITY;
+    }
+    (signal[apex] - base) / sigma
+}
+
+/// Global SNR: highest sample over MAD σ of the whole trace.
+pub fn snr_global(signal: &[f64]) -> f64 {
+    let (apex, _) = match stats::argmax(signal) {
+        Some(x) => x,
+        None => return 0.0,
+    };
+    snr_at(signal, apex, signal.len() / 20 + 3)
+}
+
+/// Ratio of two SNRs, guarding against degenerate denominators.
+pub fn snr_gain(multiplexed: f64, averaged: f64) -> f64 {
+    if averaged <= 0.0 || !averaged.is_finite() {
+        return f64::NAN;
+    }
+    multiplexed / averaged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::add_electronic_noise;
+    use crate::peaks::gaussian_profile;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn snr_scales_with_amplitude() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut weak = gaussian_profile(1000, 500.0, 5.0, 100.0);
+        let mut strong = gaussian_profile(1000, 500.0, 5.0, 1000.0);
+        add_electronic_noise(&mut rng, &mut weak, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        add_electronic_noise(&mut rng, &mut strong, 1.0);
+        let s_weak = snr_at(&weak, 500, 25);
+        let s_strong = snr_at(&strong, 500, 25);
+        let ratio = s_strong / s_weak;
+        assert!(
+            (ratio - 10.0).abs() < 2.5,
+            "expected ~10x SNR ratio, got {ratio} ({s_weak} -> {s_strong})"
+        );
+    }
+
+    #[test]
+    fn clean_signal_has_huge_snr() {
+        let sig = gaussian_profile(500, 250.0, 5.0, 1000.0);
+        // Noise-free trace: MAD of the flat region is ~0 → huge/infinite SNR.
+        assert!(snr_at(&sig, 250, 30) > 1e6);
+    }
+
+    #[test]
+    fn global_matches_known_apex() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut sig = gaussian_profile(800, 300.0, 6.0, 3000.0);
+        add_electronic_noise(&mut rng, &mut sig, 2.0);
+        let g = snr_global(&sig);
+        let k = snr_at(&sig, 300, 43);
+        assert!((g - k).abs() / k < 0.1, "global {g} vs known-apex {k}");
+    }
+
+    #[test]
+    fn gain_guards_degenerate() {
+        assert!(snr_gain(10.0, 0.0).is_nan());
+        assert!(snr_gain(10.0, f64::INFINITY).is_nan());
+        assert!((snr_gain(10.0, 2.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_signal() {
+        assert_eq!(snr_global(&[]), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Elementary statistics shared by the estimators and the experiment harness.
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Population variance (0 for slices shorter than 2).
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Median (0 for an empty slice). `O(n log n)`.
+pub fn median(x: &[f64]) -> f64 {
+    percentile(x, 50.0)
+}
+
+/// Percentile in `[0, 100]` with linear interpolation between order
+/// statistics. Returns 0 for an empty slice.
+pub fn percentile(x: &[f64], p: f64) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = x.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median absolute deviation, scaled by 1.4826 so it estimates σ for
+/// Gaussian data. Robust to outliers (peaks riding on the noise floor).
+pub fn mad_sigma(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let med = median(x);
+    let deviations: Vec<f64> = x.iter().map(|v| (v - med).abs()).collect();
+    1.4826 * median(&deviations)
+}
+
+/// Pearson correlation coefficient (0 if either side is constant).
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Root-mean-square error between two equal-length series.
+pub fn rmse(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    if x.is_empty() {
+        return 0.0;
+    }
+    let se: f64 = x.iter().zip(y.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+    (se / x.len() as f64).sqrt()
+}
+
+/// Largest absolute value in the slice (0 if empty).
+pub fn max_abs(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+}
+
+/// Index and value of the maximum element (`None` if empty).
+pub fn argmax(x: &[f64]) -> Option<(usize, f64)> {
+    x.iter()
+        .enumerate()
+        .fold(None, |best, (i, &v)| match best {
+            Some((_, bv)) if bv >= v => best,
+            _ => Some((i, v)),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&x) - 5.0).abs() < 1e-12);
+        assert!((variance(&x) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&x) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert!((median(&[3.0, 1.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((median(&[4.0, 1.0, 2.0, 3.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let x = [10.0, 20.0, 30.0, 40.0];
+        assert!((percentile(&x, 0.0) - 10.0).abs() < 1e-12);
+        assert!((percentile(&x, 100.0) - 40.0).abs() < 1e-12);
+        assert!((percentile(&x, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mad_estimates_gaussian_sigma() {
+        // Deterministic pseudo-Gaussian ramp through the quantile function is
+        // overkill; a symmetric triangular set is enough to sanity-check scale.
+        let x: Vec<f64> = (-500..=500).map(|i| i as f64 / 100.0).collect();
+        let sigma = mad_sigma(&x);
+        assert!(sigma > 3.0 && sigma < 4.5, "sigma {sigma}");
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let z: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+        let c = vec![5.0; 50];
+        assert_eq!(pearson(&x, &c), 0.0);
+    }
+
+    #[test]
+    fn rmse_zero_for_identical() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&x, &x), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_finds_first_max() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 2.0]), Some((1, 5.0)));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(mad_sigma(&[]), 0.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the DSP substrate.
+
+use ims_signal::correlate::*;
+use ims_signal::fft::{dft_direct, fft, ifft, Complex};
+use ims_signal::fwht::{fwht, ifwht};
+use ims_signal::matrix::Matrix;
+use ims_signal::peaks::gaussian_binned;
+use ims_signal::resample::{rebin_sum, upsample_repeat};
+use ims_signal::stats;
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_round_trips_any_length(x in finite_vec(1..160)) {
+        let buf: Vec<Complex> = x.iter().map(|&v| Complex::from_re(v)).collect();
+        let back = ifft(&fft(&buf));
+        for (a, b) in buf.iter().zip(back.iter()) {
+            prop_assert!((a.re - b.re).abs() < 1e-6, "{} vs {}", a.re, b.re);
+            prop_assert!(b.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct_dft(x in finite_vec(2..48)) {
+        let buf: Vec<Complex> = x.iter().map(|&v| Complex::from_re(v)).collect();
+        let fast = fft(&buf);
+        let slow = dft_direct(&buf);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parseval_any_length(x in finite_vec(1..100)) {
+        let buf: Vec<Complex> = x.iter().map(|&v| Complex::from_re(v)).collect();
+        let n = buf.len() as f64;
+        let time: f64 = buf.iter().map(|v| v.norm_sqr()).sum();
+        let freq: f64 = fft(&buf).iter().map(|v| v.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((time - freq).abs() <= 1e-6 * (1.0 + time));
+    }
+
+    #[test]
+    fn fwht_involution(bits in 1u32..10, seed in 0u64..1000) {
+        let m = 1usize << bits;
+        let x: Vec<f64> = (0..m)
+            .map(|i| (((i as u64).wrapping_mul(seed + 1) % 997) as f64) - 500.0)
+            .collect();
+        let mut y = x.clone();
+        fwht(&mut y);
+        ifwht(&mut y);
+        for (a, b) in x.iter().zip(y.iter()) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn correlation_fft_equals_direct(x in finite_vec(2..40), shift in 0usize..40) {
+        let n = x.len();
+        let y: Vec<f64> = (0..n).map(|k| x[(k + shift) % n]).collect();
+        let d = circular_correlate_direct(&x, &y);
+        let f = circular_correlate_fft(&x, &y);
+        for (a, b) in d.iter().zip(f.iter()) {
+            prop_assert!((a - b).abs() < 1e-5 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn convolution_commutes(a in finite_vec(2..32)) {
+        let n = a.len();
+        let b: Vec<f64> = a.iter().rev().map(|v| v * 0.5 + 1.0).collect();
+        let ab = circular_convolve_direct(&a, &b);
+        let ba = circular_convolve_direct(&b[..n], &a);
+        for (x, y) in ab.iter().zip(ba.iter()) {
+            prop_assert!((x - y).abs() < 1e-7 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn solve_residual_is_small(seed in 0u64..500, n in 2usize..8) {
+        // Diagonally dominant => well-conditioned.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f64 / u32::MAX as f64) - 0.5
+        };
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j { n as f64 + 1.0 } else { next() }
+        });
+        let b: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+        let x = a.solve(&b).expect("diagonally dominant is solvable");
+        let r = a.matvec(&x);
+        for (u, v) in r.iter().zip(b.iter()) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rebin_upsample_round_trip(x in finite_vec(1..40), factor in 1usize..6) {
+        let up = upsample_repeat(&x, factor);
+        let down = rebin_sum(&up, factor);
+        for (a, b) in x.iter().zip(down.iter()) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn binned_gaussian_conserves_area(
+        mu in 10.0..190.0f64,
+        sigma in 0.05..20.0f64,
+        area in 0.1..1e4f64,
+    ) {
+        let profile = gaussian_binned(200, mu, sigma, area);
+        let total: f64 = profile.iter().sum();
+        // Allow edge clipping when the peak is wide and near the border.
+        let clip = if mu - 6.0 * sigma < 0.0 || mu + 6.0 * sigma > 200.0 { 0.5 } else { 1e-3 };
+        prop_assert!((total - area).abs() <= clip * area, "area {total} vs {area}");
+        prop_assert!(profile.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn percentile_bounded_by_extremes(x in finite_vec(1..50), p in 0.0..100.0f64) {
+        let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = stats::percentile(&x, p);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn mad_and_variance_non_negative(x in finite_vec(0..50)) {
+        prop_assert!(stats::mad_sigma(&x) >= 0.0);
+        prop_assert!(stats::variance(&x) >= 0.0);
+    }
+
+    #[test]
+    fn pearson_in_range(x in finite_vec(2..40), seed in 0u64..100) {
+        let y: Vec<f64> = x.iter().enumerate()
+            .map(|(i, v)| v * ((seed % 7) as f64 - 3.0) + i as f64)
+            .collect();
+        let r = stats::pearson(&x, &y);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+    }
+}

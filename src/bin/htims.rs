@@ -1,0 +1,185 @@
+//! `htims` — command-line front end for the HT-IMS simulation.
+//!
+//! ```text
+//! htims print-config                       # emit the default experiment config as JSON
+//! htims run --config cfg.json [--out f]    # acquire → deconvolve → features/identifications
+//! htims sequence --degree 9 [--factor 2]   # gate-sequence properties and quality metrics
+//! htims feasibility --degree 9 --mz 100    # FPGA resource / real-time report
+//! ```
+
+use htims::core::acquisition::acquire;
+use htims::core::analysis::{build_library, find_features, match_library};
+use htims::core::config::ExperimentConfig;
+use htims::core::deconvolution::Deconvolver;
+use htims::fpga::deconv::DeconvConfig;
+use htims::fpga::{AccumulatorCore, DeconvCore, DmaLink, FpgaDevice, ResourceReport};
+use htims::prs::{metrics, MSequence, OversampledSequence};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "print-config" => print_config(),
+        "run" => run(&args),
+        "sequence" => sequence(&args),
+        "feasibility" => feasibility(&args),
+        _ => help(),
+    }
+}
+
+fn help() {
+    eprintln!(
+        "usage:\n  htims print-config\n  htims run --config <file.json> [--out <file.json>]\n  \
+         htims sequence --degree <n> [--factor <m>]\n  htims feasibility --degree <n> --mz <bins>"
+    );
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn print_config() {
+    println!("{}", ExperimentConfig::default().to_json());
+}
+
+fn run(args: &[String]) {
+    let path = flag(args, "--config").unwrap_or_else(|| {
+        eprintln!("--config <file.json> is required (try `htims print-config`)");
+        std::process::exit(2);
+    });
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let config = ExperimentConfig::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("invalid config: {e}");
+        std::process::exit(2);
+    });
+
+    let (instrument, workload, schedule, options) = config.build();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    eprintln!(
+        "acquiring {} frames of '{}' with schedule {}…",
+        config.frames,
+        workload.name,
+        schedule.name()
+    );
+    let data = acquire(
+        &instrument,
+        &workload,
+        &schedule,
+        config.frames,
+        options,
+        &mut rng,
+    );
+    eprintln!(
+        "ion utilization {:.1}%, max packet {:.3e} e",
+        100.0 * data.ion_utilization,
+        data.packet_charges
+    );
+    let method = Deconvolver::Weighted { lambda: 1e-6 };
+    let map = method.deconvolve(&schedule, &data);
+    let features = find_features(&map, 8.0);
+    let library = build_library(&instrument, &workload);
+    let ids = match_library(&features, &library, 3, 2);
+    eprintln!(
+        "{} features; {}/{} species identified",
+        features.len(),
+        ids.len(),
+        library.len()
+    );
+
+    let report = serde_json::json!({
+        "config": config,
+        "ion_utilization": data.ion_utilization,
+        "packet_charges": data.packet_charges,
+        "n_features": features.len(),
+        "library_size": library.len(),
+        "identifications": ids,
+    });
+    match flag(args, "--out") {
+        Some(out) => {
+            std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write {out}: {e}");
+                    std::process::exit(2);
+                });
+            eprintln!("report written to {out}");
+        }
+        None => println!("{}", serde_json::to_string_pretty(&report).unwrap()),
+    }
+}
+
+fn sequence(args: &[String]) {
+    let degree: u32 = flag(args, "--degree")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9);
+    let factor: usize = flag(args, "--factor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let seq = MSequence::new(degree);
+    println!(
+        "m-sequence: degree {degree}, N = {}, polynomial {}",
+        seq.len(),
+        seq.poly().to_poly_string()
+    );
+    let (bits, label): (Vec<bool>, &str) = if factor > 1 {
+        let o = OversampledSequence::modified_default(seq.clone(), factor);
+        println!(
+            "oversampled x{factor}: length {}, {} added pulses at {:?}",
+            o.len(),
+            o.added_pulses().len(),
+            o.added_pulses()
+        );
+        (o.bits().to_vec(), "modified-oversampled")
+    } else {
+        (seq.bits().to_vec(), "base")
+    };
+    let m = metrics::analyze(&bits);
+    println!(
+        "{label}: duty cycle {:.3}, pulses/period {}, autocorrelation contrast {:.1} dB,\n\
+         condition number {:.2}, inverse noise gain {:.4}",
+        m.duty_cycle, m.pulse_count, m.autocorrelation_contrast_db, m.condition_number, m.noise_gain
+    );
+}
+
+fn feasibility(args: &[String]) {
+    let degree: u32 = flag(args, "--degree")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9);
+    let mz: usize = flag(args, "--mz").and_then(|v| v.parse().ok()).unwrap_or(100);
+    let n = (1usize << degree) - 1;
+    let seq = MSequence::new(degree);
+    let acc = AccumulatorCore::new(n, mz, 32);
+    let deconv = DeconvCore::new(&seq, DeconvConfig::default());
+    for device in [
+        FpgaDevice::xc2vp50(),
+        FpgaDevice::xc4vlx160(),
+        FpgaDevice::instrument_board(),
+    ] {
+        let report = ResourceReport::evaluate(
+            &device,
+            &acc,
+            &deconv,
+            &DmaLink::rapidarray(),
+            50,
+            0.02 * n as f64 / 511.0,
+        );
+        println!(
+            "{:<26} BRAM {:>4}/{:<4} DSP {:>3}/{:<3} fits={:<5} rt-margin {:>8.1}x viable={}",
+            report.device,
+            report.bram_used,
+            report.bram_available,
+            report.dsp_used,
+            report.dsp_available,
+            report.fits,
+            report.realtime_margin,
+            report.viable()
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-crate mathematical oracles: every deconvolution path (dense
+//! matrix, fast Hadamard, Fourier circulant, FPGA integer) agrees on the
+//! same data.
+
+use htims::prs::weighting::CirculantInverse;
+use htims::prs::{FastMTransform, MSequence, OversampledSequence, SimplexMatrix};
+use htims::signal::correlate::{circular_convolve_direct, circular_convolve_fft};
+use htims::signal::matrix::Matrix;
+
+fn test_vector(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|k| (((k as u64).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f64) / 10.0)
+        .collect()
+}
+
+#[test]
+fn four_inverse_paths_agree() {
+    for degree in [5u32, 7, 8] {
+        let seq = MSequence::new(degree);
+        let n = seq.len();
+        let y = test_vector(n, degree as u64);
+
+        // Path 1: dense closed-form inverse.
+        let simplex = SimplexMatrix::new(seq.clone());
+        let dense = simplex.inverse_dense().matvec(&y);
+        // Path 2: O(N²) correlation form.
+        let slow = simplex.inverse_apply(&y);
+        // Path 3: fast Hadamard transform.
+        let fast = FastMTransform::new(&seq).deconvolve(&y);
+        // Path 4: dense LU inverse of the materialised matrix.
+        let lu = simplex
+            .to_dense()
+            .inverse()
+            .expect("simplex matrices are invertible")
+            .matvec(&y);
+
+        for j in 0..n {
+            assert!((dense[j] - slow[j]).abs() < 1e-8, "deg {degree} bin {j}");
+            assert!((dense[j] - fast[j]).abs() < 1e-8, "deg {degree} bin {j}");
+            assert!((dense[j] - lu[j]).abs() < 1e-6, "deg {degree} bin {j}");
+        }
+    }
+}
+
+#[test]
+fn fourier_inverse_agrees_with_fast_hadamard_for_convolution_data() {
+    let seq = MSequence::new(7);
+    let n = seq.len();
+    let x = test_vector(n, 3);
+    let h = seq.as_f64();
+    let y = circular_convolve_direct(&h, &x);
+
+    let via_hadamard = FastMTransform::new(&seq).deconvolve_convolution(&y);
+    let via_fourier = CirculantInverse::exact(&h, 1e-9).unwrap().apply(&y);
+    for j in 0..n {
+        assert!(
+            (via_hadamard[j] - via_fourier[j]).abs() < 1e-6,
+            "bin {j}: {} vs {}",
+            via_hadamard[j],
+            via_fourier[j]
+        );
+        assert!((via_hadamard[j] - x[j]).abs() < 1e-6, "bin {j} not recovered");
+    }
+}
+
+#[test]
+fn modified_oversampled_sequence_round_trips_fine_structure() {
+    // Plant structure at the *fine* time base — recoverable only because
+    // the modified sequence restored invertibility.
+    let base = MSequence::new(5);
+    let oseq = OversampledSequence::modified_default(base, 3);
+    let l = oseq.len();
+    let mut x = vec![0.0; l];
+    x[7] = 10.0;
+    x[8] = 25.0; // adjacent fine bins — sub-element structure
+    x[50] = 5.0;
+    let h = oseq.as_f64();
+    let y = circular_convolve_fft(&h, &x);
+    let back = CirculantInverse::exact(&h, 0.5)
+        .expect("modified sequence is invertible")
+        .apply(&y);
+    for j in 0..l {
+        assert!((back[j] - x[j]).abs() < 1e-6, "fine bin {j}: {} vs {}", back[j], x[j]);
+    }
+}
+
+#[test]
+fn plain_oversampling_cannot_recover_fine_structure() {
+    let base = MSequence::new(5);
+    let plain = OversampledSequence::repeat(base, 3);
+    assert!(
+        CirculantInverse::exact(&plain.as_f64(), 1e-6).is_none(),
+        "plain repetition must be singular"
+    );
+}
+
+#[test]
+fn dense_circulant_solve_matches_fourier_weighted() {
+    let seq = MSequence::new(4);
+    let n = seq.len();
+    let mut h = seq.as_f64();
+    for (k, v) in h.iter_mut().enumerate() {
+        *v *= 0.85 + 0.1 * ((k * 3) % 5) as f64 / 5.0; // non-ideal kernel
+    }
+    let x = test_vector(n, 9);
+    let y = circular_convolve_direct(&h, &x);
+    let lambda = 0.05;
+
+    let fourier = CirculantInverse::weighted(&h, lambda).apply(&y);
+    // Normal equations on the materialised circulant.
+    let a = Matrix::from_fn(n, n, |i, j| h[(i + n - j) % n]);
+    let dense = a.least_squares(&y, lambda).unwrap();
+    for j in 0..n {
+        assert!(
+            (fourier[j] - dense[j]).abs() < 1e-8,
+            "bin {j}: {} vs {}",
+            fourier[j],
+            dense[j]
+        );
+    }
+}

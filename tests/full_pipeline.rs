@@ -1,0 +1,174 @@
+//! End-to-end integration: instrument → multiplexed acquisition →
+//! deconvolution → feature finding → identification.
+
+use htims::core::acquisition::{acquire, AcquireOptions, GateSchedule};
+use htims::core::analysis::{build_library, find_features, match_library};
+use htims::core::deconvolution::Deconvolver;
+use htims::core::metrics::{fidelity, species_snr};
+use htims::physics::{Instrument, Workload};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[test]
+fn three_peptide_mix_fully_identified() {
+    let mut inst = Instrument::with_drift_bins(255);
+    inst.tof.n_bins = 600;
+    let workload = Workload::three_peptide_mix();
+    let schedule = GateSchedule::multiplexed(8);
+    let data = acquire(
+        &inst,
+        &workload,
+        &schedule,
+        80,
+        AcquireOptions::default(),
+        &mut rng(1),
+    );
+    let map = Deconvolver::Weighted { lambda: 1e-6 }.deconvolve(&schedule, &data);
+    let features = find_features(&map, 8.0);
+    let library = build_library(&inst, &workload);
+    let ids = match_library(&features, &library, 4, 3);
+    assert_eq!(
+        ids.len(),
+        library.len(),
+        "all {} in-range species should be identified, got {}",
+        library.len(),
+        ids.len()
+    );
+    // Positions must be accurate to ~1 bin.
+    for id in &ids {
+        assert!(id.drift_error.abs() <= 2, "{}: drift err {}", id.entry.name, id.drift_error);
+        assert!(id.mz_error.abs() <= 2, "{}: mz err {}", id.entry.name, id.mz_error);
+    }
+}
+
+#[test]
+fn multiplexing_beats_signal_averaging_on_dilute_sample() {
+    let n = 255;
+    let mut inst = Instrument::with_drift_bins(n);
+    inst.tof.n_bins = 300;
+    let workload = Workload::three_peptide_mix().scaled(2e-3);
+    let target = build_library(&inst, &workload)
+        .into_iter()
+        .find(|e| e.name.contains("RPPGFSPFR/2+"))
+        .unwrap();
+    let opts = AcquireOptions {
+        use_trap: false,
+        background_mean: 0.05,
+    };
+
+    let sa_schedule = GateSchedule::signal_averaging(n);
+    let sa = acquire(&inst, &workload, &sa_schedule, 100, opts, &mut rng(2));
+    let sa_snr = species_snr(
+        &Deconvolver::Identity.deconvolve(&sa_schedule, &sa),
+        target.drift_bin,
+        target.mz_bin,
+        3,
+    );
+
+    let mp_schedule = GateSchedule::multiplexed(8);
+    let mp = acquire(&inst, &workload, &mp_schedule, 100, opts, &mut rng(3));
+    let mp_snr = species_snr(
+        &Deconvolver::SimplexFast.deconvolve(&mp_schedule, &mp),
+        target.drift_bin,
+        target.mz_bin,
+        3,
+    );
+
+    assert!(
+        mp_snr > 3.0 * sa_snr,
+        "multiplexing should win decisively: SA {sa_snr}, MP {mp_snr}"
+    );
+}
+
+#[test]
+fn all_deconvolvers_recover_truth_shape_on_clean_data() {
+    let degree = 7;
+    let n = (1usize << degree) - 1;
+    let mut inst = Instrument::with_drift_bins(n);
+    inst.tof.n_bins = 150;
+    inst.gate = htims::physics::gate::GateModel::ideal();
+    let workload = Workload::single_calibrant();
+    let schedule = GateSchedule::multiplexed(degree);
+    let data = acquire(
+        &inst,
+        &workload,
+        &schedule,
+        400,
+        AcquireOptions {
+            use_trap: false,
+            background_mean: 0.0,
+        },
+        &mut rng(4),
+    );
+    let truth = data.truth.total_ion_drift_profile();
+    for method in [
+        Deconvolver::SimplexFast,
+        Deconvolver::Exact,
+        Deconvolver::Weighted { lambda: 1e-8 },
+        Deconvolver::WeightedIdeal { lambda: 1e-8 },
+    ] {
+        let got = method.deconvolve(&schedule, &data).total_ion_drift_profile();
+        let f = fidelity(&got, &truth, 0.01);
+        assert!(
+            f.pearson > 0.995,
+            "{}: pearson {}",
+            method.name(),
+            f.pearson
+        );
+    }
+}
+
+#[test]
+fn oversampled_schedule_requires_weighted_inverse_and_works() {
+    let degree = 6;
+    let factor = 2;
+    let schedule = GateSchedule::oversampled(degree, factor);
+    let bins = schedule.len();
+    let mut inst = Instrument::with_drift_bins(bins);
+    inst.tof.n_bins = 150;
+    let workload = Workload::single_calibrant();
+    let data = acquire(
+        &inst,
+        &workload,
+        &schedule,
+        300,
+        AcquireOptions::default(),
+        &mut rng(5),
+    );
+    let truth = data.truth.total_ion_drift_profile();
+    let got = Deconvolver::Weighted { lambda: 1e-6 }
+        .deconvolve(&schedule, &data)
+        .total_ion_drift_profile();
+    let f = fidelity(&got, &truth, 0.01);
+    assert!(f.pearson > 0.98, "pearson {}", f.pearson);
+}
+
+#[test]
+fn acquisition_is_reproducible_from_seed() {
+    let mut inst = Instrument::with_drift_bins(127);
+    inst.tof.n_bins = 100;
+    let workload = Workload::three_peptide_mix();
+    let schedule = GateSchedule::multiplexed(7);
+    let a = acquire(
+        &inst,
+        &workload,
+        &schedule,
+        10,
+        AcquireOptions::default(),
+        &mut rng(6),
+    );
+    let b = acquire(
+        &inst,
+        &workload,
+        &schedule,
+        10,
+        AcquireOptions::default(),
+        &mut rng(6),
+    );
+    assert_eq!(a.accumulated.data(), b.accumulated.data());
+    assert_eq!(a.effective_kernel, b.effective_kernel);
+}

@@ -1,0 +1,124 @@
+//! Integration: the hybrid (threaded, FPGA-modelled) pipeline computes the
+//! same numbers as the software reference — the central correctness claim
+//! of the paper's architecture — and the design point is feasible on the
+//! target device.
+
+use htims::core::acquisition::{acquire, AcquireOptions, GateSchedule};
+use htims::core::hybrid::{run_hybrid, run_software_reference, FrameGenerator, HybridConfig};
+use htims::fpga::deconv::{Convention, DeconvConfig, DeconvCore};
+use htims::fpga::{AccumulatorCore, DmaLink, FpgaDevice, ResourceReport};
+use htims::physics::{Instrument, Workload};
+use htims::prs::{FastMTransform, MSequence};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn generator(degree: u32, mz_bins: usize, seed: u64) -> (FrameGenerator, MSequence, Instrument) {
+    let n = (1usize << degree) - 1;
+    let mut inst = Instrument::with_drift_bins(n);
+    inst.tof.n_bins = mz_bins;
+    let workload = Workload::three_peptide_mix();
+    let schedule = GateSchedule::multiplexed(degree);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data = acquire(
+        &inst,
+        &workload,
+        &schedule,
+        1,
+        AcquireOptions::default(),
+        &mut rng,
+    );
+    let seq = MSequence::new(degree);
+    (FrameGenerator::new(&data, &inst.adc, seed), seq, inst)
+}
+
+#[test]
+fn hybrid_pipeline_is_bit_exact_across_channel_depths() {
+    let (gen, seq, _) = generator(7, 60, 11);
+    let reference = run_software_reference(&gen, &seq, 24, DeconvConfig::default());
+    for depth in [1usize, 2, 8] {
+        let cfg = HybridConfig {
+            frames: 24,
+            channel_depth: depth,
+            ..Default::default()
+        };
+        let hybrid = run_hybrid(&gen, &seq, &cfg);
+        assert_eq!(
+            hybrid.deconvolved_raw, reference,
+            "channel depth {depth} changed the result"
+        );
+    }
+}
+
+#[test]
+fn fpga_fixed_point_matches_float_within_one_ulp() {
+    let (gen, seq, _) = generator(8, 40, 12);
+    let mut acc = AccumulatorCore::new(gen.drift_bins(), gen.mz_bins(), 32);
+    for f in 0..16 {
+        acc.capture_frame(&gen.frame(f)).unwrap();
+    }
+    let block = acc.drain();
+    let core = DeconvCore::new(
+        &seq,
+        DeconvConfig {
+            convention: Convention::Convolution,
+            ..Default::default()
+        },
+    );
+    let transform = FastMTransform::new(&seq);
+    let n = seq.len();
+    let mz = gen.mz_bins();
+    let ulp = (2.0f64).powi(-16);
+    for col in 0..mz {
+        let column: Vec<u64> = (0..n).map(|d| block[d * mz + col]).collect();
+        let column_f: Vec<f64> = column.iter().map(|&v| v as f64).collect();
+        let fixed = core.to_f64(&core.deconvolve_column(&column));
+        let float = transform.deconvolve_convolution(&column_f);
+        for (d, (a, b)) in fixed.iter().zip(float.iter()).enumerate() {
+            assert!(
+                (a - b).abs() <= ulp,
+                "col {col} bin {d}: fixed {a} vs float {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn canonical_design_point_is_viable_on_the_xd1() {
+    let seq = MSequence::new(9);
+    let acc = AccumulatorCore::new(511, 100, 32);
+    let deconv = DeconvCore::new(&seq, DeconvConfig::default());
+    let report = ResourceReport::evaluate(
+        &FpgaDevice::xc2vp50(),
+        &acc,
+        &deconv,
+        &DmaLink::rapidarray(),
+        50,
+        0.02,
+    );
+    assert!(report.viable(), "report: {report:?}");
+    assert!(report.realtime_margin > 1.0);
+}
+
+#[test]
+fn link_budget_detects_overload() {
+    // Streaming raw (unaccumulated) extraction-rate data must overload the
+    // link — the architectural justification for on-chip accumulation.
+    let link = DmaLink::pci_x();
+    let frame_bytes = 511 * 2000 * 4;
+    assert!(!link.can_sustain(frame_bytes, 1000.0));
+    assert!(link.can_sustain(frame_bytes, 10.0));
+}
+
+#[test]
+fn hybrid_cycle_accounting_matches_model() {
+    let (gen, seq, _) = generator(6, 30, 13);
+    let cfg = HybridConfig {
+        frames: 10,
+        ..Default::default()
+    };
+    let hybrid = run_hybrid(&gen, &seq, &cfg);
+    let acc = AccumulatorCore::new(gen.drift_bins(), gen.mz_bins(), 32);
+    assert_eq!(hybrid.capture_cycles, acc.cycles_per_frame() * 10);
+    let deconv = DeconvCore::new(&seq, cfg.deconv);
+    assert_eq!(hybrid.deconv_cycles, deconv.cycles_per_block(gen.mz_bins()));
+}
