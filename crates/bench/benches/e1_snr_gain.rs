@@ -31,24 +31,20 @@ fn bench_pipeline(c: &mut Criterion) {
                 Deconvolver::SimplexFast,
             ),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &schedule,
-                |b, schedule| {
-                    b.iter(|| {
-                        let mut rng = ChaCha8Rng::seed_from_u64(1);
-                        let data = acquire(
-                            &inst,
-                            &workload,
-                            schedule,
-                            10,
-                            AcquireOptions::default(),
-                            &mut rng,
-                        );
-                        black_box(method.deconvolve(schedule, &data))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &schedule, |b, schedule| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(1);
+                    let data = acquire(
+                        &inst,
+                        &workload,
+                        schedule,
+                        10,
+                        AcquireOptions::default(),
+                        &mut rng,
+                    );
+                    black_box(method.deconvolve(schedule, &data))
+                })
+            });
         }
     }
     group.finish();

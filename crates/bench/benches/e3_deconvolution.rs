@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use htims_core::acquisition::{acquire, AcquireOptions, GateSchedule};
 use htims_core::deconvolution::Deconvolver;
+use htims_core::hybrid::{run_hybrid, FrameGenerator, HybridConfig};
 use ims_fpga::deconv::{DeconvConfig, DeconvCore};
 use ims_physics::{Instrument, Workload};
 use ims_prs::MSequence;
@@ -57,6 +58,17 @@ fn bench_block(c: &mut Criterion) {
             let mut core = DeconvCore::new(&seq, DeconvConfig::default());
             black_box(core.deconvolve_block(&block, mz_bins))
         })
+    });
+
+    // The whole unified pipeline graph, end to end (threaded executor):
+    // source → link → accumulate → deconvolve over a small batch.
+    let gen = FrameGenerator::new(&data, &inst.adc, 3);
+    let cfg = HybridConfig {
+        frames: 2,
+        ..Default::default()
+    };
+    group.bench_function("unified_pipeline_threaded", |b| {
+        b.iter(|| black_box(run_hybrid(&gen, &seq, &cfg)))
     });
     group.finish();
 }

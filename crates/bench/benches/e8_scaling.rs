@@ -1,10 +1,12 @@
-//! E8 bench: thread scaling of the parallel software deconvolution.
+//! E8 bench: thread scaling of the software deconvolution backend, driven
+//! through the unified pipeline graph.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use htims_core::acquisition::{acquire, AcquireOptions, GateSchedule};
-use htims_core::deconvolution::Deconvolver;
-use htims_core::parallel::deconvolve_with_threads;
+use htims_core::hybrid::{run_hybrid_with_backend, FrameGenerator, HybridConfig};
+use htims_core::pipeline::DeconvBackend;
 use ims_physics::{Instrument, Workload};
+use ims_prs::MSequence;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -25,7 +27,12 @@ fn bench_scaling(c: &mut Criterion) {
         AcquireOptions::default(),
         &mut rng,
     );
-    let method = Deconvolver::Weighted { lambda: 1e-6 };
+    let seq = MSequence::new(degree);
+    let gen = FrameGenerator::new(&data, &inst.adc, 8);
+    let cfg = HybridConfig {
+        frames: 2,
+        ..Default::default()
+    };
 
     let max = std::thread::available_parallelism()
         .map(|v| v.get())
@@ -37,7 +44,14 @@ fn bench_scaling(c: &mut Criterion) {
     let mut threads = 1usize;
     while threads <= max {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| black_box(deconvolve_with_threads(&method, &schedule, &data, t)))
+            b.iter(|| {
+                black_box(run_hybrid_with_backend(
+                    &gen,
+                    &seq,
+                    &cfg,
+                    DeconvBackend::software(&seq, cfg.deconv, t),
+                ))
+            })
         });
         threads *= 2;
     }

@@ -51,20 +51,14 @@ pub fn run(quick: bool) -> Table {
         for _ in 0..extractions {
             adc_total += adc.digitize(&mut rng, &[flux])[0];
         }
-        let adc_norm = (adc_total / extractions as f64 - baseline)
-            / adc.expected_response(flux);
+        let adc_norm = (adc_total / extractions as f64 - baseline) / adc.expected_response(flux);
 
         let tdc_counts = tdc.digitize(&mut rng, &[flux], extractions)[0];
         // Normalised to the no-dead-time expectation η·λ·extractions.
         let tdc_ideal = tdc.efficiency * flux * extractions as f64;
         let tdc_norm = tdc_counts / tdc_ideal;
 
-        table.row(vec![
-            f(flux),
-            f(adc_norm),
-            f(tdc_norm),
-            f(1.0 - tdc_norm),
-        ]);
+        table.row(vec![f(flux), f(adc_norm), f(tdc_norm), f(1.0 - tdc_norm)]);
     }
     table.note("responses normalised to the ideal linear detector (1.0 = linear)");
     table.note("shape target: ADC ≈1.0 throughout; TDC rolls off above ~0.5 ions/bin/extraction");

@@ -53,7 +53,14 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E13",
         "Multiplexed CID: identification by precursor-fragment drift correlation",
-        &["setting", "targets ID'd", "decoys ID'd", "FDR", "mean frags", "mean corr"],
+        &[
+            "setting",
+            "targets ID'd",
+            "decoys ID'd",
+            "FDR",
+            "mean frags",
+            "mean corr",
+        ],
     );
 
     for (name, cfg) in [
@@ -65,10 +72,7 @@ pub fn run(quick: bool) -> Table {
                 ..MsMsSearch::default()
             },
         ),
-        (
-            "correlation ≥0.8, ≥4 fragments",
-            MsMsSearch::default(),
-        ),
+        ("correlation ≥0.8, ≥4 fragments", MsMsSearch::default()),
         (
             "no correlation gate (mass-only)",
             MsMsSearch {
@@ -85,8 +89,8 @@ pub fn run(quick: bool) -> Table {
             .map(|m| m.fragments_matched as f64)
             .sum::<f64>()
             / targets.len().max(1) as f64;
-        let mean_corr = targets.iter().map(|m| m.mean_correlation).sum::<f64>()
-            / targets.len().max(1) as f64;
+        let mean_corr =
+            targets.iter().map(|m| m.mean_correlation).sum::<f64>() / targets.len().max(1) as f64;
         table.row(vec![
             name.to_string(),
             format!("{}/{}", targets.len(), n_peptides),

@@ -63,14 +63,7 @@ pub fn run(quick: bool) -> Table {
     };
     let mut rng = common::rng(1400);
     let lc = run_lcms(
-        &inst,
-        &sample,
-        &gradient,
-        &schedule,
-        &method,
-        &lc_cfg,
-        options,
-        &mut rng,
+        &inst, &sample, &gradient, &schedule, &method, &lc_cfg, options, &mut rng,
     );
     let mut rng = common::rng(1401);
     let infusion = run_infusion(
@@ -119,7 +112,11 @@ pub fn run(quick: bool) -> Table {
     table.row(vec![
         "direct infusion IMS-MS".into(),
         format!("{}/{}", infusion.unique_count(), n_species),
-        format!("{}/{}", count_weak(&infusion.unique_species), weak_names.len()),
+        format!(
+            "{}/{}",
+            count_weak(&infusion.unique_species),
+            weak_names.len()
+        ),
         infusion.total_features.to_string(),
         f(ims_capacity),
     ]);

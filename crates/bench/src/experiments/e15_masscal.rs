@@ -11,8 +11,7 @@ use crate::table::{f, Table};
 use htims_core::acquisition::GateSchedule;
 use htims_core::analysis::find_features;
 use htims_core::calibration::{
-    average_replicates, collect_measurements, rms_error_ppm, MassMeasurement,
-    MassRecalibration,
+    average_replicates, collect_measurements, rms_error_ppm, MassMeasurement, MassRecalibration,
 };
 use htims_core::deconvolution::Deconvolver;
 use ims_physics::tof::MassError;
@@ -45,11 +44,12 @@ pub fn run(quick: bool) -> Table {
     // Replicate acquisitions → calibrant measurement sets.
     let mut runs = Vec::new();
     for r in 0..replicates {
-        let data =
-            common::acquire_with(&inst, &workload, &schedule, frames, true, 0.02, 1500 + r);
+        let data = common::acquire_with(&inst, &workload, &schedule, frames, true, 0.02, 1500 + r);
         let map = method.deconvolve(&schedule, &data);
         let features = find_features(&map, 10.0);
-        runs.push(collect_measurements(&inst, &workload, &map, &features, 3, 10, 8));
+        runs.push(collect_measurements(
+            &inst, &workload, &map, &features, 3, 10, 8,
+        ));
     }
     let first = &runs[0];
 
@@ -68,8 +68,7 @@ pub fn run(quick: bool) -> Table {
 
     // Robust regression: contaminated/mismatched calibrants are trimmed
     // the way the paper restricts itself to confident identifications.
-    let (cal, mask) =
-        MassRecalibration::fit_robust(first, 3.0, 4).expect("enough calibrants");
+    let (cal, mask) = MassRecalibration::fit_robust(first, 3.0, 4).expect("enough calibrants");
     let inliers: Vec<MassMeasurement> = first
         .iter()
         .zip(mask.iter())
@@ -79,7 +78,11 @@ pub fn run(quick: bool) -> Table {
     let cal_rms = rms_error_ppm(&inliers, Some(&cal));
     table.row(vec![
         "after robust regression".into(),
-        format!("{} ({} trimmed)", inliers.len(), first.len() - inliers.len()),
+        format!(
+            "{} ({} trimmed)",
+            inliers.len(),
+            first.len() - inliers.len()
+        ),
         f(cal_rms),
         format!("{}x", f(raw_rms / cal_rms)),
     ]);

@@ -40,7 +40,12 @@ pub fn run(quick: bool) -> Table {
         peptides: peptides
             .iter()
             .enumerate()
-            .map(|(i, p)| (p.clone(), 10.0f64.powf(-2.0 * i as f64 / peptides.len() as f64)))
+            .map(|(i, p)| {
+                (
+                    p.clone(),
+                    10.0f64.powf(-2.0 * i as f64 / peptides.len() as f64),
+                )
+            })
             .collect(),
     };
     let inst = common::instrument(n, 800, 0.1);
@@ -114,16 +119,7 @@ pub fn run(quick: bool) -> Table {
     for (name, cfg) in cases {
         let mut rng = common::rng(1600);
         let series = run_series(
-            &inst,
-            &sample,
-            &gradient,
-            &schedule,
-            &method,
-            lc_steps,
-            frames,
-            &cfg,
-            n_runs,
-            &mut rng,
+            &inst, &sample, &gradient, &schedule, &method, lc_steps, frames, &cfg, n_runs, &mut rng,
         );
         let mut row = vec![name.to_string()];
         for r in 0..4 {

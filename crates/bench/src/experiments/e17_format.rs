@@ -41,7 +41,13 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E17",
         "Storage formats for one accumulated block (text vs dense vs sparse binary)",
-        &["format", "size (KiB)", "vs JSON", "encode (ms)", "decode (ms)"],
+        &[
+            "format",
+            "size (KiB)",
+            "vs JSON",
+            "encode (ms)",
+            "decode (ms)",
+        ],
     );
     table.note(format!(
         "block {} x {} cells, {:.1}% occupied",

@@ -36,12 +36,28 @@ pub fn run(quick: bool) -> Table {
             .expect("calibrant in library");
 
         let sa_schedule = GateSchedule::signal_averaging(n);
-        let sa = common::acquire_with(&inst, &workload, &sa_schedule, frames, false, 0.05, 100 + i as u64);
+        let sa = common::acquire_with(
+            &inst,
+            &workload,
+            &sa_schedule,
+            frames,
+            false,
+            0.05,
+            100 + i as u64,
+        );
         let sa_map = Deconvolver::Identity.deconvolve(&sa_schedule, &sa);
         let snr_sa = species_snr(&sa_map, target.0, target.1, 3);
 
         let mp_schedule = GateSchedule::multiplexed(degree);
-        let mp = common::acquire_with(&inst, &workload, &mp_schedule, frames, false, 0.05, 200 + i as u64);
+        let mp = common::acquire_with(
+            &inst,
+            &workload,
+            &mp_schedule,
+            frames,
+            false,
+            0.05,
+            200 + i as u64,
+        );
         let mp_map = Deconvolver::SimplexFast.deconvolve(&mp_schedule, &mp);
         let snr_mp = species_snr(&mp_map, target.0, target.1, 3);
 

@@ -45,8 +45,15 @@ pub fn run(quick: bool) -> Table {
         let schedule = GateSchedule::multiplexed(degree);
         // Trap off: isolates the gate-defect contribution (the trap's
         // gap-dependent release adds its own kernel mismatch — see E5).
-        let data =
-            common::acquire_with(&inst, &workload, &schedule, frames, false, 0.0, 300 + i as u64);
+        let data = common::acquire_with(
+            &inst,
+            &workload,
+            &schedule,
+            frames,
+            false,
+            0.0,
+            300 + i as u64,
+        );
         let truth = data.truth.total_ion_drift_profile();
 
         let simplex = Deconvolver::SimplexFast

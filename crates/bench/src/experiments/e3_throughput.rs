@@ -6,13 +6,19 @@
 //! indefinitely. Shape target: the modelled FPGA sustains real time with
 //! margin; single-core software is marginal; multi-core software recovers
 //! the margin (this is the XD1 story — the FPGA earns its keep).
+//!
+//! Every row drives the *same* unified pipeline graph (source → link →
+//! accumulate → deconvolve), swapping only the deconvolution backend: the
+//! rayon software path timed from the deconvolve stage's busy time in the
+//! `PipelineReport`, and the FPGA FWHT core timed from its modelled cycle
+//! count at each device clock.
 
 use super::common;
 use crate::table::{f, Table};
 use htims_core::acquisition::GateSchedule;
-use htims_core::deconvolution::Deconvolver;
-use htims_core::parallel::deconvolve_with_threads;
-use ims_fpga::deconv::{DeconvConfig, DeconvCore};
+use htims_core::hybrid::{run_hybrid_with_backend, FrameGenerator, HybridConfig};
+use htims_core::pipeline::DeconvBackend;
+use ims_fpga::deconv::DeconvConfig;
 use ims_fpga::FpgaDevice;
 use ims_physics::Workload;
 use ims_prs::MSequence;
@@ -28,6 +34,8 @@ pub fn run(quick: bool) -> Table {
     let workload = Workload::three_peptide_mix();
     let schedule = GateSchedule::multiplexed(degree);
     let data = common::acquire_with(&inst, &workload, &schedule, frames, true, 0.02, 31);
+    let seq = MSequence::new(degree);
+    let gen = FrameGenerator::new(&data, &inst.adc, 31);
 
     // The block budget: the accumulated block spans `frames` IMS frames.
     let block_period_s = frames as f64 * inst.frame_duration_s();
@@ -38,52 +46,66 @@ pub fn run(quick: bool) -> Table {
         &["engine", "time/block (ms)", "blocks/s", "real-time margin"],
     );
     table.note(format!(
-        "block = {} drift x {} m/z bins; acquisition period {:.1} ms",
+        "block = {} drift x {} m/z bins; acquisition period {:.1} ms; \
+         all rows run the unified pipeline graph",
         n,
         mz_bins,
         block_period_s * 1e3
     ));
 
-    // Software, 1 thread and all cores (deduplicated on 1-core machines).
-    let method = Deconvolver::SimplexFast;
+    let cfg = HybridConfig {
+        frames,
+        ..Default::default()
+    };
+
+    // Software rows: the pipeline with the rayon backend; time per block is
+    // the deconvolve stage's busy time from the instrumented report.
     let mut counts = vec![1usize];
     if num_threads() > 1 {
         counts.push(num_threads());
     }
     for threads in counts {
-        let (_, secs) = deconvolve_with_threads(&method, &schedule, &data, threads);
+        let result = run_hybrid_with_backend(
+            &gen,
+            &seq,
+            &cfg,
+            DeconvBackend::software(&seq, cfg.deconv, threads),
+        );
+        let secs = result
+            .report
+            .stage("deconvolve")
+            .expect("deconvolve stage")
+            .busy_seconds;
         table.row(vec![
-            format!("software simplex-fast ({threads} thr)"),
+            format!("software fixed-point ({threads} thr)"),
             f(secs * 1e3),
             f(1.0 / secs),
             f(block_period_s / secs),
         ]);
     }
-    let weighted = Deconvolver::Weighted { lambda: 1e-6 };
-    let (_, secs) = deconvolve_with_threads(&weighted, &schedule, &data, num_threads());
-    table.row(vec![
-        format!("software weighted-FFT ({} thr)", num_threads()),
-        f(secs * 1e3),
-        f(1.0 / secs),
-        f(block_period_s / secs),
-    ]);
 
-    // FPGA model at two device clocks / parallelism points.
-    let seq = MSequence::new(degree);
+    // FPGA rows: the same pipeline with the FWHT core; time per block from
+    // the modelled cycle count at each device clock.
     for (device, cols, bfs) in [
         (FpgaDevice::xc2vp50(), 4usize, 4usize),
         (FpgaDevice::xc4vlx160(), 8, 8),
     ] {
-        let core = DeconvCore::new(
-            &seq,
-            DeconvConfig {
+        let fpga_cfg = HybridConfig {
+            frames,
+            deconv: DeconvConfig {
                 parallel_columns: cols,
                 butterflies_per_column: bfs,
                 ..Default::default()
             },
+            ..Default::default()
+        };
+        let result = run_hybrid_with_backend(
+            &gen,
+            &seq,
+            &fpga_cfg,
+            DeconvBackend::fpga(&seq, fpga_cfg.deconv),
         );
-        let cycles = core.cycles_per_block(mz_bins);
-        let secs = cycles as f64 / device.clock_hz;
+        let secs = result.deconv_cycles as f64 / device.clock_hz;
         table.row(vec![
             format!("FPGA model {} ({cols}col x {bfs}bf)", device.name),
             f(secs * 1e3),

@@ -117,7 +117,9 @@ pub fn run(quick: bool) -> Table {
             report.viable().to_string(),
         ]);
     }
-    table.note("shape target: ≤~200 m/z bins fits the XD1 FPGA; 2000 bins needs host-side processing");
+    table.note(
+        "shape target: ≤~200 m/z bins fits the XD1 FPGA; 2000 bins needs host-side processing",
+    );
     table.note("the binned rows take the full-resolution stream and fold it on chip — the deployable design");
     table
 }

@@ -51,8 +51,15 @@ pub fn run(quick: bool) -> Table {
     for (i, (name, schedule, use_trap)) in modes.into_iter().enumerate() {
         let bins = schedule.len();
         let inst = common::instrument(bins, mz_bins, 0.1);
-        let data =
-            common::acquire_with(&inst, &workload, &schedule, frames, use_trap, 0.0, 500 + i as u64);
+        let data = common::acquire_with(
+            &inst,
+            &workload,
+            &schedule,
+            frames,
+            use_trap,
+            0.0,
+            500 + i as u64,
+        );
         let openings = data
             .schedule_bits
             .iter()

@@ -70,9 +70,7 @@ pub fn run(quick: bool) -> Table {
         let blank_run = common::acquire_with(&inst, &matrix, schedule, frames, trap, 0.05, seed);
         let mut blank = run.clone();
         blank.accumulated = blank_run.expected.clone();
-        blank
-            .accumulated
-            .scale(frames as f64 * run.adc_gain);
+        blank.accumulated.scale(frames as f64 * run.adc_gain);
         (
             method.deconvolve(schedule, &run),
             method.deconvolve(schedule, &blank),
@@ -81,8 +79,12 @@ pub fn run(quick: bool) -> Table {
     let sa_schedule = GateSchedule::signal_averaging(n);
     let (sa_map, sa_bg) = process(&sa_schedule, &Deconvolver::Identity, false, 600);
     let mp_schedule = GateSchedule::multiplexed(degree);
-    let (mp_map, mp_bg) =
-        process(&mp_schedule, &Deconvolver::Weighted { lambda: 1e-6 }, true, 610);
+    let (mp_map, mp_bg) = process(
+        &mp_schedule,
+        &Deconvolver::Weighted { lambda: 1e-6 },
+        true,
+        610,
+    );
 
     let mut conc = Vec::new();
     let mut resp_mp_series = Vec::new();
@@ -100,11 +102,7 @@ pub fn run(quick: bool) -> Table {
             let hi_mz = (entry.mz_bin + 1).min(map.mz_bins() - 1);
             let raw = map.drift_profile(lo_mz, hi_mz);
             let base = bg.drift_profile(lo_mz, hi_mz);
-            let profile: Vec<f64> = raw
-                .iter()
-                .zip(base.iter())
-                .map(|(a, b)| a - b)
-                .collect();
+            let profile: Vec<f64> = raw.iter().zip(base.iter()).map(|(a, b)| a - b).collect();
             // Peak height: max within ±2 drift bins of the prediction,
             // above the local baseline (median of the window's trace).
             let lo = entry.drift_bin.saturating_sub(2);
@@ -146,6 +144,8 @@ pub fn run(quick: bool) -> Table {
             f(loglog_slope(&conc, &resp_mp_series))
         ));
     }
-    table.note("shape target: MP detects ≥1 decade lower spikes than SA; ≥3 orders near-linear range");
+    table.note(
+        "shape target: MP detects ≥1 decade lower spikes than SA; ≥3 orders near-linear range",
+    );
     table
 }

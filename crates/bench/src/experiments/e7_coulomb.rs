@@ -21,7 +21,12 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E7",
         "IMS resolving power vs packet charge (space-charge degradation)",
-        &["packet charge (e)", "R (model)", "R (measured peak)", "R/R_diff"],
+        &[
+            "packet charge (e)",
+            "R (model)",
+            "R (measured peak)",
+            "R/R_diff",
+        ],
     );
 
     // High-resolution arrival histogram so the measured FWHM is reliable.
@@ -40,12 +45,7 @@ pub fn run(quick: bool) -> Table {
             .first()
             .map(|p| p.centroid / p.fwhm)
             .unwrap_or(f64::NAN);
-        table.row(vec![
-            f(q),
-            f(model_r),
-            f(measured_r),
-            f(model_r / r_diff),
-        ]);
+        table.row(vec![f(q), f(model_r), f(measured_r), f(model_r / r_diff)]);
     }
     table.note(format!("diffusion-limited R = {}", f(r_diff)));
     table.note("shape target: flat below 10^4 e, noticeable loss above 10^5 e");

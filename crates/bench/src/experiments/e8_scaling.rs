@@ -3,25 +3,39 @@
 //! The stand-in for the XD1's multi-Opteron software component: m/z
 //! columns are embarrassingly parallel, so deconvolution should scale
 //! nearly linearly until the memory system saturates.
+//!
+//! Each row runs the unified pipeline graph with the rayon software
+//! backend pinned to a thread count; the per-block time is the deconvolve
+//! stage's busy time from the instrumented `PipelineReport` (frame
+//! generation and capture are metered separately, so they do not pollute
+//! the scaling numbers).
 
 use super::common;
 use crate::table::{f, Table};
 use htims_core::acquisition::GateSchedule;
-use htims_core::deconvolution::Deconvolver;
-use htims_core::parallel::deconvolve_with_threads;
+use htims_core::hybrid::{run_hybrid_with_backend, FrameGenerator, HybridConfig};
+use htims_core::pipeline::DeconvBackend;
 use ims_physics::Workload;
+use ims_prs::MSequence;
 
 /// Runs E8.
 pub fn run(quick: bool) -> Table {
     let degree = 9;
     let n = (1usize << degree) - 1;
     let mz_bins = if quick { 300 } else { 2000 };
-    let frames = 5;
+    let frames = 5u64;
+    let repeats = if quick { 1 } else { 3 };
 
     let inst = common::instrument(n, mz_bins, 0.1);
     let workload = Workload::three_peptide_mix();
     let schedule = GateSchedule::multiplexed(degree);
     let data = common::acquire_with(&inst, &workload, &schedule, frames, true, 0.02, 800);
+    let seq = MSequence::new(degree);
+    let gen = FrameGenerator::new(&data, &inst.adc, 800);
+    let cfg = HybridConfig {
+        frames,
+        ..Default::default()
+    };
 
     let max_threads = std::thread::available_parallelism()
         .map(|v| v.get())
@@ -40,17 +54,31 @@ pub fn run(quick: bool) -> Table {
 
     let mut table = Table::new(
         "E8",
-        "Software deconvolution scaling (weighted FFT inverse, 511 x m/z block)",
+        "Software deconvolution scaling (fixed-point column kernel, 511 x m/z block)",
         &["threads", "time (ms)", "speedup", "efficiency"],
     );
-    table.note(format!("block = {n} x {mz_bins}; machine has {max_threads} hardware threads"));
+    table.note(format!(
+        "block = {n} x {mz_bins}; machine has {max_threads} hardware threads; \
+         rows run the unified pipeline graph with the rayon backend"
+    ));
 
-    let method = Deconvolver::Weighted { lambda: 1e-6 };
     let mut t1 = None;
     for &threads in &counts {
-        // Best of 3 to tame scheduler noise.
-        let secs = (0..3)
-            .map(|_| deconvolve_with_threads(&method, &schedule, &data, threads).1)
+        // Best of `repeats` to tame scheduler noise.
+        let secs = (0..repeats)
+            .map(|_| {
+                let result = run_hybrid_with_backend(
+                    &gen,
+                    &seq,
+                    &cfg,
+                    DeconvBackend::software(&seq, cfg.deconv, threads),
+                );
+                result
+                    .report
+                    .stage("deconvolve")
+                    .expect("deconvolve stage")
+                    .busy_seconds
+            })
             .fold(f64::INFINITY, f64::min);
         let base = *t1.get_or_insert(secs);
         let speedup = base / secs;

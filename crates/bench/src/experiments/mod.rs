@@ -1,14 +1,5 @@
 //! The evaluation experiments (see EXPERIMENTS.md for the index).
 
-pub mod e1_snr_gain;
-pub mod e2_fidelity;
-pub mod e3_throughput;
-pub mod e4_resources;
-pub mod e5_utilization;
-pub mod e6_dynamic_range;
-pub mod e7_coulomb;
-pub mod e8_scaling;
-pub mod e9_agc;
 pub mod e10_detectors;
 pub mod e11_ablation;
 pub mod e12_dynamic;
@@ -18,6 +9,15 @@ pub mod e15_masscal;
 pub mod e16_dda;
 pub mod e17_format;
 pub mod e18_variants;
+pub mod e1_snr_gain;
+pub mod e2_fidelity;
+pub mod e3_throughput;
+pub mod e4_resources;
+pub mod e5_utilization;
+pub mod e6_dynamic_range;
+pub mod e7_coulomb;
+pub mod e8_scaling;
+pub mod e9_agc;
 mod smoke_tests;
 
 use crate::table::Table;
@@ -50,8 +50,8 @@ pub fn run(id: &str, quick: bool) -> Option<Table> {
 
 /// All experiment ids in order.
 pub const ALL: [&str; 18] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17", "e18",
 ];
 
 pub(crate) mod common {

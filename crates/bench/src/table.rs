@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(f(0.0), "0");
-        assert_eq!(f(3.14159), "3.142");
+        assert_eq!(f(1.23456), "1.235");
         assert!(f(12345.0).contains('e'));
         assert!(f(0.0001).contains('e'));
     }

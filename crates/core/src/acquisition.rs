@@ -99,11 +99,9 @@ impl GateSchedule {
         match self {
             GateSchedule::SignalAveraging { .. } => "signal-averaging".into(),
             GateSchedule::Multiplexed { seq } => format!("multiplexed-n{}", seq.degree()),
-            GateSchedule::Oversampled { oseq } => format!(
-                "oversampled-n{}-m{}",
-                oseq.base().degree(),
-                oseq.factor()
-            ),
+            GateSchedule::Oversampled { oseq } => {
+                format!("oversampled-n{}-m{}", oseq.base().degree(), oseq.factor())
+            }
         }
     }
 
@@ -325,10 +323,7 @@ pub fn acquire_components(
             continue;
         }
         // Ions released from fine bin k per frame for this component.
-        let release: Vec<f64> = effective_kernel
-            .iter()
-            .map(|&h| h * rate * bin_s)
-            .collect();
+        let release: Vec<f64> = effective_kernel.iter().map(|&h| h * rate * bin_s).collect();
         let drift_signal = circular_convolve_fft(&release, &arrival);
         expected.add_outer_sparse(&drift_signal, &mz_sparse, 1.0);
         truth.add_outer_sparse(&arrival, &mz_sparse, rate * bin_s);
@@ -416,8 +411,16 @@ mod tests {
         // ~64/1 opening ratio, less gate rise-time losses.
         let gain = mp.expected.total() / sa.expected.total();
         assert!(gain > 30.0, "ion gain {gain}");
-        assert!(mp.ion_utilization > 0.2, "MP utilization {}", mp.ion_utilization);
-        assert!(sa.ion_utilization < 0.02, "SA utilization {}", sa.ion_utilization);
+        assert!(
+            mp.ion_utilization > 0.2,
+            "MP utilization {}",
+            mp.ion_utilization
+        );
+        assert!(
+            sa.ion_utilization < 0.02,
+            "SA utilization {}",
+            sa.ion_utilization
+        );
     }
 
     #[test]

@@ -87,7 +87,11 @@ pub fn find_features(map: &DriftTofMap, k_sigma: f64) -> Vec<Feature> {
             }
         }
     }
-    features.sort_by(|a, b| b.intensity.partial_cmp(&a.intensity).expect("NaN intensity"));
+    features.sort_by(|a, b| {
+        b.intensity
+            .partial_cmp(&a.intensity)
+            .expect("NaN intensity")
+    });
     features
 }
 
@@ -225,7 +229,11 @@ mod tests {
         let features = find_features(&map, 3.0);
         assert_eq!(features.len(), 1);
         let f = features[0];
-        assert!(f.mz_centroid > 10.05 && f.mz_centroid < 10.5, "mz {}", f.mz_centroid);
+        assert!(
+            f.mz_centroid > 10.05 && f.mz_centroid < 10.5,
+            "mz {}",
+            f.mz_centroid
+        );
         assert!(
             f.drift_centroid > 10.05 && f.drift_centroid < 10.5,
             "drift {}",

@@ -59,7 +59,9 @@ pub fn collect_measurements(
         if drift_bin >= instrument.drift_bins {
             continue;
         }
-        let Some(mz_bin) = instrument.tof.bin_of(instrument.tof.mass_error.distort(sp.mz()))
+        let Some(mz_bin) = instrument
+            .tof
+            .bin_of(instrument.tof.mass_error.distort(sp.mz()))
         else {
             continue;
         };
@@ -67,8 +69,7 @@ pub fn collect_measurements(
         let best = features
             .iter()
             .filter(|f| {
-                f.drift_bin.abs_diff(drift_bin) <= drift_tol
-                    && f.mz_bin.abs_diff(mz_bin) <= mz_tol
+                f.drift_bin.abs_diff(drift_bin) <= drift_tol && f.mz_bin.abs_diff(mz_bin) <= mz_tol
             })
             .max_by(|a, b| a.intensity.partial_cmp(&b.intensity).expect("finite"));
         if let Some(f) = best {
@@ -257,11 +258,17 @@ pub fn average_replicates(
 mod tests {
     use super::*;
 
-    fn synthetic_measurements(offset: f64, slope: f64, noise: f64, n: usize) -> Vec<MassMeasurement> {
+    fn synthetic_measurements(
+        offset: f64,
+        slope: f64,
+        noise: f64,
+        n: usize,
+    ) -> Vec<MassMeasurement> {
         (0..n)
             .map(|i| {
                 let true_mz = 300.0 + 1700.0 * i as f64 / n as f64;
-                let ppm = offset + slope * (true_mz - 1000.0) / 1000.0
+                let ppm = offset
+                    + slope * (true_mz - 1000.0) / 1000.0
                     + noise * ((i * 37 % 11) as f64 - 5.0) / 5.0;
                 MassMeasurement {
                     true_mz,
@@ -276,8 +283,16 @@ mod tests {
     fn fit_recovers_injected_model_exactly_without_noise() {
         let ms = synthetic_measurements(250.0, -120.0, 0.0, 40);
         let cal = MassRecalibration::fit(&ms).unwrap();
-        assert!((cal.offset_ppm - 250.0).abs() < 0.5, "offset {}", cal.offset_ppm);
-        assert!((cal.slope_ppm + 120.0).abs() < 1.0, "slope {}", cal.slope_ppm);
+        assert!(
+            (cal.offset_ppm - 250.0).abs() < 0.5,
+            "offset {}",
+            cal.offset_ppm
+        );
+        assert!(
+            (cal.slope_ppm + 120.0).abs() < 1.0,
+            "slope {}",
+            cal.slope_ppm
+        );
         assert!(rms_error_ppm(&ms, Some(&cal)) < 0.1);
     }
 

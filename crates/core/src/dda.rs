@@ -332,8 +332,16 @@ mod tests {
         let method = Deconvolver::SimplexFast;
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let series = run_series(
-            &inst, &sample, &gradient, &schedule, &method, 8, 5,
-            &DdaConfig::default(), 3, &mut rng,
+            &inst,
+            &sample,
+            &gradient,
+            &schedule,
+            &method,
+            8,
+            5,
+            &DdaConfig::default(),
+            3,
+            &mut rng,
         );
         assert_eq!(series.cumulative_unique.len(), 3);
         for w in series.cumulative_unique.windows(2) {

@@ -115,10 +115,7 @@ fn scale_lambda(relative: f64, kernel: &[f64]) -> f64 {
 }
 
 /// Applies a column solver to every m/z column of a drift-major map.
-pub fn apply_columnwise(
-    map: &DriftTofMap,
-    solver: impl Fn(&[f64]) -> Vec<f64>,
-) -> DriftTofMap {
+pub fn apply_columnwise(map: &DriftTofMap, solver: impl Fn(&[f64]) -> Vec<f64>) -> DriftTofMap {
     let drift = map.drift_bins();
     let mz = map.mz_bins();
     let mut out = DriftTofMap::zeros(drift, mz);
@@ -232,6 +229,8 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(Deconvolver::Identity.name(), "identity");
         assert_eq!(Deconvolver::SimplexFast.name(), "simplex-fast");
-        assert!(Deconvolver::Weighted { lambda: 1e-4 }.name().contains("weighted"));
+        assert!(Deconvolver::Weighted { lambda: 1e-4 }
+            .name()
+            .contains("weighted"));
     }
 }

@@ -224,7 +224,12 @@ mod tests {
         let method = Deconvolver::SimplexFast;
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let static_blocks = run_blocks(
-            &inst, &workload, &schedule, &method, monitor, &profile,
+            &inst,
+            &workload,
+            &schedule,
+            &method,
+            monitor,
+            &profile,
             GainControl::Static { frames: 12 },
             &mut rng,
         );
@@ -232,7 +237,12 @@ mod tests {
         // Target the dose a nominal-source block of 12 frames collects.
         let nominal = inst.landed_rate(&workload) * inst.frame_duration_s() * 12.0;
         let dynamic_blocks = run_blocks(
-            &inst, &workload, &schedule, &method, monitor, &profile,
+            &inst,
+            &workload,
+            &schedule,
+            &method,
+            monitor,
+            &profile,
             GainControl::Dynamic {
                 target_ions: nominal,
                 min_frames: 2,
@@ -240,9 +250,8 @@ mod tests {
             },
             &mut rng,
         );
-        let min_snr = |blocks: &[BlockResult]| {
-            blocks.iter().map(|b| b.snr).fold(f64::INFINITY, f64::min)
-        };
+        let min_snr =
+            |blocks: &[BlockResult]| blocks.iter().map(|b| b.snr).fold(f64::INFINITY, f64::min);
         assert!(
             min_snr(&dynamic_blocks) > min_snr(&static_blocks),
             "dynamic floor {} vs static floor {}",
@@ -250,7 +259,9 @@ mod tests {
             min_snr(&static_blocks)
         );
         // Dynamic frames vary with the source; static do not.
-        assert!(dynamic_blocks.iter().any(|b| b.frames != dynamic_blocks[0].frames));
+        assert!(dynamic_blocks
+            .iter()
+            .any(|b| b.frames != dynamic_blocks[0].frames));
         assert!(static_blocks.iter().all(|b| b.frames == 12));
     }
 

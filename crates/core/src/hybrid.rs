@@ -8,11 +8,20 @@
 //! what the software reference computes — is checkable here because the
 //! whole datapath is integer/fixed-point and every frame is reproducible
 //! from `(seed, frame_no)`.
+//!
+//! Every runner in this module is a thin wrapper over the same
+//! [`pipeline`](crate::pipeline) stage graph: the hybrid runners use the
+//! threaded executor (one thread per stage, bounded channels), the software
+//! references use the inline executor — so "hybrid ≡ reference bit for
+//! bit" is enforced by construction *and* still pinned by tests.
 
 use crate::acquisition::AcquiredData;
-use crossbeam::channel;
-use ims_fpga::deconv::{DeconvConfig, DeconvCore};
-use ims_fpga::dma::{DmaLink, FramePacket};
+use crate::pipeline::{
+    AccumulateStage, BinnerStage, DeconvBackend, DeconvolveStage, FrameSource, LinkStage, Pipeline,
+    PipelineReport,
+};
+use ims_fpga::deconv::DeconvConfig;
+use ims_fpga::dma::DmaLink;
 use ims_fpga::{AccumulatorCore, MzBinner};
 use ims_prs::MSequence;
 use ims_signal::noise::{gaussian, poisson};
@@ -126,6 +135,44 @@ fn accumulator_mz_bins(cfg: &HybridConfig, gen: &FrameGenerator) -> usize {
     }
 }
 
+/// Assembles the standard hybrid stage graph for a config:
+/// source → link → \[binner\] → accumulate → deconvolve.
+///
+/// `frames_per_block` sets the block cadence; `flush_remainder` keeps a
+/// trailing partial block (batch semantics) instead of discarding it
+/// (streaming semantics). Run the result with
+/// [`Pipeline::run_threaded`] or [`Pipeline::run_inline`].
+pub fn hybrid_pipeline(
+    gen: &FrameGenerator,
+    seq: &MSequence,
+    cfg: &HybridConfig,
+    total_frames: u64,
+    frames_per_block: u64,
+    flush_remainder: bool,
+    backend: DeconvBackend,
+) -> Pipeline {
+    assert_eq!(
+        seq.len(),
+        gen.drift_bins(),
+        "sequence length must equal drift bins"
+    );
+    let acc_mz = accumulator_mz_bins(cfg, gen);
+    let mut p = Pipeline::new(
+        FrameSource::new(gen.clone(), 0, total_frames),
+        cfg.channel_depth,
+    )
+    .stage(LinkStage::new(cfg.link));
+    if let Some(b) = &cfg.binner {
+        p = p.stage(BinnerStage::new(b.clone(), gen.drift_bins()));
+    }
+    p.stage(AccumulateStage::new(
+        AccumulatorCore::new(gen.drift_bins(), acc_mz, 32),
+        frames_per_block.max(1),
+        flush_remainder,
+    ))
+    .stage(DeconvolveStage::new(backend, acc_mz))
+}
+
 /// Result of a hybrid run.
 #[derive(Debug, Clone)]
 pub struct HybridResult {
@@ -141,60 +188,36 @@ pub struct HybridResult {
     pub simulated_link_seconds: f64,
     /// Actual wall time of the simulation, seconds.
     pub wall_seconds: f64,
+    /// Full per-stage instrumentation of the run.
+    pub report: PipelineReport,
 }
 
 /// Runs the hybrid pipeline: producer thread → bounded channel ("DMA") →
 /// FPGA model (capture + accumulate + deconvolve).
 pub fn run_hybrid(gen: &FrameGenerator, seq: &MSequence, cfg: &HybridConfig) -> HybridResult {
-    assert_eq!(
-        seq.len(),
-        gen.drift_bins(),
-        "sequence length must equal drift bins"
-    );
-    let start = std::time::Instant::now();
-    let (tx, rx) = channel::bounded::<FramePacket>(cfg.channel_depth);
-    let frames = cfg.frames;
+    run_hybrid_with_backend(gen, seq, cfg, DeconvBackend::fpga(seq, cfg.deconv))
+}
 
-    let acc_mz = accumulator_mz_bins(cfg, gen);
-    let mut acc = AccumulatorCore::new(gen.drift_bins(), acc_mz, 32);
-    let mut deconv = DeconvCore::new(seq, cfg.deconv);
-    let mut binner = cfg.binner.clone();
-
-    let mut simulated_link_seconds = 0.0;
-    let deconvolved_raw = std::thread::scope(|scope| {
-        // Producer: the "software portion streaming data to the FPGA".
-        scope.spawn(move || {
-            for f in 0..frames {
-                let packet = FramePacket::from_words(f, &gen.frame(f));
-                if tx.send(packet).is_err() {
-                    return; // consumer gone
-                }
-            }
-        });
-
-        // Consumer: the FPGA component.
-        for packet in rx.iter() {
-            simulated_link_seconds += cfg.link.transfer_time_s(packet.len_bytes());
-            let words = packet.to_words();
-            match binner.as_mut() {
-                Some(b) => {
-                    let binned = b.bin_frame(&words, gen.drift_bins());
-                    acc.capture_frame(&binned).expect("frame shape");
-                }
-                None => acc.capture_frame(&words).expect("frame shape"),
-            }
-        }
-        let block = acc.drain();
-        deconv.deconvolve_block(&block, acc_mz)
-    });
-
+/// [`run_hybrid`] with an explicit deconvolution backend (FPGA FWHT core,
+/// naive MAC core, or the rayon software path — all bit-exact equals).
+pub fn run_hybrid_with_backend(
+    gen: &FrameGenerator,
+    seq: &MSequence,
+    cfg: &HybridConfig,
+    backend: DeconvBackend,
+) -> HybridResult {
+    let out = hybrid_pipeline(gen, seq, cfg, cfg.frames, cfg.frames, true, backend).run_threaded();
+    let report = out.report;
+    let mut blocks = out.blocks;
+    assert_eq!(blocks.len(), 1, "batch run must produce exactly one block");
     HybridResult {
-        deconvolved_raw,
-        frames,
-        capture_cycles: acc.cycles(),
-        deconv_cycles: deconv.cycles(),
-        simulated_link_seconds,
-        wall_seconds: start.elapsed().as_secs_f64(),
+        deconvolved_raw: blocks.pop().expect("one block").data,
+        frames: cfg.frames,
+        capture_cycles: report.capture_cycles,
+        deconv_cycles: report.deconv_cycles,
+        simulated_link_seconds: report.simulated_link_seconds,
+        wall_seconds: report.wall_seconds,
+        report,
     }
 }
 
@@ -211,7 +234,7 @@ pub fn run_software_reference(
 
 /// Software reference over an explicit frame range (frame numbers
 /// `start..start + frames`) — the per-block oracle for the streaming
-/// pipeline.
+/// pipeline. Runs the same stage graph on the inline executor.
 pub fn run_software_reference_range(
     gen: &FrameGenerator,
     seq: &MSequence,
@@ -219,13 +242,18 @@ pub fn run_software_reference_range(
     frames: u64,
     deconv_cfg: DeconvConfig,
 ) -> Vec<i64> {
-    let mut acc = AccumulatorCore::new(gen.drift_bins(), gen.mz_bins(), 32);
-    for f in start..start + frames {
-        acc.capture_frame(&gen.frame(f)).expect("frame shape");
-    }
-    let block = acc.drain();
-    let mut deconv = DeconvCore::new(seq, deconv_cfg);
-    deconv.deconvolve_block(&block, gen.mz_bins())
+    let out = Pipeline::new(FrameSource::new(gen.clone(), start, frames), 1)
+        .stage(AccumulateStage::new(
+            AccumulatorCore::new(gen.drift_bins(), gen.mz_bins(), 32),
+            frames.max(1),
+            true,
+        ))
+        .stage(DeconvolveStage::new(
+            DeconvBackend::fpga(seq, deconv_cfg),
+            gen.mz_bins(),
+        ))
+        .run_inline();
+    single_block(out.blocks)
 }
 
 /// Software reference of the *binned* integer pipeline (bin → accumulate →
@@ -237,16 +265,39 @@ pub fn run_software_reference_binned(
     deconv_cfg: DeconvConfig,
     binner: &MzBinner,
 ) -> Vec<i64> {
+    run_software_reference_binned_range(gen, seq, 0, frames, deconv_cfg, binner)
+}
+
+/// Binned software reference over an explicit frame range — the per-block
+/// oracle for the streaming pipeline when on-chip binning is enabled.
+pub fn run_software_reference_binned_range(
+    gen: &FrameGenerator,
+    seq: &MSequence,
+    start: u64,
+    frames: u64,
+    deconv_cfg: DeconvConfig,
+    binner: &MzBinner,
+) -> Vec<i64> {
     assert_eq!(binner.fine_bins(), gen.mz_bins());
-    let mut b = binner.clone();
-    let mut acc = AccumulatorCore::new(gen.drift_bins(), binner.coarse_bins(), 32);
-    for f in 0..frames {
-        let binned = b.bin_frame(&gen.frame(f), gen.drift_bins());
-        acc.capture_frame(&binned).expect("frame shape");
-    }
-    let block = acc.drain();
-    let mut deconv = DeconvCore::new(seq, deconv_cfg);
-    deconv.deconvolve_block(&block, binner.coarse_bins())
+    let coarse = binner.coarse_bins();
+    let out = Pipeline::new(FrameSource::new(gen.clone(), start, frames), 1)
+        .stage(BinnerStage::new(binner.clone(), gen.drift_bins()))
+        .stage(AccumulateStage::new(
+            AccumulatorCore::new(gen.drift_bins(), coarse, 32),
+            frames.max(1),
+            true,
+        ))
+        .stage(DeconvolveStage::new(
+            DeconvBackend::fpga(seq, deconv_cfg),
+            coarse,
+        ))
+        .run_inline();
+    single_block(out.blocks)
+}
+
+fn single_block(mut blocks: Vec<crate::pipeline::DeconvolvedBlock>) -> Vec<i64> {
+    assert_eq!(blocks.len(), 1, "reference run must produce one block");
+    blocks.pop().expect("one block").data
 }
 
 /// Result of a streaming (multi-block) hybrid run.
@@ -260,77 +311,59 @@ pub struct StreamingResult {
     pub wall_seconds: f64,
     /// Sustained block rate, blocks/s of wall time.
     pub blocks_per_second: f64,
+    /// Full per-stage instrumentation of the run.
+    pub report: PipelineReport,
 }
 
 /// Continuous operation: the producer streams frames indefinitely while the
 /// capture stage accumulates and hands finished blocks to a separate
 /// deconvolution stage — the double-buffered structure of the real design,
-/// here as three concurrent threads (producer → capture → deconvolve) with
-/// bounded channels providing back-pressure.
+/// run on the threaded executor (one thread per stage, bounded channels
+/// providing back-pressure). Honours `cfg.binner`, exactly like
+/// [`run_hybrid`].
 pub fn run_hybrid_streaming(
     gen: &FrameGenerator,
     seq: &MSequence,
     cfg: &HybridConfig,
     n_blocks: usize,
 ) -> StreamingResult {
-    assert_eq!(seq.len(), gen.drift_bins(), "sequence length mismatch");
+    run_hybrid_streaming_with_backend(
+        gen,
+        seq,
+        cfg,
+        n_blocks,
+        DeconvBackend::fpga(seq, cfg.deconv),
+    )
+}
+
+/// [`run_hybrid_streaming`] with an explicit deconvolution backend.
+pub fn run_hybrid_streaming_with_backend(
+    gen: &FrameGenerator,
+    seq: &MSequence,
+    cfg: &HybridConfig,
+    n_blocks: usize,
+    backend: DeconvBackend,
+) -> StreamingResult {
     assert!(n_blocks >= 1);
     let frames_per_block = cfg.frames;
     let total_frames = frames_per_block * n_blocks as u64;
-    let start = std::time::Instant::now();
-
-    let (frame_tx, frame_rx) = channel::bounded::<FramePacket>(cfg.channel_depth);
-    let (block_tx, block_rx) = channel::bounded::<Vec<u64>>(2); // ping-pong
-
-    let blocks = std::thread::scope(|scope| {
-        // Stage 1: producer (the instrument's digitiser stream).
-        scope.spawn(move || {
-            for f in 0..total_frames {
-                let packet = FramePacket::from_words(f, &gen.frame(f));
-                if frame_tx.send(packet).is_err() {
-                    return;
-                }
-            }
-        });
-
-        // Stage 2: capture/accumulate; drains a block every
-        // `frames_per_block` frames.
-        let mz_bins = gen.mz_bins();
-        let drift_bins = gen.drift_bins();
-        scope.spawn(move || {
-            let mut acc = AccumulatorCore::new(drift_bins, mz_bins, 32);
-            let mut in_block = 0u64;
-            for packet in frame_rx.iter() {
-                let words = packet.to_words();
-                acc.capture_frame(&words).expect("frame shape");
-                in_block += 1;
-                if in_block == frames_per_block {
-                    in_block = 0;
-                    if block_tx.send(acc.drain()).is_err() {
-                        return;
-                    }
-                }
-            }
-        });
-
-        // Stage 3: deconvolution (this thread).
-        let mut deconv = DeconvCore::new(seq, cfg.deconv);
-        let mut out = Vec::with_capacity(n_blocks);
-        for block in block_rx.iter() {
-            out.push(deconv.deconvolve_block(&block, gen.mz_bins()));
-            if out.len() == n_blocks {
-                break;
-            }
-        }
-        out
-    });
-
-    let wall_seconds = start.elapsed().as_secs_f64();
+    let out = hybrid_pipeline(
+        gen,
+        seq,
+        cfg,
+        total_frames,
+        frames_per_block,
+        false,
+        backend,
+    )
+    .run_threaded();
+    let wall_seconds = out.report.wall_seconds;
     StreamingResult {
-        blocks,
+        blocks: out.blocks.into_iter().map(|b| b.data).collect(),
         frames_per_block,
         wall_seconds,
         blocks_per_second: n_blocks as f64 / wall_seconds,
+        report: out.report,
     }
 }
 
@@ -347,14 +380,7 @@ mod tests {
         let w = Workload::single_calibrant();
         let schedule = GateSchedule::multiplexed(degree);
         let mut rng = ChaCha8Rng::seed_from_u64(11);
-        let data = acquire(
-            &inst,
-            &w,
-            &schedule,
-            1,
-            AcquireOptions::default(),
-            &mut rng,
-        );
+        let data = acquire(&inst, &w, &schedule, 1, AcquireOptions::default(), &mut rng);
         let seq = match schedule {
             GateSchedule::Multiplexed { seq } => seq,
             _ => unreachable!(),
@@ -386,6 +412,32 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_report_exposes_stage_metrics() {
+        let (gen, seq) = generator(5, 30);
+        let cfg = HybridConfig {
+            frames: 10,
+            ..Default::default()
+        };
+        let result = run_hybrid(&gen, &seq, &cfg);
+        let r = &result.report;
+        assert_eq!(r.executor, "threaded");
+        assert_eq!(r.backend, "fpga-fwht");
+        assert_eq!(r.frames, 10);
+        assert_eq!(r.blocks, 1);
+        assert_eq!(r.frames_per_block, 10);
+        let names: Vec<&str> = r.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["source", "link", "accumulate", "deconvolve"]);
+        assert_eq!(r.stage("source").unwrap().items_out, 10);
+        assert_eq!(r.stage("link").unwrap().items_in, 10);
+        assert_eq!(r.stage("accumulate").unwrap().items_out, 1);
+        assert_eq!(r.stage("deconvolve").unwrap().items_out, 1);
+        // The report is the JSON surface of the htims subcommand.
+        assert!(serde_json::to_string(r)
+            .unwrap()
+            .contains("queue_high_water"));
+    }
+
+    #[test]
     fn backpressure_channel_depth_one_still_correct() {
         let (gen, seq) = generator(5, 30);
         let cfg = HybridConfig {
@@ -396,6 +448,31 @@ mod tests {
         let hybrid = run_hybrid(&gen, &seq, &cfg);
         let reference = run_software_reference(&gen, &seq, 8, cfg.deconv);
         assert_eq!(hybrid.deconvolved_raw, reference);
+    }
+
+    #[test]
+    fn all_backends_agree_bit_for_bit() {
+        let (gen, seq) = generator(5, 24);
+        let cfg = HybridConfig {
+            frames: 6,
+            ..Default::default()
+        };
+        let fpga = run_hybrid_with_backend(&gen, &seq, &cfg, DeconvBackend::fpga(&seq, cfg.deconv));
+        let naive =
+            run_hybrid_with_backend(&gen, &seq, &cfg, DeconvBackend::naive(&seq, cfg.deconv));
+        let soft = run_hybrid_with_backend(
+            &gen,
+            &seq,
+            &cfg,
+            DeconvBackend::software(&seq, cfg.deconv, 3),
+        );
+        assert_eq!(fpga.deconvolved_raw, naive.deconvolved_raw);
+        assert_eq!(fpga.deconvolved_raw, soft.deconvolved_raw);
+        assert_eq!(naive.report.backend, "naive-mac");
+        assert_eq!(soft.report.backend, "software");
+        // The backends model different engines, so cycle counts differ
+        // (the naive MAC array is the slow baseline).
+        assert!(naive.deconv_cycles > fpga.deconv_cycles);
     }
 
     #[test]
@@ -425,12 +502,39 @@ mod tests {
         assert_eq!(result.frames_per_block, 6);
         assert!(result.blocks_per_second > 0.0);
         for (b, block) in result.blocks.iter().enumerate() {
-            let reference =
-                run_software_reference_range(&gen, &seq, b as u64 * 6, 6, cfg.deconv);
+            let reference = run_software_reference_range(&gen, &seq, b as u64 * 6, 6, cfg.deconv);
             assert_eq!(block, &reference, "block {b} diverged");
         }
         // Different frames ⇒ different blocks (noise differs per frame).
         assert_ne!(result.blocks[0], result.blocks[1]);
+    }
+
+    #[test]
+    fn streaming_with_binner_matches_binned_per_block_references() {
+        // Regression test: the hand-wired streaming pipeline silently
+        // ignored `cfg.binner`; the unified graph honours it.
+        let (gen, seq) = generator(6, 48);
+        let binner = MzBinner::uniform(48, 8);
+        let cfg = HybridConfig {
+            frames: 5,
+            binner: Some(binner.clone()),
+            ..Default::default()
+        };
+        let result = run_hybrid_streaming(&gen, &seq, &cfg, 3);
+        assert_eq!(result.blocks.len(), 3);
+        for (b, block) in result.blocks.iter().enumerate() {
+            assert_eq!(block.len(), seq.len() * 8, "block {b} is unbinned");
+            let reference = run_software_reference_binned_range(
+                &gen,
+                &seq,
+                b as u64 * 5,
+                5,
+                cfg.deconv,
+                &binner,
+            );
+            assert_eq!(block, &reference, "block {b} diverged");
+        }
+        assert!(result.report.binner_cycles > 0);
     }
 
     #[test]

@@ -144,12 +144,16 @@ mod tests {
         let with_oracle = Deconvolver::Weighted { lambda: 1e-6 }
             .deconvolve(&schedule, &sample)
             .total_ion_drift_profile();
-        let with_estimated = deconvolve_with_kernel(&sample.accumulated, &estimated, 1e-6)
-            .total_ion_drift_profile();
+        let with_estimated =
+            deconvolve_with_kernel(&sample.accumulated, &estimated, 1e-6).total_ion_drift_profile();
 
         let f_oracle = fidelity(&with_oracle, &truth, 0.01);
         let f_est = fidelity(&with_estimated, &truth, 0.01);
-        assert!(f_est.pearson > 0.98, "estimated-kernel pearson {}", f_est.pearson);
+        assert!(
+            f_est.pearson > 0.98,
+            "estimated-kernel pearson {}",
+            f_est.pearson
+        );
         assert!(
             f_est.artifact_level < 3.0 * f_oracle.artifact_level + 0.02,
             "estimated {} vs oracle {}",

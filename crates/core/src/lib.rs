@@ -70,6 +70,7 @@ pub mod lcms;
 pub mod metrics;
 pub mod msms;
 pub mod parallel;
+pub mod pipeline;
 
 pub use acquisition::{acquire, AcquiredData, GateSchedule};
 pub use config::ExperimentConfig;

@@ -4,6 +4,11 @@ use ims_physics::DriftTofMap;
 use ims_signal::{snr, stats};
 use serde::{Deserialize, Serialize};
 
+// Runtime instrumentation lives with the pipeline but is part of the same
+// scoring surface: fidelity/SNR say how *good* a run was, the pipeline
+// report says where its time went.
+pub use crate::pipeline::{PipelineReport, StageReport};
+
 /// How faithfully a deconvolved drift profile matches the ground truth.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Fidelity {
@@ -71,12 +76,7 @@ pub fn peak_snr(profile: &[f64], expected_bin: usize, exclude: usize) -> f64 {
 
 /// Extracted-window SNR of a species on a 2-D map: drift profile over an
 /// m/z window, peak at the predicted drift bin.
-pub fn species_snr(
-    map: &DriftTofMap,
-    drift_bin: usize,
-    mz_bin: usize,
-    mz_halfwidth: usize,
-) -> f64 {
+pub fn species_snr(map: &DriftTofMap, drift_bin: usize, mz_bin: usize, mz_halfwidth: usize) -> f64 {
     let lo = mz_bin.saturating_sub(mz_halfwidth);
     let hi = (mz_bin + mz_halfwidth).min(map.mz_bins() - 1);
     let profile = map.drift_profile(lo, hi);

@@ -170,9 +170,11 @@ pub fn search(
         }
     }
     out.sort_by(|a, b| {
-        b.fragments_matched
-            .cmp(&a.fragments_matched)
-            .then(b.mean_correlation.partial_cmp(&a.mean_correlation).expect("finite"))
+        b.fragments_matched.cmp(&a.fragments_matched).then(
+            b.mean_correlation
+                .partial_cmp(&a.mean_correlation)
+                .expect("finite"),
+        )
     });
     out
 }
@@ -313,7 +315,9 @@ mod tests {
             .max_by(|a, b| a.intensity.partial_cmp(&b.intensity).unwrap())
             .unwrap();
         let frag_bin = inst.tof.bin_of(strongest.mz).expect("fragment in range");
-        let profile = data.truth.drift_profile(frag_bin.saturating_sub(1), frag_bin + 1);
+        let profile = data
+            .truth
+            .drift_profile(frag_bin.saturating_sub(1), frag_bin + 1);
         assert!(
             profile.iter().sum::<f64>() > 0.0,
             "no signal in {} channel",
@@ -326,21 +330,21 @@ mod tests {
         let (inst, sample, _, data) = setup(10);
         let bk = &sample.peptides[0].0;
         let z2 = ims_physics::IonSpecies::new("bk2", bk.monoisotopic_mass(), 2, bk.ccs_a2(2), 1.0);
-        let expected_bin =
-            (inst.tube.drift_time_s(&z2) / inst.bin_width_s).round() as usize;
+        let expected_bin = (inst.tube.drift_time_s(&z2) / inst.bin_width_s).round() as usize;
         let strongest = by_ladder(bk)
             .into_iter()
             .max_by(|a, b| a.intensity.partial_cmp(&b.intensity).unwrap())
             .unwrap();
         let frag_bin = inst.tof.bin_of(strongest.mz).unwrap();
-        let profile = data.truth.drift_profile(frag_bin.saturating_sub(1), frag_bin + 1);
+        let profile = data
+            .truth
+            .drift_profile(frag_bin.saturating_sub(1), frag_bin + 1);
         let (apex, _) = ims_signal::stats::argmax(&profile).unwrap();
         // The fragment channel contains contributions from several charge
         // states; the apex must sit at one of the precursor drift bins —
         // check the 2+ one dominates or is near.
         assert!(
-            apex.abs_diff(expected_bin) <= 3
-                || profile[expected_bin] > 0.3 * profile[apex],
+            apex.abs_diff(expected_bin) <= 3 || profile[expected_bin] > 0.3 * profile[apex],
             "fragment apex {apex} vs precursor {expected_bin}"
         );
     }

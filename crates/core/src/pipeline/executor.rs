@@ -1,0 +1,311 @@
+//! Executors: run a stage graph threaded (bounded channels, one thread per
+//! stage) or inline (sequentially on the calling thread).
+//!
+//! Both executors drive the same [`Stage`] objects in the same order over
+//! the same integer datapath, so their outputs are bit-identical by
+//! construction; the threaded executor adds the concurrency — and the
+//! back-pressure instrumentation — of the real design.
+
+use super::report::{PipelineReport, StageReport};
+use super::stages::FrameSource;
+use super::{DeconvolvedBlock, Message, Stage};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+/// A source plus an ordered chain of stages, ready to run.
+pub struct Pipeline {
+    source: FrameSource,
+    stages: Vec<Box<dyn Stage>>,
+    channel_depth: usize,
+}
+
+/// What a pipeline run returns: the deconvolved blocks (in order) and the
+/// instrumentation report.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// Deconvolved blocks, in block order.
+    pub blocks: Vec<DeconvolvedBlock>,
+    /// Run instrumentation.
+    pub report: PipelineReport,
+}
+
+impl Pipeline {
+    /// Starts a graph from a frame source; `channel_depth` bounds the
+    /// frame channels of the threaded executor (back-pressure).
+    pub fn new(source: FrameSource, channel_depth: usize) -> Self {
+        Self {
+            source,
+            stages: Vec::new(),
+            channel_depth: channel_depth.max(1),
+        }
+    }
+
+    /// Appends a stage to the chain.
+    pub fn stage(mut self, stage: impl Stage + 'static) -> Self {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// Runs the graph with one thread per stage connected by bounded
+    /// channels — the concurrent structure of the paper's design. Frames
+    /// flow through channels of depth `channel_depth`; block hand-offs use
+    /// the stages' own depth (2, the double-buffered readout).
+    pub fn run_threaded(mut self) -> PipelineOutput {
+        assert!(!self.stages.is_empty(), "pipeline has no stages");
+        let start = Instant::now();
+        let depth = self.channel_depth;
+        let n = self.stages.len();
+
+        // Channel i feeds stage i; channel n carries the final output.
+        let mut txs: Vec<Sender<Message>> = Vec::with_capacity(n + 1);
+        let mut rxs: Vec<Receiver<Message>> = Vec::with_capacity(n + 1);
+        let (tx0, rx0) = bounded::<Message>(depth);
+        txs.push(tx0);
+        rxs.push(rx0);
+        for stage in &self.stages {
+            let (tx, rx) = bounded::<Message>(stage.output_depth(depth));
+            txs.push(tx);
+            rxs.push(rx);
+        }
+
+        let stages = std::mem::take(&mut self.stages);
+        let source = &self.source;
+        let frames = source.frames();
+
+        let (blocks, meters, stages) = std::thread::scope(|scope| {
+            let mut tx_iter = txs.into_iter();
+            let mut rx_iter = rxs.into_iter();
+
+            // Source thread: the "software portion streaming data".
+            let src_tx = tx_iter.next().expect("source channel");
+            let src_handle = scope.spawn(move || {
+                let mut meter = StageMeter::new("source");
+                for i in 0..frames {
+                    let t = Instant::now();
+                    let packet = source.packet(i);
+                    meter.busy += t.elapsed();
+                    if meter.timed_send(&src_tx, Message::Frame(packet)).is_err() {
+                        break; // downstream gone
+                    }
+                }
+                meter
+            });
+
+            // One thread per stage.
+            let mut handles = Vec::with_capacity(stages.len());
+            for mut stage in stages {
+                let rx = rx_iter.next().expect("stage input channel");
+                let tx = tx_iter.next().expect("stage output channel");
+                handles.push(scope.spawn(move || {
+                    let mut meter = StageMeter::new(stage.name());
+                    loop {
+                        meter.queue_high_water = meter.queue_high_water.max(rx.len() as u64);
+                        let t = Instant::now();
+                        let msg = rx.recv();
+                        meter.blocked_recv += t.elapsed();
+                        let Ok(msg) = msg else { break };
+                        meter.items_in += 1;
+                        meter.timed_process(stage.as_mut(), msg, &tx);
+                    }
+                    meter.timed_flush(stage.as_mut(), &tx);
+                    drop(tx);
+                    (stage, meter)
+                }));
+            }
+
+            // This thread is the collector: drain the final channel while
+            // the stages run (bounded channels would deadlock otherwise).
+            let out_rx = rx_iter.next().expect("output channel");
+            let mut blocks = Vec::new();
+            for msg in out_rx.iter() {
+                if let Message::Deconvolved(b) = msg {
+                    blocks.push(b);
+                }
+            }
+
+            let src_meter = src_handle.join().expect("source thread panicked");
+            let mut meters = vec![src_meter];
+            let mut stages_back = Vec::with_capacity(handles.len());
+            for h in handles {
+                let (stage, meter) = h.join().expect("stage thread panicked");
+                meters.push(meter);
+                stages_back.push(stage);
+            }
+            (blocks, meters, stages_back)
+        });
+
+        let mut report = PipelineReport::new("threaded");
+        report.channel_depth = depth;
+        self.finish_report(&mut report, stages, meters, frames, blocks.len(), start);
+        PipelineOutput { blocks, report }
+    }
+
+    /// Runs the graph sequentially on the calling thread — the software
+    /// reference executor. Bit-identical to [`run_threaded`](Self::run_threaded)
+    /// because it drives the same stages over the same integer datapath.
+    pub fn run_inline(mut self) -> PipelineOutput {
+        assert!(!self.stages.is_empty(), "pipeline has no stages");
+        let start = Instant::now();
+        let mut stages = std::mem::take(&mut self.stages);
+        let mut meters: Vec<StageMeter> = std::iter::once(StageMeter::new("source"))
+            .chain(stages.iter().map(|s| StageMeter::new(s.name())))
+            .collect();
+
+        let mut blocks = Vec::new();
+        let frames = self.source.frames();
+        for i in 0..frames {
+            let t = Instant::now();
+            let packet = self.source.packet(i);
+            meters[0].busy += t.elapsed();
+            meters[0].items_out += 1;
+            feed(
+                &mut stages,
+                &mut meters[1..],
+                0,
+                Message::Frame(packet),
+                &mut blocks,
+            );
+        }
+        for i in 0..stages.len() {
+            let mut emitted = Vec::new();
+            stages[i].flush(&mut |m| emitted.push(m));
+            meters[i + 1].items_out += emitted.len() as u64;
+            for m in emitted {
+                feed(&mut stages, &mut meters[1..], i + 1, m, &mut blocks);
+            }
+        }
+
+        let mut report = PipelineReport::new("inline");
+        report.channel_depth = self.channel_depth;
+        self.finish_report(&mut report, stages, meters, frames, blocks.len(), start);
+        PipelineOutput { blocks, report }
+    }
+
+    fn finish_report(
+        &self,
+        report: &mut PipelineReport,
+        mut stages: Vec<Box<dyn Stage>>,
+        meters: Vec<StageMeter>,
+        frames: u64,
+        blocks: usize,
+        start: Instant,
+    ) {
+        report.frames = frames;
+        report.blocks = blocks as u64;
+        report.stages = meters.into_iter().map(StageMeter::into_report).collect();
+        for stage in &mut stages {
+            stage.finalize(report);
+        }
+        report.wall_seconds = start.elapsed().as_secs_f64();
+    }
+}
+
+/// Pushes `msg` into stage `idx`, cascading emissions depth-first; messages
+/// that fall off the end of the chain are collected as output blocks.
+fn feed(
+    stages: &mut [Box<dyn Stage>],
+    meters: &mut [StageMeter],
+    idx: usize,
+    msg: Message,
+    out: &mut Vec<DeconvolvedBlock>,
+) {
+    if idx == stages.len() {
+        if let Message::Deconvolved(b) = msg {
+            out.push(b);
+        }
+        return;
+    }
+    meters[idx].items_in += 1;
+    let mut emitted = Vec::new();
+    let t = Instant::now();
+    stages[idx].process(msg, &mut |m| emitted.push(m));
+    meters[idx].busy += t.elapsed();
+    meters[idx].items_out += emitted.len() as u64;
+    for m in emitted {
+        feed(stages, meters, idx + 1, m, out);
+    }
+}
+
+/// Accumulates one stage's timing while its thread runs.
+struct StageMeter {
+    name: &'static str,
+    items_in: u64,
+    items_out: u64,
+    busy: Duration,
+    blocked_recv: Duration,
+    blocked_send: Duration,
+    queue_high_water: u64,
+}
+
+impl StageMeter {
+    fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            items_in: 0,
+            items_out: 0,
+            busy: Duration::ZERO,
+            blocked_recv: Duration::ZERO,
+            blocked_send: Duration::ZERO,
+            queue_high_water: 0,
+        }
+    }
+
+    /// Sends one message, charging the wait to `blocked_send`.
+    fn timed_send(&mut self, tx: &Sender<Message>, msg: Message) -> Result<(), ()> {
+        let t = Instant::now();
+        let r = tx.send(msg);
+        self.blocked_send += t.elapsed();
+        if r.is_ok() {
+            self.items_out += 1;
+            Ok(())
+        } else {
+            Err(())
+        }
+    }
+
+    /// Runs `process`, splitting elapsed time into busy vs send-blocked.
+    fn timed_process(&mut self, stage: &mut dyn Stage, msg: Message, tx: &Sender<Message>) {
+        let mut sent = Duration::ZERO;
+        let mut items_out = 0u64;
+        let t = Instant::now();
+        stage.process(msg, &mut |m| {
+            let ts = Instant::now();
+            let _ = tx.send(m);
+            sent += ts.elapsed();
+            items_out += 1;
+        });
+        let total = t.elapsed();
+        self.busy += total.saturating_sub(sent);
+        self.blocked_send += sent;
+        self.items_out += items_out;
+    }
+
+    /// Runs `flush` with the same accounting as [`timed_process`].
+    fn timed_flush(&mut self, stage: &mut dyn Stage, tx: &Sender<Message>) {
+        let mut sent = Duration::ZERO;
+        let mut items_out = 0u64;
+        let t = Instant::now();
+        stage.flush(&mut |m| {
+            let ts = Instant::now();
+            let _ = tx.send(m);
+            sent += ts.elapsed();
+            items_out += 1;
+        });
+        let total = t.elapsed();
+        self.busy += total.saturating_sub(sent);
+        self.blocked_send += sent;
+        self.items_out += items_out;
+    }
+
+    fn into_report(self) -> StageReport {
+        StageReport {
+            name: self.name.to_string(),
+            items_in: self.items_in,
+            items_out: self.items_out,
+            busy_seconds: self.busy.as_secs_f64(),
+            blocked_recv_seconds: self.blocked_recv.as_secs_f64(),
+            blocked_send_seconds: self.blocked_send.as_secs_f64(),
+            queue_high_water: self.queue_high_water,
+        }
+    }
+}

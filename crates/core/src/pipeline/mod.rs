@@ -1,0 +1,106 @@
+//! The composable, instrumented pipeline the hybrid runners are built on.
+//!
+//! The paper's application is a fixed chain — software streams frames to
+//! the FPGA, the FPGA captures/accumulates/deconvolves, software collects
+//! blocks — that the seed code hand-wired three separate times
+//! (`run_hybrid`, `run_hybrid_streaming`, and the software references).
+//! This module factors that chain into a typed stage graph:
+//!
+//! ```text
+//! FrameSource ─▶ Link ─▶ [Binner] ─▶ Accumulate ─▶ Deconvolve ─▶ blocks
+//!   (frames)    (frames)  (frames)    (blocks)      (deconvolved)
+//! ```
+//!
+//! Stages exchange [`Message`]s. Frame-domain stages map `Frame → Frame`;
+//! [`AccumulateStage`] folds frames into [`Block`]s; [`DeconvolveStage`]
+//! turns blocks into [`DeconvolvedBlock`]s through a selectable
+//! [`DeconvBackend`] (the FWHT FPGA core, the naive MAC-array core, or the
+//! rayon-parallel software path — all bit-exact equals).
+//!
+//! Two executors run the same graph: [`Pipeline::run_threaded`] gives each
+//! stage its own thread connected by bounded channels (the concurrent
+//! structure of the real design, with back-pressure), while
+//! [`Pipeline::run_inline`] runs the stages sequentially on the calling
+//! thread (the software reference). Because both drive the same stage
+//! objects over the same integer datapath, their outputs agree bit for
+//! bit — the property the hybrid equivalence tests pin down.
+//!
+//! Every run also produces a [`PipelineReport`]: per-stage busy vs blocked
+//! time, queue high-water marks, cycle totals, and the simulated link time
+//! — the numbers that say *where* the pipeline bottlenecks.
+
+mod executor;
+mod report;
+mod stages;
+
+pub use executor::{Pipeline, PipelineOutput};
+pub use report::{PipelineReport, StageReport};
+pub use stages::{
+    AccumulateStage, BinnerStage, DeconvBackend, DeconvolveStage, FrameSource, LinkStage,
+};
+
+use ims_fpga::dma::FramePacket;
+
+/// One unit of data flowing between stages.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// A raw (or binned) instrument frame.
+    Frame(FramePacket),
+    /// An accumulated block drained from the capture engine.
+    Block(Block),
+    /// A deconvolved block.
+    Deconvolved(DeconvolvedBlock),
+}
+
+/// An accumulated drift × m/z block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Block sequence number (0-based).
+    pub index: u64,
+    /// Frames folded into this block.
+    pub frames: u64,
+    /// Accumulated counts, drift-major.
+    pub data: Vec<u64>,
+}
+
+/// A deconvolved drift × m/z block (raw fixed-point words).
+#[derive(Debug, Clone)]
+pub struct DeconvolvedBlock {
+    /// Block sequence number (0-based).
+    pub index: u64,
+    /// Frames folded into this block.
+    pub frames: u64,
+    /// Deconvolved values, drift-major.
+    pub data: Vec<i64>,
+}
+
+/// One processing stage in the graph.
+///
+/// A stage consumes messages one at a time and emits zero or more messages
+/// downstream through `emit`. Stages own their FPGA-model cores, so the
+/// cycle accounting rides along for free; [`finalize`](Stage::finalize)
+/// folds those counters into the run's [`PipelineReport`] after the data
+/// has drained.
+pub trait Stage: Send {
+    /// Stable short name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Processes one message, emitting any number downstream.
+    fn process(&mut self, msg: Message, emit: &mut dyn FnMut(Message));
+
+    /// Called once after the input is exhausted; emits any buffered tail
+    /// (e.g. a partial accumulation block).
+    fn flush(&mut self, _emit: &mut dyn FnMut(Message)) {}
+
+    /// Folds this stage's counters into the run report.
+    fn finalize(&mut self, _report: &mut PipelineReport) {}
+
+    /// Depth of this stage's *output* channel in the threaded executor.
+    ///
+    /// Defaults to the pipeline's frame-channel depth; block-producing
+    /// stages override it to 2 (the double-buffered "ping-pong" hand-off
+    /// of the real design).
+    fn output_depth(&self, default: usize) -> usize {
+        default
+    }
+}

@@ -1,0 +1,124 @@
+//! Instrumentation records produced by a pipeline run.
+//!
+//! Every executor — threaded or inline — fills in one [`PipelineReport`]:
+//! the run-level counters (frames, blocks, cycle totals, simulated link
+//! time) plus one [`StageReport`] per stage with its busy/blocked split and
+//! the high-water mark of its input queue. Both are plain serde structs so
+//! the `htims pipeline` subcommand can emit them as JSON.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-stage instrumentation from one pipeline run.
+///
+/// In the threaded executor, `blocked_recv_seconds` is time the stage sat
+/// waiting for input and `blocked_send_seconds` is time spent handing
+/// messages downstream (dominated by back-pressure when the next stage is
+/// the bottleneck). `queue_high_water` is the largest occupancy its input
+/// channel reached — a full queue marks this stage as the choke point. The
+/// inline executor runs everything on one thread, so only `items_*` and
+/// `busy_seconds` are meaningful there.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Stage name (`"source"`, `"link"`, `"binner"`, `"accumulate"`,
+    /// `"deconvolve"`).
+    pub name: String,
+    /// Messages consumed.
+    pub items_in: u64,
+    /// Messages emitted.
+    pub items_out: u64,
+    /// Time spent doing work, seconds.
+    pub busy_seconds: f64,
+    /// Time blocked waiting for input, seconds.
+    pub blocked_recv_seconds: f64,
+    /// Time spent sending output (back-pressure wait included), seconds.
+    pub blocked_send_seconds: f64,
+    /// Largest observed occupancy of this stage's input queue.
+    pub queue_high_water: u64,
+}
+
+/// Run-level instrumentation from one pipeline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Which executor ran the graph: `"threaded"` or `"inline"`.
+    pub executor: String,
+    /// Deconvolution backend name (`"fpga-fwht"`, `"naive-mac"`,
+    /// `"software"`), or `"none"` if the graph had no deconvolve stage.
+    pub backend: String,
+    /// Frames emitted by the source.
+    pub frames: u64,
+    /// Deconvolved blocks produced.
+    pub blocks: u64,
+    /// Frames folded into each block (the last block may hold fewer).
+    pub frames_per_block: u64,
+    /// Bounded-channel depth used for frame channels (threaded executor).
+    pub channel_depth: usize,
+    /// Wall time of the run, seconds.
+    pub wall_seconds: f64,
+    /// Simulated DMA transfer time accumulated by the link stage, seconds.
+    pub simulated_link_seconds: f64,
+    /// FPGA cycles spent capturing/accumulating.
+    pub capture_cycles: u64,
+    /// FPGA cycles spent binning m/z on chip.
+    pub binner_cycles: u64,
+    /// FPGA cycles spent deconvolving.
+    pub deconv_cycles: u64,
+    /// Saturating adds observed by the accumulator (data-quality flag).
+    pub saturation_events: u64,
+    /// Per-stage breakdown, in graph order (source first).
+    pub stages: Vec<StageReport>,
+}
+
+impl PipelineReport {
+    /// An empty report for the given executor; stages fill it in via
+    /// [`Stage::finalize`](super::Stage::finalize).
+    pub fn new(executor: &str) -> Self {
+        Self {
+            executor: executor.to_string(),
+            backend: "none".to_string(),
+            frames: 0,
+            blocks: 0,
+            frames_per_block: 0,
+            channel_depth: 0,
+            wall_seconds: 0.0,
+            simulated_link_seconds: 0.0,
+            capture_cycles: 0,
+            binner_cycles: 0,
+            deconv_cycles: 0,
+            saturation_events: 0,
+            stages: Vec::new(),
+        }
+    }
+
+    /// The report of the named stage, if present.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = PipelineReport::new("threaded");
+        r.backend = "fpga-fwht".into();
+        r.frames = 12;
+        r.blocks = 3;
+        r.stages.push(StageReport {
+            name: "accumulate".into(),
+            items_in: 12,
+            items_out: 3,
+            busy_seconds: 0.5,
+            blocked_recv_seconds: 0.25,
+            blocked_send_seconds: 0.125,
+            queue_high_water: 4,
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PipelineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.backend, "fpga-fwht");
+        assert_eq!(back.stages.len(), 1);
+        assert_eq!(back.stage("accumulate").unwrap().queue_high_water, 4);
+        assert!(back.stage("missing").is_none());
+    }
+}

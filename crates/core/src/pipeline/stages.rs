@@ -1,0 +1,374 @@
+//! The concrete stages of the hybrid datapath.
+
+use super::{Block, DeconvolvedBlock, Message, PipelineReport, Stage};
+use crate::hybrid::FrameGenerator;
+use ims_fpga::deconv::{DeconvConfig, DeconvCore};
+use ims_fpga::deconv_naive::{NaiveConfig, NaiveMacCore};
+use ims_fpga::dma::{DmaLink, FramePacket};
+use ims_fpga::{AccumulatorCore, MzBinner};
+use ims_prs::MSequence;
+use rayon::prelude::*;
+
+/// The head of the graph: generates reproducible raw frames on demand
+/// (the instrument's digitiser, frame by frame).
+#[derive(Debug, Clone)]
+pub struct FrameSource {
+    gen: FrameGenerator,
+    first_frame: u64,
+    frames: u64,
+}
+
+impl FrameSource {
+    /// A source producing frames `first_frame .. first_frame + frames`.
+    pub fn new(gen: FrameGenerator, first_frame: u64, frames: u64) -> Self {
+        Self {
+            gen,
+            first_frame,
+            frames,
+        }
+    }
+
+    /// Number of frames this source will emit.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// The i-th packet (`i < frames`).
+    pub(super) fn packet(&self, i: u64) -> FramePacket {
+        let frame_no = self.first_frame + i;
+        FramePacket::from_words(frame_no, &self.gen.frame(frame_no))
+    }
+}
+
+/// Accounts simulated DMA-link time for every frame that crosses it.
+///
+/// Pass-through on the data: the link moves bytes, it does not change them.
+#[derive(Debug, Clone)]
+pub struct LinkStage {
+    link: DmaLink,
+    seconds: f64,
+}
+
+impl LinkStage {
+    /// Wraps a link model.
+    pub fn new(link: DmaLink) -> Self {
+        Self { link, seconds: 0.0 }
+    }
+}
+
+impl Stage for LinkStage {
+    fn name(&self) -> &'static str {
+        "link"
+    }
+
+    fn process(&mut self, msg: Message, emit: &mut dyn FnMut(Message)) {
+        if let Message::Frame(p) = &msg {
+            self.seconds += self.link.transfer_time_s(p.len_bytes());
+        }
+        emit(msg);
+    }
+
+    fn finalize(&mut self, report: &mut PipelineReport) {
+        report.simulated_link_seconds += self.seconds;
+    }
+}
+
+/// On-chip m/z binning: folds each fine-resolution frame into a coarse one
+/// before it reaches the accumulator (the stage that makes capture fit the
+/// FPGA's block RAM — see experiment E4).
+#[derive(Debug, Clone)]
+pub struct BinnerStage {
+    binner: MzBinner,
+    drift_bins: usize,
+    scratch: Vec<u32>,
+}
+
+impl BinnerStage {
+    /// Wraps a binning core for `drift_bins`-row frames.
+    pub fn new(binner: MzBinner, drift_bins: usize) -> Self {
+        Self {
+            binner,
+            drift_bins,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl Stage for BinnerStage {
+    fn name(&self) -> &'static str {
+        "binner"
+    }
+
+    fn process(&mut self, msg: Message, emit: &mut dyn FnMut(Message)) {
+        match msg {
+            Message::Frame(p) => {
+                // Stream words straight off the wire packet into the reused
+                // coarse scratch row — no per-frame allocation on the fine
+                // side.
+                self.binner
+                    .bin_frame_into(p.words(), self.drift_bins, &mut self.scratch);
+                emit(Message::Frame(FramePacket::from_words(
+                    p.seq_no,
+                    &self.scratch,
+                )));
+            }
+            other => emit(other),
+        }
+    }
+
+    fn finalize(&mut self, report: &mut PipelineReport) {
+        report.binner_cycles += self.binner.cycles();
+    }
+}
+
+/// Capture/accumulation: folds frames into the accumulation RAM and drains
+/// a [`Block`] every `frames_per_block` frames.
+#[derive(Debug, Clone)]
+pub struct AccumulateStage {
+    acc: AccumulatorCore,
+    frames_per_block: u64,
+    in_block: u64,
+    next_index: u64,
+    saturation_events: u64,
+    flush_remainder: bool,
+}
+
+impl AccumulateStage {
+    /// Wraps an accumulator, draining every `frames_per_block` frames.
+    ///
+    /// With `flush_remainder`, a trailing partial block is drained when the
+    /// input ends (and an all-zero block if no frames arrived at all) — the
+    /// single-block batch semantics of `run_hybrid`. Without it, a partial
+    /// tail is discarded, as a free-running streaming capture would.
+    pub fn new(acc: AccumulatorCore, frames_per_block: u64, flush_remainder: bool) -> Self {
+        assert!(frames_per_block >= 1, "frames_per_block must be >= 1");
+        Self {
+            acc,
+            frames_per_block,
+            in_block: 0,
+            next_index: 0,
+            saturation_events: 0,
+            flush_remainder,
+        }
+    }
+
+    fn drain_block(&mut self, emit: &mut dyn FnMut(Message)) {
+        self.saturation_events += self.acc.saturation_events();
+        let block = Block {
+            index: self.next_index,
+            frames: self.in_block,
+            data: self.acc.drain(),
+        };
+        self.next_index += 1;
+        self.in_block = 0;
+        emit(Message::Block(block));
+    }
+}
+
+impl Stage for AccumulateStage {
+    fn name(&self) -> &'static str {
+        "accumulate"
+    }
+
+    fn process(&mut self, msg: Message, emit: &mut dyn FnMut(Message)) {
+        match msg {
+            Message::Frame(p) => {
+                self.acc
+                    .capture_frame_iter(p.words())
+                    .expect("frame shape mismatch in pipeline");
+                self.in_block += 1;
+                if self.in_block == self.frames_per_block {
+                    self.drain_block(emit);
+                }
+            }
+            other => emit(other),
+        }
+    }
+
+    fn flush(&mut self, emit: &mut dyn FnMut(Message)) {
+        if self.flush_remainder && (self.in_block > 0 || self.next_index == 0) {
+            self.drain_block(emit);
+        }
+    }
+
+    fn finalize(&mut self, report: &mut PipelineReport) {
+        report.capture_cycles += self.acc.cycles();
+        report.saturation_events += self.saturation_events + self.acc.saturation_events();
+        report.frames_per_block = self.frames_per_block;
+    }
+
+    // Blocks hand off through a depth-2 "ping-pong" channel: the
+    // double-buffered readout of the real capture engine.
+    fn output_depth(&self, _default: usize) -> usize {
+        2
+    }
+}
+
+/// Which engine deconvolves accumulated blocks.
+///
+/// All three compute the identical integer result (same arithmetic, same
+/// rounding); they differ only in cycle/throughput modelling — which is the
+/// E3/E11 story: FWHT core vs naive MAC array vs multi-core software.
+pub enum DeconvBackend {
+    /// The PNNL-enhanced FWHT FPGA core.
+    Fpga(DeconvCore),
+    /// The naive `O(N²)` MAC-array FPGA core.
+    Naive(NaiveMacCore),
+    /// The CPU software path: rayon-parallel over m/z columns, running the
+    /// same fixed-point column kernel.
+    Software {
+        /// The column kernel (shared read-only across workers).
+        core: DeconvCore,
+        /// Worker threads (0 = machine default).
+        threads: usize,
+    },
+}
+
+impl DeconvBackend {
+    /// The FWHT FPGA core.
+    pub fn fpga(seq: &MSequence, cfg: DeconvConfig) -> Self {
+        DeconvBackend::Fpga(DeconvCore::new(seq, cfg))
+    }
+
+    /// The naive MAC-array core, configured to match `cfg`'s output format
+    /// and convention so results stay bit-identical to the FWHT core.
+    pub fn naive(seq: &MSequence, cfg: DeconvConfig) -> Self {
+        DeconvBackend::Naive(NaiveMacCore::new(
+            seq,
+            NaiveConfig {
+                output_frac_bits: cfg.output_frac_bits,
+                convention: cfg.convention,
+                ..NaiveConfig::default()
+            },
+        ))
+    }
+
+    /// The rayon software path on `threads` workers (0 = machine default).
+    pub fn software(seq: &MSequence, cfg: DeconvConfig, threads: usize) -> Self {
+        DeconvBackend::Software {
+            core: DeconvCore::new(seq, cfg),
+            threads,
+        }
+    }
+
+    /// Parses a backend name (`fpga` | `naive` | `software`).
+    pub fn from_name(
+        name: &str,
+        seq: &MSequence,
+        cfg: DeconvConfig,
+        threads: usize,
+    ) -> Option<Self> {
+        match name {
+            "fpga" => Some(Self::fpga(seq, cfg)),
+            "naive" => Some(Self::naive(seq, cfg)),
+            "software" => Some(Self::software(seq, cfg, threads)),
+            _ => None,
+        }
+    }
+
+    /// Stable backend name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeconvBackend::Fpga(_) => "fpga-fwht",
+            DeconvBackend::Naive(_) => "naive-mac",
+            DeconvBackend::Software { .. } => "software",
+        }
+    }
+}
+
+/// Deconvolution: turns each accumulated block into a deconvolved one.
+pub struct DeconvolveStage {
+    backend: DeconvBackend,
+    mz_bins: usize,
+    /// Model cycles tallied for the software backend (whose column kernel
+    /// does not count cycles itself).
+    software_cycles: u64,
+}
+
+impl DeconvolveStage {
+    /// Wraps a backend for blocks that are `mz_bins` columns wide.
+    pub fn new(backend: DeconvBackend, mz_bins: usize) -> Self {
+        Self {
+            backend,
+            mz_bins,
+            software_cycles: 0,
+        }
+    }
+}
+
+impl Stage for DeconvolveStage {
+    fn name(&self) -> &'static str {
+        "deconvolve"
+    }
+
+    fn process(&mut self, msg: Message, emit: &mut dyn FnMut(Message)) {
+        match msg {
+            Message::Block(b) => {
+                let data = match &mut self.backend {
+                    DeconvBackend::Fpga(core) => core.deconvolve_block(&b.data, self.mz_bins),
+                    DeconvBackend::Naive(core) => core.deconvolve_block(&b.data, self.mz_bins),
+                    DeconvBackend::Software { core, threads } => {
+                        // Keep the FPGA cycle model consistent even on the
+                        // software path, so E3-style comparisons can read
+                        // both wall time and modelled cycles.
+                        self.software_cycles += core.cycles_per_block(self.mz_bins);
+                        software_deconvolve_block(core, &b.data, self.mz_bins, *threads)
+                    }
+                };
+                emit(Message::Deconvolved(DeconvolvedBlock {
+                    index: b.index,
+                    frames: b.frames,
+                    data,
+                }));
+            }
+            other => emit(other),
+        }
+    }
+
+    fn finalize(&mut self, report: &mut PipelineReport) {
+        report.backend = self.backend.name().to_string();
+        report.deconv_cycles += match &self.backend {
+            DeconvBackend::Fpga(core) => core.cycles(),
+            DeconvBackend::Naive(core) => core.cycles(),
+            DeconvBackend::Software { .. } => self.software_cycles,
+        };
+    }
+}
+
+/// The CPU software deconvolution of one block: m/z columns are
+/// embarrassingly parallel, each running the same fixed-point column kernel
+/// as the FPGA core — so the result is bit-identical to the FPGA path.
+fn software_deconvolve_block(
+    core: &DeconvCore,
+    data: &[u64],
+    mz_bins: usize,
+    threads: usize,
+) -> Vec<i64> {
+    let n = core.len();
+    assert_eq!(data.len(), n * mz_bins, "block shape mismatch");
+    let run = || -> Vec<Vec<i64>> {
+        (0..mz_bins)
+            .into_par_iter()
+            .map(|mz| {
+                let column: Vec<u64> = (0..n).map(|d| data[d * mz_bins + mz]).collect();
+                core.deconvolve_column(&column)
+            })
+            .collect()
+    };
+    let columns = if threads == 0 {
+        run()
+    } else {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build rayon pool")
+            .install(run)
+    };
+    let mut out = vec![0i64; n * mz_bins];
+    for (mz, col) in columns.iter().enumerate() {
+        for (d, &v) in col.iter().enumerate() {
+            out[d * mz_bins + mz] = v;
+        }
+    }
+    out
+}

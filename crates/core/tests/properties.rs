@@ -8,7 +8,11 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn small_block(degree: u32, seed: u64, use_trap: bool) -> (GateSchedule, htims_core::acquisition::AcquiredData) {
+fn small_block(
+    degree: u32,
+    seed: u64,
+    use_trap: bool,
+) -> (GateSchedule, htims_core::acquisition::AcquiredData) {
     let n = (1usize << degree) - 1;
     let mut inst = Instrument::with_drift_bins(n);
     inst.tof.n_bins = 40;
@@ -90,7 +94,7 @@ proptest! {
         let mut map = DriftTofMap::zeros(dn, mn);
         for (i, v) in map.data_mut().iter_mut().enumerate() {
             // Mix of zeros and positive values.
-            if (i as u64).wrapping_mul(seed + 1) % fill_mod as u64 == 0 {
+            if (i as u64).wrapping_mul(seed + 1).is_multiple_of(fill_mod as u64) {
                 *v = ((i as u64 ^ seed) % 100_000) as f64 / 7.0;
             }
         }

@@ -26,7 +26,10 @@ impl std::fmt::Display for CaptureError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CaptureError::FrameShape { expected, got } => {
-                write!(f, "frame shape mismatch: expected {expected} words, got {got}")
+                write!(
+                    f,
+                    "frame shape mismatch: expected {expected} words, got {got}"
+                )
             }
         }
     }
@@ -82,15 +85,25 @@ impl AccumulatorCore {
     /// Consumes one clock per word (II = 1) plus a fixed 4-cycle frame
     /// header overhead.
     pub fn capture_frame(&mut self, frame: &[u32]) -> Result<(), CaptureError> {
+        self.capture_frame_iter(frame.iter().copied())
+    }
+
+    /// Captures one frame from a word stream without requiring a contiguous
+    /// slice — the allocation-free path for consumers that decode ADC words
+    /// straight out of a wire packet (see `FramePacket::words`).
+    pub fn capture_frame_iter<I>(&mut self, words: I) -> Result<(), CaptureError>
+    where
+        I: ExactSizeIterator<Item = u32>,
+    {
         let expected = self.drift_bins * self.mz_bins;
-        if frame.len() != expected {
+        if words.len() != expected {
             return Err(CaptureError::FrameShape {
                 expected,
-                got: frame.len(),
+                got: words.len(),
             });
         }
         let ceil = self.cell_max();
-        for (cell, &word) in self.acc.iter_mut().zip(frame.iter()) {
+        for (cell, word) in self.acc.iter_mut().zip(words) {
             let sum = *cell + word as u64;
             if sum > ceil {
                 *cell = ceil;

@@ -47,7 +47,10 @@ impl MzBinner {
     /// # Panics
     /// Panics if any entry is out of range.
     pub fn from_map(map: Vec<u32>, coarse_bins: usize) -> Self {
-        assert!(map.iter().all(|&c| (c as usize) < coarse_bins), "map out of range");
+        assert!(
+            map.iter().all(|&c| (c as usize) < coarse_bins),
+            "map out of range"
+        );
         Self {
             fine_bins: map.len(),
             coarse_bins,
@@ -74,22 +77,39 @@ impl MzBinner {
     /// Bins one full drift-major frame: `drift × fine` ADC words in,
     /// `drift × coarse` words out (saturating u32 accumulation per line).
     pub fn bin_frame(&mut self, frame: &[u32], drift_bins: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.bin_frame_into(frame.iter().copied(), drift_bins, &mut out);
+        out
+    }
+
+    /// Streaming form of [`bin_frame`](Self::bin_frame): folds a drift-major
+    /// word stream into a caller-owned scratch buffer (cleared and resized
+    /// in place), so the per-frame hot loop neither materialises the fine
+    /// frame nor allocates the coarse one. Mirrors the hardware, which sees
+    /// one ADC word per clock rather than a frame-sized slice.
+    pub fn bin_frame_into<I>(&mut self, words: I, drift_bins: usize, out: &mut Vec<u32>)
+    where
+        I: ExactSizeIterator<Item = u32>,
+    {
         assert_eq!(
-            frame.len(),
+            words.len(),
             drift_bins * self.fine_bins,
             "frame shape mismatch"
         );
-        let mut out = vec![0u32; drift_bins * self.coarse_bins];
-        for d in 0..drift_bins {
-            let row = &frame[d * self.fine_bins..(d + 1) * self.fine_bins];
-            let orow = &mut out[d * self.coarse_bins..(d + 1) * self.coarse_bins];
-            for (f, &v) in row.iter().enumerate() {
-                let c = self.map[f] as usize;
-                orow[c] = orow[c].saturating_add(v);
+        out.clear();
+        out.resize(drift_bins * self.coarse_bins, 0);
+        let mut fine = 0usize; // position within the current drift row
+        let mut row_base = 0usize; // start of the current coarse row
+        for v in words {
+            let c = row_base + self.map[fine] as usize;
+            out[c] = out[c].saturating_add(v);
+            fine += 1;
+            if fine == self.fine_bins {
+                fine = 0;
+                row_base += self.coarse_bins;
             }
         }
-        self.cycles += frame.len() as u64;
-        out
+        self.cycles += (drift_bins * self.fine_bins) as u64;
     }
 
     /// BRAM budget: the index ROM plus a double-buffered coarse line buffer.
@@ -132,7 +152,7 @@ mod tests {
         let out = binner.bin_frame(&frame, 2);
         assert_eq!(out.len(), 6);
         // Row 0: groups [0..4), [4..8), [8..12).
-        assert_eq!(out[0], 0 + 1 + 2 + 3);
+        assert_eq!(out[0], 1 + 2 + 3);
         assert_eq!(out[1], 4 + 5 + 6 + 7);
         assert_eq!(out[2], 8 + 9 + 10 + 11);
         // Row 1.
@@ -166,7 +186,10 @@ mod tests {
             &frame.iter().map(|&v| v as f64).collect::<Vec<_>>(),
             5,
         );
-        for (a, &b) in out.iter().zip(soft.iter().map(|v| *v as u32).collect::<Vec<_>>().iter()) {
+        for (a, &b) in out
+            .iter()
+            .zip(soft.iter().map(|v| *v as u32).collect::<Vec<_>>().iter())
+        {
             assert_eq!(*a, b);
         }
     }
@@ -188,7 +211,7 @@ mod tests {
     #[test]
     fn cycle_accounting() {
         let mut binner = MzBinner::uniform(10, 2);
-        let _ = binner.bin_frame(&vec![1; 30], 3);
+        let _ = binner.bin_frame(&[1; 30], 3);
         assert_eq!(binner.cycles(), 30);
         assert_eq!(binner.cycles_per_frame(3), 30);
     }

@@ -167,7 +167,7 @@ mod tests {
 
     fn counts(n: usize, seed: u64) -> Vec<u64> {
         (0..n)
-            .map(|k| ((k as u64).wrapping_mul(seed + 11) % 4000))
+            .map(|k| (k as u64).wrapping_mul(seed + 11) % 4000)
             .collect()
     }
 

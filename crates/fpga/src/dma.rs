@@ -81,12 +81,26 @@ impl FramePacket {
         }
     }
 
-    /// Unpacks the ADC words.
+    /// Unpacks the ADC words into a fresh `Vec`.
+    ///
+    /// Allocates per call; streaming consumers should iterate [`words`]
+    /// instead (`FramePacket::words`), which borrows the payload.
     pub fn to_words(&self) -> Vec<u32> {
-        self.payload
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect()
+        self.words().collect()
+    }
+
+    /// Borrowed view of the ADC words: decodes little-endian `u32`s
+    /// straight out of the shared payload buffer with no allocation — the
+    /// zero-copy read path for per-frame hot loops.
+    pub fn words(&self) -> Words<'_> {
+        Words {
+            chunks: self.payload.chunks_exact(4),
+        }
+    }
+
+    /// Number of ADC words in the payload.
+    pub fn n_words(&self) -> usize {
+        self.payload.len() / 4
     }
 
     /// Payload size in bytes.
@@ -94,6 +108,28 @@ impl FramePacket {
         self.payload.len()
     }
 }
+
+/// Borrowed iterator over a packet's little-endian ADC words.
+#[derive(Debug, Clone)]
+pub struct Words<'a> {
+    chunks: std::slice::ChunksExact<'a, u8>,
+}
+
+impl Iterator for Words<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        self.chunks
+            .next()
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.chunks.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Words<'_> {}
 
 #[cfg(test)]
 mod tests {

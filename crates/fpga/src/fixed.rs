@@ -10,8 +10,22 @@ use serde::{Deserialize, Serialize};
 use std::ops::{Add, Mul, Neg, Sub};
 
 /// Signed fixed-point value with `F` fractional bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Fx<const F: u32>(i64);
+
+// Hand-written (rather than derived) because the vendored serde derive does
+// not handle generic tuple structs: an `Fx` serialises as its raw word.
+impl<const F: u32> Serialize for Fx<F> {
+    fn serialize(&self) -> serde::Value {
+        self.0.serialize()
+    }
+}
+
+impl<const F: u32> Deserialize for Fx<F> {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Fx(i64::deserialize(v)?))
+    }
+}
 
 impl<const F: u32> Fx<F> {
     /// Largest representable value.
@@ -140,7 +154,7 @@ mod tests {
 
     #[test]
     fn round_trips_within_half_ulp() {
-        for v in [0.0, 1.0, -1.0, 3.14159, -1234.5678, 1e6] {
+        for v in [0.0, 1.0, -1.0, 3.25, -1234.5678, 1e6] {
             let f = Q16::from_f64(v);
             assert!((f.to_f64() - v).abs() <= Q16::ulp() / 2.0 + 1e-12, "{v}");
         }

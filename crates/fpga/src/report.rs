@@ -150,8 +150,7 @@ impl ResourceReport {
         let fits = bram_used <= device.bram_tiles && dsp_used <= device.dsp_slices;
 
         // The fine stream paces capture (one fine word per clock).
-        let capture_cycles =
-            binner.cycles_per_frame(acc.drift_bins()) * frames_per_block;
+        let capture_cycles = binner.cycles_per_frame(acc.drift_bins()) * frames_per_block;
         let deconv_cycles = deconv.cycles_per_block(acc.mz_bins());
         let cycles_per_block = capture_cycles.max(deconv_cycles);
         let seconds_per_block = cycles_per_block as f64 / device.clock_hz;
@@ -216,8 +215,16 @@ mod tests {
             50,
             0.06,
         );
-        assert!(report.fits, "bram {}/{}", report.bram_used, report.bram_available);
-        assert!(report.realtime_margin > 1.0, "margin {}", report.realtime_margin);
+        assert!(
+            report.fits,
+            "bram {}/{}",
+            report.bram_used, report.bram_available
+        );
+        assert!(
+            report.realtime_margin > 1.0,
+            "margin {}",
+            report.realtime_margin
+        );
         assert!(report.viable());
     }
 
@@ -266,7 +273,11 @@ mod tests {
             50,
             0.06,
         );
-        assert!(report.fits, "bram {}/{}", report.bram_used, report.bram_available);
+        assert!(
+            report.fits,
+            "bram {}/{}",
+            report.bram_used, report.bram_available
+        );
         assert!(report.viable(), "margin {}", report.realtime_margin);
         // The fine stream paces capture: 20x the coarse-only cycle count.
         let coarse_only = ResourceReport::evaluate(

@@ -70,7 +70,7 @@ proptest! {
         let seq = MSequence::new(degree);
         let n = seq.len();
         let y: Vec<u64> = (0..n)
-            .map(|k| ((k as u64).wrapping_mul(seed + 3) % 5000))
+            .map(|k| (k as u64).wrapping_mul(seed + 3) % 5000)
             .collect();
         let core = DeconvCore::new(
             &seq,

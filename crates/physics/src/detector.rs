@@ -155,10 +155,7 @@ mod tests {
         let mut r = rng();
         let reps = 3000;
         let mean_response = |ions: f64, r: &mut ChaCha8Rng| -> f64 {
-            (0..reps)
-                .map(|_| det.digitize(r, &[ions])[0])
-                .sum::<f64>()
-                / reps as f64
+            (0..reps).map(|_| det.digitize(r, &[ions])[0]).sum::<f64>() / reps as f64
         };
         let low = mean_response(2.0, &mut r);
         let high = mean_response(20.0, &mut r);

@@ -168,7 +168,9 @@ mod tests {
         let b = IonSpecies::new("b", 1400.0, 1, 360.0, 1.0);
         let ta = tube.drift_time_s(&a);
         let tb = tube.drift_time_s(&b);
-        let sig = tube.arrival_sigma_s(&a, 0.0).max(tube.arrival_sigma_s(&b, 0.0));
+        let sig = tube
+            .arrival_sigma_s(&a, 0.0)
+            .max(tube.arrival_sigma_s(&b, 0.0));
         assert!((tb - ta).abs() > 4.0 * sig, "species should be resolvable");
     }
 }

@@ -44,10 +44,7 @@ impl EsiSource {
             return vec![0.0; species.len()];
         }
         let suppression = 1.0 + total_abundance / self.saturation_abundance;
-        let effective: Vec<f64> = species
-            .iter()
-            .map(|s| s.abundance / suppression)
-            .collect();
+        let effective: Vec<f64> = species.iter().map(|s| s.abundance / suppression).collect();
         let effective_total: f64 = effective.iter().sum();
         // Charge current splits proportionally to effective response; each
         // ion of species i carries z_i charges.

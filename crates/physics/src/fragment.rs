@@ -212,7 +212,12 @@ mod tests {
             .iter()
             .find(|f| f.kind == FragmentKind::Y && f.index == 7)
             .unwrap();
-        let expect = 97.05276 + 57.02146 + 147.06841 + 87.03203 + 97.05276 + 147.06841
+        let expect = 97.05276
+            + 57.02146
+            + 147.06841
+            + 87.03203
+            + 97.05276
+            + 147.06841
             + 156.10111
             + WATER
             + PROTON_MASS_DA;

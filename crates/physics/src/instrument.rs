@@ -139,8 +139,8 @@ mod tests {
         let w = Workload::three_peptide_mix();
         let map = inst.expected_rate_map(&w, 0.0);
         let profile = map.total_ion_drift_profile();
-        let peaks = ims_signal::peaks::PeakFinder::with_min_height(map.max() * 0.001)
-            .find(&profile);
+        let peaks =
+            ims_signal::peaks::PeakFinder::with_min_height(map.max() * 0.001).find(&profile);
         assert!(peaks.len() >= 3, "found {} drift peaks", peaks.len());
     }
 

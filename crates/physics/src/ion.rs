@@ -20,7 +20,13 @@ pub struct IonSpecies {
 
 impl IonSpecies {
     /// Creates a species; CCS must be positive and charge ≥ 1.
-    pub fn new(name: impl Into<String>, mass_da: f64, charge: u32, ccs_a2: f64, abundance: f64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        mass_da: f64,
+        charge: u32,
+        ccs_a2: f64,
+        abundance: f64,
+    ) -> Self {
         assert!(mass_da > 0.0, "mass must be positive");
         assert!(charge >= 1, "charge must be at least 1");
         assert!(ccs_a2 > 0.0, "CCS must be positive");
@@ -50,7 +56,8 @@ impl IonSpecies {
         let mu = self.reduced_mass_kg();
         let omega = self.ccs_a2 * A2_TO_M2;
         let q = self.charge as f64 * ELEMENTARY_CHARGE;
-        let k0_si = (3.0 / 16.0) * (q / LOSCHMIDT)
+        let k0_si = (3.0 / 16.0)
+            * (q / LOSCHMIDT)
             * (2.0 * std::f64::consts::PI / (mu * BOLTZMANN * temperature_k)).sqrt()
             / omega;
         k0_si * M2_TO_CM2
@@ -100,7 +107,10 @@ mod tests {
         let z2 = IonSpecies::new("b", 1200.0, 2, 320.0, 1.0);
         assert!(z2.reduced_mobility(300.0) > z1.reduced_mobility(300.0));
         let ratio = z2.reduced_mobility(300.0) / z1.reduced_mobility(300.0);
-        assert!((ratio - 2.0).abs() < 1e-9, "mobility scales linearly with z");
+        assert!(
+            (ratio - 2.0).abs() < 1e-9,
+            "mobility scales linearly with z"
+        );
     }
 
     #[test]

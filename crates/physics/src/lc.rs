@@ -46,11 +46,7 @@ pub fn retention_coefficient(aa: u8) -> f64 {
 /// Summed hydrophobicity index of a peptide, with a mild length correction
 /// (long peptides retain disproportionately).
 pub fn hydrophobicity_index(peptide: &Peptide) -> f64 {
-    let sum: f64 = peptide
-        .sequence
-        .bytes()
-        .map(retention_coefficient)
-        .sum();
+    let sum: f64 = peptide.sequence.bytes().map(retention_coefficient).sum();
     let length_factor = 1.0 - 0.3 * (peptide.len() as f64 / 20.0).min(1.0);
     sum * (0.7 + length_factor * 0.3)
 }
@@ -130,7 +126,8 @@ impl LcGradient {
         let cdf = |t: f64| 0.5 * (1.0 + ims_signal::peaks::erf((t - rt) / s));
         // Integral of the unit-apex Gaussian over the window, divided by
         // the window length.
-        let integral = (cdf(t1_s) - cdf(t0_s)) * self.peak_sigma_s * (2.0 * std::f64::consts::PI).sqrt();
+        let integral =
+            (cdf(t1_s) - cdf(t0_s)) * self.peak_sigma_s * (2.0 * std::f64::consts::PI).sqrt();
         integral / (t1_s - t0_s)
     }
 
@@ -165,12 +162,15 @@ mod tests {
     #[test]
     fn retention_inside_gradient_window() {
         let g = LcGradient::default();
-        for seq in ["GGSGGS", "LLLLLL", "RPPGFSPFR", "ADSGEGDFLAEGGGVR", "WWWWWWWW"] {
+        for seq in [
+            "GGSGGS",
+            "LLLLLL",
+            "RPPGFSPFR",
+            "ADSGEGDFLAEGGGVR",
+            "WWWWWWWW",
+        ] {
             let rt = g.retention_time_s(&Peptide::new(seq));
-            assert!(
-                rt > 0.0 && rt < 1.05 * g.duration_s,
-                "{seq}: rt {rt}"
-            );
+            assert!(rt > 0.0 && rt < 1.05 * g.duration_s, "{seq}: rt {rt}");
         }
     }
 
@@ -195,7 +195,10 @@ mod tests {
             .map(|k| g.mean_elution_factor(&p, k as f64 * step, (k + 1) as f64 * step) * step)
             .sum();
         let expect = g.peak_sigma_s * (2.0 * std::f64::consts::PI).sqrt();
-        assert!((total - expect).abs() < 0.01 * expect, "{total} vs {expect}");
+        assert!(
+            (total - expect).abs() < 0.01 * expect,
+            "{total} vs {expect}"
+        );
     }
 
     #[test]
@@ -232,7 +235,7 @@ mod tests {
         // Run 0 of the pattern is undrifted.
         let r0 = g.replicate(0, 25.0);
         assert!((r0.retention_time_s(&p) - base_rt).abs() < 4.0); // scale term only
-        // Run 1 shifts by +25 s (plus a small scale term).
+                                                                  // Run 1 shifts by +25 s (plus a small scale term).
         let r1 = g.replicate(1, 25.0);
         let shift = r1.retention_time_s(&p) - base_rt;
         assert!(shift > 20.0 && shift < 32.0, "shift {shift}");

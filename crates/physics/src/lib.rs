@@ -50,8 +50,8 @@ pub mod ion;
 pub mod isotope;
 pub mod lc;
 pub mod map2d;
-pub mod modification;
 pub mod mobility;
+pub mod modification;
 pub mod peptide;
 pub mod tof;
 pub mod workload;

@@ -22,7 +22,11 @@ pub fn drift_velocity(k: f64, e_field: f64) -> f64 {
 /// ```text
 /// R_diff = √(z·e·V / (16·kB·T·ln2))
 /// ```
-pub fn diffusion_limited_resolving_power(charge: u32, drift_voltage: f64, temperature_k: f64) -> f64 {
+pub fn diffusion_limited_resolving_power(
+    charge: u32,
+    drift_voltage: f64,
+    temperature_k: f64,
+) -> f64 {
     assert!(drift_voltage > 0.0 && temperature_k > 0.0);
     (charge as f64 * ELEMENTARY_CHARGE * drift_voltage
         / (16.0 * BOLTZMANN * temperature_k * (2.0f64).ln()))
@@ -34,7 +38,9 @@ pub fn diffusion_limited_resolving_power(charge: u32, drift_voltage: f64, temper
 /// `E/N ≈ 20 Td` (reduced-pressure drift tubes run at 10–20 Td by design).
 pub fn e_over_n_townsend(e_field_v_cm: f64, pressure_torr: f64, temperature_k: f64) -> f64 {
     // Number density in cm⁻³ at working conditions.
-    let n = LOSCHMIDT * 1e-6 * (pressure_torr / STANDARD_PRESSURE_TORR)
+    let n = LOSCHMIDT
+        * 1e-6
+        * (pressure_torr / STANDARD_PRESSURE_TORR)
         * (STANDARD_TEMPERATURE / temperature_k);
     e_field_v_cm / n / 1e-17
 }

@@ -155,7 +155,10 @@ fn hash_to_unit(s: &str) -> f64 {
 /// `min_len` residues are discarded (they fall below the instrument's m/z
 /// range in practice).
 pub fn tryptic_digest(protein: &str, missed_cleavages: usize, min_len: usize) -> Vec<Peptide> {
-    assert!(missed_cleavages <= 2, "at most 2 missed cleavages supported");
+    assert!(
+        missed_cleavages <= 2,
+        "at most 2 missed cleavages supported"
+    );
     let bytes = protein.as_bytes();
     // Cleavage points: index AFTER which we cut.
     let mut cuts = Vec::new();

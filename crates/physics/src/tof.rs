@@ -155,7 +155,10 @@ mod tests {
         let profile = tof.species_profile(&sp);
         let (apex, _) = ims_signal::stats::argmax(&profile).unwrap();
         let apex_mz = tof.mz_of(apex);
-        assert!((apex_mz - sp.mz()).abs() < 2.0 * tof.bin_width(), "apex at {apex_mz}");
+        assert!(
+            (apex_mz - sp.mz()).abs() < 2.0 * tof.bin_width(),
+            "apex at {apex_mz}"
+        );
     }
 
     #[test]

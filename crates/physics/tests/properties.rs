@@ -2,8 +2,8 @@
 
 use ims_physics::fragment::{by_ladder, CidCell, FragmentKind};
 use ims_physics::funnel::IonFunnelTrap;
-use ims_physics::lc::LcGradient;
 use ims_physics::isotope::averagine_envelope;
+use ims_physics::lc::LcGradient;
 use ims_physics::map2d::DriftTofMap;
 use ims_physics::peptide::{synthetic_protein, tryptic_digest, Peptide, WATER};
 use ims_physics::{DriftTube, IonSpecies};
@@ -43,8 +43,7 @@ proptest! {
         voltage in 1000.0..8000.0f64,
     ) {
         let sp = IonSpecies::new("s", mass, z, ccs, 1.0);
-        let mut tube = DriftTube::default();
-        tube.voltage_v = voltage;
+        let mut tube = DriftTube { voltage_v: voltage, ..Default::default() };
         let t1 = tube.drift_time_s(&sp);
         prop_assert!(t1 > 0.0);
         tube.voltage_v = voltage * 2.0;
@@ -111,7 +110,7 @@ proptest! {
     fn sparse_outer_matches_dense(dn in 2usize..15, mn in 2usize..15, seed in 0u64..50) {
         let drift: Vec<f64> = (0..dn).map(|i| ((i as u64 + seed) % 5) as f64).collect();
         let mz: Vec<f64> = (0..mn)
-            .map(|i| if (i as u64 + seed) % 3 == 0 { (i + 1) as f64 } else { 0.0 })
+            .map(|i| if (i as u64 + seed).is_multiple_of(3) { (i + 1) as f64 } else { 0.0 })
             .collect();
         let pairs: Vec<(usize, f64)> = mz
             .iter()

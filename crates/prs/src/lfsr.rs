@@ -44,7 +44,11 @@ impl Lfsr {
         // o_{t+i}), the recurrence o_{t+n} = Σ_{x^i ∈ p, i<n} o_{t+i} has
         // characteristic polynomial exactly p, hence maximal period.
         let fb_mask = ((poly.taps() << 1) | 1) & mask;
-        Self { poly, state, fb_mask }
+        Self {
+            poly,
+            state,
+            fb_mask,
+        }
     }
 
     /// The generating polynomial.

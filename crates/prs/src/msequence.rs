@@ -80,12 +80,18 @@ impl MSequence {
 
     /// One period as 0.0/1.0 samples (gate transmission).
     pub fn as_f64(&self) -> Vec<f64> {
-        self.bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// One period in ±1 encoding: `(−1)^bit` (so a gate-open bit maps to −1).
     pub fn as_pm1(&self) -> Vec<f64> {
-        self.bits.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { -1.0 } else { 1.0 })
+            .collect()
     }
 
     /// Cyclic autocorrelation of the 0/1 sequence at the given lag.
@@ -122,7 +128,7 @@ mod tests {
             let m = MSequence::new(degree);
             assert_eq!(
                 m.ones(),
-                (m.len() + 1) / 2,
+                m.len().div_ceil(2),
                 "degree {degree}: wrong ones count"
             );
         }
@@ -133,7 +139,7 @@ mod tests {
         for degree in [3u32, 5, 7, 9] {
             let m = MSequence::new(degree);
             let n = m.len();
-            assert_eq!(m.autocorrelation01(0), (n + 1) / 2);
+            assert_eq!(m.autocorrelation01(0), n.div_ceil(2));
             for lag in 1..n {
                 assert_eq!(
                     m.autocorrelation01(lag),

@@ -141,7 +141,10 @@ impl OversampledSequence {
 
     /// Gate transmission as 0.0/1.0 samples on the fine time base.
     pub fn as_f64(&self) -> Vec<f64> {
-        self.bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// Fraction of fine bins with the gate open.

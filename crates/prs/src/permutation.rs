@@ -226,10 +226,7 @@ mod tests {
             let fast = t.deconvolve(&y);
             let slow = s.inverse_apply(&y);
             for (j, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
-                assert!(
-                    (a - b).abs() < 1e-8,
-                    "degree {degree} bin {j}: {a} vs {b}"
-                );
+                assert!((a - b).abs() < 1e-8, "degree {degree} bin {j}: {a} vs {b}");
             }
         }
     }
@@ -265,10 +262,7 @@ mod tests {
             let y = circular_convolve_direct(&seq.as_f64(), &x);
             let back = t.deconvolve_convolution(&y);
             for (i, (a, b)) in x.iter().zip(back.iter()).enumerate() {
-                assert!(
-                    (a - b).abs() < 1e-7,
-                    "degree {degree} bin {i}: {a} vs {b}"
-                );
+                assert!((a - b).abs() < 1e-7, "degree {degree} bin {i}: {a} vs {b}");
             }
         }
     }

@@ -182,7 +182,7 @@ mod tests {
         let n = s.order();
         for i in 0..n {
             let weight = s.row_bits(i).iter().filter(|&&b| b).count();
-            assert_eq!(weight, (n + 1) / 2, "row {i}");
+            assert_eq!(weight, n.div_ceil(2), "row {i}");
         }
     }
 

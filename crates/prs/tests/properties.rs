@@ -62,7 +62,7 @@ proptest! {
     #[test]
     fn balance_and_duty_cycle(degree in 2u32..12) {
         let seq = MSequence::new(degree);
-        prop_assert_eq!(seq.ones(), (seq.len() + 1) / 2);
+        prop_assert_eq!(seq.ones(), seq.len().div_ceil(2));
         let d = seq.duty_cycle();
         prop_assert!(d > 0.5 && d < 0.67, "duty {d}");
     }

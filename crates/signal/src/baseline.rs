@@ -74,7 +74,10 @@ mod tests {
         // Peak apex should retain most of its height…
         let apex = out[200];
         let original_apex = 1000.0 / (4.0 * (2.0 * std::f64::consts::PI).sqrt());
-        assert!(apex > 0.85 * original_apex, "apex {apex} vs {original_apex}");
+        assert!(
+            apex > 0.85 * original_apex,
+            "apex {apex} vs {original_apex}"
+        );
         // …while the far field is close to zero.
         assert!(out[10] < 1.0, "far field {}", out[10]);
         assert!(out[390] < 1.0);

@@ -51,13 +51,7 @@ pub fn wht_direct(data: &[f64]) -> Vec<f64> {
         .map(|f| {
             data.iter()
                 .enumerate()
-                .map(|(s, &v)| {
-                    if (f & s).count_ones() % 2 == 0 {
-                        v
-                    } else {
-                        -v
-                    }
-                })
+                .map(|(s, &v)| if (f & s).count_ones() % 2 == 0 { v } else { -v })
                 .sum()
         })
         .collect()

@@ -20,7 +20,10 @@ use rand::Rng;
 /// Gaussian approximation (exact to within counting noise itself) for
 /// `mean > 30`, which is where the Poisson is already visually Gaussian.
 pub fn poisson(rng: &mut impl Rng, mean: f64) -> u64 {
-    assert!(mean.is_finite() && mean >= 0.0, "invalid Poisson mean {mean}");
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "invalid Poisson mean {mean}"
+    );
     if mean == 0.0 {
         return 0;
     }
@@ -107,8 +110,7 @@ impl ChemicalBackground {
         let period = (n as f64 / 3.0).max(8.0);
         for (i, v) in signal.iter_mut().enumerate() {
             let slow = 1.0
-                + self.undulation
-                    * (2.0 * std::f64::consts::PI * i as f64 / period + phase).sin();
+                + self.undulation * (2.0 * std::f64::consts::PI * i as f64 / period + phase).sin();
             let mean = self.baseline_level * slow;
             *v += poisson(rng, mean.max(0.0)) as f64;
         }

@@ -137,7 +137,11 @@ impl PeakFinder {
         for i in (lo..apex).rev() {
             if signal[i] <= half {
                 let (y0, y1) = (signal[i], signal[i + 1]);
-                let frac = if y1 > y0 { (half - y0) / (y1 - y0) } else { 0.5 };
+                let frac = if y1 > y0 {
+                    (half - y0) / (y1 - y0)
+                } else {
+                    0.5
+                };
                 left = i as f64 + frac;
                 break;
             }
@@ -147,7 +151,11 @@ impl PeakFinder {
         for i in apex + 1..hi {
             if signal[i] <= half {
                 let (y0, y1) = (signal[i - 1], signal[i]);
-                let frac = if y0 > y1 { (y0 - half) / (y0 - y1) } else { 0.5 };
+                let frac = if y0 > y1 {
+                    (y0 - half) / (y0 - y1)
+                } else {
+                    0.5
+                };
                 right = (i - 1) as f64 + frac;
                 break;
             }
@@ -208,7 +216,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -247,10 +256,7 @@ mod tests {
         for sigma in [0.1, 0.3, 1.0, 5.0] {
             let sig = gaussian_binned(200, 100.3, sigma, 1234.0);
             let total: f64 = sig.iter().sum();
-            assert!(
-                (total - 1234.0).abs() < 0.5,
-                "sigma {sigma}: area {total}"
-            );
+            assert!((total - 1234.0).abs() < 0.5, "sigma {sigma}: area {total}");
         }
     }
 

@@ -45,7 +45,12 @@ pub fn upsample_repeat(signal: &[f64], factor: usize) -> Vec<f64> {
 /// Keeps every `factor`-th sample starting at `offset`.
 pub fn decimate(signal: &[f64], factor: usize, offset: usize) -> Vec<f64> {
     assert!(factor > 0, "factor must be positive");
-    signal.iter().skip(offset).step_by(factor).copied().collect()
+    signal
+        .iter()
+        .skip(offset)
+        .step_by(factor)
+        .copied()
+        .collect()
 }
 
 #[cfg(test)]

@@ -103,7 +103,13 @@ mod tests {
     fn sg_quadratic_window5_matches_published_table() {
         // Classic SG (m=2, order 2): (-3, 12, 17, 12, -3)/35.
         let s = Smoother::savitzky_golay(2, 2);
-        let expect = [-3.0 / 35.0, 12.0 / 35.0, 17.0 / 35.0, 12.0 / 35.0, -3.0 / 35.0];
+        let expect = [
+            -3.0 / 35.0,
+            12.0 / 35.0,
+            17.0 / 35.0,
+            12.0 / 35.0,
+            -3.0 / 35.0,
+        ];
         for (a, b) in s.kernel().iter().zip(expect.iter()) {
             assert!((a - b).abs() < 1e-10, "kernel {a} vs table {b}");
         }
@@ -113,10 +119,12 @@ mod tests {
     fn sg_preserves_polynomials_up_to_order() {
         // An order-2 SG filter must pass quadratics through unchanged.
         let s = Smoother::savitzky_golay(3, 2);
-        let sig: Vec<f64> = (0..50).map(|i| {
-            let t = i as f64;
-            0.5 * t * t - 3.0 * t + 7.0
-        }).collect();
+        let sig: Vec<f64> = (0..50)
+            .map(|i| {
+                let t = i as f64;
+                0.5 * t * t - 3.0 * t + 7.0
+            })
+            .collect();
         let out = s.apply(&sig);
         for (i, (a, b)) in sig.iter().zip(out.iter()).enumerate().skip(3).take(44) {
             assert!((a - b).abs() < 1e-8, "bin {i}: {a} vs {b}");

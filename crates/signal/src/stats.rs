@@ -98,12 +98,10 @@ pub fn max_abs(x: &[f64]) -> f64 {
 
 /// Index and value of the maximum element (`None` if empty).
 pub fn argmax(x: &[f64]) -> Option<(usize, f64)> {
-    x.iter()
-        .enumerate()
-        .fold(None, |best, (i, &v)| match best {
-            Some((_, bv)) if bv >= v => best,
-            _ => Some((i, v)),
-        })
+    x.iter().enumerate().fold(None, |best, (i, &v)| match best {
+        Some((_, bv)) if bv >= v => best,
+        _ => Some((i, v)),
+    })
 }
 
 #[cfg(test)]

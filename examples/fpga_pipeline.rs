@@ -48,7 +48,8 @@ fn main() {
         binner: None,
     };
 
-    println!("streaming {} frames of {} bytes through the hybrid pipeline…",
+    println!(
+        "streaming {} frames of {} bytes through the hybrid pipeline…",
         config.frames,
         generator.frame_bytes()
     );
@@ -59,7 +60,8 @@ fn main() {
         hybrid.deconvolved_raw, reference,
         "FPGA component must match the software component bit-for-bit"
     );
-    println!("FPGA output == software reference: bit-exact over {} words ✓",
+    println!(
+        "FPGA output == software reference: bit-exact over {} words ✓",
         reference.len()
     );
     println!(

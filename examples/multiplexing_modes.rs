@@ -8,9 +8,9 @@
 //! ```
 
 use htims::core::acquisition::{acquire, AcquireOptions, GateSchedule};
+use htims::core::analysis::build_library;
 use htims::core::deconvolution::Deconvolver;
 use htims::core::metrics::species_snr;
-use htims::core::analysis::build_library;
 use htims::physics::{Instrument, Workload};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -49,7 +49,10 @@ fn main() {
         ),
     ];
 
-    println!("{:<34} {:>10} {:>12} {:>10}", "mode", "duty", "utilization", "SNR");
+    println!(
+        "{:<34} {:>10} {:>12} {:>10}",
+        "mode", "duty", "utilization", "SNR"
+    );
     for (i, (name, schedule, method, use_trap)) in modes.into_iter().enumerate() {
         let bins = schedule.len();
         let mut instrument = Instrument::with_drift_bins(bins);

@@ -5,14 +5,18 @@
 //! htims run --config cfg.json [--out f]    # acquire → deconvolve → features/identifications
 //! htims sequence --degree 9 [--factor 2]   # gate-sequence properties and quality metrics
 //! htims feasibility --degree 9 --mz 100    # FPGA resource / real-time report
+//! htims pipeline --degree 6 --mz 60        # run the stage graph, emit PipelineReport JSON
 //! ```
 
-use htims::core::acquisition::acquire;
+use htims::core::acquisition::{acquire, AcquireOptions, GateSchedule};
 use htims::core::analysis::{build_library, find_features, match_library};
 use htims::core::config::ExperimentConfig;
 use htims::core::deconvolution::Deconvolver;
+use htims::core::hybrid::{hybrid_pipeline, FrameGenerator, HybridConfig};
+use htims::core::pipeline::DeconvBackend;
 use htims::fpga::deconv::DeconvConfig;
-use htims::fpga::{AccumulatorCore, DeconvCore, DmaLink, FpgaDevice, ResourceReport};
+use htims::fpga::{AccumulatorCore, DeconvCore, DmaLink, FpgaDevice, MzBinner, ResourceReport};
+use htims::physics::{Instrument, Workload};
 use htims::prs::{metrics, MSequence, OversampledSequence};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -25,6 +29,7 @@ fn main() {
         "run" => run(&args),
         "sequence" => sequence(&args),
         "feasibility" => feasibility(&args),
+        "pipeline" => pipeline(&args),
         _ => help(),
     }
 }
@@ -32,7 +37,10 @@ fn main() {
 fn help() {
     eprintln!(
         "usage:\n  htims print-config\n  htims run --config <file.json> [--out <file.json>]\n  \
-         htims sequence --degree <n> [--factor <m>]\n  htims feasibility --degree <n> --mz <bins>"
+         htims sequence --degree <n> [--factor <m>]\n  htims feasibility --degree <n> --mz <bins>\n  \
+         htims pipeline [--degree <n>] [--mz <bins>] [--frames <per-block>] [--blocks <n>]\n    \
+         [--depth <channel depth>] [--backend fpga|naive|software] [--threads <n>]\n    \
+         [--coarse <bins>] [--executor threaded|inline] [--out <file.json>]"
     );
 }
 
@@ -104,11 +112,12 @@ fn run(args: &[String]) {
     });
     match flag(args, "--out") {
         Some(out) => {
-            std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap())
-                .unwrap_or_else(|e| {
+            std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap()).unwrap_or_else(
+                |e| {
                     eprintln!("cannot write {out}: {e}");
                     std::process::exit(2);
-                });
+                },
+            );
             eprintln!("report written to {out}");
         }
         None => println!("{}", serde_json::to_string_pretty(&report).unwrap()),
@@ -144,15 +153,128 @@ fn sequence(args: &[String]) {
     println!(
         "{label}: duty cycle {:.3}, pulses/period {}, autocorrelation contrast {:.1} dB,\n\
          condition number {:.2}, inverse noise gain {:.4}",
-        m.duty_cycle, m.pulse_count, m.autocorrelation_contrast_db, m.condition_number, m.noise_gain
+        m.duty_cycle,
+        m.pulse_count,
+        m.autocorrelation_contrast_db,
+        m.condition_number,
+        m.noise_gain
     );
+}
+
+/// Runs the unified hybrid stage graph (source → link → [binner] →
+/// accumulate → deconvolve) and emits the run's `PipelineReport` as JSON:
+/// per-stage busy/blocked time, queue high-water marks, cycle totals, and
+/// simulated link time.
+fn pipeline(args: &[String]) {
+    let degree: u32 = flag(args, "--degree")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    let mz: usize = flag(args, "--mz")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    let frames: u64 = flag(args, "--frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let blocks: usize = flag(args, "--blocks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+        .max(1);
+    let depth: usize = flag(args, "--depth")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let backend_name = flag(args, "--backend").unwrap_or_else(|| "fpga".into());
+    let threads: usize = flag(args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let coarse: Option<usize> = flag(args, "--coarse").and_then(|v| v.parse().ok());
+    if let Some(c) = coarse {
+        if c < 1 || c > mz {
+            eprintln!("--coarse must be in 1..={mz} (the m/z bin count)");
+            std::process::exit(2);
+        }
+    }
+    let executor = flag(args, "--executor").unwrap_or_else(|| "threaded".into());
+
+    let n = (1usize << degree) - 1;
+    let mut inst = Instrument::with_drift_bins(n);
+    inst.tof.n_bins = mz;
+    let workload = Workload::three_peptide_mix();
+    let schedule = GateSchedule::multiplexed(degree);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let data = acquire(
+        &inst,
+        &workload,
+        &schedule,
+        1,
+        AcquireOptions::default(),
+        &mut rng,
+    );
+    let seq = match schedule {
+        GateSchedule::Multiplexed { seq } => seq,
+        _ => unreachable!(),
+    };
+    let generator = FrameGenerator::new(&data, &inst.adc, 1234);
+    let cfg = HybridConfig {
+        frames,
+        channel_depth: depth,
+        binner: coarse.map(|c| MzBinner::uniform(mz, c)),
+        ..Default::default()
+    };
+    let backend = DeconvBackend::from_name(&backend_name, &seq, cfg.deconv, threads)
+        .unwrap_or_else(|| {
+            eprintln!("unknown backend '{backend_name}' (use fpga | naive | software)");
+            std::process::exit(2);
+        });
+
+    let graph = hybrid_pipeline(
+        &generator,
+        &seq,
+        &cfg,
+        frames * blocks as u64,
+        frames,
+        false,
+        backend,
+    );
+    let out = match executor.as_str() {
+        "inline" => graph.run_inline(),
+        "threaded" => graph.run_threaded(),
+        other => {
+            eprintln!("unknown executor '{other}' (use threaded | inline)");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "{} executor, backend {}: {} frames -> {} blocks in {:.1} ms \
+         (simulated link {:.3} ms, capture {} cycles, deconvolve {} cycles)",
+        out.report.executor,
+        out.report.backend,
+        out.report.frames,
+        out.report.blocks,
+        out.report.wall_seconds * 1e3,
+        out.report.simulated_link_seconds * 1e3,
+        out.report.capture_cycles,
+        out.report.deconv_cycles,
+    );
+    let json = serde_json::to_string_pretty(&out.report).unwrap();
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("report written to {path}");
+        }
+        None => println!("{json}"),
+    }
 }
 
 fn feasibility(args: &[String]) {
     let degree: u32 = flag(args, "--degree")
         .and_then(|v| v.parse().ok())
         .unwrap_or(9);
-    let mz: usize = flag(args, "--mz").and_then(|v| v.parse().ok()).unwrap_or(100);
+    let mz: usize = flag(args, "--mz")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
     let n = (1usize << degree) - 1;
     let seq = MSequence::new(degree);
     let acc = AccumulatorCore::new(n, mz, 32);

@@ -59,7 +59,10 @@ fn fourier_inverse_agrees_with_fast_hadamard_for_convolution_data() {
             via_hadamard[j],
             via_fourier[j]
         );
-        assert!((via_hadamard[j] - x[j]).abs() < 1e-6, "bin {j} not recovered");
+        assert!(
+            (via_hadamard[j] - x[j]).abs() < 1e-6,
+            "bin {j} not recovered"
+        );
     }
 }
 
@@ -80,7 +83,12 @@ fn modified_oversampled_sequence_round_trips_fine_structure() {
         .expect("modified sequence is invertible")
         .apply(&y);
     for j in 0..l {
-        assert!((back[j] - x[j]).abs() < 1e-6, "fine bin {j}: {} vs {}", back[j], x[j]);
+        assert!(
+            (back[j] - x[j]).abs() < 1e-6,
+            "fine bin {j}: {} vs {}",
+            back[j],
+            x[j]
+        );
     }
 }
 

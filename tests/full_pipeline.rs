@@ -40,8 +40,18 @@ fn three_peptide_mix_fully_identified() {
     );
     // Positions must be accurate to ~1 bin.
     for id in &ids {
-        assert!(id.drift_error.abs() <= 2, "{}: drift err {}", id.entry.name, id.drift_error);
-        assert!(id.mz_error.abs() <= 2, "{}: mz err {}", id.entry.name, id.mz_error);
+        assert!(
+            id.drift_error.abs() <= 2,
+            "{}: drift err {}",
+            id.entry.name,
+            id.drift_error
+        );
+        assert!(
+            id.mz_error.abs() <= 2,
+            "{}: mz err {}",
+            id.entry.name,
+            id.mz_error
+        );
     }
 }
 
@@ -111,7 +121,9 @@ fn all_deconvolvers_recover_truth_shape_on_clean_data() {
         Deconvolver::Weighted { lambda: 1e-8 },
         Deconvolver::WeightedIdeal { lambda: 1e-8 },
     ] {
-        let got = method.deconvolve(&schedule, &data).total_ion_drift_profile();
+        let got = method
+            .deconvolve(&schedule, &data)
+            .total_ion_drift_profile();
         let f = fidelity(&got, &truth, 0.01);
         assert!(
             f.pearson > 0.995,

@@ -1,0 +1,269 @@
+//! Offline vendored subset of `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` + `benchmark_group`
+//! authoring surface. Run modes:
+//!
+//! - default (what `cargo test` does with `harness = false` bench
+//!   targets): each benchmark body executes **once** as a smoke test, so
+//!   test runs stay fast and a broken benchmark still fails the build;
+//! - `--bench`: each benchmark is timed over its configured
+//!   `measurement_time` and a mean per-iteration time is printed.
+
+// Offline stand-in shim: not held to the first-party lint bar.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run every benchmark body once (smoke/test mode).
+    Test,
+    /// Measure and report timings.
+    Bench,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { mode: Mode::Test }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--bench` selects
+    /// measuring mode; anything else runs one-shot smoke mode).
+    pub fn from_args() -> Self {
+        let bench = std::env::args().any(|a| a == "--bench");
+        Self {
+            mode: if bench { Mode::Bench } else { Mode::Test },
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Registers a standalone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        run_one(
+            self.mode,
+            "standalone",
+            &id.label,
+            Duration::from_secs(1),
+            |b| f(b),
+        );
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the vendored harness sizes runs by
+    /// `measurement_time` alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the vendored harness does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets how long `--bench` mode measures each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Registers a benchmark taking a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            self.criterion.mode,
+            &self.name,
+            &id.label,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Registers a benchmark with no input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            self.criterion.mode,
+            &self.name,
+            &id.label,
+            self.measurement_time,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Passed to benchmark bodies; `iter` runs the measured routine.
+pub struct Bencher {
+    mode: Mode,
+    measurement_time: Duration,
+    /// (iterations, elapsed) recorded by `iter` in bench mode.
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Runs the routine: once in test mode, repeatedly for the configured
+    /// measurement window in bench mode.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Test => {
+                std::hint::black_box(routine());
+            }
+            Mode::Bench => {
+                let mut iters: u64 = 0;
+                let start = Instant::now();
+                loop {
+                    std::hint::black_box(routine());
+                    iters += 1;
+                    if start.elapsed() >= self.measurement_time {
+                        break;
+                    }
+                }
+                self.measured = Some((iters, start.elapsed()));
+            }
+        }
+    }
+}
+
+fn run_one(
+    mode: Mode,
+    group: &str,
+    label: &str,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        mode,
+        measurement_time,
+        measured: None,
+    };
+    f(&mut bencher);
+    match mode {
+        Mode::Test => eprintln!("test {group}/{label} ... ok"),
+        Mode::Bench => {
+            if let Some((iters, elapsed)) = bencher.measured {
+                let per_iter = elapsed.as_secs_f64() / iters.max(1) as f64;
+                println!(
+                    "{group}/{label}: {iters} iterations, {:.3} ms/iter",
+                    per_iter * 1e3
+                );
+            } else {
+                println!("{group}/{label}: no measurement recorded");
+            }
+        }
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+}

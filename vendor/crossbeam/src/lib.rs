@@ -1,0 +1,261 @@
+//! Offline vendored subset of `crossbeam`: bounded MPMC channels with the
+//! blocking semantics the hybrid pipeline depends on (send blocks when the
+//! queue is full — back-pressure — and disconnection is observable from
+//! both ends). Implemented on `std` mutex/condvar; `len()` is exposed so
+//! the pipeline executor can record queue high-water marks.
+
+// Offline stand-in shim: not held to the first-party lint bar.
+#![allow(clippy::all)]
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        not_full: Condvar,
+        not_empty: Condvar,
+        cap: usize,
+    }
+
+    /// Error returned when sending on a channel with no receivers; carries
+    /// the unsent message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when receiving on an empty channel with no senders.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates a bounded channel of capacity `cap` (≥ 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "this vendored channel requires capacity >= 1");
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cap),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues `msg`. Fails (returning
+        /// the message) once every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if state.queue.len() < self.inner.cap {
+                    state.queue.push_back(msg);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.inner.not_full.wait(state).unwrap();
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives. Fails once the queue is empty
+        /// and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.state.lock().unwrap();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.inner.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// A blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    /// Owning blocking iterator over received messages.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().unwrap().senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().unwrap().receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trips_in_order() {
+            let (tx, rx) = bounded::<u32>(2);
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(i).unwrap();
+                    }
+                });
+                let got: Vec<u32> = rx.iter().collect();
+                assert_eq!(got, (0..100).collect::<Vec<_>>());
+            });
+        }
+
+        #[test]
+        fn send_fails_when_receiver_gone() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn recv_fails_when_senders_gone_and_empty() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn capacity_one_backpressure() {
+            let (tx, rx) = bounded::<u64>(1);
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        tx.send(i).unwrap();
+                    }
+                });
+                let mut expect = 0;
+                for v in rx.iter() {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                }
+                assert_eq!(expect, 1000);
+            });
+        }
+    }
+}

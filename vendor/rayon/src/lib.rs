@@ -1,0 +1,271 @@
+//! Offline vendored subset of `rayon`.
+//!
+//! Implements the slice of the API this workspace uses — `into_par_iter()`
+//! / `par_iter()` with `map(...).collect()`, plus `ThreadPoolBuilder` and
+//! `ThreadPool::install` — with real data parallelism on `std::thread`
+//! scoped threads. Items are split into one contiguous chunk per worker, so
+//! ordering is preserved and the embarrassingly-parallel column workloads
+//! this repo runs scale near-linearly, as with the real crate.
+
+// Offline stand-in shim: not held to the first-party lint bar.
+#![allow(clippy::all)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread count override installed by [`ThreadPool::install`];
+    /// 0 means "use the machine default".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of threads parallel operations will currently use.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(|t| t.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Error from building a thread pool (the vendored builder cannot fail;
+/// the type exists for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that scopes parallel operations to a fixed thread count.
+///
+/// The vendored pool spawns scoped threads per operation rather than
+/// keeping workers alive; `install` pins the thread count used by any
+/// parallel iterator invoked inside the closure.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count installed.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        let result = op();
+        POOL_THREADS.with(|t| t.set(prev));
+        result
+    }
+
+    /// The pool's thread count (0 = machine default).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Runs `f` over `items` in parallel, preserving order: the items are split
+/// into one contiguous chunk per worker thread.
+fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let threads = current_num_threads().max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::new();
+    let mut items = items;
+    // Split back-to-front so each drain is O(chunk).
+    while !items.is_empty() {
+        let at = items.len().saturating_sub(chunk);
+        chunks.push(items.split_off(at));
+    }
+    chunks.reverse();
+    let f = &f;
+    let mut out: Vec<O> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// Parallel iterator adapters.
+pub mod iter {
+    use super::parallel_map;
+
+    /// A materialised parallel iterator over owned items.
+    pub struct ParIter<I> {
+        items: Vec<I>,
+    }
+
+    /// A mapped parallel iterator, evaluated on `collect`/`for_each`.
+    pub struct ParMap<I, F> {
+        items: Vec<I>,
+        f: F,
+    }
+
+    /// Conversion into a parallel iterator (by value).
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Converts into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    /// Conversion into a parallel iterator over references.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type (a reference).
+        type Item: Send + 'a;
+        /// Parallel iterator over `&self`'s items.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<I: Send> ParIter<I> {
+        /// Maps each item (lazily; evaluated by `collect`).
+        pub fn map<O: Send, F: Fn(I) -> O + Sync>(self, f: F) -> ParMap<I, F> {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Collects the items unchanged.
+        pub fn collect<C: FromIterator<I>>(self) -> C {
+            self.items.into_iter().collect()
+        }
+
+        /// Applies `f` to every item in parallel.
+        pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+            let _: Vec<()> = parallel_map(self.items, |i| f(i));
+        }
+    }
+
+    impl<I: Send, O: Send, F: Fn(I) -> O + Sync> ParMap<I, F> {
+        /// Evaluates the map in parallel and collects the results in order.
+        pub fn collect<C: FromIterator<O>>(self) -> C {
+            parallel_map(self.items, self.f).into_iter().collect()
+        }
+
+        /// Evaluates the map in parallel, then sums the results.
+        pub fn sum<S: std::iter::Sum<O>>(self) -> S {
+            parallel_map(self.items, self.f).into_iter().sum()
+        }
+    }
+}
+
+/// The rayon prelude: import the iterator traits.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            assert_eq!(crate::current_num_threads(), 3);
+            let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i + 1).collect();
+            assert_eq!(out[99], 100);
+        });
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        let out: Vec<f64> = v.par_iter().map(|x| x * 2.0).collect();
+        assert_eq!(out, vec![2.0, 4.0, 6.0]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Offline vendored serde derive macros.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored `serde`
+//! crate's `Value` data model, parsing the item's token stream directly
+//! (no `syn`/`quote`). Supported shapes — which cover every derived type
+//! in this workspace — are non-generic named-field structs and enums whose
+//! variants are unit or named-field (externally tagged, like real serde).
+//! Anything else panics at compile time with a clear message; hand-write
+//! those impls instead (see `ims_fpga::fixed::Fx`).
+
+// Offline stand-in shim: not held to the first-party lint bar.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed item: a struct's fields or an enum's variants.
+enum Item {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Enum: `(variant_name, None)` for unit variants,
+    /// `(variant_name, Some(fields))` for named-field variants.
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+struct Parsed {
+    name: String,
+    item: Item,
+}
+
+/// Derives `serde::Serialize` via the `Value` tree model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let body = match &parsed.item {
+        Item::Struct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), _serde::Serialize::serialize(&self.{f})),"))
+                .collect();
+            format!("_serde::Value::Object(vec![{entries}])")
+        }
+        Item::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "{n}::{v} => _serde::Value::String(\"{v}\".to_string()),",
+                        n = parsed.name
+                    ),
+                    Some(fields) => {
+                        let bind = fields.join(", ");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), _serde::Serialize::serialize({f})),")
+                            })
+                            .collect();
+                        format!(
+                            "{n}::{v} {{ {bind} }} => _serde::Value::Object(vec![\
+                             (\"{v}\".to_string(), _serde::Value::Object(vec![{entries}]))]),",
+                            n = parsed.name
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    wrap(
+        &parsed.name,
+        format!(
+            "impl _serde::Serialize for {} {{\
+             fn serialize(&self) -> _serde::Value {{ {body} }} }}",
+            parsed.name
+        ),
+    )
+}
+
+/// Derives `serde::Deserialize` via the `Value` tree model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let name = &parsed.name;
+    let body = match &parsed.item {
+        Item::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: _serde::Deserialize::deserialize(v.field(\"{f}\"))?,"))
+                .collect();
+            format!("Ok({name} {{ {inits} }})")
+        }
+        Item::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|(v, f)| f.as_ref().map(|fields| (v, fields)))
+                .map(|(v, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: _serde::Deserialize::deserialize(inner.field(\"{f}\"))?,")
+                        })
+                        .collect();
+                    format!("\"{v}\" => Ok({name}::{v} {{ {inits} }}),")
+                })
+                .collect();
+            format!(
+                "match v {{\
+                 _serde::Value::String(s) => match s.as_str() {{\
+                   {unit_arms}\
+                   other => Err(_serde::Error::msg(format!(\
+                     \"unknown variant `{{other}}` of `{name}`\"))),\
+                 }},\
+                 _serde::Value::Object(entries) if entries.len() == 1 => {{\
+                   let (tag, inner) = &entries[0];\
+                   match tag.as_str() {{\
+                     {tagged_arms}\
+                     other => Err(_serde::Error::msg(format!(\
+                       \"unknown variant `{{other}}` of `{name}`\"))),\
+                   }}\
+                 }},\
+                 _ => Err(_serde::Error::msg(\
+                   format!(\"invalid shape for enum `{name}`: {{}}\", v.kind()))),\
+                 }}"
+            )
+        }
+    };
+    wrap(
+        name,
+        format!(
+            "impl _serde::Deserialize for {name} {{\
+             fn deserialize(v: &_serde::Value) -> Result<Self, _serde::Error> {{ {body} }} }}"
+        ),
+    )
+}
+
+/// Wraps generated impls in a `const` block with a hygienic serde alias
+/// (the same trick real serde_derive uses).
+fn wrap(name: &str, impls: String) -> TokenStream {
+    let out = format!("const _: () = {{ extern crate serde as _serde; {impls} }};");
+    out.parse()
+        .unwrap_or_else(|e| panic!("serde derive for `{name}` generated invalid code: {e}"))
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "vendored serde derive does not support generic type `{name}`; \
+             write the impls by hand"
+        );
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => panic!(
+            "vendored serde derive does not support tuple struct `{name}`; \
+             write the impls by hand"
+        ),
+        other => panic!("serde derive: expected `{{` after `{name}`, found {other:?}"),
+    };
+    let item = match kind.as_str() {
+        "struct" => Item::Struct(parse_fields(body)),
+        "enum" => Item::Enum(parse_variants(body, &name)),
+        other => panic!("serde derive: cannot derive for `{other} {name}`"),
+    };
+    Parsed { name, item }
+}
+
+/// Advances past outer attributes (`#[...]`, including doc comments) and a
+/// `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named fields, returning the names in order.
+fn parse_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, found `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, found `{other}`"),
+        }
+        // Skip the type: everything up to the next comma at angle-depth 0.
+        // Parens/brackets/braces arrive as single Group trees, so only
+        // `<`/`>` need explicit depth tracking.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Parses enum variants: unit or named-field (tuple variants are rejected).
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<(String, Option<Vec<String>>)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                panic!("serde derive: expected variant name in `{enum_name}`, found `{other}`")
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push((name, None));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                i += 1;
+                variants.push((name, None));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push((name.clone(), Some(parse_fields(g.stream()))));
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => panic!(
+                "vendored serde derive does not support tuple variant \
+                 `{enum_name}::{name}`; use named fields"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                "vendored serde derive does not support explicit discriminants \
+                 (`{enum_name}::{name} = ...`)"
+            ),
+            Some(other) => {
+                panic!("serde derive: unexpected token after `{enum_name}::{name}`: `{other}`")
+            }
+        }
+    }
+    variants
+}
