@@ -1,0 +1,73 @@
+//! Batched deconvolution engine bench: the scalar per-column reference vs
+//! the panel engine, by panel width and block size (same kernels as the
+//! `htims bench deconv` CLI report, under the criterion harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htims_core::acquisition::{acquire, AcquireOptions, GateSchedule};
+use htims_core::deconvolution::{apply_columnwise, Deconvolver};
+use htims_core::BatchDeconvolver;
+use ims_physics::{Instrument, Workload};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_panels(c: &mut Criterion) {
+    let degree = 9u32;
+    let n = (1usize << degree) - 1;
+    let workload = Workload::three_peptide_mix();
+    let schedule = GateSchedule::multiplexed(degree);
+    let method = Deconvolver::Weighted { lambda: 1e-6 };
+
+    let mut group = c.benchmark_group("deconv_batch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for mz_bins in [250usize, 1000] {
+        let mut inst = Instrument::with_drift_bins(n);
+        inst.tof.n_bins = mz_bins;
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let data = acquire(
+            &inst,
+            &workload,
+            &schedule,
+            10,
+            AcquireOptions::default(),
+            &mut rng,
+        );
+
+        let solver = method.column_solver(&schedule, &data);
+        group.bench_with_input(
+            BenchmarkId::new("weighted_scalar_column", mz_bins),
+            &mz_bins,
+            |b, _| b.iter(|| black_box(apply_columnwise(&data.accumulated, |col| solver(col)))),
+        );
+
+        for width in [8usize, 32, 128] {
+            let engine = BatchDeconvolver::new(&method, &schedule, &data).with_panel_width(width);
+            group.bench_with_input(
+                BenchmarkId::new(format!("weighted_batched_p{width}"), mz_bins),
+                &mz_bins,
+                |b, _| b.iter(|| black_box(engine.deconvolve_map(&data.accumulated))),
+            );
+        }
+
+        let engine = BatchDeconvolver::new(&method, &schedule, &data);
+        group.bench_with_input(
+            BenchmarkId::new("weighted_batched_parallel", mz_bins),
+            &mz_bins,
+            |b, _| b.iter(|| black_box(engine.deconvolve_map_parallel(&data.accumulated))),
+        );
+
+        let simplex = BatchDeconvolver::new(&Deconvolver::SimplexFast, &schedule, &data);
+        group.bench_with_input(
+            BenchmarkId::new("simplex_batched", mz_bins),
+            &mz_bins,
+            |b, _| b.iter(|| black_box(simplex.deconvolve_map(&data.accumulated))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_panels);
+criterion_main!(benches);

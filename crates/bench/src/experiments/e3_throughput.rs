@@ -58,8 +58,44 @@ pub fn run(quick: bool) -> Table {
         ..Default::default()
     };
 
-    // Software rows: the pipeline with the rayon backend; time per block is
-    // the deconvolve stage's busy time from the instrumented report.
+    // Baseline row: the scalar per-column kernel (strided gather, fresh
+    // allocations each column) on the same accumulated block — the path the
+    // batched panel engine replaced. Same integer arithmetic, so the output
+    // is bit-identical; only the schedule differs.
+    {
+        let core = ims_fpga::DeconvCore::new(&seq, cfg.deconv);
+        let block: Vec<u64> = data
+            .accumulated
+            .data()
+            .iter()
+            .map(|&v| v.round() as u64)
+            .collect();
+        let secs = {
+            let start = std::time::Instant::now();
+            let mut out = vec![0i64; n * mz_bins];
+            let mut column = vec![0u64; n];
+            for mz in 0..mz_bins {
+                for (d, c) in column.iter_mut().enumerate() {
+                    *c = block[d * mz_bins + mz];
+                }
+                for (d, v) in core.deconvolve_column(&column).into_iter().enumerate() {
+                    out[d * mz_bins + mz] = v;
+                }
+            }
+            std::hint::black_box(out);
+            start.elapsed().as_secs_f64()
+        };
+        table.row(vec![
+            "software scalar-column (1 thr)".to_string(),
+            f(secs * 1e3),
+            f(1.0 / secs),
+            f(block_period_s / secs),
+        ]);
+    }
+
+    // Software rows: the pipeline with the rayon backend batching column
+    // panels; time per block is the deconvolve stage's busy time from the
+    // instrumented report.
     let mut counts = vec![1usize];
     if num_threads() > 1 {
         counts.push(num_threads());

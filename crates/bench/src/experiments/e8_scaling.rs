@@ -1,8 +1,10 @@
 //! E8 — CPU software scaling with threads (table).
 //!
-//! The stand-in for the XD1's multi-Opteron software component: m/z
-//! columns are embarrassingly parallel, so deconvolution should scale
-//! nearly linearly until the memory system saturates.
+//! The stand-in for the XD1's multi-Opteron software component: panels of
+//! adjacent m/z columns are embarrassingly parallel (each worker runs the
+//! row-vectorized panel kernel with its own scratch arena), so
+//! deconvolution should scale nearly linearly until the memory system
+//! saturates.
 //!
 //! Each row runs the unified pipeline graph with the rayon software
 //! backend pinned to a thread count; the per-block time is the deconvolve
@@ -54,7 +56,7 @@ pub fn run(quick: bool) -> Table {
 
     let mut table = Table::new(
         "E8",
-        "Software deconvolution scaling (fixed-point column kernel, 511 x m/z block)",
+        "Software deconvolution scaling (fixed-point panel kernel, 511 x m/z block)",
         &["threads", "time (ms)", "speedup", "efficiency"],
     );
     table.note(format!(

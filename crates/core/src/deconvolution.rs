@@ -52,18 +52,24 @@ impl Deconvolver {
         }
     }
 
-    /// Deconvolves every m/z column of the accumulated block.
+    /// Deconvolves every m/z column of the accumulated block via the
+    /// batched panel engine ([`crate::deconv_batch::BatchDeconvolver`]).
+    /// Bit-identical to the per-column reference
+    /// (`apply_columnwise` + [`Deconvolver::column_solver`]), but
+    /// cache-blocked and allocation-free in steady state.
     ///
     /// # Panics
     /// Panics if the method cannot be applied to the schedule (e.g.
     /// [`Deconvolver::SimplexFast`] on an oversampled schedule, or
     /// [`Deconvolver::Exact`] on a singular kernel).
     pub fn deconvolve(&self, schedule: &GateSchedule, data: &AcquiredData) -> DriftTofMap {
-        let solver = self.column_solver(schedule, data);
-        apply_columnwise(&data.accumulated, |col| solver(col))
+        crate::deconv_batch::BatchDeconvolver::new(self, schedule, data)
+            .deconvolve_map(&data.accumulated)
     }
 
-    /// Builds the per-column solver closure for this method.
+    /// Builds the per-column solver closure for this method — the scalar
+    /// reference path the batched engine is verified against (and the
+    /// baseline the `deconv` benchmarks time).
     pub fn column_solver<'a>(
         &self,
         schedule: &'a GateSchedule,
@@ -109,7 +115,7 @@ impl Deconvolver {
 
 /// Scales a relative λ by the kernel's mean spectral power so the knob is
 /// dimensionless across sequence lengths and duty cycles.
-fn scale_lambda(relative: f64, kernel: &[f64]) -> f64 {
+pub(crate) fn scale_lambda(relative: f64, kernel: &[f64]) -> f64 {
     let power: f64 = kernel.iter().map(|v| v * v).sum::<f64>();
     relative * power.max(f64::MIN_POSITIVE)
 }

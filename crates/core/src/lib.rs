@@ -61,6 +61,7 @@ pub mod analysis;
 pub mod calibration;
 pub mod config;
 pub mod dda;
+pub mod deconv_batch;
 pub mod deconvolution;
 pub mod dynamic;
 pub mod format;
@@ -74,4 +75,5 @@ pub mod pipeline;
 
 pub use acquisition::{acquire, AcquiredData, GateSchedule};
 pub use config::ExperimentConfig;
+pub use deconv_batch::BatchDeconvolver;
 pub use deconvolution::Deconvolver;

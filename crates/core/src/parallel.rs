@@ -2,39 +2,25 @@
 //!
 //! On the Cray XD1 the software side ran across Opteron cores; here the
 //! stand-in is a rayon pool of configurable width, which drives the E8
-//! scaling study (columns of the 2-D block are embarrassingly parallel,
-//! so deconvolution should scale nearly linearly until memory bandwidth
-//! intervenes).
+//! scaling study. The unit of parallelism is a *panel* of adjacent m/z
+//! columns (see [`crate::deconv_batch`]): panels are embarrassingly
+//! parallel, each worker reuses one scratch arena, and within a panel the
+//! kernels run unit-stride across columns — so scaling stays near linear
+//! until memory bandwidth intervenes.
 
 use crate::acquisition::{AcquiredData, GateSchedule};
+use crate::deconv_batch::BatchDeconvolver;
 use crate::deconvolution::Deconvolver;
 use ims_physics::DriftTofMap;
-use rayon::prelude::*;
 
-/// Deconvolves all m/z columns in parallel on the global rayon pool.
+/// Deconvolves all m/z column panels in parallel on the current rayon pool.
+/// Bit-identical to [`Deconvolver::deconvolve`].
 pub fn deconvolve_parallel(
     method: &Deconvolver,
     schedule: &GateSchedule,
     data: &AcquiredData,
 ) -> DriftTofMap {
-    let solver = method.column_solver(schedule, data);
-    let map = &data.accumulated;
-    let drift = map.drift_bins();
-    let mz = map.mz_bins();
-    let columns: Vec<Vec<f64>> = (0..mz)
-        .into_par_iter()
-        .map(|m| {
-            let column: Vec<f64> = (0..drift).map(|d| map.at(d, m)).collect();
-            solver(&column)
-        })
-        .collect();
-    let mut out = DriftTofMap::zeros(drift, mz);
-    for (m, col) in columns.iter().enumerate() {
-        for (d, &v) in col.iter().enumerate() {
-            *out.at_mut(d, m) = v;
-        }
-    }
-    out
+    BatchDeconvolver::new(method, schedule, data).deconvolve_map_parallel(&data.accumulated)
 }
 
 /// Runs the parallel deconvolution on a dedicated pool of `threads` threads

@@ -193,6 +193,23 @@ impl Pipeline {
         report.frames = frames;
         report.blocks = blocks as u64;
         report.stages = meters.into_iter().map(StageMeter::into_report).collect();
+        // Meter 0 is the source; stage i owns report.stages[i + 1].
+        for (i, stage) in stages.iter().enumerate() {
+            report.stages[i + 1].cells = stage.cells_processed();
+        }
+        for s in &mut report.stages {
+            if s.busy_seconds > 0.0 {
+                s.items_per_second = s.items_out as f64 / s.busy_seconds;
+                s.mcells_per_second = s.cells as f64 / s.busy_seconds / 1e6;
+            }
+        }
+        let deconv_rates = report
+            .stage("deconvolve")
+            .map(|d| (d.items_per_second, d.mcells_per_second));
+        if let Some((blocks_per_s, mcells_per_s)) = deconv_rates {
+            report.deconv_blocks_per_second = blocks_per_s;
+            report.deconv_mcells_per_second = mcells_per_s;
+        }
         for stage in &mut stages {
             stage.finalize(report);
         }
@@ -306,6 +323,9 @@ impl StageMeter {
             blocked_recv_seconds: self.blocked_recv.as_secs_f64(),
             blocked_send_seconds: self.blocked_send.as_secs_f64(),
             queue_high_water: self.queue_high_water,
+            cells: 0,
+            items_per_second: 0.0,
+            mcells_per_second: 0.0,
         }
     }
 }

@@ -95,6 +95,13 @@ pub trait Stage: Send {
     /// Folds this stage's counters into the run report.
     fn finalize(&mut self, _report: &mut PipelineReport) {}
 
+    /// Data cells (drift bins × m/z bins) this stage has processed — used
+    /// by the executors to derive per-stage throughput. Stages that don't
+    /// process 2-D blocks report 0.
+    fn cells_processed(&self) -> u64 {
+        0
+    }
+
     /// Depth of this stage's *output* channel in the threaded executor.
     ///
     /// Defaults to the pipeline's frame-channel depth; block-producing

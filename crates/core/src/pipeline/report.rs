@@ -34,6 +34,17 @@ pub struct StageReport {
     pub blocked_send_seconds: f64,
     /// Largest observed occupancy of this stage's input queue.
     pub queue_high_water: u64,
+    /// Data cells (drift bins × m/z bins) processed by this stage — 0 for
+    /// stages that don't process 2-D blocks.
+    #[serde(default)]
+    pub cells: u64,
+    /// Messages emitted per second of busy time (0 when unmeasured).
+    #[serde(default)]
+    pub items_per_second: f64,
+    /// Millions of cells processed per second of busy time (0 when the
+    /// stage processes no cells or no busy time was measured).
+    #[serde(default)]
+    pub mcells_per_second: f64,
 }
 
 /// Run-level instrumentation from one pipeline run.
@@ -64,6 +75,13 @@ pub struct PipelineReport {
     pub deconv_cycles: u64,
     /// Saturating adds observed by the accumulator (data-quality flag).
     pub saturation_events: u64,
+    /// Deconvolved blocks per second of the deconvolve stage's busy time
+    /// (0 when the graph has no deconvolve stage or none was measured).
+    #[serde(default)]
+    pub deconv_blocks_per_second: f64,
+    /// Millions of cells deconvolved per second of busy time.
+    #[serde(default)]
+    pub deconv_mcells_per_second: f64,
     /// Per-stage breakdown, in graph order (source first).
     pub stages: Vec<StageReport>,
 }
@@ -85,6 +103,8 @@ impl PipelineReport {
             binner_cycles: 0,
             deconv_cycles: 0,
             saturation_events: 0,
+            deconv_blocks_per_second: 0.0,
+            deconv_mcells_per_second: 0.0,
             stages: Vec::new(),
         }
     }
@@ -105,6 +125,8 @@ mod tests {
         r.backend = "fpga-fwht".into();
         r.frames = 12;
         r.blocks = 3;
+        r.deconv_blocks_per_second = 6.0;
+        r.deconv_mcells_per_second = 1.5;
         r.stages.push(StageReport {
             name: "accumulate".into(),
             items_in: 12,
@@ -113,12 +135,32 @@ mod tests {
             blocked_recv_seconds: 0.25,
             blocked_send_seconds: 0.125,
             queue_high_water: 4,
+            cells: 750_000,
+            items_per_second: 6.0,
+            mcells_per_second: 1.5,
         });
         let json = serde_json::to_string(&r).unwrap();
         let back: PipelineReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.backend, "fpga-fwht");
         assert_eq!(back.stages.len(), 1);
         assert_eq!(back.stage("accumulate").unwrap().queue_high_water, 4);
+        assert_eq!(back.stage("accumulate").unwrap().cells, 750_000);
+        assert!((back.deconv_mcells_per_second - 1.5).abs() < 1e-12);
         assert!(back.stage("missing").is_none());
+    }
+
+    #[test]
+    fn throughput_fields_default_when_absent() {
+        // Reports serialized before the throughput fields existed must
+        // still parse (serde defaults).
+        let json = r#"{
+            "name": "deconvolve", "items_in": 2, "items_out": 2,
+            "busy_seconds": 0.1, "blocked_recv_seconds": 0.0,
+            "blocked_send_seconds": 0.0, "queue_high_water": 1
+        }"#;
+        let s: StageReport = serde_json::from_str(json).unwrap();
+        assert_eq!(s.cells, 0);
+        assert_eq!(s.items_per_second, 0.0);
+        assert_eq!(s.mcells_per_second, 0.0);
     }
 }

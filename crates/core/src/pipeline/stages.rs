@@ -1,6 +1,7 @@
 //! The concrete stages of the hybrid datapath.
 
 use super::{Block, DeconvolvedBlock, Message, PipelineReport, Stage};
+use crate::deconv_batch::DEFAULT_PANEL_WIDTH;
 use crate::hybrid::FrameGenerator;
 use ims_fpga::deconv::{DeconvConfig, DeconvCore};
 use ims_fpga::deconv_naive::{NaiveConfig, NaiveMacCore};
@@ -214,10 +215,10 @@ pub enum DeconvBackend {
     Fpga(DeconvCore),
     /// The naive `O(N²)` MAC-array FPGA core.
     Naive(NaiveMacCore),
-    /// The CPU software path: rayon-parallel over m/z columns, running the
-    /// same fixed-point column kernel.
+    /// The CPU software path: rayon-parallel over panels of m/z columns,
+    /// running the same fixed-point kernel row-vectorized across each panel.
     Software {
-        /// The column kernel (shared read-only across workers).
+        /// The panel kernel (shared read-only across workers).
         core: DeconvCore,
         /// Worker threads (0 = machine default).
         threads: usize,
@@ -280,7 +281,11 @@ impl DeconvBackend {
 pub struct DeconvolveStage {
     backend: DeconvBackend,
     mz_bins: usize,
-    /// Model cycles tallied for the software backend (whose column kernel
+    /// Column-panel width the software backend batches over.
+    panel_width: usize,
+    /// Data cells (drift × m/z) deconvolved so far.
+    cells: u64,
+    /// Model cycles tallied for the software backend (whose panel kernel
     /// does not count cycles itself).
     software_cycles: u64,
 }
@@ -291,8 +296,18 @@ impl DeconvolveStage {
         Self {
             backend,
             mz_bins,
+            panel_width: DEFAULT_PANEL_WIDTH,
+            cells: 0,
             software_cycles: 0,
         }
+    }
+
+    /// Sets the column-panel width the software backend batches over
+    /// (clamped to at least 1). Panel width changes scheduling only, never
+    /// values, so any width yields bit-identical output.
+    pub fn with_panel_width(mut self, width: usize) -> Self {
+        self.panel_width = width.max(1);
+        self
     }
 }
 
@@ -304,6 +319,7 @@ impl Stage for DeconvolveStage {
     fn process(&mut self, msg: Message, emit: &mut dyn FnMut(Message)) {
         match msg {
             Message::Block(b) => {
+                self.cells += b.data.len() as u64;
                 let data = match &mut self.backend {
                     DeconvBackend::Fpga(core) => core.deconvolve_block(&b.data, self.mz_bins),
                     DeconvBackend::Naive(core) => core.deconvolve_block(&b.data, self.mz_bins),
@@ -312,7 +328,13 @@ impl Stage for DeconvolveStage {
                         // software path, so E3-style comparisons can read
                         // both wall time and modelled cycles.
                         self.software_cycles += core.cycles_per_block(self.mz_bins);
-                        software_deconvolve_block(core, &b.data, self.mz_bins, *threads)
+                        software_deconvolve_block(
+                            core,
+                            &b.data,
+                            self.mz_bins,
+                            *threads,
+                            self.panel_width,
+                        )
                     }
                 };
                 emit(Message::Deconvolved(DeconvolvedBlock {
@@ -333,29 +355,48 @@ impl Stage for DeconvolveStage {
             DeconvBackend::Software { .. } => self.software_cycles,
         };
     }
+
+    fn cells_processed(&self) -> u64 {
+        self.cells
+    }
 }
 
-/// The CPU software deconvolution of one block: m/z columns are
-/// embarrassingly parallel, each running the same fixed-point column kernel
-/// as the FPGA core — so the result is bit-identical to the FPGA path.
+/// The CPU software deconvolution of one block: panels of m/z columns are
+/// embarrassingly parallel, each worker running the same fixed-point kernel
+/// row-vectorized across its panel (integer arithmetic, so the result is
+/// bit-identical to the FPGA path and to any other panel width). Each
+/// worker reuses one gather/work arena across its panels.
 fn software_deconvolve_block(
     core: &DeconvCore,
     data: &[u64],
     mz_bins: usize,
     threads: usize,
+    panel_width: usize,
 ) -> Vec<i64> {
     let n = core.len();
     assert_eq!(data.len(), n * mz_bins, "block shape mismatch");
-    let run = || -> Vec<Vec<i64>> {
-        (0..mz_bins)
+    let panel_width = panel_width.max(1);
+    let starts: Vec<usize> = (0..mz_bins).step_by(panel_width).collect();
+    let run = move || -> Vec<(usize, usize, Vec<i64>)> {
+        starts
             .into_par_iter()
-            .map(|mz| {
-                let column: Vec<u64> = (0..n).map(|d| data[d * mz_bins + mz]).collect();
-                core.deconvolve_column(&column)
-            })
+            .map_init(
+                || (Vec::<u64>::new(), Vec::<i64>::new()),
+                |(panel, work), c0| {
+                    let width = panel_width.min(mz_bins - c0);
+                    panel.clear();
+                    panel.reserve(n * width);
+                    for d in 0..n {
+                        panel.extend_from_slice(&data[d * mz_bins + c0..d * mz_bins + c0 + width]);
+                    }
+                    let mut solved = vec![0i64; n * width];
+                    core.deconvolve_panel_into(panel, width, &mut solved, work);
+                    (c0, width, solved)
+                },
+            )
             .collect()
     };
-    let columns = if threads == 0 {
+    let panels = if threads == 0 {
         run()
     } else {
         rayon::ThreadPoolBuilder::new()
@@ -365,9 +406,10 @@ fn software_deconvolve_block(
             .install(run)
     };
     let mut out = vec![0i64; n * mz_bins];
-    for (mz, col) in columns.iter().enumerate() {
-        for (d, &v) in col.iter().enumerate() {
-            out[d * mz_bins + mz] = v;
+    for (c0, width, solved) in panels {
+        for d in 0..n {
+            out[d * mz_bins + c0..d * mz_bins + c0 + width]
+                .copy_from_slice(&solved[d * width..(d + 1) * width]);
         }
     }
     out

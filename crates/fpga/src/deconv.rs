@@ -143,21 +143,116 @@ impl DeconvCore {
             .collect()
     }
 
+    /// Deconvolves a panel of `width` adjacent m/z columns at once.
+    ///
+    /// `panel` holds `N × width` accumulated counts in row-major order
+    /// (`panel[d * width + c]`); the result lands in `out` with the same
+    /// shape. `work` is the reusable FWHT working RAM (grows to
+    /// `(N+1) × width` and is then reused allocation-free). The datapath is
+    /// the exact integer pipeline of
+    /// [`DeconvCore::deconvolve_column`] run as contiguous row sweeps, so
+    /// each column's output is identical to the scalar call — integer
+    /// arithmetic leaves no room for reassociation drift.
+    ///
+    /// # Panics
+    /// Panics if `width` is zero or the panel/out shapes mismatch.
+    pub fn deconvolve_panel_into(
+        &self,
+        panel: &[u64],
+        width: usize,
+        out: &mut [i64],
+        work: &mut Vec<i64>,
+    ) {
+        let n = self.len();
+        assert!(width > 0, "panel width must be positive");
+        assert_eq!(panel.len(), n * width, "panel shape mismatch");
+        assert_eq!(out.len(), n * width, "output shape mismatch");
+        let m = n + 1;
+        work.resize(m * width, 0);
+        // Scatter: the address ROM is a permutation of 1..=N, so only RAM
+        // row 0 needs explicit zeroing.
+        work[..width].fill(0);
+        for (k, &addr) in self.transform.scatter_addresses().iter().enumerate() {
+            let a = addr as usize;
+            for (w, &y) in work[a * width..(a + 1) * width]
+                .iter_mut()
+                .zip(panel[k * width..(k + 1) * width].iter())
+            {
+                *w = y as i64;
+            }
+        }
+        // Integer FWHT, row-pair sweeps.
+        let mut h = 1usize;
+        while h < m {
+            for block in (0..m).step_by(h * 2) {
+                for i in block..block + h {
+                    let (head, tail) = work.split_at_mut((i + h) * width);
+                    let top = &mut head[i * width..(i + 1) * width];
+                    let bottom = &mut tail[..width];
+                    for (a, b) in top.iter_mut().zip(bottom.iter_mut()) {
+                        let (x, y) = (*a, *b);
+                        *a = x + y;
+                        *b = x - y;
+                    }
+                }
+            }
+            h *= 2;
+        }
+        // Gather + scale per row.
+        let f = self.config.output_frac_bits;
+        let masks = self.transform.gather_addresses();
+        let scale_num = -(2i128 << f);
+        let denom = (n + 1) as i128;
+        let half = denom / 2;
+        for j in 0..n {
+            let lag = match self.config.convention {
+                Convention::Correlation => j,
+                Convention::Convolution => (n - j) % n,
+            };
+            let src = masks[lag] as usize;
+            for (o, &c) in out[j * width..(j + 1) * width]
+                .iter_mut()
+                .zip(work[src * width..(src + 1) * width].iter())
+            {
+                let wide = scale_num * c as i128;
+                let rounded = if wide >= 0 {
+                    (wide + half) / denom
+                } else {
+                    (wide - half) / denom
+                };
+                *o = rounded as i64;
+            }
+        }
+    }
+
     /// Deconvolves a whole drift-major block (`mz_bins` columns), tallying
-    /// cycles, and returns the drift-major fixed-point result.
+    /// cycles, and returns the drift-major fixed-point result. Columns are
+    /// processed in panels via [`DeconvCore::deconvolve_panel_into`] — the
+    /// modelled cycle count is unchanged (the FPGA's parallelism model is
+    /// `parallel_columns`, not the software panel width).
     pub fn deconvolve_block(&mut self, data: &[u64], mz_bins: usize) -> Vec<i64> {
+        const PANEL_WIDTH: usize = 32;
         let n = self.len();
         assert_eq!(data.len(), n * mz_bins, "block shape mismatch");
         let mut out = vec![0i64; n * mz_bins];
-        let mut column = vec![0u64; n];
-        for mz in 0..mz_bins {
+        let mut panel: Vec<u64> = Vec::new();
+        let mut solved: Vec<i64> = Vec::new();
+        let mut work: Vec<i64> = Vec::new();
+        let mut c0 = 0;
+        while c0 < mz_bins {
+            let width = PANEL_WIDTH.min(mz_bins - c0);
+            panel.clear();
+            panel.reserve(n * width);
             for d in 0..n {
-                column[d] = data[d * mz_bins + mz];
+                panel.extend_from_slice(&data[d * mz_bins + c0..d * mz_bins + c0 + width]);
             }
-            let x = self.deconvolve_column(&column);
+            solved.resize(n * width, 0);
+            self.deconvolve_panel_into(&panel, width, &mut solved, &mut work);
             for d in 0..n {
-                out[d * mz_bins + mz] = x[d];
+                out[d * mz_bins + c0..d * mz_bins + c0 + width]
+                    .copy_from_slice(&solved[d * width..(d + 1) * width]);
             }
+            c0 += width;
         }
         self.cycles += self.cycles_per_block(mz_bins);
         out
@@ -309,6 +404,38 @@ mod tests {
             }
         }
         assert!(core.cycles() > 0);
+    }
+
+    #[test]
+    fn panel_path_matches_columnwise_exactly() {
+        for convention in [Convention::Correlation, Convention::Convolution] {
+            let seq = MSequence::new(6);
+            let n = seq.len();
+            let core = DeconvCore::new(
+                &seq,
+                DeconvConfig {
+                    convention,
+                    ..Default::default()
+                },
+            );
+            for width in [1usize, 5, 32] {
+                let panel: Vec<u64> = (0..n * width).map(|i| ((i * 7 + 3) % 211) as u64).collect();
+                let mut out = vec![0i64; n * width];
+                let mut work = Vec::new();
+                core.deconvolve_panel_into(&panel, width, &mut out, &mut work);
+                for c in 0..width {
+                    let col: Vec<u64> = (0..n).map(|d| panel[d * width + c]).collect();
+                    let expect = core.deconvolve_column(&col);
+                    for d in 0..n {
+                        assert_eq!(
+                            out[d * width + c],
+                            expect[d],
+                            "{convention:?} width {width} at ({d},{c})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

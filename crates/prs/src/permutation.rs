@@ -31,8 +31,19 @@
 
 use crate::lfsr::Lfsr;
 use crate::msequence::MSequence;
-use ims_signal::fwht::fwht;
+use ims_signal::fwht::{fwht, fwht_panel};
 use serde::{Deserialize, Serialize};
+
+/// Reusable scratch arena for the allocation-free fast-transform variants.
+///
+/// Holds the FWHT working buffer (scalar: `M = N + 1` values; panel:
+/// `M × width`). Grows to the largest shape seen and is then reused without
+/// further allocation — the batched deconvolution engine keeps one per
+/// worker thread.
+#[derive(Debug, Clone, Default)]
+pub struct TransformScratch {
+    buf: Vec<f64>,
+}
 
 /// Precomputed fast transform for a fixed m-sequence.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -44,6 +55,10 @@ pub struct FastMTransform {
     states: Vec<u32>,
     /// Gather table: drift bin `j` ← RAM address `masks[j]`.
     masks: Vec<u32>,
+    /// Gather table for the *convolution* forward model, cached so the
+    /// per-column index reversal `masks[(N − j) mod N]` is not recomputed
+    /// per column: `conv_masks[j] = masks[(N − j) mod N]`.
+    conv_masks: Vec<u32>,
 }
 
 impl FastMTransform {
@@ -81,11 +96,13 @@ impl FastMTransform {
             }
             masks.push(m);
         }
+        let conv_masks: Vec<u32> = (0..n).map(|j| masks[(n - j) % n]).collect();
         Self {
             degree,
             n,
             states,
             masks,
+            conv_masks,
         }
     }
 
@@ -115,15 +132,38 @@ impl FastMTransform {
         &self.masks
     }
 
+    /// The cached gather table for the convolution forward model
+    /// (`conv_masks[j] = masks[(N − j) mod N]`).
+    pub fn convolution_gather_addresses(&self) -> &[u32] {
+        &self.conv_masks
+    }
+
     /// Correlation with the ±1 sequence: `c[j] = Σ_k (−1)^{a[k+j]}·y[k]`.
     pub fn correlate_pm1(&self, y: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        self.correlate_pm1_into(y, &mut out, &mut TransformScratch::default());
+        out
+    }
+
+    /// Allocation-free [`FastMTransform::correlate_pm1`]: writes the
+    /// correlation into `out`, reusing `scratch` for the FWHT buffer.
+    ///
+    /// # Panics
+    /// Panics if `y.len()` or `out.len()` differs from the sequence length.
+    pub fn correlate_pm1_into(&self, y: &[f64], out: &mut [f64], scratch: &mut TransformScratch) {
         assert_eq!(y.len(), self.n, "dimension mismatch");
-        let mut buf = vec![0.0; self.buffer_len()];
+        assert_eq!(out.len(), self.n, "output dimension mismatch");
+        scratch.buf.resize(self.buffer_len(), 0.0);
+        // The scatter table is a permutation of 1..=N, so every address
+        // except 0 is overwritten; only address 0 needs explicit zeroing.
+        scratch.buf[0] = 0.0;
         for (k, &addr) in self.states.iter().enumerate() {
-            buf[addr as usize] = y[k];
+            scratch.buf[addr as usize] = y[k];
         }
-        fwht(&mut buf);
-        self.masks.iter().map(|&m| buf[m as usize]).collect()
+        fwht(&mut scratch.buf);
+        for (o, &m) in out.iter_mut().zip(self.masks.iter()) {
+            *o = scratch.buf[m as usize];
+        }
     }
 
     /// Correlation with the 0/1 sequence: `Σ_k a[k+j]·y[k]`.
@@ -145,6 +185,17 @@ impl FastMTransform {
             .collect()
     }
 
+    /// Allocation-free [`FastMTransform::deconvolve`].
+    pub fn deconvolve_into(&self, y: &[f64], out: &mut [f64], scratch: &mut TransformScratch) {
+        self.correlate_pm1_into(y, out, scratch);
+        let scale = -2.0 / (self.n as f64 + 1.0);
+        for v in out.iter_mut() {
+            // f64 `*` is bitwise-commutative, so this matches the scalar
+            // path's `scale * v` exactly.
+            *v *= scale;
+        }
+    }
+
     /// Deconvolves data produced by the *convolution* forward model
     /// `y = a ∗ x` (gate event at step `i − j` reaches the detector at step
     /// `i`), which is the physical time ordering of the instrument.
@@ -157,6 +208,78 @@ impl FastMTransform {
         let n = self.n;
         let scale = -2.0 / (n as f64 + 1.0);
         (0..n).map(|j| scale * c[(n - j) % n]).collect()
+    }
+
+    /// Allocation-free [`FastMTransform::deconvolve_convolution`]: gathers
+    /// the reversed lags straight from the FWHT buffer through the cached
+    /// `conv_masks` table, skipping the intermediate correlation vector.
+    ///
+    /// # Panics
+    /// Panics if `y.len()` or `out.len()` differs from the sequence length.
+    pub fn deconvolve_convolution_into(
+        &self,
+        y: &[f64],
+        out: &mut [f64],
+        scratch: &mut TransformScratch,
+    ) {
+        assert_eq!(y.len(), self.n, "dimension mismatch");
+        assert_eq!(out.len(), self.n, "output dimension mismatch");
+        scratch.buf.resize(self.buffer_len(), 0.0);
+        scratch.buf[0] = 0.0;
+        for (k, &addr) in self.states.iter().enumerate() {
+            scratch.buf[addr as usize] = y[k];
+        }
+        fwht(&mut scratch.buf);
+        let scale = -2.0 / (self.n as f64 + 1.0);
+        for (o, &m) in out.iter_mut().zip(self.conv_masks.iter()) {
+            *o = scale * scratch.buf[m as usize];
+        }
+    }
+
+    /// Batched [`FastMTransform::deconvolve_convolution`] over a panel of
+    /// `width` independent columns, in place.
+    ///
+    /// `panel` holds `N × width` values in row-major order (drift bin `r`
+    /// of column `c` at `panel[r*width + c]`). The scatter/gather address
+    /// tables move whole contiguous rows, and the butterfly runs through
+    /// [`fwht_panel`] — unit-stride, auto-vectorized across columns, and
+    /// **bit-identical** per column to the scalar path.
+    ///
+    /// # Panics
+    /// Panics if `width` is zero or `panel.len() != N * width`.
+    pub fn deconvolve_convolution_panel(
+        &self,
+        panel: &mut [f64],
+        width: usize,
+        scratch: &mut TransformScratch,
+    ) {
+        assert!(width > 0, "panel width must be positive");
+        assert_eq!(
+            panel.len(),
+            self.n * width,
+            "panel shape mismatch: {} values for {} rows x {width} columns",
+            panel.len(),
+            self.n
+        );
+        let m = self.buffer_len();
+        scratch.buf.resize(m * width, 0.0);
+        // Row 0 (RAM address 0) is the only row the scatter never writes.
+        scratch.buf[..width].fill(0.0);
+        for (k, &addr) in self.states.iter().enumerate() {
+            let a = addr as usize;
+            scratch.buf[a * width..(a + 1) * width]
+                .copy_from_slice(&panel[k * width..(k + 1) * width]);
+        }
+        fwht_panel(&mut scratch.buf, width);
+        let scale = -2.0 / (self.n as f64 + 1.0);
+        for (j, &addr) in self.conv_masks.iter().enumerate() {
+            let a = addr as usize;
+            let src = &scratch.buf[a * width..(a + 1) * width];
+            let dst = &mut panel[j * width..(j + 1) * width];
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d = scale * s;
+            }
+        }
     }
 }
 
@@ -264,6 +387,97 @@ mod tests {
             for (i, (a, b)) in x.iter().zip(back.iter()).enumerate() {
                 assert!((a - b).abs() < 1e-7, "degree {degree} bin {i}: {a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_to_allocating() {
+        let seq = MSequence::new(8);
+        let t = FastMTransform::new(&seq);
+        let n = seq.len();
+        let y = test_signal(n);
+        let mut scratch = TransformScratch::default();
+        let mut out = vec![0.0; n];
+
+        t.correlate_pm1_into(&y, &mut out, &mut scratch);
+        for (a, b) in out.iter().zip(t.correlate_pm1(&y).iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        t.deconvolve_into(&y, &mut out, &mut scratch);
+        for (a, b) in out.iter().zip(t.deconvolve(&y).iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        t.deconvolve_convolution_into(&y, &mut out, &mut scratch);
+        for (a, b) in out.iter().zip(t.deconvolve_convolution(&y).iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn convolution_panel_is_bit_identical_to_per_column() {
+        for degree in [4u32, 7] {
+            let seq = MSequence::new(degree);
+            let t = FastMTransform::new(&seq);
+            let n = seq.len();
+            for width in [1usize, 3, 8] {
+                // Column c carries a distinct signal.
+                let columns: Vec<Vec<f64>> = (0..width)
+                    .map(|c| {
+                        (0..n)
+                            .map(|k| ((k * 31 + c * 17 + 5) % 97) as f64 - 48.0)
+                            .collect()
+                    })
+                    .collect();
+                let mut panel = vec![0.0; n * width];
+                for (c, col) in columns.iter().enumerate() {
+                    for (r, &v) in col.iter().enumerate() {
+                        panel[r * width + c] = v;
+                    }
+                }
+                let mut scratch = TransformScratch::default();
+                t.deconvolve_convolution_panel(&mut panel, width, &mut scratch);
+                for (c, col) in columns.iter().enumerate() {
+                    let oracle = t.deconvolve_convolution(col);
+                    for r in 0..n {
+                        assert_eq!(
+                            panel[r * width + c].to_bits(),
+                            oracle[r].to_bits(),
+                            "degree {degree} width {width} at ({r},{c})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_safe() {
+        // A scratch grown by a wide panel must still give exact results for
+        // narrower panels and scalar calls afterwards.
+        let seq = MSequence::new(5);
+        let t = FastMTransform::new(&seq);
+        let n = seq.len();
+        let mut scratch = TransformScratch::default();
+        let mut wide = vec![1.0; n * 8];
+        t.deconvolve_convolution_panel(&mut wide, 8, &mut scratch);
+        let y = test_signal(n);
+        let mut narrow: Vec<f64> = y.clone();
+        t.deconvolve_convolution_panel(&mut narrow, 1, &mut scratch);
+        let oracle = t.deconvolve_convolution(&y);
+        for (a, b) in narrow.iter().zip(oracle.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn conv_gather_table_matches_index_reversal() {
+        let seq = MSequence::new(6);
+        let t = FastMTransform::new(&seq);
+        let n = t.len();
+        let masks = t.gather_addresses();
+        let conv = t.convolution_gather_addresses();
+        for j in 0..n {
+            assert_eq!(conv[j], masks[(n - j) % n]);
         }
     }
 

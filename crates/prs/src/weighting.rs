@@ -20,7 +20,7 @@
 //! [`CirculantInverse`] implements exactly that; the unit tests verify it
 //! against the dense normal-equations solution from `ims-signal::matrix`.
 
-use ims_signal::fft::{ifft, rfft, Complex};
+use ims_signal::fft::{ifft, rfft, Complex, FftPlan, FftScratch};
 use ims_signal::matrix::Matrix;
 
 /// Fourier-domain (weighted) inverse of a circular-convolution system.
@@ -96,6 +96,108 @@ impl CirculantInverse {
             })
             .collect();
         ifft(&solved).into_iter().map(|c| c.re).collect()
+    }
+
+    /// Builds the batched solver: hoists the per-bin `conj(H)` and
+    /// `1/(|H|² + λ)` factors and an [`FftPlan`] out of the column loop.
+    ///
+    /// The factors are computed with exactly the arithmetic of
+    /// [`CirculantInverse::apply`], and the planned panel FFT is
+    /// bit-identical to the free `fft`/`ifft` calls `apply` makes, so
+    /// [`CirculantSolver::solve_panel`] reproduces `apply` bit for bit on
+    /// every column.
+    pub fn solver(&self) -> CirculantSolver {
+        let conj_h: Vec<Complex> = self.kernel_dft.iter().map(|h| h.conj()).collect();
+        let inv_denom: Vec<f64> = self
+            .kernel_dft
+            .iter()
+            .map(|h| {
+                let denom = h.norm_sqr() + self.lambda;
+                1.0 / denom
+            })
+            .collect();
+        CirculantSolver {
+            plan: FftPlan::new(self.len()),
+            conj_h,
+            inv_denom,
+        }
+    }
+}
+
+/// Batched, allocation-free form of [`CirculantInverse`]: an FFT plan plus
+/// the precomputed spectral weights, applied to panels of columns.
+#[derive(Debug, Clone)]
+pub struct CirculantSolver {
+    plan: FftPlan,
+    /// `conj(H[k])` per DFT bin.
+    conj_h: Vec<Complex>,
+    /// `1 / (|H[k]|² + λ)` per DFT bin.
+    inv_denom: Vec<f64>,
+}
+
+/// Reusable work arena for [`CirculantSolver`]. Grows to the largest panel
+/// shape seen, then never allocates again.
+#[derive(Debug, Clone, Default)]
+pub struct CirculantScratch {
+    panel: Vec<Complex>,
+    fft: FftScratch,
+}
+
+impl CirculantSolver {
+    /// System length `L`.
+    pub fn len(&self) -> usize {
+        self.conj_h.len()
+    }
+
+    /// Always false in practice (kernels are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.conj_h.is_empty()
+    }
+
+    /// Solves `h ∗ x = y` for a panel of `width` independent columns, in
+    /// place. `panel` holds `L × width` real values in row-major order
+    /// (`panel[r * width + c]` is sample `r` of column `c`). Per column the
+    /// result is **bit-identical** to [`CirculantInverse::apply`].
+    ///
+    /// # Panics
+    /// Panics if `width` is zero or `panel.len() != L * width`.
+    pub fn solve_panel(&self, panel: &mut [f64], width: usize, scratch: &mut CirculantScratch) {
+        assert!(width > 0, "panel width must be positive");
+        let l = self.len();
+        assert_eq!(
+            panel.len(),
+            l * width,
+            "panel shape mismatch: {} values for {l} rows x {width} columns",
+            panel.len()
+        );
+        scratch.panel.clear();
+        scratch
+            .panel
+            .extend(panel.iter().map(|&x| Complex::from_re(x)));
+        self.plan
+            .forward_panel(&mut scratch.panel, width, &mut scratch.fft);
+        for (k, (&ch, &inv)) in self.conj_h.iter().zip(self.inv_denom.iter()).enumerate() {
+            for v in scratch.panel[k * width..(k + 1) * width].iter_mut() {
+                *v = (ch * *v).scale(inv);
+            }
+        }
+        self.plan
+            .inverse_panel(&mut scratch.panel, width, &mut scratch.fft);
+        for (d, s) in panel.iter_mut().zip(scratch.panel.iter()) {
+            *d = s.re;
+        }
+    }
+
+    /// Allocation-free single-column solve: copies `y` into `out` and runs
+    /// [`CirculantSolver::solve_panel`] with width 1.
+    ///
+    /// # Panics
+    /// Panics if `y.len()` or `out.len()` differs from the kernel length.
+    pub fn apply_into(&self, y: &[f64], out: &mut [f64], scratch: &mut CirculantScratch) {
+        assert_eq!(y.len(), self.len(), "dimension mismatch");
+        assert_eq!(out.len(), self.len(), "output dimension mismatch");
+        out.copy_from_slice(y);
+        self.solve_panel(out, 1, scratch);
     }
 }
 
@@ -198,6 +300,61 @@ mod tests {
             e_weighted < e_naive / 10.0,
             "weighted {e_weighted} should beat naive {e_naive} by >10x"
         );
+    }
+
+    #[test]
+    fn solver_panel_is_bit_identical_to_apply() {
+        // Non-power-of-two (m-sequence) and power-of-two kernel lengths,
+        // exact and weighted inverses, several panel widths.
+        let seq = MSequence::new(5);
+        let mut measured = seq.as_f64();
+        for (k, v) in measured.iter_mut().enumerate() {
+            *v *= 0.9 + 0.05 * (k as f64 * 0.3).cos();
+        }
+        let pow2_kernel: Vec<f64> = (0..16).map(|k| 1.0 + ((k * 7) % 5) as f64 * 0.25).collect();
+        let inverses = [
+            CirculantInverse::exact(&seq.as_f64(), 1e-9).unwrap(),
+            CirculantInverse::weighted(&measured, 0.7),
+            CirculantInverse::weighted(&pow2_kernel, 1e-3),
+        ];
+        for inv in &inverses {
+            let l = inv.len();
+            let solver = inv.solver();
+            assert_eq!(solver.len(), l);
+            let mut scratch = CirculantScratch::default();
+            for width in [1usize, 3, 8] {
+                let columns: Vec<Vec<f64>> = (0..width)
+                    .map(|c| {
+                        (0..l)
+                            .map(|k| ((k * 29 + c * 13 + 3) % 83) as f64 * 0.21 - 8.0)
+                            .collect()
+                    })
+                    .collect();
+                let mut panel = vec![0.0; l * width];
+                for (c, col) in columns.iter().enumerate() {
+                    for (r, &v) in col.iter().enumerate() {
+                        panel[r * width + c] = v;
+                    }
+                }
+                solver.solve_panel(&mut panel, width, &mut scratch);
+                for (c, col) in columns.iter().enumerate() {
+                    let oracle = inv.apply(col);
+                    for r in 0..l {
+                        assert_eq!(
+                            panel[r * width + c].to_bits(),
+                            oracle[r].to_bits(),
+                            "L={l} width={width} at ({r},{c})"
+                        );
+                    }
+                }
+                // apply_into must agree with the per-column oracle too.
+                let mut out = vec![0.0; l];
+                solver.apply_into(&columns[0], &mut out, &mut scratch);
+                for (a, b) in out.iter().zip(inv.apply(&columns[0]).iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

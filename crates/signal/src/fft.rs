@@ -236,6 +236,284 @@ fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
     (0..n).map(|j| chirp[j] * a[j]).collect()
 }
 
+/// A reusable DFT plan for one transform length, with panel-batched
+/// execution.
+///
+/// The free functions [`fft`]/[`ifft`] rebuild their twiddle factors — and,
+/// for non-power-of-two lengths, the entire Bluestein chirp and its spectrum
+/// — on every call. A plan precomputes all of that once, using the *same*
+/// arithmetic recurrences the free functions use, so a planned transform is
+/// **bit-identical** per column to the free-function transform while doing
+/// no allocation and no trigonometry in steady state.
+///
+/// [`FftPlan::forward_panel`]/[`FftPlan::inverse_panel`] additionally run a
+/// whole panel of `width` independent columns (row-major, row `r` of column
+/// `c` at `panel[r*width + c]`) through each butterfly level as contiguous
+/// row sweeps: one twiddle load per row pair, unit-stride access over the
+/// column dimension, auto-vectorizable. Per column the operation order is
+/// exactly that of the scalar transform, which keeps batching bit-exact.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
+}
+
+#[derive(Debug, Clone)]
+enum PlanKind {
+    /// Length 0 or 1: the transform is the identity.
+    Trivial,
+    Pow2(Pow2Plan),
+    Bluestein(Box<BluesteinPlan>),
+}
+
+/// Precomputed machinery for an in-place power-of-two transform.
+#[derive(Debug, Clone)]
+struct Pow2Plan {
+    m: usize,
+    /// Bit-reversal image of every index.
+    rev: Vec<u32>,
+    /// Per butterfly level (len = 2, 4, …, m): the twiddle chain
+    /// `w_0 .. w_{len/2-1}` built with the same `w ← w·wlen` recurrence as
+    /// [`fft_pow2`], forward sign.
+    twiddles_fwd: Vec<Vec<Complex>>,
+    /// Same, inverse sign.
+    twiddles_inv: Vec<Vec<Complex>>,
+}
+
+/// Precomputed chirps and kernel spectra for Bluestein's algorithm.
+#[derive(Debug, Clone)]
+struct BluesteinPlan {
+    /// Plan for the padded power-of-two convolution length.
+    pow2: Pow2Plan,
+    chirp_fwd: Vec<Complex>,
+    chirp_inv: Vec<Complex>,
+    /// `F(b)` for the forward chirp, computed once with [`fft_pow2`].
+    b_fft_fwd: Vec<Complex>,
+    /// `F(b)` for the inverse chirp.
+    b_fft_inv: Vec<Complex>,
+}
+
+/// Reusable work arena for [`FftPlan`] panel transforms. Grows to the
+/// largest `padded_len × width` seen, then never allocates again.
+#[derive(Debug, Clone, Default)]
+pub struct FftScratch {
+    work: Vec<Complex>,
+}
+
+impl Pow2Plan {
+    fn new(m: usize) -> Self {
+        debug_assert!(m.is_power_of_two() && m > 1);
+        let bits = m.trailing_zeros();
+        let rev: Vec<u32> = (0..m)
+            .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) as u32)
+            .collect();
+        let chain = |inverse: bool| -> Vec<Vec<Complex>> {
+            let sign = if inverse { 1.0 } else { -1.0 };
+            let mut levels = Vec::new();
+            let mut len = 2;
+            while len <= m {
+                let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+                let wlen = Complex::cis(ang);
+                let mut w = Complex::ONE;
+                let mut ws = Vec::with_capacity(len / 2);
+                for _ in 0..len / 2 {
+                    ws.push(w);
+                    w = w * wlen;
+                }
+                levels.push(ws);
+                len <<= 1;
+            }
+            levels
+        };
+        Self {
+            m,
+            rev,
+            twiddles_fwd: chain(false),
+            twiddles_inv: chain(true),
+        }
+    }
+
+    /// In-place panel transform over `m` rows × `width` columns; per column
+    /// bit-identical to [`fft_pow2`]/[`ifft_pow2`] (including the `1/m`
+    /// scale on the inverse).
+    fn panel(&self, panel: &mut [Complex], width: usize, inverse: bool) {
+        let m = self.m;
+        debug_assert_eq!(panel.len(), m * width);
+        for i in 0..m {
+            let j = self.rev[i] as usize;
+            if j > i {
+                let (head, tail) = panel.split_at_mut(j * width);
+                head[i * width..(i + 1) * width].swap_with_slice(&mut tail[..width]);
+            }
+        }
+        let twiddles = if inverse {
+            &self.twiddles_inv
+        } else {
+            &self.twiddles_fwd
+        };
+        let mut len = 2;
+        for level in twiddles {
+            let half = len / 2;
+            for block in (0..m).step_by(len) {
+                for (t, i) in (block..block + half).enumerate() {
+                    let w = level[t];
+                    let (head, tail) = panel.split_at_mut((i + half) * width);
+                    let top = &mut head[i * width..(i + 1) * width];
+                    let bottom = &mut tail[..width];
+                    for (a, b) in top.iter_mut().zip(bottom.iter_mut()) {
+                        let u = *a;
+                        let v = *b * w;
+                        *a = u + v;
+                        *b = u - v;
+                    }
+                }
+            }
+            len <<= 1;
+        }
+        if inverse {
+            let inv = 1.0 / m as f64;
+            for v in panel.iter_mut() {
+                *v = v.scale(inv);
+            }
+        }
+    }
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    pub fn new(n: usize) -> Self {
+        let kind = if n <= 1 {
+            PlanKind::Trivial
+        } else if n.is_power_of_two() {
+            PlanKind::Pow2(Pow2Plan::new(n))
+        } else {
+            let m = (2 * n - 1).next_power_of_two();
+            let pow2 = Pow2Plan::new(m);
+            let build = |inverse: bool| -> (Vec<Complex>, Vec<Complex>) {
+                let sign = if inverse { 1.0 } else { -1.0 };
+                let two_n = 2 * n as u64;
+                let chirp: Vec<Complex> = (0..n as u64)
+                    .map(|k| {
+                        let ksq = (k * k) % two_n;
+                        Complex::cis(sign * std::f64::consts::PI * ksq as f64 / n as f64)
+                    })
+                    .collect();
+                let mut b = vec![Complex::ZERO; m];
+                for (k, c) in chirp.iter().enumerate() {
+                    let v = c.conj();
+                    b[k] = v;
+                    if k > 0 {
+                        b[m - k] = v;
+                    }
+                }
+                fft_pow2(&mut b);
+                (chirp, b)
+            };
+            let (chirp_fwd, b_fft_fwd) = build(false);
+            let (chirp_inv, b_fft_inv) = build(true);
+            PlanKind::Bluestein(Box::new(BluesteinPlan {
+                pow2,
+                chirp_fwd,
+                chirp_inv,
+                b_fft_fwd,
+                b_fft_inv,
+            }))
+        };
+        Self { n, kind }
+    }
+
+    /// Transform length `N`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the zero-length plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward DFT of a panel of `width` columns in place (row-major,
+    /// `n` rows). Per column bit-identical to [`fft`].
+    ///
+    /// # Panics
+    /// Panics if `panel.len() != self.len() * width`.
+    pub fn forward_panel(&self, panel: &mut [Complex], width: usize, scratch: &mut FftScratch) {
+        self.panel_dir(panel, width, scratch, false);
+    }
+
+    /// Inverse DFT (normalised by `1/N`) of a panel of `width` columns in
+    /// place. Per column bit-identical to [`ifft`].
+    ///
+    /// # Panics
+    /// Panics if `panel.len() != self.len() * width`.
+    pub fn inverse_panel(&self, panel: &mut [Complex], width: usize, scratch: &mut FftScratch) {
+        self.panel_dir(panel, width, scratch, true);
+    }
+
+    fn panel_dir(
+        &self,
+        panel: &mut [Complex],
+        width: usize,
+        scratch: &mut FftScratch,
+        inverse: bool,
+    ) {
+        assert_eq!(
+            panel.len(),
+            self.n * width,
+            "panel shape mismatch: {} values for {} rows x {width} columns",
+            panel.len(),
+            self.n
+        );
+        match &self.kind {
+            PlanKind::Trivial => {}
+            PlanKind::Pow2(p) => p.panel(panel, width, inverse),
+            PlanKind::Bluestein(b) => {
+                let n = self.n;
+                let m = b.pow2.m;
+                let (chirp, b_fft) = if inverse {
+                    (&b.chirp_inv, &b.b_fft_inv)
+                } else {
+                    (&b.chirp_fwd, &b.b_fft_fwd)
+                };
+                scratch.work.clear();
+                scratch.work.resize(m * width, Complex::ZERO);
+                let work = &mut scratch.work[..];
+                // a[k] = x[k]·c[k], zero padded (same construction as the
+                // free-function Bluestein).
+                for k in 0..n {
+                    let c = chirp[k];
+                    let src = &panel[k * width..(k + 1) * width];
+                    let dst = &mut work[k * width..(k + 1) * width];
+                    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                        *d = s * c;
+                    }
+                }
+                b.pow2.panel(work, width, false);
+                for (k, &bf) in b_fft.iter().enumerate() {
+                    for v in work[k * width..(k + 1) * width].iter_mut() {
+                        *v = *v * bf;
+                    }
+                }
+                b.pow2.panel(work, width, true);
+                for j in 0..n {
+                    let c = chirp[j];
+                    let src = &work[j * width..(j + 1) * width];
+                    let dst = &mut panel[j * width..(j + 1) * width];
+                    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                        *d = c * s;
+                    }
+                }
+                if inverse {
+                    let inv = 1.0 / n as f64;
+                    for v in panel.iter_mut() {
+                        *v = v.scale(inv);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Direct `O(N²)` DFT used as a test oracle.
 pub fn dft_direct(input: &[Complex]) -> Vec<Complex> {
     let n = input.len();
@@ -324,6 +602,83 @@ mod tests {
         let one = fft(&[Complex::new(2.0, -1.0)]);
         assert_eq!(one.len(), 1);
         assert!((one[0].re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_panel_is_bit_identical_to_free_functions() {
+        for n in [1usize, 8, 7, 31, 127, 100] {
+            let plan = FftPlan::new(n);
+            let mut scratch = FftScratch::default();
+            for width in [1usize, 3, 8] {
+                // Column c gets a distinct deterministic signal.
+                let columns: Vec<Vec<Complex>> = (0..width)
+                    .map(|c| {
+                        (0..n)
+                            .map(|k| {
+                                Complex::new(
+                                    ((k * 13 + c * 7) as f64 * 0.31).sin(),
+                                    ((k * 5 + c * 3) as f64 * 0.17).cos(),
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let mut panel = vec![Complex::ZERO; n * width];
+                for (c, col) in columns.iter().enumerate() {
+                    for (r, &v) in col.iter().enumerate() {
+                        panel[r * width + c] = v;
+                    }
+                }
+                let mut fwd = panel.clone();
+                plan.forward_panel(&mut fwd, width, &mut scratch);
+                for (c, col) in columns.iter().enumerate() {
+                    let oracle = fft(col);
+                    for r in 0..n {
+                        let got = fwd[r * width + c];
+                        assert_eq!(
+                            (got.re.to_bits(), got.im.to_bits()),
+                            (oracle[r].re.to_bits(), oracle[r].im.to_bits()),
+                            "forward n={n} width={width} at ({r},{c})"
+                        );
+                    }
+                }
+                let mut inv = panel.clone();
+                plan.inverse_panel(&mut inv, width, &mut scratch);
+                for (c, col) in columns.iter().enumerate() {
+                    let oracle = ifft(col);
+                    for r in 0..n {
+                        let got = inv[r * width + c];
+                        assert_eq!(
+                            (got.re.to_bits(), got.im.to_bits()),
+                            (oracle[r].re.to_bits(), oracle[r].im.to_bits()),
+                            "inverse n={n} width={width} at ({r},{c})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_round_trips() {
+        for n in [16usize, 31, 100] {
+            let plan = FftPlan::new(n);
+            assert_eq!(plan.len(), n);
+            let mut scratch = FftScratch::default();
+            let x = ramp(n);
+            let mut panel = x.clone();
+            plan.forward_panel(&mut panel, 1, &mut scratch);
+            plan.inverse_panel(&mut panel, 1, &mut scratch);
+            assert_close(&panel, &x, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "panel shape mismatch")]
+    fn plan_rejects_wrong_shape() {
+        let plan = FftPlan::new(8);
+        let mut panel = vec![Complex::ZERO; 10];
+        plan.forward_panel(&mut panel, 2, &mut FftScratch::default());
     }
 
     #[test]

@@ -44,6 +44,59 @@ pub fn ifwht(data: &mut [f64]) {
     }
 }
 
+/// Row-vectorized FWHT over a panel of independent columns.
+///
+/// `panel` holds `rows × width` values in row-major order (row `r` of
+/// column `c` lives at `panel[r*width + c]`). Every butterfly level runs as
+/// contiguous row-pair sweeps — `row[i] += row[i + h]` style loops over
+/// `width` — so memory access is unit-stride and the compiler can
+/// auto-vectorize across the column dimension. Each column sees the exact
+/// butterfly schedule of [`fwht`], in the same order, on the same operands,
+/// so the per-column result is **bit-identical** to running [`fwht`] on
+/// that column alone. This is the kernel of the batched deconvolution
+/// engine: instead of gathering strided columns out of a row-major block,
+/// the block's own layout becomes the vectorization axis.
+///
+/// # Panics
+/// Panics if `width` is zero on a non-empty panel, if `panel.len()` is not
+/// a multiple of `width`, or if the row count is not a power of two.
+pub fn fwht_panel(panel: &mut [f64], width: usize) {
+    if panel.is_empty() {
+        return;
+    }
+    assert!(width > 0, "panel width must be positive");
+    assert_eq!(
+        panel.len() % width,
+        0,
+        "panel length {} is not a multiple of width {width}",
+        panel.len()
+    );
+    let rows = panel.len() / width;
+    if rows <= 1 {
+        return;
+    }
+    assert!(
+        rows.is_power_of_two(),
+        "FWHT length {rows} is not a power of two"
+    );
+    let mut h = 1;
+    while h < rows {
+        for block in (0..rows).step_by(h * 2) {
+            for i in block..block + h {
+                let (head, tail) = panel.split_at_mut((i + h) * width);
+                let top = &mut head[i * width..(i + 1) * width];
+                let bottom = &mut tail[..width];
+                for (a, b) in top.iter_mut().zip(bottom.iter_mut()) {
+                    let (x, y) = (*a, *b);
+                    *a = x + y;
+                    *b = x - y;
+                }
+            }
+        }
+        h *= 2;
+    }
+}
+
 /// Direct `O(M²)` WHT used as a test oracle.
 pub fn wht_direct(data: &[f64]) -> Vec<f64> {
     let m = data.len();
@@ -115,5 +168,47 @@ mod tests {
     fn rejects_non_power_of_two() {
         let mut x = vec![0.0; 12];
         fwht(&mut x);
+    }
+
+    #[test]
+    fn panel_is_bit_identical_to_per_column() {
+        for (rows, width) in [(32usize, 1usize), (64, 3), (16, 7), (128, 32)] {
+            let mut panel: Vec<f64> = (0..rows * width)
+                .map(|i| ((i * 37 + 11) % 101) as f64 * 0.37 - 17.0)
+                .collect();
+            // Per-column oracle on the original data.
+            let columns: Vec<Vec<f64>> = (0..width)
+                .map(|c| {
+                    let mut col: Vec<f64> = (0..rows).map(|r| panel[r * width + c]).collect();
+                    fwht(&mut col);
+                    col
+                })
+                .collect();
+            fwht_panel(&mut panel, width);
+            for c in 0..width {
+                for r in 0..rows {
+                    assert_eq!(
+                        panel[r * width + c].to_bits(),
+                        columns[c][r].to_bits(),
+                        "rows {rows} width {width} at ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panel_trivial_shapes() {
+        fwht_panel(&mut [], 0); // empty panel, any width
+        let mut one_row = [1.0, 2.0, 3.0];
+        fwht_panel(&mut one_row, 3);
+        assert_eq!(one_row, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of width")]
+    fn panel_rejects_ragged_shape() {
+        let mut x = vec![0.0; 10];
+        fwht_panel(&mut x, 3);
     }
 }

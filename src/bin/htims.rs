@@ -6,14 +6,17 @@
 //! htims sequence --degree 9 [--factor 2]   # gate-sequence properties and quality metrics
 //! htims feasibility --degree 9 --mz 100    # FPGA resource / real-time report
 //! htims pipeline --degree 6 --mz 60        # run the stage graph, emit PipelineReport JSON
+//! htims bench deconv --json                # deconvolution engine micro-bench → BENCH_deconv.json
 //! ```
 
 use htims::core::acquisition::{acquire, AcquireOptions, GateSchedule};
 use htims::core::analysis::{build_library, find_features, match_library};
 use htims::core::config::ExperimentConfig;
-use htims::core::deconvolution::Deconvolver;
+use htims::core::deconvolution::{apply_columnwise, Deconvolver};
 use htims::core::hybrid::{hybrid_pipeline, FrameGenerator, HybridConfig};
+use htims::core::parallel::deconvolve_with_threads;
 use htims::core::pipeline::DeconvBackend;
+use htims::core::BatchDeconvolver;
 use htims::fpga::deconv::DeconvConfig;
 use htims::fpga::{AccumulatorCore, DeconvCore, DmaLink, FpgaDevice, MzBinner, ResourceReport};
 use htims::physics::{Instrument, Workload};
@@ -30,6 +33,7 @@ fn main() {
         "sequence" => sequence(&args),
         "feasibility" => feasibility(&args),
         "pipeline" => pipeline(&args),
+        "bench" => bench(&args),
         _ => help(),
     }
 }
@@ -40,7 +44,8 @@ fn help() {
          htims sequence --degree <n> [--factor <m>]\n  htims feasibility --degree <n> --mz <bins>\n  \
          htims pipeline [--degree <n>] [--mz <bins>] [--frames <per-block>] [--blocks <n>]\n    \
          [--depth <channel depth>] [--backend fpga|naive|software] [--threads <n>]\n    \
-         [--coarse <bins>] [--executor threaded|inline] [--out <file.json>]"
+         [--coarse <bins>] [--executor threaded|inline] [--out <file.json>]\n  \
+         htims bench deconv [--quick] [--json] [--out <file.json>]"
     );
 }
 
@@ -266,6 +271,212 @@ fn pipeline(args: &[String]) {
         }
         None => println!("{json}"),
     }
+}
+
+/// `htims bench deconv`: times the scalar per-column reference against the
+/// batched panel engine on the E3 block (511 drift × 1000 m/z) and emits a
+/// machine-readable report (`BENCH_deconv.json` with `--json`).
+///
+/// Engines:
+/// * `scalar-column` — gather each strided column, run the per-column
+///   solver (fresh allocations per column), scatter back: the baseline;
+/// * `batched` — [`BatchDeconvolver`] panels on one thread, by panel width;
+/// * `batched-parallel` — panels distributed over a rayon pool, by threads.
+///
+/// All engines produce bit-identical output; only the schedule of the
+/// arithmetic differs. `speedup_vs_scalar` is relative to the same method's
+/// scalar-column row.
+fn bench(args: &[String]) {
+    match args.get(1).map(String::as_str) {
+        Some("deconv") => {}
+        other => {
+            eprintln!(
+                "unknown bench target {:?} (only `deconv` is available)",
+                other.unwrap_or("<none>")
+            );
+            std::process::exit(2);
+        }
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let degree = 9u32;
+    let n = (1usize << degree) - 1;
+    let mz_bins = if quick { 200 } else { 1000 };
+    let frames: u64 = if quick { 5 } else { 20 };
+    let repeats = if quick { 2 } else { 3 };
+
+    let mut inst = Instrument::with_drift_bins(n);
+    inst.tof.n_bins = mz_bins;
+    let workload = Workload::three_peptide_mix();
+    let schedule = GateSchedule::multiplexed(degree);
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    eprintln!("acquiring bench block ({n} drift x {mz_bins} m/z, {frames} frames)…");
+    let data = acquire(
+        &inst,
+        &workload,
+        &schedule,
+        frames,
+        AcquireOptions::default(),
+        &mut rng,
+    );
+
+    let cells = (n * mz_bins) as f64;
+    let mut rows: Vec<serde_json::Value> = Vec::new();
+    let mut record =
+        |method: &str, engine: &str, threads: usize, width: usize, secs: f64, scalar_secs: f64| {
+            eprintln!(
+                "{method:<12} {engine:<16} threads {threads:>2} panel {width:>4}: \
+             {:>8.2} ms/block  {:>7.2} Mcells/s  {:.2}x",
+                secs * 1e3,
+                cells / secs / 1e6,
+                scalar_secs / secs
+            );
+            rows.push(serde_json::json!({
+                "method": method,
+                "engine": engine,
+                "threads": threads,
+                "panel_width": width,
+                "ms_per_block": secs * 1e3,
+                "blocks_per_second": 1.0 / secs,
+                "mcells_per_second": cells / secs / 1e6,
+                "speedup_vs_scalar": scalar_secs / secs,
+            }));
+        };
+
+    let widths: &[usize] = if quick { &[32] } else { &[8, 32, 128] };
+    let threads = thread_sweep(quick);
+
+    // Floating-point software methods: weighted circulant + simplex FWHT.
+    for method in [
+        Deconvolver::Weighted { lambda: 1e-6 },
+        Deconvolver::SimplexFast,
+    ] {
+        let name = match &method {
+            Deconvolver::Weighted { .. } => "weighted",
+            _ => "simplex-fast",
+        };
+        let solver = method.column_solver(&schedule, &data);
+        let scalar_secs = best_secs(repeats, || {
+            std::hint::black_box(apply_columnwise(&data.accumulated, |col| solver(col)));
+        });
+        record(name, "scalar-column", 1, 1, scalar_secs, scalar_secs);
+        for &width in widths {
+            let engine = BatchDeconvolver::new(&method, &schedule, &data).with_panel_width(width);
+            let secs = best_secs(repeats, || {
+                std::hint::black_box(engine.deconvolve_map(&data.accumulated));
+            });
+            record(name, "batched", 1, width, secs, scalar_secs);
+        }
+        let panel_width = BatchDeconvolver::new(&method, &schedule, &data).panel_width();
+        for &t in &threads {
+            let secs = (0..repeats)
+                .map(|_| deconvolve_with_threads(&method, &schedule, &data, t).1)
+                .fold(f64::INFINITY, f64::min);
+            record(name, "batched-parallel", t, panel_width, secs, scalar_secs);
+        }
+    }
+
+    // The integer fixed-point datapath (the FPGA-model kernel the software
+    // pipeline backend runs).
+    let seq = MSequence::new(degree);
+    let core = DeconvCore::new(&seq, DeconvConfig::default());
+    let block: Vec<u64> = data
+        .accumulated
+        .data()
+        .iter()
+        .map(|&v| v.round() as u64)
+        .collect();
+    let scalar_secs = best_secs(repeats, || {
+        let mut out = vec![0i64; n * mz_bins];
+        let mut column = vec![0u64; n];
+        for mz in 0..mz_bins {
+            for (d, c) in column.iter_mut().enumerate() {
+                *c = block[d * mz_bins + mz];
+            }
+            for (d, v) in core.deconvolve_column(&column).into_iter().enumerate() {
+                out[d * mz_bins + mz] = v;
+            }
+        }
+        std::hint::black_box(out);
+    });
+    record(
+        "fixed-point",
+        "scalar-column",
+        1,
+        1,
+        scalar_secs,
+        scalar_secs,
+    );
+    for &width in widths {
+        let secs = best_secs(repeats, || {
+            let mut out = vec![0i64; n * mz_bins];
+            let mut panel: Vec<u64> = Vec::new();
+            let mut solved: Vec<i64> = Vec::new();
+            let mut work: Vec<i64> = Vec::new();
+            let mut c0 = 0;
+            while c0 < mz_bins {
+                let w = width.min(mz_bins - c0);
+                panel.clear();
+                panel.reserve(n * w);
+                for d in 0..n {
+                    panel.extend_from_slice(&block[d * mz_bins + c0..d * mz_bins + c0 + w]);
+                }
+                solved.resize(n * w, 0);
+                core.deconvolve_panel_into(&panel, w, &mut solved, &mut work);
+                for d in 0..n {
+                    out[d * mz_bins + c0..d * mz_bins + c0 + w]
+                        .copy_from_slice(&solved[d * w..(d + 1) * w]);
+                }
+                c0 += w;
+            }
+            std::hint::black_box(out);
+        });
+        record("fixed-point", "batched", 1, width, secs, scalar_secs);
+    }
+
+    let report = serde_json::json!({
+        "schema_version": 1,
+        "block": serde_json::json!({ "drift_bins": n, "mz_bins": mz_bins, "frames": frames }),
+        "rows": rows,
+    });
+    if args.iter().any(|a| a == "--json") || flag(args, "--out").is_some() {
+        let path = flag(args, "--out").unwrap_or_else(|| "BENCH_deconv.json".into());
+        let mut text = serde_json::to_string_pretty(&report).unwrap();
+        text.push('\n');
+        std::fs::write(&path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("bench report written to {path}");
+    }
+}
+
+/// Best-of-`repeats` wall time of `f`, in seconds.
+fn best_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Thread counts for the parallel rows: powers of two up to the machine
+/// width (always including 1 for the serial-overhead comparison).
+fn thread_sweep(quick: bool) -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4);
+    if quick {
+        return vec![max.min(4)];
+    }
+    let mut counts = vec![1usize];
+    let mut t = 2;
+    while t <= max {
+        counts.push(t);
+        t *= 2;
+    }
+    counts
 }
 
 fn feasibility(args: &[String]) {

@@ -136,9 +136,54 @@ where
     out
 }
 
+/// Like [`parallel_map`], but each worker thread first builds a private
+/// state value with `init` and threads it through its chunk — the shim's
+/// version of rayon's `map_init` (scratch arenas allocated once per worker,
+/// not once per item).
+fn parallel_map_init<I, O, T, INIT, F>(items: Vec<I>, init: INIT, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    INIT: Fn() -> T + Sync,
+    F: Fn(&mut T, I) -> O + Sync,
+{
+    let threads = current_num_threads().max(1);
+    if threads == 1 || items.len() <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|i| f(&mut state, i)).collect();
+    }
+    let n = items.len();
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let at = items.len().saturating_sub(chunk);
+        chunks.push(items.split_off(at));
+    }
+    chunks.reverse();
+    let f = &f;
+    let init = &init;
+    let mut out: Vec<O> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    c.into_iter().map(|i| f(&mut state, i)).collect::<Vec<O>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
 /// Parallel iterator adapters.
 pub mod iter {
-    use super::parallel_map;
+    use super::{parallel_map, parallel_map_init};
 
     /// A materialised parallel iterator over owned items.
     pub struct ParIter<I> {
@@ -148,6 +193,14 @@ pub mod iter {
     /// A mapped parallel iterator, evaluated on `collect`/`for_each`.
     pub struct ParMap<I, F> {
         items: Vec<I>,
+        f: F,
+    }
+
+    /// A mapped parallel iterator with per-worker state, evaluated on
+    /// `collect`.
+    pub struct ParMapInit<I, INIT, F> {
+        items: Vec<I>,
+        init: INIT,
         f: F,
     }
 
@@ -210,6 +263,21 @@ pub mod iter {
             }
         }
 
+        /// Maps each item with a per-worker state value built by `init`
+        /// (lazily; evaluated by `collect`).
+        pub fn map_init<T, O, INIT, F>(self, init: INIT, f: F) -> ParMapInit<I, INIT, F>
+        where
+            O: Send,
+            INIT: Fn() -> T + Sync,
+            F: Fn(&mut T, I) -> O + Sync,
+        {
+            ParMapInit {
+                items: self.items,
+                init,
+                f,
+            }
+        }
+
         /// Collects the items unchanged.
         pub fn collect<C: FromIterator<I>>(self) -> C {
             self.items.into_iter().collect()
@@ -230,6 +298,22 @@ pub mod iter {
         /// Evaluates the map in parallel, then sums the results.
         pub fn sum<S: std::iter::Sum<O>>(self) -> S {
             parallel_map(self.items, self.f).into_iter().sum()
+        }
+    }
+
+    impl<I, O, T, INIT, F> ParMapInit<I, INIT, F>
+    where
+        I: Send,
+        O: Send,
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, I) -> O + Sync,
+    {
+        /// Evaluates the map in parallel (one state per worker) and
+        /// collects the results in order.
+        pub fn collect<C: FromIterator<O>>(self) -> C {
+            parallel_map_init(self.items, self.init, self.f)
+                .into_iter()
+                .collect()
         }
     }
 }
@@ -260,6 +344,18 @@ mod tests {
             let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i + 1).collect();
             assert_eq!(out[99], 100);
         });
+    }
+
+    #[test]
+    fn map_init_reuses_state_and_preserves_order() {
+        let out: Vec<usize> = (0..500usize)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, i| {
+                scratch.push(i); // state must be usable across items
+                i * 3
+            })
+            .collect();
+        assert_eq!(out, (0..500).map(|i| i * 3).collect::<Vec<_>>());
     }
 
     #[test]

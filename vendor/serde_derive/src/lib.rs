@@ -11,15 +11,21 @@
 // Offline stand-in shim: not held to the first-party lint bar.
 #![allow(clippy::all)]
 
-use proc_macro::{Delimiter, TokenStream, TokenTree};
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// One named field and whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
+}
 
 /// One parsed item: a struct's fields or an enum's variants.
 enum Item {
-    /// Named-field struct: field names in declaration order.
-    Struct(Vec<String>),
+    /// Named-field struct: fields in declaration order.
+    Struct(Vec<Field>),
     /// Enum: `(variant_name, None)` for unit variants,
     /// `(variant_name, Some(fields))` for named-field variants.
-    Enum(Vec<(String, Option<Vec<String>>)>),
+    Enum(Vec<(String, Option<Vec<Field>>)>),
 }
 
 struct Parsed {
@@ -28,14 +34,22 @@ struct Parsed {
 }
 
 /// Derives `serde::Serialize` via the `Value` tree model.
-#[proc_macro_derive(Serialize)]
+///
+/// The `serde` helper attribute is accepted; `#[serde(default)]` is the one
+/// supported form (it only affects deserialization).
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     let body = match &parsed.item {
         Item::Struct(fields) => {
             let entries: String = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), _serde::Serialize::serialize(&self.{f})),"))
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), _serde::Serialize::serialize(&self.{f})),",
+                        f = f.name
+                    )
+                })
                 .collect();
             format!("_serde::Value::Object(vec![{entries}])")
         }
@@ -48,11 +62,18 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         n = parsed.name
                     ),
                     Some(fields) => {
-                        let bind = fields.join(", ");
+                        let bind = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let entries: String = fields
                             .iter()
                             .map(|f| {
-                                format!("(\"{f}\".to_string(), _serde::Serialize::serialize({f})),")
+                                format!(
+                                    "(\"{f}\".to_string(), _serde::Serialize::serialize({f})),",
+                                    f = f.name
+                                )
                             })
                             .collect();
                         format!(
@@ -77,16 +98,16 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` via the `Value` tree model.
-#[proc_macro_derive(Deserialize)]
+///
+/// Fields marked `#[serde(default)]` fall back to `Default::default()` when
+/// the key is absent (the `Value` model reads absent keys as `Null`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     let name = &parsed.name;
     let body = match &parsed.item {
         Item::Struct(fields) => {
-            let inits: String = fields
-                .iter()
-                .map(|f| format!("{f}: _serde::Deserialize::deserialize(v.field(\"{f}\"))?,"))
-                .collect();
+            let inits: String = fields.iter().map(|f| field_init(f, "v")).collect();
             format!("Ok({name} {{ {inits} }})")
         }
         Item::Enum(variants) => {
@@ -99,12 +120,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 .iter()
                 .filter_map(|(v, f)| f.as_ref().map(|fields| (v, fields)))
                 .map(|(v, fields)| {
-                    let inits: String = fields
-                        .iter()
-                        .map(|f| {
-                            format!("{f}: _serde::Deserialize::deserialize(inner.field(\"{f}\"))?,")
-                        })
-                        .collect();
+                    let inits: String = fields.iter().map(|f| field_init(f, "inner")).collect();
                     format!("\"{v}\" => Ok({name}::{v} {{ {inits} }}),")
                 })
                 .collect();
@@ -136,6 +152,21 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
              fn deserialize(v: &_serde::Value) -> Result<Self, _serde::Error> {{ {body} }} }}"
         ),
     )
+}
+
+/// The deserialization initializer for one field of the `Value` object
+/// bound to `src`.
+fn field_init(f: &Field, src: &str) -> String {
+    let n = &f.name;
+    if f.default {
+        format!(
+            "{n}: match {src}.field(\"{n}\") {{\
+             _serde::Value::Null => ::core::default::Default::default(),\
+             other => _serde::Deserialize::deserialize(other)?, }},"
+        )
+    } else {
+        format!("{n}: _serde::Deserialize::deserialize({src}.field(\"{n}\"))?,")
+    }
 }
 
 /// Wraps generated impls in a `const` block with a hygienic serde alias
@@ -203,13 +234,59 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Parses `name: Type, ...` named fields, returning the names in order.
-fn parse_fields(stream: TokenStream) -> Vec<String> {
+/// True when a `#[...]` attribute group is `serde(...)`; panics on any
+/// serde option other than `default` (the one the shim implements).
+fn serde_attr_defaults(group: &Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            for t in args.stream() {
+                match &t {
+                    TokenTree::Ident(opt) if opt.to_string() == "default" => {}
+                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                    other => panic!(
+                        "vendored serde derive supports only `#[serde(default)]`, \
+                         found serde option `{other}`"
+                    ),
+                }
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Parses `name: Type, ...` named fields (with optional `#[serde(default)]`
+/// markers), returning them in order.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        // Walk attributes ourselves (rather than skip_attrs_and_vis) to
+        // spot `#[serde(default)]` on the way past.
+        let mut default = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        default |= serde_attr_defaults(g);
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(g))
+                        if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
         if i >= tokens.len() {
             break;
         }
@@ -238,13 +315,13 @@ fn parse_fields(stream: TokenStream) -> Vec<String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
 }
 
 /// Parses enum variants: unit or named-field (tuple variants are rejected).
-fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<(String, Option<Vec<String>>)> {
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<(String, Option<Vec<Field>>)> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut variants = Vec::new();
     let mut i = 0;
