@@ -1,0 +1,70 @@
+//! `ims_obs` overhead microbench: what instrumentation costs on the hot
+//! path.
+//!
+//! The contract the pipeline relies on (see `crates/obs/src/trace.rs`):
+//! a span with the tracer *disabled* is one relaxed atomic load — cheap
+//! enough to leave in per-frame and per-panel loops unconditionally. This
+//! bench pins that, alongside the always-on costs: a histogram record
+//! (bucket index + five relaxed RMWs) and a counter increment, plus the
+//! enabled-span cost for scale (timestamp + thread-local buffer push).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // The headline number: disabled-tracer span cost. Expected ~1 ns —
+    // one atomic load and an inert guard.
+    ims_obs::trace::set_enabled(false);
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _g = ims_obs::span_cat(black_box("bench"), black_box("span"));
+        })
+    });
+
+    // Reference baseline for the line above: a bare atomic load.
+    let flag = std::sync::atomic::AtomicBool::new(false);
+    group.bench_function("atomic_load_baseline", |b| {
+        b.iter(|| black_box(flag.load(std::sync::atomic::Ordering::Relaxed)))
+    });
+
+    // Enabled span: timestamp ×2 + thread-local push. Orders of magnitude
+    // above disabled, which is why enablement is a run-time switch.
+    ims_obs::trace::set_enabled(true);
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            let _g = ims_obs::span_cat(black_box("bench"), black_box("span"));
+        })
+    });
+    ims_obs::trace::set_enabled(false);
+    ims_obs::trace::clear();
+
+    // Always-on metrics: histogram record and counter increment.
+    let hist = ims_obs::metrics::histogram("bench.obs_overhead.hist");
+    let mut v = 0u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_add(997);
+            hist.record(black_box(v));
+        })
+    });
+
+    let counter = ims_obs::metrics::counter("bench.obs_overhead.counter");
+    group.bench_function("counter_incr", |b| b.iter(|| counter.incr()));
+
+    // The macro path used at instrumentation sites (adds one OnceLock get).
+    group.bench_function("static_histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_add(997);
+            ims_obs::static_histogram!("bench.obs_overhead.static_hist").record(black_box(v));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

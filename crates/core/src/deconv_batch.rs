@@ -53,6 +53,17 @@ enum PanelKernel {
     Circulant(CirculantSolver),
 }
 
+impl PanelKernel {
+    /// Method label used in metric names and trace categories.
+    fn name(&self) -> &'static str {
+        match self {
+            PanelKernel::Identity => "identity",
+            PanelKernel::Simplex(_) => "simplex-fwht",
+            PanelKernel::Circulant(_) => "circulant",
+        }
+    }
+}
+
 /// Reusable per-worker scratch for the batch engine. One instance per
 /// thread is enough; it grows to the largest panel shape seen and is then
 /// reused without further allocation.
@@ -70,6 +81,15 @@ pub struct PanelScratch {
 pub struct BatchDeconvolver {
     kernel: PanelKernel,
     panel_width: usize,
+    /// Per-method panel-latency histogram in the global registry
+    /// (`deconv.panel_ns.<method>`). A `&'static` registry handle, so
+    /// cloning the engine shares it.
+    panel_hist: &'static ims_obs::Histogram,
+}
+
+/// The registry histogram collecting panel latencies for `kernel`.
+fn panel_histogram(kernel: &PanelKernel) -> &'static ims_obs::Histogram {
+    ims_obs::metrics::histogram(&format!("deconv.panel_ns.{}", kernel.name()))
 }
 
 impl BatchDeconvolver {
@@ -116,6 +136,7 @@ impl BatchDeconvolver {
             }
         };
         Self {
+            panel_hist: panel_histogram(&kernel),
             kernel,
             panel_width: DEFAULT_PANEL_WIDTH,
         }
@@ -124,8 +145,10 @@ impl BatchDeconvolver {
     /// Engine around an explicit (e.g. calibration-estimated) circulant
     /// inverse — the batch form of [`CirculantInverse::apply`].
     pub fn from_circulant(inverse: &CirculantInverse) -> Self {
+        let kernel = PanelKernel::Circulant(inverse.solver());
         Self {
-            kernel: PanelKernel::Circulant(inverse.solver()),
+            panel_hist: panel_histogram(&kernel),
+            kernel,
             panel_width: DEFAULT_PANEL_WIDTH,
         }
     }
@@ -133,8 +156,10 @@ impl BatchDeconvolver {
     /// Engine around a prebuilt fast m-sequence transform (the simplex
     /// inverse for the convolution forward model).
     pub fn from_transform(transform: FastMTransform) -> Self {
+        let kernel = PanelKernel::Simplex(transform);
         Self {
-            kernel: PanelKernel::Simplex(transform),
+            panel_hist: panel_histogram(&kernel),
+            kernel,
             panel_width: DEFAULT_PANEL_WIDTH,
         }
     }
@@ -170,7 +195,8 @@ impl BatchDeconvolver {
         }
     }
 
-    /// Runs the kernel on one gathered panel in place.
+    /// Runs the kernel on one gathered panel in place, recording one span
+    /// (category = method name) and one latency sample per panel.
     fn solve_panel(
         &self,
         panel: &mut [f64],
@@ -178,11 +204,14 @@ impl BatchDeconvolver {
         transform: &mut TransformScratch,
         circulant: &mut CirculantScratch,
     ) {
+        let _sp = ims_obs::span_cat(self.kernel.name(), "panel");
+        let start = std::time::Instant::now();
         match &self.kernel {
             PanelKernel::Identity => {}
             PanelKernel::Simplex(t) => t.deconvolve_convolution_panel(panel, width, transform),
             PanelKernel::Circulant(s) => s.solve_panel(panel, width, circulant),
         }
+        self.panel_hist.record_duration(start.elapsed());
     }
 
     /// Deconvolves every m/z column of a drift-major map, panel by panel,

@@ -5,6 +5,14 @@
 //! the same integer datapath, so their outputs are bit-identical by
 //! construction; the threaded executor adds the concurrency — and the
 //! back-pressure instrumentation — of the real design.
+//!
+//! Both executors are also instrumented with `ims_obs`: every stage
+//! iteration opens a span (category = stage name), channel waits get their
+//! own `recv-wait`/`send-wait` spans, and input-queue depths are sampled
+//! into gauges and Chrome counter tracks. All of it is inert — one atomic
+//! load per span — unless a `TraceSession` is active. Per-item processing
+//! latency additionally feeds a histogram per stage (always on; a handful
+//! of relaxed atomics per *item*, where items are frames or blocks).
 
 use super::report::{PipelineReport, StageReport};
 use super::stages::FrameSource;
@@ -79,11 +87,17 @@ impl Pipeline {
             // Source thread: the "software portion streaming data".
             let src_tx = tx_iter.next().expect("source channel");
             let src_handle = scope.spawn(move || {
+                ims_obs::set_thread_name("source");
                 let mut meter = StageMeter::new("source");
                 for i in 0..frames {
                     let t = Instant::now();
-                    let packet = source.packet(i);
-                    meter.busy += t.elapsed();
+                    let packet = {
+                        let _sp = ims_obs::span_cat("source", "process");
+                        source.packet(i)
+                    };
+                    let gen = t.elapsed();
+                    meter.busy += gen;
+                    meter.record_latency(gen);
                     if meter.timed_send(&src_tx, Message::Frame(packet)).is_err() {
                         break; // downstream gone
                     }
@@ -97,11 +111,21 @@ impl Pipeline {
                 let rx = rx_iter.next().expect("stage input channel");
                 let tx = tx_iter.next().expect("stage output channel");
                 handles.push(scope.spawn(move || {
-                    let mut meter = StageMeter::new(stage.name());
+                    let name = stage.name();
+                    ims_obs::set_thread_name(name);
+                    let queue_gauge =
+                        ims_obs::metrics::gauge(&format!("pipeline.queue_depth.{name}"));
+                    let mut meter = StageMeter::new(name);
                     loop {
-                        meter.queue_high_water = meter.queue_high_water.max(rx.len() as u64);
+                        let depth = rx.len() as u64;
+                        meter.queue_high_water = meter.queue_high_water.max(depth);
+                        queue_gauge.set(depth);
+                        ims_obs::counter_sample("queue-depth", name, depth as f64);
                         let t = Instant::now();
-                        let msg = rx.recv();
+                        let msg = {
+                            let _sp = ims_obs::span_cat(name, "recv-wait");
+                            rx.recv()
+                        };
                         meter.blocked_recv += t.elapsed();
                         let Ok(msg) = msg else { break };
                         meter.items_in += 1;
@@ -155,8 +179,13 @@ impl Pipeline {
         let frames = self.source.frames();
         for i in 0..frames {
             let t = Instant::now();
-            let packet = self.source.packet(i);
-            meters[0].busy += t.elapsed();
+            let packet = {
+                let _sp = ims_obs::span_cat("source", "process");
+                self.source.packet(i)
+            };
+            let gen = t.elapsed();
+            meters[0].busy += gen;
+            meters[0].record_latency(gen);
             meters[0].items_out += 1;
             feed(
                 &mut stages,
@@ -192,7 +221,11 @@ impl Pipeline {
     ) {
         report.frames = frames;
         report.blocks = blocks as u64;
-        report.stages = meters.into_iter().map(StageMeter::into_report).collect();
+        let threaded = report.executor == "threaded";
+        report.stages = meters
+            .into_iter()
+            .map(|m| m.into_report(threaded))
+            .collect();
         // Meter 0 is the source; stage i owns report.stages[i + 1].
         for (i, stage) in stages.iter().enumerate() {
             report.stages[i + 1].cells = stage.cells_processed();
@@ -235,8 +268,13 @@ fn feed(
     meters[idx].items_in += 1;
     let mut emitted = Vec::new();
     let t = Instant::now();
-    stages[idx].process(msg, &mut |m| emitted.push(m));
-    meters[idx].busy += t.elapsed();
+    {
+        let _sp = ims_obs::span_cat(meters[idx].name, "process");
+        stages[idx].process(msg, &mut |m| emitted.push(m));
+    }
+    let took = t.elapsed();
+    meters[idx].busy += took;
+    meters[idx].record_latency(took);
     meters[idx].items_out += emitted.len() as u64;
     for m in emitted {
         feed(stages, meters, idx + 1, m, out);
@@ -252,6 +290,11 @@ struct StageMeter {
     blocked_recv: Duration,
     blocked_send: Duration,
     queue_high_water: u64,
+    /// Per-item processing latency for this run (feeds the report).
+    latency: ims_obs::Histogram,
+    /// Same samples in the global registry (feeds metrics snapshots),
+    /// named `pipeline.stage_latency_ns.<stage>`.
+    latency_reg: &'static ims_obs::Histogram,
 }
 
 impl StageMeter {
@@ -264,13 +307,24 @@ impl StageMeter {
             blocked_recv: Duration::ZERO,
             blocked_send: Duration::ZERO,
             queue_high_water: 0,
+            latency: ims_obs::Histogram::new(),
+            latency_reg: ims_obs::metrics::histogram(&format!("pipeline.stage_latency_ns.{name}")),
         }
+    }
+
+    /// Records one item's processing latency (run-local and registry).
+    fn record_latency(&mut self, d: Duration) {
+        self.latency.record_duration(d);
+        self.latency_reg.record_duration(d);
     }
 
     /// Sends one message, charging the wait to `blocked_send`.
     fn timed_send(&mut self, tx: &Sender<Message>, msg: Message) -> Result<(), ()> {
         let t = Instant::now();
-        let r = tx.send(msg);
+        let r = {
+            let _sp = ims_obs::span_cat(self.name, "send-wait");
+            tx.send(msg)
+        };
         self.blocked_send += t.elapsed();
         if r.is_ok() {
             self.items_out += 1;
@@ -282,47 +336,68 @@ impl StageMeter {
 
     /// Runs `process`, splitting elapsed time into busy vs send-blocked.
     fn timed_process(&mut self, stage: &mut dyn Stage, msg: Message, tx: &Sender<Message>) {
+        let name = self.name;
         let mut sent = Duration::ZERO;
         let mut items_out = 0u64;
         let t = Instant::now();
-        stage.process(msg, &mut |m| {
-            let ts = Instant::now();
-            let _ = tx.send(m);
-            sent += ts.elapsed();
-            items_out += 1;
-        });
+        {
+            let _sp = ims_obs::span_cat(name, "process");
+            stage.process(msg, &mut |m| {
+                let ts = Instant::now();
+                {
+                    let _sp = ims_obs::span_cat(name, "send-wait");
+                    let _ = tx.send(m);
+                }
+                sent += ts.elapsed();
+                items_out += 1;
+            });
+        }
         let total = t.elapsed();
-        self.busy += total.saturating_sub(sent);
+        let busy = total.saturating_sub(sent);
+        self.busy += busy;
+        self.record_latency(busy);
         self.blocked_send += sent;
         self.items_out += items_out;
     }
 
     /// Runs `flush` with the same accounting as [`timed_process`].
     fn timed_flush(&mut self, stage: &mut dyn Stage, tx: &Sender<Message>) {
+        let name = self.name;
         let mut sent = Duration::ZERO;
         let mut items_out = 0u64;
         let t = Instant::now();
-        stage.flush(&mut |m| {
-            let ts = Instant::now();
-            let _ = tx.send(m);
-            sent += ts.elapsed();
-            items_out += 1;
-        });
+        {
+            let _sp = ims_obs::span_cat(name, "flush");
+            stage.flush(&mut |m| {
+                let ts = Instant::now();
+                {
+                    let _sp = ims_obs::span_cat(name, "send-wait");
+                    let _ = tx.send(m);
+                }
+                sent += ts.elapsed();
+                items_out += 1;
+            });
+        }
         let total = t.elapsed();
         self.busy += total.saturating_sub(sent);
         self.blocked_send += sent;
         self.items_out += items_out;
     }
 
-    fn into_report(self) -> StageReport {
+    /// Converts to the serializable report. The blocked/queue fields are
+    /// only meaningful under the threaded executor; the inline executor
+    /// reports them as `None` so JSON consumers can't misread `0` as
+    /// "never blocked".
+    fn into_report(self, threaded: bool) -> StageReport {
         StageReport {
             name: self.name.to_string(),
             items_in: self.items_in,
             items_out: self.items_out,
             busy_seconds: self.busy.as_secs_f64(),
-            blocked_recv_seconds: self.blocked_recv.as_secs_f64(),
-            blocked_send_seconds: self.blocked_send.as_secs_f64(),
-            queue_high_water: self.queue_high_water,
+            blocked_recv_seconds: threaded.then_some(self.blocked_recv.as_secs_f64()),
+            blocked_send_seconds: threaded.then_some(self.blocked_send.as_secs_f64()),
+            queue_high_water: threaded.then_some(self.queue_high_water),
+            latency_ns: (self.latency.count() > 0).then(|| self.latency.summary()),
             cells: 0,
             items_per_second: 0.0,
             mcells_per_second: 0.0,

@@ -6,6 +6,7 @@
 //! the high-water mark of its input queue. Both are plain serde structs so
 //! the `htims pipeline` subcommand can emit them as JSON.
 
+use ims_obs::HistogramSummary;
 use serde::{Deserialize, Serialize};
 
 /// Per-stage instrumentation from one pipeline run.
@@ -14,9 +15,10 @@ use serde::{Deserialize, Serialize};
 /// waiting for input and `blocked_send_seconds` is time spent handing
 /// messages downstream (dominated by back-pressure when the next stage is
 /// the bottleneck). `queue_high_water` is the largest occupancy its input
-/// channel reached — a full queue marks this stage as the choke point. The
-/// inline executor runs everything on one thread, so only `items_*` and
-/// `busy_seconds` are meaningful there.
+/// channel reached — a full queue marks this stage as the choke point.
+/// The inline executor runs everything on one thread, so those three
+/// fields are meaningless there: they are `None` and omitted from the
+/// JSON (rather than a misleading `0` that reads as "never blocked").
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StageReport {
     /// Stage name (`"source"`, `"link"`, `"binner"`, `"accumulate"`,
@@ -28,12 +30,21 @@ pub struct StageReport {
     pub items_out: u64,
     /// Time spent doing work, seconds.
     pub busy_seconds: f64,
-    /// Time blocked waiting for input, seconds.
-    pub blocked_recv_seconds: f64,
-    /// Time spent sending output (back-pressure wait included), seconds.
-    pub blocked_send_seconds: f64,
-    /// Largest observed occupancy of this stage's input queue.
-    pub queue_high_water: u64,
+    /// Time blocked waiting for input, seconds (threaded executor only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub blocked_recv_seconds: Option<f64>,
+    /// Time spent sending output (back-pressure wait included), seconds
+    /// (threaded executor only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub blocked_send_seconds: Option<f64>,
+    /// Largest observed occupancy of this stage's input queue (threaded
+    /// executor only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub queue_high_water: Option<u64>,
+    /// Distribution of per-item processing latency, nanoseconds (`None`
+    /// when the stage processed no items).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub latency_ns: Option<HistogramSummary>,
     /// Data cells (drift bins × m/z bins) processed by this stage — 0 for
     /// stages that don't process 2-D blocks.
     #[serde(default)]
@@ -132,9 +143,18 @@ mod tests {
             items_in: 12,
             items_out: 3,
             busy_seconds: 0.5,
-            blocked_recv_seconds: 0.25,
-            blocked_send_seconds: 0.125,
-            queue_high_water: 4,
+            blocked_recv_seconds: Some(0.25),
+            blocked_send_seconds: Some(0.125),
+            queue_high_water: Some(4),
+            latency_ns: Some(HistogramSummary {
+                count: 12,
+                min: 900,
+                max: 2_100,
+                mean: 1_500.0,
+                p50: 1_400,
+                p90: 2_000,
+                p99: 2_100,
+            }),
             cells: 750_000,
             items_per_second: 6.0,
             mcells_per_second: 1.5,
@@ -143,8 +163,10 @@ mod tests {
         let back: PipelineReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.backend, "fpga-fwht");
         assert_eq!(back.stages.len(), 1);
-        assert_eq!(back.stage("accumulate").unwrap().queue_high_water, 4);
-        assert_eq!(back.stage("accumulate").unwrap().cells, 750_000);
+        let acc = back.stage("accumulate").unwrap();
+        assert_eq!(acc.queue_high_water, Some(4));
+        assert_eq!(acc.cells, 750_000);
+        assert_eq!(acc.latency_ns.as_ref().unwrap().p99, 2_100);
         assert!((back.deconv_mcells_per_second - 1.5).abs() < 1e-12);
         assert!(back.stage("missing").is_none());
     }
@@ -162,5 +184,33 @@ mod tests {
         assert_eq!(s.cells, 0);
         assert_eq!(s.items_per_second, 0.0);
         assert_eq!(s.mcells_per_second, 0.0);
+        assert_eq!(s.queue_high_water, Some(1));
+        assert!(s.latency_ns.is_none());
+    }
+
+    #[test]
+    fn inline_none_fields_are_omitted_from_json() {
+        let s = StageReport {
+            name: "link".into(),
+            items_in: 5,
+            items_out: 5,
+            busy_seconds: 0.2,
+            blocked_recv_seconds: None,
+            blocked_send_seconds: None,
+            queue_high_water: None,
+            latency_ns: None,
+            cells: 0,
+            items_per_second: 25.0,
+            mcells_per_second: 0.0,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("queue_high_water"));
+        assert!(!json.contains("blocked_recv_seconds"));
+        assert!(!json.contains("blocked_send_seconds"));
+        assert!(!json.contains("latency_ns"));
+        // And the omitted keys read back as None.
+        let back: StageReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.queue_high_water, None);
+        assert_eq!(back.blocked_recv_seconds, None);
     }
 }

@@ -383,6 +383,8 @@ fn software_deconvolve_block(
             .map_init(
                 || (Vec::<u64>::new(), Vec::<i64>::new()),
                 |(panel, work), c0| {
+                    let _sp = ims_obs::span_cat("software-fwht", "panel");
+                    let start = std::time::Instant::now();
                     let width = panel_width.min(mz_bins - c0);
                     panel.clear();
                     panel.reserve(n * width);
@@ -391,6 +393,8 @@ fn software_deconvolve_block(
                     }
                     let mut solved = vec![0i64; n * width];
                     core.deconvolve_panel_into(panel, width, &mut solved, work);
+                    ims_obs::static_histogram!("deconv.panel_ns.software-fwht")
+                        .record_duration(start.elapsed());
                     (c0, width, solved)
                 },
             )

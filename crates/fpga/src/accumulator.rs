@@ -102,7 +102,9 @@ impl AccumulatorCore {
                 got: words.len(),
             });
         }
+        let _sp = ims_obs::span_cat("accumulator", "frame");
         let ceil = self.cell_max();
+        let saturated_before = self.saturation_events;
         for (cell, word) in self.acc.iter_mut().zip(words) {
             let sum = *cell + word as u64;
             if sum > ceil {
@@ -114,6 +116,11 @@ impl AccumulatorCore {
         }
         self.frames_captured += 1;
         self.cycles += expected as u64 + 4;
+        // One metrics update per frame (not per cell) keeps the add loop
+        // clean for the auto-vectorizer.
+        ims_obs::static_counter!("accumulator.frames").incr();
+        ims_obs::static_counter!("accumulator.saturation_events")
+            .add(self.saturation_events - saturated_before);
         Ok(())
     }
 

@@ -38,8 +38,13 @@ impl DmaLink {
         }
     }
 
-    /// Wall time to move `bytes` once.
+    /// Wall time to move `bytes` once. Each call counts one (simulated)
+    /// transfer in the `dma.transfers` / `dma.bytes` metrics and opens a
+    /// trace span, so timelines show where link traffic happens.
     pub fn transfer_time_s(&self, bytes: usize) -> f64 {
+        let _sp = ims_obs::span_cat("dma", "transfer");
+        ims_obs::static_counter!("dma.transfers").incr();
+        ims_obs::static_counter!("dma.bytes").add(bytes as u64);
         self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
     }
 

@@ -1,0 +1,22 @@
+//! Stamps the build with `git describe` so every `ObsReport` and bench JSON
+//! records exactly which tree produced it (the repo is offline, so this is
+//! the only provenance source available).
+
+use std::process::Command;
+
+fn main() {
+    let describe = Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=IMS_OBS_GIT_DESCRIBE={describe}");
+    // Re-stamp when the checked-out commit moves (best-effort: the .git
+    // layout is stable enough for a build hint, and a stale describe only
+    // mislabels provenance, never correctness).
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    println!("cargo:rerun-if-changed=../../.git/index");
+}

@@ -1,0 +1,38 @@
+//! `ims_obs` — hand-rolled observability for the hybrid IMS pipeline.
+//!
+//! Zero external dependencies (the repo is offline/vendored): three small
+//! pieces that compose into one report.
+//!
+//! * [`metrics`] — a lock-free registry of named [`Counter`]s, [`Gauge`]s,
+//!   and log-linear-bucket [`Histogram`]s behind cheap `&'static` handles
+//!   (see [`static_counter!`], [`static_gauge!`], [`static_histogram!`]).
+//! * [`trace`] — a span/event tracer writing monotonic timestamps into
+//!   per-thread buffers; a disabled span costs one relaxed atomic load.
+//! * [`session`] — [`TraceSession`] brackets a workload and snapshots
+//!   both worlds into a serde-serializable [`ObsReport`], whose
+//!   [`chrome_trace_json`](ObsReport::chrome_trace_json) output loads
+//!   directly into Perfetto / `chrome://tracing`.
+//!
+//! Instrumentation points record unconditionally; whether anything is
+//! *kept* is decided by the single tracer flag, so the pipeline code has
+//! no `#[cfg]`s and no plumbed-through handles.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod session;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot};
+pub use session::{
+    ObsReport, Provenance, SpanRecord, ThreadInfo, TraceSession, OBS_SCHEMA_VERSION,
+};
+pub use trace::{counter_sample, instant, set_thread_name, span, span_cat, SpanGuard};
+
+/// Serializes tests that mutate the process-global tracer/registry (the
+/// test harness runs `#[test]` fns concurrently in one process).
+#[cfg(test)]
+pub(crate) fn global_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,585 @@
+//! Lock-free metrics: counters, gauges, and log-linear-bucket histograms,
+//! behind a global name → handle registry.
+//!
+//! Recording is wait-free: every instrument is a handful of relaxed atomic
+//! operations, so hot paths (per-frame, per-panel) can record
+//! unconditionally. Registration (the only locking operation) happens once
+//! per name and returns a `&'static` handle — cache it in a `static` (see
+//! [`static_counter!`](crate::static_counter) and friends) and the steady
+//! state cost is one atomic load to reach the handle plus the record itself.
+//!
+//! Histograms use HdrHistogram-style log-linear buckets: values below 16
+//! get exact unit buckets; above that, each power of two is split into 16
+//! linear sub-buckets, giving ≤ 6.25 % relative error across the full `u64`
+//! range with a fixed 976-bucket table (~8 KiB per histogram). Quantiles
+//! are read from the bucket cumulative counts and clamped into the exact
+//! observed `[min, max]`, so a single-sample histogram reports that sample
+//! exactly and `u64::MAX` never rounds up (the saturating-max edge case).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+
+/// Sub-buckets per power of two (and the exact-bucket cutoff).
+const SUB_BUCKETS: u64 = 16;
+
+/// Total bucket count: 16 exact unit buckets for `0..16`, then 16 linear
+/// sub-buckets for each power-of-two range `2^4..2^64`.
+pub const NUM_BUCKETS: usize = 976;
+
+/// The bucket index holding `v`. Monotonic in `v`; exact for `v < 16`.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let top = 63 - v.leading_zeros() as usize; // >= 4
+        (top - 3) * 16 + ((v >> (top - 4)) & 15) as usize
+    }
+}
+
+/// The smallest value mapping to bucket `i`.
+pub(crate) fn bucket_low(i: usize) -> u64 {
+    if i < SUB_BUCKETS as usize {
+        i as u64
+    } else {
+        let sub = (i % 16) as u64;
+        (16 + sub) << (i / 16 - 1)
+    }
+}
+
+/// The largest value mapping to bucket `i`.
+pub(crate) fn bucket_high(i: usize) -> u64 {
+    if i + 1 < NUM_BUCKETS {
+        bucket_low(i + 1) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Relaxed);
+    }
+}
+
+/// Last-write-wins instantaneous value that also tracks its high-water
+/// mark (e.g. a queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the current value, updating the high-water mark.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+
+    /// Largest value ever set.
+    pub fn high_water(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+/// Log-linear-bucket histogram over `u64` samples (latencies in ns, sizes
+/// in bytes, …). Recording is a bucket-index computation plus four relaxed
+/// atomic RMW operations; snapshots never block recorders.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.summary();
+        write!(
+            f,
+            "Histogram {{ count: {}, min: {}, max: {}, p50: {} }}",
+            s.count, s.min, s.max, s.p50
+        )
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: Box::new([const { AtomicU64::new(0) }; NUM_BUCKETS]),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed); // wraps only after ~584 years of ns
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Records a `Duration` as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// An immutable summary (count, min/max, mean, p50/p90/p99) of the
+    /// samples recorded so far.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Relaxed);
+        if count == 0 {
+            return HistogramSummary::default();
+        }
+        let min = self.min.load(Relaxed);
+        let max = self.max.load(Relaxed);
+        let sum = self.sum.load(Relaxed);
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        // A racing recorder may have bumped `count` before its bucket: use
+        // the bucket total so the quantile walk is self-consistent.
+        let total: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut cum = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                cum += c;
+                if cum >= target {
+                    return bucket_high(i).clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSummary {
+            count,
+            min,
+            max,
+            mean: sum as f64 / count as f64,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+
+    fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+/// Serializable point-in-time summary of one [`Histogram`].
+///
+/// Quantiles are bucket upper bounds clamped into the exact observed
+/// `[min, max]` (≤ 6.25 % relative error). An empty histogram is all
+/// zeros with `count == 0`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// One registered instrument.
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Looks up (registering on first use) the counter named `name`.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different instrument kind.
+pub fn counter(name: &str) -> &'static Counter {
+    match register(name, || Metric::Counter(Box::leak(Box::default()))) {
+        Metric::Counter(c) => c,
+        other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+    }
+}
+
+/// Looks up (registering on first use) the gauge named `name`.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different instrument kind.
+pub fn gauge(name: &str) -> &'static Gauge {
+    match register(name, || Metric::Gauge(Box::leak(Box::default()))) {
+        Metric::Gauge(g) => g,
+        other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+    }
+}
+
+/// Looks up (registering on first use) the histogram named `name`.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different instrument kind.
+pub fn histogram(name: &str) -> &'static Histogram {
+    match register(name, || Metric::Histogram(Box::leak(Box::default()))) {
+        Metric::Histogram(h) => h,
+        other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+    }
+}
+
+fn register(name: &str, make: impl FnOnce() -> Metric) -> Metric {
+    let mut map = registry().lock().expect("metrics registry poisoned");
+    let entry = map.entry(name.to_string()).or_insert_with(make);
+    match entry {
+        Metric::Counter(c) => Metric::Counter(c),
+        Metric::Gauge(g) => Metric::Gauge(g),
+        Metric::Histogram(h) => Metric::Histogram(h),
+    }
+}
+
+/// Zeroes every registered instrument in place (handles stay valid) — the
+/// start-of-session reset.
+pub fn reset() {
+    let map = registry().lock().expect("metrics registry poisoned");
+    for metric in map.values() {
+        match metric {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+/// One named counter value in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One named gauge value in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+    /// Largest value ever set.
+    pub high_water: u64,
+}
+
+/// One named histogram summary in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    /// Registered name.
+    pub name: String,
+    /// Summary at snapshot time.
+    pub summary: HistogramSummary,
+}
+
+/// Point-in-time capture of every registered instrument, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<CounterEntry>,
+    /// All gauges.
+    pub gauges: Vec<GaugeEntry>,
+    /// All histograms.
+    pub histograms: Vec<HistogramEntry>,
+}
+
+impl MetricsSnapshot {
+    /// The named counter's value, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The named histogram's summary, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| &h.summary)
+    }
+}
+
+/// Captures every registered instrument.
+pub fn snapshot() -> MetricsSnapshot {
+    let map = registry().lock().expect("metrics registry poisoned");
+    let mut snap = MetricsSnapshot::default();
+    for (name, metric) in map.iter() {
+        match metric {
+            Metric::Counter(c) => snap.counters.push(CounterEntry {
+                name: name.clone(),
+                value: c.get(),
+            }),
+            Metric::Gauge(g) => snap.gauges.push(GaugeEntry {
+                name: name.clone(),
+                value: g.get(),
+                high_water: g.high_water(),
+            }),
+            Metric::Histogram(h) => snap.histograms.push(HistogramEntry {
+                name: name.clone(),
+                summary: h.summary(),
+            }),
+        }
+    }
+    snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    snap
+}
+
+/// A `&'static Counter` handle cached in a local `static`: after the first
+/// call the cost is one atomic load plus the record.
+#[macro_export]
+macro_rules! static_counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+/// A `&'static Gauge` handle cached in a local `static`.
+#[macro_export]
+macro_rules! static_gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::gauge($name))
+    }};
+}
+
+/// A `&'static Histogram` handle cached in a local `static`.
+#[macro_export]
+macro_rules! static_histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotonic_and_consistent() {
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            63,
+            64,
+            1000,
+            1 << 20,
+            (1 << 20) + 12345,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut last = 0usize;
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i >= last, "index not monotonic at {v}");
+            assert!(i < NUM_BUCKETS);
+            assert!(
+                bucket_low(i) <= v && v <= bucket_high(i),
+                "value {v} outside bucket {i}: [{}, {}]",
+                bucket_low(i),
+                bucket_high(i)
+            );
+            last = i;
+        }
+        // Exact unit buckets below 16.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_low(v as usize), v);
+            assert_eq!(bucket_high(v as usize), v);
+        }
+        // Boundaries are seamless: every bucket starts where the previous
+        // ended.
+        for i in 1..NUM_BUCKETS {
+            assert_eq!(bucket_low(i), bucket_high(i - 1) + 1, "gap at bucket {i}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Log-linear with 16 sub-buckets ⇒ bucket width ≤ value / 16.
+        for &v in &[100u64, 1000, 12345, 1 << 30, u64::MAX / 3] {
+            let i = bucket_index(v);
+            let width = bucket_high(i) - bucket_low(i);
+            assert!(
+                (width as f64) <= (v as f64) / 16.0 + 1.0,
+                "bucket {i} too wide for {v}: {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s, HistogramSummary::default());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn single_sample_is_reported_exactly() {
+        let h = Histogram::new();
+        h.record(42_424_242);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 42_424_242);
+        assert_eq!(s.max, 42_424_242);
+        assert_eq!(s.p50, 42_424_242);
+        assert_eq!(s.p90, 42_424_242);
+        assert_eq!(s.p99, 42_424_242);
+        assert!((s.mean - 42_424_242.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saturating_max_sample_does_not_overflow() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        let s = h.summary();
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.p99, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_accurate() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10_000);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        // ≤ 6.25 % bucket error.
+        assert!((s.p50 as f64 - 5_000.0).abs() / 5_000.0 < 0.07, "{}", s.p50);
+        assert!((s.p90 as f64 - 9_000.0).abs() / 9_000.0 < 0.07, "{}", s.p90);
+        assert!((s.p99 as f64 - 9_900.0).abs() / 9_900.0 < 0.07, "{}", s.p99);
+        assert_eq!(s.max, 10_000);
+    }
+
+    #[test]
+    fn registry_round_trip_and_reset() {
+        let _lock = crate::global_test_lock();
+        counter("test.registry.counter").add(7);
+        gauge("test.registry.gauge").set(3);
+        histogram("test.registry.hist").record(99);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.registry.counter"), Some(7));
+        assert_eq!(snap.histogram("test.registry.hist").unwrap().count, 1);
+        // Same name returns the same handle.
+        assert!(std::ptr::eq(
+            counter("test.registry.counter"),
+            counter("test.registry.counter")
+        ));
+        reset();
+        assert_eq!(counter("test.registry.counter").get(), 0);
+        assert_eq!(histogram("test.registry.hist").count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        counter("test.registry.kind_mismatch");
+        gauge("test.registry.kind_mismatch");
+    }
+}

@@ -1,0 +1,367 @@
+//! Span/event tracer: monotonic timestamps recorded into per-thread
+//! buffers, drained into Chrome-trace-event records.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled must be ~free.** [`span`] starts with one relaxed atomic
+//!    load of the global enable flag; when tracing is off it returns an
+//!    inert guard and touches nothing else (no timestamp, no thread-local,
+//!    no allocation). Hot loops can therefore stay instrumented
+//!    unconditionally — the microbench in `crates/bench/benches/
+//!    obs_overhead.rs` pins the cost.
+//! 2. **Recording never contends.** Each thread appends to its own buffer;
+//!    the buffer's mutex is only ever contended by [`drain`], which runs
+//!    after the workload. Buffers register themselves in a global sink on
+//!    first use, so events survive thread exit (scoped pipeline threads)
+//!    and thread reuse (rayon pool workers) alike.
+//! 3. **Timestamps are monotonic** and shared: nanoseconds since a global
+//!    epoch (`Instant`-based), so spans from different threads interleave
+//!    correctly on one timeline.
+//!
+//! Span names and categories are `&'static str` by construction — no
+//! per-event allocation. The convention used by the pipeline: `cat` is the
+//! *what* ("source", "link", "deconvolve", "deconv_batch", "dma"), `name`
+//! is the *operation* ("process", "recv-wait", "send-wait", "panel"), and
+//! each pipeline thread names itself after its stage, so a Perfetto track
+//! reads as `stage → process | recv-wait | send-wait` slices.
+
+use std::cell::OnceCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Trace-event phase, mirroring the Chrome trace-event `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A complete span (`ph: "X"`, has a duration).
+    Complete,
+    /// An instantaneous event (`ph: "i"`).
+    Instant,
+    /// A counter sample (`ph: "C"`, has a value).
+    Counter,
+}
+
+impl Phase {
+    /// The Chrome trace-event phase letter.
+    pub fn letter(self) -> &'static str {
+        match self {
+            Phase::Complete => "X",
+            Phase::Instant => "i",
+            Phase::Counter => "C",
+        }
+    }
+}
+
+/// One recorded event (internal, allocation-free form).
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Operation name (slice label in the timeline viewer).
+    pub name: &'static str,
+    /// Category (the subsystem or stage the event belongs to).
+    pub cat: &'static str,
+    /// Phase.
+    pub ph: Phase,
+    /// Nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds (0 unless `ph` is `Complete`).
+    pub dur_ns: u64,
+    /// Counter value (0 unless `ph` is `Counter`).
+    pub value: f64,
+    /// Recording thread's trace id.
+    pub tid: u64,
+}
+
+struct ThreadBuf {
+    tid: u64,
+    inner: Mutex<ThreadBufInner>,
+}
+
+#[derive(Default)]
+struct ThreadBufInner {
+    name: Option<String>,
+    events: Vec<Event>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn sink() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static SINK: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the (process-global) trace epoch.
+#[inline]
+pub fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Is the tracer recording? One relaxed atomic load — the entire cost of a
+/// disabled span.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Relaxed)
+}
+
+/// Turns recording on or off. Usually driven by
+/// [`TraceSession`](crate::session::TraceSession) rather than called
+/// directly.
+pub fn set_enabled(on: bool) {
+    if on {
+        epoch(); // pin the epoch before the first event
+    }
+    ENABLED.store(on, Relaxed);
+}
+
+thread_local! {
+    static LOCAL_BUF: OnceCell<Arc<ThreadBuf>> = const { OnceCell::new() };
+}
+
+fn with_buf<R>(f: impl FnOnce(&mut ThreadBufInner) -> R) -> R {
+    LOCAL_BUF.with(|cell| {
+        let buf = cell.get_or_init(|| {
+            let buf = Arc::new(ThreadBuf {
+                tid: NEXT_TID.fetch_add(1, Relaxed),
+                inner: Mutex::new(ThreadBufInner::default()),
+            });
+            sink()
+                .lock()
+                .expect("trace sink poisoned")
+                .push(buf.clone());
+            buf
+        });
+        let mut inner = buf.inner.lock().expect("thread buffer poisoned");
+        if inner.name.is_none() {
+            inner.name = Some(
+                std::thread::current()
+                    .name()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("thread-{}", buf.tid)),
+            );
+        }
+        f(&mut inner)
+    })
+}
+
+/// Names the calling thread's trace track (e.g. after its pipeline stage).
+/// No-op when tracing is disabled.
+pub fn set_thread_name(name: &str) {
+    if !enabled() {
+        return;
+    }
+    let name = name.to_string();
+    with_buf(|inner| inner.name = Some(name));
+}
+
+/// RAII span: records one complete (`ph: "X"`) event from construction to
+/// drop. Inert — and nearly free — when tracing is disabled.
+#[must_use = "a span records its duration when dropped"]
+pub struct SpanGuard {
+    name: &'static str,
+    cat: &'static str,
+    /// `u64::MAX` marks an inert (disabled-at-construction) guard.
+    start_ns: u64,
+}
+
+impl SpanGuard {
+    #[inline]
+    fn inert() -> Self {
+        Self {
+            name: "",
+            cat: "",
+            start_ns: u64::MAX,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.start_ns == u64::MAX {
+            return;
+        }
+        let end = now_ns();
+        let ev = Event {
+            name: self.name,
+            cat: self.cat,
+            ph: Phase::Complete,
+            ts_ns: self.start_ns,
+            dur_ns: end.saturating_sub(self.start_ns),
+            value: 0.0,
+            tid: 0, // filled by with_buf's owner
+        };
+        with_buf(move |inner| inner.events.push(ev));
+    }
+}
+
+/// Opens a span with an empty category. See [`span_cat`].
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_cat("", name)
+}
+
+/// Opens a span: records a complete event named `name` in category `cat`
+/// when the returned guard drops. When tracing is disabled this is one
+/// atomic load and an inert guard.
+#[inline]
+pub fn span_cat(cat: &'static str, name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::inert();
+    }
+    SpanGuard {
+        name,
+        cat,
+        start_ns: now_ns(),
+    }
+}
+
+/// Records an instantaneous (`ph: "i"`) event. No-op when disabled.
+#[inline]
+pub fn instant(cat: &'static str, name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    let ev = Event {
+        name,
+        cat,
+        ph: Phase::Instant,
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        value: 0.0,
+        tid: 0,
+    };
+    with_buf(move |inner| inner.events.push(ev));
+}
+
+/// Records a counter (`ph: "C"`) sample — a stepped value track in the
+/// timeline viewer (e.g. queue depth over time). No-op when disabled.
+#[inline]
+pub fn counter_sample(cat: &'static str, name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let ev = Event {
+        name,
+        cat,
+        ph: Phase::Counter,
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        value,
+        tid: 0,
+    };
+    with_buf(move |inner| inner.events.push(ev));
+}
+
+/// Everything [`drain`] returns: the events of every thread that recorded
+/// any, with their track names.
+#[derive(Debug, Default)]
+pub struct Drained {
+    /// All events, sorted by start timestamp.
+    pub events: Vec<Event>,
+    /// `(tid, thread name)` for every thread that recorded events.
+    pub threads: Vec<(u64, String)>,
+}
+
+/// Takes every recorded event out of every per-thread buffer (clearing
+/// them), tagging each event with its thread id. Safe to call while other
+/// threads record — their in-flight events simply land in the next drain.
+pub fn drain() -> Drained {
+    let bufs: Vec<Arc<ThreadBuf>> = sink().lock().expect("trace sink poisoned").clone();
+    let mut out = Drained::default();
+    for buf in bufs {
+        let mut inner = buf.inner.lock().expect("thread buffer poisoned");
+        if inner.events.is_empty() {
+            continue;
+        }
+        let name = inner
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("thread-{}", buf.tid));
+        out.threads.push((buf.tid, name));
+        for mut ev in inner.events.drain(..) {
+            ev.tid = buf.tid;
+            out.events.push(ev);
+        }
+    }
+    out.events.sort_by_key(|e| e.ts_ns);
+    out.threads.sort_by_key(|&(tid, _)| tid);
+    out
+}
+
+/// Clears all recorded events without returning them — the
+/// start-of-session reset.
+pub fn clear() {
+    let bufs: Vec<Arc<ThreadBuf>> = sink().lock().expect("trace sink poisoned").clone();
+    for buf in bufs {
+        buf.inner
+            .lock()
+            .expect("thread buffer poisoned")
+            .events
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tracer is process-global state, so the tests below run as one
+    // test (Rust runs #[test] fns of a module concurrently otherwise).
+    #[test]
+    fn tracer_end_to_end() {
+        let _lock = crate::global_test_lock();
+        // Disabled: spans record nothing.
+        set_enabled(false);
+        {
+            let _g = span("ignored");
+        }
+        assert!(drain().events.is_empty());
+
+        // Enabled: spans, instants, and counters are captured in order.
+        set_enabled(true);
+        set_thread_name("tracer-test");
+        {
+            let _g = span_cat("test", "outer");
+            instant("test", "mark");
+        }
+        counter_sample("test", "depth", 3.0);
+        let worker = std::thread::spawn(|| {
+            let _g = span_cat("test", "worker-span");
+        });
+        worker.join().unwrap();
+        set_enabled(false);
+
+        let drained = drain();
+        let names: Vec<&str> = drained.events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"outer"));
+        assert!(names.contains(&"mark"));
+        assert!(names.contains(&"depth"));
+        assert!(names.contains(&"worker-span"), "{names:?}");
+        let outer = drained.events.iter().find(|e| e.name == "outer").unwrap();
+        assert_eq!(outer.ph, Phase::Complete);
+        assert!(outer.tid > 0);
+        let mark = drained.events.iter().find(|e| e.name == "mark").unwrap();
+        // The instant fired inside the outer span.
+        assert!(mark.ts_ns >= outer.ts_ns);
+        assert!(mark.ts_ns <= outer.ts_ns + outer.dur_ns);
+        // Worker ran on a different track, and both tracks are named.
+        let worker_ev = drained
+            .events
+            .iter()
+            .find(|e| e.name == "worker-span")
+            .unwrap();
+        assert_ne!(worker_ev.tid, outer.tid);
+        assert_eq!(drained.threads.len(), 2);
+        assert!(drained
+            .threads
+            .iter()
+            .any(|(tid, name)| *tid == outer.tid && name == "tracer-test"));
+
+        // Drain cleared the buffers.
+        assert!(drain().events.is_empty());
+    }
+}

@@ -6,6 +6,7 @@
 //! htims sequence --degree 9 [--factor 2]   # gate-sequence properties and quality metrics
 //! htims feasibility --degree 9 --mz 100    # FPGA resource / real-time report
 //! htims pipeline --degree 6 --mz 60        # run the stage graph, emit PipelineReport JSON
+//! htims trace --out trace.json             # traced pipeline run → Chrome trace + metrics JSON
 //! htims bench deconv --json                # deconvolution engine micro-bench → BENCH_deconv.json
 //! ```
 
@@ -33,6 +34,7 @@ fn main() {
         "sequence" => sequence(&args),
         "feasibility" => feasibility(&args),
         "pipeline" => pipeline(&args),
+        "trace" => trace(&args),
         "bench" => bench(&args),
         _ => help(),
     }
@@ -45,6 +47,7 @@ fn help() {
          htims pipeline [--degree <n>] [--mz <bins>] [--frames <per-block>] [--blocks <n>]\n    \
          [--depth <channel depth>] [--backend fpga|naive|software] [--threads <n>]\n    \
          [--coarse <bins>] [--executor threaded|inline] [--out <file.json>]\n  \
+         htims trace [pipeline flags] [--out <trace.json>] [--metrics <metrics.json>]\n  \
          htims bench deconv [--quick] [--json] [--out <file.json>]"
     );
 }
@@ -166,88 +169,152 @@ fn sequence(args: &[String]) {
     );
 }
 
+/// Flags shared by `htims pipeline` and `htims trace`: the shape of one
+/// hybrid stage-graph run. The two subcommands differ only in defaults
+/// (`trace` defaults to the E3 workload) and in what they emit.
+struct GraphOpts {
+    degree: u32,
+    mz: usize,
+    frames: u64,
+    blocks: usize,
+    depth: usize,
+    backend: String,
+    threads: usize,
+    coarse: Option<usize>,
+    executor: String,
+}
+
+impl GraphOpts {
+    /// Defaults of `htims pipeline`: a small, fast smoke graph.
+    fn small() -> Self {
+        Self {
+            degree: 6,
+            mz: 60,
+            frames: 16,
+            blocks: 2,
+            depth: 4,
+            backend: "fpga".into(),
+            threads: 0,
+            coarse: None,
+            executor: "threaded".into(),
+        }
+    }
+
+    /// Defaults of `htims trace`: the E3 throughput workload (511 drift
+    /// bins × 1000 m/z, software backend) so traces answer the bench's
+    /// "why is this configuration slow" question.
+    fn e3() -> Self {
+        Self {
+            degree: 9,
+            mz: 1000,
+            frames: 20,
+            blocks: 2,
+            depth: 4,
+            backend: "software".into(),
+            threads: 0,
+            coarse: None,
+            executor: "threaded".into(),
+        }
+    }
+
+    /// Overrides the defaults with any flags present in `args`.
+    fn parse(mut self, args: &[String]) -> Self {
+        if let Some(v) = flag(args, "--degree").and_then(|v| v.parse().ok()) {
+            self.degree = v;
+        }
+        if let Some(v) = flag(args, "--mz").and_then(|v| v.parse().ok()) {
+            self.mz = v;
+        }
+        if let Some(v) = flag(args, "--frames").and_then(|v| v.parse().ok()) {
+            self.frames = v;
+        }
+        if let Some(v) = flag(args, "--blocks").and_then(|v| v.parse::<usize>().ok()) {
+            self.blocks = v.max(1);
+        }
+        if let Some(v) = flag(args, "--depth").and_then(|v| v.parse().ok()) {
+            self.depth = v;
+        }
+        if let Some(v) = flag(args, "--backend") {
+            self.backend = v;
+        }
+        if let Some(v) = flag(args, "--threads").and_then(|v| v.parse().ok()) {
+            self.threads = v;
+        }
+        self.coarse = flag(args, "--coarse").and_then(|v| v.parse().ok());
+        if let Some(c) = self.coarse {
+            if c < 1 || c > self.mz {
+                eprintln!("--coarse must be in 1..={} (the m/z bin count)", self.mz);
+                std::process::exit(2);
+            }
+        }
+        if let Some(v) = flag(args, "--executor") {
+            self.executor = v;
+        }
+        self
+    }
+
+    /// Builds and runs the hybrid stage graph these options describe.
+    fn run(&self) -> htims::core::pipeline::PipelineOutput {
+        let n = (1usize << self.degree) - 1;
+        let mut inst = Instrument::with_drift_bins(n);
+        inst.tof.n_bins = self.mz;
+        let workload = Workload::three_peptide_mix();
+        let schedule = GateSchedule::multiplexed(self.degree);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let data = acquire(
+            &inst,
+            &workload,
+            &schedule,
+            1,
+            AcquireOptions::default(),
+            &mut rng,
+        );
+        let seq = match schedule {
+            GateSchedule::Multiplexed { seq } => seq,
+            _ => unreachable!(),
+        };
+        let generator = FrameGenerator::new(&data, &inst.adc, 1234);
+        let cfg = HybridConfig {
+            frames: self.frames,
+            channel_depth: self.depth,
+            binner: self.coarse.map(|c| MzBinner::uniform(self.mz, c)),
+            ..Default::default()
+        };
+        let backend = DeconvBackend::from_name(&self.backend, &seq, cfg.deconv, self.threads)
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "unknown backend '{}' (use fpga | naive | software)",
+                    self.backend
+                );
+                std::process::exit(2);
+            });
+
+        let graph = hybrid_pipeline(
+            &generator,
+            &seq,
+            &cfg,
+            self.frames * self.blocks as u64,
+            self.frames,
+            false,
+            backend,
+        );
+        match self.executor.as_str() {
+            "inline" => graph.run_inline(),
+            "threaded" => graph.run_threaded(),
+            other => {
+                eprintln!("unknown executor '{other}' (use threaded | inline)");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 /// Runs the unified hybrid stage graph (source → link → [binner] →
 /// accumulate → deconvolve) and emits the run's `PipelineReport` as JSON:
 /// per-stage busy/blocked time, queue high-water marks, cycle totals, and
 /// simulated link time.
 fn pipeline(args: &[String]) {
-    let degree: u32 = flag(args, "--degree")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(6);
-    let mz: usize = flag(args, "--mz")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(60);
-    let frames: u64 = flag(args, "--frames")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(16);
-    let blocks: usize = flag(args, "--blocks")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2)
-        .max(1);
-    let depth: usize = flag(args, "--depth")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
-    let backend_name = flag(args, "--backend").unwrap_or_else(|| "fpga".into());
-    let threads: usize = flag(args, "--threads")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let coarse: Option<usize> = flag(args, "--coarse").and_then(|v| v.parse().ok());
-    if let Some(c) = coarse {
-        if c < 1 || c > mz {
-            eprintln!("--coarse must be in 1..={mz} (the m/z bin count)");
-            std::process::exit(2);
-        }
-    }
-    let executor = flag(args, "--executor").unwrap_or_else(|| "threaded".into());
-
-    let n = (1usize << degree) - 1;
-    let mut inst = Instrument::with_drift_bins(n);
-    inst.tof.n_bins = mz;
-    let workload = Workload::three_peptide_mix();
-    let schedule = GateSchedule::multiplexed(degree);
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let data = acquire(
-        &inst,
-        &workload,
-        &schedule,
-        1,
-        AcquireOptions::default(),
-        &mut rng,
-    );
-    let seq = match schedule {
-        GateSchedule::Multiplexed { seq } => seq,
-        _ => unreachable!(),
-    };
-    let generator = FrameGenerator::new(&data, &inst.adc, 1234);
-    let cfg = HybridConfig {
-        frames,
-        channel_depth: depth,
-        binner: coarse.map(|c| MzBinner::uniform(mz, c)),
-        ..Default::default()
-    };
-    let backend = DeconvBackend::from_name(&backend_name, &seq, cfg.deconv, threads)
-        .unwrap_or_else(|| {
-            eprintln!("unknown backend '{backend_name}' (use fpga | naive | software)");
-            std::process::exit(2);
-        });
-
-    let graph = hybrid_pipeline(
-        &generator,
-        &seq,
-        &cfg,
-        frames * blocks as u64,
-        frames,
-        false,
-        backend,
-    );
-    let out = match executor.as_str() {
-        "inline" => graph.run_inline(),
-        "threaded" => graph.run_threaded(),
-        other => {
-            eprintln!("unknown executor '{other}' (use threaded | inline)");
-            std::process::exit(2);
-        }
-    };
+    let out = GraphOpts::small().parse(args).run();
     eprintln!(
         "{} executor, backend {}: {} frames -> {} blocks in {:.1} ms \
          (simulated link {:.3} ms, capture {} cycles, deconvolve {} cycles)",
@@ -271,6 +338,69 @@ fn pipeline(args: &[String]) {
         }
         None => println!("{json}"),
     }
+}
+
+/// `htims trace`: runs the hybrid stage graph under an `ims_obs`
+/// `TraceSession` and writes two artifacts:
+///
+/// * `--out` (default `trace.json`) — a Chrome trace-event array with one
+///   named track per pipeline thread (spans for every stage iteration,
+///   recv/send waits, deconv panels, queue-depth counter tracks). Open it
+///   at <https://ui.perfetto.dev> or `chrome://tracing`.
+/// * `--metrics` (default `metrics.json`) — the full `ObsReport`:
+///   provenance (schema version, git describe, threads, panel width),
+///   every counter/gauge, and per-stage latency histograms (p50/p90/p99).
+///
+/// Accepts all `htims pipeline` flags; the defaults are the E3 throughput
+/// workload (degree 9, 1000 m/z columns, software backend).
+fn trace(args: &[String]) {
+    let opts = GraphOpts::e3().parse(args);
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    } else {
+        opts.threads
+    };
+    let session = htims::obs::TraceSession::start(htims::obs::Provenance::collect(
+        threads,
+        htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
+    ));
+    let out = opts.run();
+    let report = session.finish();
+    eprintln!(
+        "{} executor, backend {}: {} frames -> {} blocks in {:.1} ms; \
+         {} spans on {} threads",
+        out.report.executor,
+        out.report.backend,
+        out.report.frames,
+        out.report.blocks,
+        out.report.wall_seconds * 1e3,
+        report.spans.len(),
+        report.threads.len(),
+    );
+
+    let trace_path = flag(args, "--out").unwrap_or_else(|| "trace.json".into());
+    let mut trace_text = report.chrome_trace_json();
+    trace_text.push('\n');
+    std::fs::write(&trace_path, trace_text).unwrap_or_else(|e| {
+        eprintln!("cannot write {trace_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("chrome trace written to {trace_path} (open at https://ui.perfetto.dev)");
+
+    let metrics_path = flag(args, "--metrics").unwrap_or_else(|| "metrics.json".into());
+    let combined = serde_json::json!({
+        "obs": report,
+        "pipeline": out.report,
+    });
+    let mut metrics_text = serde_json::to_string_pretty(&combined).unwrap();
+    metrics_text.push('\n');
+    std::fs::write(&metrics_path, metrics_text).unwrap_or_else(|e| {
+        eprintln!("cannot write {metrics_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("metrics snapshot written to {metrics_path}");
 }
 
 /// `htims bench deconv`: times the scalar per-column reference against the
@@ -433,8 +563,14 @@ fn bench(args: &[String]) {
         record("fixed-point", "batched", 1, width, secs, scalar_secs);
     }
 
+    // Schema v2: adds `provenance` so BENCH_*.json files are comparable
+    // across PRs (which tree built the binary, how wide the machine was).
     let report = serde_json::json!({
-        "schema_version": 1,
+        "schema_version": htims::obs::OBS_SCHEMA_VERSION,
+        "provenance": htims::obs::Provenance::collect(
+            thread_sweep(quick).last().copied().unwrap_or(1),
+            htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
+        ),
         "block": serde_json::json!({ "drift_bins": n, "mz_bins": mz_bins, "frames": frames }),
         "rows": rows,
     });

@@ -6,6 +6,7 @@
 
 pub use htims_core as core;
 pub use ims_fpga as fpga;
+pub use ims_obs as obs;
 pub use ims_physics as physics;
 pub use ims_prs as prs;
 pub use ims_signal as signal;

@@ -13,10 +13,11 @@
 
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
-/// One named field and whether it carries `#[serde(default)]`.
+/// One named field and its parsed `#[serde(...)]` options.
 struct Field {
     name: String,
     default: bool,
+    skip_if_none: bool,
 }
 
 /// One parsed item: a struct's fields or an enum's variants.
@@ -33,25 +34,46 @@ struct Parsed {
     item: Item,
 }
 
+/// The serialization statements for a list of fields: pushes
+/// `(name, value)` entries onto a local `__entries` vec, honouring
+/// `skip_serializing_if = "Option::is_none"` (a field whose value
+/// serializes to `Null` is omitted).
+fn field_pushes(fields: &[Field], access: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            if f.skip_if_none {
+                format!(
+                    "match _serde::Serialize::serialize({access}{n}) {{\
+                     _serde::Value::Null => {{}},\
+                     __v => __entries.push((\"{n}\".to_string(), __v)), }}"
+                )
+            } else {
+                format!(
+                    "__entries.push((\"{n}\".to_string(), \
+                     _serde::Serialize::serialize({access}{n})));"
+                )
+            }
+        })
+        .collect()
+}
+
 /// Derives `serde::Serialize` via the `Value` tree model.
 ///
-/// The `serde` helper attribute is accepted; `#[serde(default)]` is the one
-/// supported form (it only affects deserialization).
+/// The `serde` helper attribute is accepted; the supported forms are
+/// `#[serde(default)]` (affects deserialization only) and
+/// `#[serde(skip_serializing_if = "Option::is_none")]`.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     let body = match &parsed.item {
         Item::Struct(fields) => {
-            let entries: String = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), _serde::Serialize::serialize(&self.{f})),",
-                        f = f.name
-                    )
-                })
-                .collect();
-            format!("_serde::Value::Object(vec![{entries}])")
+            let pushes = field_pushes(fields, "&self.");
+            format!(
+                "{{ let mut __entries: Vec<(String, _serde::Value)> = Vec::new();\
+                 {pushes} _serde::Value::Object(__entries) }}"
+            )
         }
         Item::Enum(variants) => {
             let arms: String = variants
@@ -67,18 +89,13 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             .map(|f| f.name.as_str())
                             .collect::<Vec<_>>()
                             .join(", ");
-                        let entries: String = fields
-                            .iter()
-                            .map(|f| {
-                                format!(
-                                    "(\"{f}\".to_string(), _serde::Serialize::serialize({f})),",
-                                    f = f.name
-                                )
-                            })
-                            .collect();
+                        let pushes = field_pushes(fields, "");
                         format!(
-                            "{n}::{v} {{ {bind} }} => _serde::Value::Object(vec![\
-                             (\"{v}\".to_string(), _serde::Value::Object(vec![{entries}]))]),",
+                            "{n}::{v} {{ {bind} }} => {{\
+                             let mut __entries: Vec<(String, _serde::Value)> = Vec::new();\
+                             {pushes}\
+                             _serde::Value::Object(vec![\
+                             (\"{v}\".to_string(), _serde::Value::Object(__entries))]) }},",
                             n = parsed.name
                         )
                     }
@@ -234,28 +251,64 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// True when a `#[...]` attribute group is `serde(...)`; panics on any
-/// serde option other than `default` (the one the shim implements).
-fn serde_attr_defaults(group: &Group) -> bool {
+/// Serde options found on one field.
+#[derive(Default)]
+struct SerdeOpts {
+    default: bool,
+    skip_if_none: bool,
+}
+
+/// Parses a `#[...]` attribute group if it is `serde(...)`; panics on any
+/// serde option the shim does not implement (`default` and
+/// `skip_serializing_if = "Option::is_none"` are the supported ones).
+fn serde_attr_opts(group: &Group) -> SerdeOpts {
+    let mut opts = SerdeOpts::default();
     let mut it = group.stream().into_iter();
     match (it.next(), it.next()) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
             if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
         {
-            for t in args.stream() {
-                match &t {
-                    TokenTree::Ident(opt) if opt.to_string() == "default" => {}
-                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+            let tokens: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut i = 0;
+            while i < tokens.len() {
+                match &tokens[i] {
+                    TokenTree::Ident(opt) if opt.to_string() == "default" => {
+                        opts.default = true;
+                        i += 1;
+                    }
+                    TokenTree::Ident(opt) if opt.to_string() == "skip_serializing_if" => {
+                        let pred = match (tokens.get(i + 1), tokens.get(i + 2)) {
+                            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                                if eq.as_char() == '=' =>
+                            {
+                                lit.to_string()
+                            }
+                            _ => panic!(
+                                "vendored serde derive: `skip_serializing_if` needs \
+                                 `= \"Option::is_none\"`"
+                            ),
+                        };
+                        if pred != "\"Option::is_none\"" {
+                            panic!(
+                                "vendored serde derive supports only \
+                                 `skip_serializing_if = \"Option::is_none\"`, found {pred}"
+                            );
+                        }
+                        opts.skip_if_none = true;
+                        i += 3;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
                     other => panic!(
-                        "vendored serde derive supports only `#[serde(default)]`, \
+                        "vendored serde derive supports only `#[serde(default)]` and \
+                         `#[serde(skip_serializing_if = \"Option::is_none\")]`, \
                          found serde option `{other}`"
                     ),
                 }
             }
-            true
         }
-        _ => false,
+        _ => {}
     }
+    opts
 }
 
 /// Parses `name: Type, ...` named fields (with optional `#[serde(default)]`
@@ -266,13 +319,15 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
     let mut i = 0;
     while i < tokens.len() {
         // Walk attributes ourselves (rather than skip_attrs_and_vis) to
-        // spot `#[serde(default)]` on the way past.
-        let mut default = false;
+        // spot `#[serde(...)]` options on the way past.
+        let mut opts = SerdeOpts::default();
         loop {
             match tokens.get(i) {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
-                        default |= serde_attr_defaults(g);
+                        let found = serde_attr_opts(g);
+                        opts.default |= found.default;
+                        opts.skip_if_none |= found.skip_if_none;
                     }
                     i += 2;
                 }
@@ -315,7 +370,11 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default: opts.default,
+            skip_if_none: opts.skip_if_none,
+        });
     }
     fields
 }
