@@ -130,8 +130,10 @@ impl Pipeline {
                         let Ok(msg) = msg else { break };
                         meter.items_in += 1;
                         meter.timed_process(stage.as_mut(), msg, &tx);
+                        meter.refresh_cells(stage.as_ref());
                     }
                     meter.timed_flush(stage.as_mut(), &tx);
+                    meter.refresh_cells(stage.as_ref());
                     drop(tx);
                     (stage, meter)
                 }));
@@ -275,6 +277,7 @@ fn feed(
     let took = t.elapsed();
     meters[idx].busy += took;
     meters[idx].record_latency(took);
+    meters[idx].refresh_cells(stages[idx].as_ref());
     meters[idx].items_out += emitted.len() as u64;
     for m in emitted {
         feed(stages, meters, idx + 1, m, out);
@@ -295,6 +298,14 @@ struct StageMeter {
     /// Same samples in the global registry (feeds metrics snapshots),
     /// named `pipeline.stage_latency_ns.<stage>`.
     latency_reg: &'static ims_obs::Histogram,
+    /// Running item count in the registry (`pipeline.items_total.<stage>`)
+    /// — bumped per item so a sampler sees throughput *during* the run,
+    /// not just the end-of-run report.
+    items_reg: &'static ims_obs::Counter,
+    /// Running cell count in the registry (`pipeline.cells_total.<stage>`).
+    cells_reg: &'static ims_obs::Counter,
+    /// Cells already pushed to `cells_reg` (stages report totals).
+    cells_pushed: u64,
 }
 
 impl StageMeter {
@@ -309,6 +320,9 @@ impl StageMeter {
             queue_high_water: 0,
             latency: ims_obs::Histogram::new(),
             latency_reg: ims_obs::metrics::histogram(&format!("pipeline.stage_latency_ns.{name}")),
+            items_reg: ims_obs::metrics::counter(&format!("pipeline.items_total.{name}")),
+            cells_reg: ims_obs::metrics::counter(&format!("pipeline.cells_total.{name}")),
+            cells_pushed: 0,
         }
     }
 
@@ -316,6 +330,15 @@ impl StageMeter {
     fn record_latency(&mut self, d: Duration) {
         self.latency.record_duration(d);
         self.latency_reg.record_duration(d);
+        self.items_reg.incr();
+    }
+
+    /// Pushes the stage's cell-count growth since the last refresh into
+    /// the registry, so mid-run samples carry cell throughput.
+    fn refresh_cells(&mut self, stage: &dyn Stage) {
+        let total = stage.cells_processed();
+        self.cells_reg.add(total.saturating_sub(self.cells_pushed));
+        self.cells_pushed = total;
     }
 
     /// Sends one message, charging the wait to `blocked_send`.

@@ -148,6 +148,7 @@ mod tests {
             queue_high_water: Some(4),
             latency_ns: Some(HistogramSummary {
                 count: 12,
+                sum: 18_000,
                 min: 900,
                 max: 2_100,
                 mean: 1_500.0,

@@ -1,0 +1,200 @@
+//! Prometheus text exposition rendering for the metrics registry.
+//!
+//! Zero-dependency: the renderer emits [text exposition format
+//! 0.0.4](https://prometheus.io/docs/instrumenting/exposition_formats/)
+//! by hand. Histograms come out in native Prometheus shape — cumulative
+//! `_bucket{le="…"}` lines derived from the log-linear bucket table, plus
+//! exact `_sum`/`_count` — so `rate()`/`histogram_quantile()` work
+//! unmodified against a scrape of `htims serve`.
+//!
+//! The renderer itself is pure ([`render`] over a [`PromMetric`] list),
+//! which is what the golden-file test in `tests/prometheus_golden.rs`
+//! exercises; [`gather`] walks the process-global registry and
+//! [`prometheus_text`] composes the two.
+
+use crate::metrics::{self, Histogram};
+
+/// A histogram flattened into Prometheus shape: cumulative occupied
+/// buckets (upper bound, cumulative count), exact sum, and total count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromHistogram {
+    /// `(le, cumulative_count)` per occupied bucket, increasing `le`.
+    pub buckets: Vec<(u64, u64)>,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Total samples (the implicit `+Inf` bucket).
+    pub count: u64,
+}
+
+impl PromHistogram {
+    /// Snapshots a live [`Histogram`] into Prometheus shape. `count` is
+    /// taken from the cumulative bucket walk (not the independent count
+    /// atomic) so the rendered series is self-consistent under racing
+    /// recorders.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        let buckets = h.cumulative_buckets();
+        let count = buckets.last().map(|&(_, c)| c).unwrap_or(0);
+        Self {
+            buckets,
+            sum: h.summary().sum,
+            count,
+        }
+    }
+}
+
+/// The value of one exported metric family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PromValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Instantaneous gauge.
+    Gauge(u64),
+    /// Distribution.
+    Histogram(PromHistogram),
+}
+
+/// One metric family ready to render: a name (sanitized at render time),
+/// an optional `# HELP` line, and the value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromMetric {
+    /// Registry name (dots and dashes allowed; sanitized when rendered).
+    pub name: String,
+    /// Optional help text (`\` and newlines are escaped when rendered).
+    pub help: Option<String>,
+    /// The family value.
+    pub value: PromValue,
+}
+
+/// Maps a registry name onto the Prometheus metric-name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and a
+/// leading digit gets an underscore prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes help text per the exposition format: backslash and newline.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Renders metric families as Prometheus text exposition format 0.0.4.
+/// Families render in the order given; [`gather`] pre-sorts by name.
+pub fn render(families: &[PromMetric]) -> String {
+    let mut out = String::new();
+    for f in families {
+        let name = sanitize_metric_name(&f.name);
+        if let Some(help) = &f.help {
+            out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+        }
+        match &f.value {
+            PromValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            }
+            PromValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            }
+            PromValue::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                for &(le, cum) in &h.buckets {
+                    out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                out.push_str(&format!("{name}_sum {}\n", h.sum));
+                out.push_str(&format!("{name}_count {}\n", h.count));
+            }
+        }
+    }
+    out
+}
+
+/// Walks the global registry into renderable families, sorted by name
+/// within each kind (counters, then gauges, then histograms). Gauges
+/// additionally export their high-water mark as `<name>_high_water`.
+pub fn gather() -> Vec<PromMetric> {
+    let snap = metrics::snapshot();
+    let mut families = Vec::new();
+    for c in &snap.counters {
+        families.push(PromMetric {
+            name: c.name.clone(),
+            help: None,
+            value: PromValue::Counter(c.value),
+        });
+    }
+    for g in &snap.gauges {
+        families.push(PromMetric {
+            name: g.name.clone(),
+            help: None,
+            value: PromValue::Gauge(g.value),
+        });
+        families.push(PromMetric {
+            name: format!("{}_high_water", g.name),
+            help: None,
+            value: PromValue::Gauge(g.high_water),
+        });
+    }
+    for (name, h) in metrics::histogram_handles() {
+        families.push(PromMetric {
+            name,
+            help: None,
+            value: PromValue::Histogram(PromHistogram::from_histogram(h)),
+        });
+    }
+    families
+}
+
+/// The whole registry as one Prometheus scrape body — what `GET /metrics`
+/// serves.
+pub fn prometheus_text() -> String {
+    render(&gather())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_covers_the_charset() {
+        assert_eq!(
+            sanitize_metric_name("pipeline.stage_latency_ns.source"),
+            "pipeline_stage_latency_ns_source"
+        );
+        assert_eq!(
+            sanitize_metric_name("deconv.panel_ns.simplex-fast"),
+            "deconv_panel_ns_simplex_fast"
+        );
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("a:b_c1"), "a:b_c1");
+    }
+
+    #[test]
+    fn gather_exports_live_registry_values() {
+        let _lock = crate::global_test_lock();
+        metrics::reset();
+        metrics::counter("test.export.counter").add(5);
+        metrics::gauge("test.export.gauge").set(9);
+        metrics::gauge("test.export.gauge").set(4);
+        metrics::histogram("test.export.hist").record(100);
+        let text = prometheus_text();
+        assert!(text.contains("test_export_counter 5"), "{text}");
+        assert!(text.contains("test_export_gauge 4"), "{text}");
+        assert!(text.contains("test_export_gauge_high_water 9"), "{text}");
+        assert!(text.contains("# TYPE test_export_hist histogram"), "{text}");
+        assert!(text.contains("test_export_hist_sum 100"), "{text}");
+        assert!(text.contains("test_export_hist_count 1"), "{text}");
+        assert!(
+            text.contains("test_export_hist_bucket{le=\"+Inf\"} 1"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Minimal `std::net` HTTP server exposing the live registry.
+//!
+//! Zero-dependency on purpose (the repo is offline): one accept-loop
+//! thread, blocking I/O, `Connection: close` per request. Three routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition of every registered
+//!   counter/gauge/histogram ([`crate::export::prometheus_text`]).
+//! * `GET /report.json` — the current [`ObsReport`] built from a live
+//!   snapshot (no spans: those belong to a bracketed `TraceSession`).
+//! * `GET /healthz` — liveness probe, `ok`.
+//!
+//! This is an instrument-control-network exporter, not an internet-facing
+//! server: bind it to loopback (the default in `htims serve`) unless the
+//! scrape network is trusted.
+
+use crate::export;
+use crate::metrics;
+use crate::session::{ObsReport, Provenance};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A running exporter. [`stop`](ObsServer::stop) shuts the accept loop
+/// down cleanly; dropping without `stop` detaches it.
+pub struct ObsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"`; port 0 picks a free port)
+    /// and starts serving. `provenance` stamps every `/report.json`.
+    pub fn start(addr: &str, provenance: Provenance) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let started = Instant::now();
+        let handle = std::thread::Builder::new()
+            .name("obs-http".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // One request per connection, served inline: scrape
+                    // traffic is one client every few seconds, not load.
+                    let _ = serve_one(stream, &provenance, started);
+                }
+            })
+            .expect("spawn obs-http thread");
+        Ok(Self {
+            addr: local,
+            shutdown,
+            handle,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with one throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let _ = self.handle.join();
+    }
+}
+
+/// Reads one request line, routes it, writes one response.
+fn serve_one(stream: TcpStream, provenance: &Provenance, started: Instant) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients don't see a reset mid-send.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 2 {
+        header.clear();
+    }
+    let mut stream = reader.into_inner();
+
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+    }
+    match path.split('?').next().unwrap_or("") {
+        "/metrics" => respond(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &export::prometheus_text(),
+        ),
+        "/report.json" => {
+            let report = ObsReport {
+                provenance: provenance.clone(),
+                wall_seconds: started.elapsed().as_secs_f64(),
+                metrics: metrics::snapshot(),
+                threads: Vec::new(),
+                spans: Vec::new(),
+            };
+            let mut body = serde_json::to_string_pretty(&report).expect("report serialization");
+            body.push('\n');
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/healthz" => respond(&mut stream, 200, "text/plain; charset=utf-8", "ok\n"),
+        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        (status, head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn endpoints_serve_metrics_report_and_health() {
+        let _lock = crate::global_test_lock();
+        metrics::reset();
+        metrics::counter("test.http.requests").add(2);
+        let server = ObsServer::start("127.0.0.1:0", Provenance::collect(4, 32)).unwrap();
+        let addr = server.local_addr();
+
+        let (status, _, body) = get(addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        let (status, head, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("test_http_requests 2"), "{body}");
+
+        let (status, _, body) = get(addr, "/report.json");
+        assert_eq!(status, 200);
+        let report: ObsReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(report.provenance.panel_width, 32);
+        assert_eq!(report.metrics.counter("test.http.requests"), Some(2));
+        assert!(report.spans.is_empty());
+
+        let (status, _, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        server.stop();
+    }
+}

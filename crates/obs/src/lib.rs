@@ -13,17 +13,37 @@
 //!   [`chrome_trace_json`](ObsReport::chrome_trace_json) output loads
 //!   directly into Perfetto / `chrome://tracing`.
 //!
+//! On top of those sit the *continuous* telemetry pieces — live series
+//! rather than post-hoc snapshots:
+//!
+//! * [`sampler`] — a background thread snapshotting the registry at a
+//!   fixed interval into a bounded in-memory ring and an optional
+//!   append-only JSONL time series (counter deltas included).
+//! * [`export`] + [`http`] — Prometheus text exposition rendering and a
+//!   zero-dependency `GET /metrics` / `/report.json` / `/healthz` server.
+//! * [`ledger`] — the append-only `RUNS.jsonl` run history and the shared
+//!   [`config_fingerprint`](ledger::config_fingerprint) that joins ledger
+//!   lines, bench reports, and `htims bench compare` verdicts.
+//!
 //! Instrumentation points record unconditionally; whether anything is
 //! *kept* is decided by the single tracer flag, so the pipeline code has
 //! no `#[cfg]`s and no plumbed-through handles.
 
 #![warn(missing_docs)]
 
+pub mod export;
+pub mod http;
+pub mod ledger;
 pub mod metrics;
+pub mod sampler;
 pub mod session;
 pub mod trace;
 
+pub use export::prometheus_text;
+pub use http::ObsServer;
+pub use ledger::{config_fingerprint, FingerprintParts, LedgerRecord};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot};
+pub use sampler::{SamplePoint, Sampler, SamplerConfig};
 pub use session::{
     ObsReport, Provenance, SpanRecord, ThreadInfo, TraceSession, OBS_SCHEMA_VERSION,
 };

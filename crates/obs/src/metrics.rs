@@ -207,6 +207,7 @@ impl Histogram {
         };
         HistogramSummary {
             count,
+            sum,
             min,
             max,
             mean: sum as f64 / count as f64,
@@ -214,6 +215,24 @@ impl Histogram {
             p90: quantile(0.90),
             p99: quantile(0.99),
         }
+    }
+
+    /// Cumulative bucket counts in Prometheus `le` form: one
+    /// `(upper_bound, cumulative_count)` pair per *occupied* bucket, in
+    /// increasing bound order. The final entry's count equals the bucket
+    /// total, so appending a `+Inf` bucket with the same count yields a
+    /// valid Prometheus histogram. Empty histograms return no buckets.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Relaxed);
+            if c > 0 {
+                cum += c;
+                out.push((bucket_high(i), cum));
+            }
+        }
+        out
     }
 
     fn reset(&self) {
@@ -236,6 +255,11 @@ impl Histogram {
 pub struct HistogramSummary {
     /// Samples recorded.
     pub count: u64,
+    /// Sum of all samples (0 when empty) — with `count`, the exact
+    /// Prometheus `_sum`/`_count` pair, so interval means computed from
+    /// two snapshots are exact rather than bucket-approximated.
+    #[serde(default)]
+    pub sum: u64,
     /// Smallest sample (0 when empty).
     pub min: u64,
     /// Largest sample (0 when empty).
@@ -384,6 +408,22 @@ impl MetricsSnapshot {
             .find(|h| h.name == name)
             .map(|h| &h.summary)
     }
+}
+
+/// Every registered histogram as `(name, handle)`, sorted by name. The
+/// Prometheus exporter needs live bucket access (for `_bucket` lines),
+/// which [`MetricsSnapshot`] deliberately does not carry.
+pub(crate) fn histogram_handles() -> Vec<(String, &'static Histogram)> {
+    let map = registry().lock().expect("metrics registry poisoned");
+    let mut out: Vec<(String, &'static Histogram)> = map
+        .iter()
+        .filter_map(|(name, m)| match m {
+            Metric::Histogram(h) => Some((name.clone(), *h)),
+            _ => None,
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
 }
 
 /// Captures every registered instrument.
@@ -555,6 +595,35 @@ mod tests {
         assert!((s.p90 as f64 - 9_000.0).abs() / 9_000.0 < 0.07, "{}", s.p90);
         assert!((s.p99 as f64 - 9_900.0).abs() / 9_900.0 < 0.07, "{}", s.p99);
         assert_eq!(s.max, 10_000);
+    }
+
+    #[test]
+    fn summary_sum_is_exact() {
+        let h = Histogram::new();
+        // Values that straddle bucket boundaries: the bucketed mean would
+        // be approximate, but `sum` must be the exact total.
+        let samples = [3u64, 17, 100, 12_345, 1 << 30];
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.summary();
+        let expect: u64 = samples.iter().sum();
+        assert_eq!(s.sum, expect);
+        assert_eq!(s.count, samples.len() as u64);
+        assert!((s.mean - expect as f64 / samples.len() as f64).abs() < 1e-9);
+        // The cumulative bucket walk agrees with count, and its bounds
+        // are strictly increasing with monotonic counts.
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().unwrap().1, s.count);
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        // A summary serialized without `sum` (pre-PR-4 JSON) still parses.
+        let legacy = r#"{"count":1,"min":5,"max":5,"mean":5.0,"p50":5,"p90":5,"p99":5}"#;
+        let back: HistogramSummary = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.sum, 0);
+        assert_eq!(back.count, 1);
     }
 
     #[test]

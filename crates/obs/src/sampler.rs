@@ -1,0 +1,260 @@
+//! Background time-series sampler over the metrics registry.
+//!
+//! [`Sampler::start`] spawns one thread that snapshots every registered
+//! instrument at a fixed interval into:
+//!
+//! * an in-memory ring of the most recent [`SamplePoint`]s (bounded by
+//!   `ring_capacity`, oldest evicted first), and
+//! * optionally an append-only JSONL file — one `SamplePoint` per line —
+//!   for offline plotting and the CI scrape artifacts.
+//!
+//! Counters are recorded as `(value, delta)` pairs (delta since the
+//! previous tick), so a consumer gets rates without keeping its own
+//! history; histogram summaries carry exact `sum`/`count`, so
+//! mean-over-interval is `Δsum / Δcount`. Stopping takes one final sample
+//! first, so even a window shorter than the interval yields a point.
+//!
+//! When no sampler is running there is no cost anywhere: recording paths
+//! are untouched and no thread exists.
+
+use crate::metrics::{self, GaugeEntry, HistogramEntry};
+use crate::trace;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How the sampler runs.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Time between samples.
+    pub interval: Duration,
+    /// Most recent samples kept in memory.
+    pub ring_capacity: usize,
+    /// Append-only JSONL sink (one [`SamplePoint`] per line), if any.
+    pub jsonl_path: Option<PathBuf>,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(200),
+            ring_capacity: 512,
+            jsonl_path: None,
+        }
+    }
+}
+
+/// One counter at one tick: absolute value plus delta since the previous
+/// tick (the rate numerator).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Registered name.
+    pub name: String,
+    /// Absolute value at this tick.
+    pub value: u64,
+    /// Increase since the previous tick (value itself on the first tick).
+    pub delta: u64,
+}
+
+/// One tick of the whole registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// Nanoseconds since the process trace epoch (monotonic; comparable
+    /// with span timestamps in the same process).
+    pub timestamp_ns: u64,
+    /// Milliseconds since the Unix epoch (wall clock; joins across runs).
+    pub unix_ms: u64,
+    /// Every counter with its delta.
+    pub counters: Vec<CounterSample>,
+    /// Every gauge (value + high-water).
+    pub gauges: Vec<GaugeEntry>,
+    /// Every histogram summary (count/sum/min/max/mean/quantiles).
+    pub histograms: Vec<HistogramEntry>,
+}
+
+/// A running sampler. Dropping without [`stop`](Sampler::stop) detaches
+/// the thread (it keeps sampling until process exit); call `stop` for a
+/// clean join and the final ring contents.
+pub struct Sampler {
+    stop_tx: mpsc::Sender<()>,
+    handle: std::thread::JoinHandle<()>,
+    ring: Arc<Mutex<VecDeque<SamplePoint>>>,
+}
+
+impl Sampler {
+    /// Spawns the sampling thread. Fails only if the JSONL sink cannot be
+    /// opened for append.
+    pub fn start(cfg: SamplerConfig) -> std::io::Result<Self> {
+        let mut sink = match &cfg.jsonl_path {
+            Some(path) => Some(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ),
+            None => None,
+        };
+        let ring = Arc::new(Mutex::new(VecDeque::with_capacity(
+            cfg.ring_capacity.max(1),
+        )));
+        let ring_thread = ring.clone();
+        let (stop_tx, stop_rx) = mpsc::channel::<()>();
+        let interval = cfg.interval.max(Duration::from_millis(1));
+        let capacity = cfg.ring_capacity.max(1);
+        // Baseline the counter deltas *before* spawning: everything the
+        // caller records after `start()` returns is guaranteed to show up
+        // in some tick's delta (taking the baseline on the sampler thread
+        // would race with the caller's first increments).
+        let mut prev: HashMap<String, u64> = metrics::snapshot()
+            .counters
+            .into_iter()
+            .map(|c| (c.name, c.value))
+            .collect();
+        let handle = std::thread::Builder::new()
+            .name("obs-sampler".to_string())
+            .spawn(move || {
+                loop {
+                    let stopping = !matches!(
+                        stop_rx.recv_timeout(interval),
+                        Err(RecvTimeoutError::Timeout)
+                    );
+                    let point = take_sample(&mut prev);
+                    if let Some(file) = sink.as_mut() {
+                        let mut line = serde_json::to_string(&point).expect("sample serialization");
+                        line.push('\n');
+                        if file.write_all(line.as_bytes()).is_err() {
+                            sink = None; // best-effort: stop writing, keep sampling
+                        }
+                    }
+                    let mut ring = ring_thread.lock().expect("sampler ring poisoned");
+                    if ring.len() == capacity {
+                        ring.pop_front();
+                    }
+                    ring.push_back(point);
+                    drop(ring);
+                    if stopping {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn obs-sampler thread");
+        Ok(Self {
+            stop_tx,
+            handle,
+            ring,
+        })
+    }
+
+    /// The ring contents so far, oldest first.
+    pub fn samples(&self) -> Vec<SamplePoint> {
+        self.ring
+            .lock()
+            .expect("sampler ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Stops the thread (after one final sample) and returns the ring.
+    pub fn stop(self) -> Vec<SamplePoint> {
+        let _ = self.stop_tx.send(());
+        self.handle.join().expect("sampler thread panicked");
+        Arc::try_unwrap(self.ring)
+            .map(|m| m.into_inner().expect("sampler ring poisoned").into())
+            .unwrap_or_default()
+    }
+}
+
+/// Snapshots the registry into one [`SamplePoint`], updating `prev` with
+/// the counter values this tick observed.
+fn take_sample(prev: &mut HashMap<String, u64>) -> SamplePoint {
+    let snap = metrics::snapshot();
+    let counters = snap
+        .counters
+        .into_iter()
+        .map(|c| {
+            let before = prev.insert(c.name.clone(), c.value).unwrap_or(0);
+            CounterSample {
+                delta: c.value.saturating_sub(before),
+                name: c.name,
+                value: c.value,
+            }
+        })
+        .collect();
+    SamplePoint {
+        timestamp_ns: trace::now_ns(),
+        unix_ms: unix_ms(),
+        counters,
+        gauges: snap.gauges,
+        histograms: snap.histograms,
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before 1970).
+pub(crate) fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_captures_deltas_and_bounds_ring() {
+        let _lock = crate::global_test_lock();
+        metrics::reset();
+        let c = metrics::counter("test.sampler.ticks");
+        let sampler = Sampler::start(SamplerConfig {
+            interval: Duration::from_millis(5),
+            ring_capacity: 4,
+            jsonl_path: None,
+        })
+        .unwrap();
+        for _ in 0..10 {
+            c.add(3);
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        let samples = sampler.stop();
+        assert!(!samples.is_empty());
+        assert!(samples.len() <= 4, "ring not bounded: {}", samples.len());
+        // Timestamps increase monotonically across the ring.
+        for pair in samples.windows(2) {
+            assert!(pair[0].timestamp_ns <= pair[1].timestamp_ns);
+        }
+        // The final sample (taken at stop) sees the final counter value,
+        // and deltas never exceed the absolute value.
+        let last = samples.last().unwrap();
+        let tick = last
+            .counters
+            .iter()
+            .find(|c| c.name == "test.sampler.ticks")
+            .expect("counter sampled");
+        assert_eq!(tick.value, 30);
+        for s in &samples {
+            for c in &s.counters {
+                assert!(c.delta <= c.value, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_window_still_yields_a_sample() {
+        let _lock = crate::global_test_lock();
+        metrics::reset();
+        let sampler = Sampler::start(SamplerConfig {
+            interval: Duration::from_secs(3600),
+            ring_capacity: 8,
+            jsonl_path: None,
+        })
+        .unwrap();
+        let samples = sampler.stop();
+        assert_eq!(samples.len(), 1, "stop must take a final sample");
+    }
+}

@@ -1,0 +1,109 @@
+//! Golden-file test for the Prometheus text renderer.
+//!
+//! [`ims_obs::export::render`] is pure over a [`PromMetric`] list, so the
+//! expected scrape body can be pinned byte-for-byte: metric-name
+//! sanitization (dots/dashes to `_`, leading-digit prefix), `# HELP`
+//! escaping (backslash, newline), label syntax, and the cumulative
+//! histogram shape (`_bucket{le=…}` … `+Inf`, `_sum`, `_count`) are all
+//! load-bearing for a real Prometheus scraper, and a formatting drift
+//! should fail loudly here rather than in someone's dashboard.
+
+use ims_obs::export::{render, PromHistogram, PromMetric, PromValue};
+
+/// A fixed family list covering every render path.
+fn golden_families() -> Vec<PromMetric> {
+    vec![
+        PromMetric {
+            name: "ims.frames_total".into(),
+            help: Some("Frames emitted by the source stage.".into()),
+            value: PromValue::Counter(1280),
+        },
+        PromMetric {
+            name: "pipeline.queue_depth.deconvolve".into(),
+            help: None,
+            value: PromValue::Gauge(3),
+        },
+        PromMetric {
+            name: "9th.percentile-gauge".into(),
+            help: Some("escaped \\ backslash and\nnewline".into()),
+            value: PromValue::Gauge(7),
+        },
+        PromMetric {
+            name: "deconv.panel_ns.simplex-fast".into(),
+            help: Some("Per-panel deconvolution latency.".into()),
+            value: PromValue::Histogram(PromHistogram {
+                buckets: vec![(64, 2), (96, 5), (128, 11)],
+                sum: 1042,
+                count: 12, // one sample past the last finite bucket -> +Inf only
+            }),
+        },
+    ]
+}
+
+#[test]
+fn render_matches_golden_file() {
+    let rendered = render(&golden_families());
+    let golden = include_str!("golden/metrics.prom");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus text format drifted from tests/golden/metrics.prom — \
+         if the change is intentional, update the golden file"
+    );
+}
+
+#[test]
+fn rendered_buckets_are_cumulative_and_monotone() {
+    let rendered = render(&golden_families());
+    // Pull every `<name>_bucket{le="…"} <count>` line back out and check
+    // the invariants a scraper relies on: counts never decrease as `le`
+    // grows, and the `+Inf` bucket equals `_count`.
+    let mut last_cum = 0u64;
+    let mut inf_value = None;
+    let mut bucket_lines = 0;
+    for line in rendered.lines() {
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        if !series.contains("_bucket{le=") {
+            continue;
+        }
+        bucket_lines += 1;
+        let count: u64 = value.parse().expect("bucket count parses");
+        assert!(
+            count >= last_cum,
+            "bucket counts must be cumulative: {line}"
+        );
+        last_cum = count;
+        if series.contains("le=\"+Inf\"") {
+            inf_value = Some(count);
+        }
+    }
+    assert_eq!(bucket_lines, 4, "three finite buckets plus +Inf");
+    assert_eq!(inf_value, Some(12), "+Inf bucket must equal _count");
+    assert!(rendered.contains("deconv_panel_ns_simplex_fast_count 12"));
+}
+
+#[test]
+fn every_type_line_precedes_its_samples() {
+    // Exposition format requires `# TYPE` before the family's samples and
+    // at most one TYPE line per family.
+    let rendered = render(&golden_families());
+    let mut seen_types = std::collections::HashSet::new();
+    for line in rendered.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split(' ').next().unwrap();
+            assert!(seen_types.insert(name.to_string()), "duplicate TYPE {name}");
+        } else if !line.starts_with('#') && !line.is_empty() {
+            let series = line.split([' ', '{']).next().unwrap();
+            let family = series
+                .strip_suffix("_bucket")
+                .or_else(|| series.strip_suffix("_sum"))
+                .or_else(|| series.strip_suffix("_count"))
+                .unwrap_or(series);
+            assert!(
+                seen_types.contains(family),
+                "sample line before its TYPE: {line}"
+            );
+        }
+    }
+}

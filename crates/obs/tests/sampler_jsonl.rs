@@ -1,0 +1,81 @@
+//! Round-trip test for the sampler's JSONL sink: every line written to
+//! the time-series file must parse back into a [`SamplePoint`] equal to
+//! the one the in-memory ring kept. This is the contract the CI artifact
+//! (and any offline plotting script) depends on.
+//!
+//! Lives in its own integration-test binary so the process-global metrics
+//! registry is not shared with other test files.
+
+use ims_obs::{metrics, SamplePoint, Sampler, SamplerConfig};
+use std::time::Duration;
+
+#[test]
+fn jsonl_sink_round_trips_the_ring() {
+    metrics::reset();
+    let path = std::env::temp_dir().join(format!(
+        "htims_sampler_roundtrip_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let frames = metrics::counter("test.roundtrip.frames");
+    let depth = metrics::gauge("test.roundtrip.depth");
+    let lat = metrics::histogram("test.roundtrip.latency_ns");
+
+    let sampler = Sampler::start(SamplerConfig {
+        interval: Duration::from_millis(10),
+        ring_capacity: 1024, // larger than the run: ring == file
+        jsonl_path: Some(path.clone()),
+    })
+    .unwrap();
+    for i in 0..8u64 {
+        frames.add(5);
+        depth.set(i % 3);
+        lat.record(1_000 + i * 250);
+        std::thread::sleep(Duration::from_millis(6));
+    }
+    let ring = sampler.stop();
+    assert!(!ring.is_empty());
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let parsed: Vec<SamplePoint> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("sample line parses"))
+        .collect();
+    std::fs::remove_file(&path).unwrap();
+
+    assert_eq!(
+        parsed, ring,
+        "JSONL lines must round-trip to exactly the ring contents"
+    );
+
+    // The final point carries the finished workload: absolute counter
+    // value, histogram count/sum, and per-tick deltas that sum to the
+    // absolute value.
+    let last = parsed.last().unwrap();
+    let c = last
+        .counters
+        .iter()
+        .find(|c| c.name == "test.roundtrip.frames")
+        .expect("counter present");
+    assert_eq!(c.value, 40);
+    let delta_sum: u64 = parsed
+        .iter()
+        .filter_map(|p| {
+            p.counters
+                .iter()
+                .find(|c| c.name == "test.roundtrip.frames")
+                .map(|c| c.delta)
+        })
+        .sum();
+    assert_eq!(delta_sum, 40, "counter deltas must sum to the total");
+    let h = last
+        .histograms
+        .iter()
+        .find(|h| h.name == "test.roundtrip.latency_ns")
+        .expect("histogram present");
+    assert_eq!(h.summary.count, 8);
+    let exact: u64 = (0..8u64).map(|i| 1_000 + i * 250).sum();
+    assert_eq!(h.summary.sum, exact, "histogram sum is exact");
+}

@@ -14,12 +14,11 @@ use htims::core::acquisition::{acquire, AcquireOptions, GateSchedule};
 use htims::core::analysis::{build_library, find_features, match_library};
 use htims::core::config::ExperimentConfig;
 use htims::core::deconvolution::{apply_columnwise, Deconvolver};
-use htims::core::hybrid::{hybrid_pipeline, FrameGenerator, HybridConfig};
 use htims::core::parallel::deconvolve_with_threads;
-use htims::core::pipeline::DeconvBackend;
 use htims::core::BatchDeconvolver;
 use htims::fpga::deconv::DeconvConfig;
-use htims::fpga::{AccumulatorCore, DeconvCore, DmaLink, FpgaDevice, MzBinner, ResourceReport};
+use htims::fpga::{AccumulatorCore, DeconvCore, DmaLink, FpgaDevice, ResourceReport};
+use htims::graph::GraphSpec;
 use htims::physics::{Instrument, Workload};
 use htims::prs::{metrics, MSequence, OversampledSequence};
 use rand::SeedableRng;
@@ -35,6 +34,7 @@ fn main() {
         "feasibility" => feasibility(&args),
         "pipeline" => pipeline(&args),
         "trace" => trace(&args),
+        "serve" => serve(&args),
         "bench" => bench(&args),
         _ => help(),
     }
@@ -46,9 +46,15 @@ fn help() {
          htims sequence --degree <n> [--factor <m>]\n  htims feasibility --degree <n> --mz <bins>\n  \
          htims pipeline [--degree <n>] [--mz <bins>] [--frames <per-block>] [--blocks <n>]\n    \
          [--depth <channel depth>] [--backend fpga|naive|software] [--threads <n>]\n    \
-         [--coarse <bins>] [--executor threaded|inline] [--out <file.json>]\n  \
+         [--coarse <bins>] [--executor threaded|inline] [--seed <n>] [--out <file.json>]\n  \
          htims trace [pipeline flags] [--out <trace.json>] [--metrics <metrics.json>]\n  \
-         htims bench deconv [--quick] [--json] [--out <file.json>]"
+         htims serve [pipeline flags] [--duration <2s|500ms>] [--port <n>]\n    \
+         [--sample-ms <n>] [--series <file.jsonl>]\n  \
+         htims bench deconv [--quick] [--json] [--out <file.json>]\n  \
+         htims bench compare <baseline.json> <candidate.json> [--max-regress-pct <n>]\n    \
+         [--out <verdict.json>]\n\n\
+         pipeline|trace|serve|bench append a run summary to RUNS.jsonl\n\
+         (override with --ledger <path>, disable with --no-ledger)"
     );
 }
 
@@ -169,144 +175,99 @@ fn sequence(args: &[String]) {
     );
 }
 
-/// Flags shared by `htims pipeline` and `htims trace`: the shape of one
-/// hybrid stage-graph run. The two subcommands differ only in defaults
-/// (`trace` defaults to the E3 workload) and in what they emit.
-struct GraphOpts {
-    degree: u32,
-    mz: usize,
-    frames: u64,
-    blocks: usize,
-    depth: usize,
-    backend: String,
-    threads: usize,
-    coarse: Option<usize>,
-    executor: String,
+/// Overrides a [`GraphSpec`]'s defaults with any flags present in `args`
+/// (the flag set shared by `htims pipeline|trace|serve`, including
+/// `--seed` so traces and ledger lines are reproducible end-to-end).
+fn parse_graph(mut spec: GraphSpec, args: &[String]) -> GraphSpec {
+    if let Some(v) = flag(args, "--degree").and_then(|v| v.parse().ok()) {
+        spec.degree = v;
+    }
+    if let Some(v) = flag(args, "--mz").and_then(|v| v.parse().ok()) {
+        spec.mz = v;
+    }
+    if let Some(v) = flag(args, "--frames").and_then(|v| v.parse().ok()) {
+        spec.frames = v;
+    }
+    if let Some(v) = flag(args, "--blocks").and_then(|v| v.parse::<usize>().ok()) {
+        spec.blocks = v.max(1);
+    }
+    if let Some(v) = flag(args, "--depth").and_then(|v| v.parse().ok()) {
+        spec.depth = v;
+    }
+    if let Some(v) = flag(args, "--backend") {
+        spec.backend = v;
+    }
+    if let Some(v) = flag(args, "--threads").and_then(|v| v.parse().ok()) {
+        spec.threads = v;
+    }
+    spec.coarse = flag(args, "--coarse").and_then(|v| v.parse().ok());
+    if let Some(v) = flag(args, "--executor") {
+        spec.executor = v;
+    }
+    if let Some(v) = flag(args, "--seed").and_then(|v| v.parse().ok()) {
+        spec.seed = v;
+    }
+    spec
 }
 
-impl GraphOpts {
-    /// Defaults of `htims pipeline`: a small, fast smoke graph.
-    fn small() -> Self {
-        Self {
-            degree: 6,
-            mz: 60,
-            frames: 16,
-            blocks: 2,
-            depth: 4,
-            backend: "fpga".into(),
-            threads: 0,
-            coarse: None,
-            executor: "threaded".into(),
-        }
-    }
+/// Runs a parsed spec, exiting with the library's message on bad input.
+fn run_graph(spec: &GraphSpec) -> htims::core::pipeline::PipelineOutput {
+    spec.run().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
 
-    /// Defaults of `htims trace`: the E3 throughput workload (511 drift
-    /// bins × 1000 m/z, software backend) so traces answer the bench's
-    /// "why is this configuration slow" question.
-    fn e3() -> Self {
-        Self {
-            degree: 9,
-            mz: 1000,
-            frames: 20,
-            blocks: 2,
-            depth: 4,
-            backend: "software".into(),
-            threads: 0,
-            coarse: None,
-            executor: "threaded".into(),
-        }
+/// The ledger sink for this invocation: `--ledger <path>` overrides the
+/// default `RUNS.jsonl`; `--no-ledger` disables the append.
+fn ledger_path(args: &[String]) -> Option<String> {
+    if args.iter().any(|a| a == "--no-ledger") {
+        return None;
     }
+    Some(flag(args, "--ledger").unwrap_or_else(|| "RUNS.jsonl".into()))
+}
 
-    /// Overrides the defaults with any flags present in `args`.
-    fn parse(mut self, args: &[String]) -> Self {
-        if let Some(v) = flag(args, "--degree").and_then(|v| v.parse().ok()) {
-            self.degree = v;
-        }
-        if let Some(v) = flag(args, "--mz").and_then(|v| v.parse().ok()) {
-            self.mz = v;
-        }
-        if let Some(v) = flag(args, "--frames").and_then(|v| v.parse().ok()) {
-            self.frames = v;
-        }
-        if let Some(v) = flag(args, "--blocks").and_then(|v| v.parse::<usize>().ok()) {
-            self.blocks = v.max(1);
-        }
-        if let Some(v) = flag(args, "--depth").and_then(|v| v.parse().ok()) {
-            self.depth = v;
-        }
-        if let Some(v) = flag(args, "--backend") {
-            self.backend = v;
-        }
-        if let Some(v) = flag(args, "--threads").and_then(|v| v.parse().ok()) {
-            self.threads = v;
-        }
-        self.coarse = flag(args, "--coarse").and_then(|v| v.parse().ok());
-        if let Some(c) = self.coarse {
-            if c < 1 || c > self.mz {
-                eprintln!("--coarse must be in 1..={} (the m/z bin count)", self.mz);
-                std::process::exit(2);
-            }
-        }
-        if let Some(v) = flag(args, "--executor") {
-            self.executor = v;
-        }
-        self
+/// Appends `record` to the invocation's ledger (best-effort: a read-only
+/// working directory degrades to a warning, not a failed run).
+fn append_ledger(args: &[String], record: &ims_obs::LedgerRecord) {
+    let Some(path) = ledger_path(args) else {
+        return;
+    };
+    match ims_obs::ledger::append(&path, record) {
+        Ok(()) => eprintln!("ledger line appended to {path}"),
+        Err(e) => eprintln!("warning: cannot append ledger {path}: {e}"),
     }
+}
 
-    /// Builds and runs the hybrid stage graph these options describe.
-    fn run(&self) -> htims::core::pipeline::PipelineOutput {
-        let n = (1usize << self.degree) - 1;
-        let mut inst = Instrument::with_drift_bins(n);
-        inst.tof.n_bins = self.mz;
-        let workload = Workload::three_peptide_mix();
-        let schedule = GateSchedule::multiplexed(self.degree);
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let data = acquire(
-            &inst,
-            &workload,
-            &schedule,
-            1,
-            AcquireOptions::default(),
-            &mut rng,
-        );
-        let seq = match schedule {
-            GateSchedule::Multiplexed { seq } => seq,
-            _ => unreachable!(),
-        };
-        let generator = FrameGenerator::new(&data, &inst.adc, 1234);
-        let cfg = HybridConfig {
-            frames: self.frames,
-            channel_depth: self.depth,
-            binner: self.coarse.map(|c| MzBinner::uniform(self.mz, c)),
-            ..Default::default()
-        };
-        let backend = DeconvBackend::from_name(&self.backend, &seq, cfg.deconv, self.threads)
-            .unwrap_or_else(|| {
-                eprintln!(
-                    "unknown backend '{}' (use fpga | naive | software)",
-                    self.backend
-                );
-                std::process::exit(2);
-            });
-
-        let graph = hybrid_pipeline(
-            &generator,
-            &seq,
-            &cfg,
-            self.frames * self.blocks as u64,
-            self.frames,
-            false,
-            backend,
-        );
-        match self.executor.as_str() {
-            "inline" => graph.run_inline(),
-            "threaded" => graph.run_threaded(),
-            other => {
-                eprintln!("unknown executor '{other}' (use threaded | inline)");
-                std::process::exit(2);
-            }
-        }
-    }
+/// Builds the ledger line for one stage-graph run.
+fn graph_ledger_record(
+    tool: &str,
+    spec: &GraphSpec,
+    report: &htims::core::pipeline::PipelineReport,
+) -> ims_obs::LedgerRecord {
+    let provenance = htims::obs::Provenance::collect(
+        spec.resolved_threads(),
+        htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
+    );
+    let mut rec = ims_obs::LedgerRecord::new(tool, &provenance, spec.fingerprint());
+    rec.wall_seconds = report.wall_seconds;
+    rec.frames = report.frames;
+    rec.blocks = report.blocks;
+    rec.stage_latency = report
+        .stages
+        .iter()
+        .filter_map(|s| {
+            s.latency_ns
+                .as_ref()
+                .map(|l| ims_obs::ledger::StageQuantiles {
+                    stage: s.name.clone(),
+                    p50_ns: l.p50,
+                    p99_ns: l.p99,
+                })
+        })
+        .collect();
+    rec.mcells_per_second = report.deconv_mcells_per_second;
+    rec
 }
 
 /// Runs the unified hybrid stage graph (source → link → [binner] →
@@ -314,7 +275,8 @@ impl GraphOpts {
 /// per-stage busy/blocked time, queue high-water marks, cycle totals, and
 /// simulated link time.
 fn pipeline(args: &[String]) {
-    let out = GraphOpts::small().parse(args).run();
+    let spec = parse_graph(GraphSpec::small(), args);
+    let out = run_graph(&spec);
     eprintln!(
         "{} executor, backend {}: {} frames -> {} blocks in {:.1} ms \
          (simulated link {:.3} ms, capture {} cycles, deconvolve {} cycles)",
@@ -338,6 +300,7 @@ fn pipeline(args: &[String]) {
         }
         None => println!("{json}"),
     }
+    append_ledger(args, &graph_ledger_record("pipeline", &spec, &out.report));
 }
 
 /// `htims trace`: runs the hybrid stage graph under an `ims_obs`
@@ -351,22 +314,16 @@ fn pipeline(args: &[String]) {
 ///   provenance (schema version, git describe, threads, panel width),
 ///   every counter/gauge, and per-stage latency histograms (p50/p90/p99).
 ///
-/// Accepts all `htims pipeline` flags; the defaults are the E3 throughput
-/// workload (degree 9, 1000 m/z columns, software backend).
+/// Accepts all `htims pipeline` flags (including `--seed`, so a trace is
+/// reproducible end-to-end); the defaults are the E3 throughput workload
+/// (degree 9, 1000 m/z columns, software backend).
 fn trace(args: &[String]) {
-    let opts = GraphOpts::e3().parse(args);
-    let threads = if opts.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|v| v.get())
-            .unwrap_or(1)
-    } else {
-        opts.threads
-    };
+    let spec = parse_graph(GraphSpec::e3(), args);
     let session = htims::obs::TraceSession::start(htims::obs::Provenance::collect(
-        threads,
+        spec.resolved_threads(),
         htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
     ));
-    let out = opts.run();
+    let out = run_graph(&spec);
     let report = session.finish();
     eprintln!(
         "{} executor, backend {}: {} frames -> {} blocks in {:.1} ms; \
@@ -401,6 +358,116 @@ fn trace(args: &[String]) {
         std::process::exit(2);
     });
     eprintln!("metrics snapshot written to {metrics_path}");
+    append_ledger(args, &graph_ledger_record("trace", &spec, &out.report));
+}
+
+/// `htims serve`: the continuous-telemetry mode. Runs the E3-shaped
+/// streaming pipeline in a loop for `--duration` while three live
+/// endpoints are up on `--port` (loopback):
+///
+/// * `GET /metrics` — Prometheus text exposition of every counter, gauge,
+///   and histogram (`_bucket`/`_sum`/`_count` from the log-linear table);
+/// * `GET /report.json` — the current `ObsReport` (live snapshot);
+/// * `GET /healthz` — liveness probe.
+///
+/// A background sampler snapshots the registry every `--sample-ms` into
+/// an in-memory ring and, with `--series <file.jsonl>`, an append-only
+/// JSONL time series (counter deltas, gauge values, histogram summaries).
+/// On exit one ledger line summarizing the whole window is appended.
+fn serve(args: &[String]) {
+    let spec = parse_graph(GraphSpec::e3(), args);
+    let duration = flag(args, "--duration")
+        .map(|v| {
+            parse_duration(&v).unwrap_or_else(|| {
+                eprintln!("cannot parse --duration '{v}' (try 2s, 500ms, 1.5s)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(std::time::Duration::from_secs(10));
+    let port: u16 = flag(args, "--port")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9464);
+    let sample_ms: u64 = flag(args, "--sample-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let provenance = htims::obs::Provenance::collect(
+        spec.resolved_threads(),
+        htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
+    );
+
+    ims_obs::metrics::reset();
+    // Register the serve-level counters *before* the listener is up: a
+    // scrape that lands before the first pipeline run still sees a
+    // non-empty, well-formed exposition instead of an empty body.
+    let runs_total = ims_obs::metrics::counter("serve.runs_total");
+    let frames_total = ims_obs::metrics::counter("serve.frames_total");
+    let blocks_total = ims_obs::metrics::counter("serve.blocks_total");
+    let server = ims_obs::ObsServer::start(&format!("127.0.0.1:{port}"), provenance.clone())
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+            std::process::exit(2);
+        });
+    // Stdout, not stderr: scripts capture the bound port (`--port 0`).
+    println!(
+        "serving http://{}/metrics (also /report.json, /healthz)",
+        server.local_addr()
+    );
+    let sampler = ims_obs::Sampler::start(ims_obs::SamplerConfig {
+        interval: std::time::Duration::from_millis(sample_ms.max(1)),
+        ring_capacity: 4096,
+        jsonl_path: flag(args, "--series").map(Into::into),
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("cannot open --series sink: {e}");
+        std::process::exit(2);
+    });
+
+    let started = std::time::Instant::now();
+    let mut runs = 0u64;
+    let mut frames = 0u64;
+    let mut blocks = 0u64;
+    let mut last_report = None;
+    while started.elapsed() < duration {
+        let out = run_graph(&spec);
+        runs += 1;
+        frames += out.report.frames;
+        blocks += out.report.blocks;
+        runs_total.incr();
+        frames_total.add(out.report.frames);
+        blocks_total.add(out.report.blocks);
+        last_report = Some(out.report);
+    }
+    let samples = sampler.stop();
+    server.stop();
+
+    let wall = started.elapsed().as_secs_f64();
+    let last = last_report.expect("at least one run");
+    eprintln!(
+        "served {:.2} s: {runs} pipeline runs ({frames} frames -> {blocks} blocks), \
+         {} samples at {sample_ms} ms, deconv {:.2} Mcells/s",
+        wall,
+        samples.len(),
+        last.deconv_mcells_per_second,
+    );
+    let mut rec = graph_ledger_record("serve", &spec, &last);
+    rec.wall_seconds = wall;
+    rec.frames = frames;
+    rec.blocks = blocks;
+    append_ledger(args, &rec);
+}
+
+/// Parses `2s` / `500ms` / bare seconds (`1.5`) into a `Duration`.
+fn parse_duration(text: &str) -> Option<std::time::Duration> {
+    let t = text.trim();
+    let (number, scale) = if let Some(ms) = t.strip_suffix("ms") {
+        (ms, 1e-3)
+    } else if let Some(s) = t.strip_suffix('s') {
+        (s, 1.0)
+    } else {
+        (t, 1.0)
+    };
+    let secs: f64 = number.trim().parse().ok()?;
+    (secs.is_finite() && secs >= 0.0).then(|| std::time::Duration::from_secs_f64(secs * scale))
 }
 
 /// `htims bench deconv`: times the scalar per-column reference against the
@@ -418,15 +485,20 @@ fn trace(args: &[String]) {
 /// scalar-column row.
 fn bench(args: &[String]) {
     match args.get(1).map(String::as_str) {
-        Some("deconv") => {}
+        Some("deconv") => bench_deconv(args),
+        Some("compare") => bench_compare(args),
         other => {
             eprintln!(
-                "unknown bench target {:?} (only `deconv` is available)",
+                "unknown bench target {:?} (use `deconv` or `compare`)",
                 other.unwrap_or("<none>")
             );
             std::process::exit(2);
         }
     }
+}
+
+fn bench_deconv(args: &[String]) {
+    let bench_started = std::time::Instant::now();
     let quick = args.iter().any(|a| a == "--quick");
     let degree = 9u32;
     let n = (1usize << degree) - 1;
@@ -465,6 +537,15 @@ fn bench(args: &[String]) {
                 "engine": engine,
                 "threads": threads,
                 "panel_width": width,
+                // Joins this row with ledger lines and compare verdicts.
+                "fingerprint": ims_obs::config_fingerprint(&ims_obs::FingerprintParts {
+                    drift_bins: n,
+                    mz_bins,
+                    method,
+                    engine,
+                    threads,
+                    panel_width: width,
+                }),
                 "ms_per_block": secs * 1e3,
                 "blocks_per_second": 1.0 / secs,
                 "mcells_per_second": cells / secs / 1e6,
@@ -584,6 +665,224 @@ fn bench(args: &[String]) {
         });
         eprintln!("bench report written to {path}");
     }
+
+    // One ledger line for the whole suite: fingerprinted on the block
+    // shape, best observed throughput as the headline number.
+    let suite_threads = thread_sweep(quick).last().copied().unwrap_or(1);
+    let provenance = htims::obs::Provenance::collect(
+        suite_threads,
+        htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
+    );
+    let fingerprint = ims_obs::config_fingerprint(&ims_obs::FingerprintParts {
+        drift_bins: n,
+        mz_bins,
+        method: "deconv-suite",
+        engine: "bench",
+        threads: suite_threads,
+        panel_width: htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
+    });
+    let mut rec = ims_obs::LedgerRecord::new("bench", &provenance, fingerprint);
+    rec.wall_seconds = bench_started.elapsed().as_secs_f64();
+    rec.frames = frames;
+    rec.mcells_per_second = rows
+        .iter()
+        .filter_map(|r| r.field("mcells_per_second").as_f64())
+        .fold(0.0, f64::max);
+    append_ledger(args, &rec);
+}
+
+/// `htims bench compare <baseline.json> <candidate.json>`: the perf
+/// regression gate. Rows are matched by (method, engine, threads,
+/// panel_width); each match's `mcells_per_second` delta is printed, a
+/// machine-readable verdict is emitted (stdout, or `--out <file>`), and
+/// the exit code is 1 when any matched row regresses by more than
+/// `--max-regress-pct` (default 10).
+fn bench_compare(args: &[String]) {
+    let positional: Vec<&String> = {
+        // Skip flag names and their values; what remains are the two
+        // report paths.
+        let mut out = Vec::new();
+        let mut i = 2;
+        while i < args.len() {
+            let a = &args[i];
+            if a == "--max-regress-pct" || a == "--out" || a == "--ledger" {
+                i += 2;
+                continue;
+            }
+            if a.starts_with("--") {
+                i += 1;
+                continue;
+            }
+            out.push(a);
+            i += 1;
+        }
+        out
+    };
+    let [baseline_path, candidate_path] = positional.as_slice() else {
+        eprintln!("usage: htims bench compare <baseline.json> <candidate.json> [--max-regress-pct <n>] [--out <verdict.json>]");
+        std::process::exit(2);
+    };
+    let max_regress_pct: f64 = flag(args, "--max-regress-pct")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+
+    let baseline = load_bench_rows(baseline_path);
+    let candidate = load_bench_rows(candidate_path);
+
+    eprintln!(
+        "{:<12} {:<16} {:>7} {:>5} {:>12} {:>12} {:>8}  verdict",
+        "method", "engine", "threads", "panel", "base Mc/s", "cand Mc/s", "delta%"
+    );
+    let mut verdict_rows: Vec<serde_json::Value> = Vec::new();
+    let mut regressions = 0usize;
+    let mut matched = 0usize;
+    for row in &baseline.rows {
+        let Some(cand) = candidate.rows.iter().find(|c| c.key == row.key) else {
+            eprintln!(
+                "{:<12} {:<16} {:>7} {:>5} {:>12.2} {:>12} {:>8}  missing in candidate",
+                row.key.0, row.key.1, row.key.2, row.key.3, row.mcells, "-", "-"
+            );
+            continue;
+        };
+        matched += 1;
+        let delta_pct = if row.mcells > 0.0 {
+            (cand.mcells - row.mcells) / row.mcells * 100.0
+        } else {
+            0.0
+        };
+        let regressed = delta_pct < -max_regress_pct;
+        if regressed {
+            regressions += 1;
+        }
+        eprintln!(
+            "{:<12} {:<16} {:>7} {:>5} {:>12.2} {:>12.2} {:>+8.2}  {}",
+            row.key.0,
+            row.key.1,
+            row.key.2,
+            row.key.3,
+            row.mcells,
+            cand.mcells,
+            delta_pct,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        verdict_rows.push(serde_json::json!({
+            "method": row.key.0,
+            "engine": row.key.1,
+            "threads": row.key.2,
+            "panel_width": row.key.3,
+            "fingerprint": row.fingerprint,
+            "baseline_mcells_per_second": row.mcells,
+            "candidate_mcells_per_second": cand.mcells,
+            "delta_pct": delta_pct,
+            "regressed": regressed,
+        }));
+    }
+    if matched == 0 {
+        eprintln!("no comparable rows between {baseline_path} and {candidate_path}");
+        std::process::exit(2);
+    }
+
+    let ok = regressions == 0;
+    let verdict = serde_json::json!({
+        "schema_version": htims::obs::OBS_SCHEMA_VERSION,
+        "max_regress_pct": max_regress_pct,
+        "matched_rows": matched,
+        "regressions": regressions,
+        "ok": ok,
+        "rows": verdict_rows,
+    });
+    let mut text = serde_json::to_string_pretty(&verdict).unwrap();
+    text.push('\n');
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, text).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("verdict written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    eprintln!(
+        "{matched} rows compared, {regressions} regressed beyond {max_regress_pct}% -> {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// One comparable bench row: the match key plus throughput.
+struct BenchRow {
+    key: (String, String, u64, u64),
+    fingerprint: String,
+    mcells: f64,
+}
+
+/// A loaded bench report: block shape (for fingerprint recomputation when
+/// older reports lack one) and its rows.
+struct BenchReport {
+    rows: Vec<BenchRow>,
+}
+
+/// Reads a `BENCH_deconv.json`-shaped report, dying with a usable message
+/// on malformed input.
+fn load_bench_rows(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let value: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("{path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let drift_bins = value
+        .field("block")
+        .field("drift_bins")
+        .as_u64()
+        .unwrap_or(0) as usize;
+    let mz_bins = value.field("block").field("mz_bins").as_u64().unwrap_or(0) as usize;
+    let serde_json::Value::Array(raw_rows) = value.field("rows") else {
+        eprintln!("{path} has no `rows` array (is it a bench report?)");
+        std::process::exit(2);
+    };
+    let mut rows = Vec::new();
+    for raw in raw_rows {
+        let (Some(method), Some(engine)) =
+            (raw.field("method").as_str(), raw.field("engine").as_str())
+        else {
+            eprintln!("{path}: row without method/engine");
+            std::process::exit(2);
+        };
+        let threads = raw.field("threads").as_u64().unwrap_or(0);
+        let panel_width = raw.field("panel_width").as_u64().unwrap_or(0);
+        let Some(mcells) = raw.field("mcells_per_second").as_f64() else {
+            eprintln!("{path}: row without mcells_per_second");
+            std::process::exit(2);
+        };
+        // Pre-PR-4 reports carry no fingerprint; recompute from the key
+        // so old baselines stay comparable.
+        let fingerprint = raw
+            .field("fingerprint")
+            .as_str()
+            .map(str::to_string)
+            .unwrap_or_else(|| {
+                ims_obs::config_fingerprint(&ims_obs::FingerprintParts {
+                    drift_bins,
+                    mz_bins,
+                    method,
+                    engine,
+                    threads: threads as usize,
+                    panel_width: panel_width as usize,
+                })
+            });
+        rows.push(BenchRow {
+            key: (method.to_string(), engine.to_string(), threads, panel_width),
+            fingerprint,
+            mcells,
+        });
+    }
+    BenchReport { rows }
 }
 
 /// Best-of-`repeats` wall time of `f`, in seconds.

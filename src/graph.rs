@@ -1,0 +1,175 @@
+//! The hybrid stage-graph runner behind `htims pipeline|trace|serve`.
+//!
+//! A [`GraphSpec`] is the full, reproducible description of one run:
+//! graph shape (PRS degree, m/z bins, frames, blocks, channel depth,
+//! optional coarse binning), backend/executor selection, thread count,
+//! and the RNG seed that drives both the acquisition and the frame
+//! stream. The CLI parses flags into one; the integration tests build
+//! them directly — two runs of an identical spec produce bit-identical
+//! blocks and identical deterministic metrics counts.
+
+use crate::core::acquisition::{acquire, AcquireOptions, GateSchedule};
+use crate::core::deconv_batch::DEFAULT_PANEL_WIDTH;
+use crate::core::hybrid::{hybrid_pipeline, FrameGenerator, HybridConfig};
+use crate::core::pipeline::{DeconvBackend, PipelineOutput};
+use crate::fpga::MzBinner;
+use crate::physics::{Instrument, Workload};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One reproducible stage-graph run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpec {
+    /// PRS degree (drift bins = 2^degree − 1).
+    pub degree: u32,
+    /// m/z bins per frame.
+    pub mz: usize,
+    /// Frames folded into each block.
+    pub frames: u64,
+    /// Blocks to produce.
+    pub blocks: usize,
+    /// Bounded-channel depth (threaded executor back-pressure).
+    pub depth: usize,
+    /// Deconvolution backend: `fpga` | `naive` | `software`.
+    pub backend: String,
+    /// Worker threads for the software backend (0 = machine width).
+    pub threads: usize,
+    /// Coarse m/z bin count for the on-chip binner stage, if any.
+    pub coarse: Option<usize>,
+    /// Executor: `threaded` | `inline`.
+    pub executor: String,
+    /// Seed for the acquisition RNG and the frame stream — the whole run
+    /// is a pure function of the spec including this.
+    pub seed: u64,
+}
+
+impl GraphSpec {
+    /// Defaults of `htims pipeline`: a small, fast smoke graph.
+    pub fn small() -> Self {
+        Self {
+            degree: 6,
+            mz: 60,
+            frames: 16,
+            blocks: 2,
+            depth: 4,
+            backend: "fpga".into(),
+            threads: 0,
+            coarse: None,
+            executor: "threaded".into(),
+            seed: 7,
+        }
+    }
+
+    /// Defaults of `htims trace` and `htims serve`: the E3 throughput
+    /// workload (511 drift bins × 1000 m/z, software backend) so traces
+    /// and live series answer the bench's "why is this configuration
+    /// slow" question.
+    pub fn e3() -> Self {
+        Self {
+            degree: 9,
+            mz: 1000,
+            frames: 20,
+            blocks: 2,
+            depth: 4,
+            backend: "software".into(),
+            threads: 0,
+            coarse: None,
+            executor: "threaded".into(),
+            seed: 7,
+        }
+    }
+
+    /// Drift-time bins: the PRS length `2^degree − 1`.
+    pub fn drift_bins(&self) -> usize {
+        (1usize << self.degree) - 1
+    }
+
+    /// `threads` with 0 resolved to the machine width.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// The run's config fingerprint (see [`ims_obs::ledger`]): joins the
+    /// ledger line this run appends with bench rows of the same shape.
+    pub fn fingerprint(&self) -> String {
+        ims_obs::config_fingerprint(&ims_obs::FingerprintParts {
+            drift_bins: self.drift_bins(),
+            mz_bins: self.mz,
+            method: &self.backend,
+            engine: &self.executor,
+            threads: self.resolved_threads(),
+            panel_width: DEFAULT_PANEL_WIDTH,
+        })
+    }
+
+    /// Builds and runs the graph. Errors (unknown backend/executor,
+    /// out-of-range coarse bins) are returned, not printed — the CLI
+    /// decides how to die.
+    pub fn run(&self) -> Result<PipelineOutput, String> {
+        if let Some(c) = self.coarse {
+            if c < 1 || c > self.mz {
+                return Err(format!(
+                    "coarse bins must be in 1..={} (the m/z bin count), got {c}",
+                    self.mz
+                ));
+            }
+        }
+        let n = self.drift_bins();
+        let mut inst = Instrument::with_drift_bins(n);
+        inst.tof.n_bins = self.mz;
+        let workload = Workload::three_peptide_mix();
+        let schedule = GateSchedule::multiplexed(self.degree);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let data = acquire(
+            &inst,
+            &workload,
+            &schedule,
+            1,
+            AcquireOptions::default(),
+            &mut rng,
+        );
+        let seq = match schedule {
+            GateSchedule::Multiplexed { seq } => seq,
+            _ => unreachable!(),
+        };
+        // Frame-stream seed derived from the run seed (offset keeps the
+        // historical default stream: seed 7 → generator seed 1234).
+        let generator = FrameGenerator::new(&data, &inst.adc, self.seed.wrapping_add(1227));
+        let cfg = HybridConfig {
+            frames: self.frames,
+            channel_depth: self.depth,
+            binner: self.coarse.map(|c| MzBinner::uniform(self.mz, c)),
+            ..Default::default()
+        };
+        let backend = DeconvBackend::from_name(&self.backend, &seq, cfg.deconv, self.threads)
+            .ok_or_else(|| {
+                format!(
+                    "unknown backend '{}' (use fpga | naive | software)",
+                    self.backend
+                )
+            })?;
+
+        let graph = hybrid_pipeline(
+            &generator,
+            &seq,
+            &cfg,
+            self.frames * self.blocks as u64,
+            self.frames,
+            false,
+            backend,
+        );
+        match self.executor.as_str() {
+            "inline" => Ok(graph.run_inline()),
+            "threaded" => Ok(graph.run_threaded()),
+            other => Err(format!(
+                "unknown executor '{other}' (use threaded | inline)"
+            )),
+        }
+    }
+}

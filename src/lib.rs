@@ -4,6 +4,8 @@
 //! use a single dependency. Downstream users should depend on the individual
 //! crates (`htims-core`, `ims-physics`, …) directly.
 
+pub mod graph;
+
 pub use htims_core as core;
 pub use ims_fpga as fpga;
 pub use ims_obs as obs;
