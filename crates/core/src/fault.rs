@@ -1,0 +1,462 @@
+//! Deterministic, seeded fault injection for the hybrid pipeline.
+//!
+//! The paper's design streams capture data to an FPGA — a setting where
+//! DMA bit-flips, dropped frames, stalled producers, and flaky backends
+//! are facts of life. This module makes those failure modes *exercisable*
+//! and *reproducible*: a [`FaultSpec`] (parsed from a compact CLI string)
+//! plus a seed fully determine every injected fault, because each
+//! injection decision is a pure hash of `(seed, site, item index)` rather
+//! than a draw from shared mutable RNG state. Thread interleaving can
+//! therefore never change *what* is injected — a chaotic run is
+//! bit-reproducible from `(seed, spec)` on any executor.
+//!
+//! Injection sites (wired into the pipeline stages):
+//!
+//! * `source.stall` — the frame producer sleeps before emitting a frame
+//!   (cancellable in slices, so the executor's watchdog can break a
+//!   "permanent" stall);
+//! * `frame.drop` — a frame is silently never emitted;
+//! * `dma.bitflip` — payload bits flip in transit across the link stage,
+//!   *after* the packet checksum was taken (detected downstream);
+//! * `deconv.fail` — the hardware-model deconvolution backend fails on a
+//!   block (recovered by falling back to the software engine, or — with
+//!   fallback disabled — panicking the stage so the supervised executor's
+//!   `catch_unwind` path is exercised).
+//!
+//! Every injection increments a `fault.injected.*` metric and emits a
+//! trace instant, so chaos shows up in `/metrics` and trace timelines.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A producer-stall fault: sleep `duration` with probability `rate` per
+/// frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallSpec {
+    /// How long the producer sleeps when the fault fires.
+    pub duration: Duration,
+    /// Per-frame probability in `[0, 1]`.
+    pub rate: f64,
+}
+
+/// A parsed fault specification: per-site rates, all zero by default.
+///
+/// The compact string form is comma-separated `site=rate` pairs:
+///
+/// ```text
+/// dma.bitflip=1e-5,source.stall=50ms@0.01,frame.drop=1e-4,deconv.fail=0.001
+/// ```
+///
+/// `dma.bitflip` is a per-*bit* probability (each frame flips
+/// `rate × payload_bits` bits in expectation); `frame.drop` and
+/// `deconv.fail` are per-frame / per-block probabilities; `source.stall`
+/// takes a duration (`50ms`, `2s`, `1.5s`) and an optional `@probability`
+/// (default 1, i.e. every frame).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Per-bit flip probability on the DMA link.
+    pub dma_bitflip: f64,
+    /// Per-frame drop probability at the source.
+    pub frame_drop: f64,
+    /// Per-block hardware-backend failure probability at the deconvolve
+    /// stage.
+    pub deconv_fail: f64,
+    /// Producer stall, if any.
+    pub source_stall: Option<StallSpec>,
+}
+
+impl FaultSpec {
+    /// Parses the compact CLI form (see the type docs). Unknown sites,
+    /// out-of-range rates, and malformed durations are errors.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut spec = FaultSpec::default();
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (site, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault `{part}`: expected site=value"))?;
+            match site.trim() {
+                "dma.bitflip" => spec.dma_bitflip = parse_rate(site, value)?,
+                "frame.drop" => spec.frame_drop = parse_rate(site, value)?,
+                "deconv.fail" => spec.deconv_fail = parse_rate(site, value)?,
+                "source.stall" => {
+                    let (dur, rate) = match value.split_once('@') {
+                        Some((d, r)) => (d, parse_rate(site, r)?),
+                        None => (value, 1.0),
+                    };
+                    spec.source_stall = Some(StallSpec {
+                        duration: parse_duration(dur)
+                            .ok_or_else(|| format!("fault `{site}`: bad duration `{dur}`"))?,
+                        rate,
+                    });
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault site `{other}` (use dma.bitflip | frame.drop | \
+                         deconv.fail | source.stall)"
+                    ))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// True when every rate is zero — injection is a no-op and the run
+    /// must be bit-identical to an uninjected one.
+    pub fn is_zero(&self) -> bool {
+        self.dma_bitflip == 0.0
+            && self.frame_drop == 0.0
+            && self.deconv_fail == 0.0
+            && self.source_stall.is_none_or(|s| s.rate == 0.0)
+    }
+}
+
+impl std::fmt::Display for FaultSpec {
+    /// Canonical compact form (parseable by [`FaultSpec::parse`]).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if self.dma_bitflip > 0.0 {
+            parts.push(format!("dma.bitflip={}", self.dma_bitflip));
+        }
+        if self.frame_drop > 0.0 {
+            parts.push(format!("frame.drop={}", self.frame_drop));
+        }
+        if self.deconv_fail > 0.0 {
+            parts.push(format!("deconv.fail={}", self.deconv_fail));
+        }
+        if let Some(s) = self.source_stall {
+            parts.push(format!(
+                "source.stall={}ms@{}",
+                s.duration.as_millis(),
+                s.rate
+            ));
+        }
+        write!(f, "{}", parts.join(","))
+    }
+}
+
+fn parse_rate(site: &str, value: &str) -> Result<f64, String> {
+    let rate: f64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("fault `{site}`: bad rate `{value}`"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("fault `{site}`: rate {rate} outside [0, 1]"));
+    }
+    Ok(rate)
+}
+
+/// Parses `50ms` / `2s` / bare seconds (`1.5`) into a `Duration`.
+fn parse_duration(text: &str) -> Option<Duration> {
+    let t = text.trim();
+    let (number, scale) = if let Some(ms) = t.strip_suffix("ms") {
+        (ms, 1e-3)
+    } else if let Some(s) = t.strip_suffix('s') {
+        (s, 1.0)
+    } else {
+        (t, 1.0)
+    };
+    let secs: f64 = number.trim().parse().ok()?;
+    (secs.is_finite() && secs >= 0.0).then(|| Duration::from_secs_f64(secs * scale))
+}
+
+/// Counts of injected faults from one run, folded into the
+/// [`PipelineReport`](crate::pipeline::PipelineReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Payload bits flipped on the link.
+    #[serde(default)]
+    pub bitflips: u64,
+    /// Frames dropped at the source.
+    #[serde(default)]
+    pub frames_dropped: u64,
+    /// Producer stalls taken.
+    #[serde(default)]
+    pub stalls: u64,
+    /// Hardware deconvolution-backend failures.
+    #[serde(default)]
+    pub deconv_failures: u64,
+}
+
+impl FaultCounts {
+    /// Total injected events.
+    pub fn total(&self) -> u64 {
+        self.bitflips + self.frames_dropped + self.stalls + self.deconv_failures
+    }
+}
+
+/// Shared, thread-safe injection state (counts + cancel flag).
+#[derive(Debug, Default)]
+struct FaultShared {
+    bitflips: AtomicU64,
+    frames_dropped: AtomicU64,
+    stalls: AtomicU64,
+    deconv_failures: AtomicU64,
+    /// Set by the executor's watchdog: in-progress injected sleeps bail
+    /// out at their next slice so a "permanent" stall still drains.
+    cancel: AtomicBool,
+}
+
+/// A seeded injector: cheap to clone (clones share counters), safe to
+/// consult from every stage thread. All decisions are pure functions of
+/// `(seed, site, item index)` — see the module docs.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    seed: u64,
+    spec: FaultSpec,
+    shared: Arc<FaultShared>,
+}
+
+/// Per-site salts keeping decision streams independent.
+const SALT_DROP: u64 = 0x9E37_79B9_7F4A_7C15;
+const SALT_STALL: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const SALT_BITFLIP: u64 = 0x1656_67B1_9E37_79F9;
+const SALT_DECONV: u64 = 0x2545_F491_4F6C_DD1D;
+
+/// SplitMix64-style finalizer: avalanche-mixes one word.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+impl FaultInjector {
+    /// An injector for `(seed, spec)` — the whole chaotic run is a pure
+    /// function of these two values (plus the uninjected pipeline inputs).
+    pub fn new(seed: u64, spec: FaultSpec) -> Self {
+        Self {
+            seed,
+            spec,
+            shared: Arc::new(FaultShared::default()),
+        }
+    }
+
+    /// The spec this injector draws from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The `n`-th deterministic uniform in `[0, 1)` for `(site, item)`.
+    fn unit(&self, salt: u64, item: u64, n: u64) -> f64 {
+        let h = mix(self.seed
+            ^ salt
+            ^ item.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ n.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Should frame `frame_no` be dropped at the source? Counts and
+    /// traces when it fires.
+    pub fn drop_frame(&self, frame_no: u64) -> bool {
+        if self.spec.frame_drop <= 0.0 || self.unit(SALT_DROP, frame_no, 0) >= self.spec.frame_drop
+        {
+            return false;
+        }
+        self.shared.frames_dropped.fetch_add(1, Relaxed);
+        ims_obs::static_counter!("fault.injected.frame_drop").incr();
+        ims_obs::instant("fault", "frame_drop");
+        true
+    }
+
+    /// The stall to take before emitting frame `frame_no`, if any.
+    pub fn stall_duration(&self, frame_no: u64) -> Option<Duration> {
+        let stall = self.spec.source_stall?;
+        (stall.rate > 0.0 && self.unit(SALT_STALL, frame_no, 0) < stall.rate)
+            .then_some(stall.duration)
+    }
+
+    /// Takes an injected stall: sleeps `duration` in small slices,
+    /// checking the cancel flag between slices. Returns `false` when the
+    /// sleep was cancelled (the watchdog fired) — the caller should stop
+    /// producing. Counts and traces the stall either way.
+    pub fn stall(&self, duration: Duration) -> bool {
+        self.shared.stalls.fetch_add(1, Relaxed);
+        ims_obs::static_counter!("fault.injected.stall").incr();
+        ims_obs::instant("fault", "stall");
+        let slice = Duration::from_millis(5);
+        let deadline = std::time::Instant::now() + duration;
+        loop {
+            if self.cancelled() {
+                return false;
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return true;
+            }
+            std::thread::sleep(left.min(slice));
+        }
+    }
+
+    /// Flips payload bits of one in-flight packet (the DMA corruption
+    /// site): each frame flips `rate × payload_bits` bits in expectation,
+    /// at hash-chosen positions. Returns the number of bits flipped.
+    pub fn corrupt_packet(&self, packet: &mut ims_fpga::dma::FramePacket) -> u64 {
+        if self.spec.dma_bitflip <= 0.0 {
+            return 0;
+        }
+        let bits = packet.len_bytes() as f64 * 8.0;
+        let expected = self.spec.dma_bitflip * bits;
+        // Deterministic count: floor(expected) plus a Bernoulli trial on
+        // the fraction — O(flips) work, not O(bits).
+        let mut flips = expected.floor() as u64;
+        if self.unit(SALT_BITFLIP, packet.seq_no, 0) < expected.fract() {
+            flips += 1;
+        }
+        for n in 0..flips {
+            let pos = (self.unit(SALT_BITFLIP, packet.seq_no, n + 1) * bits) as usize;
+            packet.flip_bit(pos);
+            ims_obs::instant("fault", "bitflip");
+        }
+        if flips > 0 {
+            self.shared.bitflips.fetch_add(flips, Relaxed);
+            ims_obs::static_counter!("fault.injected.bitflip").add(flips);
+        }
+        flips
+    }
+
+    /// Does the hardware deconvolution backend fail on block
+    /// `block_index`? Counts and traces when it fires.
+    pub fn deconv_fails(&self, block_index: u64) -> bool {
+        if self.spec.deconv_fail <= 0.0
+            || self.unit(SALT_DECONV, block_index, 0) >= self.spec.deconv_fail
+        {
+            return false;
+        }
+        self.shared.deconv_failures.fetch_add(1, Relaxed);
+        ims_obs::static_counter!("fault.injected.deconv_fail").incr();
+        ims_obs::instant("fault", "deconv_fail");
+        true
+    }
+
+    /// Cancels in-progress and future injected stalls (the watchdog's
+    /// lever for breaking a permanent stall).
+    pub fn cancel(&self) {
+        self.shared.cancel.store(true, Relaxed);
+    }
+
+    /// Has [`cancel`](Self::cancel) been called?
+    pub fn cancelled(&self) -> bool {
+        self.shared.cancel.load(Relaxed)
+    }
+
+    /// Injected-fault counts so far (shared across clones).
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            bitflips: self.shared.bitflips.load(Relaxed),
+            frames_dropped: self.shared.frames_dropped.load(Relaxed),
+            stalls: self.shared.stalls.load(Relaxed),
+            deconv_failures: self.shared.deconv_failures.load(Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_canonical_form() {
+        let spec = FaultSpec::parse(
+            "dma.bitflip=1e-5,source.stall=50ms@0.01,frame.drop=1e-4,deconv.fail=0.001",
+        )
+        .unwrap();
+        assert_eq!(spec.dma_bitflip, 1e-5);
+        assert_eq!(spec.frame_drop, 1e-4);
+        assert_eq!(spec.deconv_fail, 0.001);
+        let stall = spec.source_stall.unwrap();
+        assert_eq!(stall.duration, Duration::from_millis(50));
+        assert_eq!(stall.rate, 0.01);
+        // Display renders a form parse() accepts and that parses equal.
+        let back = FaultSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(FaultSpec::parse("dma.bitflip=2").is_err(), "rate > 1");
+        assert!(FaultSpec::parse("dma.bitflip=-0.1").is_err(), "rate < 0");
+        assert!(FaultSpec::parse("nope.site=0.5").is_err(), "unknown site");
+        assert!(FaultSpec::parse("frame.drop").is_err(), "missing value");
+        assert!(
+            FaultSpec::parse("source.stall=xyz").is_err(),
+            "bad duration"
+        );
+        assert!(FaultSpec::parse("source.stall=10ms@7").is_err(), "bad prob");
+    }
+
+    #[test]
+    fn empty_and_zero_specs_are_zero() {
+        assert!(FaultSpec::parse("").unwrap().is_zero());
+        assert!(FaultSpec::default().is_zero());
+        let zero = FaultSpec::parse("dma.bitflip=0,frame.drop=0,deconv.fail=0").unwrap();
+        assert!(zero.is_zero());
+        assert!(!FaultSpec::parse("frame.drop=0.5").unwrap().is_zero());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_rate_shaped() {
+        let spec = FaultSpec::parse("frame.drop=0.25").unwrap();
+        let a = FaultInjector::new(42, spec.clone());
+        let b = FaultInjector::new(42, spec.clone());
+        let drops_a: Vec<bool> = (0..4000).map(|i| a.drop_frame(i)).collect();
+        let drops_b: Vec<bool> = (0..4000).map(|i| b.drop_frame(i)).collect();
+        assert_eq!(drops_a, drops_b, "same (seed, spec) ⇒ same decisions");
+        let rate = drops_a.iter().filter(|&&d| d).count() as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.05, "empirical rate {rate}");
+        // A different seed draws a different stream.
+        let c = FaultInjector::new(43, spec);
+        let drops_c: Vec<bool> = (0..4000).map(|i| c.drop_frame(i)).collect();
+        assert_ne!(drops_a, drops_c);
+        assert_eq!(
+            a.counts().frames_dropped,
+            drops_a.iter().filter(|&&d| d).count() as u64
+        );
+    }
+
+    #[test]
+    fn corrupt_packet_flips_expected_bits_deterministically() {
+        let words: Vec<u32> = (0..256).map(|i| i * 7).collect();
+        let spec = FaultSpec::parse("dma.bitflip=0.001").unwrap();
+        let inj = FaultInjector::new(9, spec);
+        let mut p1 = ims_fpga::dma::FramePacket::from_words_checked(5, &words);
+        let mut p2 = ims_fpga::dma::FramePacket::from_words_checked(5, &words);
+        let f1 = inj.corrupt_packet(&mut p1);
+        let f2 = inj.corrupt_packet(&mut p2);
+        assert_eq!(f1, f2);
+        assert_eq!(p1.payload, p2.payload, "same packet ⇒ same corruption");
+        // 256 words × 32 bits × 0.001 ≈ 8 expected flips.
+        assert!((4..=16).contains(&f1), "flips {f1}");
+        assert!(!p1.verify(), "corruption must break the checksum");
+        // Zero-rate injector touches nothing.
+        let zero = FaultInjector::new(9, FaultSpec::default());
+        let mut p3 = ims_fpga::dma::FramePacket::from_words_checked(5, &words);
+        assert_eq!(zero.corrupt_packet(&mut p3), 0);
+        assert!(p3.verify());
+    }
+
+    #[test]
+    fn cancelled_stall_returns_early() {
+        let spec = FaultSpec::parse("source.stall=60s@1").unwrap();
+        let inj = FaultInjector::new(1, spec);
+        assert!(inj.stall_duration(0).is_some());
+        let peer = inj.clone();
+        let t = std::thread::spawn(move || {
+            let started = std::time::Instant::now();
+            let completed = peer.stall(Duration::from_secs(60));
+            (completed, started.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        inj.cancel();
+        let (completed, took) = t.join().unwrap();
+        assert!(!completed, "cancelled stall must report cancellation");
+        assert!(took < Duration::from_secs(5), "stall did not break early");
+        assert_eq!(inj.counts().stalls, 1);
+    }
+}

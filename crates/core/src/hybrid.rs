@@ -170,7 +170,10 @@ pub fn hybrid_pipeline(
         frames_per_block.max(1),
         flush_remainder,
     ))
-    .stage(DeconvolveStage::new(backend, acc_mz))
+    .stage(
+        DeconvolveStage::new(backend, acc_mz)
+            .with_fallback(ims_fpga::deconv::DeconvCore::new(seq, cfg.deconv)),
+    )
 }
 
 /// Result of a hybrid run.

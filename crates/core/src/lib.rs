@@ -64,6 +64,7 @@ pub mod dda;
 pub mod deconv_batch;
 pub mod deconvolution;
 pub mod dynamic;
+pub mod fault;
 pub mod format;
 pub mod hybrid;
 pub mod kernel;

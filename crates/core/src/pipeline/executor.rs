@@ -13,11 +13,41 @@
 //! load per span — unless a `TraceSession` is active. Per-item processing
 //! latency additionally feeds a histogram per stage (always on; a handful
 //! of relaxed atomics per *item*, where items are frames or blocks).
+//!
+//! # Supervision
+//!
+//! The threaded executor is *supervised*: a panicking stage no longer
+//! aborts the process. Each stage iteration runs under `catch_unwind`; a
+//! panicked stage turns "poisoned" — it keeps draining its input channel
+//! (so upstream never blocks on a full channel) without processing, its
+//! output closes, downstream flushes and drains, and the run returns a
+//! partial report carrying a [`PipelineError::StagePanicked`] with stage
+//! provenance and a [`RunOutcome::Failed`] verdict.
+//!
+//! With [`Pipeline::with_supervisor`] and a `stall_timeout`, a watchdog
+//! thread additionally polls per-stage progress counters; when *nothing*
+//! in the graph advances for the timeout, it blames the upstream-most
+//! unfinished stage, cancels any injected stall (see
+//! [`Pipeline::with_faults`]) so the graph drains, and records a
+//! [`PipelineError::StageStalled`]. The watchdog can break injected
+//! stalls and the source loop; a stage genuinely wedged *inside* a
+//! blocking channel operation is detected and reported but cannot be
+//! interrupted (the vendored channels have no timed operations) — the
+//! timeout must exceed the slowest single-item processing time.
+//!
+//! With no supervisor config and no injector, none of this costs anything
+//! on the hot path: no watchdog thread is spawned, packets carry no
+//! checksums, and the only addition is one relaxed atomic add per item.
 
+use super::error::{PipelineError, RunOutcome, SupervisorConfig};
 use super::report::{PipelineReport, StageReport};
 use super::stages::FrameSource;
 use super::{DeconvolvedBlock, Message, Stage};
+use crate::fault::FaultInjector;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A source plus an ordered chain of stages, ready to run.
@@ -25,10 +55,13 @@ pub struct Pipeline {
     source: FrameSource,
     stages: Vec<Box<dyn Stage>>,
     channel_depth: usize,
+    injector: Option<FaultInjector>,
+    supervisor: SupervisorConfig,
 }
 
 /// What a pipeline run returns: the deconvolved blocks (in order) and the
-/// instrumentation report.
+/// instrumentation report (whose [`outcome`](PipelineReport::outcome)
+/// says whether the blocks are complete, degraded, or partial).
 #[derive(Debug, Clone)]
 pub struct PipelineOutput {
     /// Deconvolved blocks, in block order.
@@ -45,6 +78,8 @@ impl Pipeline {
             source,
             stages: Vec::new(),
             channel_depth: channel_depth.max(1),
+            injector: None,
+            supervisor: SupervisorConfig::default(),
         }
     }
 
@@ -54,12 +89,41 @@ impl Pipeline {
         self
     }
 
+    /// Arms deterministic fault injection: the source stamps packets with
+    /// integrity checksums and every stage gets a clone of `injector`
+    /// (drop/stall at the source, bit-flips at the link, backend failures
+    /// at the deconvolve stage). A zero-rate spec injects nothing and the
+    /// run stays bit-identical to an unarmed one.
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Sets the supervision/degradation policy (watchdog timeout, corrupt
+    /// policy, deconv fallback). The default policy has the watchdog off.
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Distributes the injector and policy to the source and stages.
+    fn arm(&mut self) {
+        if let Some(inj) = &self.injector {
+            self.source.set_checked(true);
+            for stage in &mut self.stages {
+                stage.arm_faults(inj, &self.supervisor);
+            }
+        }
+    }
+
     /// Runs the graph with one thread per stage connected by bounded
     /// channels — the concurrent structure of the paper's design. Frames
     /// flow through channels of depth `channel_depth`; block hand-offs use
-    /// the stages' own depth (2, the double-buffered readout).
+    /// the stages' own depth (2, the double-buffered readout). Supervised:
+    /// see the module docs.
     pub fn run_threaded(mut self) -> PipelineOutput {
         assert!(!self.stages.is_empty(), "pipeline has no stages");
+        self.arm();
         let start = Instant::now();
         let depth = self.channel_depth;
         let n = self.stages.len();
@@ -79,43 +143,83 @@ impl Pipeline {
         let stages = std::mem::take(&mut self.stages);
         let source = &self.source;
         let frames = source.frames();
+        let injector = self.injector.clone();
 
-        let (blocks, meters, stages) = std::thread::scope(|scope| {
+        // Supervision state: one progress counter and one done flag per
+        // thread (index 0 = source), polled by the watchdog; the cancel
+        // flag breaks the source loop and any injected stall.
+        let progress: Arc<Vec<AtomicU64>> = Arc::new((0..=n).map(|_| AtomicU64::new(0)).collect());
+        let done: Arc<Vec<AtomicBool>> =
+            Arc::new((0..=n).map(|_| AtomicBool::new(false)).collect());
+        let cancel = Arc::new(AtomicBool::new(false));
+        let names: Vec<&'static str> = std::iter::once("source")
+            .chain(stages.iter().map(|s| s.name()))
+            .collect();
+
+        let (blocks, meters, stages, mut errors) = std::thread::scope(|scope| {
             let mut tx_iter = txs.into_iter();
             let mut rx_iter = rxs.into_iter();
 
             // Source thread: the "software portion streaming data".
             let src_tx = tx_iter.next().expect("source channel");
+            let src_injector = injector.clone();
+            let src_progress = progress.clone();
+            let src_done = done.clone();
+            let src_cancel = cancel.clone();
             let src_handle = scope.spawn(move || {
                 ims_obs::set_thread_name("source");
                 let mut meter = StageMeter::new("source");
-                for i in 0..frames {
-                    let t = Instant::now();
-                    let packet = {
-                        let _sp = ims_obs::span_cat("source", "process");
-                        source.packet(i)
-                    };
-                    let gen = t.elapsed();
-                    meter.busy += gen;
-                    meter.record_latency(gen);
-                    if meter.timed_send(&src_tx, Message::Frame(packet)).is_err() {
-                        break; // downstream gone
+                let panic_msg = catch_unwind(AssertUnwindSafe(|| {
+                    for i in 0..frames {
+                        if src_cancel.load(Relaxed) {
+                            break; // watchdog fired: stop producing, drain
+                        }
+                        if let Some(inj) = &src_injector {
+                            if let Some(stall) = inj.stall_duration(i) {
+                                if !inj.stall(stall) {
+                                    break; // stall cancelled mid-sleep
+                                }
+                            }
+                            if inj.drop_frame(i) {
+                                src_progress[0].fetch_add(1, Relaxed);
+                                continue;
+                            }
+                        }
+                        let t = Instant::now();
+                        let packet = {
+                            let _sp = ims_obs::span_cat("source", "process");
+                            source.packet(i)
+                        };
+                        let gen = t.elapsed();
+                        meter.busy += gen;
+                        meter.record_latency(gen);
+                        if meter.timed_send(&src_tx, Message::Frame(packet)).is_err() {
+                            break; // downstream gone
+                        }
+                        src_progress[0].fetch_add(1, Relaxed);
                     }
-                }
-                meter
+                }))
+                .err()
+                .map(panic_message);
+                src_done[0].store(true, Relaxed);
+                (meter, panic_msg)
             });
 
-            // One thread per stage.
+            // One thread per stage, each iteration supervised: a panic
+            // poisons the stage instead of tearing down the scope.
             let mut handles = Vec::with_capacity(stages.len());
-            for mut stage in stages {
+            for (i, mut stage) in stages.into_iter().enumerate() {
                 let rx = rx_iter.next().expect("stage input channel");
                 let tx = tx_iter.next().expect("stage output channel");
+                let stage_progress = progress.clone();
+                let stage_done = done.clone();
                 handles.push(scope.spawn(move || {
                     let name = stage.name();
                     ims_obs::set_thread_name(name);
                     let queue_gauge =
                         ims_obs::metrics::gauge(&format!("pipeline.queue_depth.{name}"));
                     let mut meter = StageMeter::new(name);
+                    let mut poisoned: Option<String> = None;
                     loop {
                         let depth = rx.len() as u64;
                         meter.queue_high_water = meter.queue_high_water.max(depth);
@@ -129,15 +233,85 @@ impl Pipeline {
                         meter.blocked_recv += t.elapsed();
                         let Ok(msg) = msg else { break };
                         meter.items_in += 1;
-                        meter.timed_process(stage.as_mut(), msg, &tx);
-                        meter.refresh_cells(stage.as_ref());
+                        if poisoned.is_some() {
+                            // Drain-only mode: keep consuming so upstream
+                            // never blocks on a full channel, but process
+                            // nothing — the stage's state is suspect.
+                            stage_progress[i + 1].fetch_add(1, Relaxed);
+                            continue;
+                        }
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            meter.timed_process(stage.as_mut(), msg, &tx)
+                        }));
+                        match caught {
+                            Ok(()) => meter.refresh_cells(stage.as_ref()),
+                            Err(p) => poisoned = Some(panic_message(p)),
+                        }
+                        stage_progress[i + 1].fetch_add(1, Relaxed);
                     }
-                    meter.timed_flush(stage.as_mut(), &tx);
-                    meter.refresh_cells(stage.as_ref());
+                    if poisoned.is_none() {
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            meter.timed_flush(stage.as_mut(), &tx)
+                        }));
+                        match caught {
+                            Ok(()) => meter.refresh_cells(stage.as_ref()),
+                            Err(p) => poisoned = Some(panic_message(p)),
+                        }
+                    }
+                    stage_done[i + 1].store(true, Relaxed);
                     drop(tx);
-                    (stage, meter)
+                    (stage, meter, poisoned)
                 }));
             }
+
+            // Watchdog (only when configured): polls the progress counters
+            // and declares a stall when nothing advances for the timeout.
+            let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+            let watchdog = self.supervisor.stall_timeout.map(|timeout| {
+                let wd_progress = progress.clone();
+                let wd_done = done.clone();
+                let wd_cancel = cancel.clone();
+                let wd_injector = injector.clone();
+                let wd_names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+                scope.spawn(move || -> Option<PipelineError> {
+                    ims_obs::set_thread_name("watchdog");
+                    let tick = (timeout / 4).max(Duration::from_millis(5)).min(timeout);
+                    let mut last: Vec<u64> = wd_progress.iter().map(|p| p.load(Relaxed)).collect();
+                    let mut idle = Duration::ZERO;
+                    loop {
+                        match stop_rx.recv_timeout(tick) {
+                            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                            _ => return None, // run finished first
+                        }
+                        if wd_done.iter().all(|d| d.load(Relaxed)) {
+                            return None;
+                        }
+                        let now: Vec<u64> = wd_progress.iter().map(|p| p.load(Relaxed)).collect();
+                        if now != last {
+                            last = now;
+                            idle = Duration::ZERO;
+                            continue;
+                        }
+                        idle += tick;
+                        if idle < timeout {
+                            continue;
+                        }
+                        // Stalled: blame the upstream-most unfinished
+                        // stage, then break the stall so the graph drains.
+                        let blamed = wd_done.iter().position(|d| !d.load(Relaxed)).unwrap_or(0);
+                        wd_cancel.store(true, Relaxed);
+                        if let Some(inj) = &wd_injector {
+                            inj.cancel();
+                        }
+                        ims_obs::static_counter!("pipeline.watchdog_stalls").incr();
+                        ims_obs::instant("fault", "watchdog_stall");
+                        return Some(PipelineError::StageStalled {
+                            stage: wd_names[blamed].clone(),
+                            timeout_ms: timeout.as_millis() as u64,
+                        });
+                    }
+                })
+            });
 
             // This thread is the collector: drain the final channel while
             // the stages run (bounded channels would deadlock otherwise).
@@ -149,19 +323,47 @@ impl Pipeline {
                 }
             }
 
-            let src_meter = src_handle.join().expect("source thread panicked");
+            let mut errors: Vec<PipelineError> = Vec::new();
+            // The scope guarantees these joins return: every producer has
+            // dropped its sender by now (the output channel closed), and a
+            // panic inside a thread was converted to a value, not a
+            // propagated unwind.
+            let (src_meter, src_panic) = src_handle.join().expect("source thread panicked");
+            if let Some(message) = src_panic {
+                errors.push(PipelineError::StagePanicked {
+                    stage: "source".into(),
+                    message,
+                });
+            }
             let mut meters = vec![src_meter];
             let mut stages_back = Vec::with_capacity(handles.len());
             for h in handles {
-                let (stage, meter) = h.join().expect("stage thread panicked");
+                let (stage, meter, poisoned) = h.join().expect("stage thread panicked");
+                if let Some(message) = poisoned {
+                    errors.push(PipelineError::StagePanicked {
+                        stage: stage.name().into(),
+                        message,
+                    });
+                }
                 meters.push(meter);
                 stages_back.push(stage);
             }
-            (blocks, meters, stages_back)
+            drop(stop_tx); // wake the watchdog so it can exit
+            if let Some(wd) = watchdog {
+                if let Some(stall) = wd.join().expect("watchdog thread panicked") {
+                    errors.push(stall);
+                }
+            }
+            (blocks, meters, stages_back, errors)
         });
+
+        // Keep error order stable for reports: stalls are usually the
+        // root cause, panics the symptom — but both are fatal either way.
+        errors.sort_by_key(|e| matches!(e, PipelineError::StagePanicked { .. }));
 
         let mut report = PipelineReport::new("threaded");
         report.channel_depth = depth;
+        report.errors = errors;
         self.finish_report(&mut report, stages, meters, frames, blocks.len(), start);
         PipelineOutput { blocks, report }
     }
@@ -169,9 +371,15 @@ impl Pipeline {
     /// Runs the graph sequentially on the calling thread — the software
     /// reference executor. Bit-identical to [`run_threaded`](Self::run_threaded)
     /// because it drives the same stages over the same integer datapath.
+    /// Fault injection works here too (same deterministic decisions, since
+    /// they depend only on `(seed, site, index)`), but supervision does
+    /// not: the inline executor is the *reference*, so a stage panic
+    /// propagates and no watchdog runs.
     pub fn run_inline(mut self) -> PipelineOutput {
         assert!(!self.stages.is_empty(), "pipeline has no stages");
+        self.arm();
         let start = Instant::now();
+        let injector = self.injector.clone();
         let mut stages = std::mem::take(&mut self.stages);
         let mut meters: Vec<StageMeter> = std::iter::once(StageMeter::new("source"))
             .chain(stages.iter().map(|s| StageMeter::new(s.name())))
@@ -180,6 +388,16 @@ impl Pipeline {
         let mut blocks = Vec::new();
         let frames = self.source.frames();
         for i in 0..frames {
+            if let Some(inj) = &injector {
+                if let Some(stall) = inj.stall_duration(i) {
+                    if !inj.stall(stall) {
+                        break;
+                    }
+                }
+                if inj.drop_frame(i) {
+                    continue;
+                }
+            }
             let t = Instant::now();
             let packet = {
                 let _sp = ims_obs::span_cat("source", "process");
@@ -248,7 +466,36 @@ impl Pipeline {
         for stage in &mut stages {
             stage.finalize(report);
         }
+        report.faults = self
+            .injector
+            .as_ref()
+            .map(|inj| inj.counts())
+            .unwrap_or_default();
+        // The verdict. Fatal errors trump everything; otherwise any fault
+        // or loss downgrades a Completed run to Degraded.
+        report.outcome = if !report.errors.is_empty() {
+            RunOutcome::Failed
+        } else if report.faults.total() > 0
+            || report.frames_quarantined > 0
+            || report.deconv_fallbacks > 0
+        {
+            RunOutcome::Degraded
+        } else {
+            RunOutcome::Completed
+        };
         report.wall_seconds = start.elapsed().as_secs_f64();
+    }
+}
+
+/// Renders a caught panic payload as text (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 

@@ -29,16 +29,19 @@
 //! time, queue high-water marks, cycle totals, and the simulated link time
 //! — the numbers that say *where* the pipeline bottlenecks.
 
+mod error;
 mod executor;
 mod report;
 mod stages;
 
+pub use error::{CorruptPolicy, PipelineError, RunOutcome, SupervisorConfig};
 pub use executor::{Pipeline, PipelineOutput};
 pub use report::{PipelineReport, StageReport};
 pub use stages::{
     AccumulateStage, BinnerStage, DeconvBackend, DeconvolveStage, FrameSource, LinkStage,
 };
 
+use crate::fault::FaultInjector;
 use ims_fpga::dma::FramePacket;
 
 /// One unit of data flowing between stages.
@@ -110,4 +113,10 @@ pub trait Stage: Send {
     fn output_depth(&self, default: usize) -> usize {
         default
     }
+
+    /// Arms this stage's fault-injection and degradation hooks before a
+    /// run starts. Called once per stage by the executor when the
+    /// pipeline was built with [`Pipeline::with_faults`]; the default is
+    /// a no-op, so fault-oblivious stages need no changes.
+    fn arm_faults(&mut self, _injector: &FaultInjector, _supervisor: &SupervisorConfig) {}
 }

@@ -6,6 +6,8 @@
 //! the high-water mark of its input queue. Both are plain serde structs so
 //! the `htims pipeline` subcommand can emit them as JSON.
 
+use super::error::{PipelineError, RunOutcome};
+use crate::fault::FaultCounts;
 use ims_obs::HistogramSummary;
 use serde::{Deserialize, Serialize};
 
@@ -93,6 +95,28 @@ pub struct PipelineReport {
     /// Millions of cells deconvolved per second of busy time.
     #[serde(default)]
     pub deconv_mcells_per_second: f64,
+    /// The run verdict: `Failed` when any [`errors`](Self::errors) were
+    /// recorded, `Degraded` when faults fired or frames were lost but the
+    /// run finished, `Completed` otherwise. Legacy reports (serialized
+    /// before supervision existed) read back as `Completed`.
+    #[serde(default)]
+    pub outcome: RunOutcome,
+    /// Structured fatal errors (stage panics, watchdog stalls). Empty on
+    /// clean and degraded runs.
+    #[serde(default)]
+    pub errors: Vec<PipelineError>,
+    /// Counts of deterministically injected faults (all zero when the run
+    /// had no injector).
+    #[serde(default)]
+    pub faults: FaultCounts,
+    /// Frames whose integrity checksum failed and were quarantined under
+    /// `CorruptPolicy::Drop`.
+    #[serde(default)]
+    pub frames_quarantined: u64,
+    /// Blocks the deconvolve stage recovered by falling back to the
+    /// software panel engine after a hardware-backend failure.
+    #[serde(default)]
+    pub deconv_fallbacks: u64,
     /// Per-stage breakdown, in graph order (source first).
     pub stages: Vec<StageReport>,
 }
@@ -116,6 +140,11 @@ impl PipelineReport {
             saturation_events: 0,
             deconv_blocks_per_second: 0.0,
             deconv_mcells_per_second: 0.0,
+            outcome: RunOutcome::Completed,
+            errors: Vec::new(),
+            faults: FaultCounts::default(),
+            frames_quarantined: 0,
+            deconv_fallbacks: 0,
             stages: Vec::new(),
         }
     }
@@ -187,6 +216,40 @@ mod tests {
         assert_eq!(s.mcells_per_second, 0.0);
         assert_eq!(s.queue_high_water, Some(1));
         assert!(s.latency_ns.is_none());
+    }
+
+    #[test]
+    fn legacy_reports_default_resilience_fields() {
+        // A pre-supervision report (no outcome/errors/faults keys) parses
+        // with a Completed verdict and zero counts.
+        let json = r#"{
+            "executor": "threaded", "backend": "fpga-fwht", "frames": 4,
+            "blocks": 1, "frames_per_block": 4, "channel_depth": 4,
+            "wall_seconds": 0.1, "simulated_link_seconds": 0.0,
+            "capture_cycles": 1, "binner_cycles": 0, "deconv_cycles": 1,
+            "saturation_events": 0, "stages": []
+        }"#;
+        let r: PipelineReport = serde_json::from_str(json).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert!(r.errors.is_empty());
+        assert_eq!(r.faults.total(), 0);
+        assert_eq!(r.frames_quarantined, 0);
+        assert_eq!(r.deconv_fallbacks, 0);
+        // A clean report serializes an empty errors array and keeps the
+        // verdict, and errors survive a round trip when present.
+        let clean = serde_json::to_string(&PipelineReport::new("inline")).unwrap();
+        assert!(clean.contains("\"errors\":[]"), "{clean}");
+        assert!(clean.contains("\"outcome\""), "{clean}");
+        let mut failed = PipelineReport::new("threaded");
+        failed.outcome = RunOutcome::Failed;
+        failed.errors.push(PipelineError::StageStalled {
+            stage: "source".into(),
+            timeout_ms: 100,
+        });
+        let json = serde_json::to_string(&failed).unwrap();
+        let back: PipelineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.outcome, RunOutcome::Failed);
+        assert_eq!(back.errors, failed.errors);
     }
 
     #[test]

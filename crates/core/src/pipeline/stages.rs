@@ -1,7 +1,9 @@
 //! The concrete stages of the hybrid datapath.
 
+use super::error::{CorruptPolicy, SupervisorConfig};
 use super::{Block, DeconvolvedBlock, Message, PipelineReport, Stage};
 use crate::deconv_batch::DEFAULT_PANEL_WIDTH;
+use crate::fault::FaultInjector;
 use crate::hybrid::FrameGenerator;
 use ims_fpga::deconv::{DeconvConfig, DeconvCore};
 use ims_fpga::deconv_naive::{NaiveConfig, NaiveMacCore};
@@ -17,6 +19,10 @@ pub struct FrameSource {
     gen: FrameGenerator,
     first_frame: u64,
     frames: u64,
+    /// Stamp packets with an FNV-1a payload checksum so downstream stages
+    /// can detect in-flight corruption. Off on the default hot path (no
+    /// hash is computed); the executor turns it on when faults are armed.
+    checked: bool,
 }
 
 impl FrameSource {
@@ -26,6 +32,7 @@ impl FrameSource {
             gen,
             first_frame,
             frames,
+            checked: false,
         }
     }
 
@@ -34,10 +41,21 @@ impl FrameSource {
         self.frames
     }
 
+    /// Turns payload checksumming on (the executor arms this together
+    /// with the fault injector).
+    pub(super) fn set_checked(&mut self, on: bool) {
+        self.checked = on;
+    }
+
     /// The i-th packet (`i < frames`).
     pub(super) fn packet(&self, i: u64) -> FramePacket {
         let frame_no = self.first_frame + i;
-        FramePacket::from_words(frame_no, &self.gen.frame(frame_no))
+        let words = self.gen.frame(frame_no);
+        if self.checked {
+            FramePacket::from_words_checked(frame_no, &words)
+        } else {
+            FramePacket::from_words(frame_no, &words)
+        }
     }
 }
 
@@ -48,12 +66,20 @@ impl FrameSource {
 pub struct LinkStage {
     link: DmaLink,
     seconds: f64,
+    /// When armed, the DMA bit-flip fault site: payload bits flip *after*
+    /// the source's checksum was taken, so downstream integrity checks
+    /// see real corruption.
+    injector: Option<FaultInjector>,
 }
 
 impl LinkStage {
     /// Wraps a link model.
     pub fn new(link: DmaLink) -> Self {
-        Self { link, seconds: 0.0 }
+        Self {
+            link,
+            seconds: 0.0,
+            injector: None,
+        }
     }
 }
 
@@ -62,15 +88,50 @@ impl Stage for LinkStage {
         "link"
     }
 
-    fn process(&mut self, msg: Message, emit: &mut dyn FnMut(Message)) {
-        if let Message::Frame(p) = &msg {
+    fn process(&mut self, mut msg: Message, emit: &mut dyn FnMut(Message)) {
+        if let Message::Frame(p) = &mut msg {
             self.seconds += self.link.transfer_time_s(p.len_bytes());
+            if let Some(inj) = &self.injector {
+                inj.corrupt_packet(p);
+            }
         }
         emit(msg);
     }
 
     fn finalize(&mut self, report: &mut PipelineReport) {
         report.simulated_link_seconds += self.seconds;
+    }
+
+    fn arm_faults(&mut self, injector: &FaultInjector, _supervisor: &SupervisorConfig) {
+        self.injector = Some(injector.clone());
+    }
+}
+
+/// The integrity gate run by the first frame-*consuming* stage (the binner
+/// when present, else the accumulator): `true` admits the frame (it passed
+/// its checksum, or carried none). A corrupted frame is quarantined —
+/// counted, traced, dropped — under [`CorruptPolicy::Drop`], or panics the
+/// stage (for the supervisor to catch) under [`CorruptPolicy::Fail`].
+fn admit_frame(
+    p: &FramePacket,
+    stage: &'static str,
+    policy: CorruptPolicy,
+    quarantined: &mut u64,
+) -> bool {
+    if p.verify() {
+        return true;
+    }
+    match policy {
+        CorruptPolicy::Drop => {
+            *quarantined += 1;
+            ims_obs::static_counter!("pipeline.frames_quarantined").incr();
+            ims_obs::instant("fault", "quarantine");
+            false
+        }
+        CorruptPolicy::Fail => panic!(
+            "frame {} failed its integrity check at stage `{stage}`",
+            p.seq_no
+        ),
     }
 }
 
@@ -82,6 +143,8 @@ pub struct BinnerStage {
     binner: MzBinner,
     drift_bins: usize,
     scratch: Vec<u32>,
+    corrupt_policy: CorruptPolicy,
+    quarantined: u64,
 }
 
 impl BinnerStage {
@@ -91,6 +154,8 @@ impl BinnerStage {
             binner,
             drift_bins,
             scratch: Vec::new(),
+            corrupt_policy: CorruptPolicy::Drop,
+            quarantined: 0,
         }
     }
 }
@@ -103,9 +168,14 @@ impl Stage for BinnerStage {
     fn process(&mut self, msg: Message, emit: &mut dyn FnMut(Message)) {
         match msg {
             Message::Frame(p) => {
+                if !admit_frame(&p, "binner", self.corrupt_policy, &mut self.quarantined) {
+                    return;
+                }
                 // Stream words straight off the wire packet into the reused
                 // coarse scratch row — no per-frame allocation on the fine
-                // side.
+                // side. The re-packed coarse frame carries no checksum: the
+                // binner is the integrity boundary, everything downstream
+                // of it is process-local memory.
                 self.binner
                     .bin_frame_into(p.words(), self.drift_bins, &mut self.scratch);
                 emit(Message::Frame(FramePacket::from_words(
@@ -119,6 +189,11 @@ impl Stage for BinnerStage {
 
     fn finalize(&mut self, report: &mut PipelineReport) {
         report.binner_cycles += self.binner.cycles();
+        report.frames_quarantined += self.quarantined;
+    }
+
+    fn arm_faults(&mut self, _injector: &FaultInjector, supervisor: &SupervisorConfig) {
+        self.corrupt_policy = supervisor.corrupt_policy;
     }
 }
 
@@ -132,6 +207,8 @@ pub struct AccumulateStage {
     next_index: u64,
     saturation_events: u64,
     flush_remainder: bool,
+    corrupt_policy: CorruptPolicy,
+    quarantined: u64,
 }
 
 impl AccumulateStage {
@@ -150,6 +227,8 @@ impl AccumulateStage {
             next_index: 0,
             saturation_events: 0,
             flush_remainder,
+            corrupt_policy: CorruptPolicy::Drop,
+            quarantined: 0,
         }
     }
 
@@ -174,6 +253,9 @@ impl Stage for AccumulateStage {
     fn process(&mut self, msg: Message, emit: &mut dyn FnMut(Message)) {
         match msg {
             Message::Frame(p) => {
+                if !admit_frame(&p, "accumulate", self.corrupt_policy, &mut self.quarantined) {
+                    return;
+                }
                 self.acc
                     .capture_frame_iter(p.words())
                     .expect("frame shape mismatch in pipeline");
@@ -196,6 +278,11 @@ impl Stage for AccumulateStage {
         report.capture_cycles += self.acc.cycles();
         report.saturation_events += self.saturation_events + self.acc.saturation_events();
         report.frames_per_block = self.frames_per_block;
+        report.frames_quarantined += self.quarantined;
+    }
+
+    fn arm_faults(&mut self, _injector: &FaultInjector, supervisor: &SupervisorConfig) {
+        self.corrupt_policy = supervisor.corrupt_policy;
     }
 
     // Blocks hand off through a depth-2 "ping-pong" channel: the
@@ -288,6 +375,21 @@ pub struct DeconvolveStage {
     /// Model cycles tallied for the software backend (whose panel kernel
     /// does not count cycles itself).
     software_cycles: u64,
+    /// When armed, the per-block hardware-backend failure site.
+    injector: Option<FaultInjector>,
+    /// The software panel engine used to recover blocks a hardware-model
+    /// backend fails on (bit-identical output — see
+    /// [`with_fallback`](Self::with_fallback)).
+    fallback_core: Option<DeconvCore>,
+    /// Whether the supervisor allows falling back at all.
+    fallback_enabled: bool,
+    /// Consecutive failures before the switch becomes permanent.
+    max_consecutive_failures: u32,
+    consecutive_failures: u32,
+    /// Permanently on the software engine for the rest of the run.
+    fallen_back: bool,
+    /// Blocks recovered via the software engine.
+    fallbacks: u64,
 }
 
 impl DeconvolveStage {
@@ -299,6 +401,13 @@ impl DeconvolveStage {
             panel_width: DEFAULT_PANEL_WIDTH,
             cells: 0,
             software_cycles: 0,
+            injector: None,
+            fallback_core: None,
+            fallback_enabled: true,
+            max_consecutive_failures: 3,
+            consecutive_failures: 0,
+            fallen_back: false,
+            fallbacks: 0,
         }
     }
 
@@ -308,6 +417,56 @@ impl DeconvolveStage {
     pub fn with_panel_width(mut self, width: usize) -> Self {
         self.panel_width = width.max(1);
         self
+    }
+
+    /// Attaches a software panel engine as the degradation target for
+    /// hardware-backend failures. All engines compute the identical
+    /// integer result, so a recovered block is bit-identical to what the
+    /// hardware path would have produced — only cycle accounting differs.
+    /// Without a fallback (or with `deconv_fallback` disabled in the
+    /// supervisor config), a backend failure panics the stage, which the
+    /// supervised executor converts into a structured error.
+    pub fn with_fallback(mut self, core: DeconvCore) -> Self {
+        self.fallback_core = Some(core);
+        self
+    }
+
+    /// Should this block be recovered on the software engine? Tracks the
+    /// consecutive-failure window and the permanent switch; panics when a
+    /// hardware failure hits and no fallback is available.
+    fn route_to_fallback(&mut self, block_index: u64) -> bool {
+        let hardware = matches!(
+            self.backend,
+            DeconvBackend::Fpga(_) | DeconvBackend::Naive(_)
+        );
+        if !hardware {
+            return false;
+        }
+        if self.fallen_back {
+            return true;
+        }
+        let failed = self
+            .injector
+            .as_ref()
+            .is_some_and(|inj| inj.deconv_fails(block_index));
+        if !failed {
+            self.consecutive_failures = 0;
+            return false;
+        }
+        if !self.fallback_enabled || self.fallback_core.is_none() {
+            panic!(
+                "deconvolve backend `{}` failed on block {block_index} and no fallback is available",
+                self.backend.name()
+            );
+        }
+        self.consecutive_failures += 1;
+        self.fallbacks += 1;
+        ims_obs::static_counter!("fault.recovered.deconv_fallback").incr();
+        ims_obs::instant("fault", "deconv_fallback");
+        if self.consecutive_failures >= self.max_consecutive_failures {
+            self.fallen_back = true;
+        }
+        true
     }
 }
 
@@ -320,21 +479,33 @@ impl Stage for DeconvolveStage {
         match msg {
             Message::Block(b) => {
                 self.cells += b.data.len() as u64;
-                let data = match &mut self.backend {
-                    DeconvBackend::Fpga(core) => core.deconvolve_block(&b.data, self.mz_bins),
-                    DeconvBackend::Naive(core) => core.deconvolve_block(&b.data, self.mz_bins),
-                    DeconvBackend::Software { core, threads } => {
-                        // Keep the FPGA cycle model consistent even on the
-                        // software path, so E3-style comparisons can read
-                        // both wall time and modelled cycles.
-                        self.software_cycles += core.cycles_per_block(self.mz_bins);
-                        software_deconvolve_block(
-                            core,
-                            &b.data,
-                            self.mz_bins,
-                            *threads,
-                            self.panel_width,
-                        )
+                let data = if self.route_to_fallback(b.index) {
+                    // Recovery path: the hardware-model backend failed, so
+                    // this block runs on the software panel engine instead
+                    // — same integer arithmetic, bit-identical output.
+                    let core = self
+                        .fallback_core
+                        .as_ref()
+                        .expect("route_to_fallback requires a fallback core");
+                    self.software_cycles += core.cycles_per_block(self.mz_bins);
+                    software_deconvolve_block(core, &b.data, self.mz_bins, 0, self.panel_width)
+                } else {
+                    match &mut self.backend {
+                        DeconvBackend::Fpga(core) => core.deconvolve_block(&b.data, self.mz_bins),
+                        DeconvBackend::Naive(core) => core.deconvolve_block(&b.data, self.mz_bins),
+                        DeconvBackend::Software { core, threads } => {
+                            // Keep the FPGA cycle model consistent even on
+                            // the software path, so E3-style comparisons can
+                            // read both wall time and modelled cycles.
+                            self.software_cycles += core.cycles_per_block(self.mz_bins);
+                            software_deconvolve_block(
+                                core,
+                                &b.data,
+                                self.mz_bins,
+                                *threads,
+                                self.panel_width,
+                            )
+                        }
                     }
                 };
                 emit(Message::Deconvolved(DeconvolvedBlock {
@@ -354,10 +525,24 @@ impl Stage for DeconvolveStage {
             DeconvBackend::Naive(core) => core.cycles(),
             DeconvBackend::Software { .. } => self.software_cycles,
         };
+        // Fallback blocks ran on the software engine; their modelled
+        // cycles were tallied into software_cycles above.
+        if self.fallbacks > 0 {
+            if !matches!(self.backend, DeconvBackend::Software { .. }) {
+                report.deconv_cycles += self.software_cycles;
+            }
+            report.deconv_fallbacks += self.fallbacks;
+        }
     }
 
     fn cells_processed(&self) -> u64 {
         self.cells
+    }
+
+    fn arm_faults(&mut self, injector: &FaultInjector, supervisor: &SupervisorConfig) {
+        self.injector = Some(injector.clone());
+        self.fallback_enabled = supervisor.deconv_fallback;
+        self.max_consecutive_failures = supervisor.max_consecutive_deconv_failures.max(1);
     }
 }
 

@@ -64,6 +64,20 @@ impl DmaLink {
     }
 }
 
+/// 64-bit FNV-1a over a byte slice — the integrity checksum carried by
+/// checked [`FramePacket`]s. Stable across platforms (byte-order free:
+/// payloads are already canonical little-endian wire bytes).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// One frame of raw instrument data in flight between pipeline stages.
 #[derive(Debug, Clone)]
 pub struct FramePacket {
@@ -71,19 +85,61 @@ pub struct FramePacket {
     pub seq_no: u64,
     /// Raw little-endian `u32` ADC words, drift-major.
     pub payload: Bytes,
+    /// FNV-1a checksum of `payload` taken at packing time, when the
+    /// producer runs with integrity checking on (`None` on the default
+    /// fast path, where no checksum is computed or verified).
+    pub checksum: Option<u64>,
 }
 
 impl FramePacket {
-    /// Packs ADC words into a packet.
+    /// Packs ADC words into a packet (no integrity checksum — the default
+    /// hot path).
     pub fn from_words(seq_no: u64, words: &[u32]) -> Self {
+        Self::pack(seq_no, words, false)
+    }
+
+    /// Packs ADC words into a packet carrying an FNV-1a payload checksum,
+    /// so downstream stages can detect in-flight corruption (see
+    /// [`verify`](Self::verify)).
+    pub fn from_words_checked(seq_no: u64, words: &[u32]) -> Self {
+        Self::pack(seq_no, words, true)
+    }
+
+    fn pack(seq_no: u64, words: &[u32], checked: bool) -> Self {
         let mut buf = Vec::with_capacity(words.len() * 4);
         for w in words {
             buf.extend_from_slice(&w.to_le_bytes());
         }
+        let checksum = checked.then(|| fnv1a64(&buf));
         Self {
             seq_no,
             payload: Bytes::from(buf),
+            checksum,
         }
+    }
+
+    /// Integrity check: `true` when the packet carries no checksum
+    /// (unchecked fast path) or the payload still matches it; `false`
+    /// means the payload was corrupted after packing.
+    pub fn verify(&self) -> bool {
+        match self.checksum {
+            Some(sum) => fnv1a64(&self.payload) == sum,
+            None => true,
+        }
+    }
+
+    /// Flips one payload bit *without* updating the checksum — the DMA
+    /// bit-flip fault-injection hook (`bit` counts from the packet start;
+    /// out-of-range indices wrap). Copies the payload, so sibling clones
+    /// sharing the buffer are unaffected.
+    pub fn flip_bit(&mut self, bit: usize) {
+        if self.payload.is_empty() {
+            return;
+        }
+        let bit = bit % (self.payload.len() * 8);
+        let mut buf = self.payload.to_vec();
+        buf[bit / 8] ^= 1 << (bit % 8);
+        self.payload = Bytes::from(buf);
     }
 
     /// Unpacks the ADC words into a fresh `Vec`.
@@ -175,6 +231,32 @@ mod tests {
         assert_eq!(p.seq_no, 7);
         assert_eq!(p.len_bytes(), 400);
         assert_eq!(p.to_words(), words);
+    }
+
+    #[test]
+    fn checked_packet_detects_single_bit_corruption() {
+        let words: Vec<u32> = (0..64).map(|i| i * 31).collect();
+        let mut p = FramePacket::from_words_checked(3, &words);
+        assert!(p.checksum.is_some());
+        assert!(p.verify());
+        p.flip_bit(97);
+        assert!(!p.verify(), "bit flip must break the checksum");
+        p.flip_bit(97);
+        assert!(p.verify(), "flipping back must restore it");
+        // Unchecked packets always verify (nothing to check against).
+        let mut q = FramePacket::from_words(3, &words);
+        assert!(q.checksum.is_none());
+        q.flip_bit(5);
+        assert!(q.verify());
+    }
+
+    #[test]
+    fn fnv1a64_is_pinned() {
+        // The checksum is part of the wire contract: pin the canonical
+        // FNV-1a test vectors so it never silently changes.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

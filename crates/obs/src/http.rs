@@ -74,22 +74,66 @@ impl ObsServer {
     }
 }
 
+/// Total bytes of request line + headers a client may send. Scrape
+/// requests are a few hundred bytes; anything near this cap is garbage
+/// or abuse, and an unbounded `read_line` would buffer it all.
+const MAX_REQUEST_BYTES: u64 = 8 * 1024;
+
 /// Reads one request line, routes it, writes one response.
-fn serve_one(stream: TcpStream, provenance: &Provenance, started: Instant) -> std::io::Result<()> {
+fn serve_one(
+    mut stream: TcpStream,
+    provenance: &Provenance,
+    started: Instant,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let mut reader = BufReader::new(stream);
+    let mut reader = std::io::Read::take(BufReader::new(stream.try_clone()?), MAX_REQUEST_BYTES);
     let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain headers so well-behaved clients don't see a reset mid-send.
+    // Malformed input is a client error, not a server error: non-UTF-8
+    // bytes (read_line fails), an empty connection, or a request line
+    // truncated by the size cap all get a 400, never an unbounded buffer.
+    let malformed = match reader.read_line(&mut request_line) {
+        Err(_) | Ok(0) => true,
+        Ok(_) => !request_line.ends_with('\n'),
+    };
+    // Drain remaining headers (still under the cap) so well-behaved
+    // clients don't see a reset mid-send; give up on garbage or EOF.
     let mut header = String::new();
-    while reader.read_line(&mut header)? > 2 {
+    loop {
         header.clear();
+        match reader.read_line(&mut header) {
+            Err(_) | Ok(0) => break,
+            Ok(_) if header.trim_end().is_empty() || !header.ends_with('\n') => break,
+            Ok(_) => {}
+        }
     }
-    let mut stream = reader.into_inner();
 
     let mut parts = request_line.split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (method, path, version) = (
+        parts.next().unwrap_or(""),
+        parts.next().unwrap_or(""),
+        parts.next().unwrap_or(""),
+    );
+    if malformed || method.is_empty() || path.is_empty() || !version.starts_with("HTTP/") {
+        let r = respond(
+            &mut stream,
+            400,
+            "text/plain; charset=utf-8",
+            "bad request\n",
+        );
+        // Discard whatever else the client streamed (bounded, fixed
+        // scratch) so it reads the 400 instead of a connection reset.
+        let mut inner = reader.into_inner();
+        let mut scratch = [0u8; 4096];
+        let mut discarded: u64 = 0;
+        while discarded < (1 << 20) {
+            match std::io::Read::read(&mut inner, &mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => discarded += n as u64,
+            }
+        }
+        return r;
+    }
     if method != "GET" {
         return respond(
             &mut stream,
@@ -130,6 +174,7 @@ fn respond(
 ) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         _ => "Error",
@@ -189,6 +234,48 @@ mod tests {
 
         let (status, _, _) = get(addr, "/nope");
         assert_eq!(status, 404);
+
+        server.stop();
+    }
+
+    /// Sends raw bytes and returns the response status (0 when the server
+    /// closed without a status line).
+    fn send_raw(addr: SocketAddr, bytes: &[u8]) -> u16 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(bytes);
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut raw = Vec::new();
+        let _ = s.read_to_end(&mut raw);
+        String::from_utf8_lossy(&raw)
+            .split_whitespace()
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_get_400_not_a_buffer() {
+        let _lock = crate::global_test_lock();
+        metrics::reset();
+        let server = ObsServer::start("127.0.0.1:0", Provenance::collect(1, 32)).unwrap();
+        let addr = server.local_addr();
+
+        // Non-UTF-8 garbage in the request line.
+        assert_eq!(send_raw(addr, b"\xff\xfe\x00garbage\r\n\r\n"), 400);
+        // A structurally invalid request line (no path, no version).
+        assert_eq!(send_raw(addr, b"NONSENSE\r\n\r\n"), 400);
+        // Missing HTTP version.
+        assert_eq!(send_raw(addr, b"GET /metrics\r\n\r\n"), 400);
+        // A request line far over the size cap: rejected, not buffered.
+        let mut huge = b"GET /".to_vec();
+        huge.extend(std::iter::repeat_n(b'a', 64 * 1024));
+        huge.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert_eq!(send_raw(addr, &huge), 400);
+        // Wrong method still gets its own status.
+        assert_eq!(send_raw(addr, b"POST /metrics HTTP/1.1\r\n\r\n"), 405);
+        // And the server still serves a well-formed request afterwards.
+        let (status, _, body) = get(addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
 
         server.stop();
     }

@@ -99,6 +99,11 @@ pub struct LedgerRecord {
     /// Deconvolution throughput, millions of cells per second (0 when not
     /// measured).
     pub mcells_per_second: f64,
+    /// Run verdict (`completed` | `degraded` | `failed`, or `survived`
+    /// for a chaos soak). `None` on records written before supervision
+    /// existed, and omitted from the JSON line.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub outcome: Option<String>,
 }
 
 impl LedgerRecord {
@@ -118,6 +123,7 @@ impl LedgerRecord {
             blocks: 0,
             stage_latency: Vec::new(),
             mcells_per_second: 0.0,
+            outcome: None,
         }
     }
 }
@@ -131,6 +137,30 @@ pub fn append(path: impl AsRef<Path>, record: &LedgerRecord) -> std::io::Result<
     let mut line = serde_json::to_string(record).expect("ledger serialization");
     line.push('\n');
     file.write_all(line.as_bytes())
+}
+
+/// [`append`], degraded to best-effort: an unwritable ledger (read-only
+/// working directory, full disk) must never fail the run it records.
+/// The failure is still visible — the `obs.ledger.append_failed` counter
+/// increments every time, and the *first* failure per process prints one
+/// warning to stderr. Returns whether the line was written.
+pub fn append_best_effort(path: impl AsRef<Path>, record: &LedgerRecord) -> bool {
+    let path = path.as_ref();
+    match append(path, record) {
+        Ok(()) => true,
+        Err(e) => {
+            crate::static_counter!("obs.ledger.append_failed").incr();
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: cannot append run ledger {} ({e}); further failures \
+                     will only be counted (obs.ledger.append_failed)",
+                    path.display()
+                );
+            });
+            false
+        }
+    }
 }
 
 /// Reads every record of a ledger file (skipping blank lines); errors on
@@ -243,6 +273,48 @@ mod tests {
         assert_eq!(back[0], rec);
         assert_eq!(back[1].tool, "bench");
         assert_eq!(back[0].fingerprint, back[1].fingerprint);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_lines_without_outcome_parse_and_clean_lines_omit_it() {
+        let prov = Provenance::collect(1, 32);
+        let rec = LedgerRecord::new("pipeline", &prov, "f".into());
+        let line = serde_json::to_string(&rec).unwrap();
+        assert!(!line.contains("outcome"), "{line}");
+        let back: LedgerRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.outcome, None);
+        let mut with = rec.clone();
+        with.outcome = Some("degraded".into());
+        let line = serde_json::to_string(&with).unwrap();
+        assert!(line.contains("\"outcome\":\"degraded\""), "{line}");
+    }
+
+    #[test]
+    fn best_effort_append_counts_failures_instead_of_erroring() {
+        let _lock = crate::global_test_lock();
+        crate::metrics::reset();
+        let prov = Provenance::collect(1, 32);
+        let rec = LedgerRecord::new("chaos", &prov, "f".into());
+        // A directory is not appendable: the plain append errors, the
+        // best-effort variant degrades to a counter.
+        let dir = std::env::temp_dir();
+        assert!(append(&dir, &rec).is_err());
+        assert!(!append_best_effort(&dir, &rec));
+        assert!(!append_best_effort(&dir, &rec));
+        let failed = crate::metrics::snapshot()
+            .counters
+            .iter()
+            .find(|c| c.name == "obs.ledger.append_failed")
+            .map(|c| c.value)
+            .unwrap_or(0);
+        assert_eq!(failed, 2);
+        // And a writable path still works and returns true.
+        let path =
+            std::env::temp_dir().join(format!("htims_ledger_be_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        assert!(append_best_effort(&path, &rec));
+        assert_eq!(read(&path).unwrap().len(), 1);
         std::fs::remove_file(&path).unwrap();
     }
 }

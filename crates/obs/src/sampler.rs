@@ -126,8 +126,21 @@ impl Sampler {
                     if let Some(file) = sink.as_mut() {
                         let mut line = serde_json::to_string(&point).expect("sample serialization");
                         line.push('\n');
-                        if file.write_all(line.as_bytes()).is_err() {
-                            sink = None; // best-effort: stop writing, keep sampling
+                        if let Err(e) = file.write_all(line.as_bytes()) {
+                            // Best-effort: stop writing, keep sampling — but
+                            // not silently. The drop is counted in the
+                            // registry (so scrapes and reports show it) and
+                            // warned once per process on stderr.
+                            crate::static_counter!("obs.sampler.sink_dropped").incr();
+                            static WARNED: std::sync::Once = std::sync::Once::new();
+                            WARNED.call_once(|| {
+                                eprintln!(
+                                    "warning: sampler JSONL sink failed ({e}); dropping the \
+                                     sink and sampling to memory only \
+                                     (obs.sampler.sink_dropped)"
+                                );
+                            });
+                            sink = None;
                         }
                     }
                     let mut ring = ring_thread.lock().expect("sampler ring poisoned");
@@ -256,5 +269,30 @@ mod tests {
         .unwrap();
         let samples = sampler.stop();
         assert_eq!(samples.len(), 1, "stop must take a final sample");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn failed_sink_write_is_counted_not_silent() {
+        let _lock = crate::global_test_lock();
+        metrics::reset();
+        // /dev/full accepts the open but fails every write with ENOSPC —
+        // exactly the mid-run sink failure we degrade from.
+        let sampler = Sampler::start(SamplerConfig {
+            interval: Duration::from_millis(5),
+            ring_capacity: 8,
+            jsonl_path: Some(PathBuf::from("/dev/full")),
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let samples = sampler.stop();
+        assert!(!samples.is_empty(), "sampling must continue without a sink");
+        let dropped = metrics::snapshot()
+            .counters
+            .iter()
+            .find(|c| c.name == "obs.sampler.sink_dropped")
+            .map(|c| c.value)
+            .unwrap_or(0);
+        assert_eq!(dropped, 1, "the sink is dropped exactly once");
     }
 }

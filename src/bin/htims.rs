@@ -35,6 +35,7 @@ fn main() {
         "pipeline" => pipeline(&args),
         "trace" => trace(&args),
         "serve" => serve(&args),
+        "chaos" => chaos(&args),
         "bench" => bench(&args),
         _ => help(),
     }
@@ -46,10 +47,13 @@ fn help() {
          htims sequence --degree <n> [--factor <m>]\n  htims feasibility --degree <n> --mz <bins>\n  \
          htims pipeline [--degree <n>] [--mz <bins>] [--frames <per-block>] [--blocks <n>]\n    \
          [--depth <channel depth>] [--backend fpga|naive|software] [--threads <n>]\n    \
-         [--coarse <bins>] [--executor threaded|inline] [--seed <n>] [--out <file.json>]\n  \
+         [--coarse <bins>] [--executor threaded|inline] [--seed <n>] [--out <file.json>]\n    \
+         [--faults <dma.bitflip=1e-5,frame.drop=1e-4,...>] [--stall-timeout <250ms>]\n  \
          htims trace [pipeline flags] [--out <trace.json>] [--metrics <metrics.json>]\n  \
          htims serve [pipeline flags] [--duration <2s|500ms>] [--port <n>]\n    \
          [--sample-ms <n>] [--series <file.jsonl>]\n  \
+         htims chaos [pipeline flags] [--seeds <a,b,...>] [--matrix <spec;spec;...>]\n    \
+         [--out <survival.json>] [--strict]\n  \
          htims bench deconv [--quick] [--json] [--out <file.json>]\n  \
          htims bench compare <baseline.json> <candidate.json> [--max-regress-pct <n>]\n    \
          [--out <verdict.json>]\n\n\
@@ -207,6 +211,16 @@ fn parse_graph(mut spec: GraphSpec, args: &[String]) -> GraphSpec {
     if let Some(v) = flag(args, "--seed").and_then(|v| v.parse().ok()) {
         spec.seed = v;
     }
+    if let Some(v) = flag(args, "--faults") {
+        spec.faults = (!v.is_empty()).then_some(v);
+    }
+    if let Some(v) = flag(args, "--stall-timeout") {
+        let d = parse_duration(&v).unwrap_or_else(|| {
+            eprintln!("bad --stall-timeout '{v}' (use e.g. 250ms or 2s)");
+            std::process::exit(2);
+        });
+        spec.stall_timeout_ms = Some(d.as_millis() as u64);
+    }
     spec
 }
 
@@ -227,15 +241,15 @@ fn ledger_path(args: &[String]) -> Option<String> {
     Some(flag(args, "--ledger").unwrap_or_else(|| "RUNS.jsonl".into()))
 }
 
-/// Appends `record` to the invocation's ledger (best-effort: a read-only
-/// working directory degrades to a warning, not a failed run).
+/// Appends `record` to the invocation's ledger. Best-effort: a read-only
+/// working directory degrades to one warning plus the
+/// `obs.ledger.append_failed` counter, never a failed run.
 fn append_ledger(args: &[String], record: &ims_obs::LedgerRecord) {
     let Some(path) = ledger_path(args) else {
         return;
     };
-    match ims_obs::ledger::append(&path, record) {
-        Ok(()) => eprintln!("ledger line appended to {path}"),
-        Err(e) => eprintln!("warning: cannot append ledger {path}: {e}"),
+    if ims_obs::ledger::append_best_effort(&path, record) {
+        eprintln!("ledger line appended to {path}");
     }
 }
 
@@ -267,6 +281,7 @@ fn graph_ledger_record(
         })
         .collect();
     rec.mcells_per_second = report.deconv_mcells_per_second;
+    rec.outcome = Some(report.outcome.as_str().to_string());
     rec
 }
 
@@ -454,6 +469,90 @@ fn serve(args: &[String]) {
     rec.frames = frames;
     rec.blocks = blocks;
     append_ledger(args, &rec);
+}
+
+/// `htims chaos`: soaks the hybrid stage graph under a deterministic
+/// fault matrix and emits a schema-versioned survival report.
+///
+/// Every `(fault spec, seed)` cell runs **twice**; because injection is a
+/// pure function of `(seed, spec)`, the runs must agree bit for bit —
+/// divergence is reported as `reproducible: false`. `--matrix` overrides
+/// the default fault matrix with `;`-separated specs (an empty entry is
+/// the clean control), `--seeds` crosses the matrix with several seeds,
+/// and `--strict` exits nonzero unless every cell reproduced and none
+/// failed outright.
+fn chaos(args: &[String]) {
+    // Chaos defaults: the small graph shape with the watchdog armed (2 s —
+    // far above the matrix's injected stalls, so only real wedges trip it).
+    let mut base = parse_graph(
+        GraphSpec {
+            frames: 8,
+            blocks: 2,
+            stall_timeout_ms: Some(2_000),
+            ..GraphSpec::small()
+        },
+        args,
+    );
+    base.faults = None; // the matrix supplies each cell's spec
+    let seeds: Vec<u64> = match flag(args, "--seeds") {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("bad --seeds entry '{s}' (use e.g. --seeds 7,8,9)");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        None => vec![base.seed],
+    };
+    let matrix: Vec<String> = match flag(args, "--matrix") {
+        Some(list) => list.split(';').map(|s| s.trim().to_string()).collect(),
+        None => htims::chaos::default_matrix(),
+    };
+    let report = htims::chaos::run_matrix(&base, &matrix, &seeds).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "chaos soak: {} cells ({} completed, {} degraded, {} failed, {} irreproducible)",
+        report.cells.len(),
+        report.summary.completed,
+        report.summary.degraded,
+        report.summary.failed,
+        report.summary.irreproducible
+    );
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("survival report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    let provenance = htims::obs::Provenance::collect(
+        base.resolved_threads(),
+        htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
+    );
+    let mut rec = ims_obs::LedgerRecord::new("chaos", &provenance, base.fingerprint());
+    rec.wall_seconds = report.cells.iter().map(|c| c.wall_seconds).sum();
+    rec.blocks = report.cells.iter().map(|c| c.blocks).sum();
+    rec.outcome = Some(
+        if report.survived() {
+            "survived"
+        } else {
+            "failed"
+        }
+        .to_string(),
+    );
+    append_ledger(args, &rec);
+    if args.iter().any(|a| a == "--strict") && !report.survived() {
+        eprintln!("chaos soak FAILED (see the survival report)");
+        std::process::exit(1);
+    }
 }
 
 /// Parses `2s` / `500ms` / bare seconds (`1.5`) into a `Duration`.

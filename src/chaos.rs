@@ -1,0 +1,216 @@
+//! The fault-matrix soak behind `htims chaos`.
+//!
+//! A chaos run takes one [`GraphSpec`] shape, crosses it with a matrix of
+//! fault specs and seeds, and runs every cell **twice**: because injected
+//! faults are a pure function of `(seed, spec)`, the two runs must agree
+//! on the output hash, the fault counts, and the verdict — any divergence
+//! is flagged as `reproducible: false` and fails the soak. The result is
+//! a schema-versioned survival report suitable for CI gating.
+
+use crate::core::fault::FaultCounts;
+use crate::core::pipeline::{PipelineError, PipelineOutput, RunOutcome};
+use crate::fpga::dma::fnv1a64;
+use crate::graph::GraphSpec;
+use serde::{Deserialize, Serialize};
+
+/// Version of the survival-report JSON schema. Bump on breaking change.
+pub const CHAOS_SCHEMA_VERSION: u32 = 1;
+
+/// The default fault matrix: a clean control plus one cell per injection
+/// site, plus one compound cell mixing all of them. Rates are sized for a
+/// small graph — high enough that every site demonstrably fires, low
+/// enough that the run still produces output.
+pub fn default_matrix() -> Vec<String> {
+    vec![
+        String::new(), // clean control: must complete untouched
+        "frame.drop=0.05".into(),
+        "dma.bitflip=2e-5".into(),
+        "deconv.fail=1".into(),
+        "source.stall=2ms@0.2".into(),
+        "frame.drop=0.02,dma.bitflip=1e-5,deconv.fail=0.25,source.stall=1ms@0.05".into(),
+    ]
+}
+
+/// One `(fault spec, seed)` cell of the soak, run twice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosCell {
+    /// The compact fault spec this cell armed (empty = clean control).
+    pub faults: String,
+    /// The seed shared by the acquisition, the frame stream, and the
+    /// injector.
+    pub seed: u64,
+    /// Verdict of the first run (`completed` | `degraded` | `failed`).
+    pub outcome: String,
+    /// Structured fatal errors from the first run.
+    #[serde(default)]
+    pub errors: Vec<PipelineError>,
+    /// Injected-fault counts from the first run.
+    #[serde(default)]
+    pub fault_counts: FaultCounts,
+    /// Frames quarantined by integrity checks in the first run.
+    #[serde(default)]
+    pub frames_quarantined: u64,
+    /// Blocks recovered through the software deconv fallback.
+    #[serde(default)]
+    pub deconv_fallbacks: u64,
+    /// Output blocks produced.
+    pub blocks: u64,
+    /// FNV-1a hash over all output blocks (index, frames, and every data
+    /// word) — the bit-identity token the repeat run must match.
+    pub output_fnv: u64,
+    /// Whether the repeat run reproduced the hash, counts, and verdict.
+    pub reproducible: bool,
+    /// Wall time of the first run, seconds.
+    pub wall_seconds: f64,
+}
+
+/// Tallies over all cells of a soak.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosSummary {
+    /// Cells whose first run completed clean.
+    pub completed: u64,
+    /// Cells that degraded but survived.
+    pub degraded: u64,
+    /// Cells whose run failed (structured errors, partial output).
+    pub failed: u64,
+    /// Cells whose repeat run diverged — always a bug.
+    pub irreproducible: u64,
+}
+
+/// The schema-versioned survival report emitted by `htims chaos`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SurvivalReport {
+    /// Schema version ([`CHAOS_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Config fingerprint of the graph shape (see `ims_obs::ledger`).
+    pub fingerprint: String,
+    /// Executor the soak ran under.
+    pub executor: String,
+    /// Deconvolution backend of the graph shape.
+    pub backend: String,
+    /// Seeds crossed with the fault matrix.
+    pub seeds: Vec<u64>,
+    /// One entry per `(faults, seed)` cell.
+    pub cells: Vec<ChaosCell>,
+    /// Tallies over the cells.
+    pub summary: ChaosSummary,
+}
+
+impl SurvivalReport {
+    /// The CI gate: every cell reproduced, and the only failures are ones
+    /// the matrix *asked* for (a cell is allowed to fail only if its spec
+    /// makes failure unavoidable; with the default matrix and fallback
+    /// enabled, none do).
+    pub fn survived(&self) -> bool {
+        self.summary.irreproducible == 0 && self.summary.failed == 0
+    }
+}
+
+/// Hashes a run's output blocks into a single FNV-1a token: block index,
+/// frame count, and every deconvolved word, all little-endian.
+pub fn output_fingerprint(out: &PipelineOutput) -> u64 {
+    let mut bytes = Vec::new();
+    for b in &out.blocks {
+        bytes.extend_from_slice(&b.index.to_le_bytes());
+        bytes.extend_from_slice(&b.frames.to_le_bytes());
+        for v in &b.data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fnv1a64(&bytes)
+}
+
+/// Runs the full `(spec, seed)` matrix over `base`'s graph shape, running
+/// each cell twice to check determinism. Errors (a malformed fault spec,
+/// an unknown backend) abort the whole soak.
+pub fn run_matrix(
+    base: &GraphSpec,
+    matrix: &[String],
+    seeds: &[u64],
+) -> Result<SurvivalReport, String> {
+    let mut cells = Vec::with_capacity(matrix.len() * seeds.len());
+    let mut summary = ChaosSummary::default();
+    for faults in matrix {
+        for &seed in seeds {
+            let mut spec = base.clone();
+            spec.seed = seed;
+            spec.faults = (!faults.is_empty()).then(|| faults.clone());
+            let first = spec.run()?;
+            let second = spec.run()?;
+            let fnv = output_fingerprint(&first);
+            let reproducible = fnv == output_fingerprint(&second)
+                && first.report.faults == second.report.faults
+                && first.report.outcome == second.report.outcome
+                && first.report.frames_quarantined == second.report.frames_quarantined
+                && first.report.deconv_fallbacks == second.report.deconv_fallbacks;
+            match first.report.outcome {
+                RunOutcome::Completed => summary.completed += 1,
+                RunOutcome::Degraded => summary.degraded += 1,
+                RunOutcome::Failed => summary.failed += 1,
+            }
+            if !reproducible {
+                summary.irreproducible += 1;
+            }
+            cells.push(ChaosCell {
+                faults: faults.clone(),
+                seed,
+                outcome: first.report.outcome.as_str().to_string(),
+                errors: first.report.errors.clone(),
+                fault_counts: first.report.faults,
+                frames_quarantined: first.report.frames_quarantined,
+                deconv_fallbacks: first.report.deconv_fallbacks,
+                blocks: first.report.blocks,
+                output_fnv: fnv,
+                reproducible,
+                wall_seconds: first.report.wall_seconds,
+            });
+        }
+    }
+    Ok(SurvivalReport {
+        schema_version: CHAOS_SCHEMA_VERSION,
+        fingerprint: base.fingerprint(),
+        executor: base.executor.clone(),
+        backend: base.backend.clone(),
+        seeds: seeds.to_vec(),
+        cells,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> GraphSpec {
+        GraphSpec {
+            frames: 4,
+            blocks: 1,
+            stall_timeout_ms: Some(2_000),
+            ..GraphSpec::small()
+        }
+    }
+
+    #[test]
+    fn clean_and_faulty_cells_reproduce() {
+        let matrix = vec![String::new(), "frame.drop=0.5,deconv.fail=1".into()];
+        let report = run_matrix(&tiny(), &matrix, &[7]).unwrap();
+        assert_eq!(report.schema_version, CHAOS_SCHEMA_VERSION);
+        assert_eq!(report.cells.len(), 2);
+        assert!(report.cells.iter().all(|c| c.reproducible));
+        assert_eq!(report.cells[0].outcome, "completed");
+        assert_eq!(report.cells[1].outcome, "degraded");
+        assert!(report.cells[1].fault_counts.total() > 0);
+        assert!(report.survived(), "{:?}", report.summary);
+        // The report round-trips through its JSON schema.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SurvivalReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cells.len(), 2);
+        assert_eq!(back.cells[1].output_fnv, report.cells[1].output_fnv);
+    }
+
+    #[test]
+    fn bad_fault_spec_aborts_the_soak() {
+        let err = run_matrix(&tiny(), &["dma.bitflip=nope".into()], &[7]).unwrap_err();
+        assert!(err.contains("bad --faults spec"), "{err}");
+    }
+}

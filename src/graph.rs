@@ -10,8 +10,9 @@
 
 use crate::core::acquisition::{acquire, AcquireOptions, GateSchedule};
 use crate::core::deconv_batch::DEFAULT_PANEL_WIDTH;
+use crate::core::fault::{FaultInjector, FaultSpec};
 use crate::core::hybrid::{hybrid_pipeline, FrameGenerator, HybridConfig};
-use crate::core::pipeline::{DeconvBackend, PipelineOutput};
+use crate::core::pipeline::{DeconvBackend, PipelineOutput, SupervisorConfig};
 use crate::fpga::MzBinner;
 use crate::physics::{Instrument, Workload};
 use rand::SeedableRng;
@@ -41,6 +42,13 @@ pub struct GraphSpec {
     /// Seed for the acquisition RNG and the frame stream — the whole run
     /// is a pure function of the spec including this.
     pub seed: u64,
+    /// Compact fault spec (e.g. `dma.bitflip=1e-5,frame.drop=1e-4`) armed
+    /// on the run, or `None` for the clean path. Chaotic runs stay a pure
+    /// function of `(spec, seed)` — same spec, same faults, same blocks.
+    pub faults: Option<String>,
+    /// Watchdog stall timeout in milliseconds; `None` leaves the watchdog
+    /// off (threaded executor only).
+    pub stall_timeout_ms: Option<u64>,
 }
 
 impl GraphSpec {
@@ -57,6 +65,8 @@ impl GraphSpec {
             coarse: None,
             executor: "threaded".into(),
             seed: 7,
+            faults: None,
+            stall_timeout_ms: None,
         }
     }
 
@@ -76,6 +86,8 @@ impl GraphSpec {
             coarse: None,
             executor: "threaded".into(),
             seed: 7,
+            faults: None,
+            stall_timeout_ms: None,
         }
     }
 
@@ -155,7 +167,7 @@ impl GraphSpec {
                 )
             })?;
 
-        let graph = hybrid_pipeline(
+        let mut graph = hybrid_pipeline(
             &generator,
             &seq,
             &cfg,
@@ -164,6 +176,16 @@ impl GraphSpec {
             false,
             backend,
         );
+        if let Some(text) = &self.faults {
+            let spec = FaultSpec::parse(text).map_err(|e| format!("bad --faults spec: {e}"))?;
+            graph = graph.with_faults(FaultInjector::new(self.seed, spec));
+        }
+        if self.stall_timeout_ms.is_some() {
+            graph = graph.with_supervisor(SupervisorConfig {
+                stall_timeout: self.stall_timeout_ms.map(std::time::Duration::from_millis),
+                ..Default::default()
+            });
+        }
         match self.executor.as_str() {
             "inline" => Ok(graph.run_inline()),
             "threaded" => Ok(graph.run_threaded()),

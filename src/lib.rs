@@ -4,6 +4,7 @@
 //! use a single dependency. Downstream users should depend on the individual
 //! crates (`htims-core`, `ims-physics`, …) directly.
 
+pub mod chaos;
 pub mod graph;
 
 pub use htims_core as core;

@@ -93,6 +93,42 @@ fn same_seed_runs_are_bit_identical_with_identical_metric_counts() {
 }
 
 #[test]
+fn fault_and_recovery_events_surface_as_obs_counters() {
+    let _lock = registry_lock();
+    let chaotic = GraphSpec {
+        // Rate sized to corrupt *some* frames of the small graph (~0.1
+        // expected flips per 121k-bit frame): enough quarantining to
+        // observe, enough clean frames that a block still reaches the
+        // deconvolve stage and exercises the fallback.
+        faults: Some("dma.bitflip=8e-7,deconv.fail=1".into()),
+        ..spec(42)
+    };
+    let (_, counts) = run_counted(&chaotic);
+    let get = |name: &str| {
+        counts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert!(get("fault.injected.bitflip") > 0, "{counts:?}");
+    assert!(get("fault.injected.deconv_fail") > 0, "{counts:?}");
+    assert!(
+        get("fault.recovered.deconv_fallback") > 0,
+        "hardware-backend failure must recover through the software engine"
+    );
+    assert!(get("pipeline.frames_quarantined") > 0, "{counts:?}");
+    // A clean run of the same shape leaves every fault counter at zero
+    // (the registry keeps registrations across resets, values must not).
+    let (_, clean) = run_counted(&spec(42));
+    for (name, value) in &clean {
+        if name.starts_with("fault.") || name == "pipeline.frames_quarantined" {
+            assert_eq!(*value, 0, "{name} leaked into a clean run");
+        }
+    }
+}
+
+#[test]
 fn different_seeds_change_the_blocks() {
     let _lock = registry_lock();
     let (blocks_a, counts_a) = run_counted(&spec(42));
