@@ -263,29 +263,72 @@ impl BatchDeconvolver {
         if matches!(self.kernel, PanelKernel::Identity) {
             return map.clone();
         }
+        // A one-thread pool must not pay the fan-out costs (zeroed output
+        // block, per-task slabs, result collection): run the in-place
+        // serial path — same panel decomposition, same bits.
+        if rayon::current_num_threads() <= 1 {
+            return self.deconvolve_map(map);
+        }
         let data = map.data();
-        let starts: Vec<usize> = (0..mz).step_by(self.panel_width).collect();
-        let solved: Vec<(usize, usize, Vec<f64>)> = starts
+        // Task granularity is a contiguous *run* of panels, a couple per
+        // worker — panel-per-task spends more on per-panel allocation and
+        // result collection than a cheap kernel (simplex-fast) spends
+        // solving. Each task gathers its panels back to back into one
+        // slab; a panel stays contiguous inside it (row stride = its own
+        // width), so the kernels solve in place with zero per-panel
+        // allocation and the panel decomposition — hence the bit pattern —
+        // is identical to the serial path.
+        let panels = mz.div_ceil(self.panel_width);
+        let tasks = (rayon::current_num_threads() * 2).clamp(1, panels);
+        let per_task = panels.div_ceil(tasks);
+        let ranges: Vec<(usize, usize)> = (0..tasks)
+            .map(|t| {
+                let lo = (t * per_task * self.panel_width).min(mz);
+                let hi = ((t + 1) * per_task * self.panel_width).min(mz);
+                (lo, hi)
+            })
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let solved: Vec<(usize, Vec<f64>)> = ranges
             .into_par_iter()
-            .map_init(PanelScratch::default, |scratch, c0| {
-                let width = self.panel_width.min(mz - c0);
-                let mut panel = Vec::with_capacity(drift * width);
-                for d in 0..drift {
-                    panel.extend_from_slice(&data[d * mz + c0..d * mz + c0 + width]);
+            .map_init(PanelScratch::default, |scratch, (lo, hi)| {
+                let mut slab = Vec::with_capacity(drift * (hi - lo));
+                let mut c0 = lo;
+                while c0 < hi {
+                    let width = self.panel_width.min(hi - c0);
+                    let off = slab.len();
+                    for d in 0..drift {
+                        slab.extend_from_slice(&data[d * mz + c0..d * mz + c0 + width]);
+                    }
+                    self.solve_panel(
+                        &mut slab[off..],
+                        width,
+                        &mut scratch.transform,
+                        &mut scratch.circulant,
+                    );
+                    c0 += width;
                 }
-                self.solve_panel(
-                    &mut panel,
-                    width,
-                    &mut scratch.transform,
-                    &mut scratch.circulant,
-                );
-                (c0, width, panel)
+                (lo, slab)
             })
             .collect();
         let mut out = DriftTofMap::zeros(drift, mz);
         let out_data = out.data_mut();
-        for (c0, width, panel) in &solved {
-            scatter_panel(panel, out_data, mz, drift, *c0, *width);
+        for (lo, slab) in &solved {
+            let mut off = 0;
+            let mut c0 = *lo;
+            while off < slab.len() {
+                let width = self.panel_width.min(mz - c0);
+                scatter_panel(
+                    &slab[off..off + drift * width],
+                    out_data,
+                    mz,
+                    drift,
+                    c0,
+                    width,
+                );
+                c0 += width;
+                off += drift * width;
+            }
         }
         out
     }

@@ -1,62 +1,63 @@
-//! Executors: run a stage graph threaded (bounded channels, one thread per
-//! stage) or inline (sequentially on the calling thread).
+//! Executors: run a stage graph on the work-stealing scheduler (threaded /
+//! scheduled) or inline (sequentially on the calling thread).
 //!
-//! Both executors drive the same [`Stage`] objects in the same order over
+//! All executors drive the same [`Stage`] objects in the same order over
 //! the same integer datapath, so their outputs are bit-identical by
-//! construction; the threaded executor adds the concurrency — and the
-//! back-pressure instrumentation — of the real design.
+//! construction. The concurrent executors are thin entry points into
+//! [`super::sched`]: [`Pipeline::run_threaded`] (the PR-5 name, kept as a
+//! compatibility wrapper) and [`Pipeline::run_scheduled`] both submit the
+//! graph to the shared work-stealing pool, where the source and each stage
+//! run as cooperatively scheduled tasks connected by bounded inboxes —
+//! the back-pressure structure of the real design. [`Pipeline::spawn_on`]
+//! submits without waiting, which is what the session multiplexer uses to
+//! run many graphs on one pool.
 //!
-//! Both executors are also instrumented with `ims_obs`: every stage
-//! iteration opens a span (category = stage name), channel waits get their
-//! own `recv-wait`/`send-wait` spans, and input-queue depths are sampled
-//! into gauges and Chrome counter tracks. All of it is inert — one atomic
-//! load per span — unless a `TraceSession` is active. Per-item processing
-//! latency additionally feeds a histogram per stage (always on; a handful
-//! of relaxed atomics per *item*, where items are frames or blocks).
+//! Every executor is instrumented with `ims_obs`: stage iterations open
+//! spans (category = stage name, or `stage@session` for labeled tenants),
+//! input-queue depths are sampled into gauges and Chrome counter tracks,
+//! and per-item processing latency feeds a histogram per stage (always
+//! on; a handful of relaxed atomics per *item*, where items are frames or
+//! blocks).
 //!
 //! # Supervision
 //!
-//! The threaded executor is *supervised*: a panicking stage no longer
+//! The scheduled executors are *supervised*: a panicking stage no longer
 //! aborts the process. Each stage iteration runs under `catch_unwind`; a
-//! panicked stage turns "poisoned" — it keeps draining its input channel
-//! (so upstream never blocks on a full channel) without processing, its
+//! panicked stage turns "poisoned" — it keeps draining its input inbox
+//! (so upstream never blocks on a full queue) without processing, its
 //! output closes, downstream flushes and drains, and the run returns a
 //! partial report carrying a [`PipelineError::StagePanicked`] with stage
 //! provenance and a [`RunOutcome::Failed`] verdict.
 //!
 //! With [`Pipeline::with_supervisor`] and a `stall_timeout`, a watchdog
-//! thread additionally polls per-stage progress counters; when *nothing*
+//! thread additionally polls per-node progress counters; when *nothing*
 //! in the graph advances for the timeout, it blames the upstream-most
 //! unfinished stage, cancels any injected stall (see
 //! [`Pipeline::with_faults`]) so the graph drains, and records a
-//! [`PipelineError::StageStalled`]. The watchdog can break injected
-//! stalls and the source loop; a stage genuinely wedged *inside* a
-//! blocking channel operation is detected and reported but cannot be
-//! interrupted (the vendored channels have no timed operations) — the
-//! timeout must exceed the slowest single-item processing time.
+//! [`PipelineError::StageStalled`].
 //!
 //! With no supervisor config and no injector, none of this costs anything
 //! on the hot path: no watchdog thread is spawned, packets carry no
 //! checksums, and the only addition is one relaxed atomic add per item.
 
-use super::error::{PipelineError, RunOutcome, SupervisorConfig};
+use super::error::{RunOutcome, SupervisorConfig};
 use super::report::{PipelineReport, StageReport};
+use super::sched::{self, ScheduledRun, Scheduler};
 use super::stages::FrameSource;
 use super::{DeconvolvedBlock, Message, Stage};
 use crate::fault::FaultInjector;
-use crossbeam::channel::{bounded, Receiver, Sender};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A source plus an ordered chain of stages, ready to run.
 pub struct Pipeline {
-    source: FrameSource,
-    stages: Vec<Box<dyn Stage>>,
-    channel_depth: usize,
-    injector: Option<FaultInjector>,
-    supervisor: SupervisorConfig,
+    pub(super) source: FrameSource,
+    pub(super) stages: Vec<Box<dyn Stage>>,
+    pub(super) channel_depth: usize,
+    pub(super) injector: Option<FaultInjector>,
+    pub(super) supervisor: SupervisorConfig,
+    /// Interned session label (`s17`) of a multiplexed tenant; `None` for
+    /// single-session runs, whose metric names stay unsuffixed.
+    pub(super) session: Option<&'static str>,
 }
 
 /// What a pipeline run returns: the deconvolved blocks (in order) and the
@@ -72,7 +73,7 @@ pub struct PipelineOutput {
 
 impl Pipeline {
     /// Starts a graph from a frame source; `channel_depth` bounds the
-    /// frame channels of the threaded executor (back-pressure).
+    /// frame inboxes of the scheduled executors (back-pressure credits).
     pub fn new(source: FrameSource, channel_depth: usize) -> Self {
         Self {
             source,
@@ -80,6 +81,7 @@ impl Pipeline {
             channel_depth: channel_depth.max(1),
             injector: None,
             supervisor: SupervisorConfig::default(),
+            session: None,
         }
     }
 
@@ -106,8 +108,20 @@ impl Pipeline {
         self
     }
 
+    /// Tags this run as session `label` (a multiplexer tenant): stage
+    /// meters register under `name#session=<label>` — rendered by the
+    /// Prometheus exporter as a `session="…"` label — and spans open
+    /// under `stage@label` categories, so concurrent sessions stay
+    /// distinguishable on every observability surface. The label is
+    /// interned (session sets are small and bounded by admission
+    /// control; see the cardinality rules in DESIGN.md).
+    pub fn with_session(mut self, label: &str) -> Self {
+        self.session = Some(ims_obs::intern(label));
+        self
+    }
+
     /// Distributes the injector and policy to the source and stages.
-    fn arm(&mut self) {
+    pub(super) fn arm(&mut self) {
         if let Some(inj) = &self.injector {
             self.source.set_checked(true);
             for stage in &mut self.stages {
@@ -116,256 +130,31 @@ impl Pipeline {
         }
     }
 
-    /// Runs the graph with one thread per stage connected by bounded
-    /// channels — the concurrent structure of the paper's design. Frames
-    /// flow through channels of depth `channel_depth`; block hand-offs use
-    /// the stages' own depth (2, the double-buffered readout). Supervised:
-    /// see the module docs.
-    pub fn run_threaded(mut self) -> PipelineOutput {
-        assert!(!self.stages.is_empty(), "pipeline has no stages");
-        self.arm();
-        let start = Instant::now();
-        let depth = self.channel_depth;
-        let n = self.stages.len();
+    /// Runs the graph concurrently — source and stages as tasks on the
+    /// shared work-stealing pool, connected by bounded inboxes of depth
+    /// `channel_depth` (frames) or the stages' own depth (blocks: 2, the
+    /// double-buffered readout). Supervised: see the module docs.
+    ///
+    /// This is the PR-5 entry point; since the scheduler refactor it is a
+    /// thin wrapper over [`run_scheduled`](Self::run_scheduled) that only
+    /// keeps the `"threaded"` executor tag in reports stable for existing
+    /// consumers.
+    pub fn run_threaded(self) -> PipelineOutput {
+        sched::spawn(self, Scheduler::global(), "threaded").join()
+    }
 
-        // Channel i feeds stage i; channel n carries the final output.
-        let mut txs: Vec<Sender<Message>> = Vec::with_capacity(n + 1);
-        let mut rxs: Vec<Receiver<Message>> = Vec::with_capacity(n + 1);
-        let (tx0, rx0) = bounded::<Message>(depth);
-        txs.push(tx0);
-        rxs.push(rx0);
-        for stage in &self.stages {
-            let (tx, rx) = bounded::<Message>(stage.output_depth(depth));
-            txs.push(tx);
-            rxs.push(rx);
-        }
+    /// Runs the graph on the shared work-stealing pool and waits for it
+    /// to drain. Identical to [`run_threaded`](Self::run_threaded) except
+    /// for the `"scheduled"` executor tag in the report.
+    pub fn run_scheduled(self) -> PipelineOutput {
+        sched::spawn(self, Scheduler::global(), "scheduled").join()
+    }
 
-        let stages = std::mem::take(&mut self.stages);
-        let source = &self.source;
-        let frames = source.frames();
-        let injector = self.injector.clone();
-
-        // Supervision state: one progress counter and one done flag per
-        // thread (index 0 = source), polled by the watchdog; the cancel
-        // flag breaks the source loop and any injected stall.
-        let progress: Arc<Vec<AtomicU64>> = Arc::new((0..=n).map(|_| AtomicU64::new(0)).collect());
-        let done: Arc<Vec<AtomicBool>> =
-            Arc::new((0..=n).map(|_| AtomicBool::new(false)).collect());
-        let cancel = Arc::new(AtomicBool::new(false));
-        let names: Vec<&'static str> = std::iter::once("source")
-            .chain(stages.iter().map(|s| s.name()))
-            .collect();
-
-        let (blocks, meters, stages, mut errors) = std::thread::scope(|scope| {
-            let mut tx_iter = txs.into_iter();
-            let mut rx_iter = rxs.into_iter();
-
-            // Source thread: the "software portion streaming data".
-            let src_tx = tx_iter.next().expect("source channel");
-            let src_injector = injector.clone();
-            let src_progress = progress.clone();
-            let src_done = done.clone();
-            let src_cancel = cancel.clone();
-            let src_handle = scope.spawn(move || {
-                ims_obs::set_thread_name("source");
-                let mut meter = StageMeter::new("source");
-                let panic_msg = catch_unwind(AssertUnwindSafe(|| {
-                    for i in 0..frames {
-                        if src_cancel.load(Relaxed) {
-                            break; // watchdog fired: stop producing, drain
-                        }
-                        if let Some(inj) = &src_injector {
-                            if let Some(stall) = inj.stall_duration(i) {
-                                if !inj.stall(stall) {
-                                    break; // stall cancelled mid-sleep
-                                }
-                            }
-                            if inj.drop_frame(i) {
-                                src_progress[0].fetch_add(1, Relaxed);
-                                continue;
-                            }
-                        }
-                        let t = Instant::now();
-                        let packet = {
-                            let _sp = ims_obs::span_cat("source", "process");
-                            source.packet(i)
-                        };
-                        let gen = t.elapsed();
-                        meter.busy += gen;
-                        meter.record_latency(gen);
-                        if meter.timed_send(&src_tx, Message::Frame(packet)).is_err() {
-                            break; // downstream gone
-                        }
-                        src_progress[0].fetch_add(1, Relaxed);
-                    }
-                }))
-                .err()
-                .map(panic_message);
-                src_done[0].store(true, Relaxed);
-                (meter, panic_msg)
-            });
-
-            // One thread per stage, each iteration supervised: a panic
-            // poisons the stage instead of tearing down the scope.
-            let mut handles = Vec::with_capacity(stages.len());
-            for (i, mut stage) in stages.into_iter().enumerate() {
-                let rx = rx_iter.next().expect("stage input channel");
-                let tx = tx_iter.next().expect("stage output channel");
-                let stage_progress = progress.clone();
-                let stage_done = done.clone();
-                handles.push(scope.spawn(move || {
-                    let name = stage.name();
-                    ims_obs::set_thread_name(name);
-                    let queue_gauge =
-                        ims_obs::metrics::gauge(&format!("pipeline.queue_depth.{name}"));
-                    let mut meter = StageMeter::new(name);
-                    let mut poisoned: Option<String> = None;
-                    loop {
-                        let depth = rx.len() as u64;
-                        meter.queue_high_water = meter.queue_high_water.max(depth);
-                        queue_gauge.set(depth);
-                        ims_obs::counter_sample("queue-depth", name, depth as f64);
-                        let t = Instant::now();
-                        let msg = {
-                            let _sp = ims_obs::span_cat(name, "recv-wait");
-                            rx.recv()
-                        };
-                        meter.blocked_recv += t.elapsed();
-                        let Ok(msg) = msg else { break };
-                        meter.items_in += 1;
-                        if poisoned.is_some() {
-                            // Drain-only mode: keep consuming so upstream
-                            // never blocks on a full channel, but process
-                            // nothing — the stage's state is suspect.
-                            stage_progress[i + 1].fetch_add(1, Relaxed);
-                            continue;
-                        }
-                        let caught = catch_unwind(AssertUnwindSafe(|| {
-                            meter.timed_process(stage.as_mut(), msg, &tx)
-                        }));
-                        match caught {
-                            Ok(()) => meter.refresh_cells(stage.as_ref()),
-                            Err(p) => poisoned = Some(panic_message(p)),
-                        }
-                        stage_progress[i + 1].fetch_add(1, Relaxed);
-                    }
-                    if poisoned.is_none() {
-                        let caught = catch_unwind(AssertUnwindSafe(|| {
-                            meter.timed_flush(stage.as_mut(), &tx)
-                        }));
-                        match caught {
-                            Ok(()) => meter.refresh_cells(stage.as_ref()),
-                            Err(p) => poisoned = Some(panic_message(p)),
-                        }
-                    }
-                    stage_done[i + 1].store(true, Relaxed);
-                    drop(tx);
-                    (stage, meter, poisoned)
-                }));
-            }
-
-            // Watchdog (only when configured): polls the progress counters
-            // and declares a stall when nothing advances for the timeout.
-            let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
-            let watchdog = self.supervisor.stall_timeout.map(|timeout| {
-                let wd_progress = progress.clone();
-                let wd_done = done.clone();
-                let wd_cancel = cancel.clone();
-                let wd_injector = injector.clone();
-                let wd_names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
-                scope.spawn(move || -> Option<PipelineError> {
-                    ims_obs::set_thread_name("watchdog");
-                    let tick = (timeout / 4).max(Duration::from_millis(5)).min(timeout);
-                    let mut last: Vec<u64> = wd_progress.iter().map(|p| p.load(Relaxed)).collect();
-                    let mut idle = Duration::ZERO;
-                    loop {
-                        match stop_rx.recv_timeout(tick) {
-                            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
-                            _ => return None, // run finished first
-                        }
-                        if wd_done.iter().all(|d| d.load(Relaxed)) {
-                            return None;
-                        }
-                        let now: Vec<u64> = wd_progress.iter().map(|p| p.load(Relaxed)).collect();
-                        if now != last {
-                            last = now;
-                            idle = Duration::ZERO;
-                            continue;
-                        }
-                        idle += tick;
-                        if idle < timeout {
-                            continue;
-                        }
-                        // Stalled: blame the upstream-most unfinished
-                        // stage, then break the stall so the graph drains.
-                        let blamed = wd_done.iter().position(|d| !d.load(Relaxed)).unwrap_or(0);
-                        wd_cancel.store(true, Relaxed);
-                        if let Some(inj) = &wd_injector {
-                            inj.cancel();
-                        }
-                        ims_obs::static_counter!("pipeline.watchdog_stalls").incr();
-                        ims_obs::instant("fault", "watchdog_stall");
-                        return Some(PipelineError::StageStalled {
-                            stage: wd_names[blamed].clone(),
-                            timeout_ms: timeout.as_millis() as u64,
-                        });
-                    }
-                })
-            });
-
-            // This thread is the collector: drain the final channel while
-            // the stages run (bounded channels would deadlock otherwise).
-            let out_rx = rx_iter.next().expect("output channel");
-            let mut blocks = Vec::new();
-            for msg in out_rx.iter() {
-                if let Message::Deconvolved(b) = msg {
-                    blocks.push(b);
-                }
-            }
-
-            let mut errors: Vec<PipelineError> = Vec::new();
-            // The scope guarantees these joins return: every producer has
-            // dropped its sender by now (the output channel closed), and a
-            // panic inside a thread was converted to a value, not a
-            // propagated unwind.
-            let (src_meter, src_panic) = src_handle.join().expect("source thread panicked");
-            if let Some(message) = src_panic {
-                errors.push(PipelineError::StagePanicked {
-                    stage: "source".into(),
-                    message,
-                });
-            }
-            let mut meters = vec![src_meter];
-            let mut stages_back = Vec::with_capacity(handles.len());
-            for h in handles {
-                let (stage, meter, poisoned) = h.join().expect("stage thread panicked");
-                if let Some(message) = poisoned {
-                    errors.push(PipelineError::StagePanicked {
-                        stage: stage.name().into(),
-                        message,
-                    });
-                }
-                meters.push(meter);
-                stages_back.push(stage);
-            }
-            drop(stop_tx); // wake the watchdog so it can exit
-            if let Some(wd) = watchdog {
-                if let Some(stall) = wd.join().expect("watchdog thread panicked") {
-                    errors.push(stall);
-                }
-            }
-            (blocks, meters, stages_back, errors)
-        });
-
-        // Keep error order stable for reports: stalls are usually the
-        // root cause, panics the symptom — but both are fatal either way.
-        errors.sort_by_key(|e| matches!(e, PipelineError::StagePanicked { .. }));
-
-        let mut report = PipelineReport::new("threaded");
-        report.channel_depth = depth;
-        report.errors = errors;
-        self.finish_report(&mut report, stages, meters, frames, blocks.len(), start);
-        PipelineOutput { blocks, report }
+    /// Submits the graph to `sched` and returns immediately; the session
+    /// multiplexer uses this to run many tenant graphs concurrently on
+    /// one pool. Join the returned handle for the [`PipelineOutput`].
+    pub fn spawn_on(self, sched: &Scheduler) -> ScheduledRun {
+        sched::spawn(self, sched, "scheduled")
     }
 
     /// Runs the graph sequentially on the calling thread — the software
@@ -426,70 +215,77 @@ impl Pipeline {
 
         let mut report = PipelineReport::new("inline");
         report.channel_depth = self.channel_depth;
-        self.finish_report(&mut report, stages, meters, frames, blocks.len(), start);
+        finish_report(
+            &mut report,
+            stages,
+            meters,
+            frames,
+            blocks.len(),
+            start,
+            self.injector.as_ref(),
+        );
         PipelineOutput { blocks, report }
     }
+}
 
-    fn finish_report(
-        &self,
-        report: &mut PipelineReport,
-        mut stages: Vec<Box<dyn Stage>>,
-        meters: Vec<StageMeter>,
-        frames: u64,
-        blocks: usize,
-        start: Instant,
-    ) {
-        report.frames = frames;
-        report.blocks = blocks as u64;
-        let threaded = report.executor == "threaded";
-        report.stages = meters
-            .into_iter()
-            .map(|m| m.into_report(threaded))
-            .collect();
-        // Meter 0 is the source; stage i owns report.stages[i + 1].
-        for (i, stage) in stages.iter().enumerate() {
-            report.stages[i + 1].cells = stage.cells_processed();
-        }
-        for s in &mut report.stages {
-            if s.busy_seconds > 0.0 {
-                s.items_per_second = s.items_out as f64 / s.busy_seconds;
-                s.mcells_per_second = s.cells as f64 / s.busy_seconds / 1e6;
-            }
-        }
-        let deconv_rates = report
-            .stage("deconvolve")
-            .map(|d| (d.items_per_second, d.mcells_per_second));
-        if let Some((blocks_per_s, mcells_per_s)) = deconv_rates {
-            report.deconv_blocks_per_second = blocks_per_s;
-            report.deconv_mcells_per_second = mcells_per_s;
-        }
-        for stage in &mut stages {
-            stage.finalize(report);
-        }
-        report.faults = self
-            .injector
-            .as_ref()
-            .map(|inj| inj.counts())
-            .unwrap_or_default();
-        // The verdict. Fatal errors trump everything; otherwise any fault
-        // or loss downgrades a Completed run to Degraded.
-        report.outcome = if !report.errors.is_empty() {
-            RunOutcome::Failed
-        } else if report.faults.total() > 0
-            || report.frames_quarantined > 0
-            || report.deconv_fallbacks > 0
-        {
-            RunOutcome::Degraded
-        } else {
-            RunOutcome::Completed
-        };
-        report.wall_seconds = start.elapsed().as_secs_f64();
+/// Fills in the tail of a run report shared by every executor: per-stage
+/// reports from the meters, derived rates, stage finalizers, fault
+/// counts, the outcome verdict, and wall time.
+pub(super) fn finish_report(
+    report: &mut PipelineReport,
+    mut stages: Vec<Box<dyn Stage>>,
+    meters: Vec<StageMeter>,
+    frames: u64,
+    blocks: usize,
+    start: Instant,
+    injector: Option<&FaultInjector>,
+) {
+    report.frames = frames;
+    report.blocks = blocks as u64;
+    let concurrent = report.executor != "inline";
+    report.stages = meters
+        .into_iter()
+        .map(|m| m.into_report(concurrent))
+        .collect();
+    // Meter 0 is the source; stage i owns report.stages[i + 1].
+    for (i, stage) in stages.iter().enumerate() {
+        report.stages[i + 1].cells = stage.cells_processed();
     }
+    for s in &mut report.stages {
+        if s.busy_seconds > 0.0 {
+            s.items_per_second = s.items_out as f64 / s.busy_seconds;
+            s.mcells_per_second = s.cells as f64 / s.busy_seconds / 1e6;
+        }
+    }
+    let deconv_rates = report
+        .stage("deconvolve")
+        .map(|d| (d.items_per_second, d.mcells_per_second));
+    if let Some((blocks_per_s, mcells_per_s)) = deconv_rates {
+        report.deconv_blocks_per_second = blocks_per_s;
+        report.deconv_mcells_per_second = mcells_per_s;
+    }
+    for stage in &mut stages {
+        stage.finalize(report);
+    }
+    report.faults = injector.map(|inj| inj.counts()).unwrap_or_default();
+    // The verdict. Fatal errors trump everything; otherwise any fault
+    // or loss downgrades a Completed run to Degraded.
+    report.outcome = if !report.errors.is_empty() {
+        RunOutcome::Failed
+    } else if report.faults.total() > 0
+        || report.frames_quarantined > 0
+        || report.deconv_fallbacks > 0
+    {
+        RunOutcome::Degraded
+    } else {
+        RunOutcome::Completed
+    };
+    report.wall_seconds = start.elapsed().as_secs_f64();
 }
 
 /// Renders a caught panic payload as text (panics carry `&str` or
 /// `String` in practice; anything else gets a placeholder).
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(super) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -531,19 +327,21 @@ fn feed(
     }
 }
 
-/// Accumulates one stage's timing while its thread runs.
-struct StageMeter {
-    name: &'static str,
-    items_in: u64,
-    items_out: u64,
-    busy: Duration,
-    blocked_recv: Duration,
-    blocked_send: Duration,
-    queue_high_water: u64,
+/// Accumulates one stage's timing while its task runs.
+pub(super) struct StageMeter {
+    pub(super) name: &'static str,
+    pub(super) items_in: u64,
+    pub(super) items_out: u64,
+    pub(super) busy: Duration,
+    pub(super) blocked_recv: Duration,
+    pub(super) blocked_send: Duration,
+    pub(super) queue_high_water: u64,
     /// Per-item processing latency for this run (feeds the report).
     latency: ims_obs::Histogram,
     /// Same samples in the global registry (feeds metrics snapshots),
-    /// named `pipeline.stage_latency_ns.<stage>`.
+    /// named `pipeline.stage_latency_ns.<stage>` — with a
+    /// `#session=<label>` suffix for multiplexer tenants, which the
+    /// Prometheus exporter renders as a `session` label.
     latency_reg: &'static ims_obs::Histogram,
     /// Running item count in the registry (`pipeline.items_total.<stage>`)
     /// — bumped per item so a sampler sees throughput *during* the run,
@@ -556,7 +354,14 @@ struct StageMeter {
 }
 
 impl StageMeter {
-    fn new(name: &'static str) -> Self {
+    pub(super) fn new(name: &'static str) -> Self {
+        Self::with_session(name, None)
+    }
+
+    /// A meter whose registry series carry the session's label suffix
+    /// (none for single-session runs, keeping the PR-4 metric names
+    /// byte-stable).
+    pub(super) fn with_session(name: &'static str, session: Option<&'static str>) -> Self {
         Self {
             name,
             items_in: 0,
@@ -566,15 +371,36 @@ impl StageMeter {
             blocked_send: Duration::ZERO,
             queue_high_water: 0,
             latency: ims_obs::Histogram::new(),
-            latency_reg: ims_obs::metrics::histogram(&format!("pipeline.stage_latency_ns.{name}")),
-            items_reg: ims_obs::metrics::counter(&format!("pipeline.items_total.{name}")),
-            cells_reg: ims_obs::metrics::counter(&format!("pipeline.cells_total.{name}")),
+            latency_reg: ims_obs::metrics::histogram(&Self::metric_name(
+                "pipeline.stage_latency_ns",
+                name,
+                session,
+            )),
+            items_reg: ims_obs::metrics::counter(&Self::metric_name(
+                "pipeline.items_total",
+                name,
+                session,
+            )),
+            cells_reg: ims_obs::metrics::counter(&Self::metric_name(
+                "pipeline.cells_total",
+                name,
+                session,
+            )),
             cells_pushed: 0,
         }
     }
 
+    /// `prefix.stage`, plus the `#session=<label>` suffix the exporter
+    /// turns into a Prometheus label when the run belongs to a session.
+    pub(super) fn metric_name(prefix: &str, stage: &str, session: Option<&'static str>) -> String {
+        match session {
+            Some(s) => format!("{prefix}.{stage}#session={s}"),
+            None => format!("{prefix}.{stage}"),
+        }
+    }
+
     /// Records one item's processing latency (run-local and registry).
-    fn record_latency(&mut self, d: Duration) {
+    pub(super) fn record_latency(&mut self, d: Duration) {
         self.latency.record_duration(d);
         self.latency_reg.record_duration(d);
         self.items_reg.incr();
@@ -582,91 +408,25 @@ impl StageMeter {
 
     /// Pushes the stage's cell-count growth since the last refresh into
     /// the registry, so mid-run samples carry cell throughput.
-    fn refresh_cells(&mut self, stage: &dyn Stage) {
+    pub(super) fn refresh_cells(&mut self, stage: &dyn Stage) {
         let total = stage.cells_processed();
         self.cells_reg.add(total.saturating_sub(self.cells_pushed));
         self.cells_pushed = total;
     }
 
-    /// Sends one message, charging the wait to `blocked_send`.
-    fn timed_send(&mut self, tx: &Sender<Message>, msg: Message) -> Result<(), ()> {
-        let t = Instant::now();
-        let r = {
-            let _sp = ims_obs::span_cat(self.name, "send-wait");
-            tx.send(msg)
-        };
-        self.blocked_send += t.elapsed();
-        if r.is_ok() {
-            self.items_out += 1;
-            Ok(())
-        } else {
-            Err(())
-        }
-    }
-
-    /// Runs `process`, splitting elapsed time into busy vs send-blocked.
-    fn timed_process(&mut self, stage: &mut dyn Stage, msg: Message, tx: &Sender<Message>) {
-        let name = self.name;
-        let mut sent = Duration::ZERO;
-        let mut items_out = 0u64;
-        let t = Instant::now();
-        {
-            let _sp = ims_obs::span_cat(name, "process");
-            stage.process(msg, &mut |m| {
-                let ts = Instant::now();
-                {
-                    let _sp = ims_obs::span_cat(name, "send-wait");
-                    let _ = tx.send(m);
-                }
-                sent += ts.elapsed();
-                items_out += 1;
-            });
-        }
-        let total = t.elapsed();
-        let busy = total.saturating_sub(sent);
-        self.busy += busy;
-        self.record_latency(busy);
-        self.blocked_send += sent;
-        self.items_out += items_out;
-    }
-
-    /// Runs `flush` with the same accounting as [`timed_process`].
-    fn timed_flush(&mut self, stage: &mut dyn Stage, tx: &Sender<Message>) {
-        let name = self.name;
-        let mut sent = Duration::ZERO;
-        let mut items_out = 0u64;
-        let t = Instant::now();
-        {
-            let _sp = ims_obs::span_cat(name, "flush");
-            stage.flush(&mut |m| {
-                let ts = Instant::now();
-                {
-                    let _sp = ims_obs::span_cat(name, "send-wait");
-                    let _ = tx.send(m);
-                }
-                sent += ts.elapsed();
-                items_out += 1;
-            });
-        }
-        let total = t.elapsed();
-        self.busy += total.saturating_sub(sent);
-        self.blocked_send += sent;
-        self.items_out += items_out;
-    }
-
     /// Converts to the serializable report. The blocked/queue fields are
-    /// only meaningful under the threaded executor; the inline executor
-    /// reports them as `None` so JSON consumers can't misread `0` as
-    /// "never blocked".
-    fn into_report(self, threaded: bool) -> StageReport {
+    /// only meaningful under the concurrent executors; the inline
+    /// executor reports them as `None` so JSON consumers can't misread
+    /// `0` as "never blocked".
+    fn into_report(self, concurrent: bool) -> StageReport {
         StageReport {
             name: self.name.to_string(),
             items_in: self.items_in,
             items_out: self.items_out,
             busy_seconds: self.busy.as_secs_f64(),
-            blocked_recv_seconds: threaded.then_some(self.blocked_recv.as_secs_f64()),
-            blocked_send_seconds: threaded.then_some(self.blocked_send.as_secs_f64()),
-            queue_high_water: threaded.then_some(self.queue_high_water),
+            blocked_recv_seconds: concurrent.then_some(self.blocked_recv.as_secs_f64()),
+            blocked_send_seconds: concurrent.then_some(self.blocked_send.as_secs_f64()),
+            queue_high_water: concurrent.then_some(self.queue_high_water),
             latency_ns: (self.latency.count() > 0).then(|| self.latency.summary()),
             cells: 0,
             items_per_second: 0.0,

@@ -17,13 +17,21 @@
 //! [`DeconvBackend`] (the FWHT FPGA core, the naive MAC-array core, or the
 //! rayon-parallel software path — all bit-exact equals).
 //!
-//! Two executors run the same graph: [`Pipeline::run_threaded`] gives each
-//! stage its own thread connected by bounded channels (the concurrent
-//! structure of the real design, with back-pressure), while
-//! [`Pipeline::run_inline`] runs the stages sequentially on the calling
-//! thread (the software reference). Because both drive the same stage
-//! objects over the same integer datapath, their outputs agree bit for
-//! bit — the property the hybrid equivalence tests pin down.
+//! Three executors run the same graph. [`Pipeline::run_threaded`] and
+//! [`Pipeline::run_scheduled`] submit the source and stages as
+//! cooperatively scheduled tasks — connected by bounded inboxes — to the
+//! shared work-stealing pool in [`sched`] (the concurrent structure of
+//! the real design, with back-pressure; the two differ only in the
+//! executor tag their reports carry). [`Pipeline::run_inline`] runs the
+//! stages sequentially on the calling thread (the software reference).
+//! Because all of them drive the same stage objects over the same integer
+//! datapath, their outputs agree bit for bit — the property the hybrid
+//! equivalence tests pin down.
+//!
+//! On top of the scheduler sits the [`SessionManager`]: N independent
+//! pipelines — each its own seed, config fingerprint, and fault spec —
+//! admitted as labeled tenants onto one pool, with bounded admission,
+//! per-session credits, and per-session `RunOutcome`s (see [`session`]).
 //!
 //! Every run also produces a [`PipelineReport`]: per-stage busy vs blocked
 //! time, queue high-water marks, cycle totals, and the simulated link time
@@ -32,11 +40,18 @@
 mod error;
 mod executor;
 mod report;
+mod sched;
+mod session;
 mod stages;
 
 pub use error::{CorruptPolicy, PipelineError, RunOutcome, SupervisorConfig};
 pub use executor::{Pipeline, PipelineOutput};
 pub use report::{PipelineReport, StageReport};
+pub use sched::{default_pool_threads, ScheduledRun, Scheduler};
+pub use session::{
+    output_fingerprint, AdmissionError, SessionConfig, SessionHandle, SessionManager, SessionState,
+    SessionStatus,
+};
 pub use stages::{
     AccumulateStage, BinnerStage, DeconvBackend, DeconvolveStage, FrameSource, LinkStage,
 };

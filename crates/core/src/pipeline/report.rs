@@ -117,6 +117,11 @@ pub struct PipelineReport {
     /// software panel engine after a hardware-backend failure.
     #[serde(default)]
     pub deconv_fallbacks: u64,
+    /// Tenant label when the run was admitted through the session
+    /// multiplexer (`"s17"`); `None` for single-tenant runs. Stamped by
+    /// `SessionHandle::join`, carried into session-labeled ledger lines.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub session: Option<String>,
     /// Per-stage breakdown, in graph order (source first).
     pub stages: Vec<StageReport>,
 }
@@ -145,6 +150,7 @@ impl PipelineReport {
             faults: FaultCounts::default(),
             frames_quarantined: 0,
             deconv_fallbacks: 0,
+            session: None,
             stages: Vec::new(),
         }
     }

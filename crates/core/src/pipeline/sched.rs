@@ -1,0 +1,940 @@
+//! The sharded work-stealing runtime the executors and the session
+//! multiplexer run on.
+//!
+//! The dedicated-thread executor of PR-5 spawned one thread per stage per
+//! run: correct, but threads exist whether or not there is work, and N
+//! concurrent sessions would mean N × stages threads fighting the
+//! scheduler. This module replaces that with a fixed worker pool sized to
+//! `min(cores, 8)` ([`default_pool_threads`]) and turns every pipeline
+//! node — the frame source and each stage — into a *cooperatively
+//! scheduled task*:
+//!
+//! * **Sharded queues.** Each worker owns a run queue (a LIFO slot for
+//!   wake locality plus a FIFO deque for fairness); tasks pushed from
+//!   outside the pool land in a shared injector queue; idle workers
+//!   steal from the back of other shards.
+//! * **Non-blocking data plane.** Stages exchange messages through
+//!   bounded inboxes (the per-session channel credits). A task that
+//!   cannot push (downstream full) or pop (inbox empty) *returns* to the
+//!   pool instead of blocking a thread, and is woken by the exact event
+//!   that unblocks it (a downstream pop, an upstream push or close).
+//!   This is what lets one worker drive an entire graph — or 64 graphs —
+//!   without deadlock.
+//! * **Wake protocol.** Each node carries an atomic state (`IDLE`,
+//!   `QUEUED`, `RUNNING`, `RUNNING_DIRTY`); wakes CAS `IDLE → QUEUED`
+//!   (push) or `RUNNING → RUNNING_DIRTY` (requeue after the current
+//!   poll), so a node is in at most one queue and no wake is ever lost.
+//! * **Supervision, preserved.** Every `process`/`flush` call runs under
+//!   `catch_unwind`; a panicked stage turns poisoned and drains its
+//!   inbox without processing. A per-run watchdog thread (only when
+//!   `stall_timeout` is configured) polls the same per-node progress
+//!   counters the threaded executor kept, blames the upstream-most
+//!   unfinished node, cancels injected stalls, and records a
+//!   [`PipelineError::StageStalled`]. `RunOutcome` semantics are
+//!   bit-compatible with PR-5.
+//! * **Tenant identity.** A pipeline tagged with a session label (see
+//!   `Pipeline::with_session`) registers its meters under
+//!   `name#session=<label>` — the suffix the Prometheus exporter turns
+//!   into a `session="…"` label — and opens its spans under interned
+//!   `stage@label` categories, so one shared pool still yields
+//!   per-tenant metrics, sampler series, and trace tracks.
+//!
+//! Fairness: a task yields after a fixed quantum of messages, so a hot
+//! session cannot pin a worker; its bounded inboxes (credits) stop it
+//! from flooding memory ahead of a slow stage.
+
+use super::error::PipelineError;
+use super::executor::{finish_report, panic_message, Pipeline, PipelineOutput, StageMeter};
+use super::report::PipelineReport;
+use super::stages::FrameSource;
+use super::{DeconvolvedBlock, Message, Stage};
+use crate::fault::FaultInjector;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+/// Messages a task may process (or frames a source may emit) before it
+/// yields its worker back to the pool.
+const QUANTUM: u32 = 64;
+
+/// How long an idle worker sleeps before re-scanning the queues anyway —
+/// a belt-and-braces bound on any lost-wakeup bug, not the design wake
+/// path.
+const PARK_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// The worker-pool size the global scheduler uses: machine width capped
+/// at 8 (the serving design point — sessions beyond that multiplex).
+pub fn default_pool_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Locks a mutex, riding through poisoning: scheduler state stays usable
+/// even if some other holder panicked (stage panics never unwind while
+/// holding these — they are caught inside the poll).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------
+
+/// A handle to a worker pool. Cheap to clone; all clones share the pool.
+#[derive(Clone)]
+pub struct Scheduler {
+    pool: Arc<Pool>,
+}
+
+struct Pool {
+    shards: Vec<Shard>,
+    /// Tasks pushed from threads outside the pool.
+    injector: Mutex<VecDeque<Arc<Node>>>,
+    /// Queued-task count: pushed before the sleep-lock notify, popped on
+    /// dequeue, so a worker never parks while work is visible.
+    pending: AtomicUsize,
+    sleep: Mutex<SleepState>,
+    wakeup: Condvar,
+}
+
+#[derive(Default)]
+struct SleepState {
+    sleepers: usize,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Shard {
+    queue: Mutex<ShardQueue>,
+}
+
+#[derive(Default)]
+struct ShardQueue {
+    /// Most-recently-woken task: run next for cache locality. Never
+    /// stolen.
+    lifo: Option<Arc<Node>>,
+    /// Owner pops the front; thieves steal the back.
+    fifo: VecDeque<Arc<Node>>,
+}
+
+thread_local! {
+    /// `(pool identity, shard index)` of the worker running this thread.
+    static WORKER: std::cell::Cell<Option<(usize, usize)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+impl Scheduler {
+    /// Spawns a pool of `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let pool = Arc::new(Pool {
+            shards: (0..threads).map(|_| Shard::default()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            sleep: Mutex::new(SleepState::default()),
+            wakeup: Condvar::new(),
+        });
+        for i in 0..threads {
+            let p = pool.clone();
+            std::thread::Builder::new()
+                .name(format!("sched-worker-{i}"))
+                .spawn(move || worker_loop(p, i))
+                .expect("spawn scheduler worker");
+        }
+        Self { pool }
+    }
+
+    /// The process-wide pool (size [`default_pool_threads`]) that
+    /// `run_threaded`/`run_scheduled` and the session manager share.
+    pub fn global() -> &'static Scheduler {
+        static GLOBAL: OnceLock<Scheduler> = OnceLock::new();
+        GLOBAL.get_or_init(|| Scheduler::new(default_pool_threads()))
+    }
+
+    /// Worker count of this pool.
+    pub fn threads(&self) -> usize {
+        self.pool.shards.len()
+    }
+
+    /// Asks every worker to exit once the queues are drained of its
+    /// current task. In-flight runs never complete after this; it exists
+    /// for tests that spin up private pools, not for the global one.
+    pub fn shutdown(&self) {
+        let mut sleep = lock(&self.pool.sleep);
+        sleep.shutdown = true;
+        drop(sleep);
+        self.pool.wakeup.notify_all();
+    }
+}
+
+fn worker_loop(pool: Arc<Pool>, me: usize) {
+    ims_obs::set_thread_name(&format!("sched-worker-{me}"));
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&pool) as usize, me))));
+    while let Some(node) = next_task(&pool, me) {
+        run_node(&pool, node);
+    }
+}
+
+fn next_task(pool: &Pool, me: usize) -> Option<Arc<Node>> {
+    loop {
+        if let Some(t) = pool.pop(me) {
+            return Some(t);
+        }
+        let mut sleep = lock(&pool.sleep);
+        if sleep.shutdown {
+            return None;
+        }
+        // A push that raced our scan bumped `pending` before taking this
+        // lock; retry instead of parking past it.
+        if pool.pending.load(SeqCst) > 0 {
+            drop(sleep);
+            continue;
+        }
+        sleep.sleepers += 1;
+        let (mut sleep, _) = pool
+            .wakeup
+            .wait_timeout(sleep, PARK_TIMEOUT)
+            .unwrap_or_else(|e| e.into_inner());
+        sleep.sleepers -= 1;
+    }
+}
+
+fn run_node(pool: &Pool, node: Arc<Node>) {
+    node.state.store(RUNNING, SeqCst);
+    match node.poll() {
+        Poll::Yield => {
+            node.state.store(QUEUED, SeqCst);
+            pool.push(node, false);
+        }
+        Poll::Complete => node.state.store(IDLE, SeqCst),
+        Poll::Pending => {
+            // A wake that landed mid-poll left the state RUNNING_DIRTY;
+            // honour it by requeueing instead of idling.
+            if node
+                .state
+                .compare_exchange(RUNNING, IDLE, SeqCst, SeqCst)
+                .is_err()
+            {
+                node.state.store(QUEUED, SeqCst);
+                pool.push(node, true);
+            }
+        }
+    }
+}
+
+impl Pool {
+    fn pop(&self, me: usize) -> Option<Arc<Node>> {
+        {
+            let mut q = lock(&self.shards[me].queue);
+            if let Some(t) = q.lifo.take().or_else(|| q.fifo.pop_front()) {
+                self.pending.fetch_sub(1, SeqCst);
+                return Some(t);
+            }
+        }
+        if let Some(t) = lock(&self.injector).pop_front() {
+            self.pending.fetch_sub(1, SeqCst);
+            return Some(t);
+        }
+        let n = self.shards.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(t) = lock(&self.shards[victim].queue).fifo.pop_back() {
+                self.pending.fetch_sub(1, SeqCst);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Enqueues a runnable node: onto the calling worker's shard (the
+    /// LIFO slot for wakes, the FIFO for quantum yields), or the shared
+    /// injector when called from outside the pool.
+    fn push(&self, node: Arc<Node>, to_lifo: bool) {
+        self.pending.fetch_add(1, SeqCst);
+        let my_shard = WORKER.with(|w| match w.get() {
+            Some((pool_id, shard)) if pool_id == self as *const Pool as usize => Some(shard),
+            _ => None,
+        });
+        match my_shard {
+            Some(shard) => {
+                let mut q = lock(&self.shards[shard].queue);
+                if to_lifo {
+                    if let Some(evicted) = q.lifo.replace(node) {
+                        q.fifo.push_front(evicted);
+                    }
+                } else {
+                    q.fifo.push_back(node);
+                }
+            }
+            None => lock(&self.injector).push_back(node),
+        }
+        let sleep = lock(&self.sleep);
+        if sleep.sleepers > 0 {
+            drop(sleep);
+            self.wakeup.notify_one();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graph nodes as tasks
+// ---------------------------------------------------------------------
+
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const RUNNING_DIRTY: u8 = 3;
+
+enum Poll {
+    /// Quantum exhausted with work left: requeue for fairness.
+    Yield,
+    /// Blocked on input or output: wait for the unblocking wake.
+    Pending,
+    /// This node will never run again.
+    Complete,
+}
+
+/// Shared state of one scheduled run (one session).
+struct RunCore {
+    pool: Arc<Pool>,
+    /// Per-node progress counters (index 0 = source), watchdog-polled.
+    progress: Vec<AtomicU64>,
+    /// Per-node completion flags, watchdog blame order.
+    done: Vec<AtomicBool>,
+    /// Watchdog fired: the source stops producing so the graph drains.
+    cancel: AtomicBool,
+    injector: Option<FaultInjector>,
+    /// Collected output blocks (the sink; unbounded like the threaded
+    /// executor's collector thread).
+    sink: Mutex<Vec<DeconvolvedBlock>>,
+    completed: Mutex<bool>,
+    completed_cv: Condvar,
+    /// Watchdog-recorded stalls; panics are gathered from the nodes at
+    /// join so the error order (stalls first, then panics in stage
+    /// order) matches the threaded executor's report contract.
+    stall_errors: Mutex<Vec<PipelineError>>,
+}
+
+impl RunCore {
+    fn finish(&self) {
+        let mut c = lock(&self.completed);
+        *c = true;
+        drop(c);
+        self.completed_cv.notify_all();
+    }
+}
+
+/// A bounded message queue feeding one stage — the session's channel
+/// credits for that hop.
+struct Inbox {
+    capacity: usize,
+    q: Mutex<InboxQ>,
+}
+
+#[derive(Default)]
+struct InboxQ {
+    items: VecDeque<Message>,
+    closed: bool,
+}
+
+impl Inbox {
+    /// Pops one message; also reports closed-ness and the pre-pop depth
+    /// (for queue accounting and full→not-full edge detection).
+    fn pop(&self) -> (Option<Message>, bool, usize) {
+        let mut q = lock(&self.q);
+        let depth = q.items.len();
+        (q.items.pop_front(), q.closed, depth)
+    }
+}
+
+struct Node {
+    state: AtomicU8,
+    /// 0 = source, `i + 1` = stage `i`; indexes `progress`/`done`.
+    index: usize,
+    /// Span/trace category: the stage name, or `stage@session`.
+    cat: &'static str,
+    /// `None` once the run has been joined and the body extracted.
+    body: Mutex<Option<Body>>,
+    /// `None` for the source.
+    inbox: Option<Inbox>,
+    /// `None` for the last stage (its output is the sink).
+    downstream: Option<Arc<Node>>,
+    /// Weak to break the `downstream` chain's reference cycle.
+    upstream: OnceLock<Weak<Node>>,
+    run: Arc<RunCore>,
+}
+
+enum Body {
+    Source(SourceBody),
+    Stage(StageBody),
+}
+
+struct SourceBody {
+    source: Arc<FrameSource>,
+    frames: u64,
+    next: u64,
+    /// A generated frame the full downstream inbox refused.
+    stalled: Option<Message>,
+    meter: StageMeter,
+    panic: Option<String>,
+    blocked_send_since: Option<Instant>,
+    finished: bool,
+}
+
+struct StageBody {
+    stage: Box<dyn Stage>,
+    meter: StageMeter,
+    queue_gauge: &'static ims_obs::Gauge,
+    /// Emitted messages awaiting downstream credit.
+    outbox: VecDeque<Message>,
+    poisoned: Option<String>,
+    flushed: bool,
+    blocked_send_since: Option<Instant>,
+    blocked_recv_since: Option<Instant>,
+    finished: bool,
+}
+
+impl Node {
+    fn poll(self: &Arc<Self>) -> Poll {
+        let mut guard = lock(&self.body);
+        let Some(body) = guard.as_mut() else {
+            return Poll::Complete;
+        };
+        match body {
+            Body::Source(s) => self.poll_source(s),
+            Body::Stage(s) => self.poll_stage(s),
+        }
+    }
+
+    fn poll_source(&self, s: &mut SourceBody) -> Poll {
+        if s.finished {
+            return Poll::Complete;
+        }
+        let run = &self.run;
+        let mut budget = QUANTUM;
+        loop {
+            if let Some(msg) = s.stalled.take() {
+                match self.push_downstream(msg) {
+                    Ok(()) => {
+                        if let Some(t) = s.blocked_send_since.take() {
+                            s.meter.blocked_send += t.elapsed();
+                        }
+                        s.meter.items_out += 1;
+                        run.progress[0].fetch_add(1, Relaxed);
+                    }
+                    Err(msg) => {
+                        s.stalled = Some(msg);
+                        s.blocked_send_since.get_or_insert_with(Instant::now);
+                        return Poll::Pending;
+                    }
+                }
+            }
+            if s.panic.is_some() || run.cancel.load(Relaxed) || s.next >= s.frames {
+                s.finished = true;
+                run.done[0].store(true, Relaxed);
+                self.close_downstream();
+                return Poll::Complete;
+            }
+            if budget == 0 {
+                return Poll::Yield;
+            }
+            budget -= 1;
+            let i = s.next;
+            if let Some(inj) = &run.injector {
+                if let Some(stall) = inj.stall_duration(i) {
+                    // The injected stall sleeps on the worker (it models
+                    // a wedged producer); the watchdog's cancel breaks it
+                    // mid-sleep, after which the source stops producing —
+                    // exactly the dedicated-thread source's `break`.
+                    if !inj.stall(stall) {
+                        s.next = s.frames;
+                        continue;
+                    }
+                }
+                if inj.drop_frame(i) {
+                    s.next = i + 1;
+                    run.progress[0].fetch_add(1, Relaxed);
+                    continue;
+                }
+            }
+            let t = Instant::now();
+            let source = s.source.clone();
+            let cat = self.cat;
+            match catch_unwind(AssertUnwindSafe(|| {
+                let _sp = ims_obs::span_cat(cat, "process");
+                source.packet(i)
+            })) {
+                Ok(packet) => {
+                    let gen = t.elapsed();
+                    s.meter.busy += gen;
+                    s.meter.record_latency(gen);
+                    s.stalled = Some(Message::Frame(packet));
+                    s.next = i + 1;
+                }
+                Err(payload) => s.panic = Some(panic_message(payload)),
+            }
+        }
+    }
+
+    fn poll_stage(&self, b: &mut StageBody) -> Poll {
+        if b.finished {
+            return Poll::Complete;
+        }
+        let run = &self.run;
+        let idx = self.index;
+        let inbox = self.inbox.as_ref().expect("stage nodes have an inbox");
+        let mut budget = QUANTUM;
+        loop {
+            // 1. Drain the outbox first: downstream credit gates input.
+            while let Some(msg) = b.outbox.pop_front() {
+                match self.push_downstream(msg) {
+                    Ok(()) => b.meter.items_out += 1,
+                    Err(msg) => {
+                        b.outbox.push_front(msg);
+                        b.blocked_send_since.get_or_insert_with(Instant::now);
+                        return Poll::Pending;
+                    }
+                }
+            }
+            if let Some(t) = b.blocked_send_since.take() {
+                b.meter.blocked_send += t.elapsed();
+            }
+            // 2. One input message.
+            let (popped, closed, depth) = inbox.pop();
+            match popped {
+                Some(msg) => {
+                    b.meter.queue_high_water = b.meter.queue_high_water.max(depth as u64);
+                    b.queue_gauge.set(depth as u64);
+                    ims_obs::counter_sample("queue-depth", self.cat, depth as f64);
+                    if let Some(t) = b.blocked_recv_since.take() {
+                        b.meter.blocked_recv += t.elapsed();
+                    }
+                    b.meter.items_in += 1;
+                    if depth == inbox.capacity {
+                        // full → not-full edge: give upstream its credit
+                        self.wake_upstream();
+                    }
+                    if b.poisoned.is_some() {
+                        // Drain-only mode: keep consuming so upstream
+                        // never wedges on a full inbox, process nothing.
+                        run.progress[idx].fetch_add(1, Relaxed);
+                    } else {
+                        let StageBody { stage, outbox, .. } = b;
+                        let cat = self.cat;
+                        let t = Instant::now();
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            let _sp = ims_obs::span_cat(cat, "process");
+                            stage.process(msg, &mut |m| outbox.push_back(m));
+                        }));
+                        match caught {
+                            Ok(()) => {
+                                let took = t.elapsed();
+                                b.meter.busy += took;
+                                b.meter.record_latency(took);
+                                b.meter.refresh_cells(b.stage.as_ref());
+                            }
+                            Err(p) => b.poisoned = Some(panic_message(p)),
+                        }
+                        run.progress[idx].fetch_add(1, Relaxed);
+                    }
+                    if budget == 0 {
+                        return Poll::Yield;
+                    }
+                    budget -= 1;
+                }
+                None if closed => {
+                    if b.poisoned.is_none() && !b.flushed {
+                        b.flushed = true;
+                        let StageBody { stage, outbox, .. } = b;
+                        let cat = self.cat;
+                        let t = Instant::now();
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            let _sp = ims_obs::span_cat(cat, "flush");
+                            stage.flush(&mut |m| outbox.push_back(m));
+                        }));
+                        match caught {
+                            Ok(()) => {
+                                b.meter.busy += t.elapsed();
+                                b.meter.refresh_cells(b.stage.as_ref());
+                            }
+                            Err(p) => b.poisoned = Some(panic_message(p)),
+                        }
+                        continue; // drain whatever flush emitted
+                    }
+                    b.finished = true;
+                    run.done[idx].store(true, Relaxed);
+                    self.close_downstream();
+                    return Poll::Complete;
+                }
+                None => {
+                    b.blocked_recv_since.get_or_insert_with(Instant::now);
+                    return Poll::Pending;
+                }
+            }
+        }
+    }
+
+    /// Offers a message downstream; `Err(msg)` hands it back when the
+    /// inbox is out of credits. The last stage's output lands in the
+    /// run's sink (unbounded, like the threaded collector).
+    fn push_downstream(&self, msg: Message) -> Result<(), Message> {
+        match &self.downstream {
+            Some(next) => {
+                let inbox = next.inbox.as_ref().expect("downstream has an inbox");
+                {
+                    let mut q = lock(&inbox.q);
+                    if q.items.len() >= inbox.capacity {
+                        return Err(msg);
+                    }
+                    q.items.push_back(msg);
+                }
+                next.wake(&self.run.pool);
+                Ok(())
+            }
+            None => {
+                if let Message::Deconvolved(b) = msg {
+                    lock(&self.run.sink).push(b);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Closes the downstream inbox (EOF) — or, from the last stage,
+    /// declares the run complete.
+    fn close_downstream(&self) {
+        match &self.downstream {
+            Some(next) => {
+                lock(&next.inbox.as_ref().expect("downstream has an inbox").q).closed = true;
+                next.wake(&self.run.pool);
+            }
+            None => self.run.finish(),
+        }
+    }
+
+    fn wake_upstream(&self) {
+        if let Some(up) = self.upstream.get().and_then(Weak::upgrade) {
+            up.wake(&self.run.pool);
+        }
+    }
+
+    /// Makes sure this node runs (again): queues it when idle, marks it
+    /// dirty when mid-poll. Lost-wake-free: state changes are CAS'd and
+    /// every producer-side mutation happens before the wake.
+    fn wake(self: &Arc<Self>, pool: &Arc<Pool>) {
+        loop {
+            match self.state.load(SeqCst) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, QUEUED, SeqCst, SeqCst)
+                        .is_ok()
+                    {
+                        pool.push(self.clone(), true);
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, RUNNING_DIRTY, SeqCst, SeqCst)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                _ => return, // QUEUED | RUNNING_DIRTY: already rescheduled
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spawning a pipeline onto the pool
+// ---------------------------------------------------------------------
+
+/// Span category for a (possibly session-labeled) stage: interned
+/// `name@session` so per-tenant activity gets its own trace track
+/// identity; the plain stage name when unlabeled (keeping `htims trace`
+/// categories stable).
+fn session_cat(name: &'static str, session: Option<&'static str>) -> &'static str {
+    match session {
+        Some(s) => ims_obs::intern(&format!("{name}@{s}")),
+        None => name,
+    }
+}
+
+/// Submits a pipeline to `sched` and returns without waiting. Used by
+/// `Pipeline::{run_threaded,run_scheduled,spawn_on}` and the session
+/// manager.
+pub(super) fn spawn(
+    mut pipeline: Pipeline,
+    sched: &Scheduler,
+    executor: &'static str,
+) -> ScheduledRun {
+    assert!(!pipeline.stages.is_empty(), "pipeline has no stages");
+    pipeline.arm();
+    let start = Instant::now();
+    let Pipeline {
+        source,
+        stages,
+        channel_depth,
+        injector,
+        supervisor,
+        session,
+    } = pipeline;
+    let n = stages.len();
+    let frames = source.frames();
+    let source = Arc::new(source);
+    let names: Vec<&'static str> = std::iter::once("source")
+        .chain(stages.iter().map(|s| s.name()))
+        .collect();
+
+    let run = Arc::new(RunCore {
+        pool: sched.pool.clone(),
+        progress: (0..=n).map(|_| AtomicU64::new(0)).collect(),
+        done: (0..=n).map(|_| AtomicBool::new(false)).collect(),
+        cancel: AtomicBool::new(false),
+        injector: injector.clone(),
+        sink: Mutex::new(Vec::new()),
+        completed: Mutex::new(false),
+        completed_cv: Condvar::new(),
+        stall_errors: Mutex::new(Vec::new()),
+    });
+
+    // Inbox capacity of stage i = the depth of the channel that fed it
+    // under the threaded executor: `channel_depth` for stage 0, the
+    // upstream stage's `output_depth` after that. These bounds are the
+    // session's per-hop credits.
+    let mut caps = Vec::with_capacity(n);
+    caps.push(channel_depth);
+    for s in stages.iter().take(n - 1) {
+        caps.push(s.output_depth(channel_depth));
+    }
+
+    // Build back-to-front so each node owns an Arc to its downstream;
+    // upstream links are Weak (the chain would otherwise be a cycle).
+    let mut nodes: Vec<Arc<Node>> = Vec::with_capacity(n + 1);
+    let mut downstream: Option<Arc<Node>> = None;
+    for (i, stage) in stages.into_iter().enumerate().rev() {
+        let name = stage.name();
+        let queue_gauge = ims_obs::metrics::gauge(&StageMeter::metric_name(
+            "pipeline.queue_depth",
+            name,
+            session,
+        ));
+        let node = Arc::new(Node {
+            state: AtomicU8::new(IDLE),
+            index: i + 1,
+            cat: session_cat(name, session),
+            body: Mutex::new(Some(Body::Stage(StageBody {
+                stage,
+                meter: StageMeter::with_session(name, session),
+                queue_gauge,
+                outbox: VecDeque::new(),
+                poisoned: None,
+                flushed: false,
+                blocked_send_since: None,
+                blocked_recv_since: None,
+                finished: false,
+            }))),
+            inbox: Some(Inbox {
+                capacity: caps[i].max(1),
+                q: Mutex::new(InboxQ::default()),
+            }),
+            downstream: downstream.take(),
+            upstream: OnceLock::new(),
+            run: run.clone(),
+        });
+        if let Some(next) = &node.downstream {
+            let _ = next.upstream.set(Arc::downgrade(&node));
+        }
+        downstream = Some(node.clone());
+        nodes.push(node);
+    }
+    let source_node = Arc::new(Node {
+        state: AtomicU8::new(IDLE),
+        index: 0,
+        cat: session_cat("source", session),
+        body: Mutex::new(Some(Body::Source(SourceBody {
+            source,
+            frames,
+            next: 0,
+            stalled: None,
+            meter: StageMeter::with_session("source", session),
+            panic: None,
+            blocked_send_since: None,
+            finished: false,
+        }))),
+        inbox: None,
+        downstream: downstream.take(),
+        upstream: OnceLock::new(),
+        run: run.clone(),
+    });
+    if let Some(next) = &source_node.downstream {
+        let _ = next.upstream.set(Arc::downgrade(&source_node));
+    }
+    nodes.push(source_node);
+    nodes.reverse(); // index order: source, stage 0, …, stage n-1
+
+    // Watchdog: its own thread per supervised run (the pool's workers
+    // may all be busy — or sleeping inside an injected stall).
+    let watchdog = supervisor.stall_timeout.map(|timeout| {
+        let run = run.clone();
+        let names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        let weak_nodes: Vec<Weak<Node>> = nodes.iter().map(Arc::downgrade).collect();
+        std::thread::Builder::new()
+            .name("sched-watchdog".into())
+            .spawn(move || {
+                ims_obs::set_thread_name("watchdog");
+                let tick = (timeout / 4).max(Duration::from_millis(5)).min(timeout);
+                let mut last: Vec<u64> = run.progress.iter().map(|p| p.load(Relaxed)).collect();
+                let mut idle = Duration::ZERO;
+                let mut completed = lock(&run.completed);
+                loop {
+                    let (guard, _) = run
+                        .completed_cv
+                        .wait_timeout(completed, tick)
+                        .unwrap_or_else(|e| e.into_inner());
+                    completed = guard;
+                    if *completed || run.done.iter().all(|d| d.load(Relaxed)) {
+                        return;
+                    }
+                    let now: Vec<u64> = run.progress.iter().map(|p| p.load(Relaxed)).collect();
+                    if now != last {
+                        last = now;
+                        idle = Duration::ZERO;
+                        continue;
+                    }
+                    idle += tick;
+                    if idle < timeout {
+                        continue;
+                    }
+                    // Stalled: blame the upstream-most unfinished node,
+                    // break any injected stall, and let the graph drain.
+                    let blamed = run.done.iter().position(|d| !d.load(Relaxed)).unwrap_or(0);
+                    run.cancel.store(true, Relaxed);
+                    if let Some(inj) = &run.injector {
+                        inj.cancel();
+                    }
+                    ims_obs::static_counter!("pipeline.watchdog_stalls").incr();
+                    ims_obs::instant("fault", "watchdog_stall");
+                    lock(&run.stall_errors).push(PipelineError::StageStalled {
+                        stage: names[blamed].clone(),
+                        timeout_ms: timeout.as_millis() as u64,
+                    });
+                    drop(completed);
+                    for w in &weak_nodes {
+                        if let Some(node) = w.upgrade() {
+                            node.wake(&run.pool);
+                        }
+                    }
+                    return;
+                }
+            })
+            .expect("spawn scheduler watchdog")
+    });
+
+    // Kick every node once: stages settle into Pending-on-input, the
+    // source starts producing.
+    for node in &nodes {
+        node.wake(&sched.pool);
+    }
+
+    ScheduledRun {
+        nodes,
+        run,
+        start,
+        executor,
+        channel_depth,
+        frames,
+        injector,
+        watchdog,
+    }
+}
+
+/// An in-flight scheduled run (one session's pipeline).
+pub struct ScheduledRun {
+    nodes: Vec<Arc<Node>>,
+    run: Arc<RunCore>,
+    start: Instant,
+    executor: &'static str,
+    channel_depth: usize,
+    frames: u64,
+    injector: Option<FaultInjector>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ScheduledRun {
+    /// Whether the graph has fully drained (join would not block).
+    pub fn is_finished(&self) -> bool {
+        *lock(&self.run.completed)
+    }
+
+    /// Waits for the graph to drain and assembles the same
+    /// [`PipelineOutput`] contract the dedicated-thread executor
+    /// produced: ordered blocks, per-stage meters, structured errors
+    /// (stalls first, then panics in stage order), and the
+    /// `RunOutcome` verdict.
+    pub fn join(mut self) -> PipelineOutput {
+        {
+            let mut completed = lock(&self.run.completed);
+            while !*completed {
+                completed = self
+                    .run
+                    .completed_cv
+                    .wait(completed)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
+        let mut errors: Vec<PipelineError> = std::mem::take(&mut *lock(&self.run.stall_errors));
+        let mut meters: Vec<StageMeter> = Vec::with_capacity(self.nodes.len());
+        let mut stages: Vec<Box<dyn Stage>> = Vec::with_capacity(self.nodes.len() - 1);
+        for node in &self.nodes {
+            let body = lock(&node.body).take().expect("node body taken once");
+            match body {
+                Body::Source(s) => {
+                    if let Some(message) = s.panic {
+                        errors.push(PipelineError::StagePanicked {
+                            stage: "source".into(),
+                            message,
+                        });
+                    }
+                    meters.push(s.meter);
+                }
+                Body::Stage(s) => {
+                    if let Some(message) = s.poisoned {
+                        errors.push(PipelineError::StagePanicked {
+                            stage: s.stage.name().into(),
+                            message,
+                        });
+                    }
+                    meters.push(s.meter);
+                    stages.push(s.stage);
+                }
+            }
+        }
+        let blocks = std::mem::take(&mut *lock(&self.run.sink));
+        let mut report = PipelineReport::new(self.executor);
+        report.channel_depth = self.channel_depth;
+        report.errors = errors;
+        finish_report(
+            &mut report,
+            stages,
+            meters,
+            self.frames,
+            blocks.len(),
+            self.start,
+            self.injector.as_ref(),
+        );
+        PipelineOutput { blocks, report }
+    }
+}

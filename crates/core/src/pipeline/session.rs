@@ -1,0 +1,385 @@
+//! Multi-tenant session multiplexing over the work-stealing scheduler.
+//!
+//! A *session* is one independent pipeline run — its own seed, its own
+//! config fingerprint, optionally its own fault spec — admitted onto the
+//! shared worker pool. The [`SessionManager`] is the admission and
+//! bookkeeping layer on top of [`Scheduler`]:
+//!
+//! * **Admission control.** The session table is bounded
+//!   (`max_sessions`); admitting past the bound, or reusing a label that
+//!   is still running, is rejected with a typed [`AdmissionError`]
+//!   instead of queueing unboundedly. Rejection is cheap — the pipeline
+//!   is handed back untouched.
+//! * **Quotas / back-pressure.** Each admitted graph keeps its bounded
+//!   per-hop inboxes (the channel credits of [`super::sched`]), so one
+//!   hot tenant saturates its own credits and yields its quantum rather
+//!   than starving the pool.
+//! * **Tenant identity.** Admission stamps the pipeline with the session
+//!   label ([`Pipeline::with_session`]); every metric series, sampler
+//!   point, ledger line, and trace track downstream carries it.
+//! * **Teardown.** [`SessionHandle::join`] preserves the supervised
+//!   [`PipelineOutput`] contract per session — a tenant that panics or
+//!   stalls fails *alone*, with its `RunOutcome` recorded in the table
+//!   while other sessions run to completion.
+//!
+//! The table keeps the latest state per label (running sessions plus the
+//! last finished run under each label); durable history belongs to the
+//! ledger, which gets one session-labeled record per run.
+
+use super::executor::{Pipeline, PipelineOutput};
+use super::sched::{ScheduledRun, Scheduler};
+use super::DeconvolvedBlock;
+use ims_fpga::dma::fnv1a64;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Hashes a run's output blocks into a single FNV-1a token: block index,
+/// frame count, and every deconvolved word, all little-endian. The same
+/// token the chaos harness uses for determinism checks, so session
+/// fingerprints and chaos fingerprints are directly comparable.
+pub fn output_fingerprint(blocks: &[DeconvolvedBlock]) -> u64 {
+    let mut bytes = Vec::new();
+    for b in blocks {
+        bytes.extend_from_slice(&b.index.to_le_bytes());
+        bytes.extend_from_slice(&b.frames.to_le_bytes());
+        for v in &b.data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fnv1a64(&bytes)
+}
+
+/// Identity of a session at admission time.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Short tenant label (`s17`); becomes the `session` metric label, so
+    /// it must stay low-cardinality (labels are interned for the process
+    /// lifetime).
+    pub label: String,
+    /// The session's base seed (already derived per tenant; see
+    /// `fault::session_seed`).
+    pub seed: u64,
+    /// Pre-rendered config fingerprint of the graph this session runs.
+    pub fingerprint: String,
+}
+
+/// Why a session was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The bounded session table already has `max` running sessions.
+    TableFull {
+        /// The configured bound.
+        max: usize,
+    },
+    /// A session with this label is still running.
+    DuplicateLabel {
+        /// The offending label.
+        label: String,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TableFull { max } => {
+                write!(f, "session table full ({max} running sessions)")
+            }
+            Self::DuplicateLabel { label } => {
+                write!(f, "session label {label:?} is already running")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Lifecycle state of a table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Admitted and on the pool.
+    Running,
+    /// Joined; `outcome` and the output fingerprint are final.
+    Finished,
+}
+
+impl SessionState {
+    /// Lowercase token used in JSON (matching the ledger/chaos idiom).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Running => "running",
+            Self::Finished => "finished",
+        }
+    }
+}
+
+impl Serialize for SessionState {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_string())
+    }
+}
+
+/// One session's row in the table — what `GET /sessions` serves.
+#[derive(Debug, Clone, Serialize)]
+pub struct SessionStatus {
+    /// Tenant label (`s17`).
+    pub label: String,
+    /// The session's seed.
+    pub seed: u64,
+    /// Config fingerprint at admission.
+    pub fingerprint: String,
+    /// Running or finished.
+    pub state: SessionState,
+    /// Final verdict (lowercase [`RunOutcome::as_str`] token); `None`
+    /// while running.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub outcome: Option<String>,
+    /// Output blocks produced; `None` while running.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub blocks: Option<u64>,
+    /// FNV-1a fingerprint of the output blocks (hex); `None` while
+    /// running. Equal seeds and configs yield equal fingerprints — the
+    /// reproducibility contract.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub output_fnv: Option<String>,
+    /// Wall-clock seconds from admission to join; `None` while running.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub wall_seconds: Option<f64>,
+}
+
+struct Table {
+    sessions: BTreeMap<String, SessionStatus>,
+    running: usize,
+}
+
+/// Admission control and status bookkeeping for sessions multiplexed on
+/// one scheduler. Cheap to clone-share via the internal `Arc`s; handles
+/// keep the table alive.
+pub struct SessionManager {
+    sched: Scheduler,
+    max_sessions: usize,
+    table: Arc<Mutex<Table>>,
+}
+
+fn lock(table: &Mutex<Table>) -> MutexGuard<'_, Table> {
+    table.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SessionManager {
+    /// A manager admitting at most `max_sessions` concurrently running
+    /// sessions onto `sched`.
+    pub fn new(sched: Scheduler, max_sessions: usize) -> Self {
+        Self {
+            sched,
+            max_sessions: max_sessions.max(1),
+            table: Arc::new(Mutex::new(Table {
+                sessions: BTreeMap::new(),
+                running: 0,
+            })),
+        }
+    }
+
+    /// The running-session bound.
+    pub fn max_sessions(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// Worker threads in the underlying pool.
+    pub fn pool_threads(&self) -> usize {
+        self.sched.threads()
+    }
+
+    /// The scheduler sessions are admitted onto.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// Currently running sessions.
+    pub fn running(&self) -> usize {
+        lock(&self.table).running
+    }
+
+    /// Admits `pipeline` as session `config.label`, or rejects it.
+    ///
+    /// On admission the pipeline is stamped with the session label (all
+    /// its telemetry becomes tenant-scoped) and submitted to the pool; a
+    /// previous *finished* entry under the same label is replaced (the
+    /// table is current state, the ledger is history). On rejection the
+    /// pipeline is returned untouched so the caller can retry later.
+    ///
+    /// The large `Err` variant is the point: rejection must hand the
+    /// built pipeline back by value, not lose it behind a box.
+    #[allow(clippy::result_large_err)]
+    pub fn admit(
+        &self,
+        config: SessionConfig,
+        pipeline: Pipeline,
+    ) -> Result<SessionHandle, (AdmissionError, Pipeline)> {
+        {
+            let mut table = lock(&self.table);
+            // The label check comes first: "this label is still running" is
+            // the more specific rejection when the table is also full.
+            if table
+                .sessions
+                .get(&config.label)
+                .is_some_and(|s| s.state == SessionState::Running)
+            {
+                return Err((
+                    AdmissionError::DuplicateLabel {
+                        label: config.label.clone(),
+                    },
+                    pipeline,
+                ));
+            }
+            if table.running >= self.max_sessions {
+                return Err((
+                    AdmissionError::TableFull {
+                        max: self.max_sessions,
+                    },
+                    pipeline,
+                ));
+            }
+            table.running += 1;
+            table.sessions.insert(
+                config.label.clone(),
+                SessionStatus {
+                    label: config.label.clone(),
+                    seed: config.seed,
+                    fingerprint: config.fingerprint.clone(),
+                    state: SessionState::Running,
+                    outcome: None,
+                    blocks: None,
+                    output_fnv: None,
+                    wall_seconds: None,
+                },
+            );
+        }
+        let run = pipeline.with_session(&config.label).spawn_on(&self.sched);
+        Ok(SessionHandle {
+            label: config.label,
+            run,
+            table: self.table.clone(),
+            admitted: Instant::now(),
+        })
+    }
+
+    /// Snapshot of every table row, in label order.
+    pub fn statuses(&self) -> Vec<SessionStatus> {
+        lock(&self.table).sessions.values().cloned().collect()
+    }
+
+    /// The `GET /sessions` body: pool shape, bounds, and every row.
+    pub fn summary_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Summary {
+            max_sessions: usize,
+            pool_threads: usize,
+            running: usize,
+            sessions: Vec<SessionStatus>,
+        }
+        // One guard for both reads: a guard temporary inside the struct
+        // expression would live to the end of the statement and deadlock
+        // against a second lock.
+        let (running, sessions) = {
+            let table = lock(&self.table);
+            (table.running, table.sessions.values().cloned().collect())
+        };
+        let summary = Summary {
+            max_sessions: self.max_sessions,
+            pool_threads: self.sched.threads(),
+            running,
+            sessions,
+        };
+        serde_json::to_string_pretty(&summary).expect("session summary serializes")
+    }
+}
+
+/// An admitted, in-flight session. Joining it finalizes the table row.
+pub struct SessionHandle {
+    label: String,
+    run: ScheduledRun,
+    table: Arc<Mutex<Table>>,
+    admitted: Instant,
+}
+
+impl SessionHandle {
+    /// The session's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Whether the session's graph has fully drained (join won't block).
+    pub fn is_finished(&self) -> bool {
+        self.run.is_finished()
+    }
+
+    /// Waits for the session to drain, records its final state (outcome,
+    /// block count, output fingerprint, wall time) in the table, and
+    /// returns the run's output. Supervision semantics are per session:
+    /// this tenant's panics and stalls are in *its* report only.
+    pub fn join(self) -> PipelineOutput {
+        let mut out = self.run.join();
+        out.report.session = Some(self.label.clone());
+        let mut table = lock(&self.table);
+        table.running = table.running.saturating_sub(1);
+        if let Some(row) = table.sessions.get_mut(&self.label) {
+            row.state = SessionState::Finished;
+            row.outcome = Some(out.report.outcome.as_str().to_string());
+            row.blocks = Some(out.blocks.len() as u64);
+            row.output_fnv = Some(format!("{:#018x}", output_fingerprint(&out.blocks)));
+            row.wall_seconds = Some(self.admitted.elapsed().as_secs_f64());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_json_renders_running_and_finished_rows() {
+        let mgr = SessionManager::new(Scheduler::global().clone(), 4);
+        {
+            let mut table = lock(&mgr.table);
+            table.running = 1;
+            table.sessions.insert(
+                "s0".into(),
+                SessionStatus {
+                    label: "s0".into(),
+                    seed: 7,
+                    fingerprint: "abcd".into(),
+                    state: SessionState::Running,
+                    outcome: None,
+                    blocks: None,
+                    output_fnv: None,
+                    wall_seconds: None,
+                },
+            );
+            table.sessions.insert(
+                "s1".into(),
+                SessionStatus {
+                    label: "s1".into(),
+                    seed: 8,
+                    fingerprint: "abcd".into(),
+                    state: SessionState::Finished,
+                    outcome: Some("completed".into()),
+                    blocks: Some(2),
+                    output_fnv: Some("0x00000000deadbeef".into()),
+                    wall_seconds: Some(0.25),
+                },
+            );
+        }
+        let json = mgr.summary_json();
+        assert!(json.contains("\"running\""), "{json}");
+        assert!(json.contains("\"state\": \"running\""), "{json}");
+        assert!(json.contains("\"state\": \"finished\""), "{json}");
+        assert!(json.contains("\"outcome\": \"completed\""), "{json}");
+        assert!(json.contains("0x00000000deadbeef"), "{json}");
+        // Running rows omit the final-only fields entirely.
+        let s0 = json.split("\"label\": \"s0\"").nth(1).unwrap();
+        let s0 = s0.split('}').next().unwrap();
+        assert!(!s0.contains("outcome"), "{s0}");
+    }
+}

@@ -1,13 +1,14 @@
 //! Property tests of the pipeline executors: output must be invariant to
-//! channel depth (back-pressure intensity), executor choice (threaded vs
-//! inline), and deconvolution backend (all backends are bit-exact equals).
+//! channel depth (back-pressure intensity), executor choice (inline vs
+//! threaded vs work-stealing scheduled), and deconvolution backend (all
+//! backends are bit-exact equals).
 
 use htims_core::acquisition::{acquire, AcquireOptions, GateSchedule};
 use htims_core::hybrid::{
-    run_hybrid_streaming_with_backend, run_software_reference_binned_range,
+    hybrid_pipeline, run_hybrid_streaming_with_backend, run_software_reference_binned_range,
     run_software_reference_range, FrameGenerator, HybridConfig,
 };
-use htims_core::pipeline::DeconvBackend;
+use htims_core::pipeline::{output_fingerprint, DeconvBackend};
 use ims_fpga::MzBinner;
 use ims_prs::MSequence;
 use proptest::prelude::*;
@@ -87,5 +88,37 @@ proptest! {
                 &gen, &seq, b as u64 * frames, frames, cfg.deconv, &binner);
             prop_assert_eq!(block, &reference);
         }
+    }
+
+    #[test]
+    fn output_invariant_across_inline_threaded_and_scheduled(
+        depth_idx in 0usize..3,
+        backend_idx in 0usize..3,
+        frames in 1u64..8,
+        n_blocks in 1usize..4,
+    ) {
+        let (gen, seq) = generator(5, 18);
+        let cfg = HybridConfig {
+            frames,
+            channel_depth: [1usize, 2, 8][depth_idx],
+            ..Default::default()
+        };
+        let total = frames * n_blocks as u64;
+        let build = || hybrid_pipeline(
+            &gen, &seq, &cfg, total, frames, false, backend(backend_idx, &seq, &cfg));
+        // The same graph under all three executors: the single-thread
+        // reference, the compatibility wrapper, and the work-stealing
+        // runtime must produce bit-identical block streams.
+        let inline = build().run_inline();
+        let threaded = build().run_threaded();
+        let scheduled = build().run_scheduled();
+        prop_assert_eq!(inline.blocks.len(), n_blocks);
+        let reference = output_fingerprint(&inline.blocks);
+        prop_assert_eq!(output_fingerprint(&threaded.blocks), reference);
+        prop_assert_eq!(output_fingerprint(&scheduled.blocks), reference);
+        // Report tags still distinguish the entry points.
+        prop_assert_eq!(inline.report.executor.as_str(), "inline");
+        prop_assert_eq!(threaded.report.executor.as_str(), "threaded");
+        prop_assert_eq!(scheduled.report.executor.as_str(), "scheduled");
     }
 }

@@ -88,30 +88,95 @@ fn escape_help(text: &str) -> String {
     text.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
+/// Splits a registry name into its metric part and an optional label
+/// suffix. Everything after the first `#` is a comma-separated
+/// `key=value` list: `pipeline.items_total.link#session=s17` renders as
+/// `pipeline_items_total_link{session="s17"}`, so one registry (which
+/// keys strictly by name) can carry a bounded label dimension without a
+/// second data model. Names without `#` render exactly as before.
+pub fn split_labels(raw: &str) -> (&str, Vec<(String, String)>) {
+    match raw.split_once('#') {
+        None => (raw, Vec::new()),
+        Some((base, suffix)) => {
+            let labels = suffix
+                .split(',')
+                .filter_map(|pair| pair.split_once('='))
+                .map(|(k, v)| (sanitize_metric_name(k), sanitize_label_value(v)))
+                .collect();
+            (base, labels)
+        }
+    }
+}
+
+/// Maps a label value onto a charset that needs no exposition-format
+/// escaping: alphanumerics plus `_ . : -`, everything else becomes `_`.
+fn sanitize_label_value(v: &str) -> String {
+    v.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders a `{k="v",…}` block; empty (no braces) when there is nothing
+/// to say. `extra` appends a final label (the histogram `le`).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let rendered: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra)
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    format!("{{{}}}", rendered.join(","))
+}
+
 /// Renders metric families as Prometheus text exposition format 0.0.4.
-/// Families render in the order given; [`gather`] pre-sorts by name.
+/// Families render in the order given; [`gather`] pre-sorts by name, so
+/// labeled variants of one family (`…#session=s0`, `…#session=s1`) land
+/// adjacent and share a single `# TYPE` line (the format forbids
+/// repeating it).
 pub fn render(families: &[PromMetric]) -> String {
     let mut out = String::new();
+    let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
     for f in families {
-        let name = sanitize_metric_name(&f.name);
-        if let Some(help) = &f.help {
-            out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+        let (base, labels) = split_labels(&f.name);
+        let name = sanitize_metric_name(base);
+        let lbl = label_block(&labels, None);
+        if typed.insert(name.clone()) {
+            if let Some(help) = &f.help {
+                out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+            }
+            let kind = match &f.value {
+                PromValue::Counter(_) => "counter",
+                PromValue::Gauge(_) => "gauge",
+                PromValue::Histogram(_) => "histogram",
+            };
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
         }
         match &f.value {
             PromValue::Counter(v) => {
-                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                out.push_str(&format!("{name}{lbl} {v}\n"));
             }
             PromValue::Gauge(v) => {
-                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                out.push_str(&format!("{name}{lbl} {v}\n"));
             }
             PromValue::Histogram(h) => {
-                out.push_str(&format!("# TYPE {name} histogram\n"));
                 for &(le, cum) in &h.buckets {
-                    out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+                    let le = le.to_string();
+                    let b = label_block(&labels, Some(("le", &le)));
+                    out.push_str(&format!("{name}_bucket{b} {cum}\n"));
                 }
-                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
-                out.push_str(&format!("{name}_sum {}\n", h.sum));
-                out.push_str(&format!("{name}_count {}\n", h.count));
+                let b = label_block(&labels, Some(("le", "+Inf")));
+                out.push_str(&format!("{name}_bucket{b} {}\n", h.count));
+                out.push_str(&format!("{name}_sum{lbl} {}\n", h.sum));
+                out.push_str(&format!("{name}_count{lbl} {}\n", h.count));
             }
         }
     }
@@ -131,18 +196,30 @@ pub fn gather() -> Vec<PromMetric> {
             value: PromValue::Counter(c.value),
         });
     }
+    let mut high_water = Vec::new();
     for g in &snap.gauges {
         families.push(PromMetric {
             name: g.name.clone(),
             help: None,
             value: PromValue::Gauge(g.value),
         });
-        families.push(PromMetric {
-            name: format!("{}_high_water", g.name),
+        // The `_high_water` suffix goes on the metric name, *before* any
+        // `#key=value` label suffix — appending to the full interned name
+        // would corrupt the label value (`session="s0_high_water"`).
+        let name = match g.name.split_once('#') {
+            Some((base, labels)) => format!("{base}_high_water#{labels}"),
+            None => format!("{}_high_water", g.name),
+        };
+        high_water.push(PromMetric {
+            name,
             help: None,
             value: PromValue::Gauge(g.high_water),
         });
     }
+    // After the base gauges, not interleaved: the exposition format wants
+    // all series of one family in a single group, and labeled gauges put
+    // several series in each family.
+    families.append(&mut high_water);
     for (name, h) in metrics::histogram_handles() {
         families.push(PromMetric {
             name,
@@ -178,17 +255,88 @@ mod tests {
     }
 
     #[test]
+    fn session_label_suffixes_render_as_prometheus_labels() {
+        let families = vec![
+            PromMetric {
+                name: "pipeline.items_total.link#session=s0".into(),
+                help: None,
+                value: PromValue::Counter(3),
+            },
+            PromMetric {
+                name: "pipeline.items_total.link#session=s1".into(),
+                help: None,
+                value: PromValue::Counter(5),
+            },
+            PromMetric {
+                name: "pipeline.stage_latency_ns.link#session=s0".into(),
+                help: None,
+                value: PromValue::Histogram(PromHistogram {
+                    buckets: vec![(64, 2)],
+                    sum: 90,
+                    count: 2,
+                }),
+            },
+        ];
+        let text = render(&families);
+        assert!(
+            text.contains("pipeline_items_total_link{session=\"s0\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pipeline_items_total_link{session=\"s1\"} 5"),
+            "{text}"
+        );
+        // One TYPE line per family even with many labeled series.
+        assert_eq!(
+            text.matches("# TYPE pipeline_items_total_link counter")
+                .count(),
+            1,
+            "{text}"
+        );
+        // Histogram series carry the session label alongside `le`.
+        assert!(
+            text.contains("pipeline_stage_latency_ns_link_bucket{session=\"s0\",le=\"64\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pipeline_stage_latency_ns_link_bucket{session=\"s0\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pipeline_stage_latency_ns_link_sum{session=\"s0\"} 90"),
+            "{text}"
+        );
+        // Hostile label values are sanitized, not escaped.
+        let (base, labels) = split_labels("a.b#session=s\"0\nx");
+        assert_eq!(base, "a.b");
+        assert_eq!(labels, vec![("session".into(), "s_0_x".into())]);
+    }
+
+    #[test]
     fn gather_exports_live_registry_values() {
         let _lock = crate::global_test_lock();
         metrics::reset();
         metrics::counter("test.export.counter").add(5);
         metrics::gauge("test.export.gauge").set(9);
         metrics::gauge("test.export.gauge").set(4);
+        metrics::gauge("test.export.depth#session=s0").set(7);
+        metrics::gauge("test.export.depth#session=s0").set(2);
         metrics::histogram("test.export.hist").record(100);
         let text = prometheus_text();
         assert!(text.contains("test_export_counter 5"), "{text}");
         assert!(text.contains("test_export_gauge 4"), "{text}");
         assert!(text.contains("test_export_gauge_high_water 9"), "{text}");
+        // A labeled gauge's high-water suffix lands on the name, not
+        // inside the label value.
+        assert!(
+            text.contains("test_export_depth{session=\"s0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("test_export_depth_high_water{session=\"s0\"} 7"),
+            "{text}"
+        );
+        assert!(!text.contains("s0_high_water"), "{text}");
         assert!(text.contains("# TYPE test_export_hist histogram"), "{text}");
         assert!(text.contains("test_export_hist_sum 100"), "{text}");
         assert!(text.contains("test_export_hist_count 1"), "{text}");

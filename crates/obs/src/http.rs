@@ -22,6 +22,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Builds the `/sessions` response body on demand. Injected by the
+/// embedding binary (the session manager lives above this crate), so the
+/// exporter stays dependency-free; the closure returns a complete JSON
+/// document.
+pub type SessionsProvider = Arc<dyn Fn() -> String + Send + Sync>;
+
 /// A running exporter. [`stop`](ObsServer::stop) shuts the accept loop
 /// down cleanly; dropping without `stop` detaches it.
 pub struct ObsServer {
@@ -33,7 +39,28 @@ pub struct ObsServer {
 impl ObsServer {
     /// Binds `addr` (e.g. `"127.0.0.1:9464"`; port 0 picks a free port)
     /// and starts serving. `provenance` stamps every `/report.json`.
+    /// `GET /sessions` answers 404; use
+    /// [`start_with_sessions`](Self::start_with_sessions) to wire it.
     pub fn start(addr: &str, provenance: Provenance) -> std::io::Result<Self> {
+        Self::serve(addr, provenance, None)
+    }
+
+    /// [`start`](Self::start), plus a `GET /sessions` route serving
+    /// whatever JSON `sessions` returns at request time (the live
+    /// per-session status table of a multi-tenant serve).
+    pub fn start_with_sessions(
+        addr: &str,
+        provenance: Provenance,
+        sessions: SessionsProvider,
+    ) -> std::io::Result<Self> {
+        Self::serve(addr, provenance, Some(sessions))
+    }
+
+    fn serve(
+        addr: &str,
+        provenance: Provenance,
+        sessions: Option<SessionsProvider>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -49,7 +76,7 @@ impl ObsServer {
                     let Ok(stream) = conn else { continue };
                     // One request per connection, served inline: scrape
                     // traffic is one client every few seconds, not load.
-                    let _ = serve_one(stream, &provenance, started);
+                    let _ = serve_one(stream, &provenance, sessions.as_ref(), started);
                 }
             })
             .expect("spawn obs-http thread");
@@ -83,6 +110,7 @@ const MAX_REQUEST_BYTES: u64 = 8 * 1024;
 fn serve_one(
     mut stream: TcpStream,
     provenance: &Provenance,
+    sessions: Option<&SessionsProvider>,
     started: Instant,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
@@ -162,6 +190,16 @@ fn serve_one(
             respond(&mut stream, 200, "application/json", &body)
         }
         "/healthz" => respond(&mut stream, 200, "text/plain; charset=utf-8", "ok\n"),
+        "/sessions" => match sessions {
+            Some(provider) => {
+                let mut body = provider();
+                if !body.ends_with('\n') {
+                    body.push('\n');
+                }
+                respond(&mut stream, 200, "application/json", &body)
+            }
+            None => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+        },
         _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
     }
 }
@@ -235,6 +273,39 @@ mod tests {
         let (status, _, _) = get(addr, "/nope");
         assert_eq!(status, 404);
 
+        server.stop();
+    }
+
+    #[test]
+    fn sessions_route_serves_injected_json_or_404() {
+        let _lock = crate::global_test_lock();
+        metrics::reset();
+        // Without a provider the route does not exist.
+        let server = ObsServer::start("127.0.0.1:0", Provenance::collect(1, 32)).unwrap();
+        let (status, _, _) = get(server.local_addr(), "/sessions");
+        assert_eq!(status, 404);
+        server.stop();
+
+        // With one, it serves whatever the provider says *now*.
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let counted = hits.clone();
+        let provider: SessionsProvider = Arc::new(move || {
+            let n = counted.fetch_add(1, Ordering::Relaxed) + 1;
+            format!("{{\"sessions\":[],\"scrapes\":{n}}}")
+        });
+        let server =
+            ObsServer::start_with_sessions("127.0.0.1:0", Provenance::collect(1, 32), provider)
+                .unwrap();
+        let addr = server.local_addr();
+        let (status, head, body) = get(addr, "/sessions");
+        assert_eq!(status, 200);
+        assert!(head.contains("application/json"), "{head}");
+        assert_eq!(body, "{\"sessions\":[],\"scrapes\":1}\n");
+        let (_, _, body) = get(addr, "/sessions");
+        assert_eq!(
+            body, "{\"sessions\":[],\"scrapes\":2}\n",
+            "live, not cached"
+        );
         server.stop();
     }
 

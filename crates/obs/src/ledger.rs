@@ -104,6 +104,11 @@ pub struct LedgerRecord {
     /// existed, and omitted from the JSON line.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub outcome: Option<String>,
+    /// Session label (`s17`) when the run was one tenant of a
+    /// multi-session serve; `None` (and omitted from the line) for
+    /// single-tenant runs — pre-session ledgers parse unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub session: Option<String>,
 }
 
 impl LedgerRecord {
@@ -124,11 +129,19 @@ impl LedgerRecord {
             stage_latency: Vec::new(),
             mcells_per_second: 0.0,
             outcome: None,
+            session: None,
         }
     }
 }
 
 /// Appends one record as a single JSON line, creating the file if needed.
+///
+/// Line-atomic under concurrent writers: the record is fully serialized
+/// (trailing `\n` included) *before* a single `write_all` on an
+/// `O_APPEND` descriptor, so sessions appending from different threads —
+/// or different processes — interleave whole lines, never bytes. POSIX
+/// guarantees the append offset/write pair is atomic per `write(2)` call;
+/// keeping the line under one call is what this function must preserve.
 pub fn append(path: impl AsRef<Path>, record: &LedgerRecord) -> std::io::Result<()> {
     let mut file = std::fs::OpenOptions::new()
         .create(true)
@@ -288,6 +301,72 @@ mod tests {
         with.outcome = Some("degraded".into());
         let line = serde_json::to_string(&with).unwrap();
         assert!(line.contains("\"outcome\":\"degraded\""), "{line}");
+    }
+
+    #[test]
+    fn concurrent_session_appends_stay_line_atomic() {
+        let path = std::env::temp_dir().join(format!(
+            "htims_ledger_concurrent_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let prov = Provenance::collect(1, 32);
+        const WRITERS: usize = 16;
+        const LINES_PER_WRITER: usize = 25;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let path = &path;
+                let prov = &prov;
+                scope.spawn(move || {
+                    for i in 0..LINES_PER_WRITER {
+                        let mut rec =
+                            LedgerRecord::new("serve", prov, config_fingerprint(&parts()));
+                        rec.session = Some(format!("s{w}"));
+                        rec.frames = i as u64;
+                        // Bulk the line up so a torn write would be easy
+                        // to produce if appends were not single-call.
+                        rec.stage_latency = (0..8)
+                            .map(|s| StageQuantiles {
+                                stage: format!("stage-{s}-{w}-{i}"),
+                                p50_ns: 1_000 + s,
+                                p99_ns: 9_000 + s,
+                            })
+                            .collect();
+                        append(path, &rec).unwrap();
+                    }
+                });
+            }
+        });
+        // Every line parses (no interleaved bytes) and every (session,
+        // frame) pair landed exactly once.
+        let back = read(&path).unwrap();
+        assert_eq!(back.len(), WRITERS * LINES_PER_WRITER);
+        let mut seen: Vec<(String, u64)> = back
+            .iter()
+            .map(|r| (r.session.clone().expect("session label"), r.frames))
+            .collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            WRITERS * LINES_PER_WRITER,
+            "duplicate or torn lines"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn session_field_round_trips_and_stays_optional() {
+        let prov = Provenance::collect(1, 32);
+        let rec = LedgerRecord::new("serve", &prov, "f".into());
+        let line = serde_json::to_string(&rec).unwrap();
+        assert!(!line.contains("session"), "{line}");
+        let mut labeled = rec.clone();
+        labeled.session = Some("s17".into());
+        let line = serde_json::to_string(&labeled).unwrap();
+        assert!(line.contains("\"session\":\"s17\""), "{line}");
+        let back: LedgerRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.session.as_deref(), Some("s17"));
     }
 
     #[test]

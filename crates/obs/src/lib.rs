@@ -40,14 +40,14 @@ pub mod session;
 pub mod trace;
 
 pub use export::prometheus_text;
-pub use http::ObsServer;
+pub use http::{ObsServer, SessionsProvider};
 pub use ledger::{config_fingerprint, FingerprintParts, LedgerRecord};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot};
 pub use sampler::{SamplePoint, Sampler, SamplerConfig};
 pub use session::{
     ObsReport, Provenance, SpanRecord, ThreadInfo, TraceSession, OBS_SCHEMA_VERSION,
 };
-pub use trace::{counter_sample, instant, set_thread_name, span, span_cat, SpanGuard};
+pub use trace::{counter_sample, instant, intern, set_thread_name, span, span_cat, SpanGuard};
 
 /// Serializes tests that mutate the process-global tracer/registry (the
 /// test harness runs `#[test]` fns concurrently in one process).

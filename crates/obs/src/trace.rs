@@ -256,6 +256,26 @@ pub fn counter_sample(cat: &'static str, name: &'static str, value: f64) {
     with_buf(move |inner| inner.events.push(ev));
 }
 
+/// Interns a string into a process-lifetime `&'static str`.
+///
+/// The span and counter APIs take `&'static str` so the disabled path
+/// stays one atomic load with zero allocation. Dynamic track identities —
+/// per-session span categories like `link@s17`, scheduler worker names —
+/// go through this table instead of leaking ad hoc. Each *distinct*
+/// string leaks exactly once, so callers must keep cardinality bounded
+/// (for sessions: labels × stages, capped by the admission table).
+pub fn intern(s: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<std::collections::HashSet<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(std::collections::HashSet::new()));
+    let mut guard = table.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(hit) = guard.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
 /// Everything [`drain`] returns: the events of every thread that recorded
 /// any, with their track names.
 #[derive(Debug, Default)]

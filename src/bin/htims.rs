@@ -47,11 +47,12 @@ fn help() {
          htims sequence --degree <n> [--factor <m>]\n  htims feasibility --degree <n> --mz <bins>\n  \
          htims pipeline [--degree <n>] [--mz <bins>] [--frames <per-block>] [--blocks <n>]\n    \
          [--depth <channel depth>] [--backend fpga|naive|software] [--threads <n>]\n    \
-         [--coarse <bins>] [--executor threaded|inline] [--seed <n>] [--out <file.json>]\n    \
-         [--faults <dma.bitflip=1e-5,frame.drop=1e-4,...>] [--stall-timeout <250ms>]\n  \
+         [--coarse <bins>] [--executor threaded|scheduled|inline] [--seed <n>]\n    \
+         [--out <file.json>] [--faults <dma.bitflip=1e-5,frame.drop=1e-4,...>]\n    \
+         [--stall-timeout <250ms>]\n  \
          htims trace [pipeline flags] [--out <trace.json>] [--metrics <metrics.json>]\n  \
          htims serve [pipeline flags] [--duration <2s|500ms>] [--port <n>]\n    \
-         [--sample-ms <n>] [--series <file.jsonl>]\n  \
+         [--sample-ms <n>] [--series <file.jsonl>] [--sessions <n>] [--max-sessions <n>]\n  \
          htims chaos [pipeline flags] [--seeds <a,b,...>] [--matrix <spec;spec;...>]\n    \
          [--out <survival.json>] [--strict]\n  \
          htims bench deconv [--quick] [--json] [--out <file.json>]\n  \
@@ -377,18 +378,31 @@ fn trace(args: &[String]) {
 }
 
 /// `htims serve`: the continuous-telemetry mode. Runs the E3-shaped
-/// streaming pipeline in a loop for `--duration` while three live
+/// streaming pipeline in a loop for `--duration` while four live
 /// endpoints are up on `--port` (loopback):
 ///
 /// * `GET /metrics` — Prometheus text exposition of every counter, gauge,
 ///   and histogram (`_bucket`/`_sum`/`_count` from the log-linear table);
+///   with `--sessions N > 1` every pipeline series additionally carries a
+///   `session="sK"` label per tenant;
+/// * `GET /sessions` — the session multiplexer's table: every tenant's
+///   seed, config fingerprint, state, and final `RunOutcome`/output
+///   fingerprint;
 /// * `GET /report.json` — the current `ObsReport` (live snapshot);
 /// * `GET /healthz` — liveness probe.
+///
+/// `--sessions N` multiplexes N independent sessions per batch onto the
+/// shared work-stealing pool (`min(cores, 8)` workers): session `sK` runs
+/// seed `session_seed(--seed, K)`, so the whole fleet is reproducible
+/// from one CLI seed. `--max-sessions` bounds concurrently admitted
+/// sessions (admission control; default: the batch size).
 ///
 /// A background sampler snapshots the registry every `--sample-ms` into
 /// an in-memory ring and, with `--series <file.jsonl>`, an append-only
 /// JSONL time series (counter deltas, gauge values, histogram summaries).
-/// On exit one ledger line summarizing the whole window is appended.
+/// On exit one ledger line summarizing the whole window is appended —
+/// plus, when multiplexing, one session-labeled line per tenant of the
+/// final batch.
 fn serve(args: &[String]) {
     let spec = parse_graph(GraphSpec::e3(), args);
     let duration = flag(args, "--duration")
@@ -405,6 +419,14 @@ fn serve(args: &[String]) {
     let sample_ms: u64 = flag(args, "--sample-ms")
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
+    let sessions: usize = flag(args, "--sessions")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let max_sessions: usize = flag(args, "--max-sessions")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(sessions)
+        .max(1);
     let provenance = htims::obs::Provenance::collect(
         spec.resolved_threads(),
         htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
@@ -417,14 +439,28 @@ fn serve(args: &[String]) {
     let runs_total = ims_obs::metrics::counter("serve.runs_total");
     let frames_total = ims_obs::metrics::counter("serve.frames_total");
     let blocks_total = ims_obs::metrics::counter("serve.blocks_total");
-    let server = ims_obs::ObsServer::start(&format!("127.0.0.1:{port}"), provenance.clone())
-        .unwrap_or_else(|e| {
-            eprintln!("cannot bind 127.0.0.1:{port}: {e}");
-            std::process::exit(2);
-        });
+
+    let scheduler = htims::core::pipeline::Scheduler::global().clone();
+    let manager = std::sync::Arc::new(htims::core::pipeline::SessionManager::new(
+        scheduler,
+        max_sessions,
+    ));
+    let sessions_provider: ims_obs::SessionsProvider = {
+        let mgr = manager.clone();
+        std::sync::Arc::new(move || mgr.summary_json())
+    };
+    let server = ims_obs::ObsServer::start_with_sessions(
+        &format!("127.0.0.1:{port}"),
+        provenance.clone(),
+        sessions_provider,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+        std::process::exit(2);
+    });
     // Stdout, not stderr: scripts capture the bound port (`--port 0`).
     println!(
-        "serving http://{}/metrics (also /report.json, /healthz)",
+        "serving http://{}/metrics (also /sessions, /report.json, /healthz)",
         server.local_addr()
     );
     let sampler = ims_obs::Sampler::start(ims_obs::SamplerConfig {
@@ -439,36 +475,159 @@ fn serve(args: &[String]) {
 
     let started = std::time::Instant::now();
     let mut runs = 0u64;
+    let mut batches = 0u64;
     let mut frames = 0u64;
     let mut blocks = 0u64;
     let mut last_report = None;
+    let mut last_batch: Vec<(GraphSpec, htims::core::pipeline::PipelineReport)> = Vec::new();
     while started.elapsed() < duration {
-        let out = run_graph(&spec);
-        runs += 1;
-        frames += out.report.frames;
-        blocks += out.report.blocks;
-        runs_total.incr();
-        frames_total.add(out.report.frames);
-        blocks_total.add(out.report.blocks);
-        last_report = Some(out.report);
+        if sessions == 1 {
+            // Single-tenant: the PR-4 serve loop, bit-for-bit (unlabeled
+            // metric names, the spec's own executor and seed).
+            let out = run_graph(&spec);
+            runs += 1;
+            frames += out.report.frames;
+            blocks += out.report.blocks;
+            runs_total.incr();
+            frames_total.add(out.report.frames);
+            blocks_total.add(out.report.blocks);
+            last_report = Some(out.report);
+            continue;
+        }
+        // One batch: admit every tenant onto the shared pool, then join
+        // them all. Labels are reused across batches (the table keeps the
+        // latest state per label; history goes to the ledger).
+        batches += 1;
+        last_batch.clear();
+        let mut handles = std::collections::VecDeque::new();
+        for i in 0..sessions {
+            let tenant = GraphSpec {
+                seed: htims::core::fault::session_seed(spec.seed, i as u64),
+                executor: "scheduled".into(),
+                ..spec.clone()
+            };
+            let pipeline = tenant.build().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            let config = htims::core::pipeline::SessionConfig {
+                label: format!("s{i}"),
+                seed: tenant.seed,
+                fingerprint: tenant.fingerprint(),
+            };
+            let mut admit = manager.admit(config, pipeline);
+            // Admission control: a full table sheds load by joining the
+            // oldest running tenant, then retries once.
+            if let Err((err, pipeline)) = admit {
+                eprintln!("session s{i} not admitted ({err}); draining one");
+                let Some((spec_done, handle)) = handles.pop_front() else {
+                    eprintln!("session s{i} rejected with nothing to drain");
+                    std::process::exit(2);
+                };
+                finish_session(
+                    spec_done,
+                    handle,
+                    &mut runs,
+                    &mut frames,
+                    &mut blocks,
+                    runs_total,
+                    frames_total,
+                    blocks_total,
+                    &mut last_batch,
+                );
+                admit = manager.admit(
+                    htims::core::pipeline::SessionConfig {
+                        label: format!("s{i}"),
+                        seed: tenant.seed,
+                        fingerprint: tenant.fingerprint(),
+                    },
+                    pipeline,
+                );
+            }
+            match admit {
+                Ok(handle) => handles.push_back((tenant, handle)),
+                Err((err, _)) => {
+                    eprintln!("session s{i} rejected twice ({err})");
+                    std::process::exit(2);
+                }
+            }
+        }
+        while let Some((tenant, handle)) = handles.pop_front() {
+            finish_session(
+                tenant,
+                handle,
+                &mut runs,
+                &mut frames,
+                &mut blocks,
+                runs_total,
+                frames_total,
+                blocks_total,
+                &mut last_batch,
+            );
+        }
+        if let Some((_, report)) = last_batch.last() {
+            last_report = Some(report.clone());
+        }
     }
     let samples = sampler.stop();
     server.stop();
 
     let wall = started.elapsed().as_secs_f64();
     let last = last_report.expect("at least one run");
-    eprintln!(
-        "served {:.2} s: {runs} pipeline runs ({frames} frames -> {blocks} blocks), \
-         {} samples at {sample_ms} ms, deconv {:.2} Mcells/s",
-        wall,
-        samples.len(),
-        last.deconv_mcells_per_second,
-    );
+    if sessions > 1 {
+        eprintln!(
+            "served {:.2} s: {batches} batches x {sessions} sessions on {} pool workers \
+             ({runs} session runs, {frames} frames -> {blocks} blocks), {} samples at {sample_ms} ms",
+            wall,
+            manager.pool_threads(),
+            samples.len(),
+        );
+        // One session-labeled ledger line per tenant of the final batch:
+        // the durable per-tenant history (`/sessions` only keeps the
+        // latest state per label).
+        for (tenant, report) in &last_batch {
+            let mut rec = graph_ledger_record("serve", tenant, report);
+            rec.session = report.session.clone();
+            append_ledger(args, &rec);
+        }
+    } else {
+        eprintln!(
+            "served {:.2} s: {runs} pipeline runs ({frames} frames -> {blocks} blocks), \
+             {} samples at {sample_ms} ms, deconv {:.2} Mcells/s",
+            wall,
+            samples.len(),
+            last.deconv_mcells_per_second,
+        );
+    }
     let mut rec = graph_ledger_record("serve", &spec, &last);
     rec.wall_seconds = wall;
     rec.frames = frames;
     rec.blocks = blocks;
     append_ledger(args, &rec);
+}
+
+/// Joins one admitted session and folds its run into the serve-level
+/// aggregates and the final-batch ledger buffer.
+#[allow(clippy::too_many_arguments)]
+fn finish_session(
+    tenant: GraphSpec,
+    handle: htims::core::pipeline::SessionHandle,
+    runs: &mut u64,
+    frames: &mut u64,
+    blocks: &mut u64,
+    runs_total: &ims_obs::Counter,
+    frames_total: &ims_obs::Counter,
+    blocks_total: &ims_obs::Counter,
+    last_batch: &mut Vec<(GraphSpec, htims::core::pipeline::PipelineReport)>,
+) {
+    let out = handle.join();
+    *runs += 1;
+    *frames += out.report.frames;
+    *blocks += out.report.blocks;
+    runs_total.incr();
+    frames_total.add(out.report.frames);
+    blocks_total.add(out.report.blocks);
+    last_batch.push((tenant, out.report));
 }
 
 /// `htims chaos`: soaks the hybrid stage graph under a deterministic
@@ -996,14 +1155,19 @@ fn best_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
 }
 
 /// Thread counts for the parallel rows: powers of two up to the machine
-/// width (always including 1 for the serial-overhead comparison).
+/// width but at least up to 4 (always including 1 for the serial-overhead
+/// comparison).
 fn thread_sweep(quick: bool) -> Vec<usize> {
-    let max = std::thread::available_parallelism()
+    let machine = std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(4);
     if quick {
-        return vec![max.min(4)];
+        return vec![machine.min(4)];
     }
+    // Sweep to at least 4 even on narrow machines: the multi-thread rows
+    // (threads = 2, 4) are part of the published baseline and the pool
+    // oversubscribes gracefully.
+    let max = machine.max(4);
     let mut counts = vec![1usize];
     let mut t = 2;
     while t <= max {

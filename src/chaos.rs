@@ -9,7 +9,6 @@
 
 use crate::core::fault::FaultCounts;
 use crate::core::pipeline::{PipelineError, PipelineOutput, RunOutcome};
-use crate::fpga::dma::fnv1a64;
 use crate::graph::GraphSpec;
 use serde::{Deserialize, Serialize};
 
@@ -109,15 +108,7 @@ impl SurvivalReport {
 /// Hashes a run's output blocks into a single FNV-1a token: block index,
 /// frame count, and every deconvolved word, all little-endian.
 pub fn output_fingerprint(out: &PipelineOutput) -> u64 {
-    let mut bytes = Vec::new();
-    for b in &out.blocks {
-        bytes.extend_from_slice(&b.index.to_le_bytes());
-        bytes.extend_from_slice(&b.frames.to_le_bytes());
-        for v in &b.data {
-            bytes.extend_from_slice(&v.to_le_bytes());
-        }
-    }
-    fnv1a64(&bytes)
+    crate::core::pipeline::output_fingerprint(&out.blocks)
 }
 
 /// Runs the full `(spec, seed)` matrix over `base`'s graph shape, running

@@ -37,7 +37,8 @@ pub struct GraphSpec {
     pub threads: usize,
     /// Coarse m/z bin count for the on-chip binner stage, if any.
     pub coarse: Option<usize>,
-    /// Executor: `threaded` | `inline`.
+    /// Executor: `threaded` | `scheduled` | `inline` (the first two are
+    /// the same work-stealing runtime under different report tags).
     pub executor: String,
     /// Seed for the acquisition RNG and the frame stream — the whole run
     /// is a pure function of the spec including this.
@@ -124,6 +125,28 @@ impl GraphSpec {
     /// out-of-range coarse bins) are returned, not printed — the CLI
     /// decides how to die.
     pub fn run(&self) -> Result<PipelineOutput, String> {
+        let graph = self.build()?;
+        match self.executor.as_str() {
+            "inline" => Ok(graph.run_inline()),
+            "threaded" => Ok(graph.run_threaded()),
+            "scheduled" => Ok(graph.run_scheduled()),
+            other => Err(format!(
+                "unknown executor '{other}' (use threaded | scheduled | inline)"
+            )),
+        }
+    }
+
+    /// Builds the pipeline without running it — what the session
+    /// multiplexer uses to admit many specs onto one scheduler. The
+    /// executor field is validated here too, so a bad spec fails at
+    /// admission rather than mid-run.
+    pub fn build(&self) -> Result<crate::core::pipeline::Pipeline, String> {
+        if !matches!(self.executor.as_str(), "inline" | "threaded" | "scheduled") {
+            return Err(format!(
+                "unknown executor '{}' (use threaded | scheduled | inline)",
+                self.executor
+            ));
+        }
         if let Some(c) = self.coarse {
             if c < 1 || c > self.mz {
                 return Err(format!(
@@ -186,12 +209,6 @@ impl GraphSpec {
                 ..Default::default()
             });
         }
-        match self.executor.as_str() {
-            "inline" => Ok(graph.run_inline()),
-            "threaded" => Ok(graph.run_threaded()),
-            other => Err(format!(
-                "unknown executor '{other}' (use threaded | inline)"
-            )),
-        }
+        Ok(graph)
     }
 }
