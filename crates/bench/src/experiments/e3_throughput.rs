@@ -9,7 +9,7 @@
 //!
 //! Every row drives the *same* unified pipeline graph (source → link →
 //! accumulate → deconvolve), swapping only the deconvolution backend: the
-//! rayon software path timed from the deconvolve stage's busy time in the
+//! scheduler-parallel software path timed from the deconvolve stage's busy time in the
 //! `PipelineReport`, and the FPGA FWHT core timed from its modelled cycle
 //! count at each device clock.
 
@@ -93,7 +93,7 @@ pub fn run(quick: bool) -> Table {
         ]);
     }
 
-    // Software rows: the pipeline with the rayon backend batching column
+    // Software rows: the pipeline with the software backend batching column
     // panels; time per block is the deconvolve stage's busy time from the
     // instrumented report.
     let mut counts = vec![1usize];

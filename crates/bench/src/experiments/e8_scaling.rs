@@ -6,8 +6,8 @@
 //! deconvolution should scale nearly linearly until the memory system
 //! saturates.
 //!
-//! Each row runs the unified pipeline graph with the rayon software
-//! backend pinned to a thread count; the per-block time is the deconvolve
+//! Each row runs the unified pipeline graph with the scheduler-parallel
+//! software backend pinned to a thread count; the per-block time is the deconvolve
 //! stage's busy time from the instrumented `PipelineReport` (frame
 //! generation and capture are metered separately, so they do not pollute
 //! the scaling numbers).
@@ -61,7 +61,7 @@ pub fn run(quick: bool) -> Table {
     );
     table.note(format!(
         "block = {n} x {mz_bins}; machine has {max_threads} hardware threads; \
-         rows run the unified pipeline graph with the rayon backend"
+         rows run the unified pipeline graph with the scheduled backend"
     ));
 
     let mut t1 = None;

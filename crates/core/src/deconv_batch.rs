@@ -20,8 +20,11 @@
 //!   ([`ims_prs::weighting::CirculantSolver`]), and all working memory
 //!   lives in reusable scratch arenas — zero allocations in steady state;
 //! * panels are embarrassingly parallel, so
-//!   [`BatchDeconvolver::deconvolve_map_parallel`] distributes them over
-//!   the current rayon pool.
+//!   [`BatchDeconvolver::deconvolve_map_parallel`] packs them into
+//!   slab-sized jobs — granularity chosen from a measured per-panel cost
+//!   model — and runs them on the process-wide work-stealing
+//!   [`Scheduler`], the same pool that executes serve-mode session
+//!   graphs.
 //!
 //! Per column, every kernel performs the exact floating-point operations of
 //! the scalar path in the same order, so the batched result is
@@ -30,17 +33,20 @@
 
 use crate::acquisition::{AcquiredData, GateSchedule};
 use crate::deconvolution::{scale_lambda, Deconvolver};
+use crate::pipeline::Scheduler;
 use ims_physics::DriftTofMap;
 use ims_prs::permutation::TransformScratch;
 use ims_prs::weighting::{CirculantInverse, CirculantScratch, CirculantSolver};
 use ims_prs::FastMTransform;
-use rayon::prelude::*;
 
 /// Default panel width, tuned so the working set of the widest kernel (the
 /// Bluestein-padded complex panel of a weighted solve: `2·N` rows × `P`
 /// columns × 16 bytes ≈ 512 KiB at `N = 511`) stays inside a typical L2
-/// cache while still giving the row sweeps full SIMD width.
-pub const DEFAULT_PANEL_WIDTH: usize = 32;
+/// cache while still giving the row sweeps full SIMD width. Re-exported
+/// from `ims_signal` so the FPGA block datapath shares the same constant;
+/// per-method tuning on top of this baseline lives in
+/// [`default_panel_width`].
+pub use ims_signal::DEFAULT_PANEL_WIDTH;
 
 /// The per-panel kernel a [`BatchDeconvolver`] applies.
 #[derive(Debug, Clone)]
@@ -138,7 +144,7 @@ impl BatchDeconvolver {
         Self {
             panel_hist: panel_histogram(&kernel),
             kernel,
-            panel_width: DEFAULT_PANEL_WIDTH,
+            panel_width: default_panel_width(method),
         }
     }
 
@@ -252,35 +258,70 @@ impl BatchDeconvolver {
     }
 
     /// Like [`BatchDeconvolver::deconvolve_map`], but distributes panels
-    /// over the current rayon pool (each worker reuses one scratch arena).
+    /// over the process-wide work-stealing [`Scheduler`] — the same pool
+    /// that runs serve-mode session graphs, so batch deconvolution and
+    /// serving share one set of workers instead of fighting over cores.
     ///
     /// # Panics
     /// Panics if the map's drift-bin count differs from the kernel length.
     pub fn deconvolve_map_parallel(&self, map: &DriftTofMap) -> DriftTofMap {
+        self.deconvolve_map_scheduled(map, Scheduler::global())
+    }
+
+    /// [`BatchDeconvolver::deconvolve_map_parallel`] on an explicit pool.
+    ///
+    /// The effective parallelism is `sched` workers plus the calling
+    /// thread (which participates in draining the batch), clamped to the
+    /// machine's [`std::thread::available_parallelism`] — asking for more
+    /// threads than cores only adds scheduling noise, never throughput,
+    /// and the clamp is what keeps measured throughput monotone in the
+    /// requested thread count. At one effective thread this delegates to
+    /// the in-place serial path: same panel decomposition, same bits,
+    /// none of the fan-out costs (zeroed output block, per-task slabs,
+    /// result collection).
+    ///
+    /// # Panics
+    /// Panics if the map's drift-bin count differs from the kernel length.
+    pub fn deconvolve_map_scheduled(&self, map: &DriftTofMap, sched: &Scheduler) -> DriftTofMap {
+        let executors = (sched.threads() + 1).min(machine_threads());
+        self.deconvolve_map_executors(map, sched, executors)
+    }
+
+    /// Explicit-executor form of
+    /// [`BatchDeconvolver::deconvolve_map_scheduled`]: `executors` sets
+    /// task granularity and the serial-delegation cutoff, while actual
+    /// concurrency stays whatever the pool provides. Exposed so tests can
+    /// force the slab fan-out on single-core machines, where the public
+    /// entry points would (correctly) delegate to the serial path.
+    #[doc(hidden)]
+    pub fn deconvolve_map_executors(
+        &self,
+        map: &DriftTofMap,
+        sched: &Scheduler,
+        executors: usize,
+    ) -> DriftTofMap {
         let drift = map.drift_bins();
         let mz = map.mz_bins();
         self.check_shape(drift);
         if matches!(self.kernel, PanelKernel::Identity) {
             return map.clone();
         }
-        // A one-thread pool must not pay the fan-out costs (zeroed output
-        // block, per-task slabs, result collection): run the in-place
-        // serial path — same panel decomposition, same bits.
-        if rayon::current_num_threads() <= 1 {
+        let panels = mz.div_ceil(self.panel_width);
+        if executors <= 1 || panels <= 1 {
             return self.deconvolve_map(map);
         }
         let data = map.data();
-        // Task granularity is a contiguous *run* of panels, a couple per
-        // worker — panel-per-task spends more on per-panel allocation and
-        // result collection than a cheap kernel (simplex-fast) spends
-        // solving. Each task gathers its panels back to back into one
-        // slab; a panel stays contiguous inside it (row stride = its own
-        // width), so the kernels solve in place with zero per-panel
-        // allocation and the panel decomposition — hence the bit pattern —
-        // is identical to the serial path.
-        let panels = mz.div_ceil(self.panel_width);
-        let tasks = (rayon::current_num_threads() * 2).clamp(1, panels);
-        let per_task = panels.div_ceil(tasks);
+        // Task granularity is a contiguous *run* of panels sized by the
+        // cost model (see `panels_per_task`) — panel-per-task spends more
+        // on per-task allocation and result collection than a cheap
+        // kernel (simplex-fast) spends solving. Each task gathers its
+        // panels back to back into one slab; a panel stays contiguous
+        // inside it (row stride = its own width), so the kernels solve in
+        // place with zero per-panel allocation and the panel
+        // decomposition — hence the bit pattern — is identical to the
+        // serial path.
+        let per_task = self.panels_per_task(drift, executors, panels);
+        let tasks = panels.div_ceil(per_task);
         let ranges: Vec<(usize, usize)> = (0..tasks)
             .map(|t| {
                 let lo = (t * per_task * self.panel_width).min(mz);
@@ -289,33 +330,38 @@ impl BatchDeconvolver {
             })
             .filter(|(lo, hi)| lo < hi)
             .collect();
-        let solved: Vec<(usize, Vec<f64>)> = ranges
-            .into_par_iter()
-            .map_init(PanelScratch::default, |scratch, (lo, hi)| {
-                let mut slab = Vec::with_capacity(drift * (hi - lo));
-                let mut c0 = lo;
-                while c0 < hi {
-                    let width = self.panel_width.min(hi - c0);
-                    let off = slab.len();
-                    for d in 0..drift {
-                        slab.extend_from_slice(&data[d * mz + c0..d * mz + c0 + width]);
+        let mut slabs: Vec<Vec<f64>> = vec![Vec::new(); ranges.len()];
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .iter()
+            .zip(slabs.iter_mut())
+            .map(|(&(lo, hi), slab)| {
+                Box::new(move || {
+                    let mut scratch = PanelScratch::default();
+                    slab.reserve(drift * (hi - lo));
+                    let mut c0 = lo;
+                    while c0 < hi {
+                        let width = self.panel_width.min(hi - c0);
+                        let off = slab.len();
+                        for d in 0..drift {
+                            slab.extend_from_slice(&data[d * mz + c0..d * mz + c0 + width]);
+                        }
+                        self.solve_panel(
+                            &mut slab[off..],
+                            width,
+                            &mut scratch.transform,
+                            &mut scratch.circulant,
+                        );
+                        c0 += width;
                     }
-                    self.solve_panel(
-                        &mut slab[off..],
-                        width,
-                        &mut scratch.transform,
-                        &mut scratch.circulant,
-                    );
-                    c0 += width;
-                }
-                (lo, slab)
+                }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
+        sched.run_batch(jobs);
         let mut out = DriftTofMap::zeros(drift, mz);
         let out_data = out.data_mut();
-        for (lo, slab) in &solved {
+        for (&(lo, _hi), slab) in ranges.iter().zip(slabs.iter()) {
             let mut off = 0;
-            let mut c0 = *lo;
+            let mut c0 = lo;
             while off < slab.len() {
                 let width = self.panel_width.min(mz - c0);
                 scatter_panel(
@@ -331,6 +377,162 @@ impl BatchDeconvolver {
             }
         }
         out
+    }
+
+    /// Deconvolves a mostly-empty map by solving only its *occupied* m/z
+    /// columns and splatting a once-computed zero-column response into
+    /// the rest.
+    ///
+    /// Falls back to the dense serial path when the fraction of occupied
+    /// columns is at or above
+    /// [`ims_fpga::SPARSE_OCCUPANCY_THRESHOLD`] — above that the
+    /// column compaction costs more than the zeros it skips. A column
+    /// counts as empty only when every cell is bit-pattern `+0.0`
+    /// (`-0.0` or denormals make it occupied), every occupied column
+    /// runs the exact per-column kernel sequence of the dense engine,
+    /// and the zero response *is* the kernel's exact output for a zero
+    /// column — so the result is **bit-identical** to
+    /// [`BatchDeconvolver::deconvolve_map`] at every occupancy.
+    ///
+    /// # Panics
+    /// Panics if the map's drift-bin count differs from the kernel length.
+    pub fn deconvolve_map_sparse(&self, map: &DriftTofMap) -> DriftTofMap {
+        let drift = map.drift_bins();
+        let mz = map.mz_bins();
+        self.check_shape(drift);
+        if matches!(self.kernel, PanelKernel::Identity) {
+            return map.clone();
+        }
+        let data = map.data();
+        let occ = occupied_columns(map);
+        let cols: Vec<usize> = (0..mz).filter(|&c| occ[c]).collect();
+        if cols.len() as f64 >= ims_fpga::SPARSE_OCCUPANCY_THRESHOLD * mz as f64 {
+            return self.deconvolve_map(map);
+        }
+        ims_obs::static_counter!("deconv.sparse_blocks").incr();
+        ims_obs::static_counter!("deconv.sparse_columns_skipped").add((mz - cols.len()) as u64);
+        let mut scratch = PanelScratch::default();
+        // The response every empty column shares: one zero column through
+        // the ordinary kernel (width 1 — per-column bits are width-
+        // independent).
+        let mut zero_response = vec![0.0f64; drift];
+        self.solve_panel(
+            &mut zero_response,
+            1,
+            &mut scratch.transform,
+            &mut scratch.circulant,
+        );
+        let mut out = DriftTofMap::zeros(drift, mz);
+        let out_data = out.data_mut();
+        for (d, &r) in zero_response.iter().enumerate() {
+            out_data[d * mz..(d + 1) * mz].fill(r);
+        }
+        // Gather occupied columns into compact panels, solve, scatter
+        // each column back to its original position.
+        let mut panel: Vec<f64> = Vec::new();
+        let mut c0 = 0;
+        while c0 < cols.len() {
+            let width = self.panel_width.min(cols.len() - c0);
+            panel.clear();
+            panel.reserve(drift * width);
+            for d in 0..drift {
+                panel.extend(cols[c0..c0 + width].iter().map(|&c| data[d * mz + c]));
+            }
+            self.solve_panel(
+                &mut panel,
+                width,
+                &mut scratch.transform,
+                &mut scratch.circulant,
+            );
+            for d in 0..drift {
+                for (i, &c) in cols[c0..c0 + width].iter().enumerate() {
+                    out_data[d * mz + c] = panel[d * width + i];
+                }
+            }
+            c0 += width;
+        }
+        out
+    }
+
+    /// Cost of one `drift × panel_width` panel in nanoseconds: the live
+    /// mean of this method's `deconv.panel_ns.<method>` histogram once it
+    /// has warmed up, else a static per-cell estimate measured on the
+    /// reference block (511 × 1000, panel width 32).
+    fn panel_cost_ns(&self, drift: usize) -> u64 {
+        /// Samples before the live histogram outranks the static model —
+        /// enough to flush one block's cold-start outliers.
+        const WARM_SAMPLES: u64 = 16;
+        let s = self.panel_hist.summary();
+        if s.count >= WARM_SAMPLES {
+            return s.mean as u64;
+        }
+        let per_cell_ns = match &self.kernel {
+            PanelKernel::Identity => 0.0,
+            // ~6 ns/cell: FWHT butterflies plus the permutation scatter.
+            PanelKernel::Simplex(_) => 6.0,
+            // ~40 ns/cell: four Bluestein pow-2 FFTs over 2N-padded rows.
+            PanelKernel::Circulant(_) => 40.0,
+        };
+        (per_cell_ns * (drift * self.panel_width) as f64) as u64
+    }
+
+    /// Panels per task for the parallel path. Tasks target roughly
+    /// [`TARGET_TASK_NS`] of kernel work — long enough that queue traffic
+    /// and slab allocation vanish in the noise, short enough that a block
+    /// still splits into several tasks per worker for load balance — and
+    /// never fall below a couple of panels, nor leave executors idle when
+    /// there are panels to go around.
+    fn panels_per_task(&self, drift: usize, executors: usize, panels: usize) -> usize {
+        /// Target per-task kernel time: ~2 ms is ≥10³ × the per-task
+        /// overhead (one slab allocation + one queue round-trip).
+        const TARGET_TASK_NS: u64 = 2_000_000;
+        /// Floor: a task is never a lone panel unless the block has one.
+        const MIN_PANELS_PER_TASK: usize = 2;
+        let cost = self.panel_cost_ns(drift).max(1);
+        let by_cost = usize::try_from(TARGET_TASK_NS / cost)
+            .unwrap_or(usize::MAX)
+            .max(MIN_PANELS_PER_TASK);
+        by_cost.min(panels.div_ceil(executors)).max(1)
+    }
+}
+
+/// Marks each m/z column of a map holding at least one cell whose bit
+/// pattern is not `+0.0` — the float engine's occupancy test (strict on
+/// purpose: `-0.0` can produce sign-different outputs through the kernel,
+/// so only exact `+0.0` columns may share the cached zero response).
+pub fn occupied_columns(map: &DriftTofMap) -> Vec<bool> {
+    let (drift, mz) = (map.drift_bins(), map.mz_bins());
+    let data = map.data();
+    let mut occ = vec![false; mz];
+    for d in 0..drift {
+        for (o, &v) in occ.iter_mut().zip(&data[d * mz..(d + 1) * mz]) {
+            *o |= v.to_bits() != 0;
+        }
+    }
+    occ
+}
+
+/// The machine's thread budget (`available_parallelism`, 1 if unknown).
+fn machine_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// The measured-best panel width for a deconvolution method. Every float
+/// method currently lands on [`DEFAULT_PANEL_WIDTH`]: the widest working
+/// set (the weighted solve's Bluestein-padded complex panel) fits L2 at 32
+/// columns and degrades beyond it, while the cheaper float kernels gain
+/// nothing from going wider. The integer fixed-point path (the FPGA
+/// software model, not a [`Deconvolver`] variant) tunes separately to
+/// [`ims_signal::FIXED_POINT_PANEL_WIDTH`].
+pub fn default_panel_width(method: &Deconvolver) -> usize {
+    match method {
+        Deconvolver::Identity
+        | Deconvolver::SimplexFast
+        | Deconvolver::Exact
+        | Deconvolver::Weighted { .. }
+        | Deconvolver::WeightedIdeal { .. } => DEFAULT_PANEL_WIDTH,
     }
 }
 
@@ -428,6 +630,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sparse_map_is_bit_identical_to_dense() {
+        let (schedule, data) = small_block(40);
+        // Blank out all but a handful of columns (bitwise +0.0) so the
+        // sparse path actually engages.
+        let mut map = data.accumulated.clone();
+        let (drift, mz) = (map.drift_bins(), map.mz_bins());
+        let keep = [3usize, 4, 17, 38];
+        {
+            let d = map.data_mut();
+            for r in 0..drift {
+                for c in 0..mz {
+                    if !keep.contains(&c) {
+                        d[r * mz + c] = 0.0;
+                    }
+                }
+            }
+        }
+        for method in [
+            Deconvolver::SimplexFast,
+            Deconvolver::Weighted { lambda: 1e-5 },
+        ] {
+            let engine = BatchDeconvolver::new(&method, &schedule, &data);
+            let dense = engine.deconvolve_map(&map);
+            let sparse = engine.deconvolve_map_sparse(&map);
+            for (i, (a, b)) in dense.data().iter().zip(sparse.data().iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} cell {i}: {a} vs {b}",
+                    method.name()
+                );
+            }
+        }
+        // Above threshold the entry point falls back to the dense path.
+        let engine =
+            BatchDeconvolver::new(&Deconvolver::Weighted { lambda: 1e-5 }, &schedule, &data);
+        let dense = engine.deconvolve_map(&data.accumulated);
+        let sparse = engine.deconvolve_map_sparse(&data.accumulated);
+        assert_eq!(dense.data(), sparse.data());
     }
 
     #[test]

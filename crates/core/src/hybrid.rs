@@ -106,6 +106,12 @@ pub struct HybridConfig {
     /// Optional on-chip m/z binning stage in front of the accumulator
     /// (frames arrive at the binner's fine resolution).
     pub binner: Option<MzBinner>,
+    /// When set, the accumulate stage attaches a CSR sidecar to blocks
+    /// whose occupancy falls below the sparse threshold, and
+    /// FWHT-capable deconvolution backends skip the empty columns
+    /// (bit-identical output).
+    #[serde(default)]
+    pub sparse: bool,
 }
 
 impl Default for HybridConfig {
@@ -116,6 +122,7 @@ impl Default for HybridConfig {
             deconv: DeconvConfig::default(),
             link: DmaLink::rapidarray(),
             binner: None,
+            sparse: false,
         }
     }
 }
@@ -165,11 +172,14 @@ pub fn hybrid_pipeline(
     if let Some(b) = &cfg.binner {
         p = p.stage(BinnerStage::new(b.clone(), gen.drift_bins()));
     }
-    p.stage(AccumulateStage::new(
-        AccumulatorCore::new(gen.drift_bins(), acc_mz, 32),
-        frames_per_block.max(1),
-        flush_remainder,
-    ))
+    p.stage(
+        AccumulateStage::new(
+            AccumulatorCore::new(gen.drift_bins(), acc_mz, 32),
+            frames_per_block.max(1),
+            flush_remainder,
+        )
+        .with_sparse(cfg.sparse),
+    )
     .stage(
         DeconvolveStage::new(backend, acc_mz)
             .with_fallback(ims_fpga::deconv::DeconvCore::new(seq, cfg.deconv)),
@@ -202,7 +212,7 @@ pub fn run_hybrid(gen: &FrameGenerator, seq: &MSequence, cfg: &HybridConfig) -> 
 }
 
 /// [`run_hybrid`] with an explicit deconvolution backend (FPGA FWHT core,
-/// naive MAC core, or the rayon software path — all bit-exact equals).
+/// naive MAC core, or the scheduler software path — all bit-exact equals).
 pub fn run_hybrid_with_backend(
     gen: &FrameGenerator,
     seq: &MSequence,

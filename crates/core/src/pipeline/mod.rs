@@ -15,7 +15,7 @@
 //! [`AccumulateStage`] folds frames into [`Block`]s; [`DeconvolveStage`]
 //! turns blocks into [`DeconvolvedBlock`]s through a selectable
 //! [`DeconvBackend`] (the FWHT FPGA core, the naive MAC-array core, or the
-//! rayon-parallel software path — all bit-exact equals).
+//! scheduler-parallel software path — all bit-exact equals).
 //!
 //! Three executors run the same graph. [`Pipeline::run_threaded`] and
 //! [`Pipeline::run_scheduled`] submit the source and stages as
@@ -53,7 +53,8 @@ pub use session::{
     SessionStatus,
 };
 pub use stages::{
-    AccumulateStage, BinnerStage, DeconvBackend, DeconvolveStage, FrameSource, LinkStage,
+    software_deconvolve_block, AccumulateStage, BinnerStage, DeconvBackend, DeconvolveStage,
+    FrameSource, LinkStage,
 };
 
 use crate::fault::FaultInjector;
@@ -79,6 +80,13 @@ pub struct Block {
     pub frames: u64,
     /// Accumulated counts, drift-major.
     pub data: Vec<u64>,
+    /// CSR form of the same counts, attached by the accumulate stage when
+    /// the block's cell occupancy fell below the sparse threshold and the
+    /// sparse path is enabled. Deconvolution backends that understand it
+    /// skip the empty columns (bit-identical output); the dense copy
+    /// rides along for the backends — and fault-injection checksums —
+    /// that don't.
+    pub sparse: Option<ims_fpga::SparseBlock>,
 }
 
 /// A deconvolved drift × m/z block (raw fixed-point words).

@@ -117,6 +117,15 @@ pub struct PipelineReport {
     /// software panel engine after a hardware-backend failure.
     #[serde(default)]
     pub deconv_fallbacks: u64,
+    /// SIMD backend the panel kernels dispatched to in this process
+    /// (`"scalar"`, `"sse2"`, `"avx2"`, `"avx512"`). Legacy reports read
+    /// back as an empty string.
+    #[serde(default)]
+    pub simd: String,
+    /// Accumulated blocks that took the sparse (CSR, zero-column
+    /// skipping) deconvolution path. Dense runs report 0.
+    #[serde(default)]
+    pub sparse_blocks: u64,
     /// Tenant label when the run was admitted through the session
     /// multiplexer (`"s17"`); `None` for single-tenant runs. Stamped by
     /// `SessionHandle::join`, carried into session-labeled ledger lines.
@@ -150,6 +159,8 @@ impl PipelineReport {
             faults: FaultCounts::default(),
             frames_quarantined: 0,
             deconv_fallbacks: 0,
+            simd: ims_signal::simd::active_name().to_string(),
+            sparse_blocks: 0,
             session: None,
             stages: Vec::new(),
         }
@@ -195,9 +206,14 @@ mod tests {
             items_per_second: 6.0,
             mcells_per_second: 1.5,
         });
+        r.sparse_blocks = 2;
         let json = serde_json::to_string(&r).unwrap();
         let back: PipelineReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.backend, "fpga-fwht");
+        // Provenance survives the round trip: the SIMD backend stamped at
+        // construction and the sparse-block count.
+        assert_eq!(back.simd, ims_signal::simd::active_name());
+        assert_eq!(back.sparse_blocks, 2);
         assert_eq!(back.stages.len(), 1);
         let acc = back.stage("accumulate").unwrap();
         assert_eq!(acc.queue_high_water, Some(4));
@@ -241,6 +257,8 @@ mod tests {
         assert_eq!(r.faults.total(), 0);
         assert_eq!(r.frames_quarantined, 0);
         assert_eq!(r.deconv_fallbacks, 0);
+        assert_eq!(r.simd, "");
+        assert_eq!(r.sparse_blocks, 0);
         // A clean report serializes an empty errors array and keeps the
         // verdict, and errors survive a round trip when present.
         let clean = serde_json::to_string(&PipelineReport::new("inline")).unwrap();

@@ -94,7 +94,7 @@ pub struct Scheduler {
 struct Pool {
     shards: Vec<Shard>,
     /// Tasks pushed from threads outside the pool.
-    injector: Mutex<VecDeque<Arc<Node>>>,
+    injector: Mutex<VecDeque<Task>>,
     /// Queued-task count: pushed before the sleep-lock notify, popped on
     /// dequeue, so a worker never parks while work is visible.
     pending: AtomicUsize,
@@ -117,9 +117,51 @@ struct Shard {
 struct ShardQueue {
     /// Most-recently-woken task: run next for cache locality. Never
     /// stolen.
-    lifo: Option<Arc<Node>>,
+    lifo: Option<Task>,
     /// Owner pops the front; thieves steal the back.
-    fifo: VecDeque<Arc<Node>>,
+    fifo: VecDeque<Task>,
+}
+
+/// One schedulable unit: a pipeline node, or a batch of data-parallel jobs
+/// (block deconvolution slabs) sharing the pool with the session graphs.
+enum Task {
+    Node(Arc<Node>),
+    Jobs(Arc<JobBatch>),
+}
+
+/// A batch of independent closures submitted by [`Scheduler::run_batch`].
+///
+/// Workers take **one job per poll** and re-enqueue the batch while jobs
+/// remain, so a long batch interleaves with pipeline nodes instead of
+/// pinning workers (the same fairness contract as the node quantum). The
+/// submitting thread participates in draining the queue, which means a
+/// batch completes even on a fully busy — or single-worker — pool, and
+/// nested submission from inside a job cannot deadlock.
+struct JobBatch {
+    /// Jobs not yet started.
+    jobs: Mutex<VecDeque<Box<dyn FnOnce() + Send>>>,
+    /// Jobs not yet finished (started and unstarted).
+    remaining: AtomicUsize,
+    /// Completion latch: flipped by whichever thread finishes the last job.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// First panic payload message observed in any job.
+    panic: Mutex<Option<String>>,
+}
+
+impl JobBatch {
+    /// Runs `job`, recording a panic instead of unwinding into the worker,
+    /// and releases the completion latch when it was the last one.
+    fn run_one(&self, job: Box<dyn FnOnce() + Send>) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+            let msg = panic_message(payload);
+            lock(&self.panic).get_or_insert(msg);
+        }
+        if self.remaining.fetch_sub(1, SeqCst) == 1 {
+            *lock(&self.done) = true;
+            self.done_cv.notify_all();
+        }
+    }
 }
 
 thread_local! {
@@ -161,6 +203,55 @@ impl Scheduler {
         self.pool.shards.len()
     }
 
+    /// Runs a batch of independent jobs on the pool, blocking until every
+    /// job has finished. The calling thread participates in draining the
+    /// batch, so this completes even when every worker is busy (or the
+    /// pool has a single worker and the caller *is* it, via nested
+    /// submission); workers interleave batch jobs with pipeline nodes one
+    /// job at a time, so serving sessions are not starved by a block
+    /// deconvolution. If any job panics the batch still runs to
+    /// completion, then this call panics with the first captured message.
+    ///
+    /// Jobs may borrow from the caller's stack: the function does not
+    /// return until all of them are done.
+    pub fn run_batch<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        // SAFETY: the closures are handed to worker threads, which
+        // requires 'static, but every job is guaranteed finished before
+        // this function returns (the completion latch below), so no
+        // borrow escapes its scope. Box<dyn FnOnce> has identical layout
+        // regardless of the trait object's lifetime bound.
+        let jobs: Vec<Box<dyn FnOnce() + Send + 'static>> = unsafe { std::mem::transmute(jobs) };
+        let batch = Arc::new(JobBatch {
+            remaining: AtomicUsize::new(jobs.len()),
+            jobs: Mutex::new(jobs.into()),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        self.pool.push_task(Task::Jobs(batch.clone()), false);
+        // Drain alongside the workers.
+        while let Some(job) = lock(&batch.jobs).pop_front() {
+            batch.run_one(job);
+        }
+        // Queue empty; wait for jobs other threads are still running.
+        let mut done = lock(&batch.done);
+        while !*done {
+            done = batch
+                .done_cv
+                .wait_timeout(done, PARK_TIMEOUT)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        drop(done);
+        let panicked = lock(&batch.panic).take();
+        if let Some(msg) = panicked {
+            panic!("job in scheduler batch panicked: {msg}");
+        }
+    }
+
     /// Asks every worker to exit once the queues are drained of its
     /// current task. In-flight runs never complete after this; it exists
     /// for tests that spin up private pools, not for the global one.
@@ -175,12 +266,15 @@ impl Scheduler {
 fn worker_loop(pool: Arc<Pool>, me: usize) {
     ims_obs::set_thread_name(&format!("sched-worker-{me}"));
     WORKER.with(|w| w.set(Some((Arc::as_ptr(&pool) as usize, me))));
-    while let Some(node) = next_task(&pool, me) {
-        run_node(&pool, node);
+    while let Some(task) = next_task(&pool, me) {
+        match task {
+            Task::Node(node) => run_node(&pool, node),
+            Task::Jobs(batch) => run_jobs(&pool, batch),
+        }
     }
 }
 
-fn next_task(pool: &Pool, me: usize) -> Option<Arc<Node>> {
+fn next_task(pool: &Pool, me: usize) -> Option<Task> {
     loop {
         if let Some(t) = pool.pop(me) {
             return Some(t);
@@ -201,6 +295,23 @@ fn next_task(pool: &Pool, me: usize) -> Option<Arc<Node>> {
             .wait_timeout(sleep, PARK_TIMEOUT)
             .unwrap_or_else(|e| e.into_inner());
         sleep.sleepers -= 1;
+    }
+}
+
+/// Worker-side batch step: claim one job, re-enqueue the batch if jobs
+/// remain (before running, so other workers can drain it concurrently),
+/// then run the claimed job.
+fn run_jobs(pool: &Pool, batch: Arc<JobBatch>) {
+    let (job, more) = {
+        let mut q = lock(&batch.jobs);
+        let job = q.pop_front();
+        (job, !q.is_empty())
+    };
+    if more {
+        pool.push_task(Task::Jobs(batch.clone()), false);
+    }
+    if let Some(job) = job {
+        batch.run_one(job);
     }
 }
 
@@ -228,7 +339,7 @@ fn run_node(pool: &Pool, node: Arc<Node>) {
 }
 
 impl Pool {
-    fn pop(&self, me: usize) -> Option<Arc<Node>> {
+    fn pop(&self, me: usize) -> Option<Task> {
         {
             let mut q = lock(&self.shards[me].queue);
             if let Some(t) = q.lifo.take().or_else(|| q.fifo.pop_front()) {
@@ -251,10 +362,15 @@ impl Pool {
         None
     }
 
-    /// Enqueues a runnable node: onto the calling worker's shard (the
-    /// LIFO slot for wakes, the FIFO for quantum yields), or the shared
-    /// injector when called from outside the pool.
+    /// Enqueues a runnable node (see [`Pool::push_task`]).
     fn push(&self, node: Arc<Node>, to_lifo: bool) {
+        self.push_task(Task::Node(node), to_lifo);
+    }
+
+    /// Enqueues a task: onto the calling worker's shard (the LIFO slot
+    /// for wakes, the FIFO for quantum yields), or the shared injector
+    /// when called from outside the pool.
+    fn push_task(&self, task: Task, to_lifo: bool) {
         self.pending.fetch_add(1, SeqCst);
         let my_shard = WORKER.with(|w| match w.get() {
             Some((pool_id, shard)) if pool_id == self as *const Pool as usize => Some(shard),
@@ -264,14 +380,14 @@ impl Pool {
             Some(shard) => {
                 let mut q = lock(&self.shards[shard].queue);
                 if to_lifo {
-                    if let Some(evicted) = q.lifo.replace(node) {
+                    if let Some(evicted) = q.lifo.replace(task) {
                         q.fifo.push_front(evicted);
                     }
                 } else {
-                    q.fifo.push_back(node);
+                    q.fifo.push_back(task);
                 }
             }
-            None => lock(&self.injector).push_back(node),
+            None => lock(&self.injector).push_back(task),
         }
         let sleep = lock(&self.sleep);
         if sleep.sleepers > 0 {
@@ -582,6 +698,9 @@ impl Node {
     /// Offers a message downstream; `Err(msg)` hands it back when the
     /// inbox is out of credits. The last stage's output lands in the
     /// run's sink (unbounded, like the threaded collector).
+    // `Err` is the rejected message itself, returned by value so the
+    // caller can retry without an allocation — not an error payload.
+    #[allow(clippy::result_large_err)]
     fn push_downstream(&self, msg: Message) -> Result<(), Message> {
         match &self.downstream {
             Some(next) => {
@@ -936,5 +1055,101 @@ impl ScheduledRun {
             self.injector.as_ref(),
         );
         PipelineOutput { blocks, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_batch_runs_every_job() {
+        let sched = Scheduler::new(2);
+        let hits = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..64)
+            .map(|_| {
+                Box::new(|| {
+                    hits.fetch_add(1, SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        sched.run_batch(jobs);
+        assert_eq!(hits.load(SeqCst), 64);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn run_batch_borrows_caller_state() {
+        // Jobs write into disjoint slices of a caller-owned buffer — the
+        // pattern the batched deconvolver uses for its output slabs.
+        let sched = Scheduler::new(2);
+        let mut out = vec![0usize; 40];
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
+            .chunks_mut(10)
+            .enumerate()
+            .map(|(i, chunk)| {
+                Box::new(move || {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v = i * 100 + k;
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        sched.run_batch(jobs);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i / 10) * 100 + i % 10);
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn run_batch_propagates_panics_after_completion() {
+        let sched = Scheduler::new(2);
+        let completed = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+            .map(|i| {
+                let completed = completed.clone();
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("job {i} exploded");
+                    }
+                    completed.fetch_add(1, SeqCst);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        let err = catch_unwind(AssertUnwindSafe(|| sched.run_batch(jobs)))
+            .expect_err("batch with a panicking job must panic");
+        let msg = panic_message(err);
+        assert!(msg.contains("job 3 exploded"), "got: {msg}");
+        // The other jobs still ran to completion first.
+        assert_eq!(completed.load(SeqCst), 7);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn run_batch_nested_submission_does_not_deadlock() {
+        // A single-worker pool where a batch job itself submits a batch:
+        // the inner caller drains its own jobs, so this must complete.
+        let sched = Scheduler::new(1);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let inner_sched = sched.clone();
+        let inner_hits = hits.clone();
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = vec![Box::new(move || {
+            let h = inner_hits.clone();
+            inner_sched.run_batch(vec![Box::new(move || {
+                h.fetch_add(1, SeqCst);
+            }) as Box<dyn FnOnce() + Send>]);
+            inner_hits.fetch_add(1, SeqCst);
+        })];
+        sched.run_batch(jobs);
+        assert_eq!(hits.load(SeqCst), 2);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn run_batch_empty_is_a_no_op() {
+        let sched = Scheduler::new(1);
+        sched.run_batch(Vec::new());
+        sched.shutdown();
     }
 }

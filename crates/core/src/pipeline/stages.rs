@@ -1,8 +1,8 @@
 //! The concrete stages of the hybrid datapath.
 
 use super::error::{CorruptPolicy, SupervisorConfig};
+use super::sched::Scheduler;
 use super::{Block, DeconvolvedBlock, Message, PipelineReport, Stage};
-use crate::deconv_batch::DEFAULT_PANEL_WIDTH;
 use crate::fault::FaultInjector;
 use crate::hybrid::FrameGenerator;
 use ims_fpga::deconv::{DeconvConfig, DeconvCore};
@@ -10,7 +10,7 @@ use ims_fpga::deconv_naive::{NaiveConfig, NaiveMacCore};
 use ims_fpga::dma::{DmaLink, FramePacket};
 use ims_fpga::{AccumulatorCore, MzBinner};
 use ims_prs::MSequence;
-use rayon::prelude::*;
+use ims_signal::FIXED_POINT_PANEL_WIDTH;
 
 /// The head of the graph: generates reproducible raw frames on demand
 /// (the instrument's digitiser, frame by frame).
@@ -209,6 +209,10 @@ pub struct AccumulateStage {
     flush_remainder: bool,
     corrupt_policy: CorruptPolicy,
     quarantined: u64,
+    /// When set, drained blocks below the occupancy threshold carry a
+    /// CSR [`ims_fpga::SparseBlock`] for zero-skipping deconvolution.
+    sparse_enabled: bool,
+    sparse_blocks: u64,
 }
 
 impl AccumulateStage {
@@ -229,15 +233,46 @@ impl AccumulateStage {
             flush_remainder,
             corrupt_policy: CorruptPolicy::Drop,
             quarantined: 0,
+            sparse_enabled: false,
+            sparse_blocks: 0,
         }
+    }
+
+    /// Enables the sparse drain path: blocks whose cell occupancy is
+    /// below [`ims_fpga::SPARSE_OCCUPANCY_THRESHOLD`] carry a CSR
+    /// sidecar so downstream deconvolution can skip empty columns.
+    /// Output stays bit-identical either way — the sparse path changes
+    /// work, never values.
+    pub fn with_sparse(mut self, enabled: bool) -> Self {
+        self.sparse_enabled = enabled;
+        self
     }
 
     fn drain_block(&mut self, emit: &mut dyn FnMut(Message)) {
         self.saturation_events += self.acc.saturation_events();
+        let (drift, mz) = (self.acc.drift_bins(), self.acc.mz_bins());
+        let data = self.acc.drain();
+        let sparse = if self.sparse_enabled {
+            ims_fpga::SparseBlock::from_dense_below(
+                &data,
+                drift,
+                mz,
+                ims_fpga::SPARSE_OCCUPANCY_THRESHOLD,
+            )
+        } else {
+            None
+        };
+        if sparse.is_some() {
+            self.sparse_blocks += 1;
+            ims_obs::static_counter!("accumulate.sparse_blocks").incr();
+        } else if self.sparse_enabled {
+            ims_obs::static_counter!("accumulate.dense_blocks").incr();
+        }
         let block = Block {
             index: self.next_index,
             frames: self.in_block,
-            data: self.acc.drain(),
+            data,
+            sparse,
         };
         self.next_index += 1;
         self.in_block = 0;
@@ -279,6 +314,7 @@ impl Stage for AccumulateStage {
         report.saturation_events += self.saturation_events + self.acc.saturation_events();
         report.frames_per_block = self.frames_per_block;
         report.frames_quarantined += self.quarantined;
+        report.sparse_blocks += self.sparse_blocks;
     }
 
     fn arm_faults(&mut self, _injector: &FaultInjector, supervisor: &SupervisorConfig) {
@@ -302,8 +338,9 @@ pub enum DeconvBackend {
     Fpga(DeconvCore),
     /// The naive `O(N²)` MAC-array FPGA core.
     Naive(NaiveMacCore),
-    /// The CPU software path: rayon-parallel over panels of m/z columns,
-    /// running the same fixed-point kernel row-vectorized across each panel.
+    /// The CPU software path: scheduler-parallel over panels of m/z
+    /// columns, running the same fixed-point kernel row-vectorized across
+    /// each panel.
     Software {
         /// The panel kernel (shared read-only across workers).
         core: DeconvCore,
@@ -331,11 +368,21 @@ impl DeconvBackend {
         ))
     }
 
-    /// The rayon software path on `threads` workers (0 = machine default).
+    /// The software path on `threads` workers (0 = share the global pool).
     pub fn software(seq: &MSequence, cfg: DeconvConfig, threads: usize) -> Self {
         DeconvBackend::Software {
             core: DeconvCore::new(seq, cfg),
             threads,
+        }
+    }
+
+    /// The FWHT core of this backend, when it has one (the FPGA model or
+    /// the software engine — the naive MAC array does not speak sparse).
+    fn fwht_core_mut(&mut self) -> Option<&mut DeconvCore> {
+        match self {
+            DeconvBackend::Fpga(core) => Some(core),
+            DeconvBackend::Software { core, .. } => Some(core),
+            DeconvBackend::Naive(_) => None,
         }
     }
 
@@ -398,7 +445,7 @@ impl DeconvolveStage {
         Self {
             backend,
             mz_bins,
-            panel_width: DEFAULT_PANEL_WIDTH,
+            panel_width: FIXED_POINT_PANEL_WIDTH,
             cells: 0,
             software_cycles: 0,
             injector: None,
@@ -489,6 +536,13 @@ impl Stage for DeconvolveStage {
                         .expect("route_to_fallback requires a fallback core");
                     self.software_cycles += core.cycles_per_block(self.mz_bins);
                     software_deconvolve_block(core, &b.data, self.mz_bins, 0, self.panel_width)
+                } else if let (Some(sparse), Some(core)) = (&b.sparse, self.backend.fwht_core_mut())
+                {
+                    // Zero-skipping path: solve only the occupied columns
+                    // (bit-identical to the dense path — each occupied
+                    // column runs the exact dense pipeline, and empty
+                    // columns share the cached zero-column response).
+                    core.deconvolve_block_sparse(sparse)
                 } else {
                     match &mut self.backend {
                         DeconvBackend::Fpga(core) => core.deconvolve_block(&b.data, self.mz_bins),
@@ -523,7 +577,9 @@ impl Stage for DeconvolveStage {
         report.deconv_cycles += match &self.backend {
             DeconvBackend::Fpga(core) => core.cycles(),
             DeconvBackend::Naive(core) => core.cycles(),
-            DeconvBackend::Software { .. } => self.software_cycles,
+            // Dense software blocks tally into `software_cycles`; sparse
+            // ones run on the core itself and tally there.
+            DeconvBackend::Software { core, .. } => self.software_cycles + core.cycles(),
         };
         // Fallback blocks ran on the software engine; their modelled
         // cycles were tallied into software_cycles above.
@@ -546,12 +602,17 @@ impl Stage for DeconvolveStage {
     }
 }
 
-/// The CPU software deconvolution of one block: panels of m/z columns are
-/// embarrassingly parallel, each worker running the same fixed-point kernel
-/// row-vectorized across its panel (integer arithmetic, so the result is
-/// bit-identical to the FPGA path and to any other panel width). Each
-/// worker reuses one gather/work arena across its panels.
-fn software_deconvolve_block(
+/// The CPU software deconvolution of one block: slabs of adjacent m/z
+/// column panels are embarrassingly parallel, each task running the same
+/// fixed-point kernel row-vectorized across its panels (integer
+/// arithmetic, so the result is bit-identical to the FPGA path and to any
+/// other panel width or thread count). `threads == 0` shares the
+/// process-wide [`Scheduler`] pool with the serving sessions; a positive
+/// count spins up a private pool of `threads − 1` workers, the caller
+/// being the final executor. Either way the effective width is clamped to
+/// the machine's available parallelism, and one effective thread runs the
+/// panels serially with no fan-out cost.
+pub fn software_deconvolve_block(
     core: &DeconvCore,
     data: &[u64],
     mz_bins: usize,
@@ -561,45 +622,103 @@ fn software_deconvolve_block(
     let n = core.len();
     assert_eq!(data.len(), n * mz_bins, "block shape mismatch");
     let panel_width = panel_width.max(1);
-    let starts: Vec<usize> = (0..mz_bins).step_by(panel_width).collect();
-    let run = move || -> Vec<(usize, usize, Vec<i64>)> {
-        starts
-            .into_par_iter()
-            .map_init(
-                || (Vec::<u64>::new(), Vec::<i64>::new()),
-                |(panel, work), c0| {
-                    let _sp = ims_obs::span_cat("software-fwht", "panel");
-                    let start = std::time::Instant::now();
-                    let width = panel_width.min(mz_bins - c0);
-                    panel.clear();
-                    panel.reserve(n * width);
-                    for d in 0..n {
-                        panel.extend_from_slice(&data[d * mz_bins + c0..d * mz_bins + c0 + width]);
-                    }
-                    let mut solved = vec![0i64; n * width];
-                    core.deconvolve_panel_into(panel, width, &mut solved, work);
-                    ims_obs::static_histogram!("deconv.panel_ns.software-fwht")
-                        .record_duration(start.elapsed());
-                    (c0, width, solved)
-                },
-            )
-            .collect()
-    };
-    let panels = if threads == 0 {
-        run()
-    } else {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("failed to build rayon pool")
-            .install(run)
-    };
+    let machine = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
     let mut out = vec![0i64; n * mz_bins];
-    for (c0, width, solved) in panels {
-        for d in 0..n {
-            out[d * mz_bins + c0..d * mz_bins + c0 + width]
-                .copy_from_slice(&solved[d * width..(d + 1) * width]);
+    let solve_range =
+        |lo: usize, hi: usize, panel: &mut Vec<u64>, work: &mut Vec<i64>, solved: &mut Vec<i64>| {
+            let mut c0 = lo;
+            while c0 < hi {
+                let _sp = ims_obs::span_cat("software-fwht", "panel");
+                let start = std::time::Instant::now();
+                let width = panel_width.min(hi - c0);
+                panel.clear();
+                panel.reserve(n * width);
+                for d in 0..n {
+                    panel.extend_from_slice(&data[d * mz_bins + c0..d * mz_bins + c0 + width]);
+                }
+                let off = solved.len();
+                solved.resize(off + n * width, 0);
+                core.deconvolve_panel_into(panel, width, &mut solved[off..], work);
+                ims_obs::static_histogram!("deconv.panel_ns.software-fwht")
+                    .record_duration(start.elapsed());
+                c0 += width;
+            }
+        };
+    let scatter = |out: &mut [i64], lo: usize, slab: &[i64]| {
+        let mut off = 0;
+        let mut c0 = lo;
+        while off < slab.len() {
+            let width = panel_width.min(mz_bins - c0);
+            for d in 0..n {
+                out[d * mz_bins + c0..d * mz_bins + c0 + width]
+                    .copy_from_slice(&slab[off + d * width..off + (d + 1) * width]);
+            }
+            c0 += width;
+            off += n * width;
         }
+    };
+    let effective = if threads == 0 {
+        Scheduler::global().threads() + 1
+    } else {
+        threads
+    }
+    .min(machine);
+    let panels = mz_bins.div_ceil(panel_width);
+    if effective <= 1 || panels <= 1 {
+        let (mut panel, mut work, mut solved) = (Vec::new(), Vec::new(), Vec::new());
+        solve_range(0, mz_bins, &mut panel, &mut work, &mut solved);
+        scatter(&mut out, 0, &solved);
+        return out;
+    }
+    // Slab granularity from the live cost histogram (same target as the
+    // float engine: ~2 ms of kernel work per task), falling back to the
+    // measured ~17 ns/cell of the fixed-point kernel before warm-up.
+    let hist = ims_obs::static_histogram!("deconv.panel_ns.software-fwht");
+    let summary = hist.summary();
+    let panel_cost = if summary.count >= 16 {
+        (summary.mean as u64).max(1)
+    } else {
+        (17 * n as u64 * panel_width as u64).max(1)
+    };
+    let per_task = usize::try_from(2_000_000 / panel_cost)
+        .unwrap_or(usize::MAX)
+        .max(2)
+        .min(panels.div_ceil(effective))
+        .max(1);
+    let ranges: Vec<(usize, usize)> = (0..panels.div_ceil(per_task))
+        .map(|t| {
+            let lo = (t * per_task * panel_width).min(mz_bins);
+            let hi = ((t + 1) * per_task * panel_width).min(mz_bins);
+            (lo, hi)
+        })
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+    let mut slabs: Vec<Vec<i64>> = vec![Vec::new(); ranges.len()];
+    let solve = &solve_range;
+    let run = |sched: &Scheduler, slabs: &mut Vec<Vec<i64>>| {
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .iter()
+            .zip(slabs.iter_mut())
+            .map(|(&(lo, hi), slab)| {
+                Box::new(move || {
+                    let (mut panel, mut work) = (Vec::new(), Vec::new());
+                    solve(lo, hi, &mut panel, &mut work, slab);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        sched.run_batch(jobs);
+    };
+    if threads == 0 {
+        run(Scheduler::global(), &mut slabs);
+    } else {
+        let pool = Scheduler::new(effective - 1);
+        run(&pool, &mut slabs);
+        pool.shutdown();
+    }
+    for (&(lo, _hi), slab) in ranges.iter().zip(slabs.iter()) {
+        scatter(&mut out, lo, slab);
     }
     out
 }

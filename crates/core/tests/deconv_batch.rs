@@ -143,3 +143,84 @@ fn pipeline_report_populates_throughput_fields() {
     // Stages that do not process 2-D blocks report zero cells.
     assert_eq!(out.report.stage("link").expect("link stage").cells, 0);
 }
+
+// --- Sparse vs dense equivalence across occupancy -------------------------
+//
+// The skip-zero sparse path must be bit-identical to the dense engine at
+// *every* occupancy level: empty maps, a handful of hot columns, and maps
+// dense enough that the entry point falls back to the dense path.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sparse_map_matches_dense_across_occupancy(
+        degree in 4u32..6,
+        mz in 30usize..70,
+        seed in 0u64..100,
+        keep_every in 1usize..20,
+        method_idx in 0usize..5,
+    ) {
+        let (_, schedule, data) = small_block(degree, mz, seed);
+        // Thin the acquired block down to every `keep_every`-th column:
+        // keep_every == 1 keeps the block dense (occupancy above the
+        // threshold → dense fallback), large values leave only a few hot
+        // columns (the CSR skip path).
+        let mut map = data.accumulated.clone();
+        for d in 0..map.drift_bins() {
+            let row = map.drift_row_mut(d);
+            for (m, v) in row.iter_mut().enumerate() {
+                if m % keep_every != 0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        let method = METHODS[method_idx];
+        let engine = BatchDeconvolver::new(&method, &schedule, &data);
+        let dense = engine.deconvolve_map(&map);
+        let sparse = engine.deconvolve_map_sparse(&map);
+        prop_assert_eq!(dense.drift_bins(), sparse.drift_bins());
+        for (i, (a, b)) in dense.data().iter().zip(sparse.data().iter()).enumerate() {
+            prop_assert!(
+                a.to_bits() == b.to_bits(),
+                "cell {i} diverges at keep_every={keep_every}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// Thread scaling must be monotone non-decreasing in effective threads:
+/// requesting more threads than the machine has clamps to the machine
+/// width instead of oversubscribing, so t=4 throughput is never worse
+/// than t=1 beyond timing noise (on a 1-CPU machine both run the identical
+/// serial path).
+#[test]
+fn thread_scaling_smoke_t4_not_slower_than_t1() {
+    use htims_core::parallel::deconvolve_with_threads;
+    let degree = 6u32;
+    let (_, schedule, data) = small_block(degree, 96, 3);
+    let method = Deconvolver::Weighted { lambda: 1e-6 };
+    let best = |threads: usize| {
+        (0..5)
+            .map(|_| deconvolve_with_threads(&method, &schedule, &data, threads).1)
+            .fold(f64::INFINITY, f64::min)
+    };
+    // Warm up the cost-model histogram and caches before timing.
+    let _ = deconvolve_with_threads(&method, &schedule, &data, 4);
+    let t1 = best(1);
+    let t4 = best(4);
+    // Generous tolerance: this is a monotonicity smoke test, not a perf
+    // gate (the bench + compare workflow owns the real numbers).
+    assert!(
+        t4 <= t1 * 1.5 + 1e-3,
+        "t=4 ({t4:.6}s) more than 1.5x slower than t=1 ({t1:.6}s)"
+    );
+    // Bit-identity across thread counts rides along for free.
+    let (a, _) = deconvolve_with_threads(&method, &schedule, &data, 1);
+    let (b, _) = deconvolve_with_threads(&method, &schedule, &data, 4);
+    assert!(a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .all(|(x, y)| x.to_bits() == y.to_bits()));
+}

@@ -124,6 +124,56 @@ impl AccumulatorCore {
         Ok(())
     }
 
+    /// Captures one frame skipping zero ADC words — the zero-suppressed
+    /// path for centroided spectra, where most cells carry no counts.
+    /// Adding zero is the identity, so the accumulation RAM ends up
+    /// bit-identical to [`AccumulatorCore::capture_frame`]; only the
+    /// cycle model changes (a zero-suppressing front end consumes one
+    /// clock per *non-zero* word plus the frame header), which is the
+    /// point. Skipped words are tallied in the
+    /// `accumulator.sparse_words_skipped` counter.
+    pub fn capture_frame_sparse(&mut self, frame: &[u32]) -> Result<(), CaptureError> {
+        let expected = self.drift_bins * self.mz_bins;
+        if frame.len() != expected {
+            return Err(CaptureError::FrameShape {
+                expected,
+                got: frame.len(),
+            });
+        }
+        let _sp = ims_obs::span_cat("accumulator", "frame-sparse");
+        let ceil = self.cell_max();
+        let saturated_before = self.saturation_events;
+        let mut nonzero = 0u64;
+        for (cell, &word) in self.acc.iter_mut().zip(frame) {
+            if word == 0 {
+                continue;
+            }
+            nonzero += 1;
+            let sum = *cell + word as u64;
+            if sum > ceil {
+                *cell = ceil;
+                self.saturation_events += 1;
+            } else {
+                *cell = sum;
+            }
+        }
+        self.frames_captured += 1;
+        self.cycles += nonzero + 4;
+        ims_obs::static_counter!("accumulator.frames").incr();
+        ims_obs::static_counter!("accumulator.sparse_words_skipped").add(expected as u64 - nonzero);
+        ims_obs::static_counter!("accumulator.saturation_events")
+            .add(self.saturation_events - saturated_before);
+        Ok(())
+    }
+
+    /// Fraction of accumulation cells currently non-zero, in `[0, 1]` —
+    /// the quantity the accumulate stage compares against
+    /// [`crate::sparse::SPARSE_OCCUPANCY_THRESHOLD`] at drain time.
+    pub fn occupancy(&self) -> f64 {
+        let nnz = self.acc.iter().filter(|&&v| v != 0).count();
+        nnz as f64 / self.acc.len() as f64
+    }
+
     /// Frames accumulated since the last reset.
     pub fn frames_captured(&self) -> u64 {
         self.frames_captured

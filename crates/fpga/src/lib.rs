@@ -61,6 +61,7 @@ pub mod deconv_naive;
 pub mod dma;
 pub mod fixed;
 pub mod report;
+pub mod sparse;
 
 pub use accumulator::AccumulatorCore;
 pub use binner::MzBinner;
@@ -69,3 +70,4 @@ pub use deconv_naive::{NaiveConfig, NaiveMacCore};
 pub use dma::DmaLink;
 pub use fixed::Fx;
 pub use report::{FpgaDevice, ResourceReport};
+pub use sparse::{SparseBlock, SPARSE_OCCUPANCY_THRESHOLD};

@@ -15,7 +15,10 @@ use std::io::Write;
 use std::path::Path;
 
 /// Schema version of [`LedgerRecord`]. Bump when fields change meaning.
-pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added [`LedgerRecord::simd`] and [`LedgerRecord::sparse`]; both
+/// default to empty when absent, so v1 lines still parse.
+pub const LEDGER_SCHEMA_VERSION: u64 = 2;
 
 /// The configuration axes that make two runs comparable. Anything not in
 /// here (wall time, host load, git revision) is an *outcome*, not a key.
@@ -109,6 +112,15 @@ pub struct LedgerRecord {
     /// single-tenant runs — pre-session ledgers parse unchanged.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub session: Option<String>,
+    /// SIMD backend the deconvolution kernels dispatched to for this run
+    /// (`"avx2"` | `"sse2"` | `"scalar"`). `None` (and omitted from the
+    /// line) on v1 lines and when the caller didn't stamp it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub simd: Option<String>,
+    /// Sparse/dense path decision for this run (`"sparse"` | `"dense"`,
+    /// or a mixed label). `None` (and omitted) on v1 lines.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sparse: Option<String>,
 }
 
 impl LedgerRecord {
@@ -130,6 +142,8 @@ impl LedgerRecord {
             mcells_per_second: 0.0,
             outcome: None,
             session: None,
+            simd: (!provenance.simd.is_empty()).then(|| provenance.simd.clone()),
+            sparse: (!provenance.sparse.is_empty()).then(|| provenance.sparse.clone()),
         }
     }
 }
@@ -353,6 +367,35 @@ mod tests {
             "duplicate or torn lines"
         );
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn simd_and_sparse_round_trip_and_legacy_v1_lines_parse() {
+        let prov = Provenance::collect(2, 32)
+            .with_simd("avx2")
+            .with_sparse("sparse");
+        let rec = LedgerRecord::new("bench", &prov, "f".into());
+        let line = serde_json::to_string(&rec).unwrap();
+        assert!(line.contains("\"simd\":\"avx2\""), "{line}");
+        assert!(line.contains("\"sparse\":\"sparse\""), "{line}");
+        let back: LedgerRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.simd.as_deref(), Some("avx2"));
+        assert_eq!(back.sparse.as_deref(), Some("sparse"));
+
+        // Unstamped provenance → fields omitted from the line entirely.
+        let plain = LedgerRecord::new("bench", &Provenance::collect(2, 32), "f".into());
+        let line = serde_json::to_string(&plain).unwrap();
+        assert!(!line.contains("simd"), "{line}");
+        assert!(!line.contains("sparse"), "{line}");
+
+        // A v1 line (no simd/sparse keys) still parses with empty fields.
+        let legacy = r#"{"schema_version":1,"unix_ms":0,"tool":"bench",
+            "git_describe":"x","threads":1,"panel_width":32,"fingerprint":"f",
+            "wall_seconds":0.0,"frames":0,"blocks":0,"stage_latency":[],
+            "mcells_per_second":0.0}"#;
+        let back: LedgerRecord = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.simd, None);
+        assert_eq!(back.sparse, None);
     }
 
     #[test]

@@ -22,7 +22,10 @@ use serde_json::{json, Value};
 
 /// Schema version of [`ObsReport`] and the `htims bench`/`htims trace`
 /// JSON outputs. Bump when fields change meaning.
-pub const OBS_SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added [`Provenance::simd`] and [`Provenance::sparse`]; both default
+/// to empty on v2 (and older) artifacts, which still parse.
+pub const OBS_SCHEMA_VERSION: u64 = 3;
 
 /// Where a report came from: enough to compare BENCH_*.json and trace
 /// artifacts across PRs.
@@ -37,18 +40,46 @@ pub struct Provenance {
     pub threads: u64,
     /// Deconvolution panel width the workload ran with.
     pub panel_width: u64,
+    /// SIMD backend the deconvolution kernels dispatched to
+    /// (`"avx2"` | `"sse2"` | `"scalar"`). Empty on pre-v3 artifacts and
+    /// when the caller didn't stamp it. `ims_obs` stays dependency-free,
+    /// so the workload crate passes the name in via [`with_simd`]
+    /// (Provenance::with_simd).
+    #[serde(default)]
+    pub simd: String,
+    /// Sparse/dense path decision for the run (`"sparse"` | `"dense"`, or
+    /// a mixed label such as `"sparse:3/8"` when blocks split). Empty on
+    /// pre-v3 artifacts and when not stamped.
+    #[serde(default)]
+    pub sparse: String,
 }
 
 impl Provenance {
     /// Provenance for a run using `threads` workers and `panel_width`-wide
-    /// deconvolution panels.
+    /// deconvolution panels. SIMD backend and sparse decision start empty;
+    /// stamp them with [`with_simd`](Self::with_simd) /
+    /// [`with_sparse`](Self::with_sparse).
     pub fn collect(threads: usize, panel_width: usize) -> Self {
         Self {
             schema_version: OBS_SCHEMA_VERSION,
             git_describe: env!("IMS_OBS_GIT_DESCRIBE").to_string(),
             threads: threads as u64,
             panel_width: panel_width as u64,
+            simd: String::new(),
+            sparse: String::new(),
         }
+    }
+
+    /// Stamps the dispatched SIMD backend name.
+    pub fn with_simd(mut self, simd: &str) -> Self {
+        self.simd = simd.to_string();
+        self
+    }
+
+    /// Stamps the sparse/dense path decision.
+    pub fn with_sparse(mut self, sparse: &str) -> Self {
+        self.sparse = sparse.to_string();
+        self
     }
 }
 
@@ -243,12 +274,31 @@ mod tests {
 
     #[test]
     fn obs_report_serde_round_trip() {
-        let report = sample_report();
+        let mut report = sample_report();
+        report.provenance = report.provenance.with_simd("avx2").with_sparse("dense");
         let text = serde_json::to_string_pretty(&report).unwrap();
         let back: ObsReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back, report);
         assert_eq!(back.provenance.schema_version, OBS_SCHEMA_VERSION);
         assert_eq!(back.provenance.panel_width, 32);
+        assert_eq!(back.provenance.simd, "avx2");
+        assert_eq!(back.provenance.sparse, "dense");
+    }
+
+    #[test]
+    fn legacy_v2_provenance_parses_with_empty_simd_and_sparse() {
+        // A pre-v3 provenance object has no simd/sparse keys; it must
+        // still deserialize, with both defaulting to empty.
+        let legacy = r#"{
+            "schema_version": 2,
+            "git_describe": "abc1234",
+            "threads": 4,
+            "panel_width": 32
+        }"#;
+        let back: Provenance = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.schema_version, 2);
+        assert_eq!(back.simd, "");
+        assert_eq!(back.sparse, "");
     }
 
     #[test]

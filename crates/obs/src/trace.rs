@@ -13,7 +13,7 @@
 //!    the buffer's mutex is only ever contended by [`drain`], which runs
 //!    after the workload. Buffers register themselves in a global sink on
 //!    first use, so events survive thread exit (scoped pipeline threads)
-//!    and thread reuse (rayon pool workers) alike.
+//!    and thread reuse (scheduler pool workers) alike.
 //! 3. **Timestamps are monotonic** and shared: nanoseconds since a global
 //!    epoch (`Instant`-based), so spans from different threads interleave
 //!    correctly on one timeline.

@@ -31,7 +31,7 @@
 
 use crate::lfsr::Lfsr;
 use crate::msequence::MSequence;
-use ims_signal::fwht::{fwht, fwht_panel};
+use ims_signal::fwht::fwht;
 use serde::{Deserialize, Serialize};
 
 /// Reusable scratch arena for the allocation-free fast-transform variants.
@@ -253,6 +253,22 @@ impl FastMTransform {
         width: usize,
         scratch: &mut TransformScratch,
     ) {
+        self.deconvolve_convolution_panel_with(ims_signal::simd::active(), panel, width, scratch);
+    }
+
+    /// [`FastMTransform::deconvolve_convolution_panel`] pinned to an
+    /// explicit SIMD backend (testing hook; every backend is
+    /// bit-identical).
+    ///
+    /// # Panics
+    /// As [`FastMTransform::deconvolve_convolution_panel`].
+    pub fn deconvolve_convolution_panel_with(
+        &self,
+        be: ims_signal::simd::Backend,
+        panel: &mut [f64],
+        width: usize,
+        scratch: &mut TransformScratch,
+    ) {
         assert!(width > 0, "panel width must be positive");
         assert_eq!(
             panel.len(),
@@ -270,15 +286,13 @@ impl FastMTransform {
             scratch.buf[a * width..(a + 1) * width]
                 .copy_from_slice(&panel[k * width..(k + 1) * width]);
         }
-        fwht_panel(&mut scratch.buf, width);
+        ims_signal::fwht::fwht_panel_with(be, &mut scratch.buf, width);
         let scale = -2.0 / (self.n as f64 + 1.0);
         for (j, &addr) in self.conv_masks.iter().enumerate() {
             let a = addr as usize;
             let src = &scratch.buf[a * width..(a + 1) * width];
             let dst = &mut panel[j * width..(j + 1) * width];
-            for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                *d = scale * s;
-            }
+            ims_signal::simd::mul_rows_f64(be, dst, src, scale);
         }
     }
 }

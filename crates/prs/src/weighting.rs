@@ -162,6 +162,21 @@ impl CirculantSolver {
     /// # Panics
     /// Panics if `width` is zero or `panel.len() != L * width`.
     pub fn solve_panel(&self, panel: &mut [f64], width: usize, scratch: &mut CirculantScratch) {
+        self.solve_panel_with(ims_signal::simd::active(), panel, width, scratch);
+    }
+
+    /// [`CirculantSolver::solve_panel`] pinned to an explicit SIMD backend
+    /// (testing hook; every backend is bit-identical).
+    ///
+    /// # Panics
+    /// As [`CirculantSolver::solve_panel`].
+    pub fn solve_panel_with(
+        &self,
+        be: ims_signal::simd::Backend,
+        panel: &mut [f64],
+        width: usize,
+        scratch: &mut CirculantScratch,
+    ) {
         assert!(width > 0, "panel width must be positive");
         let l = self.len();
         assert_eq!(
@@ -170,22 +185,21 @@ impl CirculantSolver {
             "panel shape mismatch: {} values for {l} rows x {width} columns",
             panel.len()
         );
-        scratch.panel.clear();
-        scratch
-            .panel
-            .extend(panel.iter().map(|&x| Complex::from_re(x)));
+        scratch.panel.resize(panel.len(), Complex::ZERO);
+        ims_signal::simd::widen_re(be, &mut scratch.panel, panel);
         self.plan
-            .forward_panel(&mut scratch.panel, width, &mut scratch.fft);
+            .forward_panel_with(be, &mut scratch.panel, width, &mut scratch.fft);
         for (k, (&ch, &inv)) in self.conj_h.iter().zip(self.inv_denom.iter()).enumerate() {
-            for v in scratch.panel[k * width..(k + 1) * width].iter_mut() {
-                *v = (ch * *v).scale(inv);
-            }
+            ims_signal::simd::cmul_scale_inplace(
+                be,
+                &mut scratch.panel[k * width..(k + 1) * width],
+                ch,
+                inv,
+            );
         }
         self.plan
-            .inverse_panel(&mut scratch.panel, width, &mut scratch.fft);
-        for (d, s) in panel.iter_mut().zip(scratch.panel.iter()) {
-            *d = s.re;
-        }
+            .inverse_panel_with(be, &mut scratch.panel, width, &mut scratch.fft);
+        ims_signal::simd::narrow_re(be, panel, &scratch.panel);
     }
 
     /// Allocation-free single-column solve: copies `y` into `out` and runs

@@ -109,3 +109,62 @@ proptest! {
         prop_assert_eq!(seq.autocorrelation01(lag), (n + 1) / 4);
     }
 }
+
+// --- Per-backend SIMD bit-exactness of the panel solvers -----------------
+//
+// The circulant spectral solve and the fast M-transform are the two panel
+// kernels the deconvolution hot path runs; every available SIMD backend
+// must reproduce the scalar reference bit for bit, at every panel width.
+
+use ims_prs::permutation::TransformScratch;
+use ims_prs::weighting::CirculantScratch;
+use ims_signal::simd::{self, Backend};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn circulant_panels_bit_identical_across_backends(
+        n in 2usize..48,
+        width in 1usize..12,
+        seed in 0u64..1000,
+        lambda in 1e-9..1e-3f64,
+    ) {
+        let kernel = signal(n, seed.wrapping_add(13));
+        let solver = CirculantInverse::weighted(&kernel, lambda).solver();
+        let panel0: Vec<f64> = signal(n * width, seed);
+        let mut scratch = CirculantScratch::default();
+        let mut reference = panel0.clone();
+        solver.solve_panel_with(Backend::Scalar, &mut reference, width, &mut scratch);
+        for be in simd::available_backends() {
+            let mut panel = panel0.clone();
+            solver.solve_panel_with(be, &mut panel, width, &mut scratch);
+            prop_assert!(
+                panel.iter().zip(&reference).all(|(a, r)| a.to_bits() == r.to_bits()),
+                "circulant panel diverges on {be:?} (n={n}, width={width})"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_m_transform_panels_bit_identical_across_backends(
+        degree in 2u32..9,
+        width in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let seq = MSequence::new(degree);
+        let t = FastMTransform::new(&seq);
+        let panel0: Vec<f64> = signal(seq.len() * width, seed);
+        let mut scratch = TransformScratch::default();
+        let mut reference = panel0.clone();
+        t.deconvolve_convolution_panel_with(Backend::Scalar, &mut reference, width, &mut scratch);
+        for be in simd::available_backends() {
+            let mut panel = panel0.clone();
+            t.deconvolve_convolution_panel_with(be, &mut panel, width, &mut scratch);
+            prop_assert!(
+                panel.iter().zip(&reference).all(|(a, r)| a.to_bits() == r.to_bits()),
+                "fast M-transform panel diverges on {be:?} (degree={degree}, width={width})"
+            );
+        }
+    }
+}

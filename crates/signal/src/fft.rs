@@ -6,9 +6,14 @@
 //! deconvolution paths (circulant inverses, Wiener/weighted deconvolution,
 //! invertibility conditioning of oversampled sequences).
 
+use crate::simd;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
 /// A complex number with `f64` components.
+///
+/// `repr(C)` so a slice of `Complex` is guaranteed to be the interleaved
+/// `re, im, re, im …` storage the SIMD kernels ([`crate::simd`]) reinterpret.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     /// Real part.
@@ -335,10 +340,45 @@ impl Pow2Plan {
 
     /// In-place panel transform over `m` rows × `width` columns; per column
     /// bit-identical to [`fft_pow2`]/[`ifft_pow2`] (including the `1/m`
-    /// scale on the inverse).
-    fn panel(&self, panel: &mut [Complex], width: usize, inverse: bool) {
+    /// scale on the inverse). The row sweeps run on the selected SIMD
+    /// backend; every backend reproduces the scalar bits (see
+    /// [`crate::simd`]).
+    ///
+    /// The butterfly levels are executed cache-blocked: a level of length
+    /// `len` only couples rows within aligned `len`-row segments, so every
+    /// level with `len ≤ seg` can run to completion inside one `seg`-row
+    /// segment while that segment is resident in L1, before the next
+    /// segment is touched. Reordering whole butterflies never changes the
+    /// dataflow graph — each value is still computed from the same inputs
+    /// by the same operations — so the blocked schedule is bit-identical
+    /// to the level-by-level one. The remaining levels (`len > seg`) sweep
+    /// the full panel once each; on the inverse transform the final sweep
+    /// fuses the `1/m` normalisation into the last butterfly level, and a
+    /// `post` row-diagonal (the Bluestein kernel spectrum) fuses into the
+    /// final forward level the same way.
+    fn panel(&self, panel: &mut [Complex], width: usize, inverse: bool, be: simd::Backend) {
+        self.panel_post(panel, width, inverse, be, None);
+    }
+
+    /// [`Pow2Plan::panel`] with an optional per-row complex post-multiplier
+    /// applied after the transform: `row[k] ← row[k]·post[k]`. Exactly
+    /// equivalent to running [`Pow2Plan::panel`] and then one
+    /// [`simd::cmul_inplace`] sweep per row (bit for bit); the hot path
+    /// folds the multiply into the final butterfly level instead of paying
+    /// one more full-panel pass.
+    fn panel_post(
+        &self,
+        panel: &mut [Complex],
+        width: usize,
+        inverse: bool,
+        be: simd::Backend,
+        post: Option<&[Complex]>,
+    ) {
         let m = self.m;
         debug_assert_eq!(panel.len(), m * width);
+        // The scale fusion (inverse) and spectrum fusion (forward) both
+        // claim the final level; the Bluestein driver never needs both.
+        debug_assert!(post.is_none() || !inverse);
         for i in 0..m {
             let j = self.rev[i] as usize;
             if j > i {
@@ -351,8 +391,39 @@ impl Pow2Plan {
         } else {
             &self.twiddles_fwd
         };
-        let mut len = 2;
-        for level in twiddles {
+        // Largest power-of-two row count whose panel slice fits the L1 tile.
+        const L1_TILE_BYTES: usize = 32 * 1024;
+        let rows_fit = (L1_TILE_BYTES / (std::mem::size_of::<Complex>() * width.max(1))).max(2);
+        let seg = (1usize << (usize::BITS - 1 - rows_fit.leading_zeros())).min(m);
+        let seg_levels = seg.trailing_zeros() as usize;
+
+        // Bottom levels (len = 2 .. seg), one L1-resident segment at a time.
+        for lo in (0..m).step_by(seg) {
+            let mut len = 2;
+            for level in &twiddles[..seg_levels] {
+                let half = len / 2;
+                for block in (lo..lo + seg).step_by(len) {
+                    for (t, i) in (block..block + half).enumerate() {
+                        let w = level[t];
+                        let (head, tail) = panel.split_at_mut((i + half) * width);
+                        let top = &mut head[i * width..(i + 1) * width];
+                        let bottom = &mut tail[..width];
+                        simd::butterfly_complex(be, top, bottom, w);
+                    }
+                }
+                len <<= 1;
+            }
+        }
+
+        // Top levels (len = 2·seg .. m): full-panel sweeps. The last sweep
+        // of an inverse transform carries the 1/m scale; the last sweep of
+        // a forward transform carries the `post` row diagonal if given.
+        let inv = 1.0 / m as f64;
+        let mut len = seg * 2;
+        for (li, level) in twiddles.iter().enumerate().skip(seg_levels) {
+            let last = li + 1 == twiddles.len();
+            let fuse_scale = inverse && last;
+            let fuse_post = if last { post } else { None };
             let half = len / 2;
             for block in (0..m).step_by(len) {
                 for (t, i) in (block..block + half).enumerate() {
@@ -360,20 +431,27 @@ impl Pow2Plan {
                     let (head, tail) = panel.split_at_mut((i + half) * width);
                     let top = &mut head[i * width..(i + 1) * width];
                     let bottom = &mut tail[..width];
-                    for (a, b) in top.iter_mut().zip(bottom.iter_mut()) {
-                        let u = *a;
-                        let v = *b * w;
-                        *a = u + v;
-                        *b = u - v;
+                    if let Some(p) = fuse_post {
+                        simd::butterfly_complex_postmul(be, top, bottom, w, p[i], p[i + half]);
+                    } else if fuse_scale {
+                        simd::butterfly_complex_scale(be, top, bottom, w, inv);
+                    } else {
+                        simd::butterfly_complex(be, top, bottom, w);
                     }
                 }
             }
             len <<= 1;
         }
-        if inverse {
-            let inv = 1.0 / m as f64;
-            for v in panel.iter_mut() {
-                *v = v.scale(inv);
+        if inverse && seg_levels == twiddles.len() {
+            // Every level ran in the L1-blocked pass; scale separately.
+            simd::scale_complex(be, panel, inv);
+        }
+        if let Some(p) = post {
+            if seg_levels == twiddles.len() {
+                // No full-panel sweep to fuse into; apply the diagonal directly.
+                for k in 0..m {
+                    simd::cmul_inplace(be, &mut panel[k * width..(k + 1) * width], p[k]);
+                }
             }
         }
     }
@@ -438,7 +516,19 @@ impl FftPlan {
     /// # Panics
     /// Panics if `panel.len() != self.len() * width`.
     pub fn forward_panel(&self, panel: &mut [Complex], width: usize, scratch: &mut FftScratch) {
-        self.panel_dir(panel, width, scratch, false);
+        self.panel_dir(panel, width, scratch, false, simd::active());
+    }
+
+    /// [`FftPlan::forward_panel`] pinned to an explicit SIMD backend
+    /// (testing hook; every backend is bit-identical).
+    pub fn forward_panel_with(
+        &self,
+        be: simd::Backend,
+        panel: &mut [Complex],
+        width: usize,
+        scratch: &mut FftScratch,
+    ) {
+        self.panel_dir(panel, width, scratch, false, be);
     }
 
     /// Inverse DFT (normalised by `1/N`) of a panel of `width` columns in
@@ -447,7 +537,19 @@ impl FftPlan {
     /// # Panics
     /// Panics if `panel.len() != self.len() * width`.
     pub fn inverse_panel(&self, panel: &mut [Complex], width: usize, scratch: &mut FftScratch) {
-        self.panel_dir(panel, width, scratch, true);
+        self.panel_dir(panel, width, scratch, true, simd::active());
+    }
+
+    /// [`FftPlan::inverse_panel`] pinned to an explicit SIMD backend
+    /// (testing hook; every backend is bit-identical).
+    pub fn inverse_panel_with(
+        &self,
+        be: simd::Backend,
+        panel: &mut [Complex],
+        width: usize,
+        scratch: &mut FftScratch,
+    ) {
+        self.panel_dir(panel, width, scratch, true, be);
     }
 
     fn panel_dir(
@@ -456,6 +558,7 @@ impl FftPlan {
         width: usize,
         scratch: &mut FftScratch,
         inverse: bool,
+        be: simd::Backend,
     ) {
         assert_eq!(
             panel.len(),
@@ -466,7 +569,7 @@ impl FftPlan {
         );
         match &self.kind {
             PlanKind::Trivial => {}
-            PlanKind::Pow2(p) => p.panel(panel, width, inverse),
+            PlanKind::Pow2(p) => p.panel(panel, width, inverse, be),
             PlanKind::Bluestein(b) => {
                 let n = self.n;
                 let m = b.pow2.m;
@@ -475,38 +578,43 @@ impl FftPlan {
                 } else {
                     (&b.chirp_fwd, &b.b_fft_fwd)
                 };
-                scratch.work.clear();
-                scratch.work.resize(m * width, Complex::ZERO);
-                let work = &mut scratch.work[..];
+                if scratch.work.len() < m * width {
+                    scratch.work.resize(m * width, Complex::ZERO);
+                }
+                let work = &mut scratch.work[..m * width];
                 // a[k] = x[k]·c[k], zero padded (same construction as the
-                // free-function Bluestein).
+                // free-function Bluestein). Rows 0..n are fully overwritten
+                // by the chirp multiply, so only the padding rows need
+                // re-zeroing between panels.
+                work[n * width..].fill(Complex::ZERO);
                 for k in 0..n {
                     let c = chirp[k];
                     let src = &panel[k * width..(k + 1) * width];
                     let dst = &mut work[k * width..(k + 1) * width];
-                    for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                        *d = s * c;
-                    }
+                    simd::cmul_rows(be, dst, src, c);
                 }
-                b.pow2.panel(work, width, false);
-                for (k, &bf) in b_fft.iter().enumerate() {
-                    for v in work[k * width..(k + 1) * width].iter_mut() {
-                        *v = *v * bf;
-                    }
-                }
-                b.pow2.panel(work, width, true);
-                for j in 0..n {
-                    let c = chirp[j];
-                    let src = &work[j * width..(j + 1) * width];
-                    let dst = &mut panel[j * width..(j + 1) * width];
-                    for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                        *d = c * s;
-                    }
-                }
+                // Forward convolution FFT with the kernel-spectrum multiply
+                // fused into its final butterfly level (bit-identical to a
+                // separate per-row sweep).
+                b.pow2.panel_post(work, width, false, be, Some(b_fft));
+                b.pow2.panel(work, width, true, be);
                 if inverse {
+                    // Fuse the 1/N normalisation into the output chirp: per
+                    // element this is the same multiply followed by the same
+                    // scale the scalar reference performs, so bits agree.
                     let inv = 1.0 / n as f64;
-                    for v in panel.iter_mut() {
-                        *v = v.scale(inv);
+                    for j in 0..n {
+                        let c = chirp[j];
+                        let src = &work[j * width..(j + 1) * width];
+                        let dst = &mut panel[j * width..(j + 1) * width];
+                        simd::cmul_scale_rows(be, dst, src, c, inv);
+                    }
+                } else {
+                    for j in 0..n {
+                        let c = chirp[j];
+                        let src = &work[j * width..(j + 1) * width];
+                        let dst = &mut panel[j * width..(j + 1) * width];
+                        simd::cmul_rows(be, dst, src, c);
                     }
                 }
             }

@@ -61,6 +61,15 @@ pub fn ifwht(data: &mut [f64]) {
 /// Panics if `width` is zero on a non-empty panel, if `panel.len()` is not
 /// a multiple of `width`, or if the row count is not a power of two.
 pub fn fwht_panel(panel: &mut [f64], width: usize) {
+    fwht_panel_with(crate::simd::active(), panel, width);
+}
+
+/// [`fwht_panel`] pinned to an explicit SIMD backend (testing hook; every
+/// backend is bit-identical to the scalar reference).
+///
+/// # Panics
+/// As [`fwht_panel`].
+pub fn fwht_panel_with(be: crate::simd::Backend, panel: &mut [f64], width: usize) {
     if panel.is_empty() {
         return;
     }
@@ -86,11 +95,7 @@ pub fn fwht_panel(panel: &mut [f64], width: usize) {
                 let (head, tail) = panel.split_at_mut((i + h) * width);
                 let top = &mut head[i * width..(i + 1) * width];
                 let bottom = &mut tail[..width];
-                for (a, b) in top.iter_mut().zip(bottom.iter_mut()) {
-                    let (x, y) = (*a, *b);
-                    *a = x + y;
-                    *b = x - y;
-                }
+                crate::simd::butterfly_f64(be, top, bottom);
             }
         }
         h *= 2;

@@ -33,6 +33,7 @@ pub mod matrix;
 pub mod noise;
 pub mod peaks;
 pub mod resample;
+pub mod simd;
 pub mod smooth;
 pub mod snr;
 pub mod stats;
@@ -40,3 +41,4 @@ pub mod stats;
 pub use fft::Complex;
 pub use matrix::Matrix;
 pub use peaks::Peak;
+pub use simd::{DEFAULT_PANEL_WIDTH, FIXED_POINT_PANEL_WIDTH};

@@ -146,3 +146,184 @@ proptest! {
         prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
     }
 }
+
+// --- Per-backend SIMD bit-exactness -------------------------------------
+//
+// Every vector backend must produce *bit-identical* output to the scalar
+// reference for every kernel, at every length (including the ragged tails
+// the remainder loops handle). `available_backends()` is probed at run
+// time, so on a machine without AVX2 the property quietly narrows to the
+// backends that exist.
+
+use ims_signal::fft::{FftPlan, FftScratch};
+use ims_signal::fwht::fwht_panel_with;
+use ims_signal::simd::{self, Backend};
+
+fn complex_row(x: &[f64]) -> Vec<Complex> {
+    x.iter()
+        .enumerate()
+        .map(|(i, &v)| Complex::new(v, v * 0.5 - i as f64))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simd_row_kernels_bit_identical_across_backends(
+        x in finite_vec(1..97),
+        wr in -2.0..2.0f64,
+        wi in -2.0..2.0f64,
+        s in -3.0..3.0f64,
+    ) {
+        let top0: Vec<Complex> = complex_row(&x);
+        let bottom0: Vec<Complex> = complex_row(&x).iter().map(|c| Complex::new(c.im, c.re)).collect();
+        let w = Complex::new(wr, wi);
+        let ct = Complex::new(wi, s);
+        let cb = Complex::new(s, wr);
+        let ints: Vec<i64> = x.iter().map(|&v| (v * 1e6) as i64).collect();
+
+        for be in simd::available_backends() {
+            // f64 butterfly.
+            let (mut t_ref, mut b_ref) = (x.clone(), x.iter().map(|v| v + 1.0).collect::<Vec<_>>());
+            let (mut t, mut b) = (t_ref.clone(), b_ref.clone());
+            simd::butterfly_f64(Backend::Scalar, &mut t_ref, &mut b_ref);
+            simd::butterfly_f64(be, &mut t, &mut b);
+            prop_assert!(t.iter().zip(&t_ref).all(|(a, r)| a.to_bits() == r.to_bits()), "{be:?} f64 top");
+            prop_assert!(b.iter().zip(&b_ref).all(|(a, r)| a.to_bits() == r.to_bits()), "{be:?} f64 bottom");
+
+            // i64 butterfly.
+            let (mut t_ref, mut b_ref) = (ints.clone(), ints.iter().map(|v| v ^ 3).collect::<Vec<_>>());
+            let (mut t, mut b) = (t_ref.clone(), b_ref.clone());
+            simd::butterfly_i64(Backend::Scalar, &mut t_ref, &mut b_ref);
+            simd::butterfly_i64(be, &mut t, &mut b);
+            prop_assert!(t == t_ref && b == b_ref, "{be:?} i64");
+
+            // Complex butterflies (plain / scaled / post-multiplied).
+            let (mut t_ref, mut b_ref) = (top0.clone(), bottom0.clone());
+            let (mut t, mut b) = (top0.clone(), bottom0.clone());
+            simd::butterfly_complex(Backend::Scalar, &mut t_ref, &mut b_ref, w);
+            simd::butterfly_complex(be, &mut t, &mut b, w);
+            prop_assert!(bits_eq(&t, &t_ref) && bits_eq(&b, &b_ref), "{be:?} complex");
+
+            let (mut t_ref, mut b_ref) = (top0.clone(), bottom0.clone());
+            let (mut t, mut b) = (top0.clone(), bottom0.clone());
+            simd::butterfly_complex_scale(Backend::Scalar, &mut t_ref, &mut b_ref, w, s);
+            simd::butterfly_complex_scale(be, &mut t, &mut b, w, s);
+            prop_assert!(bits_eq(&t, &t_ref) && bits_eq(&b, &b_ref), "{be:?} complex scale");
+
+            let (mut t_ref, mut b_ref) = (top0.clone(), bottom0.clone());
+            let (mut t, mut b) = (top0.clone(), bottom0.clone());
+            simd::butterfly_complex_postmul(Backend::Scalar, &mut t_ref, &mut b_ref, w, ct, cb);
+            simd::butterfly_complex_postmul(be, &mut t, &mut b, w, ct, cb);
+            prop_assert!(bits_eq(&t, &t_ref) && bits_eq(&b, &b_ref), "{be:?} complex postmul");
+
+            // Row multiplies.
+            let mut dst_ref = vec![Complex::new(0.0, 0.0); top0.len()];
+            let mut dst = dst_ref.clone();
+            simd::cmul_rows(Backend::Scalar, &mut dst_ref, &top0, w);
+            simd::cmul_rows(be, &mut dst, &top0, w);
+            prop_assert!(bits_eq(&dst, &dst_ref), "{be:?} cmul_rows");
+
+            simd::cmul_scale_rows(Backend::Scalar, &mut dst_ref, &top0, w, s);
+            simd::cmul_scale_rows(be, &mut dst, &top0, w, s);
+            prop_assert!(bits_eq(&dst, &dst_ref), "{be:?} cmul_scale_rows");
+
+            let mut row_ref = top0.clone();
+            let mut row = top0.clone();
+            simd::cmul_inplace(Backend::Scalar, &mut row_ref, w);
+            simd::cmul_inplace(be, &mut row, w);
+            prop_assert!(bits_eq(&row, &row_ref), "{be:?} cmul_inplace");
+
+            let mut row_ref = top0.clone();
+            let mut row = top0.clone();
+            simd::cmul_scale_inplace(Backend::Scalar, &mut row_ref, w, s);
+            simd::cmul_scale_inplace(be, &mut row, w, s);
+            prop_assert!(bits_eq(&row, &row_ref), "{be:?} cmul_scale_inplace");
+
+            let mut row_ref = top0.clone();
+            let mut row = top0.clone();
+            simd::scale_complex(Backend::Scalar, &mut row_ref, s);
+            simd::scale_complex(be, &mut row, s);
+            prop_assert!(bits_eq(&row, &row_ref), "{be:?} scale_complex");
+
+            let mut f_ref = vec![0.0f64; x.len()];
+            let mut f = f_ref.clone();
+            simd::mul_rows_f64(Backend::Scalar, &mut f_ref, &x, s);
+            simd::mul_rows_f64(be, &mut f, &x, s);
+            prop_assert!(f.iter().zip(&f_ref).all(|(a, r)| a.to_bits() == r.to_bits()), "{be:?} mul_rows_f64");
+
+            // Real <-> complex panel converters.
+            let mut wide_ref = vec![Complex::new(9.0, 9.0); x.len()];
+            let mut wide = wide_ref.clone();
+            simd::widen_re(Backend::Scalar, &mut wide_ref, &x);
+            simd::widen_re(be, &mut wide, &x);
+            prop_assert!(bits_eq(&wide, &wide_ref), "{be:?} widen_re");
+
+            let mut narrow_ref = vec![0.0f64; top0.len()];
+            let mut narrow = narrow_ref.clone();
+            simd::narrow_re(Backend::Scalar, &mut narrow_ref, &top0);
+            simd::narrow_re(be, &mut narrow, &top0);
+            prop_assert!(
+                narrow.iter().zip(&narrow_ref).all(|(a, r)| a.to_bits() == r.to_bits()),
+                "{be:?} narrow_re"
+            );
+        }
+    }
+
+    #[test]
+    fn fwht_panel_bit_identical_across_backends(
+        bits in 1u32..9,
+        width in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let m = 1usize << bits;
+        let panel0: Vec<f64> = (0..m * width)
+            .map(|i| (((i as u64).wrapping_mul(seed * 2 + 1) % 2003) as f64) - 1000.0)
+            .collect();
+        let mut reference = panel0.clone();
+        fwht_panel_with(Backend::Scalar, &mut reference, width);
+        for be in simd::available_backends() {
+            let mut panel = panel0.clone();
+            fwht_panel_with(be, &mut panel, width);
+            prop_assert!(
+                panel.iter().zip(&reference).all(|(a, r)| a.to_bits() == r.to_bits()),
+                "fwht panel diverges on {be:?} (m={m}, width={width})"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_panels_bit_identical_across_backends(
+        n in 1usize..48,
+        width in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let plan = FftPlan::new(n);
+        let panel0: Vec<Complex> = (0..n * width)
+            .map(|i| {
+                let v = (((i as u64).wrapping_mul(seed + 3) % 1009) as f64) - 500.0;
+                Complex::new(v, -v * 0.25)
+            })
+            .collect();
+        let mut scratch = FftScratch::default();
+        let mut fwd_ref = panel0.clone();
+        plan.forward_panel_with(Backend::Scalar, &mut fwd_ref, width, &mut scratch);
+        let mut inv_ref = fwd_ref.clone();
+        plan.inverse_panel_with(Backend::Scalar, &mut inv_ref, width, &mut scratch);
+        for be in simd::available_backends() {
+            let mut fwd = panel0.clone();
+            plan.forward_panel_with(be, &mut fwd, width, &mut scratch);
+            prop_assert!(bits_eq(&fwd, &fwd_ref), "forward panel diverges on {be:?} (n={n}, width={width})");
+            let mut inv = fwd;
+            plan.inverse_panel_with(be, &mut inv, width, &mut scratch);
+            prop_assert!(bits_eq(&inv, &inv_ref), "inverse panel diverges on {be:?} (n={n}, width={width})");
+        }
+    }
+}
+
+fn bits_eq(a: &[Complex], b: &[Complex]) -> bool {
+    a.iter()
+        .zip(b)
+        .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+}

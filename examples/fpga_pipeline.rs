@@ -46,6 +46,7 @@ fn main() {
         deconv: DeconvConfig::default(),
         link: DmaLink::rapidarray(),
         binner: None,
+        sparse: false,
     };
 
     println!(

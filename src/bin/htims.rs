@@ -49,13 +49,14 @@ fn help() {
          [--depth <channel depth>] [--backend fpga|naive|software] [--threads <n>]\n    \
          [--coarse <bins>] [--executor threaded|scheduled|inline] [--seed <n>]\n    \
          [--out <file.json>] [--faults <dma.bitflip=1e-5,frame.drop=1e-4,...>]\n    \
-         [--stall-timeout <250ms>]\n  \
+         [--stall-timeout <250ms>] [--sparse]\n  \
          htims trace [pipeline flags] [--out <trace.json>] [--metrics <metrics.json>]\n  \
          htims serve [pipeline flags] [--duration <2s|500ms>] [--port <n>]\n    \
          [--sample-ms <n>] [--series <file.jsonl>] [--sessions <n>] [--max-sessions <n>]\n  \
          htims chaos [pipeline flags] [--seeds <a,b,...>] [--matrix <spec;spec;...>]\n    \
          [--out <survival.json>] [--strict]\n  \
-         htims bench deconv [--quick] [--json] [--out <file.json>]\n  \
+         htims bench deconv [--quick] [--json] [--out <file.json>]\n    \
+         [--threads <a,b,...>] [--sparse]\n  \
          htims bench compare <baseline.json> <candidate.json> [--max-regress-pct <n>]\n    \
          [--out <verdict.json>]\n\n\
          pipeline|trace|serve|bench append a run summary to RUNS.jsonl\n\
@@ -222,6 +223,9 @@ fn parse_graph(mut spec: GraphSpec, args: &[String]) -> GraphSpec {
         });
         spec.stall_timeout_ms = Some(d.as_millis() as u64);
     }
+    if args.iter().any(|a| a == "--sparse") {
+        spec.sparse = true;
+    }
     spec
 }
 
@@ -263,7 +267,13 @@ fn graph_ledger_record(
     let provenance = htims::obs::Provenance::collect(
         spec.resolved_threads(),
         htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
-    );
+    )
+    .with_simd(&report.simd)
+    .with_sparse(if report.sparse_blocks > 0 {
+        "sparse"
+    } else {
+        "dense"
+    });
     let mut rec = ims_obs::LedgerRecord::new(tool, &provenance, spec.fingerprint());
     rec.wall_seconds = report.wall_seconds;
     rec.frames = report.frames;
@@ -335,10 +345,14 @@ fn pipeline(args: &[String]) {
 /// (degree 9, 1000 m/z columns, software backend).
 fn trace(args: &[String]) {
     let spec = parse_graph(GraphSpec::e3(), args);
-    let session = htims::obs::TraceSession::start(htims::obs::Provenance::collect(
-        spec.resolved_threads(),
-        htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
-    ));
+    let session = htims::obs::TraceSession::start(
+        htims::obs::Provenance::collect(
+            spec.resolved_threads(),
+            htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
+        )
+        .with_simd(htims::signal::simd::active_name())
+        .with_sparse(if spec.sparse { "sparse" } else { "dense" }),
+    );
     let out = run_graph(&spec);
     let report = session.finish();
     eprintln!(
@@ -430,7 +444,9 @@ fn serve(args: &[String]) {
     let provenance = htims::obs::Provenance::collect(
         spec.resolved_threads(),
         htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
-    );
+    )
+    .with_simd(htims::signal::simd::active_name())
+    .with_sparse(if spec.sparse { "sparse" } else { "dense" });
 
     ims_obs::metrics::reset();
     // Register the serve-level counters *before* the listener is up: a
@@ -695,7 +711,8 @@ fn chaos(args: &[String]) {
     let provenance = htims::obs::Provenance::collect(
         base.resolved_threads(),
         htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
-    );
+    )
+    .with_simd(htims::signal::simd::active_name());
     let mut rec = ims_obs::LedgerRecord::new("chaos", &provenance, base.fingerprint());
     rec.wall_seconds = report.cells.iter().map(|c| c.wall_seconds).sum();
     rec.blocks = report.cells.iter().map(|c| c.blocks).sum();
@@ -736,11 +753,15 @@ fn parse_duration(text: &str) -> Option<std::time::Duration> {
 /// * `scalar-column` — gather each strided column, run the per-column
 ///   solver (fresh allocations per column), scatter back: the baseline;
 /// * `batched` — [`BatchDeconvolver`] panels on one thread, by panel width;
-/// * `batched-parallel` — panels distributed over a rayon pool, by threads.
+/// * `batched-parallel` — panel slabs distributed over the work-stealing
+///   scheduler, by threads (`--threads 1,2,4` overrides the sweep);
+/// * `sparse-scalar` / `sparse-batched` / `sparse-skip` (with `--sparse`)
+///   — the same engines plus the CSR skip-zero path on a background-free
+///   block.
 ///
 /// All engines produce bit-identical output; only the schedule of the
 /// arithmetic differs. `speedup_vs_scalar` is relative to the same method's
-/// scalar-column row.
+/// scalar-column row (sparse rows: the sparse block's own scalar row).
 fn bench(args: &[String]) {
     match args.get(1).map(String::as_str) {
         Some("deconv") => bench_deconv(args),
@@ -812,7 +833,22 @@ fn bench_deconv(args: &[String]) {
         };
 
     let widths: &[usize] = if quick { &[32] } else { &[8, 32, 128] };
-    let threads = thread_sweep(quick);
+    let threads: Vec<usize> = match flag(args, "--threads") {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("bad --threads entry '{s}' (use e.g. --threads 1,2,4)");
+                        std::process::exit(2);
+                    })
+            })
+            .collect(),
+        None => thread_sweep(quick),
+    };
 
     // Floating-point software methods: weighted circulant + simplex FWHT.
     for method in [
@@ -901,16 +937,142 @@ fn bench_deconv(args: &[String]) {
         });
         record("fixed-point", "batched", 1, width, secs, scalar_secs);
     }
+    // Threaded rows for the integer path too: the pipeline's software
+    // backend (scheduler slabs over a private pool), bit-identical to the
+    // scalar loop above at every thread count.
+    let fp_width = htims::signal::FIXED_POINT_PANEL_WIDTH;
+    for &t in &threads {
+        let secs = best_secs(repeats, || {
+            std::hint::black_box(htims::core::pipeline::software_deconvolve_block(
+                &core, &block, mz_bins, t, fp_width,
+            ));
+        });
+        record(
+            "fixed-point",
+            "batched-parallel",
+            t,
+            fp_width,
+            secs,
+            scalar_secs,
+        );
+    }
 
-    // Schema v2: adds `provenance` so BENCH_*.json files are comparable
-    // across PRs (which tree built the binary, how wide the machine was).
+    // Sparse rows (`--sparse`): a background-free acquisition of the same
+    // shape, so only the peptide peaks occupy cells. Each engine is timed
+    // against a scalar-column reference *on the sparse block*; the
+    // `sparse-skip` rows run the CSR skip-zero path (bit-identical to
+    // dense, priced per occupied column).
+    let sparse_enabled = args.iter().any(|a| a == "--sparse");
+    let mut sparse_occupancy = serde_json::Value::Null;
+    if sparse_enabled {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        eprintln!("acquiring sparse bench block (background 0)…");
+        let sparse_data = acquire(
+            &inst,
+            &workload,
+            &schedule,
+            frames,
+            AcquireOptions {
+                background_mean: 0.0,
+                ..AcquireOptions::default()
+            },
+            &mut rng,
+        );
+        let occupied = sparse_data
+            .accumulated
+            .data()
+            .iter()
+            .filter(|v| v.to_bits() != 0)
+            .count();
+        let occupancy = occupied as f64 / cells;
+        sparse_occupancy = serde_json::json!(occupancy);
+        eprintln!(
+            "sparse block occupancy: {occupied}/{} cells ({:.2}%)",
+            cells as usize,
+            occupancy * 100.0
+        );
+
+        for method in [
+            Deconvolver::Weighted { lambda: 1e-6 },
+            Deconvolver::SimplexFast,
+        ] {
+            let name = match &method {
+                Deconvolver::Weighted { .. } => "weighted",
+                _ => "simplex-fast",
+            };
+            let solver = method.column_solver(&schedule, &sparse_data);
+            let scalar_secs = best_secs(repeats, || {
+                std::hint::black_box(apply_columnwise(&sparse_data.accumulated, |col| {
+                    solver(col)
+                }));
+            });
+            record(name, "sparse-scalar", 1, 1, scalar_secs, scalar_secs);
+            let engine = BatchDeconvolver::new(&method, &schedule, &sparse_data);
+            let width = engine.panel_width();
+            let secs = best_secs(repeats, || {
+                std::hint::black_box(engine.deconvolve_map(&sparse_data.accumulated));
+            });
+            record(name, "sparse-batched", 1, width, secs, scalar_secs);
+            let secs = best_secs(repeats, || {
+                std::hint::black_box(engine.deconvolve_map_sparse(&sparse_data.accumulated));
+            });
+            record(name, "sparse-skip", 1, width, secs, scalar_secs);
+        }
+
+        // Integer path: CSR-of-runs block through the FWHT core's
+        // skip-zero entry point.
+        let sparse_block: Vec<u64> = sparse_data
+            .accumulated
+            .data()
+            .iter()
+            .map(|&v| v.round() as u64)
+            .collect();
+        let scalar_secs = best_secs(repeats, || {
+            let mut out = vec![0i64; n * mz_bins];
+            let mut column = vec![0u64; n];
+            for mz in 0..mz_bins {
+                for (d, c) in column.iter_mut().enumerate() {
+                    *c = sparse_block[d * mz_bins + mz];
+                }
+                for (d, v) in core.deconvolve_column(&column).into_iter().enumerate() {
+                    out[d * mz_bins + mz] = v;
+                }
+            }
+            std::hint::black_box(out);
+        });
+        record(
+            "fixed-point",
+            "sparse-scalar",
+            1,
+            1,
+            scalar_secs,
+            scalar_secs,
+        );
+        let csr = htims::fpga::SparseBlock::from_dense(&sparse_block, n, mz_bins);
+        let mut sparse_core = DeconvCore::new(&seq, DeconvConfig::default());
+        let secs = best_secs(repeats, || {
+            std::hint::black_box(sparse_core.deconvolve_block_sparse(&csr));
+        });
+        record("fixed-point", "sparse-skip", 1, fp_width, secs, scalar_secs);
+    }
+
+    // Schema v3: `provenance` (with the dispatched SIMD backend and the
+    // sparse/dense decision) makes BENCH_*.json files comparable across
+    // PRs — which tree built the binary, which kernels actually ran.
     let report = serde_json::json!({
         "schema_version": htims::obs::OBS_SCHEMA_VERSION,
         "provenance": htims::obs::Provenance::collect(
-            thread_sweep(quick).last().copied().unwrap_or(1),
+            threads.last().copied().unwrap_or(1),
             htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
-        ),
-        "block": serde_json::json!({ "drift_bins": n, "mz_bins": mz_bins, "frames": frames }),
+        )
+        .with_simd(htims::signal::simd::active_name())
+        .with_sparse(if sparse_enabled { "sparse+dense" } else { "dense" }),
+        "block": serde_json::json!({
+            "drift_bins": n,
+            "mz_bins": mz_bins,
+            "frames": frames,
+            "sparse_occupancy": sparse_occupancy,
+        }),
         "rows": rows,
     });
     if args.iter().any(|a| a == "--json") || flag(args, "--out").is_some() {
@@ -926,11 +1088,17 @@ fn bench_deconv(args: &[String]) {
 
     // One ledger line for the whole suite: fingerprinted on the block
     // shape, best observed throughput as the headline number.
-    let suite_threads = thread_sweep(quick).last().copied().unwrap_or(1);
+    let suite_threads = threads.last().copied().unwrap_or(1);
     let provenance = htims::obs::Provenance::collect(
         suite_threads,
         htims::core::deconv_batch::DEFAULT_PANEL_WIDTH,
-    );
+    )
+    .with_simd(htims::signal::simd::active_name())
+    .with_sparse(if sparse_enabled {
+        "sparse+dense"
+    } else {
+        "dense"
+    });
     let fingerprint = ims_obs::config_fingerprint(&ims_obs::FingerprintParts {
         drift_bins: n,
         mz_bins,

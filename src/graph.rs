@@ -50,6 +50,11 @@ pub struct GraphSpec {
     /// Watchdog stall timeout in milliseconds; `None` leaves the watchdog
     /// off (threaded executor only).
     pub stall_timeout_ms: Option<u64>,
+    /// When set, the accumulate stage attaches a CSR sidecar to
+    /// low-occupancy blocks and FWHT-capable backends skip the empty
+    /// columns (bit-identical output; `report.sparse_blocks` counts how
+    /// many blocks took the sparse path).
+    pub sparse: bool,
 }
 
 impl GraphSpec {
@@ -68,6 +73,7 @@ impl GraphSpec {
             seed: 7,
             faults: None,
             stall_timeout_ms: None,
+            sparse: false,
         }
     }
 
@@ -89,6 +95,7 @@ impl GraphSpec {
             seed: 7,
             faults: None,
             stall_timeout_ms: None,
+            sparse: false,
         }
     }
 
@@ -180,6 +187,7 @@ impl GraphSpec {
             frames: self.frames,
             channel_depth: self.depth,
             binner: self.coarse.map(|c| MzBinner::uniform(self.mz, c)),
+            sparse: self.sparse,
             ..Default::default()
         };
         let backend = DeconvBackend::from_name(&self.backend, &seq, cfg.deconv, self.threads)
