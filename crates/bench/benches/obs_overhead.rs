@@ -63,6 +63,40 @@ fn bench_obs_overhead(c: &mut Criterion) {
         })
     });
 
+    // Flight-recorder record: the healthy-path cost of the always-on
+    // black box — one relaxed claim (fetch_add) plus three stores into a
+    // per-worker ring slot. Must stay in the same decade as a histogram
+    // record for the per-frame taps to remain unconditional.
+    let rec = ims_obs::FlightRecorder::new(8, 1024);
+    let label = rec.register("bench");
+    let mut item = 0u64;
+    group.bench_function("flight_record", |b| {
+        b.iter(|| {
+            item = item.wrapping_add(1);
+            rec.record(
+                black_box(label),
+                ims_obs::FlightKind::FrameIngress,
+                black_box(item),
+            );
+        })
+    });
+
+    // The same record through the pipeline's optional tap: the cost when
+    // the recorder is cloned into a stage meter (Arc deref + record).
+    let tap: Option<(ims_obs::FlightRecorder, u16)> = Some((rec.clone(), label));
+    group.bench_function("flight_record_via_tap", |b| {
+        b.iter(|| {
+            item = item.wrapping_add(1);
+            if let Some((r, l)) = &tap {
+                r.record(
+                    black_box(*l),
+                    ims_obs::FlightKind::FrameEgress,
+                    black_box(item),
+                );
+            }
+        })
+    });
+
     group.finish();
 }
 

@@ -28,7 +28,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// A producer-stall fault: sleep `duration` with probability `rate` per
@@ -200,6 +200,25 @@ struct FaultShared {
     /// Set by the executor's watchdog: in-progress injected sleeps bail
     /// out at their next slice so a "permanent" stall still drains.
     cancel: AtomicBool,
+    /// The run's flight recorder plus the pre-registered label index of
+    /// each fault site; armed once per run by the executor so every
+    /// injection leaves a `fault` event in the black box.
+    flight: OnceLock<FlightHooks>,
+}
+
+/// Fault-site labels registered in a run's flight recorder.
+struct FlightHooks {
+    rec: ims_obs::FlightRecorder,
+    drop: u16,
+    stall: u16,
+    bitflip: u16,
+    deconv: u16,
+}
+
+impl std::fmt::Debug for FlightHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightHooks").finish_non_exhaustive()
+    }
 }
 
 /// A seeded injector: cheap to clone (clones share counters), safe to
@@ -253,6 +272,40 @@ impl FaultInjector {
         &self.spec
     }
 
+    /// Wires this injector into a run's flight recorder: each fault site
+    /// registers a label, and every subsequent injection records a
+    /// `fault` event keyed by the frame/block it hit — the causal-chain
+    /// evidence in black-box dumps. First arming wins (clones share
+    /// state); re-arming is a no-op, so an injector reused across runs
+    /// keeps reporting into the first run's recorder.
+    pub fn arm_flight(&self, rec: &ims_obs::FlightRecorder) {
+        let _ = self.shared.flight.set(FlightHooks {
+            rec: rec.clone(),
+            drop: rec.register("frame.drop"),
+            stall: rec.register("source.stall"),
+            bitflip: rec.register("dma.bitflip"),
+            deconv: rec.register("deconv.fail"),
+        });
+    }
+
+    /// Records one injected frame-site fault against a site label (no-op
+    /// unarmed).
+    #[inline]
+    fn record_fault(&self, site: fn(&FlightHooks) -> u16, item: u64) {
+        if let Some(h) = self.shared.flight.get() {
+            h.rec.record(site(h), ims_obs::FlightKind::Fault, item);
+        }
+    }
+
+    /// Records one injected block-site fault (`item` is a block index,
+    /// which lives in a different namespace than frame ids).
+    #[inline]
+    fn record_block_fault(&self, site: fn(&FlightHooks) -> u16, item: u64) {
+        if let Some(h) = self.shared.flight.get() {
+            h.rec.record(site(h), ims_obs::FlightKind::BlockFault, item);
+        }
+    }
+
     /// The `n`-th deterministic uniform in `[0, 1)` for `(site, item)`.
     fn unit(&self, salt: u64, item: u64, n: u64) -> f64 {
         let h = mix(self.seed
@@ -270,6 +323,7 @@ impl FaultInjector {
             return false;
         }
         self.shared.frames_dropped.fetch_add(1, Relaxed);
+        self.record_fault(|h| h.drop, frame_no);
         ims_obs::static_counter!("fault.injected.frame_drop").incr();
         ims_obs::instant("fault", "frame_drop");
         true
@@ -278,8 +332,13 @@ impl FaultInjector {
     /// The stall to take before emitting frame `frame_no`, if any.
     pub fn stall_duration(&self, frame_no: u64) -> Option<Duration> {
         let stall = self.spec.source_stall?;
-        (stall.rate > 0.0 && self.unit(SALT_STALL, frame_no, 0) < stall.rate)
-            .then_some(stall.duration)
+        let fires = stall.rate > 0.0 && self.unit(SALT_STALL, frame_no, 0) < stall.rate;
+        if fires {
+            // Recorded here (not in `stall`) because only this site knows
+            // which frame the stall precedes — the causal-chain key.
+            self.record_fault(|h| h.stall, frame_no);
+        }
+        fires.then_some(stall.duration)
     }
 
     /// Takes an injected stall: sleeps `duration` in small slices,
@@ -326,6 +385,7 @@ impl FaultInjector {
         }
         if flips > 0 {
             self.shared.bitflips.fetch_add(flips, Relaxed);
+            self.record_fault(|h| h.bitflip, packet.seq_no);
             ims_obs::static_counter!("fault.injected.bitflip").add(flips);
         }
         flips
@@ -340,6 +400,7 @@ impl FaultInjector {
             return false;
         }
         self.shared.deconv_failures.fetch_add(1, Relaxed);
+        self.record_block_fault(|h| h.deconv, block_index);
         ims_obs::static_counter!("fault.injected.deconv_fail").incr();
         ims_obs::instant("fault", "deconv_fail");
         true

@@ -40,13 +40,50 @@
 //! on the hot path: no watchdog thread is spawned, packets carry no
 //! checksums, and the only addition is one relaxed atomic add per item.
 
-use super::error::{RunOutcome, SupervisorConfig};
+use super::error::{PipelineError, RunOutcome, SupervisorConfig};
 use super::report::{PipelineReport, StageReport};
 use super::sched::{self, ScheduledRun, Scheduler};
 use super::stages::FrameSource;
-use super::{DeconvolvedBlock, Message, Stage};
+use super::{flight_event, DeconvolvedBlock, Message, ObsTap, Stage};
 use crate::fault::FaultInjector;
+use ims_obs::FlightRecorder;
 use std::time::{Duration, Instant};
+
+/// Ring shards the per-run flight recorder keeps (threads hash onto
+/// shards by a stable per-thread ordinal).
+const FLIGHT_SHARDS: usize = 8;
+/// Events each shard retains (the "last N events per worker" of a
+/// black-box dump; older events are overwritten).
+const FLIGHT_CAPACITY: usize = 1024;
+
+/// The always-on flight-recorder wiring of one pipeline run: the shared
+/// ring recorder, the per-node label indices (filled at arm time, in
+/// pipeline order), and the dump/SLO configuration.
+pub(super) struct FlightConfig {
+    pub(super) recorder: FlightRecorder,
+    /// Label index per node: `labels[0]` is the source, `labels[i + 1]`
+    /// stage `i`. Filled by [`Pipeline::arm`].
+    pub(super) labels: Vec<u16>,
+    /// Where to write `flight_<fingerprint>.jsonl` when the run ends
+    /// badly; `None` records to the rings but never touches disk.
+    pub(super) dump_dir: Option<std::path::PathBuf>,
+    /// Config fingerprint stamped into the dump header and file name.
+    pub(super) fingerprint: String,
+    /// End-to-end frame-latency target (ns) from the armed SLO spec.
+    pub(super) latency_slo_ns: Option<u64>,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        Self {
+            recorder: FlightRecorder::new(FLIGHT_SHARDS, FLIGHT_CAPACITY),
+            labels: Vec::new(),
+            dump_dir: None,
+            fingerprint: "run".to_string(),
+            latency_slo_ns: None,
+        }
+    }
+}
 
 /// A source plus an ordered chain of stages, ready to run.
 pub struct Pipeline {
@@ -58,6 +95,8 @@ pub struct Pipeline {
     /// Interned session label (`s17`) of a multiplexed tenant; `None` for
     /// single-session runs, whose metric names stay unsuffixed.
     pub(super) session: Option<&'static str>,
+    /// Flight-recorder + SLO wiring (always on; dumps are opt-in).
+    pub(super) flight: FlightConfig,
 }
 
 /// What a pipeline run returns: the deconvolved blocks (in order) and the
@@ -82,6 +121,7 @@ impl Pipeline {
             injector: None,
             supervisor: SupervisorConfig::default(),
             session: None,
+            flight: FlightConfig::default(),
         }
     }
 
@@ -120,14 +160,62 @@ impl Pipeline {
         self
     }
 
-    /// Distributes the injector and policy to the source and stages.
+    /// Arms a black-box dump: when the run ends `Degraded` or `Failed`
+    /// (stage panic, watchdog stall, quarantine, injected faults), the
+    /// executor writes the flight-recorder rings to
+    /// `dir/flight_<fingerprint>.jsonl` — last N events per worker, the
+    /// blamed stage, and per-frame causal chains. Recording itself is
+    /// always on; this only enables the dump.
+    pub fn with_flight_dump(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+        fingerprint: &str,
+    ) -> Self {
+        self.flight.dump_dir = Some(dir.into());
+        self.flight.fingerprint = fingerprint.to_string();
+        self
+    }
+
+    /// Declares the end-to-end frame-latency target (ns): frames whose
+    /// origin-to-accumulation latency exceeds it are counted in
+    /// [`PipelineReport::frames_over_latency_slo`], which the SLO engine
+    /// turns into p99 burn rates.
+    pub fn with_latency_slo(mut self, target_ns: u64) -> Self {
+        self.flight.latency_slo_ns = Some(target_ns);
+        self
+    }
+
+    /// Distributes the injector, policy, and flight-recorder taps to the
+    /// source and stages. Flight labels register in pipeline order
+    /// (source, then stages, then — via the injector — fault sites), so
+    /// label indices are deterministic for a given graph shape.
     pub(super) fn arm(&mut self) {
+        let rec = self.flight.recorder.clone();
+        let mut labels = vec![rec.register("source")];
+        for stage in &self.stages {
+            labels.push(rec.register(stage.name()));
+        }
         if let Some(inj) = &self.injector {
             self.source.set_checked(true);
             for stage in &mut self.stages {
                 stage.arm_faults(inj, &self.supervisor);
             }
+            inj.arm_flight(&rec);
         }
+        let e2e_name = match self.session {
+            Some(s) => format!("pipeline.frame_e2e_ns#session={s}"),
+            None => "pipeline.frame_e2e_ns".to_string(),
+        };
+        let e2e_hist = ims_obs::metrics::histogram(&e2e_name);
+        for (stage, &label) in self.stages.iter_mut().zip(labels[1..].iter()) {
+            stage.arm_obs(&ObsTap {
+                recorder: rec.clone(),
+                label,
+                latency_slo_ns: self.flight.latency_slo_ns,
+                e2e_hist,
+            });
+        }
+        self.flight.labels = labels;
     }
 
     /// Runs the graph concurrently — source and stages as tasks on the
@@ -173,6 +261,9 @@ impl Pipeline {
         let mut meters: Vec<StageMeter> = std::iter::once(StageMeter::new("source"))
             .chain(stages.iter().map(|s| StageMeter::new(s.name())))
             .collect();
+        for (meter, &label) in meters.iter_mut().zip(&self.flight.labels) {
+            meter.flight = Some((self.flight.recorder.clone(), label));
+        }
 
         let mut blocks = Vec::new();
         let frames = self.source.frames();
@@ -196,6 +287,7 @@ impl Pipeline {
             meters[0].busy += gen;
             meters[0].record_latency(gen);
             meters[0].items_out += 1;
+            meters[0].record_flight(ims_obs::FlightKind::FrameEgress, packet.seq_no);
             feed(
                 &mut stages,
                 &mut meters[1..],
@@ -224,7 +316,57 @@ impl Pipeline {
             start,
             self.injector.as_ref(),
         );
+        maybe_dump_flight(&mut report, &self.flight, self.session);
         PipelineOutput { blocks, report }
+    }
+}
+
+/// Writes the black-box dump when a run ended badly and a dump directory
+/// was armed. The blamed stage comes from the first fatal error (panic or
+/// watchdog verdict); degraded-but-error-free runs leave blame to the
+/// recorder's own heuristics (most quarantines, else hottest fault site).
+/// Records the dump path into the report; a failed write is counted and
+/// warned, never fatal — the black box must not take the run down.
+pub(super) fn maybe_dump_flight(
+    report: &mut PipelineReport,
+    flight: &FlightConfig,
+    session: Option<&'static str>,
+) {
+    if report.outcome == RunOutcome::Completed {
+        return;
+    }
+    let Some(dir) = &flight.dump_dir else { return };
+    let first = report.errors.first();
+    let blamed_stage = first.map(|e| match e {
+        PipelineError::StagePanicked { stage, .. } | PipelineError::StageStalled { stage, .. } => {
+            stage.clone()
+        }
+    });
+    let reason = match first {
+        Some(PipelineError::StageStalled { .. }) => "watchdog_stall",
+        Some(PipelineError::StagePanicked { .. }) => "stage_panic",
+        None if report.frames_quarantined > 0 => "quarantine",
+        None => "degraded_run",
+    };
+    let meta = ims_obs::flight::DumpMeta {
+        fingerprint: flight.fingerprint.clone(),
+        session: session.map(str::to_string),
+        outcome: report.outcome.as_str().to_string(),
+        reason: reason.to_string(),
+        blamed_stage,
+    };
+    match flight.recorder.write_dump(dir, &meta) {
+        Ok(path) => {
+            ims_obs::static_counter!("flight.dumps_written").incr();
+            report.flight_dump = Some(path.display().to_string());
+        }
+        Err(err) => {
+            ims_obs::static_counter!("flight.dump_failed").incr();
+            eprintln!(
+                "warning: failed to write flight dump to {}: {err}",
+                dir.display()
+            );
+        }
     }
 }
 
@@ -311,6 +453,8 @@ fn feed(
         return;
     }
     meters[idx].items_in += 1;
+    let (kind, item) = flight_event(&msg, false);
+    meters[idx].record_flight(kind, item);
     let mut emitted = Vec::new();
     let t = Instant::now();
     {
@@ -323,6 +467,8 @@ fn feed(
     meters[idx].refresh_cells(stages[idx].as_ref());
     meters[idx].items_out += emitted.len() as u64;
     for m in emitted {
+        let (kind, item) = flight_event(&m, true);
+        meters[idx].record_flight(kind, item);
         feed(stages, meters, idx + 1, m, out);
     }
 }
@@ -351,6 +497,10 @@ pub(super) struct StageMeter {
     cells_reg: &'static ims_obs::Counter,
     /// Cells already pushed to `cells_reg` (stages report totals).
     cells_pushed: u64,
+    /// This node's tap into the run's flight recorder: the shared rings
+    /// plus the node's label index. `None` only for meters built outside
+    /// an armed pipeline (e.g. unit tests driving a meter directly).
+    pub(super) flight: Option<(FlightRecorder, u16)>,
 }
 
 impl StageMeter {
@@ -387,6 +537,28 @@ impl StageMeter {
                 session,
             )),
             cells_pushed: 0,
+            flight: None,
+        }
+    }
+
+    /// Records one ingress/egress event for this node into the run's
+    /// flight recorder (no-op for meters without a tap).
+    #[inline]
+    pub(super) fn record_flight(&self, kind: ims_obs::FlightKind, item: u64) {
+        if let Some((rec, label)) = &self.flight {
+            rec.record(*label, kind, item);
+        }
+    }
+
+    /// [`record_flight`](Self::record_flight) with an explicit timestamp.
+    /// The concurrent executors stamp egress *before* offering the message
+    /// downstream, so an egress timestamp always precedes the matching
+    /// downstream ingress — the invariant that keeps causal chains (which
+    /// sort by timestamp) deterministic across runs.
+    #[inline]
+    pub(super) fn record_flight_at(&self, kind: ims_obs::FlightKind, item: u64, ts_ns: u64) {
+        if let Some((rec, label)) = &self.flight {
+            rec.record_at(*label, kind, item, ts_ns);
         }
     }
 

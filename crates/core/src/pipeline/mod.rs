@@ -59,6 +59,7 @@ pub use stages::{
 
 use crate::fault::FaultInjector;
 use ims_fpga::dma::FramePacket;
+use ims_obs::FlightKind;
 
 /// One unit of data flowing between stages.
 #[derive(Debug, Clone)]
@@ -142,4 +143,77 @@ pub trait Stage: Send {
     /// pipeline was built with [`Pipeline::with_faults`]; the default is
     /// a no-op, so fault-oblivious stages need no changes.
     fn arm_faults(&mut self, _injector: &FaultInjector, _supervisor: &SupervisorConfig) {}
+
+    /// Hands this stage its tap into the run's flight recorder (and the
+    /// latency-SLO wiring that rides along). Called once per stage by
+    /// every executor before the run starts; the default is a no-op, so
+    /// stages with no internal events to record need no changes — the
+    /// executors already record ingress/egress for every node.
+    fn arm_obs(&mut self, _tap: &ObsTap) {}
+}
+
+/// A stage's tap into the run's always-on flight recorder, plus the
+/// end-to-end latency-SLO wiring. Built by the executors at arm time and
+/// handed to each stage through [`Stage::arm_obs`].
+#[derive(Clone)]
+pub struct ObsTap {
+    pub(crate) recorder: ims_obs::FlightRecorder,
+    /// This stage's label index in the recorder (registration order is
+    /// pipeline order: source first, then stages, then fault sites).
+    pub(crate) label: u16,
+    /// End-to-end frame-latency target (ns) from the armed SLO spec;
+    /// `None` when no SLO was declared.
+    pub(crate) latency_slo_ns: Option<u64>,
+    /// Registry histogram for end-to-end frame latency
+    /// (`pipeline.frame_e2e_ns`, session-suffixed for tenants).
+    pub(crate) e2e_hist: &'static ims_obs::Histogram,
+}
+
+impl ObsTap {
+    /// Records one event against this stage's label.
+    #[inline]
+    pub(crate) fn record(&self, kind: FlightKind, item: u64) {
+        self.recorder.record(self.label, kind, item);
+    }
+}
+
+impl std::fmt::Debug for ObsTap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsTap")
+            .field("label", &self.label)
+            .field("latency_slo_ns", &self.latency_slo_ns)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The flight-recorder classification of a message at a node boundary:
+/// `(kind, item id)`. Frames key on `seq_no` (the frame id); blocks —
+/// accumulated or deconvolved — on their block index.
+pub(super) fn flight_event(msg: &Message, egress: bool) -> (FlightKind, u64) {
+    match msg {
+        Message::Frame(p) => (
+            if egress {
+                FlightKind::FrameEgress
+            } else {
+                FlightKind::FrameIngress
+            },
+            p.seq_no,
+        ),
+        Message::Block(b) => (
+            if egress {
+                FlightKind::BlockEgress
+            } else {
+                FlightKind::BlockIngress
+            },
+            b.index,
+        ),
+        Message::Deconvolved(b) => (
+            if egress {
+                FlightKind::BlockEgress
+            } else {
+                FlightKind::BlockIngress
+            },
+            b.index,
+        ),
+    }
 }

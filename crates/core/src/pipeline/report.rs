@@ -131,6 +131,15 @@ pub struct PipelineReport {
     /// `SessionHandle::join`, carried into session-labeled ledger lines.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub session: Option<String>,
+    /// Frames whose end-to-end latency (packing to accumulation) exceeded
+    /// the armed SLO's p99 target. 0 when no SLO was declared.
+    #[serde(default)]
+    pub frames_over_latency_slo: u64,
+    /// Path of the flight-recorder black-box dump this run wrote, when it
+    /// ended badly enough to trigger one *and* a dump directory was
+    /// configured. `None` (and omitted) otherwise.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub flight_dump: Option<String>,
     /// Per-stage breakdown, in graph order (source first).
     pub stages: Vec<StageReport>,
 }
@@ -162,6 +171,8 @@ impl PipelineReport {
             simd: ims_signal::simd::active_name().to_string(),
             sparse_blocks: 0,
             session: None,
+            frames_over_latency_slo: 0,
+            flight_dump: None,
             stages: Vec::new(),
         }
     }

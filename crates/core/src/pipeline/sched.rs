@@ -44,10 +44,13 @@
 //! from flooding memory ahead of a slow stage.
 
 use super::error::PipelineError;
-use super::executor::{finish_report, panic_message, Pipeline, PipelineOutput, StageMeter};
+use super::executor::{
+    finish_report, maybe_dump_flight, panic_message, FlightConfig, Pipeline, PipelineOutput,
+    StageMeter,
+};
 use super::report::PipelineReport;
 use super::stages::FrameSource;
-use super::{DeconvolvedBlock, Message, Stage};
+use super::{flight_event, DeconvolvedBlock, Message, Stage};
 use crate::fault::FaultInjector;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -535,12 +538,15 @@ impl Node {
         let mut budget = QUANTUM;
         loop {
             if let Some(msg) = s.stalled.take() {
+                let (kind, item) = flight_event(&msg, true);
+                let ts = ims_obs::trace::now_ns();
                 match self.push_downstream(msg) {
                     Ok(()) => {
                         if let Some(t) = s.blocked_send_since.take() {
                             s.meter.blocked_send += t.elapsed();
                         }
                         s.meter.items_out += 1;
+                        s.meter.record_flight_at(kind, item, ts);
                         run.progress[0].fetch_add(1, Relaxed);
                     }
                     Err(msg) => {
@@ -608,8 +614,16 @@ impl Node {
         loop {
             // 1. Drain the outbox first: downstream credit gates input.
             while let Some(msg) = b.outbox.pop_front() {
+                let (kind, item) = flight_event(&msg, true);
+                // Egress timestamps are taken before the push: a fast
+                // downstream may record its ingress the instant the push
+                // lands, and chains sort by timestamp.
+                let ts = ims_obs::trace::now_ns();
                 match self.push_downstream(msg) {
-                    Ok(()) => b.meter.items_out += 1,
+                    Ok(()) => {
+                        b.meter.items_out += 1;
+                        b.meter.record_flight_at(kind, item, ts);
+                    }
                     Err(msg) => {
                         b.outbox.push_front(msg);
                         b.blocked_send_since.get_or_insert_with(Instant::now);
@@ -631,6 +645,10 @@ impl Node {
                         b.meter.blocked_recv += t.elapsed();
                     }
                     b.meter.items_in += 1;
+                    {
+                        let (kind, item) = flight_event(&msg, false);
+                        b.meter.record_flight(kind, item);
+                    }
                     if depth == inbox.capacity {
                         // full → not-full edge: give upstream its credit
                         self.wake_upstream();
@@ -806,6 +824,7 @@ pub(super) fn spawn(
         injector,
         supervisor,
         session,
+        flight,
     } = pipeline;
     let n = stages.len();
     let frames = source.frames();
@@ -847,13 +866,18 @@ pub(super) fn spawn(
             name,
             session,
         ));
+        let mut meter = StageMeter::with_session(name, session);
+        meter.flight = flight
+            .labels
+            .get(i + 1)
+            .map(|&label| (flight.recorder.clone(), label));
         let node = Arc::new(Node {
             state: AtomicU8::new(IDLE),
             index: i + 1,
             cat: session_cat(name, session),
             body: Mutex::new(Some(Body::Stage(StageBody {
                 stage,
-                meter: StageMeter::with_session(name, session),
+                meter,
                 queue_gauge,
                 outbox: VecDeque::new(),
                 poisoned: None,
@@ -876,6 +900,11 @@ pub(super) fn spawn(
         downstream = Some(node.clone());
         nodes.push(node);
     }
+    let mut source_meter = StageMeter::with_session("source", session);
+    source_meter.flight = flight
+        .labels
+        .first()
+        .map(|&label| (flight.recorder.clone(), label));
     let source_node = Arc::new(Node {
         state: AtomicU8::new(IDLE),
         index: 0,
@@ -885,7 +914,7 @@ pub(super) fn spawn(
             frames,
             next: 0,
             stalled: None,
-            meter: StageMeter::with_session("source", session),
+            meter: source_meter,
             panic: None,
             blocked_send_since: None,
             finished: false,
@@ -974,6 +1003,8 @@ pub(super) fn spawn(
         frames,
         injector,
         watchdog,
+        flight,
+        session,
     }
 }
 
@@ -987,6 +1018,8 @@ pub struct ScheduledRun {
     frames: u64,
     injector: Option<FaultInjector>,
     watchdog: Option<std::thread::JoinHandle<()>>,
+    flight: FlightConfig,
+    session: Option<&'static str>,
 }
 
 impl ScheduledRun {
@@ -1054,6 +1087,7 @@ impl ScheduledRun {
             self.start,
             self.injector.as_ref(),
         );
+        maybe_dump_flight(&mut report, &self.flight, self.session);
         PipelineOutput { blocks, report }
     }
 }

@@ -63,6 +63,9 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Pre-rendered config fingerprint of the graph this session runs.
     pub fingerprint: String,
+    /// Canonical compact form of the fault spec armed on this session
+    /// (`FaultSpec::to_string`); `None` when the session runs clean.
+    pub fault_spec: Option<String>,
 }
 
 /// Why a session was not admitted.
@@ -146,6 +149,18 @@ pub struct SessionStatus {
     /// Wall-clock seconds from admission to join; `None` while running.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub wall_seconds: Option<f64>,
+    /// The fault spec this session was armed with (canonical compact
+    /// form); `None` for clean sessions.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub fault_spec: Option<String>,
+    /// Latest SLO evaluation for this tenant (burn rates + alert state);
+    /// `None` until the serve loop's SLO engine has evaluated a window.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub slo: Option<ims_obs::SloSummary>,
+    /// Path of the flight-recorder black-box dump from the session's
+    /// last run, when it ended badly and dumping was armed.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub flight_dump: Option<String>,
 }
 
 struct Table {
@@ -252,6 +267,9 @@ impl SessionManager {
                     blocks: None,
                     output_fnv: None,
                     wall_seconds: None,
+                    fault_spec: config.fault_spec.clone(),
+                    slo: None,
+                    flight_dump: None,
                 },
             );
         }
@@ -267,6 +285,15 @@ impl SessionManager {
     /// Snapshot of every table row, in label order.
     pub fn statuses(&self) -> Vec<SessionStatus> {
         lock(&self.table).sessions.values().cloned().collect()
+    }
+
+    /// Stamps the latest SLO evaluation onto a session's table row, so
+    /// `GET /sessions` shows burn rates and alert state per tenant. A
+    /// no-op for labels not (or no longer) in the table.
+    pub fn set_slo(&self, label: &str, summary: ims_obs::SloSummary) {
+        if let Some(row) = lock(&self.table).sessions.get_mut(label) {
+            row.slo = Some(summary);
+        }
     }
 
     /// The `GET /sessions` body: pool shape, bounds, and every row.
@@ -329,6 +356,7 @@ impl SessionHandle {
             row.blocks = Some(out.blocks.len() as u64);
             row.output_fnv = Some(format!("{:#018x}", output_fingerprint(&out.blocks)));
             row.wall_seconds = Some(self.admitted.elapsed().as_secs_f64());
+            row.flight_dump = out.report.flight_dump.clone();
         }
         out
     }
@@ -355,6 +383,9 @@ mod tests {
                     blocks: None,
                     output_fnv: None,
                     wall_seconds: None,
+                    fault_spec: None,
+                    slo: None,
+                    flight_dump: None,
                 },
             );
             table.sessions.insert(
@@ -368,6 +399,9 @@ mod tests {
                     blocks: Some(2),
                     output_fnv: Some("0x00000000deadbeef".into()),
                     wall_seconds: Some(0.25),
+                    fault_spec: Some("frame.drop=0.01".into()),
+                    slo: None,
+                    flight_dump: None,
                 },
             );
         }
@@ -377,6 +411,10 @@ mod tests {
         assert!(json.contains("\"state\": \"finished\""), "{json}");
         assert!(json.contains("\"outcome\": \"completed\""), "{json}");
         assert!(json.contains("0x00000000deadbeef"), "{json}");
+        assert!(
+            json.contains("\"fault_spec\": \"frame.drop=0.01\""),
+            "{json}"
+        );
         // Running rows omit the final-only fields entirely.
         let s0 = json.split("\"label\": \"s0\"").nth(1).unwrap();
         let s0 = s0.split('}').next().unwrap();

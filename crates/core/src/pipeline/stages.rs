@@ -2,7 +2,7 @@
 
 use super::error::{CorruptPolicy, SupervisorConfig};
 use super::sched::Scheduler;
-use super::{Block, DeconvolvedBlock, Message, PipelineReport, Stage};
+use super::{Block, DeconvolvedBlock, Message, ObsTap, PipelineReport, Stage};
 use crate::fault::FaultInjector;
 use crate::hybrid::FrameGenerator;
 use ims_fpga::deconv::{DeconvConfig, DeconvCore};
@@ -117,6 +117,7 @@ fn admit_frame(
     stage: &'static str,
     policy: CorruptPolicy,
     quarantined: &mut u64,
+    obs: &Option<ObsTap>,
 ) -> bool {
     if p.verify() {
         return true;
@@ -126,6 +127,9 @@ fn admit_frame(
             *quarantined += 1;
             ims_obs::static_counter!("pipeline.frames_quarantined").incr();
             ims_obs::instant("fault", "quarantine");
+            if let Some(tap) = obs {
+                tap.record(ims_obs::FlightKind::Quarantine, p.seq_no);
+            }
             false
         }
         CorruptPolicy::Fail => panic!(
@@ -145,6 +149,7 @@ pub struct BinnerStage {
     scratch: Vec<u32>,
     corrupt_policy: CorruptPolicy,
     quarantined: u64,
+    obs: Option<ObsTap>,
 }
 
 impl BinnerStage {
@@ -156,6 +161,7 @@ impl BinnerStage {
             scratch: Vec::new(),
             corrupt_policy: CorruptPolicy::Drop,
             quarantined: 0,
+            obs: None,
         }
     }
 }
@@ -168,20 +174,27 @@ impl Stage for BinnerStage {
     fn process(&mut self, msg: Message, emit: &mut dyn FnMut(Message)) {
         match msg {
             Message::Frame(p) => {
-                if !admit_frame(&p, "binner", self.corrupt_policy, &mut self.quarantined) {
+                if !admit_frame(
+                    &p,
+                    "binner",
+                    self.corrupt_policy,
+                    &mut self.quarantined,
+                    &self.obs,
+                ) {
                     return;
                 }
                 // Stream words straight off the wire packet into the reused
                 // coarse scratch row — no per-frame allocation on the fine
                 // side. The re-packed coarse frame carries no checksum: the
                 // binner is the integrity boundary, everything downstream
-                // of it is process-local memory.
+                // of it is process-local memory. The origin timestamp is
+                // carried forward so end-to-end latency still measures
+                // from first packing.
                 self.binner
                     .bin_frame_into(p.words(), self.drift_bins, &mut self.scratch);
-                emit(Message::Frame(FramePacket::from_words(
-                    p.seq_no,
-                    &self.scratch,
-                )));
+                emit(Message::Frame(
+                    FramePacket::from_words(p.seq_no, &self.scratch).with_origin(p.origin_ns),
+                ));
             }
             other => emit(other),
         }
@@ -194,6 +207,10 @@ impl Stage for BinnerStage {
 
     fn arm_faults(&mut self, _injector: &FaultInjector, supervisor: &SupervisorConfig) {
         self.corrupt_policy = supervisor.corrupt_policy;
+    }
+
+    fn arm_obs(&mut self, tap: &ObsTap) {
+        self.obs = Some(tap.clone());
     }
 }
 
@@ -213,6 +230,12 @@ pub struct AccumulateStage {
     /// CSR [`ims_fpga::SparseBlock`] for zero-skipping deconvolution.
     sparse_enabled: bool,
     sparse_blocks: u64,
+    /// Flight-recorder tap + latency-SLO wiring. The accumulator is the
+    /// end-to-end measurement point: a frame "arrives" when it is folded
+    /// into the accumulation RAM.
+    obs: Option<ObsTap>,
+    /// Frames slower end-to-end than the armed SLO's p99 target.
+    frames_slow: u64,
 }
 
 impl AccumulateStage {
@@ -235,6 +258,8 @@ impl AccumulateStage {
             quarantined: 0,
             sparse_enabled: false,
             sparse_blocks: 0,
+            obs: None,
+            frames_slow: 0,
         }
     }
 
@@ -288,12 +313,27 @@ impl Stage for AccumulateStage {
     fn process(&mut self, msg: Message, emit: &mut dyn FnMut(Message)) {
         match msg {
             Message::Frame(p) => {
-                if !admit_frame(&p, "accumulate", self.corrupt_policy, &mut self.quarantined) {
+                if !admit_frame(
+                    &p,
+                    "accumulate",
+                    self.corrupt_policy,
+                    &mut self.quarantined,
+                    &self.obs,
+                ) {
                     return;
                 }
                 self.acc
                     .capture_frame_iter(p.words())
                     .expect("frame shape mismatch in pipeline");
+                if let Some(tap) = &self.obs {
+                    // End-to-end frame latency: packing at the source to
+                    // arrival in the accumulation RAM.
+                    let e2e = ims_obs::trace::now_ns().saturating_sub(p.origin_ns);
+                    tap.e2e_hist.record(e2e);
+                    if tap.latency_slo_ns.is_some_and(|slo| e2e > slo) {
+                        self.frames_slow += 1;
+                    }
+                }
                 self.in_block += 1;
                 if self.in_block == self.frames_per_block {
                     self.drain_block(emit);
@@ -315,10 +355,15 @@ impl Stage for AccumulateStage {
         report.frames_per_block = self.frames_per_block;
         report.frames_quarantined += self.quarantined;
         report.sparse_blocks += self.sparse_blocks;
+        report.frames_over_latency_slo += self.frames_slow;
     }
 
     fn arm_faults(&mut self, _injector: &FaultInjector, supervisor: &SupervisorConfig) {
         self.corrupt_policy = supervisor.corrupt_policy;
+    }
+
+    fn arm_obs(&mut self, tap: &ObsTap) {
+        self.obs = Some(tap.clone());
     }
 
     // Blocks hand off through a depth-2 "ping-pong" channel: the

@@ -188,6 +188,55 @@ fn bitflip_storm_quarantines_frames_and_still_completes() {
 }
 
 #[test]
+fn flight_dump_after_forced_degraded_carries_the_quarantined_frames_chain() {
+    let dir = std::env::temp_dir().join(format!("htims_flight_{}", std::process::id()));
+    let (gen, seq) = generator(5, 18);
+    let spec = FaultSpec::parse("dma.bitflip=3e-5").unwrap();
+    let out = graph(&gen, &seq, 4, 3)
+        .with_faults(FaultInjector::new(3, spec))
+        .with_flight_dump(dir.clone(), "testcfg")
+        .run_threaded();
+    assert_eq!(out.report.outcome, RunOutcome::Degraded);
+    assert!(out.report.frames_quarantined > 0);
+    let dump = out.report.flight_dump.as_deref().expect("dump written");
+    let text = std::fs::read_to_string(dump).unwrap();
+    let (header, events) = ims_obs::flight::parse_dump(&text).unwrap();
+    assert_eq!(header.schema_version, ims_obs::FLIGHT_SCHEMA_VERSION);
+    assert_eq!(header.outcome, "degraded");
+    assert_eq!(header.reason, "quarantine");
+    // No fatal error to blame, so blame falls back to the stage that
+    // quarantined the most frames.
+    assert_eq!(header.blamed_stage.as_deref(), Some("accumulate"));
+    assert!(header.fault_site_count("dma.bitflip") > 0);
+    assert!(!header.quarantined_frames.is_empty());
+    assert!(!events.is_empty());
+    // The quarantined frame's causal chain walks the whole graph in
+    // order: source egress, link ingress, the bitflip fault site, link
+    // egress, accumulate ingress, and finally the quarantine verdict.
+    let q = header.quarantined_frames[0];
+    let chain = header
+        .chains
+        .iter()
+        .find(|c| c.item == q)
+        .expect("chain for the quarantined frame");
+    let steps: Vec<(&str, &str)> = chain
+        .events
+        .iter()
+        .map(|e| (e.stage.as_str(), e.kind.as_str()))
+        .collect();
+    let expect = [
+        ("source", "frame_egress"),
+        ("link", "frame_ingress"),
+        ("dma.bitflip", "fault"),
+        ("link", "frame_egress"),
+        ("accumulate", "frame_ingress"),
+        ("accumulate", "quarantine"),
+    ];
+    assert_eq!(steps, expect, "full stage chain for frame {q}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn early_source_eof_drains_the_threaded_executor_without_deadlock() {
     let (gen, seq) = generator(5, 18);
     // Fewer frames than one block, streaming semantics: the accumulator

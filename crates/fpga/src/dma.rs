@@ -89,6 +89,13 @@ pub struct FramePacket {
     /// producer runs with integrity checking on (`None` on the default
     /// fast path, where no checksum is computed or verified).
     pub checksum: Option<u64>,
+    /// Origin timestamp: nanoseconds since the process trace epoch when
+    /// the packet was packed. End-to-end frame latency is measured
+    /// against this; stages that re-pack a frame must carry it forward
+    /// (see [`with_origin`](Self::with_origin)). Not part of the payload
+    /// checksum — two runs of the same seed produce identical payloads
+    /// with different origins.
+    pub origin_ns: u64,
 }
 
 impl FramePacket {
@@ -115,7 +122,22 @@ impl FramePacket {
             seq_no,
             payload: Bytes::from(buf),
             checksum,
+            origin_ns: ims_obs::trace::now_ns(),
         }
+    }
+
+    /// The frame's stable identity across the pipeline — flight-recorder
+    /// events and black-box causal chains key on this.
+    pub fn frame_id(&self) -> u64 {
+        self.seq_no
+    }
+
+    /// Carries an earlier packet's origin timestamp onto this one —
+    /// stages that re-pack a frame (e.g. after re-binning) use this so
+    /// end-to-end latency still measures from first packing.
+    pub fn with_origin(mut self, origin_ns: u64) -> Self {
+        self.origin_ns = origin_ns;
+        self
     }
 
     /// Integrity check: `true` when the packet carries no checksum
@@ -229,8 +251,19 @@ mod tests {
         let words: Vec<u32> = (0..100).map(|i| i * 17).collect();
         let p = FramePacket::from_words(7, &words);
         assert_eq!(p.seq_no, 7);
+        assert_eq!(p.frame_id(), 7);
         assert_eq!(p.len_bytes(), 400);
         assert_eq!(p.to_words(), words);
+    }
+
+    #[test]
+    fn repacking_can_carry_the_origin_forward() {
+        let p = FramePacket::from_words(1, &[1, 2, 3]);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let repacked = FramePacket::from_words(1, &[4, 5, 6]);
+        assert!(repacked.origin_ns > p.origin_ns, "fresh pack stamps now");
+        let carried = repacked.with_origin(p.origin_ns);
+        assert_eq!(carried.origin_ns, p.origin_ns);
     }
 
     #[test]

@@ -1,0 +1,681 @@
+//! Always-on flight recorder: per-worker lock-free ring buffers of
+//! frame/block lifecycle events, dumped as a schema-versioned JSONL
+//! black box when a run ends badly.
+//!
+//! Every pipeline node records one event per item it touches — frame
+//! ingress/egress, block ingress/egress, fault-site firings, quarantines
+//! — into a fixed-capacity ring owned by the recording thread's shard.
+//! The healthy-path cost is one thread-local read, one relaxed
+//! `fetch_add` on the shard head, and three relaxed/release stores into
+//! the claimed slot (no locks, no allocation, no branching on buffer
+//! fullness — old events are simply overwritten). The `obs_overhead`
+//! criterion bench pins this next to the span/counter costs.
+//!
+//! Each event packs into three `u64` words:
+//!
+//! ```text
+//! seq   claim index + 1 (0 = never written; validates the slot)
+//! meta  ts_ns(48 bits) | label(8 bits) | kind(8 bits)
+//! item  frame_id (= FramePacket::seq_no) or block index
+//! ```
+//!
+//! Snapshots are taken after the run has quiesced (the executor joins
+//! every node before dumping), so relaxed stores are safe: the join's own
+//! synchronization orders them. A slot whose `seq` does not match its
+//! claim index mid-scan (a torn write from a racing recorder on the same
+//! shard) is skipped rather than misread.
+//!
+//! The black-box dump is JSONL: line 1 is a [`DumpHeader`] (schema
+//! version, fingerprint, outcome, blamed stage, quarantined frame ids,
+//! fault-site tallies, and per-offending-item causal [`DumpChain`]s);
+//! every following line is one [`DumpEvent`]. Event lines are sorted by
+//! `(item, label registration order, kind)` — *not* per-worker order —
+//! because worker/shard assignment varies run to run while the logical
+//! event set of a seeded run does not; with timestamps normalized (see
+//! [`strip_timestamps`]) two same-`(seed, spec)` runs dump byte-identical
+//! black boxes as long as the rings did not overflow.
+
+use crate::trace;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Version of the black-box dump schema. Bump on breaking change.
+pub const FLIGHT_SCHEMA_VERSION: u32 = 1;
+
+/// Hard cap on registered labels (stage names + fault sites): the packed
+/// event word keeps 8 bits for the label index.
+pub const MAX_LABELS: usize = 256;
+
+/// Causal chains kept in a dump header (offending items beyond this are
+/// still listed in `quarantined_frames` / event lines, just not expanded
+/// into chains). Applied after sorting item ids, so it is deterministic.
+const MAX_CHAINS: usize = 128;
+
+const TS_BITS: u32 = 48;
+const TS_MASK: u64 = (1 << TS_BITS) - 1;
+
+/// What happened to an item at a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FlightKind {
+    /// A frame entered a stage's `process`.
+    FrameIngress = 0,
+    /// A frame left a stage (was emitted / accepted downstream).
+    FrameEgress = 1,
+    /// A block entered a stage's `process`.
+    BlockIngress = 2,
+    /// A block left a stage.
+    BlockEgress = 3,
+    /// A deterministic fault site fired on this frame (label = site name).
+    Fault = 4,
+    /// The item failed its integrity check and was quarantined.
+    Quarantine = 5,
+    /// A deterministic fault site fired on this block (label = site
+    /// name). Distinct from [`FlightKind::Fault`] because frame ids and
+    /// block indices share the `item` namespace, and causal chains must
+    /// not mix the two.
+    BlockFault = 6,
+}
+
+impl FlightKind {
+    /// Stable wire name used in dump lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlightKind::FrameIngress => "frame_ingress",
+            FlightKind::FrameEgress => "frame_egress",
+            FlightKind::BlockIngress => "block_ingress",
+            FlightKind::BlockEgress => "block_egress",
+            FlightKind::Fault => "fault",
+            FlightKind::Quarantine => "quarantine",
+            FlightKind::BlockFault => "block_fault",
+        }
+    }
+
+    fn from_bits(b: u64) -> Option<Self> {
+        Some(match b {
+            0 => FlightKind::FrameIngress,
+            1 => FlightKind::FrameEgress,
+            2 => FlightKind::BlockIngress,
+            3 => FlightKind::BlockEgress,
+            4 => FlightKind::Fault,
+            5 => FlightKind::Quarantine,
+            6 => FlightKind::BlockFault,
+            _ => return None,
+        })
+    }
+}
+
+/// Which item namespace a wire kind belongs to: frame ids and block
+/// indices overlap numerically, so chains are keyed `(class, item)`.
+fn item_class(kind: &str) -> &'static str {
+    match kind {
+        "block_ingress" | "block_egress" | "block_fault" => "block",
+        _ => "frame",
+    }
+}
+
+/// One decoded event out of a ring snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Shard (worker ring) the event was recorded into.
+    pub worker: usize,
+    /// Claim index within the shard: recording order per worker.
+    pub seq: u64,
+    /// Nanoseconds since the process trace epoch (48-bit truncated).
+    pub ts_ns: u64,
+    /// Index into the recorder's label table (stage or fault site).
+    pub label: u16,
+    /// Event kind.
+    pub kind: FlightKind,
+    /// Frame id (`FramePacket::seq_no`) or block index.
+    pub item: u64,
+}
+
+/// A quiescent-point snapshot of every ring.
+#[derive(Debug, Clone)]
+pub struct FlightSnapshot {
+    /// Registered labels; `FlightEvent::label` indexes this.
+    pub labels: Vec<String>,
+    /// Surviving events per worker shard, oldest first.
+    pub events: Vec<Vec<FlightEvent>>,
+    /// Total events ever recorded (including overwritten ones).
+    pub recorded: u64,
+}
+
+impl FlightSnapshot {
+    /// All surviving events across workers, flattened.
+    pub fn flat(&self) -> Vec<FlightEvent> {
+        self.events.iter().flatten().cloned().collect()
+    }
+}
+
+struct Slot {
+    seq: AtomicU64,
+    meta: AtomicU64,
+    item: AtomicU64,
+}
+
+struct Ring {
+    head: AtomicU64,
+    mask: u64,
+    slots: Box<[Slot]>,
+}
+
+struct Inner {
+    rings: Vec<Ring>,
+    labels: Mutex<Vec<String>>,
+}
+
+/// The recorder handle stages and executors hold. Cheap to clone (one
+/// `Arc`); all clones share the same rings and label table.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Inner>,
+}
+
+/// Returns this thread's stable shard ordinal (assigned on first use).
+fn thread_ordinal() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ORDINAL: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    ORDINAL.with(|c| {
+        let mut v = c.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+        }
+        v
+    })
+}
+
+impl FlightRecorder {
+    /// A recorder with `workers` ring shards of `capacity` events each
+    /// (capacity rounds up to a power of two, at least 8).
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let workers = workers.max(1);
+        let capacity = capacity.max(8).next_power_of_two();
+        let rings = (0..workers)
+            .map(|_| Ring {
+                head: AtomicU64::new(0),
+                mask: capacity as u64 - 1,
+                slots: (0..capacity)
+                    .map(|_| Slot {
+                        seq: AtomicU64::new(0),
+                        meta: AtomicU64::new(0),
+                        item: AtomicU64::new(0),
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self {
+            inner: Arc::new(Inner {
+                rings,
+                labels: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Number of ring shards.
+    pub fn workers(&self) -> usize {
+        self.inner.rings.len()
+    }
+
+    /// Per-shard event capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.rings[0].slots.len()
+    }
+
+    /// Registers a label (stage name or fault-site name) and returns its
+    /// index; registering the same label twice returns the same index.
+    /// Cold path — called at arm time, never per event.
+    ///
+    /// # Panics
+    /// When more than [`MAX_LABELS`] distinct labels are registered.
+    pub fn register(&self, label: &str) -> u16 {
+        let mut labels = self.inner.labels.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(i) = labels.iter().position(|l| l == label) {
+            return i as u16;
+        }
+        assert!(
+            labels.len() < MAX_LABELS,
+            "flight recorder label table full"
+        );
+        labels.push(label.to_string());
+        (labels.len() - 1) as u16
+    }
+
+    /// Records one event. Lock-free hot path: shard by thread ordinal,
+    /// claim a slot with a relaxed `fetch_add`, store the payload.
+    #[inline]
+    pub fn record(&self, label: u16, kind: FlightKind, item: u64) {
+        self.record_at(label, kind, item, trace::now_ns());
+    }
+
+    /// [`record`](Self::record) with an explicit timestamp (tests).
+    #[inline]
+    pub fn record_at(&self, label: u16, kind: FlightKind, item: u64, ts_ns: u64) {
+        let rings = &self.inner.rings;
+        let ring = &rings[thread_ordinal() % rings.len()];
+        let idx = ring.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &ring.slots[(idx & ring.mask) as usize];
+        let meta = ((ts_ns & TS_MASK) << 16) | ((label as u64 & 0xff) << 8) | kind as u64;
+        slot.item.store(item, Ordering::Relaxed);
+        slot.meta.store(meta, Ordering::Relaxed);
+        // seq last, Release: a snapshot that Acquire-reads the expected
+        // seq sees the matching payload stores.
+        slot.seq.store(idx + 1, Ordering::Release);
+    }
+
+    /// Decodes every ring. Meant for the quiescent point after a run has
+    /// joined; slots a racing recorder has part-written are skipped.
+    pub fn snapshot(&self) -> FlightSnapshot {
+        let labels = self
+            .inner
+            .labels
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let mut events = Vec::with_capacity(self.inner.rings.len());
+        let mut recorded = 0u64;
+        for (w, ring) in self.inner.rings.iter().enumerate() {
+            let head = ring.head.load(Ordering::Acquire);
+            recorded += head;
+            let cap = ring.slots.len() as u64;
+            let start = head.saturating_sub(cap);
+            let mut shard = Vec::with_capacity((head - start) as usize);
+            for i in start..head {
+                let slot = &ring.slots[(i & ring.mask) as usize];
+                if slot.seq.load(Ordering::Acquire) != i + 1 {
+                    continue;
+                }
+                let item = slot.item.load(Ordering::Relaxed);
+                let meta = slot.meta.load(Ordering::Relaxed);
+                if slot.seq.load(Ordering::Acquire) != i + 1 {
+                    continue; // overwritten while being read
+                }
+                let Some(kind) = FlightKind::from_bits(meta & 0xff) else {
+                    continue;
+                };
+                shard.push(FlightEvent {
+                    worker: w,
+                    seq: i,
+                    ts_ns: meta >> 16,
+                    label: ((meta >> 8) & 0xff) as u16,
+                    kind,
+                    item,
+                });
+            }
+            events.push(shard);
+        }
+        FlightSnapshot {
+            labels,
+            events,
+            recorded,
+        }
+    }
+
+    /// Renders the black-box dump as JSONL text (header line + one line
+    /// per event, canonically sorted — see the module docs).
+    pub fn render_dump(&self, meta: &DumpMeta) -> String {
+        // The label registration index orders same-timestamp tiebreaks
+        // (registration order is pipeline order) but is not part of the
+        // wire format, so it rides next to each event, not inside it.
+        let snap = self.snapshot();
+        let mut events: Vec<(u16, DumpEvent)> = snap
+            .flat()
+            .into_iter()
+            .map(|e| {
+                (
+                    e.label,
+                    DumpEvent {
+                        stage: snap
+                            .labels
+                            .get(e.label as usize)
+                            .cloned()
+                            .unwrap_or_else(|| format!("label{}", e.label)),
+                        kind: e.kind.as_str().to_string(),
+                        item: e.item,
+                        ts_ns: e.ts_ns,
+                    },
+                )
+            })
+            .collect();
+        events.sort_by(|(la, a), (lb, b)| {
+            (a.item, *la, a.kind.as_str())
+                .cmp(&(b.item, *lb, b.kind.as_str()))
+                .then(a.ts_ns.cmp(&b.ts_ns))
+        });
+
+        let quarantined: BTreeSet<u64> = events
+            .iter()
+            .filter(|(_, e)| e.kind == "quarantine")
+            .map(|(_, e)| e.item)
+            .collect();
+        let mut fault_sites: BTreeMap<String, u64> = BTreeMap::new();
+        // Offenders keyed (class, item): frame ids and block indices
+        // overlap numerically, so a quarantined frame 0 must not inherit
+        // block 0's journey (and vice versa).
+        let mut offending: BTreeSet<(&'static str, u64)> =
+            quarantined.iter().map(|&i| ("frame", i)).collect();
+        for (_, e) in &events {
+            if e.kind == "fault" || e.kind == "block_fault" {
+                *fault_sites.entry(e.stage.clone()).or_insert(0) += 1;
+                offending.insert((item_class(&e.kind), e.item));
+            }
+        }
+        let chains_truncated = offending.len() > MAX_CHAINS;
+        let chains: Vec<DumpChain> = offending
+            .iter()
+            .take(MAX_CHAINS)
+            .map(|&(class, item)| {
+                let mut chain: Vec<(u16, DumpEvent)> = events
+                    .iter()
+                    .filter(|(_, e)| e.item == item && item_class(&e.kind) == class)
+                    .cloned()
+                    .collect();
+                // Causal order within one item's journey: timestamps, with
+                // (label, kind) as the deterministic tiebreak — label
+                // registration order is pipeline order.
+                chain.sort_by(|(la, a), (lb, b)| {
+                    (a.ts_ns, *la, a.kind.as_str()).cmp(&(b.ts_ns, *lb, b.kind.as_str()))
+                });
+                DumpChain {
+                    item,
+                    class: class.to_string(),
+                    events: chain.into_iter().map(|(_, e)| e).collect(),
+                }
+            })
+            .collect();
+
+        // Blame: the supervisor's verdict wins (watchdog/panic stage);
+        // otherwise the stage that quarantined the most frames, else the
+        // hottest fault site.
+        let blamed_stage = meta.blamed_stage.clone().or_else(|| {
+            let mut by_stage: BTreeMap<&str, u64> = BTreeMap::new();
+            for (_, e) in &events {
+                if e.kind == "quarantine" {
+                    *by_stage.entry(e.stage.as_str()).or_insert(0) += 1;
+                }
+            }
+            by_stage
+                .iter()
+                .max_by_key(|(_, &n)| n)
+                .map(|(s, _)| s.to_string())
+                .or_else(|| {
+                    fault_sites
+                        .iter()
+                        .max_by_key(|(_, &n)| n)
+                        .map(|(s, _)| s.clone())
+                })
+        });
+
+        let header = DumpHeader {
+            schema_version: FLIGHT_SCHEMA_VERSION,
+            fingerprint: meta.fingerprint.clone(),
+            session: meta.session.clone(),
+            outcome: meta.outcome.clone(),
+            reason: meta.reason.clone(),
+            blamed_stage,
+            quarantined_frames: quarantined.into_iter().collect(),
+            fault_sites: fault_sites.into_iter().collect(),
+            chains,
+            chains_truncated,
+            workers: snap.events.len(),
+            events: events.len() as u64,
+            recorded: snap.recorded,
+        };
+        let mut out = serde_json::to_string(&header).expect("dump header serialization");
+        out.push('\n');
+        for (_, e) in &events {
+            out.push_str(&serde_json::to_string(e).expect("dump event serialization"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the dump to `dir/flight_<fingerprint>.jsonl` (overwriting a
+    /// previous dump of the same config) and returns the path.
+    pub fn write_dump(&self, dir: &Path, meta: &DumpMeta) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("flight_{}.jsonl", meta.fingerprint));
+        std::fs::write(&path, self.render_dump(meta))?;
+        Ok(path)
+    }
+}
+
+/// Run identity and verdict stamped into a dump header by the executor.
+#[derive(Debug, Clone, Default)]
+pub struct DumpMeta {
+    /// Config fingerprint of the run (see [`crate::ledger`]).
+    pub fingerprint: String,
+    /// Tenant label, when the run was a multiplexed session.
+    pub session: Option<String>,
+    /// Run verdict (`degraded` | `failed`).
+    pub outcome: String,
+    /// Why the dump was taken (`degraded_run`, `watchdog_stall`, …).
+    pub reason: String,
+    /// Stage the supervisor blamed (watchdog/panic provenance); when
+    /// `None` the dump derives blame from quarantine/fault tallies.
+    pub blamed_stage: Option<String>,
+}
+
+/// Line 1 of a black-box dump.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DumpHeader {
+    /// [`FLIGHT_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Config fingerprint of the run.
+    pub fingerprint: String,
+    /// Tenant label, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub session: Option<String>,
+    /// Run verdict.
+    pub outcome: String,
+    /// Dump trigger.
+    pub reason: String,
+    /// The stage held responsible.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub blamed_stage: Option<String>,
+    /// Frame ids quarantined by integrity checks, ascending.
+    pub quarantined_frames: Vec<u64>,
+    /// Fault-site firings surviving in the rings, `(site, count)` pairs
+    /// sorted by site name (the vendored serde has no map impls).
+    pub fault_sites: Vec<(String, u64)>,
+    /// Per-offending-item causal chains (frame id → stage timestamps →
+    /// fault sites hit).
+    pub chains: Vec<DumpChain>,
+    /// Whether offending items beyond [`MAX_CHAINS`] were left unexpanded.
+    #[serde(default)]
+    pub chains_truncated: bool,
+    /// Ring shards the recorder kept.
+    pub workers: usize,
+    /// Event lines following this header.
+    pub events: u64,
+    /// Total events recorded, including ones the rings overwrote.
+    pub recorded: u64,
+}
+
+impl DumpHeader {
+    /// Firing count of one fault site (0 when the site never fired).
+    pub fn fault_site_count(&self, site: &str) -> u64 {
+        self.fault_sites
+            .iter()
+            .find(|(s, _)| s == site)
+            .map_or(0, |(_, n)| *n)
+    }
+}
+
+/// One item's causal chain in a dump header.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DumpChain {
+    /// Frame id or block index (see `class` for which).
+    pub item: u64,
+    /// Item namespace: `frame` or `block`.
+    pub class: String,
+    /// Every surviving event for this item, in causal order.
+    pub events: Vec<DumpEvent>,
+}
+
+/// One event line of a black-box dump.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DumpEvent {
+    /// Stage or fault-site name.
+    pub stage: String,
+    /// [`FlightKind::as_str`] wire name.
+    pub kind: String,
+    /// Frame id or block index.
+    pub item: u64,
+    /// Nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+}
+
+/// Parses a dump back into its header and event lines.
+pub fn parse_dump(text: &str) -> Result<(DumpHeader, Vec<DumpEvent>), String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header: DumpHeader = serde_json::from_str(lines.next().ok_or("empty dump")?)
+        .map_err(|e| format!("bad dump header: {e}"))?;
+    let events: Result<Vec<DumpEvent>, String> = lines
+        .map(|l| serde_json::from_str(l).map_err(|e| format!("bad dump event `{l}`: {e}")))
+        .collect();
+    Ok((header, events?))
+}
+
+/// Replaces every `"ts_ns":<digits>` value in dump text with `"ts_ns":0`
+/// — the normalization under which two same-`(seed, spec)` runs must be
+/// byte-identical.
+pub fn strip_timestamps(text: &str) -> String {
+    const KEY: &str = "\"ts_ns\":";
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(pos) = rest.find(KEY) {
+        let after = pos + KEY.len();
+        out.push_str(&rest[..after]);
+        out.push('0');
+        rest = rest[after..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> DumpMeta {
+        DumpMeta {
+            fingerprint: "deadbeef".into(),
+            session: None,
+            outcome: "degraded".into(),
+            reason: "test".into(),
+            blamed_stage: None,
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot_round_trip_in_order() {
+        let rec = FlightRecorder::new(1, 64);
+        let src = rec.register("source");
+        let link = rec.register("link");
+        assert_eq!(rec.register("source"), src, "idempotent registration");
+        for i in 0..10u64 {
+            rec.record_at(src, FlightKind::FrameEgress, i, 100 + i);
+            rec.record_at(link, FlightKind::FrameIngress, i, 200 + i);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.labels, vec!["source", "link"]);
+        assert_eq!(snap.recorded, 20);
+        let events = &snap.events[0];
+        assert_eq!(events.len(), 20);
+        // Per-worker recording order is preserved.
+        for pair in events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
+        assert_eq!(events[0].kind, FlightKind::FrameEgress);
+        assert_eq!(events[0].item, 0);
+        assert_eq!(events[0].ts_ns, 100);
+        assert_eq!(events[1].label, link);
+    }
+
+    #[test]
+    fn overwrite_keeps_the_newest_events() {
+        let rec = FlightRecorder::new(1, 8);
+        let s = rec.register("s");
+        for i in 0..20u64 {
+            rec.record_at(s, FlightKind::FrameEgress, i, i);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.recorded, 20);
+        let items: Vec<u64> = snap.events[0].iter().map(|e| e.item).collect();
+        assert_eq!(items, (12..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dump_carries_chains_blame_and_parses_back() {
+        let rec = FlightRecorder::new(2, 64);
+        let src = rec.register("source");
+        let acc = rec.register("accumulate");
+        let site = rec.register("dma.bitflip");
+        for i in 0..4u64 {
+            rec.record_at(src, FlightKind::FrameEgress, i, 10 + i);
+        }
+        rec.record_at(site, FlightKind::Fault, 2, 20);
+        rec.record_at(acc, FlightKind::FrameIngress, 2, 21);
+        rec.record_at(acc, FlightKind::Quarantine, 2, 22);
+        let text = rec.render_dump(&meta());
+        let (header, events) = parse_dump(&text).unwrap();
+        assert_eq!(header.schema_version, FLIGHT_SCHEMA_VERSION);
+        assert_eq!(header.quarantined_frames, vec![2]);
+        assert_eq!(header.fault_site_count("dma.bitflip"), 1);
+        assert_eq!(header.blamed_stage.as_deref(), Some("accumulate"));
+        assert_eq!(header.events as usize, events.len());
+        assert_eq!(header.chains.len(), 1);
+        let chain = &header.chains[0];
+        assert_eq!(chain.item, 2);
+        let kinds: Vec<&str> = chain.events.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(
+            kinds,
+            vec!["frame_egress", "fault", "frame_ingress", "quarantine"],
+            "chain is in causal (timestamp) order"
+        );
+    }
+
+    #[test]
+    fn dump_is_deterministic_across_worker_assignment() {
+        // The same logical events recorded from different threads (hence
+        // different shards) must render identical dumps modulo timestamps.
+        let render = |spread: bool| {
+            let rec = FlightRecorder::new(4, 64);
+            let src = rec.register("source");
+            let acc = rec.register("accumulate");
+            let record = move |items: &[u64], rec: &FlightRecorder| {
+                for &i in items {
+                    rec.record(src, FlightKind::FrameEgress, i);
+                    rec.record(acc, FlightKind::FrameIngress, i);
+                }
+            };
+            if spread {
+                let r2 = rec.clone();
+                std::thread::spawn(move || record(&[0, 2], &r2))
+                    .join()
+                    .unwrap();
+                record(&[1, 3], &rec);
+            } else {
+                record(&[0, 1, 2, 3], &rec);
+            }
+            strip_timestamps(&rec.render_dump(&meta()))
+        };
+        assert_eq!(render(false), render(true));
+    }
+
+    #[test]
+    fn strip_timestamps_normalizes_every_value() {
+        let s = "{\"ts_ns\":123456}\n{\"x\":1,\"ts_ns\":9}\n";
+        assert_eq!(
+            strip_timestamps(s),
+            "{\"ts_ns\":0}\n{\"x\":1,\"ts_ns\":0}\n"
+        );
+    }
+}

@@ -184,6 +184,7 @@ fn serve_one(
                 metrics: metrics::snapshot(),
                 threads: Vec::new(),
                 spans: Vec::new(),
+                slo: None,
             };
             let mut body = serde_json::to_string_pretty(&report).expect("report serialization");
             body.push('\n');

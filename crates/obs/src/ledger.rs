@@ -16,9 +16,10 @@ use std::path::Path;
 
 /// Schema version of [`LedgerRecord`]. Bump when fields change meaning.
 ///
-/// v2 added [`LedgerRecord::simd`] and [`LedgerRecord::sparse`]; both
-/// default to empty when absent, so v1 lines still parse.
-pub const LEDGER_SCHEMA_VERSION: u64 = 2;
+/// v2 added [`LedgerRecord::simd`] and [`LedgerRecord::sparse`]; v3 added
+/// [`LedgerRecord::slo`] and [`LedgerRecord::flight_dump`]. All of them
+/// default to empty when absent, so v1/v2 lines still parse.
+pub const LEDGER_SCHEMA_VERSION: u64 = 3;
 
 /// The configuration axes that make two runs comparable. Anything not in
 /// here (wall time, host load, git revision) is an *outcome*, not a key.
@@ -121,6 +122,16 @@ pub struct LedgerRecord {
     /// or a mixed label). `None` (and omitted) on v1 lines.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub sparse: Option<String>,
+    /// SLO evaluation at the end of the run (spec + burn rates + alert
+    /// state). `None` (and omitted) when no `--slo` was declared and on
+    /// pre-v3 lines.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub slo: Option<crate::slo::SloSummary>,
+    /// Path of the flight-recorder black-box dump written for this run,
+    /// when the run ended badly enough to trigger one. `None` (and
+    /// omitted) on healthy runs and pre-v3 lines.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub flight_dump: Option<String>,
 }
 
 impl LedgerRecord {
@@ -144,6 +155,8 @@ impl LedgerRecord {
             session: None,
             simd: (!provenance.simd.is_empty()).then(|| provenance.simd.clone()),
             sparse: (!provenance.sparse.is_empty()).then(|| provenance.sparse.clone()),
+            slo: None,
+            flight_dump: None,
         }
     }
 }
@@ -169,14 +182,20 @@ pub fn append(path: impl AsRef<Path>, record: &LedgerRecord) -> std::io::Result<
 /// [`append`], degraded to best-effort: an unwritable ledger (read-only
 /// working directory, full disk) must never fail the run it records.
 /// The failure is still visible — the `obs.ledger.append_failed` counter
-/// increments every time, and the *first* failure per process prints one
-/// warning to stderr. Returns whether the line was written.
+/// increments every time, the `obs.ledger.sink_failed` gauge latches to 1
+/// so `/metrics` scrapers see the persistent condition (a later successful
+/// append clears it back to 0), and the *first* failure per process prints
+/// one warning to stderr. Returns whether the line was written.
 pub fn append_best_effort(path: impl AsRef<Path>, record: &LedgerRecord) -> bool {
     let path = path.as_ref();
     match append(path, record) {
-        Ok(()) => true,
+        Ok(()) => {
+            crate::static_gauge!("obs.ledger.sink_failed").set(0);
+            true
+        }
         Err(e) => {
             crate::static_counter!("obs.ledger.append_failed").incr();
+            crate::static_gauge!("obs.ledger.sink_failed").set(1);
             static WARNED: std::sync::Once = std::sync::Once::new();
             WARNED.call_once(|| {
                 eprintln!(
@@ -424,19 +443,64 @@ mod tests {
         assert!(append(&dir, &rec).is_err());
         assert!(!append_best_effort(&dir, &rec));
         assert!(!append_best_effort(&dir, &rec));
-        let failed = crate::metrics::snapshot()
+        let snap = crate::metrics::snapshot();
+        let failed = snap
             .counters
             .iter()
             .find(|c| c.name == "obs.ledger.append_failed")
             .map(|c| c.value)
             .unwrap_or(0);
         assert_eq!(failed, 2);
-        // And a writable path still works and returns true.
+        // The persistent-failure gauge latches so scrapers see the broken
+        // sink long after the one-time stderr warning scrolled away...
+        let sink_failed = |snap: &crate::MetricsSnapshot| {
+            snap.gauges
+                .iter()
+                .find(|g| g.name == "obs.ledger.sink_failed")
+                .map(|g| g.value)
+        };
+        assert_eq!(sink_failed(&snap), Some(1));
+        // And a writable path still works, returns true, and clears it.
         let path =
             std::env::temp_dir().join(format!("htims_ledger_be_{}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&path);
         assert!(append_best_effort(&path, &rec));
         assert_eq!(read(&path).unwrap().len(), 1);
+        assert_eq!(sink_failed(&crate::metrics::snapshot()), Some(0));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn slo_and_flight_dump_round_trip_and_legacy_v2_lines_parse() {
+        let prov = Provenance::collect(1, 32);
+        let rec = LedgerRecord::new("serve", &prov, "f".into());
+        let line = serde_json::to_string(&rec).unwrap();
+        assert!(!line.contains("slo"), "{line}");
+        assert!(!line.contains("flight_dump"), "{line}");
+
+        let mut stamped = rec.clone();
+        stamped.slo = Some(crate::slo::SloSummary {
+            spec: "p99=5ms".into(),
+            p99_burn_fast: Some(2.5),
+            ..Default::default()
+        });
+        stamped.flight_dump = Some("flight_abc.jsonl".into());
+        let line = serde_json::to_string(&stamped).unwrap();
+        assert!(line.contains("\"spec\":\"p99=5ms\""), "{line}");
+        assert!(
+            line.contains("\"flight_dump\":\"flight_abc.jsonl\""),
+            "{line}"
+        );
+        let back: LedgerRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, stamped);
+
+        // A v2 line (no slo/flight_dump keys) still parses with None.
+        let legacy = r#"{"schema_version":2,"unix_ms":0,"tool":"bench",
+            "git_describe":"x","threads":1,"panel_width":32,"fingerprint":"f",
+            "wall_seconds":0.0,"frames":0,"blocks":0,"stage_latency":[],
+            "mcells_per_second":0.0,"simd":"avx2"}"#;
+        let back: LedgerRecord = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.slo, None);
+        assert_eq!(back.flight_dump, None);
     }
 }

@@ -32,14 +32,17 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod http;
 pub mod ledger;
 pub mod metrics;
 pub mod sampler;
 pub mod session;
+pub mod slo;
 pub mod trace;
 
 pub use export::prometheus_text;
+pub use flight::{FlightKind, FlightRecorder, FLIGHT_SCHEMA_VERSION};
 pub use http::{ObsServer, SessionsProvider};
 pub use ledger::{config_fingerprint, FingerprintParts, LedgerRecord};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot};
@@ -47,6 +50,7 @@ pub use sampler::{SamplePoint, Sampler, SamplerConfig};
 pub use session::{
     ObsReport, Provenance, SpanRecord, ThreadInfo, TraceSession, OBS_SCHEMA_VERSION,
 };
+pub use slo::{SloDelta, SloEngine, SloSpec, SloStatus, SloSummary};
 pub use trace::{counter_sample, instant, intern, set_thread_name, span, span_cat, SpanGuard};
 
 /// Serializes tests that mutate the process-global tracer/registry (the

@@ -129,9 +129,13 @@ impl Sampler {
                         if let Err(e) = file.write_all(line.as_bytes()) {
                             // Best-effort: stop writing, keep sampling — but
                             // not silently. The drop is counted in the
-                            // registry (so scrapes and reports show it) and
-                            // warned once per process on stderr.
+                            // registry (so scrapes and reports show it), the
+                            // `obs.sampler.sink_failed` gauge latches to 1 so
+                            // the condition stays visible on every later
+                            // `/metrics` scrape, and stderr is warned once
+                            // per process.
                             crate::static_counter!("obs.sampler.sink_dropped").incr();
+                            crate::static_gauge!("obs.sampler.sink_failed").set(1);
                             static WARNED: std::sync::Once = std::sync::Once::new();
                             WARNED.call_once(|| {
                                 eprintln!(
@@ -287,12 +291,23 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         let samples = sampler.stop();
         assert!(!samples.is_empty(), "sampling must continue without a sink");
-        let dropped = metrics::snapshot()
+        let snap = metrics::snapshot();
+        let dropped = snap
             .counters
             .iter()
             .find(|c| c.name == "obs.sampler.sink_dropped")
             .map(|c| c.value)
             .unwrap_or(0);
         assert_eq!(dropped, 1, "the sink is dropped exactly once");
+        let failed = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "obs.sampler.sink_failed")
+            .map(|g| g.value);
+        assert_eq!(
+            failed,
+            Some(1),
+            "persistent sink failure must latch a gauge for scrapers"
+        );
     }
 }

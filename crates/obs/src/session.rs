@@ -25,7 +25,11 @@ use serde_json::{json, Value};
 ///
 /// v3 added [`Provenance::simd`] and [`Provenance::sparse`]; both default
 /// to empty on v2 (and older) artifacts, which still parse.
-pub const OBS_SCHEMA_VERSION: u64 = 3;
+///
+/// v4 added [`ObsReport::slo`] (per-tenant burn-rate state, see
+/// [`crate::slo`]); it defaults to `None` on v3 (and older) artifacts,
+/// which still parse.
+pub const OBS_SCHEMA_VERSION: u64 = 4;
 
 /// Where a report came from: enough to compare BENCH_*.json and trace
 /// artifacts across PRs.
@@ -126,6 +130,10 @@ pub struct ObsReport {
     pub threads: Vec<ThreadInfo>,
     /// All recorded spans/events, ordered by start time.
     pub spans: Vec<SpanRecord>,
+    /// SLO burn-rate state at session end, when the run declared targets
+    /// (`--slo`). Absent on v3 and older artifacts and untargeted runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub slo: Option<crate::slo::SloSummary>,
 }
 
 impl ObsReport {
@@ -232,6 +240,7 @@ impl TraceSession {
                     tid: e.tid,
                 })
                 .collect(),
+            slo: None,
         }
     }
 }
@@ -269,6 +278,7 @@ mod tests {
                     tid: 1,
                 },
             ],
+            slo: None,
         }
     }
 
@@ -299,6 +309,28 @@ mod tests {
         assert_eq!(back.schema_version, 2);
         assert_eq!(back.simd, "");
         assert_eq!(back.sparse, "");
+    }
+
+    #[test]
+    fn legacy_v3_report_parses_without_slo_and_v4_round_trips_it() {
+        // A v3 report has no `slo` key: it must parse as None, and a v4
+        // report carrying SLO state must round-trip.
+        let mut report = sample_report();
+        let v3_text = serde_json::to_string(&report).unwrap();
+        assert!(!v3_text.contains("\"slo\""), "{v3_text}");
+        let back: ObsReport = serde_json::from_str(&v3_text).unwrap();
+        assert!(back.slo.is_none());
+        report.slo = Some(crate::slo::SloSummary {
+            spec: "p99=5ms".into(),
+            p99_burn_fast: Some(2.5),
+            p99_burn_slow: Some(0.5),
+            completeness_burn_fast: None,
+            completeness_burn_slow: None,
+            alerting: false,
+        });
+        let v4_text = serde_json::to_string(&report).unwrap();
+        let back: ObsReport = serde_json::from_str(&v4_text).unwrap();
+        assert_eq!(back.slo, report.slo);
     }
 
     #[test]

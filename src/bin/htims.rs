@@ -49,7 +49,8 @@ fn help() {
          [--depth <channel depth>] [--backend fpga|naive|software] [--threads <n>]\n    \
          [--coarse <bins>] [--executor threaded|scheduled|inline] [--seed <n>]\n    \
          [--out <file.json>] [--faults <dma.bitflip=1e-5,frame.drop=1e-4,...>]\n    \
-         [--stall-timeout <250ms>] [--sparse]\n  \
+         [--stall-timeout <250ms>] [--sparse] [--slo <p99=5ms,completeness=0.999>]\n    \
+         [--flight-dir <dir>]\n  \
          htims trace [pipeline flags] [--out <trace.json>] [--metrics <metrics.json>]\n  \
          htims serve [pipeline flags] [--duration <2s|500ms>] [--port <n>]\n    \
          [--sample-ms <n>] [--series <file.jsonl>] [--sessions <n>] [--max-sessions <n>]\n  \
@@ -226,6 +227,12 @@ fn parse_graph(mut spec: GraphSpec, args: &[String]) -> GraphSpec {
     if args.iter().any(|a| a == "--sparse") {
         spec.sparse = true;
     }
+    if let Some(v) = flag(args, "--slo") {
+        spec.slo = (!v.is_empty()).then_some(v);
+    }
+    if let Some(v) = flag(args, "--flight-dir") {
+        spec.flight_dir = (!v.is_empty()).then_some(v);
+    }
     spec
 }
 
@@ -293,7 +300,64 @@ fn graph_ledger_record(
         .collect();
     rec.mcells_per_second = report.deconv_mcells_per_second;
     rec.outcome = Some(report.outcome.as_str().to_string());
+    rec.slo = run_slo_summary(spec, report);
+    rec.flight_dump = report.flight_dump.clone();
     rec
+}
+
+/// One-shot SLO evaluation of a single finished run against the spec's
+/// declared targets: the whole run folds into one window bucket, so the
+/// fast- and slow-window burn rates coincide. `None` without `--slo`.
+fn run_slo_summary(
+    spec: &GraphSpec,
+    report: &htims::core::pipeline::PipelineReport,
+) -> Option<ims_obs::SloSummary> {
+    let slo = spec.slo_spec().ok()??;
+    let mut engine = ims_obs::SloEngine::new(slo);
+    engine.observe(0, run_slo_delta(spec, report));
+    let status = engine.status(0);
+    Some(engine.summarize(&status))
+}
+
+/// Folds one run's report into an SLO window delta: frames over the p99
+/// latency target count against the latency objective; dropped and
+/// quarantined frames count against completeness.
+fn run_slo_delta(
+    spec: &GraphSpec,
+    report: &htims::core::pipeline::PipelineReport,
+) -> ims_obs::SloDelta {
+    let expected = spec.frames * spec.blocks as u64;
+    let delivered = report
+        .frames
+        .saturating_sub(report.faults.frames_dropped)
+        .saturating_sub(report.frames_quarantined);
+    ims_obs::SloDelta {
+        frames_observed: delivered,
+        frames_slow: report.frames_over_latency_slo,
+        frames_expected: expected,
+        frames_delivered: delivered,
+    }
+}
+
+/// Feeds one finished run into its session's sliding-window SLO engine,
+/// publishes the `slo.burn_rate#session=…` gauges, and returns the
+/// summary for the session table / ledger. No-op without `--slo`.
+fn observe_slo(
+    slo: &Option<ims_obs::SloSpec>,
+    engines: &mut std::collections::HashMap<String, ims_obs::SloEngine>,
+    label: &str,
+    now_s: u64,
+    spec: &GraphSpec,
+    report: &htims::core::pipeline::PipelineReport,
+) -> Option<ims_obs::SloSummary> {
+    let slo = slo.as_ref()?;
+    let engine = engines
+        .entry(label.to_string())
+        .or_insert_with(|| ims_obs::SloEngine::new(slo.clone()));
+    engine.observe(now_s, run_slo_delta(spec, report));
+    let status = engine.status(now_s);
+    engine.publish(label, &status);
+    Some(engine.summarize(&status))
 }
 
 /// Runs the unified hybrid stage graph (source → link → [binner] →
@@ -354,7 +418,8 @@ fn trace(args: &[String]) {
         .with_sparse(if spec.sparse { "sparse" } else { "dense" }),
     );
     let out = run_graph(&spec);
-    let report = session.finish();
+    let mut report = session.finish();
+    report.slo = run_slo_summary(&spec, &out.report);
     eprintln!(
         "{} executor, backend {}: {} frames -> {} blocks in {:.1} ms; \
          {} spans on {} threads",
@@ -447,6 +512,14 @@ fn serve(args: &[String]) {
     )
     .with_simd(htims::signal::simd::active_name())
     .with_sparse(if spec.sparse { "sparse" } else { "dense" });
+    // Parsed once up front so a bad `--slo` dies before the listener is
+    // up; per-session engines accumulate sliding windows across runs.
+    let slo_spec = spec.slo_spec().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let mut slo_engines: std::collections::HashMap<String, ims_obs::SloEngine> =
+        std::collections::HashMap::new();
 
     ims_obs::metrics::reset();
     // Register the serve-level counters *before* the listener is up: a
@@ -507,6 +580,14 @@ fn serve(args: &[String]) {
             runs_total.incr();
             frames_total.add(out.report.frames);
             blocks_total.add(out.report.blocks);
+            observe_slo(
+                &slo_spec,
+                &mut slo_engines,
+                "main",
+                started.elapsed().as_secs(),
+                &spec,
+                &out.report,
+            );
             last_report = Some(out.report);
             continue;
         }
@@ -530,6 +611,7 @@ fn serve(args: &[String]) {
                 label: format!("s{i}"),
                 seed: tenant.seed,
                 fingerprint: tenant.fingerprint(),
+                fault_spec: tenant.faults.clone(),
             };
             let mut admit = manager.admit(config, pipeline);
             // Admission control: a full table sheds load by joining the
@@ -550,12 +632,17 @@ fn serve(args: &[String]) {
                     frames_total,
                     blocks_total,
                     &mut last_batch,
+                    &slo_spec,
+                    &mut slo_engines,
+                    &manager,
+                    started.elapsed().as_secs(),
                 );
                 admit = manager.admit(
                     htims::core::pipeline::SessionConfig {
                         label: format!("s{i}"),
                         seed: tenant.seed,
                         fingerprint: tenant.fingerprint(),
+                        fault_spec: tenant.faults.clone(),
                     },
                     pipeline,
                 );
@@ -579,6 +666,10 @@ fn serve(args: &[String]) {
                 frames_total,
                 blocks_total,
                 &mut last_batch,
+                &slo_spec,
+                &mut slo_engines,
+                &manager,
+                started.elapsed().as_secs(),
             );
         }
         if let Some((_, report)) = last_batch.last() {
@@ -623,7 +714,8 @@ fn serve(args: &[String]) {
 }
 
 /// Joins one admitted session and folds its run into the serve-level
-/// aggregates and the final-batch ledger buffer.
+/// aggregates, its per-tenant SLO engine (burn-rate gauges plus the
+/// `/sessions` row), and the final-batch ledger buffer.
 #[allow(clippy::too_many_arguments)]
 fn finish_session(
     tenant: GraphSpec,
@@ -635,6 +727,10 @@ fn finish_session(
     frames_total: &ims_obs::Counter,
     blocks_total: &ims_obs::Counter,
     last_batch: &mut Vec<(GraphSpec, htims::core::pipeline::PipelineReport)>,
+    slo: &Option<ims_obs::SloSpec>,
+    engines: &mut std::collections::HashMap<String, ims_obs::SloEngine>,
+    manager: &htims::core::pipeline::SessionManager,
+    now_s: u64,
 ) {
     let out = handle.join();
     *runs += 1;
@@ -643,6 +739,10 @@ fn finish_session(
     runs_total.incr();
     frames_total.add(out.report.frames);
     blocks_total.add(out.report.blocks);
+    let label = out.report.session.clone().unwrap_or_else(|| "main".into());
+    if let Some(summary) = observe_slo(slo, engines, &label, now_s, &tenant, &out.report) {
+        manager.set_slo(&label, summary);
+    }
     last_batch.push((tenant, out.report));
 }
 

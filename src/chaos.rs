@@ -57,10 +57,21 @@ pub struct ChaosCell {
     /// FNV-1a hash over all output blocks (index, frames, and every data
     /// word) — the bit-identity token the repeat run must match.
     pub output_fnv: u64,
-    /// Whether the repeat run reproduced the hash, counts, and verdict.
+    /// Whether the repeat run reproduced the hash, counts, and verdict
+    /// (and, when flight dumps are armed, the dump contents).
     pub reproducible: bool,
     /// Wall time of the first run, seconds.
     pub wall_seconds: f64,
+    /// Flight-recorder dump of the first run, when the soak was launched
+    /// with `--flight-dir` and the cell degraded or failed.
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub flight_dump: Option<String>,
+    /// Whether both runs' flight dumps were byte-identical after
+    /// timestamp normalisation. `None` when no dump was expected.
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub dump_reproducible: Option<bool>,
 }
 
 /// Tallies over all cells of a soak.
@@ -111,6 +122,26 @@ pub fn output_fingerprint(out: &PipelineOutput) -> u64 {
     crate::core::pipeline::output_fingerprint(&out.blocks)
 }
 
+/// Compares the flight dumps of a cell's two runs after timestamp
+/// normalisation. Returns the first run's dump path (for the report) and
+/// the byte-identity verdict; `(None, None)` when neither run dumped.
+fn compare_dumps(a: &Option<String>, b: &Option<String>) -> (Option<String>, Option<bool>) {
+    match (a, b) {
+        (Some(a), Some(b)) => {
+            let norm = |path: &str| {
+                std::fs::read_to_string(path)
+                    .ok()
+                    .map(|text| ims_obs::flight::strip_timestamps(&text))
+            };
+            let (na, nb) = (norm(a), norm(b));
+            (Some(a.clone()), Some(na.is_some() && na == nb))
+        }
+        (None, None) => (None, None),
+        // One run dumped and the other did not — irreproducible by itself.
+        _ => (a.clone(), Some(false)),
+    }
+}
+
 /// Runs the full `(spec, seed)` matrix over `base`'s graph shape, running
 /// each cell twice to check determinism. Errors (a malformed fault spec,
 /// an unknown backend) abort the whole soak.
@@ -121,19 +152,31 @@ pub fn run_matrix(
 ) -> Result<SurvivalReport, String> {
     let mut cells = Vec::with_capacity(matrix.len() * seeds.len());
     let mut summary = ChaosSummary::default();
+    let mut cell_idx = 0usize;
     for faults in matrix {
         for &seed in seeds {
             let mut spec = base.clone();
             spec.seed = seed;
             spec.faults = (!faults.is_empty()).then(|| faults.clone());
+            // Both runs of a cell write `flight_<fingerprint>.jsonl`, so
+            // give each its own subdirectory to keep the pair comparable.
+            let mut spec_b = spec.clone();
+            if let Some(dir) = &base.flight_dir {
+                spec.flight_dir = Some(format!("{dir}/cell{cell_idx}_a"));
+                spec_b.flight_dir = Some(format!("{dir}/cell{cell_idx}_b"));
+            }
+            cell_idx += 1;
             let first = spec.run()?;
-            let second = spec.run()?;
+            let second = spec_b.run()?;
             let fnv = output_fingerprint(&first);
+            let (flight_dump, dump_reproducible) =
+                compare_dumps(&first.report.flight_dump, &second.report.flight_dump);
             let reproducible = fnv == output_fingerprint(&second)
                 && first.report.faults == second.report.faults
                 && first.report.outcome == second.report.outcome
                 && first.report.frames_quarantined == second.report.frames_quarantined
-                && first.report.deconv_fallbacks == second.report.deconv_fallbacks;
+                && first.report.deconv_fallbacks == second.report.deconv_fallbacks
+                && dump_reproducible.unwrap_or(true);
             match first.report.outcome {
                 RunOutcome::Completed => summary.completed += 1,
                 RunOutcome::Degraded => summary.degraded += 1,
@@ -154,6 +197,8 @@ pub fn run_matrix(
                 output_fnv: fnv,
                 reproducible,
                 wall_seconds: first.report.wall_seconds,
+                flight_dump,
+                dump_reproducible,
             });
         }
     }
@@ -197,6 +242,33 @@ mod tests {
         let back: SurvivalReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.cells.len(), 2);
         assert_eq!(back.cells[1].output_fnv, report.cells[1].output_fnv);
+    }
+
+    #[test]
+    fn faulty_cells_emit_byte_identical_dumps() {
+        let dir = std::env::temp_dir().join(format!("htims_chaos_dumps_{}", std::process::id()));
+        let mut base = tiny();
+        base.flight_dir = Some(dir.display().to_string());
+        let matrix = vec![String::new(), "dma.bitflip=1e-3,deconv.fail=1".into()];
+        let report = run_matrix(&base, &matrix, &[7]).unwrap();
+        // The clean control completes, so no dump is expected for it.
+        assert_eq!(report.cells[0].flight_dump, None);
+        assert_eq!(report.cells[0].dump_reproducible, None);
+        // The faulty cell degrades; both runs dump, byte-identical modulo
+        // timestamps, and the dump parses against the flight schema.
+        let cell = &report.cells[1];
+        assert_eq!(cell.outcome, "degraded");
+        assert_eq!(cell.dump_reproducible, Some(true), "{cell:?}");
+        assert!(cell.reproducible);
+        let text = std::fs::read_to_string(cell.flight_dump.as_ref().unwrap()).unwrap();
+        let (header, events) = ims_obs::flight::parse_dump(&text).unwrap();
+        assert_eq!(header.schema_version, ims_obs::FLIGHT_SCHEMA_VERSION);
+        assert!(!events.is_empty());
+        assert!(
+            !header.quarantined_frames.is_empty() || header.fault_site_count("deconv.fail") > 0,
+            "{header:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

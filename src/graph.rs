@@ -55,6 +55,14 @@ pub struct GraphSpec {
     /// columns (bit-identical output; `report.sparse_blocks` counts how
     /// many blocks took the sparse path).
     pub sparse: bool,
+    /// Declarative SLO targets (`p99=5ms,completeness=0.999`); the p99
+    /// target arms per-frame end-to-end latency tracking on the run.
+    /// Observability-only: not part of the config fingerprint.
+    pub slo: Option<String>,
+    /// Directory for flight-recorder black-box dumps; a run that ends
+    /// Degraded/Failed writes `flight_<fingerprint>.jsonl` there.
+    /// Observability-only: not part of the config fingerprint.
+    pub flight_dir: Option<String>,
 }
 
 impl GraphSpec {
@@ -74,6 +82,8 @@ impl GraphSpec {
             faults: None,
             stall_timeout_ms: None,
             sparse: false,
+            slo: None,
+            flight_dir: None,
         }
     }
 
@@ -96,6 +106,8 @@ impl GraphSpec {
             faults: None,
             stall_timeout_ms: None,
             sparse: false,
+            slo: None,
+            flight_dir: None,
         }
     }
 
@@ -217,6 +229,24 @@ impl GraphSpec {
                 ..Default::default()
             });
         }
+        if let Some(spec) = self.slo_spec()? {
+            if let Some(p99) = spec.p99_ns {
+                graph = graph.with_latency_slo(p99);
+            }
+        }
+        if let Some(dir) = &self.flight_dir {
+            graph = graph.with_flight_dump(dir, &self.fingerprint());
+        }
         Ok(graph)
+    }
+
+    /// Parsed `--slo` targets, or `None` when no SLO was declared.
+    pub fn slo_spec(&self) -> Result<Option<ims_obs::SloSpec>, String> {
+        match &self.slo {
+            Some(text) => ims_obs::SloSpec::parse(text)
+                .map(Some)
+                .map_err(|e| format!("bad --slo spec: {e}")),
+            None => Ok(None),
+        }
     }
 }

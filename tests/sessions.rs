@@ -22,6 +22,7 @@ fn config(spec: &GraphSpec, label: &str) -> SessionConfig {
         label: label.to_string(),
         seed: spec.seed,
         fingerprint: spec.fingerprint(),
+        fault_spec: spec.faults.clone(),
     }
 }
 
