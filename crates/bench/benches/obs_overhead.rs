@@ -97,6 +97,18 @@ fn bench_obs_overhead(c: &mut Criterion) {
         })
     });
 
+    // The profiler's dispatch cost: the one relaxed store a worker pays
+    // per task to publish its current (session, stage, method) tag. This
+    // is the entire profiler-off *and* profiler-on hot-path overhead —
+    // sampling happens on the background thread — so it must stay in the
+    // atomic-load decade for the scheduler to tag unconditionally.
+    let guard = ims_obs::prof::register_worker();
+    let tag = ims_obs::prof::intern_tag("bench", "obs_overhead", "prof");
+    group.bench_function("prof_tag_store", |b| {
+        b.iter(|| guard.slot().set_tag(black_box(tag)))
+    });
+    drop(guard);
+
     group.finish();
 }
 

@@ -331,6 +331,13 @@ impl BatchDeconvolver {
             .filter(|(lo, hi)| lo < hi)
             .collect();
         let mut slabs: Vec<Vec<f64>> = vec![Vec::new(); ranges.len()];
+        // Telemetry on the cost model's output: the slab-size (panels per
+        // task) distribution shows whether `panels_per_task` is producing
+        // slabs big enough to amortize fan-out but small enough to spread.
+        let slab_hist = ims_obs::static_histogram!("deconv.slab_panels");
+        for &(lo, hi) in &ranges {
+            slab_hist.record((hi - lo).div_ceil(self.panel_width) as u64);
+        }
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
             .iter()
             .zip(slabs.iter_mut())
@@ -356,7 +363,8 @@ impl BatchDeconvolver {
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
-        sched.run_batch(jobs);
+        let tag = ims_obs::prof::intern_tag("-", "deconvolve", self.kernel.name());
+        sched.run_batch_tagged(jobs, tag);
         let mut out = DriftTofMap::zeros(drift, mz);
         let out_data = out.data_mut();
         for (&(lo, _hi), slab) in ranges.iter().zip(slabs.iter()) {

@@ -47,7 +47,7 @@ mod stages;
 pub use error::{CorruptPolicy, PipelineError, RunOutcome, SupervisorConfig};
 pub use executor::{Pipeline, PipelineOutput};
 pub use report::{PipelineReport, StageReport};
-pub use sched::{default_pool_threads, ScheduledRun, Scheduler};
+pub use sched::{default_pool_threads, SchedStatsSnapshot, ScheduledRun, Scheduler};
 pub use session::{
     output_fingerprint, AdmissionError, SessionConfig, SessionHandle, SessionManager, SessionState,
     SessionStatus,

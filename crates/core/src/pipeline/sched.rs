@@ -103,6 +103,48 @@ struct Pool {
     pending: AtomicUsize,
     sleep: Mutex<SleepState>,
     wakeup: Condvar,
+    stats: SchedStats,
+}
+
+/// Lock-free per-pool tallies of the scheduler's hot points. Every event
+/// is also mirrored into the global metrics registry (the `sched.*`
+/// families on `/metrics`); these pool-local copies exist so tests on
+/// private pools can assert invariants without cross-pool noise.
+#[derive(Default)]
+struct SchedStats {
+    local_pops: AtomicU64,
+    injector_pops: AtomicU64,
+    steals: AtomicU64,
+    executed: AtomicU64,
+    parks: AtomicU64,
+    wakes: AtomicU64,
+    dwell_samples: AtomicU64,
+}
+
+/// Point-in-time copy of one pool's scheduler telemetry (see
+/// [`Scheduler::stats`]).
+///
+/// Invariant (at quiescence): `local_pops + injector_pops + steals ==
+/// executed` — every executed task was dequeued by exactly one of the
+/// three pop paths. Jobs drained by a [`Scheduler::run_batch`] *caller*
+/// never pass through the queues and are counted by none of these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStatsSnapshot {
+    /// Tasks a worker popped from its own shard (LIFO slot or FIFO).
+    pub local_pops: u64,
+    /// Tasks popped from the shared injector queue.
+    pub injector_pops: u64,
+    /// Tasks stolen from the back of another worker's shard.
+    pub steals: u64,
+    /// Tasks dispatched by worker loops.
+    pub executed: u64,
+    /// Times a worker went to sleep on the wakeup condvar.
+    pub parks: u64,
+    /// Pushes that notified a sleeping worker.
+    pub wakes: u64,
+    /// Queue-dwell samples recorded (always 0 on single-worker pools:
+    /// with one shard there is no cross-worker queueing to measure).
+    pub dwell_samples: u64,
 }
 
 #[derive(Default)]
@@ -125,9 +167,17 @@ struct ShardQueue {
     fifo: VecDeque<Task>,
 }
 
+/// One queued unit of work plus its enqueue timestamp (for queue-dwell
+/// accounting; `0` on single-worker pools, where dispatch follows enqueue
+/// trivially and dwell would only measure the worker's own backlog).
+struct Task {
+    kind: TaskKind,
+    enqueued_ns: u64,
+}
+
 /// One schedulable unit: a pipeline node, or a batch of data-parallel jobs
 /// (block deconvolution slabs) sharing the pool with the session graphs.
-enum Task {
+enum TaskKind {
     Node(Arc<Node>),
     Jobs(Arc<JobBatch>),
 }
@@ -150,6 +200,9 @@ struct JobBatch {
     done_cv: Condvar,
     /// First panic payload message observed in any job.
     panic: Mutex<Option<String>>,
+    /// Profiler tag workers publish while running this batch's jobs (see
+    /// [`ims_obs::prof`]); carries the deconvolution method name.
+    prof_tag: u32,
 }
 
 impl JobBatch {
@@ -183,6 +236,7 @@ impl Scheduler {
             pending: AtomicUsize::new(0),
             sleep: Mutex::new(SleepState::default()),
             wakeup: Condvar::new(),
+            stats: SchedStats::default(),
         });
         for i in 0..threads {
             let p = pool.clone();
@@ -206,6 +260,21 @@ impl Scheduler {
         self.pool.shards.len()
     }
 
+    /// This pool's scheduler telemetry so far (see
+    /// [`SchedStatsSnapshot`] for the invariants it carries).
+    pub fn stats(&self) -> SchedStatsSnapshot {
+        let s = &self.pool.stats;
+        SchedStatsSnapshot {
+            local_pops: s.local_pops.load(Relaxed),
+            injector_pops: s.injector_pops.load(Relaxed),
+            steals: s.steals.load(Relaxed),
+            executed: s.executed.load(Relaxed),
+            parks: s.parks.load(Relaxed),
+            wakes: s.wakes.load(Relaxed),
+            dwell_samples: s.dwell_samples.load(Relaxed),
+        }
+    }
+
     /// Runs a batch of independent jobs on the pool, blocking until every
     /// job has finished. The calling thread participates in draining the
     /// batch, so this completes even when every worker is busy (or the
@@ -218,6 +287,16 @@ impl Scheduler {
     /// Jobs may borrow from the caller's stack: the function does not
     /// return until all of them are done.
     pub fn run_batch<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        static DEFAULT_TAG: OnceLock<u32> = OnceLock::new();
+        let tag = *DEFAULT_TAG.get_or_init(|| ims_obs::prof::intern_tag("-", "batch", "-"));
+        self.run_batch_tagged(jobs, tag);
+    }
+
+    /// [`Scheduler::run_batch`] with an explicit profiler tag (from
+    /// [`ims_obs::prof::intern_tag`]): workers publish `tag` while
+    /// running this batch's jobs, so sampled CPU lands on the submitting
+    /// stage/method instead of a generic batch bucket.
+    pub fn run_batch_tagged<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>, tag: u32) {
         if jobs.is_empty() {
             return;
         }
@@ -233,8 +312,9 @@ impl Scheduler {
             done: Mutex::new(false),
             done_cv: Condvar::new(),
             panic: Mutex::new(None),
+            prof_tag: tag,
         });
-        self.pool.push_task(Task::Jobs(batch.clone()), false);
+        self.pool.push_task(TaskKind::Jobs(batch.clone()), false);
         // Drain alongside the workers.
         while let Some(job) = lock(&batch.jobs).pop_front() {
             batch.run_one(job);
@@ -269,15 +349,25 @@ impl Scheduler {
 fn worker_loop(pool: Arc<Pool>, me: usize) {
     ims_obs::set_thread_name(&format!("sched-worker-{me}"));
     WORKER.with(|w| w.set(Some((Arc::as_ptr(&pool) as usize, me))));
-    while let Some(task) = next_task(&pool, me) {
-        match task {
-            Task::Node(node) => run_node(&pool, node),
-            Task::Jobs(batch) => run_jobs(&pool, batch),
+    let prof = ims_obs::prof::register_worker();
+    while let Some(task) = next_task(&pool, me, prof.slot()) {
+        pool.stats.executed.fetch_add(1, Relaxed);
+        ims_obs::static_counter!("sched.executed_total").incr();
+        match task.kind {
+            TaskKind::Node(node) => {
+                // The one relaxed store per dispatch the profiler costs.
+                prof.slot().set_tag(node.prof_tag);
+                run_node(&pool, node);
+            }
+            TaskKind::Jobs(batch) => {
+                prof.slot().set_tag(batch.prof_tag);
+                run_jobs(&pool, batch);
+            }
         }
     }
 }
 
-fn next_task(pool: &Pool, me: usize) -> Option<Task> {
+fn next_task(pool: &Pool, me: usize, prof: &ims_obs::WorkerSlot) -> Option<Task> {
     loop {
         if let Some(t) = pool.pop(me) {
             return Some(t);
@@ -292,6 +382,11 @@ fn next_task(pool: &Pool, me: usize) -> Option<Task> {
             drop(sleep);
             continue;
         }
+        // Off the hot path: the dispatch store never clears the tag, so
+        // mark the worker idle only when it actually parks.
+        prof.clear_tag();
+        pool.stats.parks.fetch_add(1, Relaxed);
+        ims_obs::static_counter!("sched.parks_total").incr();
         sleep.sleepers += 1;
         let (mut sleep, _) = pool
             .wakeup
@@ -311,7 +406,7 @@ fn run_jobs(pool: &Pool, batch: Arc<JobBatch>) {
         (job, !q.is_empty())
     };
     if more {
-        pool.push_task(Task::Jobs(batch.clone()), false);
+        pool.push_task(TaskKind::Jobs(batch.clone()), false);
     }
     if let Some(job) = job {
         batch.run_one(job);
@@ -342,16 +437,39 @@ fn run_node(pool: &Pool, node: Arc<Node>) {
 }
 
 impl Pool {
+    /// Records one dequeue event: the pool-local + global pop counters
+    /// for `branch`, and the enqueue→dispatch dwell when stamped.
+    fn note_pop(&self, local: &AtomicU64, global: &'static ims_obs::Counter, task: &Task) {
+        local.fetch_add(1, Relaxed);
+        global.incr();
+        if task.enqueued_ns > 0 {
+            let dwell = ims_obs::trace::now_ns().saturating_sub(task.enqueued_ns);
+            self.stats.dwell_samples.fetch_add(1, Relaxed);
+            ims_obs::static_histogram!("sched.queue_dwell_ns").record(dwell);
+        }
+    }
+
     fn pop(&self, me: usize) -> Option<Task> {
         {
             let mut q = lock(&self.shards[me].queue);
             if let Some(t) = q.lifo.take().or_else(|| q.fifo.pop_front()) {
                 self.pending.fetch_sub(1, SeqCst);
+                drop(q);
+                self.note_pop(
+                    &self.stats.local_pops,
+                    ims_obs::static_counter!("sched.local_pops_total"),
+                    &t,
+                );
                 return Some(t);
             }
         }
         if let Some(t) = lock(&self.injector).pop_front() {
             self.pending.fetch_sub(1, SeqCst);
+            self.note_pop(
+                &self.stats.injector_pops,
+                ims_obs::static_counter!("sched.injector_pops_total"),
+                &t,
+            );
             return Some(t);
         }
         let n = self.shards.len();
@@ -359,6 +477,11 @@ impl Pool {
             let victim = (me + off) % n;
             if let Some(t) = lock(&self.shards[victim].queue).fifo.pop_back() {
                 self.pending.fetch_sub(1, SeqCst);
+                self.note_pop(
+                    &self.stats.steals,
+                    ims_obs::static_counter!("sched.steals_total"),
+                    &t,
+                );
                 return Some(t);
             }
         }
@@ -367,13 +490,23 @@ impl Pool {
 
     /// Enqueues a runnable node (see [`Pool::push_task`]).
     fn push(&self, node: Arc<Node>, to_lifo: bool) {
-        self.push_task(Task::Node(node), to_lifo);
+        self.push_task(TaskKind::Node(node), to_lifo);
     }
 
     /// Enqueues a task: onto the calling worker's shard (the LIFO slot
     /// for wakes, the FIFO for quantum yields), or the shared injector
     /// when called from outside the pool.
-    fn push_task(&self, task: Task, to_lifo: bool) {
+    fn push_task(&self, kind: TaskKind, to_lifo: bool) {
+        let task = Task {
+            kind,
+            // Dwell is only meaningful with >1 worker competing for the
+            // queues; a single-shard pool skips the timestamp entirely.
+            enqueued_ns: if self.shards.len() > 1 {
+                ims_obs::trace::now_ns()
+            } else {
+                0
+            },
+        };
         self.pending.fetch_add(1, SeqCst);
         let my_shard = WORKER.with(|w| match w.get() {
             Some((pool_id, shard)) if pool_id == self as *const Pool as usize => Some(shard),
@@ -396,6 +529,8 @@ impl Pool {
         if sleep.sleepers > 0 {
             drop(sleep);
             self.wakeup.notify_one();
+            self.stats.wakes.fetch_add(1, Relaxed);
+            ims_obs::static_counter!("sched.wakes_total").incr();
         }
     }
 }
@@ -477,6 +612,9 @@ struct Node {
     index: usize,
     /// Span/trace category: the stage name, or `stage@session`.
     cat: &'static str,
+    /// Profiler tag (`session, stage, -`) workers publish while polling
+    /// this node (see [`ims_obs::prof`]).
+    prof_tag: u32,
     /// `None` once the run has been joined and the body extracted.
     body: Mutex<Option<Body>>,
     /// `None` for the source.
@@ -875,6 +1013,7 @@ pub(super) fn spawn(
             state: AtomicU8::new(IDLE),
             index: i + 1,
             cat: session_cat(name, session),
+            prof_tag: ims_obs::prof::intern_tag(session.unwrap_or("-"), name, "-"),
             body: Mutex::new(Some(Body::Stage(StageBody {
                 stage,
                 meter,
@@ -909,6 +1048,7 @@ pub(super) fn spawn(
         state: AtomicU8::new(IDLE),
         index: 0,
         cat: session_cat("source", session),
+        prof_tag: ims_obs::prof::intern_tag(session.unwrap_or("-"), "source", "-"),
         body: Mutex::new(Some(Body::Source(SourceBody {
             source,
             frames,

@@ -741,6 +741,10 @@ pub fn software_deconvolve_block(
         .filter(|(lo, hi)| lo < hi)
         .collect();
     let mut slabs: Vec<Vec<i64>> = vec![Vec::new(); ranges.len()];
+    let slab_hist = ims_obs::static_histogram!("deconv.slab_panels");
+    for &(lo, hi) in &ranges {
+        slab_hist.record((hi - lo).div_ceil(panel_width) as u64);
+    }
     let solve = &solve_range;
     let run = |sched: &Scheduler, slabs: &mut Vec<Vec<i64>>| {
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
@@ -753,7 +757,8 @@ pub fn software_deconvolve_block(
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
-        sched.run_batch(jobs);
+        let tag = ims_obs::prof::intern_tag("-", "deconvolve", "software-fwht");
+        sched.run_batch_tagged(jobs, tag);
     };
     if threads == 0 {
         run(Scheduler::global(), &mut slabs);

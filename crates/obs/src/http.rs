@@ -1,13 +1,21 @@
 //! Minimal `std::net` HTTP server exposing the live registry.
 //!
 //! Zero-dependency on purpose (the repo is offline): one accept-loop
-//! thread, blocking I/O, `Connection: close` per request. Three routes:
+//! thread, blocking I/O, `Connection: close` per request. Routes:
 //!
 //! * `GET /metrics` — Prometheus text exposition of every registered
 //!   counter/gauge/histogram ([`crate::export::prometheus_text`]).
 //! * `GET /report.json` — the current [`ObsReport`] built from a live
 //!   snapshot (no spans: those belong to a bracketed `TraceSession`).
-//! * `GET /healthz` — liveness probe, `ok`.
+//! * `GET /healthz` — liveness probe: a small JSON document carrying
+//!   uptime, artifact schema versions, and git-describe provenance, so
+//!   fleet probes can detect version skew instead of a bare `ok`.
+//! * `GET /profile?seconds=N` — a windowed CPU profile from
+//!   [`crate::prof`]: snapshots the sampler tallies, sleeps `N` seconds
+//!   (default 2, capped at 30), and serves the delta as JSON with a
+//!   folded-stack rendering inline. The wait happens on the accept loop
+//!   (one request per connection), so concurrent scrapes queue behind
+//!   it — acceptable for an operator tool, worth knowing.
 //!
 //! This is an instrument-control-network exporter, not an internet-facing
 //! server: bind it to loopback (the default in `htims serve`) unless the
@@ -170,7 +178,11 @@ fn serve_one(
             "method not allowed\n",
         );
     }
-    match path.split('?').next().unwrap_or("") {
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, q),
+        None => (path, ""),
+    };
+    match route {
         "/metrics" => respond(
             &mut stream,
             200,
@@ -190,7 +202,44 @@ fn serve_one(
             body.push('\n');
             respond(&mut stream, 200, "application/json", &body)
         }
-        "/healthz" => respond(&mut stream, 200, "text/plain; charset=utf-8", "ok\n"),
+        "/healthz" => {
+            let health = serde_json::json!({
+                "status": "ok",
+                "uptime_seconds": started.elapsed().as_secs_f64(),
+                "git_describe": provenance.git_describe,
+                "schema_versions": serde_json::json!({
+                    "obs": crate::session::OBS_SCHEMA_VERSION,
+                    "flight": crate::flight::FLIGHT_SCHEMA_VERSION,
+                    "profile": crate::prof::PROF_SCHEMA_VERSION,
+                }),
+            });
+            let mut body = serde_json::to_string(&health).expect("health serialization");
+            body.push('\n');
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/profile" => {
+            let seconds = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("seconds="))
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(2.0)
+                .clamp(0.0, 30.0);
+            let before = crate::prof::snapshot();
+            if seconds > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(seconds));
+            }
+            let window = before.delta(&crate::prof::snapshot());
+            let payload = serde_json::json!({
+                "schema_version": crate::prof::PROF_SCHEMA_VERSION,
+                "hz": window.hz,
+                "seconds": seconds,
+                "folded": window.folded(),
+                "profile": window,
+            });
+            let mut body = serde_json::to_string_pretty(&payload).expect("profile serialization");
+            body.push('\n');
+            respond(&mut stream, 200, "application/json", &body)
+        }
         "/sessions" => match sessions {
             Some(provider) => {
                 let mut body = provider();
@@ -257,7 +306,21 @@ mod tests {
         let addr = server.local_addr();
 
         let (status, _, body) = get(addr, "/healthz");
-        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert_eq!(status, 200);
+        let health: serde_json::Value =
+            serde_json::from_str(body.trim_end()).expect("healthz is JSON");
+        assert_eq!(health.field("status").as_str(), Some("ok"));
+        assert!(health.field("uptime_seconds").as_f64().unwrap() >= 0.0);
+        assert!(health.field("git_describe").as_str().is_some());
+        let versions = health.field("schema_versions");
+        assert_eq!(
+            versions.field("obs").as_u64(),
+            Some(crate::session::OBS_SCHEMA_VERSION)
+        );
+        assert_eq!(
+            versions.field("profile").as_u64(),
+            Some(u64::from(crate::prof::PROF_SCHEMA_VERSION))
+        );
 
         let (status, head, body) = get(addr, "/metrics");
         assert_eq!(status, 200);
@@ -310,6 +373,33 @@ mod tests {
         server.stop();
     }
 
+    #[test]
+    fn profile_endpoint_serves_a_windowed_snapshot() {
+        let _lock = crate::global_test_lock();
+        metrics::reset();
+        crate::prof::reset();
+        let server = ObsServer::start("127.0.0.1:0", Provenance::collect(1, 32)).unwrap();
+        let addr = server.local_addr();
+        // seconds=0: snapshot-delta of an idle profiler — valid, empty.
+        let (status, head, body) = get(addr, "/profile?seconds=0");
+        assert_eq!(status, 200);
+        assert!(head.contains("application/json"), "{head}");
+        let v: serde_json::Value = serde_json::from_str(body.trim_end()).unwrap();
+        assert_eq!(
+            v.field("schema_version").as_u64(),
+            Some(u64::from(crate::prof::PROF_SCHEMA_VERSION))
+        );
+        assert!(v.field("folded").as_str().is_some());
+        assert!(matches!(
+            v.field("profile").field("tags"),
+            serde_json::Value::Array(_)
+        ));
+        // A negative window clamps to zero instead of erroring.
+        let (status, _, _) = get(addr, "/profile?x=1&seconds=-5");
+        assert_eq!(status, 200);
+        server.stop();
+    }
+
     /// Sends raw bytes and returns the response status (0 when the server
     /// closed without a status line).
     fn send_raw(addr: SocketAddr, bytes: &[u8]) -> u16 {
@@ -347,7 +437,8 @@ mod tests {
         assert_eq!(send_raw(addr, b"POST /metrics HTTP/1.1\r\n\r\n"), 405);
         // And the server still serves a well-formed request afterwards.
         let (status, _, body) = get(addr, "/healthz");
-        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
 
         server.stop();
     }

@@ -16,6 +16,10 @@
 //! On top of those sit the *continuous* telemetry pieces — live series
 //! rather than post-hoc snapshots:
 //!
+//! * [`prof`] — a cooperative continuous CPU profiler: workers publish a
+//!   current-task tag, a sampler thread charges wall-clock to it, and the
+//!   tallies egress as folded stacks, `profile.json`, and
+//!   `pipeline.cpu_ns` counters.
 //! * [`sampler`] — a background thread snapshotting the registry at a
 //!   fixed interval into a bounded in-memory ring and an optional
 //!   append-only JSONL time series (counter deltas included).
@@ -36,6 +40,7 @@ pub mod flight;
 pub mod http;
 pub mod ledger;
 pub mod metrics;
+pub mod prof;
 pub mod sampler;
 pub mod session;
 pub mod slo;
@@ -46,6 +51,7 @@ pub use flight::{FlightKind, FlightRecorder, FLIGHT_SCHEMA_VERSION};
 pub use http::{ObsServer, SessionsProvider};
 pub use ledger::{config_fingerprint, FingerprintParts, LedgerRecord};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot};
+pub use prof::{ProfSnapshot, WorkerSlot, PROF_SCHEMA_VERSION};
 pub use sampler::{SamplePoint, Sampler, SamplerConfig};
 pub use session::{
     ObsReport, Provenance, SpanRecord, ThreadInfo, TraceSession, OBS_SCHEMA_VERSION,

@@ -7,6 +7,7 @@
 //! htims feasibility --degree 9 --mz 100    # FPGA resource / real-time report
 //! htims pipeline --degree 6 --mz 60        # run the stage graph, emit PipelineReport JSON
 //! htims trace --out trace.json             # traced pipeline run → Chrome trace + metrics JSON
+//! htims top --port 9464                    # live console over a running `htims serve` exporter
 //! htims bench deconv --json                # deconvolution engine micro-bench → BENCH_deconv.json
 //! ```
 
@@ -35,6 +36,7 @@ fn main() {
         "pipeline" => pipeline(&args),
         "trace" => trace(&args),
         "serve" => serve(&args),
+        "top" => top(&args),
         "chaos" => chaos(&args),
         "bench" => bench(&args),
         _ => help(),
@@ -50,10 +52,11 @@ fn help() {
          [--coarse <bins>] [--executor threaded|scheduled|inline] [--seed <n>]\n    \
          [--out <file.json>] [--faults <dma.bitflip=1e-5,frame.drop=1e-4,...>]\n    \
          [--stall-timeout <250ms>] [--sparse] [--slo <p99=5ms,completeness=0.999>]\n    \
-         [--flight-dir <dir>]\n  \
+         [--flight-dir <dir>] [--profile <dir>]\n  \
          htims trace [pipeline flags] [--out <trace.json>] [--metrics <metrics.json>]\n  \
          htims serve [pipeline flags] [--duration <2s|500ms>] [--port <n>]\n    \
          [--sample-ms <n>] [--series <file.jsonl>] [--sessions <n>] [--max-sessions <n>]\n  \
+         htims top [--host <addr>] [--port <n>] [--interval <1s|500ms>] [--iterations <n>]\n  \
          htims chaos [pipeline flags] [--seeds <a,b,...>] [--matrix <spec;spec;...>]\n    \
          [--out <survival.json>] [--strict]\n  \
          htims bench deconv [--quick] [--json] [--out <file.json>]\n    \
@@ -70,6 +73,66 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Process-wide shutdown flag, flipped by SIGINT/SIGTERM so the long-
+/// running modes (`serve`, `top`) can stop admission, drain in-flight
+/// sessions, and flush their sampler/ledger sinks instead of dying
+/// mid-write.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Async-signal-safe: a single relaxed store, nothing else.
+    SHUTDOWN.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn shutdown_requested() -> bool {
+    SHUTDOWN.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Installs the SIGINT/SIGTERM handlers via the C runtime's `signal` —
+/// the one libc entry point that needs no external crate.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(2, on_signal); // SIGINT
+        signal(15, on_signal); // SIGTERM
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// Writes the continuous profile (`profile.folded` + `profile.json`)
+/// into the spec's `--profile` directory, if one was given. Best-effort:
+/// a failed write warns and moves on, like the ledger.
+fn maybe_write_profile(spec: &GraphSpec) {
+    let Some(dir) = &spec.profile_dir else { return };
+    match ims_obs::prof::write_profile(std::path::Path::new(dir)) {
+        Ok(snap) => eprintln!(
+            "profile written to {dir}/profile.folded and {dir}/profile.json \
+             ({} tags at {} Hz{})",
+            snap.tags.len(),
+            snap.hz,
+            if snap.hz == 0 {
+                "; HTIMS_PROF_HZ=0, sampler off"
+            } else {
+                ""
+            }
+        ),
+        Err(e) => eprintln!("cannot write profile to {dir}: {e}"),
+    }
+}
+
+/// Starts a `--profile` window: clears any previously accumulated
+/// tallies so the dump covers exactly this invocation's runs.
+fn maybe_reset_profile(spec: &GraphSpec) {
+    if spec.profile_dir.is_some() {
+        ims_obs::prof::reset();
+    }
 }
 
 fn print_config() {
@@ -233,6 +296,9 @@ fn parse_graph(mut spec: GraphSpec, args: &[String]) -> GraphSpec {
     if let Some(v) = flag(args, "--flight-dir") {
         spec.flight_dir = (!v.is_empty()).then_some(v);
     }
+    if let Some(v) = flag(args, "--profile") {
+        spec.profile_dir = (!v.is_empty()).then_some(v);
+    }
     spec
 }
 
@@ -366,7 +432,9 @@ fn observe_slo(
 /// simulated link time.
 fn pipeline(args: &[String]) {
     let spec = parse_graph(GraphSpec::small(), args);
+    maybe_reset_profile(&spec);
     let out = run_graph(&spec);
+    maybe_write_profile(&spec);
     eprintln!(
         "{} executor, backend {}: {} frames -> {} blocks in {:.1} ms \
          (simulated link {:.3} ms, capture {} cycles, deconvolve {} cycles)",
@@ -417,7 +485,9 @@ fn trace(args: &[String]) {
         .with_simd(htims::signal::simd::active_name())
         .with_sparse(if spec.sparse { "sparse" } else { "dense" }),
     );
+    maybe_reset_profile(&spec);
     let out = run_graph(&spec);
+    maybe_write_profile(&spec);
     let mut report = session.finish();
     report.slo = run_slo_summary(&spec, &out.report);
     eprintln!(
@@ -468,7 +538,10 @@ fn trace(args: &[String]) {
 ///   seed, config fingerprint, state, and final `RunOutcome`/output
 ///   fingerprint;
 /// * `GET /report.json` — the current `ObsReport` (live snapshot);
-/// * `GET /healthz` — liveness probe.
+/// * `GET /profile?seconds=N` — a windowed snapshot from the continuous
+///   CPU profiler: folded stacks plus per-(session, stage, method) tag
+///   tallies over the window;
+/// * `GET /healthz` — liveness JSON: uptime, schema versions, build.
 ///
 /// `--sessions N` multiplexes N independent sessions per batch onto the
 /// shared work-stealing pool (`min(cores, 8)` workers): session `sK` runs
@@ -481,9 +554,15 @@ fn trace(args: &[String]) {
 /// JSONL time series (counter deltas, gauge values, histogram summaries).
 /// On exit one ledger line summarizing the whole window is appended —
 /// plus, when multiplexing, one session-labeled line per tenant of the
-/// final batch.
+/// final batch. SIGINT/SIGTERM trigger the same exit path early:
+/// admission stops, in-flight sessions drain, and every sink (sampler
+/// series, ledger, `--profile` dump) is flushed before the process ends.
 fn serve(args: &[String]) {
     let spec = parse_graph(GraphSpec::e3(), args);
+    // Graceful shutdown: SIGINT/SIGTERM stop admission at the next loop
+    // check; in-flight sessions drain, then the sampler, ledger, and any
+    // `--profile` dump flush exactly as on a timed exit.
+    install_signal_handlers();
     let duration = flag(args, "--duration")
         .map(|v| {
             parse_duration(&v).unwrap_or_else(|| {
@@ -522,6 +601,7 @@ fn serve(args: &[String]) {
         std::collections::HashMap::new();
 
     ims_obs::metrics::reset();
+    maybe_reset_profile(&spec);
     // Register the serve-level counters *before* the listener is up: a
     // scrape that lands before the first pipeline run still sees a
     // non-empty, well-formed exposition instead of an empty body.
@@ -549,7 +629,7 @@ fn serve(args: &[String]) {
     });
     // Stdout, not stderr: scripts capture the bound port (`--port 0`).
     println!(
-        "serving http://{}/metrics (also /sessions, /report.json, /healthz)",
+        "serving http://{}/metrics (also /sessions, /report.json, /profile, /healthz)",
         server.local_addr()
     );
     let sampler = ims_obs::Sampler::start(ims_obs::SamplerConfig {
@@ -569,7 +649,7 @@ fn serve(args: &[String]) {
     let mut blocks = 0u64;
     let mut last_report = None;
     let mut last_batch: Vec<(GraphSpec, htims::core::pipeline::PipelineReport)> = Vec::new();
-    while started.elapsed() < duration {
+    while started.elapsed() < duration && !shutdown_requested() {
         if sessions == 1 {
             // Single-tenant: the PR-4 serve loop, bit-for-bit (unlabeled
             // metric names, the spec's own executor and seed).
@@ -676,11 +756,24 @@ fn serve(args: &[String]) {
             last_report = Some(report.clone());
         }
     }
+    if shutdown_requested() {
+        eprintln!("signal received: admission stopped, sessions drained; flushing");
+    }
     let samples = sampler.stop();
     server.stop();
+    maybe_write_profile(&spec);
 
     let wall = started.elapsed().as_secs_f64();
-    let last = last_report.expect("at least one run");
+    // A signal can land before the first run completes; there is nothing
+    // to summarize, but the sampler/series sinks have already flushed.
+    let Some(last) = last_report else {
+        eprintln!(
+            "served {:.2} s: stopped before the first run completed ({} samples at {sample_ms} ms)",
+            wall,
+            samples.len(),
+        );
+        return;
+    };
     if sessions > 1 {
         eprintln!(
             "served {:.2} s: {batches} batches x {sessions} sessions on {} pool workers \
@@ -744,6 +837,199 @@ fn finish_session(
         manager.set_slo(&label, summary);
     }
     last_batch.push((tenant, out.report));
+}
+
+/// `htims top`: a live console over a running `htims serve` exporter.
+///
+/// Polls `GET /metrics` on `--host`:`--port` every `--interval` (default
+/// 1 s) and renders deltas between consecutive scrapes:
+///
+/// * per-(stage, session) CPU from the continuous profiler's
+///   `pipeline_cpu_ns_*` counters, as cores consumed over the window;
+/// * scheduler health from the `sched_*` families — task throughput, pop
+///   provenance (local / injector / steal), park and wake rates, and the
+///   mean queue dwell over the window;
+/// * the serve loop's run/frame/block throughput.
+///
+/// `--iterations <n>` bounds the loop for scripts and CI (0, the
+/// default, runs until the exporter goes away or Ctrl-C). Exits 1 when
+/// the exporter is unreachable on the very first poll.
+fn top(args: &[String]) {
+    let host = flag(args, "--host").unwrap_or_else(|| "127.0.0.1".into());
+    let port: u16 = flag(args, "--port")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9464);
+    let interval = flag(args, "--interval")
+        .map(|v| {
+            parse_duration(&v).unwrap_or_else(|| {
+                eprintln!("cannot parse --interval '{v}' (try 1s, 500ms)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(std::time::Duration::from_secs(1));
+    let iterations: u64 = flag(args, "--iterations")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    install_signal_handlers();
+    let addr = format!("{host}:{port}");
+
+    let mut prev: Option<(std::time::Instant, std::collections::HashMap<String, f64>)> = None;
+    let mut polls = 0u64;
+    loop {
+        let text = match http_get(&addr, "/metrics") {
+            Ok(t) => t,
+            Err(e) => {
+                if polls == 0 {
+                    eprintln!("exporter at http://{addr}/metrics unreachable: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("exporter at http://{addr}/metrics went away: {e}");
+                return;
+            }
+        };
+        let now = std::time::Instant::now();
+        let series = parse_prometheus(&text);
+        render_top(
+            &addr,
+            &series,
+            prev.as_ref().map(|(t, s)| (now.duration_since(*t), s)),
+        );
+        prev = Some((now, series));
+        polls += 1;
+        if (iterations > 0 && polls >= iterations) || shutdown_requested() {
+            return;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// One plain-text GET against a loopback exporter; returns the response
+/// body (everything after the header/body separator).
+fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    Ok(raw
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default())
+}
+
+/// Parses a Prometheus text exposition into `full series → value`; the
+/// key keeps its label set (e.g. `pipeline_cpu_ns_deconvolve{session="s0"}`)
+/// so per-session series stay distinct.
+fn parse_prometheus(text: &str) -> std::collections::HashMap<String, f64> {
+    let mut out = std::collections::HashMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if let Some((series, value)) = line.rsplit_once(' ') {
+            if let Ok(v) = value.parse::<f64>() {
+                out.insert(series.to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+/// Renders one `htims top` frame from the delta between two scrapes.
+/// `window` is `None` on the first poll (nothing to difference yet).
+fn render_top(
+    addr: &str,
+    series: &std::collections::HashMap<String, f64>,
+    window: Option<(std::time::Duration, &std::collections::HashMap<String, f64>)>,
+) {
+    // Clear screen + home. Harmless noise when piped to a file.
+    print!("\x1b[2J\x1b[H");
+    let Some((elapsed, prev)) = window else {
+        println!("htims top — http://{addr}/metrics — first scrape, collecting a window…");
+        return;
+    };
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let delta = |key: &str| -> f64 {
+        (series.get(key).copied().unwrap_or(0.0) - prev.get(key).copied().unwrap_or(0.0)).max(0.0)
+    };
+    let rate = |key: &str| delta(key) / secs;
+
+    println!("htims top — http://{addr}/metrics — window {secs:.1}s");
+
+    // CPU rows: `pipeline_cpu_ns_<stage>{session="…"}` counters from the
+    // profiler; cores consumed = Δcpu_ns / Δt / 1e9.
+    let mut cpu: Vec<(String, String, f64)> = Vec::new();
+    for key in series.keys() {
+        let Some(rest) = key.strip_prefix("pipeline_cpu_ns_") else {
+            continue;
+        };
+        let (stage, labels) = match rest.split_once('{') {
+            Some((s, l)) => (s, l.trim_end_matches('}')),
+            None => (rest, ""),
+        };
+        if stage.ends_with("_high_water") {
+            continue;
+        }
+        let session = labels
+            .strip_prefix("session=\"")
+            .and_then(|l| l.split('"').next())
+            .unwrap_or("-");
+        let cores = delta(key) / secs / 1e9;
+        if cores > 0.0 {
+            cpu.push((stage.to_string(), session.to_string(), cores));
+        }
+    }
+    cpu.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let total_cores: f64 = cpu.iter().map(|r| r.2).sum();
+    println!(
+        "\n  {:<14} {:<10} {:>7} {:>6}",
+        "STAGE", "SESSION", "CORES", "CPU%"
+    );
+    if cpu.is_empty() {
+        println!("  (no pipeline.cpu_ns deltas this window — profiler off or pipeline idle)");
+    }
+    for (stage, session, cores) in cpu.iter().take(16) {
+        println!(
+            "  {:<14} {:<10} {:>7.2} {:>5.1}%",
+            stage,
+            session,
+            cores,
+            if total_cores > 0.0 {
+                cores / total_cores * 100.0
+            } else {
+                0.0
+            }
+        );
+    }
+
+    // Scheduler health: rates over the window, plus the mean queue dwell
+    // from the histogram's `_sum`/`_count` deltas.
+    let dwell_count = delta("sched_queue_dwell_ns_count");
+    let dwell_mean_us = if dwell_count > 0.0 {
+        delta("sched_queue_dwell_ns_sum") / dwell_count / 1e3
+    } else {
+        0.0
+    };
+    println!(
+        "\n  sched: {:.0} tasks/s (local {:.0}, injector {:.0}, steals {:.0}), \
+         parks {:.0}/s, wakes {:.0}/s, queue dwell mean {dwell_mean_us:.1} us",
+        rate("sched_executed_total"),
+        rate("sched_local_pops_total"),
+        rate("sched_injector_pops_total"),
+        rate("sched_steals_total"),
+        rate("sched_parks_total"),
+        rate("sched_wakes_total"),
+    );
+    println!(
+        "  serve: {:.1} runs/s, {:.0} frames/s -> {:.1} blocks/s",
+        rate("serve_runs_total"),
+        rate("serve_frames_total"),
+        rate("serve_blocks_total"),
+    );
 }
 
 /// `htims chaos`: soaks the hybrid stage graph under a deterministic
@@ -1309,8 +1595,19 @@ fn bench_compare(args: &[String]) {
     }
 
     let ok = regressions == 0;
+    // The verdict names its inputs: which files were judged and which
+    // schema generation each declared, so an archived verdict is
+    // self-describing without the original paths' contents.
     let verdict = serde_json::json!({
         "schema_version": htims::obs::OBS_SCHEMA_VERSION,
+        "baseline": serde_json::json!({
+            "path": baseline_path.as_str(),
+            "schema_version": baseline.schema_version,
+        }),
+        "candidate": serde_json::json!({
+            "path": candidate_path.as_str(),
+            "schema_version": candidate.schema_version,
+        }),
         "max_regress_pct": max_regress_pct,
         "matched_rows": matched,
         "regressions": regressions,
@@ -1330,7 +1627,9 @@ fn bench_compare(args: &[String]) {
         None => print!("{text}"),
     }
     eprintln!(
-        "{matched} rows compared, {regressions} regressed beyond {max_regress_pct}% -> {}",
+        "{matched} rows compared against {baseline_path} (schema v{}), \
+         {regressions} regressed beyond {max_regress_pct}% -> {}",
+        baseline.schema_version,
         if ok { "PASS" } else { "FAIL" }
     );
     if !ok {
@@ -1346,8 +1645,12 @@ struct BenchRow {
 }
 
 /// A loaded bench report: block shape (for fingerprint recomputation when
-/// older reports lack one) and its rows.
+/// older reports lack one), its declared schema version, and its rows.
 struct BenchReport {
+    /// The report's own `schema_version` (0 when the file predates it) —
+    /// echoed into compare verdicts so a verdict names exactly which
+    /// baseline generation it judged against.
+    schema_version: u64,
     rows: Vec<BenchRow>,
 }
 
@@ -1362,6 +1665,7 @@ fn load_bench_rows(path: &str) -> BenchReport {
         eprintln!("{path} is not valid JSON: {e}");
         std::process::exit(2);
     });
+    let schema_version = value.field("schema_version").as_u64().unwrap_or(0);
     let drift_bins = value
         .field("block")
         .field("drift_bins")
@@ -1408,7 +1712,10 @@ fn load_bench_rows(path: &str) -> BenchReport {
             mcells,
         });
     }
-    BenchReport { rows }
+    BenchReport {
+        schema_version,
+        rows,
+    }
 }
 
 /// Best-of-`repeats` wall time of `f`, in seconds.

@@ -63,6 +63,11 @@ pub struct GraphSpec {
     /// Degraded/Failed writes `flight_<fingerprint>.jsonl` there.
     /// Observability-only: not part of the config fingerprint.
     pub flight_dir: Option<String>,
+    /// Directory for the continuous-profiler dump (`profile.folded` +
+    /// `profile.json`) written after the run by `htims
+    /// pipeline|trace|serve --profile <dir>`.
+    /// Observability-only: not part of the config fingerprint.
+    pub profile_dir: Option<String>,
 }
 
 impl GraphSpec {
@@ -84,6 +89,7 @@ impl GraphSpec {
             sparse: false,
             slo: None,
             flight_dir: None,
+            profile_dir: None,
         }
     }
 
@@ -108,6 +114,7 @@ impl GraphSpec {
             sparse: false,
             slo: None,
             flight_dir: None,
+            profile_dir: None,
         }
     }
 

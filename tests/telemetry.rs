@@ -28,9 +28,18 @@ type BlockData = (u64, u64, Vec<i64>);
 /// `(metric name, deterministic count)`.
 type MetricCount = (String, u64);
 
+/// Time-driven series that are *not* part of the deterministic slice:
+/// the continuous profiler charges wall-clock to tags at its own sample
+/// cadence, and the scheduler's pop/park/steal/dwell accounting depends
+/// on how the asynchronous pool races the run.
+fn wall_clock_driven(name: &str) -> bool {
+    name.starts_with("prof.") || name.starts_with("pipeline.cpu_ns.") || name.starts_with("sched.")
+}
+
 /// Runs a spec from a clean registry; returns the blocks plus the
 /// deterministic slice of the metrics: every counter value and every
-/// latency-histogram *count* (durations themselves are wall-clock noise).
+/// latency-histogram *count* (durations themselves are wall-clock noise,
+/// as are the profiler/scheduler series — see [`wall_clock_driven`]).
 fn run_counted(s: &GraphSpec) -> (Vec<BlockData>, Vec<MetricCount>) {
     metrics::reset();
     let out = s.run().expect("graph runs");
@@ -44,6 +53,7 @@ fn run_counted(s: &GraphSpec) -> (Vec<BlockData>, Vec<MetricCount>) {
                 .iter()
                 .map(|h| (format!("{}#count", h.name), h.summary.count)),
         )
+        .filter(|(name, _)| !wall_clock_driven(name))
         .collect();
     counts.sort();
     let blocks = out
