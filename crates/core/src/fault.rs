@@ -21,7 +21,10 @@
 //! * `deconv.fail` — the hardware-model deconvolution backend fails on a
 //!   block (recovered by falling back to the software engine, or — with
 //!   fallback disabled — panicking the stage so the supervised executor's
-//!   `catch_unwind` path is exercised).
+//!   `catch_unwind` path is exercised);
+//! * `shard.kill` — an accumulator shard is marked lost mid-block
+//!   (rebuilt from the frame capture log when one is attached, otherwise
+//!   its m/z range drains zeroed and the run is Degraded).
 //!
 //! Every injection increments a `fault.injected.*` metric and emits a
 //! trace instant, so chaos shows up in `/metrics` and trace timelines.
@@ -40,6 +43,17 @@ pub struct StallSpec {
     /// Per-frame probability in `[0, 1]`.
     pub rate: f64,
 }
+
+/// Every known fault site, in the order the CLI documents them. The
+/// unknown-site parse error enumerates this list, so adding a site here is
+/// the single place the grammar grows.
+pub const SITES: &[&str] = &[
+    "dma.bitflip",
+    "frame.drop",
+    "deconv.fail",
+    "source.stall",
+    "shard.kill",
+];
 
 /// A parsed fault specification: per-site rates, all zero by default.
 ///
@@ -65,6 +79,10 @@ pub struct FaultSpec {
     pub deconv_fail: f64,
     /// Producer stall, if any.
     pub source_stall: Option<StallSpec>,
+    /// Per-(block, shard) probability that an accumulator shard is marked
+    /// lost mid-block (rebuilt from the capture log when one is attached,
+    /// otherwise its m/z range drains zeroed).
+    pub shard_kill: f64,
 }
 
 impl FaultSpec {
@@ -84,6 +102,7 @@ impl FaultSpec {
                 "dma.bitflip" => spec.dma_bitflip = parse_rate(site, value)?,
                 "frame.drop" => spec.frame_drop = parse_rate(site, value)?,
                 "deconv.fail" => spec.deconv_fail = parse_rate(site, value)?,
+                "shard.kill" => spec.shard_kill = parse_rate(site, value)?,
                 "source.stall" => {
                     let (dur, rate) = match value.split_once('@') {
                         Some((d, r)) => (d, parse_rate(site, r)?),
@@ -97,8 +116,8 @@ impl FaultSpec {
                 }
                 other => {
                     return Err(format!(
-                        "unknown fault site `{other}` (use dma.bitflip | frame.drop | \
-                         deconv.fail | source.stall)"
+                        "unknown fault site `{other}` (use {})",
+                        SITES.join(" | ")
                     ))
                 }
             }
@@ -112,7 +131,22 @@ impl FaultSpec {
         self.dma_bitflip == 0.0
             && self.frame_drop == 0.0
             && self.deconv_fail == 0.0
+            && self.shard_kill == 0.0
             && self.source_stall.is_none_or(|s| s.rate == 0.0)
+    }
+
+    /// A copy with the source-side sites (`frame.drop`, `source.stall`)
+    /// zeroed. Replay feeds frames straight from the capture log — the log
+    /// already reflects which frames the original run admitted, so
+    /// re-firing source faults would drop them twice. Downstream sites
+    /// (`dma.bitflip`, `deconv.fail`, `shard.kill`) are keyed by packet
+    /// seq-no / block index and re-fire identically on replay.
+    pub fn without_source_sites(&self) -> Self {
+        Self {
+            frame_drop: 0.0,
+            source_stall: None,
+            ..self.clone()
+        }
     }
 }
 
@@ -135,6 +169,9 @@ impl std::fmt::Display for FaultSpec {
                 s.duration.as_millis(),
                 s.rate
             ));
+        }
+        if self.shard_kill > 0.0 {
+            parts.push(format!("shard.kill={}", self.shard_kill));
         }
         write!(f, "{}", parts.join(","))
     }
@@ -181,12 +218,23 @@ pub struct FaultCounts {
     /// Hardware deconvolution-backend failures.
     #[serde(default)]
     pub deconv_failures: u64,
+    /// Accumulator shards marked lost mid-block.
+    #[serde(default)]
+    pub shard_kills: u64,
 }
 
 impl FaultCounts {
     /// Total injected events.
     pub fn total(&self) -> u64 {
-        self.bitflips + self.frames_dropped + self.stalls + self.deconv_failures
+        self.bitflips + self.frames_dropped + self.stalls + self.deconv_failures + self.shard_kills
+    }
+
+    /// Injected events that degrade the run's verdict on their own. Shard
+    /// kills are excluded: a kill that was rebuilt from the capture log is
+    /// fully recovered (bit-identical output), so only an *unrecovered*
+    /// shard — reported as `shards_lost` — degrades the verdict.
+    pub fn degrading(&self) -> u64 {
+        self.total() - self.shard_kills
     }
 }
 
@@ -197,6 +245,7 @@ struct FaultShared {
     frames_dropped: AtomicU64,
     stalls: AtomicU64,
     deconv_failures: AtomicU64,
+    shard_kills: AtomicU64,
     /// Set by the executor's watchdog: in-progress injected sleeps bail
     /// out at their next slice so a "permanent" stall still drains.
     cancel: AtomicBool,
@@ -213,6 +262,7 @@ struct FlightHooks {
     stall: u16,
     bitflip: u16,
     deconv: u16,
+    shard: u16,
 }
 
 impl std::fmt::Debug for FlightHooks {
@@ -237,6 +287,7 @@ const SALT_STALL: u64 = 0xC2B2_AE3D_27D4_EB4F;
 const SALT_BITFLIP: u64 = 0x1656_67B1_9E37_79F9;
 const SALT_DECONV: u64 = 0x2545_F491_4F6C_DD1D;
 const SALT_SESSION: u64 = 0x9E6D_62D0_6F6A_9A9B;
+const SALT_SHARD: u64 = 0xA076_1D64_78BD_642F;
 
 /// Derives session `index`'s seed from a serve-level base seed: the same
 /// avalanche mix the fault sites use, salted so the per-session stream is
@@ -285,6 +336,7 @@ impl FaultInjector {
             stall: rec.register("source.stall"),
             bitflip: rec.register("dma.bitflip"),
             deconv: rec.register("deconv.fail"),
+            shard: rec.register("shard.kill"),
         });
     }
 
@@ -406,6 +458,29 @@ impl FaultInjector {
         true
     }
 
+    /// Is accumulator shard `shard` killed during block `block_index`?
+    /// Pure in `(seed, block, shard)` like every other site, so the same
+    /// shards die in the same blocks on any executor, any process, and on
+    /// replay. Counts and traces when it fires.
+    pub fn shard_kill(&self, block_index: u64, shard: u64) -> bool {
+        if self.spec.shard_kill <= 0.0 {
+            return false;
+        }
+        // Fold (block, shard) into one item index with a multiplier large
+        // enough that realistic shard counts never collide across blocks.
+        let item = block_index
+            .wrapping_mul(0x0000_0001_0000_0001)
+            .wrapping_add(shard);
+        if self.unit(SALT_SHARD, item, 0) >= self.spec.shard_kill {
+            return false;
+        }
+        self.shared.shard_kills.fetch_add(1, Relaxed);
+        self.record_block_fault(|h| h.shard, block_index);
+        ims_obs::static_counter!("fault.injected.shard_kill").incr();
+        ims_obs::instant("fault", "shard_kill");
+        true
+    }
+
     /// Cancels in-progress and future injected stalls (the watchdog's
     /// lever for breaking a permanent stall).
     pub fn cancel(&self) {
@@ -424,6 +499,7 @@ impl FaultInjector {
             frames_dropped: self.shared.frames_dropped.load(Relaxed),
             stalls: self.shared.stalls.load(Relaxed),
             deconv_failures: self.shared.deconv_failures.load(Relaxed),
+            shard_kills: self.shared.shard_kills.load(Relaxed),
         }
     }
 }
@@ -461,6 +537,89 @@ mod tests {
         // Display renders a form parse() accepts and that parses equal.
         let back = FaultSpec::parse(&spec.to_string()).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn every_site_round_trips_parse_render_parse() {
+        // One representative spec exercising every site in SITES — the
+        // grammar's parse→render→parse fixed point. Fails if a new site is
+        // added to parse() without a Display arm (or vice versa).
+        let text = "dma.bitflip=1e-5,frame.drop=1e-4,deconv.fail=0.001,source.stall=50ms@0.01,\
+             shard.kill=0.5";
+        let spec = FaultSpec::parse(text).unwrap();
+        assert_eq!(spec.shard_kill, 0.5);
+        let rendered = spec.to_string();
+        for site in SITES {
+            assert!(
+                rendered.contains(site),
+                "rendered form `{rendered}` lost site `{site}`"
+            );
+        }
+        assert_eq!(FaultSpec::parse(&rendered).unwrap(), spec);
+        // And per-site singletons round-trip too.
+        for single in [
+            "dma.bitflip=0.25",
+            "frame.drop=0.25",
+            "deconv.fail=0.25",
+            "source.stall=10ms@0.25",
+            "shard.kill=0.25",
+        ] {
+            let s = FaultSpec::parse(single).unwrap();
+            assert_eq!(FaultSpec::parse(&s.to_string()).unwrap(), s, "{single}");
+        }
+    }
+
+    #[test]
+    fn unknown_site_error_enumerates_all_sites() {
+        let err = FaultSpec::parse("nope.site=0.5").unwrap_err();
+        for site in SITES {
+            assert!(err.contains(site), "error `{err}` missing site `{site}`");
+        }
+    }
+
+    #[test]
+    fn without_source_sites_keeps_downstream_sites() {
+        let spec = FaultSpec::parse(
+            "dma.bitflip=1e-5,frame.drop=0.1,deconv.fail=0.2,source.stall=5ms@0.3,shard.kill=0.4",
+        )
+        .unwrap();
+        let replay = spec.without_source_sites();
+        assert_eq!(replay.frame_drop, 0.0);
+        assert!(replay.source_stall.is_none());
+        assert_eq!(replay.dma_bitflip, 1e-5);
+        assert_eq!(replay.deconv_fail, 0.2);
+        assert_eq!(replay.shard_kill, 0.4);
+    }
+
+    #[test]
+    fn shard_kill_decisions_are_deterministic_and_rate_shaped() {
+        let spec = FaultSpec::parse("shard.kill=0.25").unwrap();
+        let a = FaultInjector::new(42, spec.clone());
+        let b = FaultInjector::new(42, spec.clone());
+        let kills_a: Vec<bool> = (0..1000)
+            .flat_map(|blk| (0..4).map(move |s| (blk, s)))
+            .map(|(blk, s)| a.shard_kill(blk, s))
+            .collect();
+        let kills_b: Vec<bool> = (0..1000)
+            .flat_map(|blk| (0..4).map(move |s| (blk, s)))
+            .map(|(blk, s)| b.shard_kill(blk, s))
+            .collect();
+        assert_eq!(kills_a, kills_b, "same (seed, spec) ⇒ same kills");
+        let rate = kills_a.iter().filter(|&&k| k).count() as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.05, "empirical rate {rate}");
+        assert_eq!(
+            a.counts().shard_kills,
+            kills_a.iter().filter(|&&k| k).count() as u64
+        );
+        // Kills count toward total() but not degrading().
+        assert_eq!(a.counts().degrading(), 0);
+        assert!(a.counts().total() > 0);
+        // Distinct shards in the same block draw independently.
+        let c = FaultInjector::new(7, FaultSpec::parse("shard.kill=0.5").unwrap());
+        let per_shard: Vec<Vec<bool>> = (0..4u64)
+            .map(|s| (0..256).map(|blk| c.shard_kill(blk, s)).collect())
+            .collect();
+        assert!(per_shard.windows(2).any(|w| w[0] != w[1]));
     }
 
     #[test]

@@ -112,6 +112,11 @@ pub struct HybridConfig {
     /// (bit-identical output).
     #[serde(default)]
     pub sparse: bool,
+    /// m/z-range shards the accumulate stage splits its RAM into (0 and 1
+    /// both mean the monolithic single-shard fast path; counts above the
+    /// m/z width clamp). Merged output is bit-identical for every count.
+    #[serde(default)]
+    pub shards: usize,
 }
 
 impl Default for HybridConfig {
@@ -123,6 +128,7 @@ impl Default for HybridConfig {
             link: DmaLink::rapidarray(),
             binner: None,
             sparse: false,
+            shards: 0,
         }
     }
 }
@@ -178,7 +184,9 @@ pub fn hybrid_pipeline(
             frames_per_block.max(1),
             flush_remainder,
         )
-        .with_sparse(cfg.sparse),
+        .with_sparse(cfg.sparse)
+        .with_shards(cfg.shards.max(1))
+        .with_rebuild_binner(cfg.binner.clone(), gen.drift_bins()),
     )
     .stage(
         DeconvolveStage::new(backend, acc_mz)

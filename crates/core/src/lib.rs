@@ -59,6 +59,7 @@
 pub mod acquisition;
 pub mod analysis;
 pub mod calibration;
+pub mod capture;
 pub mod config;
 pub mod dda;
 pub mod deconv_batch;

@@ -97,6 +97,9 @@ pub struct Pipeline {
     pub(super) session: Option<&'static str>,
     /// Flight-recorder + SLO wiring (always on; dumps are opt-in).
     pub(super) flight: FlightConfig,
+    /// Frame capture log: the source appends every emitted packet, the
+    /// accumulate stage rebuilds killed shards from it.
+    pub(super) capture: Option<crate::capture::CaptureLog>,
 }
 
 /// What a pipeline run returns: the deconvolved blocks (in order) and the
@@ -122,6 +125,7 @@ impl Pipeline {
             supervisor: SupervisorConfig::default(),
             session: None,
             flight: FlightConfig::default(),
+            capture: None,
         }
     }
 
@@ -157,6 +161,26 @@ impl Pipeline {
     /// control; see the cardinality rules in DESIGN.md).
     pub fn with_session(mut self, label: &str) -> Self {
         self.session = Some(ims_obs::intern(label));
+        self
+    }
+
+    /// Attaches a frame capture log: the source appends every packet it
+    /// emits (pristine, pre-corruption), and the accumulate stage rebuilds
+    /// `shard.kill`-lost shards from it. The same log directory later
+    /// powers `--replay`. A read-only handle (from
+    /// [`CaptureLog::open`](crate::capture::CaptureLog::open)) appends
+    /// nothing but still serves rebuild reads — the replay wiring.
+    pub fn with_capture_log(mut self, log: crate::capture::CaptureLog) -> Self {
+        self.capture = Some(log);
+        self
+    }
+
+    /// Replaces the source's generator with pre-captured packets: the run
+    /// replays `packets` in order, bit-exactly reproducing the captured
+    /// run's output (source-site faults must be stripped by the caller —
+    /// see [`FaultSpec::without_source_sites`](crate::fault::FaultSpec::without_source_sites)).
+    pub fn with_replay_source(mut self, packets: Vec<ims_fpga::dma::FramePacket>) -> Self {
+        self.source.set_replay(std::sync::Arc::new(packets));
         self
     }
 
@@ -202,6 +226,12 @@ impl Pipeline {
             }
             inj.arm_flight(&rec);
         }
+        if let Some(log) = &self.capture {
+            self.source.set_capture(log.clone());
+            for stage in &mut self.stages {
+                stage.arm_capture(log);
+            }
+        }
         let e2e_name = match self.session {
             Some(s) => format!("pipeline.frame_e2e_ns#session={s}"),
             None => "pipeline.frame_e2e_ns".to_string(),
@@ -213,6 +243,7 @@ impl Pipeline {
                 label,
                 latency_slo_ns: self.flight.latency_slo_ns,
                 e2e_hist,
+                session: self.session,
             });
         }
         self.flight.labels = labels;
@@ -345,6 +376,7 @@ pub(super) fn maybe_dump_flight(
     let reason = match first {
         Some(PipelineError::StageStalled { .. }) => "watchdog_stall",
         Some(PipelineError::StagePanicked { .. }) => "stage_panic",
+        None if report.shards_lost > 0 => "shard_loss",
         None if report.frames_quarantined > 0 => "quarantine",
         None => "degraded_run",
     };
@@ -410,13 +442,16 @@ pub(super) fn finish_report(
         stage.finalize(report);
     }
     report.faults = injector.map(|inj| inj.counts()).unwrap_or_default();
-    // The verdict. Fatal errors trump everything; otherwise any fault
-    // or loss downgrades a Completed run to Degraded.
+    // The verdict. Fatal errors trump everything; otherwise any fault or
+    // loss downgrades a Completed run to Degraded. Shard kills are the
+    // exception: a kill rebuilt from the capture log is fully recovered
+    // (bit-identical output), so only kills that drained *lost* degrade.
     report.outcome = if !report.errors.is_empty() {
         RunOutcome::Failed
-    } else if report.faults.total() > 0
+    } else if report.faults.degrading() > 0
         || report.frames_quarantined > 0
         || report.deconv_fallbacks > 0
+        || report.shards_lost > 0
     {
         RunOutcome::Degraded
     } else {

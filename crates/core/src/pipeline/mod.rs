@@ -144,6 +144,12 @@ pub trait Stage: Send {
     /// a no-op, so fault-oblivious stages need no changes.
     fn arm_faults(&mut self, _injector: &FaultInjector, _supervisor: &SupervisorConfig) {}
 
+    /// Hands this stage a handle to the run's frame capture log. Called
+    /// once per stage by the executor when the pipeline was built with
+    /// [`Pipeline::with_capture_log`]; the accumulate stage uses it to
+    /// rebuild killed shards, everything else ignores it.
+    fn arm_capture(&mut self, _log: &crate::capture::CaptureLog) {}
+
     /// Hands this stage its tap into the run's flight recorder (and the
     /// latency-SLO wiring that rides along). Called once per stage by
     /// every executor before the run starts; the default is a no-op, so
@@ -167,6 +173,9 @@ pub struct ObsTap {
     /// Registry histogram for end-to-end frame latency
     /// (`pipeline.frame_e2e_ns`, session-suffixed for tenants).
     pub(crate) e2e_hist: &'static ims_obs::Histogram,
+    /// Interned session label of a multiplexed tenant, so stages can emit
+    /// per-session registry series (`None` for single-session runs).
+    pub(crate) session: Option<&'static str>,
 }
 
 impl ObsTap {

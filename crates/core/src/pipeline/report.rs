@@ -135,6 +135,18 @@ pub struct PipelineReport {
     /// the armed SLO's p99 target. 0 when no SLO was declared.
     #[serde(default)]
     pub frames_over_latency_slo: u64,
+    /// Accumulator shards killed by `shard.kill` and rebuilt bit-exactly
+    /// from the frame capture log.
+    #[serde(default)]
+    pub shard_rebuilds: u64,
+    /// Accumulator shards that drained *lost* — killed with no capture
+    /// log to rebuild from, their m/z ranges zeroed in the merged output.
+    #[serde(default)]
+    pub shards_lost: u64,
+    /// The `[lo, hi)` m/z column ranges of lost shards, in drain order —
+    /// the blast radius of an unrecovered `shard.kill`.
+    #[serde(default)]
+    pub lost_mz_ranges: Vec<(usize, usize)>,
     /// Path of the flight-recorder black-box dump this run wrote, when it
     /// ended badly enough to trigger one *and* a dump directory was
     /// configured. `None` (and omitted) otherwise.
@@ -172,6 +184,9 @@ impl PipelineReport {
             sparse_blocks: 0,
             session: None,
             frames_over_latency_slo: 0,
+            shard_rebuilds: 0,
+            shards_lost: 0,
+            lost_mz_ranges: Vec::new(),
             flight_dump: None,
             stages: Vec::new(),
         }
@@ -270,6 +285,9 @@ mod tests {
         assert_eq!(r.deconv_fallbacks, 0);
         assert_eq!(r.simd, "");
         assert_eq!(r.sparse_blocks, 0);
+        assert_eq!(r.shard_rebuilds, 0);
+        assert_eq!(r.shards_lost, 0);
+        assert!(r.lost_mz_ranges.is_empty());
         // A clean report serializes an empty errors array and keeps the
         // verdict, and errors survive a round trip when present.
         let clean = serde_json::to_string(&PipelineReport::new("inline")).unwrap();

@@ -955,6 +955,8 @@ pub(super) fn spawn(
     assert!(!pipeline.stages.is_empty(), "pipeline has no stages");
     pipeline.arm();
     let start = Instant::now();
+    // `capture` was already distributed to the source and stages by
+    // `arm()`; the handle itself is not needed past this point.
     let Pipeline {
         source,
         stages,
@@ -963,6 +965,7 @@ pub(super) fn spawn(
         supervisor,
         session,
         flight,
+        capture: _,
     } = pipeline;
     let n = stages.len();
     let frames = source.frames();

@@ -3,14 +3,16 @@
 use super::error::{CorruptPolicy, SupervisorConfig};
 use super::sched::Scheduler;
 use super::{Block, DeconvolvedBlock, Message, ObsTap, PipelineReport, Stage};
+use crate::capture::CaptureLog;
 use crate::fault::FaultInjector;
 use crate::hybrid::FrameGenerator;
 use ims_fpga::deconv::{DeconvConfig, DeconvCore};
 use ims_fpga::deconv_naive::{NaiveConfig, NaiveMacCore};
 use ims_fpga::dma::{DmaLink, FramePacket};
-use ims_fpga::{AccumulatorCore, MzBinner};
+use ims_fpga::{AccumulatorCore, MzBinner, ShardedAccumulator};
 use ims_prs::MSequence;
 use ims_signal::FIXED_POINT_PANEL_WIDTH;
+use std::sync::Arc;
 
 /// The head of the graph: generates reproducible raw frames on demand
 /// (the instrument's digitiser, frame by frame).
@@ -23,6 +25,14 @@ pub struct FrameSource {
     /// can detect in-flight corruption. Off on the default hot path (no
     /// hash is computed); the executor turns it on when faults are armed.
     checked: bool,
+    /// When set, the source replays these pre-captured packets instead of
+    /// generating frames — `htims pipeline --replay`. Original checksums
+    /// ride along, so downstream corruption and quarantine behave exactly
+    /// as in the captured run.
+    replay: Option<Arc<Vec<FramePacket>>>,
+    /// When set, every emitted packet is appended to the capture log
+    /// (before any link-stage corruption — the log holds pristine frames).
+    capture: Option<CaptureLog>,
 }
 
 impl FrameSource {
@@ -33,6 +43,8 @@ impl FrameSource {
             first_frame,
             frames,
             checked: false,
+            replay: None,
+            capture: None,
         }
     }
 
@@ -47,15 +59,44 @@ impl FrameSource {
         self.checked = on;
     }
 
+    /// Switches this source to replaying `packets` (in order), overriding
+    /// the generator and frame count.
+    pub(super) fn set_replay(&mut self, packets: Arc<Vec<FramePacket>>) {
+        self.frames = packets.len() as u64;
+        self.replay = Some(packets);
+    }
+
+    /// Attaches a capture log; every packet this source emits from here
+    /// on is appended to it.
+    pub(super) fn set_capture(&mut self, log: CaptureLog) {
+        self.capture = Some(log);
+    }
+
     /// The i-th packet (`i < frames`).
     pub(super) fn packet(&self, i: u64) -> FramePacket {
+        if let Some(packets) = &self.replay {
+            // Re-stamp the origin so end-to-end latency measures this
+            // run's packing time, not the captured run's.
+            return packets[i as usize]
+                .clone()
+                .with_origin(ims_obs::trace::now_ns());
+        }
         let frame_no = self.first_frame + i;
         let words = self.gen.frame(frame_no);
-        if self.checked {
+        let packet = if self.checked {
             FramePacket::from_words_checked(frame_no, &words)
         } else {
             FramePacket::from_words(frame_no, &words)
+        };
+        if let Some(log) = &self.capture {
+            // A failed append must never take the run down: the log is a
+            // recovery aid, and a run without one merely degrades harder.
+            if let Err(err) = log.append(&packet) {
+                ims_obs::static_counter!("capture.append_failed").incr();
+                eprintln!("warning: capture-log append failed: {err}");
+            }
         }
+        packet
     }
 }
 
@@ -214,11 +255,19 @@ impl Stage for BinnerStage {
     }
 }
 
-/// Capture/accumulation: folds frames into the accumulation RAM and drains
-/// a [`Block`] every `frames_per_block` frames.
+/// Capture/accumulation: folds frames into the (sharded) accumulation RAM
+/// and drains a [`Block`] every `frames_per_block` frames.
+///
+/// The accumulator is split into m/z-range shards
+/// ([`ShardedAccumulator`]; one shard by default, bit- and
+/// cycle-identical to the monolithic engine). Under an armed `shard.kill`
+/// fault site, shards can be marked lost mid-block; a lost shard is
+/// rebuilt bit-exactly from the frame capture log when one is attached
+/// (`shard_rebuilds`), or drains its m/z range zeroed and degrades the
+/// run (`shards_lost` + `lost_mz_ranges`) when not.
 #[derive(Debug, Clone)]
 pub struct AccumulateStage {
-    acc: AccumulatorCore,
+    acc: ShardedAccumulator,
     frames_per_block: u64,
     in_block: u64,
     next_index: u64,
@@ -236,6 +285,22 @@ pub struct AccumulateStage {
     obs: Option<ObsTap>,
     /// Frames slower end-to-end than the armed SLO's p99 target.
     frames_slow: u64,
+    /// When armed, the per-(block, shard) kill site.
+    injector: Option<FaultInjector>,
+    /// The frame capture log killed shards are rebuilt from.
+    capture: Option<CaptureLog>,
+    /// The on-chip binner in front of this stage, when there is one:
+    /// logged packets hold *raw* frames, so a rebuild must re-bin them
+    /// before folding into the (coarse-width) shard.
+    rebuild_binner: Option<(MzBinner, usize)>,
+    /// Seq-nos of the frames folded into the current block, in fold
+    /// order — the rebuild read-set.
+    folded: Vec<u64>,
+    /// Reused scratch for re-binning logged frames during a rebuild.
+    rebuild_scratch: Vec<u32>,
+    shard_rebuilds: u64,
+    shards_lost: u64,
+    lost_ranges: Vec<(usize, usize)>,
 }
 
 impl AccumulateStage {
@@ -248,7 +313,7 @@ impl AccumulateStage {
     pub fn new(acc: AccumulatorCore, frames_per_block: u64, flush_remainder: bool) -> Self {
         assert!(frames_per_block >= 1, "frames_per_block must be >= 1");
         Self {
-            acc,
+            acc: ShardedAccumulator::from_core(acc),
             frames_per_block,
             in_block: 0,
             next_index: 0,
@@ -260,6 +325,14 @@ impl AccumulateStage {
             sparse_blocks: 0,
             obs: None,
             frames_slow: 0,
+            injector: None,
+            capture: None,
+            rebuild_binner: None,
+            folded: Vec::new(),
+            rebuild_scratch: Vec::new(),
+            shard_rebuilds: 0,
+            shards_lost: 0,
+            lost_ranges: Vec::new(),
         }
     }
 
@@ -273,10 +346,121 @@ impl AccumulateStage {
         self
     }
 
+    /// Splits the accumulation RAM into `n` m/z-range shards (clamped to
+    /// the column count; 1 keeps the monolithic fast path). Discards any
+    /// state accumulated so far, so call it at construction time. The
+    /// merged output is bit-identical for every shard count — pinned by
+    /// the `sharded_properties` proptests.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        let (drift, mz, bits) = (
+            self.acc.drift_bins(),
+            self.acc.mz_bins(),
+            self.acc.acc_bits(),
+        );
+        self.acc = ShardedAccumulator::new(drift, mz, bits, n.max(1));
+        self
+    }
+
+    /// Tells the stage what binning sits between the source and itself:
+    /// capture-log packets hold raw source frames, so a shard rebuild
+    /// re-bins each logged frame through a clone of the same binner
+    /// before folding (`drift_bins` is the fine-side row count).
+    pub fn with_rebuild_binner(mut self, binner: Option<MzBinner>, drift_bins: usize) -> Self {
+        self.rebuild_binner = binner.map(|b| (b, drift_bins));
+        self
+    }
+
+    /// Fires the `shard.kill` site for the current block, once, on every
+    /// live shard, and immediately attempts recovery: a killed shard is
+    /// rebuilt from the capture log (all frames folded into this block so
+    /// far — and every later frame folds into it normally again), or
+    /// stays lost until drain zeroes its range into the block.
+    fn check_shard_kills(&mut self) {
+        let Some(inj) = self.injector.clone() else {
+            return;
+        };
+        if inj.spec().shard_kill <= 0.0 {
+            return;
+        }
+        for s in 0..self.acc.shard_count() {
+            if self.acc.is_lost(s) || !inj.shard_kill(self.next_index, s as u64) {
+                continue;
+            }
+            self.acc.kill(s);
+            match self.rebuild_shard(s) {
+                Ok(()) => {
+                    self.acc.revive(s);
+                    self.shard_rebuilds += 1;
+                    ims_obs::static_counter!("accumulator.shard.rebuilds").incr();
+                    ims_obs::instant("fault", "shard_rebuild");
+                }
+                Err(err) => {
+                    // Discard any partial rebuild; the shard drains zeroed
+                    // and is blamed in the report + flight dump.
+                    self.acc.kill(s);
+                    ims_obs::instant("fault", "shard_lost");
+                    if self.capture.is_some() {
+                        eprintln!("warning: shard {s} rebuild failed: {err}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-folds the current block's frames into shard `s` from the
+    /// capture log. Errors (no log attached, frames missing from the log)
+    /// leave the shard lost.
+    fn rebuild_shard(&mut self, s: usize) -> Result<(), String> {
+        let log = self.capture.clone().ok_or("no capture log attached")?;
+        let packets = log.read_frames(&self.folded).map_err(|e| e.to_string())?;
+        for p in &packets {
+            if let Some((binner, drift)) = &mut self.rebuild_binner {
+                binner.bin_frame_into(p.words(), *drift, &mut self.rebuild_scratch);
+                let scratch = std::mem::take(&mut self.rebuild_scratch);
+                let out = self.acc.rebuild_frame(s, &scratch);
+                self.rebuild_scratch = scratch;
+                out.map_err(|e| e.to_string())?;
+            } else {
+                self.acc
+                    .rebuild_frame(s, &p.to_words())
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    }
+
     fn drain_block(&mut self, emit: &mut dyn FnMut(Message)) {
-        self.saturation_events += self.acc.saturation_events();
+        // Shards still lost at drain time zero their m/z range in the
+        // merged block — degraded-but-correct everywhere else.
+        for s in 0..self.acc.shard_count() {
+            if self.acc.is_lost(s) {
+                self.shards_lost += 1;
+                self.lost_ranges.push(self.acc.shard_range(s));
+                ims_obs::static_counter!("accumulator.shard.lost").incr();
+            }
+        }
+        let block_saturation = self.acc.saturation_events();
+        self.saturation_events += block_saturation;
+        if let Some(tap) = &self.obs {
+            if let Some(session) = tap.session {
+                // Per-session saturation series for the serve surface; the
+                // unlabeled global counter is bumped per frame by the core.
+                ims_obs::metrics::counter(&format!(
+                    "accumulator.saturation_events#session={session}"
+                ))
+                .add(block_saturation);
+            }
+        }
         let (drift, mz) = (self.acc.drift_bins(), self.acc.mz_bins());
-        let data = self.acc.drain();
+        let data = if self.acc.shard_count() > 1 {
+            let t = std::time::Instant::now();
+            let merged = self.acc.drain_merged();
+            ims_obs::static_histogram!("accumulator.shard.merge_ns").record_duration(t.elapsed());
+            merged
+        } else {
+            self.acc.drain_merged()
+        };
+        self.folded.clear();
         let sparse = if self.sparse_enabled {
             ims_fpga::SparseBlock::from_dense_below(
                 &data,
@@ -325,6 +509,7 @@ impl Stage for AccumulateStage {
                 self.acc
                     .capture_frame_iter(p.words())
                     .expect("frame shape mismatch in pipeline");
+                self.folded.push(p.seq_no);
                 if let Some(tap) = &self.obs {
                     // End-to-end frame latency: packing at the source to
                     // arrival in the accumulation RAM.
@@ -335,6 +520,12 @@ impl Stage for AccumulateStage {
                     }
                 }
                 self.in_block += 1;
+                // The kill site fires once per block, mid-block (after
+                // the block has folded real data, before drain), keyed by
+                // (block index, shard) — deterministic on any executor.
+                if self.in_block == (self.frames_per_block / 2).max(1) {
+                    self.check_shard_kills();
+                }
                 if self.in_block == self.frames_per_block {
                     self.drain_block(emit);
                 }
@@ -356,10 +547,20 @@ impl Stage for AccumulateStage {
         report.frames_quarantined += self.quarantined;
         report.sparse_blocks += self.sparse_blocks;
         report.frames_over_latency_slo += self.frames_slow;
+        report.shard_rebuilds += self.shard_rebuilds;
+        report.shards_lost += self.shards_lost;
+        report
+            .lost_mz_ranges
+            .extend(self.lost_ranges.iter().copied());
     }
 
-    fn arm_faults(&mut self, _injector: &FaultInjector, supervisor: &SupervisorConfig) {
+    fn arm_faults(&mut self, injector: &FaultInjector, supervisor: &SupervisorConfig) {
         self.corrupt_policy = supervisor.corrupt_policy;
+        self.injector = Some(injector.clone());
+    }
+
+    fn arm_capture(&mut self, log: &CaptureLog) {
+        self.capture = Some(log.clone());
     }
 
     fn arm_obs(&mut self, tap: &ObsTap) {

@@ -75,6 +75,11 @@ impl AccumulatorCore {
         self.mz_bins
     }
 
+    /// Cell width in bits (the `acc_bits` this core was built with).
+    pub fn acc_bits(&self) -> u32 {
+        self.acc_bits
+    }
+
     /// Saturation ceiling of one cell.
     pub fn cell_max(&self) -> u64 {
         (1u64 << self.acc_bits) - 1
@@ -196,6 +201,17 @@ impl AccumulatorCore {
 
     /// Drains the accumulation RAM: returns the matrix and clears state for
     /// the next block (the FPGA's double-buffered readout).
+    ///
+    /// Counter semantics — pinned, because sharded merge accounting relies
+    /// on them (see [`crate::sharded::ShardedAccumulator`]):
+    ///
+    /// * `frames_captured` and `saturation_events` are **per-block**
+    ///   counters: drain resets both to zero, so each block's report reads
+    ///   only its own frames and saturating adds.
+    /// * `cycles` is a **lifetime** counter: it keeps running across
+    ///   drains, modelling a clock that never rewinds. A shard killed and
+    ///   drained mid-block therefore keeps its cycle history, and a
+    ///   rebuild only *adds* cycles — capture work is never un-counted.
     pub fn drain(&mut self) -> Vec<u64> {
         let out = std::mem::replace(&mut self.acc, vec![0; self.drift_bins * self.mz_bins]);
         self.frames_captured = 0;
@@ -278,6 +294,28 @@ mod tests {
         assert_eq!(acc.frames_captured(), 0);
         // Cycle counter keeps running across blocks.
         assert!(acc.cycles() > 0);
+    }
+
+    #[test]
+    fn drain_counter_semantics_are_pinned() {
+        // Regression pin for the documented drain contract: per-block
+        // counters (frames_captured, saturation_events) reset; the
+        // lifetime cycle counter keeps running. Sharded merge accounting
+        // (kill → drain → rebuild) depends on exactly this split.
+        let mut acc = AccumulatorCore::new(1, 1, 8);
+        acc.capture_frame(&[200]).unwrap();
+        acc.capture_frame(&[200]).unwrap();
+        assert_eq!(acc.frames_captured(), 2);
+        assert_eq!(acc.saturation_events(), 1);
+        let cycles_before = acc.cycles();
+        assert_eq!(cycles_before, 2 * (1 + 4));
+        let _ = acc.drain();
+        assert_eq!(acc.frames_captured(), 0, "frames reset per block");
+        assert_eq!(acc.saturation_events(), 0, "saturation resets per block");
+        assert_eq!(acc.cycles(), cycles_before, "cycles survive the drain");
+        // And the next block accumulates cycles on top.
+        acc.capture_frame(&[1]).unwrap();
+        assert_eq!(acc.cycles(), cycles_before + 5);
     }
 
     #[test]

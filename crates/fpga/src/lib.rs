@@ -61,6 +61,7 @@ pub mod deconv_naive;
 pub mod dma;
 pub mod fixed;
 pub mod report;
+pub mod sharded;
 pub mod sparse;
 
 pub use accumulator::AccumulatorCore;
@@ -70,4 +71,5 @@ pub use deconv_naive::{NaiveConfig, NaiveMacCore};
 pub use dma::DmaLink;
 pub use fixed::Fx;
 pub use report::{FpgaDevice, ResourceReport};
+pub use sharded::{merge_shard_parts, ShardedAccumulator};
 pub use sparse::{SparseBlock, SPARSE_OCCUPANCY_THRESHOLD};

@@ -47,6 +47,7 @@ fn main() {
         link: DmaLink::rapidarray(),
         binner: None,
         sparse: false,
+        shards: 0,
     };
 
     println!(

@@ -299,6 +299,12 @@ fn parse_graph(mut spec: GraphSpec, args: &[String]) -> GraphSpec {
     if let Some(v) = flag(args, "--profile") {
         spec.profile_dir = (!v.is_empty()).then_some(v);
     }
+    if let Some(v) = flag(args, "--shards").and_then(|v| v.parse().ok()) {
+        spec.shards = v;
+    }
+    if let Some(v) = flag(args, "--capture-log") {
+        spec.capture_log = (!v.is_empty()).then_some(v);
+    }
     spec
 }
 
@@ -431,6 +437,10 @@ fn observe_slo(
 /// per-stage busy/blocked time, queue high-water marks, cycle totals, and
 /// simulated link time.
 fn pipeline(args: &[String]) {
+    if let Some(dir) = flag(args, "--replay") {
+        replay_pipeline(&dir, args);
+        return;
+    }
     let spec = parse_graph(GraphSpec::small(), args);
     maybe_reset_profile(&spec);
     let out = run_graph(&spec);
@@ -459,6 +469,40 @@ fn pipeline(args: &[String]) {
         None => println!("{json}"),
     }
     append_ledger(args, &graph_ledger_record("pipeline", &spec, &out.report));
+}
+
+/// `htims pipeline --replay <dir>`: re-runs a captured run from its frame
+/// log and holds the output to the manifest's FNV. A mismatch is a
+/// determinism bug (or a tampered log) and exits nonzero so CI can gate
+/// on it.
+fn replay_pipeline(dir: &str, args: &[String]) {
+    let outcome = htims::graph::replay(dir).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let json = serde_json::to_string_pretty(&outcome.output.report).unwrap();
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    if outcome.matches() {
+        eprintln!(
+            "replay OK: output FNV 0x{:016x} matches the captured run ({} frames -> {} blocks)",
+            outcome.actual_fnv, outcome.output.report.frames, outcome.output.report.blocks,
+        );
+    } else {
+        eprintln!(
+            "replay MISMATCH: output FNV 0x{:016x}, captured run recorded 0x{:016x}",
+            outcome.actual_fnv, outcome.expected_fnv,
+        );
+        std::process::exit(3);
+    }
 }
 
 /// `htims trace`: runs the hybrid stage graph under an `ims_obs`
@@ -889,10 +933,15 @@ fn top(args: &[String]) {
         };
         let now = std::time::Instant::now();
         let series = parse_prometheus(&text);
-        render_top(
-            &addr,
-            &series,
-            prev.as_ref().map(|(t, s)| (now.duration_since(*t), s)),
+        // Clear screen + home. Harmless noise when piped to a file.
+        print!("\x1b[2J\x1b[H");
+        print!(
+            "{}",
+            render_top(
+                &addr,
+                &series,
+                prev.as_ref().map(|(t, s)| (now.duration_since(*t), s)),
+            )
         );
         prev = Some((now, series));
         polls += 1;
@@ -941,24 +990,32 @@ fn parse_prometheus(text: &str) -> std::collections::HashMap<String, f64> {
 
 /// Renders one `htims top` frame from the delta between two scrapes.
 /// `window` is `None` on the first poll (nothing to difference yet).
+/// Pure text in, text out (no terminal control), so it unit-tests.
 fn render_top(
     addr: &str,
     series: &std::collections::HashMap<String, f64>,
     window: Option<(std::time::Duration, &std::collections::HashMap<String, f64>)>,
-) {
-    // Clear screen + home. Harmless noise when piped to a file.
-    print!("\x1b[2J\x1b[H");
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
     let Some((elapsed, prev)) = window else {
-        println!("htims top — http://{addr}/metrics — first scrape, collecting a window…");
-        return;
+        let _ = writeln!(
+            out,
+            "htims top — http://{addr}/metrics — first scrape, collecting a window…"
+        );
+        return out;
     };
-    let secs = elapsed.as_secs_f64().max(1e-9);
+    // Two scrapes can land within the same clock tick (coarse timers,
+    // suspended VMs); clamp the window to 1 ms so a zero-width window
+    // inflates rates by at most 1000×, not 10^9× as the old 1 ns floor
+    // allowed — that printed astronomic rates that read like corruption.
+    let secs = elapsed.as_secs_f64().max(0.001);
     let delta = |key: &str| -> f64 {
         (series.get(key).copied().unwrap_or(0.0) - prev.get(key).copied().unwrap_or(0.0)).max(0.0)
     };
     let rate = |key: &str| delta(key) / secs;
 
-    println!("htims top — http://{addr}/metrics — window {secs:.1}s");
+    let _ = writeln!(out, "htims top — http://{addr}/metrics — window {secs:.1}s");
 
     // CPU rows: `pipeline_cpu_ns_<stage>{session="…"}` counters from the
     // profiler; cores consumed = Δcpu_ns / Δt / 1e9.
@@ -985,15 +1042,20 @@ fn render_top(
     }
     cpu.sort_by(|a, b| b.2.total_cmp(&a.2));
     let total_cores: f64 = cpu.iter().map(|r| r.2).sum();
-    println!(
+    let _ = writeln!(
+        out,
         "\n  {:<14} {:<10} {:>7} {:>6}",
         "STAGE", "SESSION", "CORES", "CPU%"
     );
     if cpu.is_empty() {
-        println!("  (no pipeline.cpu_ns deltas this window — profiler off or pipeline idle)");
+        let _ = writeln!(
+            out,
+            "  (no pipeline.cpu_ns deltas this window — profiler off or pipeline idle)"
+        );
     }
     for (stage, session, cores) in cpu.iter().take(16) {
-        println!(
+        let _ = writeln!(
+            out,
             "  {:<14} {:<10} {:>7.2} {:>5.1}%",
             stage,
             session,
@@ -1014,7 +1076,8 @@ fn render_top(
     } else {
         0.0
     };
-    println!(
+    let _ = writeln!(
+        out,
         "\n  sched: {:.0} tasks/s (local {:.0}, injector {:.0}, steals {:.0}), \
          parks {:.0}/s, wakes {:.0}/s, queue dwell mean {dwell_mean_us:.1} us",
         rate("sched_executed_total"),
@@ -1024,12 +1087,14 @@ fn render_top(
         rate("sched_parks_total"),
         rate("sched_wakes_total"),
     );
-    println!(
+    let _ = writeln!(
+        out,
         "  serve: {:.1} runs/s, {:.0} frames/s -> {:.1} blocks/s",
         rate("serve_runs_total"),
         rate("serve_frames_total"),
         rate("serve_blocks_total"),
     );
+    out
 }
 
 /// `htims chaos`: soaks the hybrid stage graph under a deterministic
@@ -1055,6 +1120,12 @@ fn chaos(args: &[String]) {
         args,
     );
     base.faults = None; // the matrix supplies each cell's spec
+    if base.shards == 0 {
+        // Shard the accumulator so the matrix's `shard.kill` cells have
+        // several independent victims (merged output is bit-identical, so
+        // every other cell is unaffected). `--shards` overrides.
+        base.shards = 4;
+    }
     let seeds: Vec<u64> = match flag(args, "--seeds") {
         Some(list) => list
             .split(',')
@@ -1076,12 +1147,15 @@ fn chaos(args: &[String]) {
         std::process::exit(2);
     });
     eprintln!(
-        "chaos soak: {} cells ({} completed, {} degraded, {} failed, {} irreproducible)",
+        "chaos soak: {} cells ({} completed, {} degraded, {} failed, {} irreproducible); \
+         shards: {} rebuilt from capture, {} lost",
         report.cells.len(),
         report.summary.completed,
         report.summary.degraded,
         report.summary.failed,
-        report.summary.irreproducible
+        report.summary.irreproducible,
+        report.cells.iter().map(|c| c.shard_rebuilds).sum::<u64>(),
+        report.cells.iter().map(|c| c.shards_lost).sum::<u64>(),
     );
     let json = serde_json::to_string_pretty(&report).unwrap();
     match flag(args, "--out") {
@@ -1787,5 +1861,55 @@ fn feasibility(args: &[String]) {
             report.realtime_margin,
             report.viable()
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::render_top;
+    use std::collections::HashMap;
+    use std::time::Duration;
+
+    fn series(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn first_scrape_renders_a_banner_not_rates() {
+        let now = series(&[("serve_runs_total", 3.0)]);
+        let frame = render_top("127.0.0.1:9100", &now, None);
+        assert!(frame.contains("first scrape"), "{frame}");
+        assert!(!frame.contains("runs/s"), "{frame}");
+    }
+
+    #[test]
+    fn zero_width_window_stays_finite() {
+        // Two scrapes inside one clock tick: the old 1 ns clamp printed
+        // rates inflated by 10^9; the 1 ms floor keeps them readable and
+        // the frame free of NaN/inf artifacts.
+        let prev = series(&[("serve_frames_total", 100.0)]);
+        let now = series(&[("serve_frames_total", 101.0)]);
+        let frame = render_top("127.0.0.1:9100", &now, Some((Duration::ZERO, &prev)));
+        assert!(!frame.contains("NaN") && !frame.contains("inf"), "{frame}");
+        // 1 frame over the clamped 1 ms window = 1000 frames/s, not 1e9.
+        assert!(frame.contains("1000 frames/s"), "{frame}");
+    }
+
+    #[test]
+    fn cpu_rows_are_sorted_and_percentaged() {
+        let prev = series(&[
+            ("pipeline_cpu_ns_deconvolve{session=\"a\"}", 0.0),
+            ("pipeline_cpu_ns_accumulate{session=\"a\"}", 0.0),
+        ]);
+        let now = series(&[
+            ("pipeline_cpu_ns_deconvolve{session=\"a\"}", 3e9),
+            ("pipeline_cpu_ns_accumulate{session=\"a\"}", 1e9),
+        ]);
+        let frame = render_top("h:1", &now, Some((Duration::from_secs(2), &prev)));
+        let deconv = frame.find("deconvolve").unwrap();
+        let accum = frame.find("accumulate").unwrap();
+        assert!(deconv < accum, "hotter stage first:\n{frame}");
+        assert!(frame.contains("75.0%"), "{frame}");
+        assert!(frame.contains("25.0%"), "{frame}");
     }
 }

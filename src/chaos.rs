@@ -7,7 +7,7 @@
 //! is flagged as `reproducible: false` and fails the soak. The result is
 //! a schema-versioned survival report suitable for CI gating.
 
-use crate::core::fault::FaultCounts;
+use crate::core::fault::{FaultCounts, FaultSpec};
 use crate::core::pipeline::{PipelineError, PipelineOutput, RunOutcome};
 use crate::graph::GraphSpec;
 use serde::{Deserialize, Serialize};
@@ -26,6 +26,7 @@ pub fn default_matrix() -> Vec<String> {
         "dma.bitflip=2e-5".into(),
         "deconv.fail=1".into(),
         "source.stall=2ms@0.2".into(),
+        "shard.kill=0.5".into(),
         "frame.drop=0.02,dma.bitflip=1e-5,deconv.fail=0.25,source.stall=1ms@0.05".into(),
     ]
 }
@@ -52,6 +53,19 @@ pub struct ChaosCell {
     /// Blocks recovered through the software deconv fallback.
     #[serde(default)]
     pub deconv_fallbacks: u64,
+    /// Whether this cell ran with a frame capture log armed. A spec with
+    /// `shard.kill` produces **two** cells per seed — one with the log
+    /// (kills rebuild, run completes) and one without (shards lost, run
+    /// degrades) — distinguishable by this flag.
+    #[serde(default)]
+    pub capture: bool,
+    /// Accumulator shards killed and rebuilt from the capture log.
+    #[serde(default)]
+    pub shard_rebuilds: u64,
+    /// Accumulator shards lost for good (killed with no log to rebuild
+    /// from); their m/z ranges drain zeros.
+    #[serde(default)]
+    pub shards_lost: u64,
     /// Output blocks produced.
     pub blocks: u64,
     /// FNV-1a hash over all output blocks (index, frames, and every data
@@ -143,7 +157,10 @@ fn compare_dumps(a: &Option<String>, b: &Option<String>) -> (Option<String>, Opt
 }
 
 /// Runs the full `(spec, seed)` matrix over `base`'s graph shape, running
-/// each cell twice to check determinism. Errors (a malformed fault spec,
+/// each cell twice to check determinism. A spec arming `shard.kill` fans
+/// out into a capture/no-capture cell pair per seed: the capture variant
+/// must rebuild every killed shard and complete, the bare variant must
+/// degrade with the lost ranges blamed. Errors (a malformed fault spec,
 /// an unknown backend) abort the whole soak.
 pub fn run_matrix(
     base: &GraphSpec,
@@ -153,54 +170,84 @@ pub fn run_matrix(
     let mut cells = Vec::with_capacity(matrix.len() * seeds.len());
     let mut summary = ChaosSummary::default();
     let mut cell_idx = 0usize;
+    // Capture logs land under `--capture-log` when given (CI keeps them
+    // as artifacts), else under a per-process temp dir cleaned up below.
+    let capture_base = base.capture_log.clone();
+    let temp_capture = std::env::temp_dir().join(format!("htims_chaos_cap_{}", std::process::id()));
     for faults in matrix {
+        let parsed = FaultSpec::parse(faults).map_err(|e| format!("bad --faults spec: {e}"))?;
+        let variants: &[bool] = if parsed.shard_kill > 0.0 {
+            &[true, false]
+        } else {
+            &[false]
+        };
         for &seed in seeds {
-            let mut spec = base.clone();
-            spec.seed = seed;
-            spec.faults = (!faults.is_empty()).then(|| faults.clone());
-            // Both runs of a cell write `flight_<fingerprint>.jsonl`, so
-            // give each its own subdirectory to keep the pair comparable.
-            let mut spec_b = spec.clone();
-            if let Some(dir) = &base.flight_dir {
-                spec.flight_dir = Some(format!("{dir}/cell{cell_idx}_a"));
-                spec_b.flight_dir = Some(format!("{dir}/cell{cell_idx}_b"));
+            for &capture in variants {
+                let mut spec = base.clone();
+                spec.seed = seed;
+                spec.faults = (!faults.is_empty()).then(|| faults.clone());
+                spec.capture_log = None;
+                // Both runs of a cell write `flight_<fingerprint>.jsonl`
+                // (and, when capturing, a frame log), so give each run its
+                // own subdirectory to keep the pair comparable.
+                let mut spec_b = spec.clone();
+                if let Some(dir) = &base.flight_dir {
+                    spec.flight_dir = Some(format!("{dir}/cell{cell_idx}_a"));
+                    spec_b.flight_dir = Some(format!("{dir}/cell{cell_idx}_b"));
+                }
+                if capture {
+                    let root = capture_base
+                        .clone()
+                        .unwrap_or_else(|| temp_capture.display().to_string());
+                    spec.capture_log = Some(format!("{root}/cell{cell_idx}_a"));
+                    spec_b.capture_log = Some(format!("{root}/cell{cell_idx}_b"));
+                }
+                cell_idx += 1;
+                let first = spec.run()?;
+                let second = spec_b.run()?;
+                let fnv = output_fingerprint(&first);
+                let (flight_dump, dump_reproducible) =
+                    compare_dumps(&first.report.flight_dump, &second.report.flight_dump);
+                let reproducible = fnv == output_fingerprint(&second)
+                    && first.report.faults == second.report.faults
+                    && first.report.outcome == second.report.outcome
+                    && first.report.frames_quarantined == second.report.frames_quarantined
+                    && first.report.deconv_fallbacks == second.report.deconv_fallbacks
+                    && first.report.shard_rebuilds == second.report.shard_rebuilds
+                    && first.report.shards_lost == second.report.shards_lost
+                    && first.report.lost_mz_ranges == second.report.lost_mz_ranges
+                    && dump_reproducible.unwrap_or(true);
+                match first.report.outcome {
+                    RunOutcome::Completed => summary.completed += 1,
+                    RunOutcome::Degraded => summary.degraded += 1,
+                    RunOutcome::Failed => summary.failed += 1,
+                }
+                if !reproducible {
+                    summary.irreproducible += 1;
+                }
+                cells.push(ChaosCell {
+                    faults: faults.clone(),
+                    seed,
+                    outcome: first.report.outcome.as_str().to_string(),
+                    errors: first.report.errors.clone(),
+                    fault_counts: first.report.faults,
+                    frames_quarantined: first.report.frames_quarantined,
+                    deconv_fallbacks: first.report.deconv_fallbacks,
+                    capture,
+                    shard_rebuilds: first.report.shard_rebuilds,
+                    shards_lost: first.report.shards_lost,
+                    blocks: first.report.blocks,
+                    output_fnv: fnv,
+                    reproducible,
+                    wall_seconds: first.report.wall_seconds,
+                    flight_dump,
+                    dump_reproducible,
+                });
             }
-            cell_idx += 1;
-            let first = spec.run()?;
-            let second = spec_b.run()?;
-            let fnv = output_fingerprint(&first);
-            let (flight_dump, dump_reproducible) =
-                compare_dumps(&first.report.flight_dump, &second.report.flight_dump);
-            let reproducible = fnv == output_fingerprint(&second)
-                && first.report.faults == second.report.faults
-                && first.report.outcome == second.report.outcome
-                && first.report.frames_quarantined == second.report.frames_quarantined
-                && first.report.deconv_fallbacks == second.report.deconv_fallbacks
-                && dump_reproducible.unwrap_or(true);
-            match first.report.outcome {
-                RunOutcome::Completed => summary.completed += 1,
-                RunOutcome::Degraded => summary.degraded += 1,
-                RunOutcome::Failed => summary.failed += 1,
-            }
-            if !reproducible {
-                summary.irreproducible += 1;
-            }
-            cells.push(ChaosCell {
-                faults: faults.clone(),
-                seed,
-                outcome: first.report.outcome.as_str().to_string(),
-                errors: first.report.errors.clone(),
-                fault_counts: first.report.faults,
-                frames_quarantined: first.report.frames_quarantined,
-                deconv_fallbacks: first.report.deconv_fallbacks,
-                blocks: first.report.blocks,
-                output_fnv: fnv,
-                reproducible,
-                wall_seconds: first.report.wall_seconds,
-                flight_dump,
-                dump_reproducible,
-            });
         }
+    }
+    if capture_base.is_none() {
+        let _ = std::fs::remove_dir_all(&temp_capture);
     }
     Ok(SurvivalReport {
         schema_version: CHAOS_SCHEMA_VERSION,
@@ -269,6 +316,45 @@ mod tests {
             "{header:?}"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_kill_cells_pair_rebuild_with_loss() {
+        let flight = std::env::temp_dir().join(format!("htims_chaos_shard_{}", std::process::id()));
+        let mut base = tiny();
+        base.shards = 4;
+        base.flight_dir = Some(flight.display().to_string());
+        let matrix = vec![String::new(), "shard.kill=1".into()];
+        let report = run_matrix(&base, &matrix, &[7]).unwrap();
+        // The kill spec fans out into a capture/no-capture pair.
+        assert_eq!(report.cells.len(), 3);
+        let (control, rebuilt, lost) = (&report.cells[0], &report.cells[1], &report.cells[2]);
+        assert!(rebuilt.capture && !lost.capture && !control.capture);
+
+        // With the log armed every kill rebuilds: the run completes and
+        // the output is bit-identical to the clean control's.
+        assert_eq!(rebuilt.outcome, "completed");
+        assert!(rebuilt.fault_counts.shard_kills > 0);
+        assert_eq!(rebuilt.shard_rebuilds, rebuilt.fault_counts.shard_kills);
+        assert_eq!(rebuilt.shards_lost, 0);
+        assert_eq!(
+            rebuilt.output_fnv, control.output_fnv,
+            "rebuild is bit-transparent"
+        );
+
+        // Without it the same kills are terminal: the run degrades and the
+        // flight dump blames the shard loss.
+        assert_eq!(lost.outcome, "degraded");
+        assert!(lost.shards_lost > 0);
+        assert_eq!(lost.shard_rebuilds, 0);
+        assert_ne!(lost.output_fnv, control.output_fnv);
+        assert_eq!(lost.dump_reproducible, Some(true), "{lost:?}");
+        let text = std::fs::read_to_string(lost.flight_dump.as_ref().unwrap()).unwrap();
+        assert!(text.contains("shard_loss"), "{text}");
+
+        assert!(report.cells.iter().all(|c| c.reproducible));
+        assert!(report.survived(), "{:?}", report.summary);
+        let _ = std::fs::remove_dir_all(&flight);
     }
 
     #[test]

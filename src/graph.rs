@@ -9,17 +9,22 @@
 //! blocks and identical deterministic metrics counts.
 
 use crate::core::acquisition::{acquire, AcquireOptions, GateSchedule};
+use crate::core::capture::{CaptureLog, CAPTURE_SCHEMA_VERSION};
 use crate::core::deconv_batch::DEFAULT_PANEL_WIDTH;
 use crate::core::fault::{FaultInjector, FaultSpec};
 use crate::core::hybrid::{hybrid_pipeline, FrameGenerator, HybridConfig};
-use crate::core::pipeline::{DeconvBackend, PipelineOutput, SupervisorConfig};
+use crate::core::pipeline::{
+    output_fingerprint, DeconvBackend, Pipeline, PipelineOutput, SupervisorConfig,
+};
 use crate::fpga::MzBinner;
 use crate::physics::{Instrument, Workload};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// One reproducible stage-graph run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GraphSpec {
     /// PRS degree (drift bins = 2^degree − 1).
     pub degree: u32,
@@ -68,6 +73,19 @@ pub struct GraphSpec {
     /// pipeline|trace|serve --profile <dir>`.
     /// Observability-only: not part of the config fingerprint.
     pub profile_dir: Option<String>,
+    /// m/z-range shards the accumulate stage splits its RAM into (0 and 1
+    /// both mean the monolithic fast path). Merged output is bit-identical
+    /// for every count, so this is not part of the config fingerprint.
+    #[serde(default)]
+    pub shards: usize,
+    /// Directory for the frame capture log: every sourced frame is
+    /// appended (pre-corruption), a `manifest.json` carrying this spec and
+    /// the output FNV is written after the run, and [`replay`] reproduces
+    /// the run bit-for-bit from the pair. While the run is live the same
+    /// log rebuilds shards killed by the `shard.kill` fault site.
+    /// Observability-only: not part of the config fingerprint.
+    #[serde(default)]
+    pub capture_log: Option<String>,
 }
 
 impl GraphSpec {
@@ -90,6 +108,8 @@ impl GraphSpec {
             slo: None,
             flight_dir: None,
             profile_dir: None,
+            shards: 0,
+            capture_log: None,
         }
     }
 
@@ -115,6 +135,8 @@ impl GraphSpec {
             slo: None,
             flight_dir: None,
             profile_dir: None,
+            shards: 0,
+            capture_log: None,
         }
     }
 
@@ -149,17 +171,26 @@ impl GraphSpec {
 
     /// Builds and runs the graph. Errors (unknown backend/executor,
     /// out-of-range coarse bins) are returned, not printed — the CLI
-    /// decides how to die.
+    /// decides how to die. When `capture_log` is set, the log is fsynced
+    /// and a `manifest.json` (spec + output FNV) is written next to the
+    /// segments after the run, closing the replay contract.
     pub fn run(&self) -> Result<PipelineOutput, String> {
-        let graph = self.build()?;
-        match self.executor.as_str() {
-            "inline" => Ok(graph.run_inline()),
-            "threaded" => Ok(graph.run_threaded()),
-            "scheduled" => Ok(graph.run_scheduled()),
-            other => Err(format!(
-                "unknown executor '{other}' (use threaded | scheduled | inline)"
-            )),
+        let (graph, capture) = self.build_inner()?;
+        let out = run_on_executor(&self.executor, graph)?;
+        if let Some(log) = capture {
+            log.finish()
+                .map_err(|e| format!("cannot finish capture log: {e}"))?;
+            let manifest = CaptureManifest {
+                schema_version: CAPTURE_SCHEMA_VERSION,
+                output_fnv: output_fingerprint(&out.blocks),
+                spec: self.clone(),
+            };
+            let text = serde_json::to_string_pretty(&manifest)
+                .map_err(|e| format!("cannot serialise capture manifest: {e}"))?;
+            std::fs::write(log.dir().join("manifest.json"), text)
+                .map_err(|e| format!("cannot write capture manifest: {e}"))?;
         }
+        Ok(out)
     }
 
     /// Builds the pipeline without running it — what the session
@@ -167,6 +198,13 @@ impl GraphSpec {
     /// executor field is validated here too, so a bad spec fails at
     /// admission rather than mid-run.
     pub fn build(&self) -> Result<crate::core::pipeline::Pipeline, String> {
+        self.build_inner().map(|(graph, _)| graph)
+    }
+
+    /// [`build`](Self::build) plus the writable capture-log handle when
+    /// the spec asks for one, so [`run`](Self::run) can finish the log
+    /// and stamp the manifest after the executor drains.
+    fn build_inner(&self) -> Result<(Pipeline, Option<CaptureLog>), String> {
         if !matches!(self.executor.as_str(), "inline" | "threaded" | "scheduled") {
             return Err(format!(
                 "unknown executor '{}' (use threaded | scheduled | inline)",
@@ -207,6 +245,7 @@ impl GraphSpec {
             channel_depth: self.depth,
             binner: self.coarse.map(|c| MzBinner::uniform(self.mz, c)),
             sparse: self.sparse,
+            shards: self.shards,
             ..Default::default()
         };
         let backend = DeconvBackend::from_name(&self.backend, &seq, cfg.deconv, self.threads)
@@ -244,7 +283,14 @@ impl GraphSpec {
         if let Some(dir) = &self.flight_dir {
             graph = graph.with_flight_dump(dir, &self.fingerprint());
         }
-        Ok(graph)
+        let mut capture = None;
+        if let Some(dir) = &self.capture_log {
+            let log = CaptureLog::create(Path::new(dir))
+                .map_err(|e| format!("cannot create capture log in {dir}: {e}"))?;
+            graph = graph.with_capture_log(log.clone());
+            capture = Some(log);
+        }
+        Ok((graph, capture))
     }
 
     /// Parsed `--slo` targets, or `None` when no SLO was declared.
@@ -256,4 +302,99 @@ impl GraphSpec {
             None => Ok(None),
         }
     }
+}
+
+/// Runs a built pipeline on the named executor.
+fn run_on_executor(executor: &str, graph: Pipeline) -> Result<PipelineOutput, String> {
+    match executor {
+        "inline" => Ok(graph.run_inline()),
+        "threaded" => Ok(graph.run_threaded()),
+        "scheduled" => Ok(graph.run_scheduled()),
+        other => Err(format!(
+            "unknown executor '{other}' (use threaded | scheduled | inline)"
+        )),
+    }
+}
+
+/// The `manifest.json` written next to a capture log's segments: the spec
+/// that produced the log plus the run's output FNV, which [`replay`] must
+/// reproduce bit-for-bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CaptureManifest {
+    /// Capture-log schema version the segments were written under.
+    pub schema_version: u32,
+    /// FNV-1a 64 fingerprint of the captured run's deconvolved blocks.
+    pub output_fnv: u64,
+    /// The full spec of the captured run.
+    pub spec: GraphSpec,
+}
+
+/// A replayed run and the fingerprint contract it was held to.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// The replayed run's output.
+    pub output: PipelineOutput,
+    /// The captured run's output FNV, from the manifest.
+    pub expected_fnv: u64,
+    /// The replayed run's output FNV.
+    pub actual_fnv: u64,
+}
+
+impl ReplayOutcome {
+    /// Did the replay reproduce the captured output bit-for-bit?
+    pub fn matches(&self) -> bool {
+        self.expected_fnv == self.actual_fnv
+    }
+}
+
+/// Replays a captured run from `dir` (segments + `manifest.json`) and
+/// checks the output FNV against the manifest — `htims pipeline --replay`.
+///
+/// Source-side fault sites (`frame.drop`, `source.stall`) are stripped
+/// before the run: frames those sites consumed were never logged, so
+/// re-arming them would fault surviving frames twice. Downstream sites are
+/// keyed by seq number / block index and re-fire exactly as captured.
+pub fn replay(dir: &str) -> Result<ReplayOutcome, String> {
+    let manifest_path = Path::new(dir).join("manifest.json");
+    let text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+    let manifest: CaptureManifest =
+        serde_json::from_str(&text).map_err(|e| format!("bad capture manifest: {e}"))?;
+    if manifest.schema_version != CAPTURE_SCHEMA_VERSION {
+        return Err(format!(
+            "capture log schema v{} is not the supported v{CAPTURE_SCHEMA_VERSION}",
+            manifest.schema_version
+        ));
+    }
+    let mut spec = manifest.spec.clone();
+    spec.capture_log = None;
+    if let Some(text) = &spec.faults {
+        let parsed =
+            FaultSpec::parse(text).map_err(|e| format!("bad fault spec in manifest: {e}"))?;
+        let stripped = parsed.without_source_sites();
+        spec.faults = if stripped.is_zero() {
+            None
+        } else {
+            Some(stripped.to_string())
+        };
+    }
+    let log = CaptureLog::open(Path::new(dir))
+        .map_err(|e| format!("cannot open capture log in {dir}: {e}"))?;
+    let packets = log
+        .read_all()
+        .map_err(|e| format!("cannot read capture log in {dir}: {e}"))?;
+    // The read-only log rides along so `shard.kill` rebuilds re-fire in
+    // the replay exactly as they did in the captured run (appends from
+    // the replaying source are no-ops on a read-only log).
+    let graph = spec
+        .build()?
+        .with_replay_source(packets)
+        .with_capture_log(log);
+    let output = run_on_executor(&spec.executor, graph)?;
+    let actual_fnv = output_fingerprint(&output.blocks);
+    Ok(ReplayOutcome {
+        output,
+        expected_fnv: manifest.output_fnv,
+        actual_fnv,
+    })
 }
